@@ -1,0 +1,127 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! optimizer strategy and objective form, interpolation method, background
+//! reconstruction mode, and the optimizer's Laplace noise level.
+//!
+//! These measure *runtime*; the corresponding *utility* ablations are
+//! emitted by the report binary and EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use verro_bench::presets::{bench_video, eval_config};
+use verro_core::config::{BackgroundMode, OptimizerStrategy};
+use verro_core::naive::randomize_naive;
+use verro_core::optimize::{pick_from_counts, ObjectiveForm};
+use verro_core::phase1::run_phase1;
+use verro_core::presence::PresenceMatrix;
+use verro_core::synthesis::build_backgrounds;
+use verro_vision::interp::{interpolate, InterpMethod};
+use verro_vision::keyframe::extract_key_frames;
+
+fn ablate_optimizer(c: &mut Criterion) {
+    let counts: Vec<f64> = (0..64).map(|k| ((k * 7) % 13) as f64).collect();
+    let mut group = c.benchmark_group("ablate_optimizer");
+    for (name, strategy, form) in [
+        ("lp_full", OptimizerStrategy::LpRounding, ObjectiveForm::FullDistortion),
+        ("lp_eq9", OptimizerStrategy::LpRounding, ObjectiveForm::PaperEq9),
+        ("exact_full", OptimizerStrategy::Exact, ObjectiveForm::FullDistortion),
+        ("all", OptimizerStrategy::AllKeyFrames, ObjectiveForm::FullDistortion),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                pick_from_counts(black_box(&counts), 12, 0.3, strategy, form, 2).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_naive_vs_phase1(c: &mut Criterion) {
+    let video = bench_video();
+    let matrix = PresenceMatrix::from_annotations(video.annotations());
+    let cfg = eval_config(0.5, 0);
+    let kf = extract_key_frames(&video, &cfg.keyframe);
+    let mut group = c.benchmark_group("ablate_naive_vs_phase1");
+    group.bench_function("naive_algorithm1", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| randomize_naive(black_box(&matrix), 5.0, &mut rng))
+    });
+    group.bench_function("phase1_optimized", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| run_phase1(black_box(video.annotations()), &kf, &cfg, &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+fn ablate_interpolation(c: &mut Criterion) {
+    let knots: Vec<(usize, verro_video::geometry::Point)> = (0..20)
+        .map(|i| {
+            (
+                i * 9,
+                verro_video::geometry::Point::new(i as f64 * 11.0, 50.0 + (i % 4) as f64 * 13.0),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablate_interp");
+    for (name, method) in [
+        ("lagrange4", InterpMethod::Lagrange { window: 4 }),
+        ("lagrange8", InterpMethod::Lagrange { window: 8 }),
+        ("linear", InterpMethod::Linear),
+        ("nearest", InterpMethod::Nearest),
+    ] {
+        group.bench_function(name, |b| b.iter(|| interpolate(black_box(&knots), method)));
+    }
+    group.finish();
+}
+
+fn ablate_background(c: &mut Criterion) {
+    let video = bench_video();
+    let cfg_median = {
+        let mut c = eval_config(0.1, 0);
+        c.background = BackgroundMode::TemporalMedian;
+        c
+    };
+    let cfg_inpaint = {
+        let mut c = eval_config(0.1, 0);
+        c.background = BackgroundMode::KeyFrameInpaint;
+        c
+    };
+    let kf = extract_key_frames(&video, &cfg_median.keyframe);
+    let mut group = c.benchmark_group("ablate_background");
+    group.sample_size(10);
+    group.bench_function("temporal_median", |b| {
+        b.iter(|| build_backgrounds(black_box(&video), video.annotations(), &kf, &cfg_median))
+    });
+    group.bench_function("keyframe_inpaint", |b| {
+        b.iter(|| build_backgrounds(black_box(&video), video.annotations(), &kf, &cfg_inpaint))
+    });
+    group.finish();
+}
+
+fn ablate_optimizer_noise(c: &mut Criterion) {
+    let video = bench_video();
+    let cfg_base = eval_config(0.3, 0);
+    let kf = extract_key_frames(&video, &cfg_base.keyframe);
+    let mut group = c.benchmark_group("ablate_opt_noise");
+    for eps in [None, Some(0.1), Some(1.0), Some(10.0)] {
+        let mut cfg = cfg_base.clone();
+        cfg.optimizer_noise_epsilon = eps;
+        let label = eps.map_or("off".to_string(), |e| format!("eps{e}"));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| run_phase1(black_box(video.annotations()), &kf, cfg, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_optimizer,
+    ablate_naive_vs_phase1,
+    ablate_interpolation,
+    ablate_background,
+    ablate_optimizer_noise
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! End-to-end sanitization benchmarks — the Table 3 runtime profile on a
+//! bench-scale clip, across the flip-probability sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use verro_bench::presets::{bench_video, eval_config};
+use verro_core::Verro;
+use verro_video::codec::encode_video;
+use verro_video::source::{FrameSource, InMemoryVideo};
+
+fn bench_sanitize(c: &mut Criterion) {
+    let video = bench_video();
+    let mut group = c.benchmark_group("sanitize_e2e");
+    group.sample_size(10);
+    for f in [0.1, 0.5, 0.9] {
+        group.bench_with_input(BenchmarkId::new("f", format!("{f}")), &f, |b, &f| {
+            let verro = Verro::new(eval_config(f, 0)).unwrap();
+            b.iter(|| {
+                verro
+                    .sanitize(black_box(&video), video.annotations())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_render_encode(c: &mut Criterion) {
+    // The publish step: render all frames of V* and encode them.
+    let video = bench_video();
+    let verro = Verro::new(eval_config(0.1, 0)).unwrap();
+    let result = verro.sanitize(&video, video.annotations()).unwrap();
+    let mut group = c.benchmark_group("publish");
+    group.sample_size(10);
+    group.bench_function("render_and_encode", |b| {
+        b.iter(|| {
+            let clip = InMemoryVideo::new(
+                (0..result.video.num_frames())
+                    .map(|k| result.video.frame(k))
+                    .collect(),
+                result.video.fps(),
+            );
+            encode_video(black_box(&clip))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sanitize, bench_render_encode);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmarks for Algorithm 2 (segmentation + key-frame extraction) — the
+//! preprocessing cost behind Table 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use verro_bench::presets::bench_video;
+use verro_video::source::FrameSource;
+use verro_vision::histogram::{HsvBins, HsvHistogram};
+use verro_vision::keyframe::{extract_key_frames, segment_histograms, KeyFrameConfig};
+
+fn bench_histogram(c: &mut Criterion) {
+    let video = bench_video();
+    let frame = video.frame(10);
+    let mut group = c.benchmark_group("hsv_histogram");
+    for bins in [HsvBins::new(8, 4, 4), HsvBins::default(), HsvBins::new(32, 16, 16)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}x{}", bins.h, bins.s, bins.v)),
+            &bins,
+            |b, &bins| b.iter(|| HsvHistogram::of(black_box(&frame), bins)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let video = bench_video();
+    let mut group = c.benchmark_group("keyframe_extraction");
+    group.sample_size(10);
+    for stride in [1usize, 2, 4] {
+        let mut cfg = KeyFrameConfig::default();
+        cfg.stride = stride;
+        group.bench_with_input(BenchmarkId::new("stride", stride), &cfg, |b, cfg| {
+            b.iter(|| extract_key_frames(black_box(&video), cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_segmentation_only(c: &mut Criterion) {
+    // Isolate the clustering pass from histogram computation.
+    let video = bench_video();
+    let cfg = KeyFrameConfig::default();
+    let frames: Vec<usize> = (0..video.num_frames()).collect();
+    let histograms: Vec<HsvHistogram> = frames
+        .iter()
+        .map(|&k| HsvHistogram::of(&video.frame(k), cfg.bins))
+        .collect();
+    c.bench_function("segmentation_pass", |b| {
+        b.iter(|| segment_histograms(black_box(&frames), black_box(&histograms), &cfg))
+    });
+}
+
+criterion_group!(benches, bench_histogram, bench_extraction, bench_segmentation_only);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Benchmarks for Phase I: presence extraction, the Equation 9 optimizer,
+//! and randomized response — the "Phase I (Sec)" column of Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use verro_bench::presets::{bench_video, eval_config};
+use verro_core::config::OptimizerStrategy;
+use verro_core::optimize::{pick_from_counts, ObjectiveForm};
+use verro_core::phase1::run_phase1;
+use verro_core::presence::PresenceMatrix;
+use verro_ldp::bitvec::BitVec;
+use verro_ldp::rr::{randomize_budget, randomize_flip};
+use verro_vision::keyframe::extract_key_frames;
+
+fn bench_presence_matrix(c: &mut Criterion) {
+    let video = bench_video();
+    c.bench_function("presence_matrix_build", |b| {
+        b.iter(|| PresenceMatrix::from_annotations(black_box(video.annotations())))
+    });
+}
+
+fn bench_randomized_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomized_response");
+    for bits in [64usize, 512, 4096] {
+        let mut v = BitVec::zeros(bits);
+        for i in (0..bits).step_by(7) {
+            v.set(i, true);
+        }
+        group.bench_with_input(BenchmarkId::new("flip_f0.3", bits), &v, |b, v| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| randomize_flip(black_box(v), 0.3, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("budget_eps3", bits), &v, |b, v| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| randomize_budget(black_box(v), 3.0, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_picking");
+    for ell in [16usize, 64, 256] {
+        let counts: Vec<f64> = (0..ell).map(|k| ((k * 13) % 11) as f64).collect();
+        for strategy in [OptimizerStrategy::LpRounding, OptimizerStrategy::Exact] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), ell),
+                &counts,
+                |b, counts| {
+                    b.iter(|| {
+                        pick_from_counts(
+                            black_box(counts),
+                            12,
+                            0.2,
+                            strategy,
+                            ObjectiveForm::FullDistortion,
+                            2,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_phase1_end_to_end(c: &mut Criterion) {
+    let video = bench_video();
+    let cfg = eval_config(0.1, 0);
+    let kf = extract_key_frames(&video, &cfg.keyframe);
+    c.bench_function("phase1_full", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| run_phase1(black_box(video.annotations()), &kf, &cfg, &mut rng).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_presence_matrix,
+    bench_randomized_response,
+    bench_optimizer,
+    bench_phase1_end_to_end
+);
+criterion_main!(benches);

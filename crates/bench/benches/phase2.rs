@@ -1,0 +1,74 @@
+//! Benchmarks for Phase II: coordinate assignment, interpolation, and
+//! synthetic frame rendering — the "Phase II (Sec)" column of Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use verro_bench::presets::{bench_video, eval_config};
+use verro_core::phase1::run_phase1;
+use verro_core::phase2::run_phase2;
+use verro_core::synthesis::{build_backgrounds, SyntheticVideo};
+use verro_video::geometry::Point;
+use verro_video::source::FrameSource;
+use verro_vision::interp::{interpolate, InterpMethod};
+use verro_vision::keyframe::extract_key_frames;
+
+fn bench_interpolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpolation");
+    for knots in [4usize, 16, 64] {
+        let series: Vec<(usize, Point)> = (0..knots)
+            .map(|i| (i * 10, Point::new(i as f64 * 7.0, (i % 5) as f64 * 11.0)))
+            .collect();
+        for method in [
+            InterpMethod::Lagrange { window: 4 },
+            InterpMethod::Linear,
+            InterpMethod::Nearest,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{method:?}"), knots),
+                &series,
+                |b, series| b.iter(|| interpolate(black_box(series), method)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_phase2_full(c: &mut Criterion) {
+    let video = bench_video();
+    let cfg = eval_config(0.1, 0);
+    let kf = extract_key_frames(&video, &cfg.keyframe);
+    let mut rng = StdRng::seed_from_u64(1);
+    let p1 = run_phase1(video.annotations(), &kf, &cfg, &mut rng).unwrap();
+    c.bench_function("phase2_full", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            run_phase2(
+                black_box(&p1),
+                video.annotations(),
+                &kf,
+                video.frame_size(),
+                &cfg,
+                &mut rng,
+            )
+        })
+    });
+}
+
+fn bench_frame_render(c: &mut Criterion) {
+    let video = bench_video();
+    let cfg = eval_config(0.1, 0);
+    let kf = extract_key_frames(&video, &cfg.keyframe);
+    let mut rng = StdRng::seed_from_u64(3);
+    let p1 = run_phase1(video.annotations(), &kf, &cfg, &mut rng).unwrap();
+    let p2 = run_phase2(&p1, video.annotations(), &kf, video.frame_size(), &cfg, &mut rng);
+    let backgrounds = build_backgrounds(&video, video.annotations(), &kf, &cfg);
+    let synth = SyntheticVideo::new(video.frame_size(), video.fps(), backgrounds, p2.synthetic);
+    c.bench_function("synthetic_frame_render", |b| {
+        b.iter(|| synth.frame(black_box(45)))
+    });
+}
+
+criterion_group!(benches, bench_interpolation, bench_phase2_full, bench_frame_render);
+criterion_main!(benches);

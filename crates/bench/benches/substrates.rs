@@ -1,0 +1,140 @@
+//! Substrate micro-benchmarks: Hungarian assignment, Kalman filtering,
+//! detection, inpainting, the LDP primitives, and the codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use verro_bench::presets::bench_video;
+use verro_ldp::laplace::sample_laplace;
+use verro_ldp::rappor::{RapporClient, RapporConfig};
+use verro_video::codec::encode_video;
+use verro_video::geometry::{BBox, Point};
+use verro_video::source::{FrameSource, InMemoryVideo};
+use verro_vision::bgmodel::{median_background, BackgroundConfig};
+use verro_vision::detect::{detect, DetectorConfig};
+use verro_vision::inpaint::{inpaint, InpaintConfig, Mask};
+use verro_vision::track::hungarian::hungarian;
+use verro_vision::track::kalman::Kalman2D;
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for n in [8usize, 32, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..100.0)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, cost| {
+            b.iter(|| hungarian(black_box(cost)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kalman(c: &mut Criterion) {
+    c.bench_function("kalman_predict_update", |b| {
+        let mut kf = Kalman2D::new(Point::new(0.0, 0.0), 0.5, 1.0);
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 1.0;
+            kf.predict(1.0);
+            kf.update(Point::new(2.0 * t, -t));
+            black_box(kf.position())
+        })
+    });
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let video = bench_video();
+    let bg = median_background(&video, 0, video.num_frames() - 1, &BackgroundConfig::default());
+    let frame = video.frame(40);
+    c.bench_function("detect_frame", |b| {
+        b.iter(|| detect(black_box(&frame), &bg, &DetectorConfig::default()))
+    });
+}
+
+fn bench_background_model(c: &mut Criterion) {
+    let video = bench_video();
+    let mut group = c.benchmark_group("median_background");
+    group.sample_size(10);
+    for samples in [9usize, 25] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(samples),
+            &samples,
+            |b, &samples| {
+                b.iter(|| {
+                    median_background(
+                        black_box(&video),
+                        0,
+                        video.num_frames() - 1,
+                        &BackgroundConfig {
+                            max_samples: samples,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_inpaint(c: &mut Criterion) {
+    let video = bench_video();
+    let frame = video.frame(40);
+    let mut group = c.benchmark_group("inpaint");
+    group.sample_size(10);
+    for hole in [8.0f64, 16.0] {
+        let mask = Mask::from_boxes(
+            frame.width(),
+            frame.height(),
+            &[BBox::new(100.0, 80.0, hole, hole * 2.0)],
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exemplar", format!("{hole}px")),
+            &mask,
+            |b, mask| {
+                b.iter(|| {
+                    let mut img = frame.clone();
+                    inpaint(&mut img, black_box(mask), &InpaintConfig::default());
+                    img
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ldp_primitives(c: &mut Criterion) {
+    c.bench_function("laplace_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| sample_laplace(black_box(2.0), &mut rng))
+    });
+    c.bench_function("rappor_report", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let client = RapporClient::new(b"value", RapporConfig::default(), &mut rng);
+        b.iter(|| client.report(&mut rng))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let video = bench_video();
+    let clip = InMemoryVideo::new((0..20).map(|k| video.frame(k)).collect(), video.fps());
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(10);
+    group.bench_function("encode_20_frames", |b| {
+        b.iter(|| encode_video(black_box(&clip)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hungarian,
+    bench_kalman,
+    bench_detection,
+    bench_background_model,
+    bench_inpaint,
+    bench_ldp_primitives,
+    bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,687 @@
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section 6) on the three simulated MOT16 videos.
+//!
+//! ```sh
+//! cargo run -p verro-bench --bin report --release -- --all
+//! # or individual artifacts:
+//! cargo run -p verro-bench --bin report --release -- --table2 --fig5-counts
+//! ```
+//!
+//! Output: human-readable tables on stdout plus CSV/PPM/JSON artifacts
+//! under `results/`.
+
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+use verro_bench::presets::{eval_config, eval_video, F_SWEEP};
+use verro_core::metrics::{trajectory_deviation, trajectory_deviation_absolute, trajectory_series};
+use verro_core::phase1::run_phase1;
+use verro_core::phase2::run_phase2;
+use verro_core::synthesis::reconstruct_background;
+use verro_core::Verro;
+use verro_video::codec::encode_video;
+use verro_video::generator::{GeneratedVideo, MotPreset};
+use verro_video::source::{FrameSource, InMemoryVideo};
+use verro_video::stats::VideoCharacteristics;
+use verro_vision::inpaint::InpaintConfig;
+use verro_vision::keyframe::{extract_key_frames, KeyFrameResult};
+
+const RESULTS_DIR: &str = "results";
+/// Trials averaged for the stochastic series.
+const TRIALS: u64 = 5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "--all");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    fs::create_dir_all(RESULTS_DIR).expect("create results dir");
+
+    println!("== VERRO evaluation report (simulated MOT16 presets) ==\n");
+    let t0 = Instant::now();
+
+    // Generate the three videos once; key frames once per video.
+    let videos: Vec<(MotPreset, GeneratedVideo)> = MotPreset::ALL
+        .iter()
+        .map(|&p| {
+            let v = eval_video(p);
+            println!(
+                "generated {}: {} frames, {} objects, raster {}",
+                v.spec().name,
+                v.spec().num_frames,
+                v.annotations().num_objects(),
+                v.spec().raster_size()
+            );
+            (p, v)
+        })
+        .collect();
+
+    let keyframes: Vec<KeyFrameResult> = videos
+        .iter()
+        .map(|(_, v)| {
+            let t = Instant::now();
+            let kf = extract_key_frames(v, &eval_config(0.1, 0).keyframe);
+            println!(
+                "key frames for {}: {} segments in {:.1?}",
+                v.spec().name,
+                kf.num_key_frames(),
+                t.elapsed()
+            );
+            kf
+        })
+        .collect();
+    println!();
+
+    let mut report = serde_json::Map::new();
+
+    if want("--table1") {
+        report.insert("table1".into(), table1(&videos));
+    }
+    if want("--table2") {
+        report.insert("table2".into(), table2(&videos, &keyframes));
+    }
+    if want("--fig5-counts") {
+        report.insert("fig5_counts".into(), fig5_counts(&videos, &keyframes));
+    }
+    if want("--fig5-deviation") {
+        report.insert("fig5_deviation".into(), fig5_deviation(&videos, &keyframes));
+    }
+    if want("--fig678") {
+        report.insert("fig678".into(), fig678(&videos, &keyframes));
+    }
+    if want("--fig91011") {
+        report.insert("fig91011".into(), fig91011(&videos, &keyframes));
+    }
+    if want("--fig12") {
+        report.insert("fig12".into(), fig12(&videos, &keyframes));
+    }
+    if want("--fig13") {
+        report.insert("fig13".into(), fig13(&videos, &keyframes));
+    }
+    if want("--table3") {
+        report.insert("table3".into(), table3(&videos));
+    }
+    if want("--ablate") {
+        report.insert("ablations".into(), ablations(&videos, &keyframes));
+    }
+
+    let json = serde_json::to_string_pretty(&serde_json::Value::Object(report))
+        .expect("serialize report");
+    fs::write(Path::new(RESULTS_DIR).join("report.json"), json).expect("write report.json");
+    println!("\nwrote results/report.json  (total {:.1?})", t0.elapsed());
+}
+
+fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let mut out = String::from(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    fs::write(Path::new(RESULTS_DIR).join(name), out).expect("write csv");
+    println!("  -> results/{name}");
+}
+
+// ---------------------------------------------------------------- Table 1
+
+fn table1(videos: &[(MotPreset, GeneratedVideo)]) -> serde_json::Value {
+    println!("-- Table 1: characteristics of experimental videos --");
+    println!(
+        "{:<8} {:>11} {:>8} {:>8} {:>8}",
+        "Video", "Resolution", "Frames", "Objects", "Camera"
+    );
+    let mut rows = Vec::new();
+    for (_, v) in videos {
+        let c = VideoCharacteristics::of(v);
+        println!(
+            "{:<8} {:>11} {:>8} {:>8} {:>8}",
+            c.name, c.resolution, c.num_frames, c.num_objects, c.camera
+        );
+        rows.push(c);
+    }
+    println!();
+    serde_json::to_value(rows).expect("serialize")
+}
+
+// ---------------------------------------------------------------- Table 2
+
+#[derive(Serialize)]
+struct Table2Row {
+    video: String,
+    frames: usize,
+    objects: usize,
+    key_frames: usize,
+    remaining: usize,
+}
+
+fn table2(
+    videos: &[(MotPreset, GeneratedVideo)],
+    keyframes: &[KeyFrameResult],
+) -> serde_json::Value {
+    println!("-- Table 2: distinct objects after key frame extraction --");
+    println!(
+        "{:<8} {:>8} {:>8} {:>11} {:>10}",
+        "Video", "Frames", "Objects", "KeyFrames", "Remaining"
+    );
+    let mut rows = Vec::new();
+    for ((_, v), kf) in videos.iter().zip(keyframes) {
+        let remaining = v
+            .annotations()
+            .distinct_objects_in_frames(&kf.key_frames())
+            .len();
+        let row = Table2Row {
+            video: v.spec().name.clone(),
+            frames: v.spec().num_frames,
+            objects: v.annotations().num_objects(),
+            key_frames: kf.num_key_frames(),
+            remaining,
+        };
+        println!(
+            "{:<8} {:>8} {:>8} {:>11} {:>10}",
+            row.video, row.frames, row.objects, row.key_frames, row.remaining
+        );
+        rows.push(row);
+    }
+    println!();
+    serde_json::to_value(rows).expect("serialize")
+}
+
+// ------------------------------------------------------- Figure 5 (a,c,e)
+
+#[derive(Serialize)]
+struct Fig5CountRow {
+    video: String,
+    f: f64,
+    original: usize,
+    after_opt: f64,
+    after_rr: f64,
+    epsilon: f64,
+}
+
+fn fig5_counts(
+    videos: &[(MotPreset, GeneratedVideo)],
+    keyframes: &[KeyFrameResult],
+) -> serde_json::Value {
+    println!("-- Figure 5(a,c,e): count of distinct objects (original / OPT / RR) --");
+    let mut rows = Vec::new();
+    for ((_, v), kf) in videos.iter().zip(keyframes) {
+        let n = v.annotations().num_objects();
+        println!("{} (n = {n}):  f |  OPT  |  RR   | eps", v.spec().name);
+        let mut csv = Vec::new();
+        for &f in &F_SWEEP {
+            let mut opt_sum = 0.0;
+            let mut rr_sum = 0.0;
+            let mut eps_sum = 0.0;
+            for trial in 0..TRIALS {
+                let cfg = eval_config(f, trial);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(trial * 7919 + 13);
+                let p1 = run_phase1(v.annotations(), kf, &cfg, &mut rng).expect("phase1");
+                opt_sum += p1.original.distinct_present() as f64;
+                rr_sum += p1.retained_rows().len() as f64;
+                eps_sum += p1.epsilon;
+            }
+            let t = TRIALS as f64;
+            let row = Fig5CountRow {
+                video: v.spec().name.clone(),
+                f,
+                original: n,
+                after_opt: opt_sum / t,
+                after_rr: rr_sum / t,
+                epsilon: eps_sum / t,
+            };
+            println!(
+                "    {:>4.1} | {:>5.1} | {:>5.1} | {:>7.2}",
+                f, row.after_opt, row.after_rr, row.epsilon
+            );
+            csv.push(format!(
+                "{},{},{},{},{},{}",
+                row.video, row.f, row.original, row.after_opt, row.after_rr, row.epsilon
+            ));
+            rows.push(row);
+        }
+        write_csv(
+            &format!("fig5_counts_{}.csv", v.spec().name.to_lowercase()),
+            "video,f,original,after_opt,after_rr,epsilon",
+            &csv,
+        );
+    }
+    println!();
+    serde_json::to_value(rows).expect("serialize")
+}
+
+// ------------------------------------------------------- Figure 5 (b,d,f)
+
+#[derive(Serialize)]
+struct Fig5DevRow {
+    video: String,
+    f: f64,
+    deviation_before: f64,
+    deviation_after: f64,
+    deviation_after_abs: f64,
+}
+
+fn fig5_deviation(
+    videos: &[(MotPreset, GeneratedVideo)],
+    keyframes: &[KeyFrameResult],
+) -> serde_json::Value {
+    println!("-- Figure 5(b,d,f): trajectory deviation before/after Phase II --");
+    let mut rows = Vec::new();
+    for ((_, v), kf) in videos.iter().zip(keyframes) {
+        println!("{}:  f | before | after (signed, paper metric)", v.spec().name);
+        let mut csv = Vec::new();
+        for &f in &F_SWEEP {
+            let mut before_sum = 0.0;
+            let mut after_sum = 0.0;
+            let mut after_abs_sum = 0.0;
+            for trial in 0..TRIALS {
+                let cfg = eval_config(f, trial);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(trial * 104_729 + 7);
+                let p1 = run_phase1(v.annotations(), kf, &cfg, &mut rng).expect("phase1");
+                let p2 = run_phase2(
+                    &p1,
+                    v.annotations(),
+                    kf,
+                    v.spec().raster_size(),
+                    &cfg,
+                    &mut rng,
+                );
+                before_sum += trajectory_deviation(v.annotations(), &p2.knots, &p2.mapping);
+                after_sum += trajectory_deviation(v.annotations(), &p2.synthetic, &p2.mapping);
+                after_abs_sum +=
+                    trajectory_deviation_absolute(v.annotations(), &p2.synthetic, &p2.mapping);
+            }
+            let t = TRIALS as f64;
+            let row = Fig5DevRow {
+                video: v.spec().name.clone(),
+                f,
+                deviation_before: before_sum / t,
+                deviation_after: after_sum / t,
+                deviation_after_abs: after_abs_sum / t,
+            };
+            println!(
+                "    {:>4.1} | {:>6.3} | {:>6.3} | (abs {:>5.3})",
+                f, row.deviation_before, row.deviation_after, row.deviation_after_abs
+            );
+            csv.push(format!(
+                "{},{},{},{},{}",
+                row.video, row.f, row.deviation_before, row.deviation_after, row.deviation_after_abs
+            ));
+            rows.push(row);
+        }
+        write_csv(
+            &format!("fig5_deviation_{}.csv", v.spec().name.to_lowercase()),
+            "video,f,deviation_before,deviation_after,deviation_after_abs",
+            &csv,
+        );
+    }
+    println!();
+    serde_json::to_value(rows).expect("serialize")
+}
+
+// ---------------------------------------------------------- Figures 6–8
+
+fn fig678(
+    videos: &[(MotPreset, GeneratedVideo)],
+    keyframes: &[KeyFrameResult],
+) -> serde_json::Value {
+    println!("-- Figures 6-8: trajectories of two randomly selected objects --");
+    let mut summary = Vec::new();
+    for ((_, v), kf) in videos.iter().zip(keyframes) {
+        for &f in &[0.1, 0.9] {
+            let cfg = eval_config(f, 1);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2021);
+            let p1 = run_phase1(v.annotations(), kf, &cfg, &mut rng).expect("phase1");
+            let p2 = run_phase2(
+                &p1,
+                v.annotations(),
+                kf,
+                v.spec().raster_size(),
+                &cfg,
+                &mut rng,
+            );
+            // First two retained original objects (deterministic stand-in
+            // for the paper's "randomly selected" pair).
+            let mut csv = Vec::new();
+            for (orig, synth) in p2.mapping.iter().take(2) {
+                let orig_series = trajectory_series(v.annotations(), *orig);
+                let synth_series = trajectory_series(&p2.synthetic, *synth);
+                for (frame, x, y) in &orig_series {
+                    csv.push(format!("{},original,{frame},{x:.2},{y:.2}", orig.0));
+                }
+                for (frame, x, y) in &synth_series {
+                    csv.push(format!("{},synthetic,{frame},{x:.2},{y:.2}", orig.0));
+                }
+                summary.push(serde_json::json!({
+                    "video": v.spec().name,
+                    "f": f,
+                    "object": orig.0,
+                    "original_frames": orig_series.len(),
+                    "synthetic_frames": synth_series.len(),
+                }));
+            }
+            write_csv(
+                &format!(
+                    "fig678_{}_f{}.csv",
+                    v.spec().name.to_lowercase(),
+                    (f * 10.0) as u32
+                ),
+                "object,kind,frame,x,y",
+                &csv,
+            );
+        }
+    }
+    println!();
+    serde_json::Value::Array(summary)
+}
+
+// -------------------------------------------------------- Figures 9–11
+
+fn fig91011(
+    videos: &[(MotPreset, GeneratedVideo)],
+    keyframes: &[KeyFrameResult],
+) -> serde_json::Value {
+    println!("-- Figures 9-11: representative frames and synthetic frames --");
+    let mut summary = Vec::new();
+    for ((_, v), kf) in videos.iter().zip(keyframes) {
+        // A populated key frame makes the most informative figure.
+        let frame_idx = kf
+            .key_frames()
+            .into_iter()
+            .max_by_key(|&k| v.annotations().count_in_frame(k))
+            .unwrap_or(0);
+        let name = v.spec().name.to_lowercase();
+        let input = v.frame(frame_idx);
+        fs::write(
+            Path::new(RESULTS_DIR).join(format!("fig_{name}_input.ppm")),
+            input.to_ppm(),
+        )
+        .expect("write input frame");
+
+        // Background scene via the paper's inpainting method.
+        let boxes: Vec<_> = v
+            .annotations()
+            .in_frame(frame_idx)
+            .into_iter()
+            .map(|(_, b)| b)
+            .collect();
+        let background = reconstruct_background(&input, &boxes, &InpaintConfig::default());
+        fs::write(
+            Path::new(RESULTS_DIR).join(format!("fig_{name}_background.ppm")),
+            background.to_ppm(),
+        )
+        .expect("write background");
+
+        for &f in &[0.1, 0.9] {
+            let verro = Verro::new(eval_config(f, 3)).expect("config");
+            let result = verro.sanitize(v, v.annotations()).expect("sanitize");
+            let synth_frame = result.video.frame(frame_idx);
+            fs::write(
+                Path::new(RESULTS_DIR).join(format!(
+                    "fig_{name}_synthetic_f{}.ppm",
+                    (f * 10.0) as u32
+                )),
+                synth_frame.to_ppm(),
+            )
+            .expect("write synthetic frame");
+        }
+        println!(
+            "  {}: frame {frame_idx} -> results/fig_{name}_{{input,background,synthetic_f1,synthetic_f9}}.ppm",
+            v.spec().name
+        );
+        summary.push(serde_json::json!({
+            "video": v.spec().name,
+            "frame": frame_idx,
+            "objects_in_frame": v.annotations().count_in_frame(frame_idx),
+        }));
+    }
+    println!();
+    serde_json::Value::Array(summary)
+}
+
+// ------------------------------------------------------------- Figure 12
+
+fn fig12(
+    videos: &[(MotPreset, GeneratedVideo)],
+    keyframes: &[KeyFrameResult],
+) -> serde_json::Value {
+    println!("-- Figure 12: object counts in the optimized key frames --");
+    let mut summary = Vec::new();
+    for ((_, v), kf) in videos.iter().zip(keyframes) {
+        let mut csv = Vec::new();
+        let mut maes: BTreeMap<String, f64> = BTreeMap::new();
+        for &f in &[0.1, 0.9] {
+            let cfg = eval_config(f, 2);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(333);
+            let p1 = run_phase1(v.annotations(), kf, &cfg, &mut rng).expect("phase1");
+            let mut mae = 0.0;
+            for (j, &g) in p1.picked_frames.iter().enumerate() {
+                let original = p1.original.column_count(j);
+                let randomized = p1.randomized.column_count(j);
+                mae += (original as f64 - randomized as f64).abs();
+                csv.push(format!("{f},{g},{original},{randomized}"));
+            }
+            mae /= p1.num_picked().max(1) as f64;
+            maes.insert(format!("{f}"), mae);
+            println!(
+                "  {} f={f}: {} picked key frames, key-frame count MAE {mae:.2}",
+                v.spec().name,
+                p1.num_picked()
+            );
+        }
+        write_csv(
+            &format!("fig12_{}.csv", v.spec().name.to_lowercase()),
+            "f,frame,original_count,randomized_count",
+            &csv,
+        );
+        summary.push(serde_json::json!({
+            "video": v.spec().name,
+            "mae_by_f": maes,
+        }));
+    }
+    println!();
+    serde_json::Value::Array(summary)
+}
+
+// ------------------------------------------------------------- Figure 13
+
+fn fig13(
+    videos: &[(MotPreset, GeneratedVideo)],
+    keyframes: &[KeyFrameResult],
+) -> serde_json::Value {
+    println!("-- Figure 13: object counts in the synthetic videos (per frame) --");
+    let mut summary = Vec::new();
+    for ((_, v), kf) in videos.iter().zip(keyframes) {
+        let original = v.annotations().per_frame_counts();
+        let mut csv = Vec::new();
+        let mut maes: BTreeMap<String, f64> = BTreeMap::new();
+        for &f in &[0.1, 0.9] {
+            let cfg = eval_config(f, 4);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(444);
+            let p1 = run_phase1(v.annotations(), kf, &cfg, &mut rng).expect("phase1");
+            let p2 = run_phase2(
+                &p1,
+                v.annotations(),
+                kf,
+                v.spec().raster_size(),
+                &cfg,
+                &mut rng,
+            );
+            let synth = p2.synthetic.per_frame_counts();
+            let mae: f64 = original
+                .iter()
+                .zip(&synth)
+                .map(|(a, b)| (*a as f64 - *b as f64).abs())
+                .sum::<f64>()
+                / original.len() as f64;
+            for (k, (o, s)) in original.iter().zip(&synth).enumerate() {
+                csv.push(format!("{f},{k},{o},{s}"));
+            }
+            maes.insert(format!("{f}"), mae);
+            println!("  {} f={f}: per-frame count MAE {mae:.2}", v.spec().name);
+        }
+        write_csv(
+            &format!("fig13_{}.csv", v.spec().name.to_lowercase()),
+            "f,frame,original_count,synthetic_count",
+            &csv,
+        );
+        summary.push(serde_json::json!({
+            "video": v.spec().name,
+            "mae_by_f": maes,
+        }));
+    }
+    println!();
+    serde_json::Value::Array(summary)
+}
+
+// --------------------------------------------------------------- Table 3
+
+#[derive(Serialize)]
+struct Table3Row {
+    video: String,
+    phase1_secs: f64,
+    phase2_secs: f64,
+    render_encode_secs: f64,
+    bandwidth_mb: f64,
+    raw_mb: f64,
+    epsilon: f64,
+}
+
+fn table3(videos: &[(MotPreset, GeneratedVideo)]) -> serde_json::Value {
+    println!("-- Table 3: computational and communication overheads --");
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>14} {:>10}",
+        "Video", "PhaseI(s)", "PhaseII(s)", "Render+Enc(s)", "Bandwidth(MB)", "Raw(MB)"
+    );
+    let mut rows = Vec::new();
+    for (_, v) in videos {
+        let verro = Verro::new(eval_config(0.1, 5)).expect("config");
+        let result = verro.sanitize(v, v.annotations()).expect("sanitize");
+
+        // Render every frame of V* and encode it — the shipped artifact.
+        let t = Instant::now();
+        let clip = InMemoryVideo::new(
+            (0..result.video.num_frames())
+                .map(|k| result.video.frame(k))
+                .collect(),
+            result.video.fps(),
+        );
+        let encoded = encode_video(&clip);
+        let render_encode_secs = t.elapsed().as_secs_f64();
+        let bandwidth_mb = encoded.byte_len() as f64 / 1_048_576.0;
+        let raw_mb = clip.raw_byte_len() as f64 / 1_048_576.0;
+
+        let row = Table3Row {
+            video: v.spec().name.clone(),
+            phase1_secs: result.timings.phase1.as_secs_f64(),
+            phase2_secs: result.timings.phase2.as_secs_f64(),
+            render_encode_secs,
+            bandwidth_mb,
+            raw_mb,
+            epsilon: result.privacy.epsilon_rr,
+        };
+        println!(
+            "{:<8} {:>12.3} {:>12.3} {:>14.2} {:>14.2} {:>10.2}",
+            row.video,
+            row.phase1_secs,
+            row.phase2_secs,
+            row.render_encode_secs,
+            row.bandwidth_mb,
+            row.raw_mb
+        );
+        rows.push(row);
+    }
+    println!();
+    serde_json::to_value(rows).expect("serialize")
+}
+
+// -------------------------------------------------------------- Ablations
+
+/// Utility ablations for the design decisions in DESIGN.md §6: objective
+/// form, overshoot policy, interpolation order, and count correction —
+/// evaluated on the video where each matters most.
+fn ablations(
+    videos: &[(MotPreset, GeneratedVideo)],
+    keyframes: &[KeyFrameResult],
+) -> serde_json::Value {
+    use verro_core::config::{OvershootPolicy, VerroConfig};
+    use verro_core::metrics::count_mae;
+    use verro_core::optimize::ObjectiveForm;
+    use verro_vision::interp::InterpMethod;
+
+    println!("-- Ablations (utility effect of DESIGN.md §6 decisions) --");
+    let mut out = Vec::new();
+    let mut run = |label: &str, video_idx: usize, f: f64, cfg: VerroConfig| {
+        let (_, v) = &videos[video_idx];
+        let kf = &keyframes[video_idx];
+        let mut dev = 0.0;
+        let mut mae = 0.0;
+        let mut picked = 0.0;
+        let mut retained = 0.0;
+        for trial in 0..TRIALS {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(trial * 17 + 3);
+            let p1 = run_phase1(v.annotations(), kf, &cfg, &mut rng).expect("phase1");
+            let p2 = run_phase2(
+                &p1,
+                v.annotations(),
+                kf,
+                v.spec().raster_size(),
+                &cfg,
+                &mut rng,
+            );
+            dev += trajectory_deviation(v.annotations(), &p2.synthetic, &p2.mapping);
+            mae += count_mae(v.annotations(), &p2.synthetic);
+            picked += p1.num_picked() as f64;
+            retained += p2.synthetic.num_objects() as f64;
+        }
+        let t = TRIALS as f64;
+        println!(
+            "  {:<34} [{} f={f}]: picked {:>5.1}, retained {:>6.1}, deviation {:.3}, count MAE {:>6.2}",
+            label,
+            v.spec().name,
+            picked / t,
+            retained / t,
+            dev / t,
+            mae / t
+        );
+        out.push(serde_json::json!({
+            "ablation": label, "video": v.spec().name, "f": f,
+            "picked": picked / t, "retained": retained / t,
+            "deviation": dev / t, "count_mae": mae / t,
+        }));
+    };
+
+    // Objective form on the sparse video (MOT06, index 2) at low f, where
+    // the corrected objective picks ~23 frames and the literal one picks 2.
+    let base = |f: f64| eval_config(f, 0);
+    run("objective=FullDistortion (default)", 2, 0.1, base(0.1));
+    let mut cfg = base(0.1);
+    cfg.objective = ObjectiveForm::PaperEq9;
+    run("objective=PaperEq9 (literal)", 2, 0.1, cfg);
+
+    // Count correction on MOT06 at low f (spurious-presence inflation).
+    run("count_correction=off (paper)", 2, 0.1, base(0.1));
+    let mut cfg = base(0.1);
+    cfg.count_correction = true;
+    run("count_correction=on (extension)", 2, 0.1, cfg);
+
+    // Overshoot policy on MOT03 (index 1).
+    run("overshoot=Suppress (paper)", 1, 0.5, base(0.5));
+    let mut cfg = base(0.5);
+    cfg.overshoot = OvershootPolicy::Clamp;
+    run("overshoot=Clamp", 1, 0.5, cfg);
+
+    // Interpolation order on MOT03.
+    for (label, m) in [
+        ("interp=Lagrange w2 (default)", InterpMethod::Lagrange { window: 2 }),
+        ("interp=Lagrange w4", InterpMethod::Lagrange { window: 4 }),
+        ("interp=Nearest", InterpMethod::Nearest),
+    ] {
+        let mut cfg = base(0.3);
+        cfg.interp = m;
+        run(label, 1, 0.3, cfg);
+    }
+    println!();
+    serde_json::Value::Array(out)
+}

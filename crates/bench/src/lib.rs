@@ -1,0 +1,3 @@
+//! Shared harness code for the VERRO benchmark/report suite.
+
+pub mod presets;

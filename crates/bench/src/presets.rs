@@ -1,0 +1,79 @@
+//! Evaluation presets shared by the Criterion benches and the report binary.
+
+use verro_core::config::{BackgroundMode, VerroConfig};
+use verro_video::generator::{GeneratedVideo, MotPreset};
+
+/// Raster scale used for the full MOT-sized evaluation runs.
+pub const EVAL_SCALE: f64 = 0.25;
+
+/// Master seed of the evaluation.
+pub const EVAL_SEED: u64 = 20200330; // EDBT 2020 opening day
+
+/// The flip probabilities swept in Figure 5 / 12 / 13.
+pub const F_SWEEP: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Generates one of the paper's three evaluation videos.
+pub fn eval_video(preset: MotPreset) -> GeneratedVideo {
+    GeneratedVideo::generate(preset.spec(EVAL_SCALE, EVAL_SEED))
+}
+
+/// The sanitizer configuration used for the evaluation: the paper's
+/// defaults with a histogram stride that keeps MOT-scale runs tractable.
+pub fn eval_config(f: f64, seed: u64) -> VerroConfig {
+    let mut cfg = VerroConfig::default().with_flip(f).with_seed(seed);
+    cfg.keyframe.stride = 4;
+    cfg.keyframe.tau = 0.94;
+    cfg.background = BackgroundMode::TemporalMedian;
+    cfg
+}
+
+/// A smaller clip for Criterion micro benchmarks (wall-clock friendly).
+pub fn bench_video() -> GeneratedVideo {
+    use verro_video::generator::VideoSpec;
+    use verro_video::{Camera, ObjectClass, SceneKind, Size};
+    GeneratedVideo::generate(VideoSpec {
+        name: "bench".into(),
+        nominal_size: Size::new(240, 180),
+        raster_scale: 1.0,
+        num_frames: 90,
+        num_objects: 12,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed: EVAL_SEED,
+        min_lifetime: 25,
+        max_lifetime: 70,
+        lifetime_mix: None,
+        lighting_drift: 0.12,
+        lighting_period: 18.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verro_video::source::FrameSource;
+
+    #[test]
+    fn eval_config_is_valid_across_sweep() {
+        for &f in &F_SWEEP {
+            let cfg = eval_config(f, 0);
+            assert!(cfg.validate().is_ok(), "f = {f}");
+        }
+    }
+
+    #[test]
+    fn bench_video_has_objects_and_frames() {
+        let v = bench_video();
+        assert_eq!(v.num_frames(), 90);
+        assert!(v.annotations().num_objects() >= 10);
+    }
+
+    #[test]
+    fn sweep_covers_paper_range() {
+        assert_eq!(F_SWEEP.len(), 9);
+        assert_eq!(F_SWEEP[0], 0.1);
+        assert_eq!(F_SWEEP[8], 0.9);
+    }
+}

@@ -1,0 +1,271 @@
+//! `verro` — command-line video sanitizer.
+//!
+//! Operates on portable artifacts so it composes with any video toolchain:
+//! frames come in as a directory of numbered PPM files (`ffmpeg -i in.mp4
+//! frames/%06d.ppm`), annotations as a MOT Challenge ground-truth text file
+//! (or are produced by the built-in detector+tracker). Output is a directory
+//! of sanitized PPM frames, the synthetic MOT file, and a privacy statement.
+//!
+//! ```text
+//! verro sanitize --frames ./frames --out ./sanitized [--gt gt.txt] \
+//!                [--flip 0.1 | --epsilon 20] [--seed 7] [--fast] [--track]
+//! verro demo     --out ./demo [--flip 0.1]
+//! verro help
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use verro_core::config::BackgroundMode;
+use verro_core::{Verro, VerroConfig};
+use verro_video::annotations::VideoAnnotations;
+use verro_video::geometry::Size;
+use verro_video::image::ImageBuffer;
+use verro_video::object::ObjectClass;
+use verro_video::source::{FrameSource, InMemoryVideo};
+use verro_vision::detect::DetectorConfig;
+use verro_vision::track::TrackerConfig;
+
+const USAGE: &str = "\
+verro — publish video data with indistinguishable objects (VERRO, EDBT 2020)
+
+USAGE:
+    verro sanitize --frames <DIR> --out <DIR> [OPTIONS]
+    verro demo --out <DIR> [--flip <F>]
+    verro help
+
+SANITIZE OPTIONS:
+    --frames <DIR>     directory of numbered .ppm frames (sorted by name)
+    --gt <FILE>        MOT ground-truth file (frame,id,x,y,w,h,...); when
+                       absent, the built-in detector+tracker runs (--track
+                       is then implied)
+    --out <DIR>        output directory (created if missing)
+    --flip <F>         flip probability f in (0,1]          [default: 0.1]
+    --epsilon <E>      total epsilon budget instead of --flip
+    --seed <N>         randomness seed                       [default: 0]
+    --fps <N>          frame rate for timing metadata        [default: 30]
+    --fast             temporal-median backgrounds instead of inpainting
+    --track            force detector+tracker preprocessing even with --gt
+
+OUTPUT:
+    <out>/000000.ppm ...   sanitized frames
+    <out>/synthetic_gt.txt the synthetic objects' MOT annotations
+    <out>/privacy.json     the privacy statement + utility report";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sanitize") => match cmd_sanitize(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("demo") => match cmd_demo(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: `--name value` pairs plus boolean switches.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn value(&self, name: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.value(name)
+            .map(|v| v.parse().map_err(|e| format!("bad {name}: {e}")))
+            .transpose()
+    }
+}
+
+fn build_config(flags: &Flags) -> Result<VerroConfig, String> {
+    let mut cfg = VerroConfig::default();
+    match (flags.parse::<f64>("--flip")?, flags.parse::<f64>("--epsilon")?) {
+        (Some(_), Some(_)) => return Err("--flip and --epsilon are exclusive".into()),
+        (Some(f), None) => cfg = cfg.with_flip(f),
+        (None, Some(e)) => cfg = cfg.with_epsilon(e),
+        (None, None) => cfg = cfg.with_flip(0.1),
+    }
+    if let Some(seed) = flags.parse::<u64>("--seed")? {
+        cfg = cfg.with_seed(seed);
+    }
+    if flags.switch("--fast") {
+        cfg.background = BackgroundMode::TemporalMedian;
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn load_frames(dir: &Path) -> Result<InMemoryVideo, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "ppm"))
+        .collect();
+    if paths.is_empty() {
+        return Err(format!("no .ppm frames in {}", dir.display()));
+    }
+    paths.sort();
+    let mut frames = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let bytes = std::fs::read(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        frames.push(
+            ImageBuffer::from_ppm(&bytes).map_err(|e| format!("{}: {e}", p.display()))?,
+        );
+    }
+    Ok(InMemoryVideo::new(frames, 30.0))
+}
+
+fn write_outputs(
+    out: &Path,
+    result: &verro_core::SanitizedResult,
+    fps: f64,
+) -> Result<(), String> {
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    for k in 0..result.video.num_frames() {
+        let frame = result.video.frame(k);
+        let path = out.join(format!("{k:06}.ppm"));
+        std::fs::write(&path, frame.to_ppm()).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    std::fs::write(
+        out.join("synthetic_gt.txt"),
+        result.phase2.synthetic.to_mot_text(),
+    )
+    .map_err(|e| e.to_string())?;
+    let statement = serde_json::json!({
+        "privacy": result.privacy,
+        "utility": result.utility,
+        "picked_key_frames": result.phase1.picked_frames,
+        "fps": fps,
+        "timings_secs": {
+            "preprocess": result.timings.preprocess.as_secs_f64(),
+            "phase1": result.timings.phase1.as_secs_f64(),
+            "phase2": result.timings.phase2.as_secs_f64(),
+        },
+    });
+    std::fs::write(
+        out.join("privacy.json"),
+        serde_json::to_string_pretty(&statement).expect("serialize"),
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cmd_sanitize(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let frames_dir = PathBuf::from(
+        flags
+            .value("--frames")
+            .ok_or("missing --frames <DIR>; see `verro help`")?,
+    );
+    let out = PathBuf::from(flags.value("--out").ok_or("missing --out <DIR>")?);
+    let fps: f64 = flags.parse("--fps")?.unwrap_or(30.0);
+    let config = build_config(&flags)?;
+    let verro = Verro::new(config).map_err(|e| e.to_string())?;
+
+    eprintln!("loading frames from {} ...", frames_dir.display());
+    let video = load_frames(&frames_dir)?;
+    eprintln!(
+        "loaded {} frames at {}",
+        video.num_frames(),
+        video.frame_size()
+    );
+
+    let gt = flags.value("--gt");
+    let result = if gt.is_none() || flags.switch("--track") {
+        eprintln!("running detector + tracker ...");
+        let (result, tracked) = verro
+            .sanitize_with_tracking(
+                &video,
+                &DetectorConfig::default(),
+                TrackerConfig::default(),
+                ObjectClass::Pedestrian,
+            )
+            .map_err(|e| e.to_string())?;
+        eprintln!("tracked {} objects", tracked.num_objects());
+        result
+    } else {
+        let text = std::fs::read_to_string(gt.expect("checked")).map_err(|e| e.to_string())?;
+        let ann = VideoAnnotations::from_mot_text(&text, video.num_frames())?;
+        eprintln!("loaded {} annotated objects", ann.num_objects());
+        verro.sanitize(&video, &ann).map_err(|e| e.to_string())?
+    };
+
+    write_outputs(&out, &result, fps)?;
+    eprintln!(
+        "done: {} synthetic objects, epsilon_RR = {:.2} over {} picked key frames -> {}",
+        result.utility.retained_objects,
+        result.privacy.epsilon_rr,
+        result.privacy.picked_frames,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    use verro_video::generator::{GeneratedVideo, VideoSpec};
+    use verro_video::{Camera, SceneKind};
+    let flags = Flags { args };
+    let out = PathBuf::from(flags.value("--out").ok_or("missing --out <DIR>")?);
+    let mut config = build_config(&flags)?;
+    config.background = BackgroundMode::TemporalMedian;
+
+    let video = GeneratedVideo::generate(VideoSpec {
+        name: "demo".into(),
+        nominal_size: Size::new(320, 240),
+        raster_scale: 1.0,
+        num_frames: 60,
+        num_objects: 8,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed: 1,
+        min_lifetime: 20,
+        max_lifetime: 50,
+        lifetime_mix: None,
+        lighting_drift: 0.1,
+        lighting_period: 15.0,
+    });
+    let verro = Verro::new(config).map_err(|e| e.to_string())?;
+    let result = verro
+        .sanitize(&video, video.annotations())
+        .map_err(|e| e.to_string())?;
+    write_outputs(&out, &result, 30.0)?;
+    eprintln!(
+        "demo written to {} ({} frames, epsilon_RR = {:.2})",
+        out.display(),
+        result.video.num_frames(),
+        result.privacy.epsilon_rr
+    );
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! End-to-end tests of the `verro` binary via its public CLI surface.
+
+use std::path::Path;
+use std::process::Command;
+
+fn verro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_verro"))
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("verro-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = verro().arg("help").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sanitize"));
+    assert!(text.contains("--flip"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = verro().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_flags_fail_with_message() {
+    let out = verro().args(["sanitize", "--frames", "/nonexistent"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn demo_then_sanitize_round_trip() {
+    let demo = tmpdir("demo");
+    let out = verro()
+        .args(["demo", "--out", demo.to_str().unwrap(), "--flip", "0.2"])
+        .output()
+        .expect("run demo");
+    assert!(
+        out.status.success(),
+        "demo failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(demo.join("000000.ppm").exists());
+    assert!(demo.join("synthetic_gt.txt").exists());
+    let privacy: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(demo.join("privacy.json")).unwrap())
+            .expect("valid json");
+    assert!(privacy["privacy"]["epsilon_rr"].as_f64().unwrap() > 0.0);
+
+    // Re-sanitize the demo output using its own MOT file and a budget.
+    let san = tmpdir("san");
+    let out = verro()
+        .args([
+            "sanitize",
+            "--frames",
+            demo.to_str().unwrap(),
+            "--gt",
+            demo.join("synthetic_gt.txt").to_str().unwrap(),
+            "--out",
+            san.to_str().unwrap(),
+            "--fast",
+            "--epsilon",
+            "10",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("run sanitize");
+    assert!(
+        out.status.success(),
+        "sanitize failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let privacy: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(san.join("privacy.json")).unwrap())
+            .expect("valid json");
+    let eps = privacy["privacy"]["epsilon_rr"].as_f64().unwrap();
+    assert!((eps - 10.0).abs() < 1e-6, "budget mode must hit epsilon=10, got {eps}");
+    assert!(san.join("000000.ppm").exists());
+
+    cleanup(&demo);
+    cleanup(&san);
+}
+
+#[test]
+fn exclusive_flip_and_epsilon_rejected() {
+    let out = verro()
+        .args([
+            "sanitize", "--frames", "x", "--out", "y", "--flip", "0.1", "--epsilon", "5",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exclusive"));
+}
+
+fn cleanup(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}

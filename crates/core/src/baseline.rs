@@ -1,0 +1,210 @@
+//! The traditional *detect-and-blur* privacy model (Section 2.2.1) — the
+//! baseline whose weaknesses motivate VERRO.
+//!
+//! Detect-and-blur obscures each object's pixels but publishes the objects
+//! at their **true coordinates in every frame**: object contents are hidden,
+//! trajectories are not. An adversary with background knowledge (where an
+//! individual walks, when they are at the scene) re-identifies blurred
+//! objects trivially — the attack quantified in [`crate::adversary`].
+//! A variant that replaces each object with a unique synthetic object
+//! ("replace") is also provided; it hides appearance better but leaks the
+//! same trajectories.
+
+use serde::{Deserialize, Serialize};
+use verro_video::annotations::VideoAnnotations;
+use verro_video::color::{distinct_color, Rgb};
+use verro_video::geometry::Size;
+use verro_video::image::ImageBuffer;
+use verro_video::object::ObjectId;
+use verro_video::source::FrameSource;
+use std::collections::BTreeMap;
+
+/// How the baseline obscures each detected object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlurMode {
+    /// Pixelate the object region (mosaic with the given cell size).
+    Pixelate { cell: u32 },
+    /// Replace the object with a uniquely colored synthetic object
+    /// (Section 2.2.1's "synthetic objects" variant — one fixed color per
+    /// identity, so the identity→color mapping persists across frames).
+    Replace,
+}
+
+/// A detect-and-blur sanitized video: original frames with each annotated
+/// object obscured in place. The published annotations (what a recipient
+/// could re-derive by tracking) equal the *original* trajectories — that is
+/// the point of the baseline's weakness.
+#[derive(Debug, Clone)]
+pub struct BlurredVideo<S> {
+    source: S,
+    annotations: VideoAnnotations,
+    mode: BlurMode,
+    colors: BTreeMap<ObjectId, Rgb>,
+}
+
+impl<S: FrameSource> BlurredVideo<S> {
+    /// Wraps a video with per-frame blurring of the annotated objects.
+    pub fn new(source: S, annotations: VideoAnnotations, mode: BlurMode) -> Self {
+        assert_eq!(
+            source.num_frames(),
+            annotations.num_frames(),
+            "annotations must cover the video"
+        );
+        let colors = annotations
+            .ids()
+            .into_iter()
+            .map(|id| (id, distinct_color(id.0 as usize)))
+            .collect();
+        Self {
+            source,
+            annotations,
+            mode,
+            colors,
+        }
+    }
+
+    /// The trajectories the published video exposes — identical to the
+    /// input's (with IDs renumbered the way any tracker would assign them).
+    pub fn published_annotations(&self) -> &VideoAnnotations {
+        &self.annotations
+    }
+
+    fn pixelate(img: &mut ImageBuffer, x0: u32, y0: u32, x1: u32, y1: u32, cell: u32) {
+        let cell = cell.max(1);
+        let mut by = y0;
+        while by < y1 {
+            let mut bx = x0;
+            while bx < x1 {
+                // Mean color of the cell.
+                let (mut rs, mut gs, mut bs, mut n) = (0u32, 0u32, 0u32, 0u32);
+                for y in by..(by + cell).min(y1) {
+                    for x in bx..(bx + cell).min(x1) {
+                        let c = img.get(x, y);
+                        rs += c.r as u32;
+                        gs += c.g as u32;
+                        bs += c.b as u32;
+                        n += 1;
+                    }
+                }
+                if n > 0 {
+                    let mean = Rgb::new((rs / n) as u8, (gs / n) as u8, (bs / n) as u8);
+                    for y in by..(by + cell).min(y1) {
+                        for x in bx..(bx + cell).min(x1) {
+                            img.set(x, y, mean);
+                        }
+                    }
+                }
+                bx += cell;
+            }
+            by += cell;
+        }
+    }
+}
+
+impl<S: FrameSource> FrameSource for BlurredVideo<S> {
+    fn num_frames(&self) -> usize {
+        self.source.num_frames()
+    }
+
+    fn frame_size(&self) -> Size {
+        self.source.frame_size()
+    }
+
+    fn frame(&self, k: usize) -> ImageBuffer {
+        let mut img = self.source.frame(k);
+        for (id, bbox) in self.annotations.in_frame(k) {
+            let Some((x0, y0, x1, y1)) = bbox.pixel_range(self.frame_size()) else {
+                continue;
+            };
+            match self.mode {
+                BlurMode::Pixelate { cell } => Self::pixelate(&mut img, x0, y0, x1, y1, cell),
+                BlurMode::Replace => {
+                    let color = self.colors.get(&id).copied().unwrap_or(Rgb::WHITE);
+                    img.fill_ellipse(bbox, color);
+                }
+            }
+        }
+        img
+    }
+
+    fn fps(&self) -> f64 {
+        self.source.fps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verro_video::geometry::BBox;
+    use verro_video::object::ObjectClass;
+    use verro_video::source::InMemoryVideo;
+
+    fn setup() -> (InMemoryVideo, VideoAnnotations) {
+        let size = Size::new(32, 24);
+        let mut frames = Vec::new();
+        for k in 0..5usize {
+            let mut img = ImageBuffer::new(size, Rgb::new(100, 100, 100));
+            // A high-contrast textured "person".
+            for dy in 0..8u32 {
+                for dx in 0..4u32 {
+                    let x = 5 + k as u32 * 2 + dx;
+                    let c = if (dx + dy) % 2 == 0 {
+                        Rgb::new(255, 0, 0)
+                    } else {
+                        Rgb::new(0, 0, 255)
+                    };
+                    img.set(x, 8 + dy, c);
+                }
+            }
+            frames.push(img);
+        }
+        let video = InMemoryVideo::new(frames, 30.0);
+        let mut ann = VideoAnnotations::new(5);
+        for k in 0..5 {
+            ann.record(
+                ObjectId(0),
+                ObjectClass::Pedestrian,
+                k,
+                BBox::new(5.0 + k as f64 * 2.0, 8.0, 4.0, 8.0),
+            );
+        }
+        (video, ann)
+    }
+
+    #[test]
+    fn pixelation_removes_texture_detail() {
+        let (video, ann) = setup();
+        let raw = video.frame(0);
+        let blurred = BlurredVideo::new(video, ann, BlurMode::Pixelate { cell: 4 }).frame(0);
+        // Inside the box, the checkerboard becomes flat: adjacent pixels
+        // within a mosaic cell are equal.
+        assert_eq!(blurred.get(5, 8), blurred.get(6, 8));
+        assert_ne!(raw.get(5, 8), raw.get(6, 8));
+        // Background untouched.
+        assert_eq!(blurred.get(0, 0), raw.get(0, 0));
+    }
+
+    #[test]
+    fn replace_mode_uses_stable_color_per_identity() {
+        let (video, ann) = setup();
+        let replaced = BlurredVideo::new(video, ann, BlurMode::Replace);
+        // The ellipse center pixel carries the object's color in every frame.
+        let c0 = replaced.frame(0).get(7, 12);
+        let c4 = replaced.frame(4).get(15, 12);
+        assert_eq!(c0, c4, "replacement color must persist across frames");
+        assert_eq!(Some(c0), replaced.color_of_for_tests(ObjectId(0)));
+    }
+
+    #[test]
+    fn published_trajectories_equal_original() {
+        let (video, ann) = setup();
+        let blurred = BlurredVideo::new(video, ann.clone(), BlurMode::Pixelate { cell: 3 });
+        assert_eq!(blurred.published_annotations(), &ann);
+    }
+
+    impl<S: FrameSource> BlurredVideo<S> {
+        fn color_of_for_tests(&self, id: ObjectId) -> Option<Rgb> {
+            self.colors.get(&id).copied()
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! VERRO configuration.
+
+use serde::{Deserialize, Serialize};
+use verro_vision::inpaint::InpaintConfig;
+use verro_vision::interp::InterpMethod;
+use verro_vision::keyframe::KeyFrameConfig;
+
+/// How the randomized-response noise level is specified.
+///
+/// The video owner may either fix the flip probability `f` of Equation 4
+/// directly (the paper's experiments sweep `f` from 0.1 to 0.9), or specify
+/// a total privacy budget `ε` from which `f` is derived once the number of
+/// picked key frames is known (`f = 2/(e^{ε/ℓ*} + 1)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NoiseLevel {
+    /// Fixed flip probability `f ∈ (0, 1]`.
+    FlipProbability(f64),
+    /// Total ε budget for Phase I; the flip probability adapts to the
+    /// number of picked frames.
+    EpsilonBudget(f64),
+}
+
+/// Strategy for picking the key frames that receive privacy budget
+/// (Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptimizerStrategy {
+    /// LP relaxation + 0.5 rounding (the paper's method, Section 3.3.2).
+    LpRounding,
+    /// Exact combinatorial optimum of the separable objective (oracle /
+    /// ablation arm).
+    Exact,
+    /// Skip the optimization: allocate budget to every key frame
+    /// (the pre-optimization configuration of Section 3.2).
+    AllKeyFrames,
+}
+
+/// What Phase II does with interpolated coordinates that leave the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OvershootPolicy {
+    /// Drop out-of-frame samples (the paper's behavior: objects "with the
+    /// coordinates outside the frames" are suppressed, which keeps per-frame
+    /// counts accurate at high flip probabilities; synthetic tracks may
+    /// contain gaps).
+    Suppress,
+    /// Clamp interior samples to the frame border (contiguous tracks,
+    /// smoother trajectories, but spurious presences inflate counts at high
+    /// `f`). Ablation arm.
+    Clamp,
+}
+
+/// How the object-free background scene(s) are reconstructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackgroundMode {
+    /// Remove the objects from each segment's key frame and fill the holes
+    /// with exemplar inpainting (the paper's method, reference \[11\]).
+    KeyFrameInpaint,
+    /// Per-pixel temporal median over the segment (cheaper; ablation arm).
+    TemporalMedian,
+}
+
+/// Full sanitizer configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerroConfig {
+    /// Randomized-response noise level.
+    pub noise: NoiseLevel,
+    /// Key-frame extraction parameters (Algorithm 2).
+    pub keyframe: KeyFrameConfig,
+    /// Frame-picking strategy.
+    pub optimizer: OptimizerStrategy,
+    /// Objective form for the frame picking (see
+    /// [`crate::optimize::ObjectiveForm`]): the corrected full-distortion
+    /// objective by default, or the literal Equation 9 as an ablation.
+    pub objective: crate::optimize::ObjectiveForm,
+    /// ε′ of the Laplace noise protecting the optimizer's per-frame counts
+    /// (Section 3.3.3). `None` disables the noise (ablation only — disables
+    /// the end-to-end guarantee for the optimizer side channel).
+    pub optimizer_noise_epsilon: Option<f64>,
+    /// Minimum number of picked key frames (the paper requires ≥ 2 so
+    /// Phase II can interpolate).
+    pub min_picked: usize,
+    /// Trajectory interpolation method for Phase II.
+    pub interp: InterpMethod,
+    /// Handling of interpolated coordinates that overshoot the frame.
+    pub overshoot: OvershootPolicy,
+    /// Count correction (extension beyond the paper): per picked key frame,
+    /// adjust the number of inserted objects from the raw randomized count
+    /// `Σ_i R_i^k` to the debiased estimate `(Σ_i R_i^k − n·f/2)/(1 − f)`
+    /// by randomly subsampling the present rows. This is pure
+    /// post-processing of the released matrix `R` (Section 5's "noise
+    /// cancellation" applied inside Phase II), so it costs no additional ε;
+    /// it removes the systematic count inflation on sparse videos where
+    /// `c̄ ≪ n/2`. Off by default (paper-faithful).
+    pub count_correction: bool,
+    /// Background reconstruction strategy.
+    pub background: BackgroundMode,
+    /// Background inpainting parameters.
+    pub inpaint: InpaintConfig,
+    /// Frames sampled for the temporal background model.
+    pub background_samples: usize,
+    /// Master randomness seed (reproducible sanitization).
+    pub seed: u64,
+}
+
+impl Default for VerroConfig {
+    fn default() -> Self {
+        Self {
+            noise: NoiseLevel::FlipProbability(0.1),
+            keyframe: KeyFrameConfig::default(),
+            optimizer: OptimizerStrategy::LpRounding,
+            objective: crate::optimize::ObjectiveForm::FullDistortion,
+            optimizer_noise_epsilon: Some(1.0),
+            min_picked: 2,
+            interp: InterpMethod::default(),
+            overshoot: OvershootPolicy::Suppress,
+            count_correction: false,
+            background: BackgroundMode::KeyFrameInpaint,
+            inpaint: InpaintConfig::default(),
+            background_samples: 15,
+            seed: 0,
+        }
+    }
+}
+
+impl VerroConfig {
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.noise {
+            NoiseLevel::FlipProbability(f) => {
+                if !(f > 0.0 && f <= 1.0) {
+                    return Err(format!("flip probability {f} outside (0, 1]"));
+                }
+            }
+            NoiseLevel::EpsilonBudget(e) => {
+                // Explicit NaN handling: NaN must be rejected too.
+                if !e.is_finite() || e <= 0.0 {
+                    return Err(format!("epsilon budget {e} must be positive"));
+                }
+            }
+        }
+        if self.min_picked < 2 {
+            return Err("min_picked must be at least 2 (Phase II interpolation)".into());
+        }
+        if let Some(e) = self.optimizer_noise_epsilon {
+            if !e.is_finite() || e <= 0.0 {
+                return Err(format!("optimizer noise epsilon {e} must be positive"));
+            }
+        }
+        if !(self.keyframe.tau > 0.0 && self.keyframe.tau <= 1.0) {
+            return Err(format!("tau {} outside (0, 1]", self.keyframe.tau));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setters for the common knobs.
+    pub fn with_flip(mut self, f: f64) -> Self {
+        self.noise = NoiseLevel::FlipProbability(f);
+        self
+    }
+
+    pub fn with_epsilon(mut self, eps: f64) -> Self {
+        self.noise = NoiseLevel::EpsilonBudget(eps);
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_optimizer(mut self, strategy: OptimizerStrategy) -> Self {
+        self.optimizer = strategy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(VerroConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_flip() {
+        assert!(VerroConfig::default().with_flip(0.0).validate().is_err());
+        assert!(VerroConfig::default().with_flip(1.5).validate().is_err());
+        assert!(VerroConfig::default().with_flip(1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(VerroConfig::default().with_epsilon(-1.0).validate().is_err());
+        assert!(VerroConfig::default().with_epsilon(3.0).validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_min_picked_below_two() {
+        let mut cfg = VerroConfig::default();
+        cfg.min_picked = 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_optimizer_noise() {
+        let mut cfg = VerroConfig::default();
+        cfg.optimizer_noise_epsilon = Some(0.0);
+        assert!(cfg.validate().is_err());
+        cfg.optimizer_noise_epsilon = None;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = VerroConfig::default()
+            .with_flip(0.3)
+            .with_seed(9)
+            .with_optimizer(OptimizerStrategy::Exact);
+        assert_eq!(cfg.noise, NoiseLevel::FlipProbability(0.3));
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.optimizer, OptimizerStrategy::Exact);
+    }
+}

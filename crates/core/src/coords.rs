@@ -1,0 +1,283 @@
+//! Phase II random coordinate assignment (Section 4.2).
+//!
+//! For each picked key frame `F*_k`, `Σ_i R_i^k` synthetic objects must be
+//! inserted. Coordinates come from the *candidate pool* — the coordinates
+//! of all original objects in `F_k`. When the pool is too small (random
+//! response generated more presences than the original frame held), it is
+//! expanded with the candidates of neighboring frames in the same segment;
+//! if still insufficient, existing candidates are duplicated with a small
+//! jitter (a measure-zero deviation from the paper, which assumes the
+//! expanded pool always suffices).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use verro_video::annotations::VideoAnnotations;
+use verro_video::geometry::{BBox, Point};
+use verro_vision::keyframe::KeyFrameResult;
+
+/// One candidate placement: the center coordinates and the box extents of
+/// an original object observation (the extents keep the perspective rule —
+/// "larger when closer to the camera" — for free).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    pub center: Point,
+    pub w: f64,
+    pub h: f64,
+}
+
+impl Candidate {
+    /// Candidate from an observed bounding box.
+    pub fn from_bbox(b: BBox) -> Self {
+        Self {
+            center: b.center(),
+            w: b.w,
+            h: b.h,
+        }
+    }
+
+    /// The bounding box this candidate describes.
+    pub fn bbox(&self) -> BBox {
+        BBox::from_center(self.center, self.w, self.h)
+    }
+}
+
+/// The candidate pool of one frame: every original object's placement.
+pub fn candidate_pool(annotations: &VideoAnnotations, frame: usize) -> Vec<Candidate> {
+    annotations
+        .in_frame(frame)
+        .into_iter()
+        .map(|(_, bbox)| Candidate::from_bbox(bbox))
+        .collect()
+}
+
+/// Expands a key frame's pool with neighboring frames of its segment,
+/// sweeping outwards from the key frame, until at least `required`
+/// candidates are available or the segment is exhausted.
+pub fn expanded_pool(
+    annotations: &VideoAnnotations,
+    key_frames: &KeyFrameResult,
+    key_frame: usize,
+    required: usize,
+) -> Vec<Candidate> {
+    let mut pool = candidate_pool(annotations, key_frame);
+    if pool.len() >= required {
+        return pool;
+    }
+    let Some(seg_idx) = key_frames.segment_of(key_frame) else {
+        return pool;
+    };
+    let seg = &key_frames.segments[seg_idx];
+    // Sweep outwards: key_frame ± 1, ± 2, … restricted to the segment range.
+    let (start, end) = (seg.start(), seg.end());
+    let mut offset = 1usize;
+    while pool.len() < required {
+        let mut advanced = false;
+        if key_frame >= offset && key_frame - offset >= start {
+            pool.extend(candidate_pool(annotations, key_frame - offset));
+            advanced = true;
+        }
+        if key_frame + offset <= end {
+            pool.extend(candidate_pool(annotations, key_frame + offset));
+            advanced = true;
+        }
+        if !advanced {
+            break;
+        }
+        offset += 1;
+    }
+    pool
+}
+
+/// The coordinate assignment of one picked key frame: for each retained
+/// object row that is present there, its assigned candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameAssignment {
+    /// Global frame index of the picked key frame.
+    pub frame: usize,
+    /// `(object_row, candidate)` pairs.
+    pub placements: Vec<(usize, Candidate)>,
+}
+
+/// Assigns candidates to the rows present in a frame: shuffles the pool,
+/// draws `rows.len()` distinct candidates (jitter-duplicating when the pool
+/// is smaller), and pairs them with a random permutation of the rows. The
+/// same randomized procedure applies to every object, which is what makes
+/// the assignment privacy-neutral (Theorem 4.1).
+pub fn assign_frame<R: Rng + ?Sized>(
+    frame: usize,
+    rows: &[usize],
+    pool: &[Candidate],
+    frame_size: verro_video::geometry::Size,
+    rng: &mut R,
+) -> FrameAssignment {
+    let mut placements = Vec::with_capacity(rows.len());
+    if rows.is_empty() {
+        return FrameAssignment { frame, placements };
+    }
+
+    let mut candidates: Vec<Candidate> = pool.to_vec();
+    candidates.shuffle(rng);
+
+    // Jitter-duplicate when the pool is insufficient (or empty: synthesize
+    // placements uniformly in the lower half of the frame).
+    while candidates.len() < rows.len() {
+        if pool.is_empty() {
+            let w = frame_size.width as f64;
+            let h = frame_size.height as f64;
+            candidates.push(Candidate {
+                center: Point::new(rng.gen_range(0.0..w), rng.gen_range(h * 0.5..h)),
+                w: w * 0.03,
+                h: h * 0.12,
+            });
+        } else {
+            let base = pool[rng.gen_range(0..pool.len())];
+            let jitter_x = rng.gen_range(-0.05..0.05) * frame_size.width as f64;
+            let jitter_y = rng.gen_range(-0.02..0.02) * frame_size.height as f64;
+            candidates.push(Candidate {
+                center: Point::new(base.center.x + jitter_x, base.center.y + jitter_y)
+                    .clamp_to(frame_size),
+                ..base
+            });
+        }
+    }
+
+    let mut shuffled_rows: Vec<usize> = rows.to_vec();
+    shuffled_rows.shuffle(rng);
+    for (row, cand) in shuffled_rows.into_iter().zip(candidates) {
+        placements.push((row, cand));
+    }
+    placements.sort_by_key(|(row, _)| *row);
+    FrameAssignment { frame, placements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use verro_video::geometry::Size;
+    use verro_video::object::{ObjectClass, ObjectId};
+    use verro_vision::keyframe::Segment;
+
+    fn annotations() -> VideoAnnotations {
+        let mut ann = VideoAnnotations::new(10);
+        ann.record(ObjectId(0), ObjectClass::Pedestrian, 4, BBox::new(10.0, 20.0, 4.0, 8.0));
+        ann.record(ObjectId(1), ObjectClass::Pedestrian, 4, BBox::new(40.0, 22.0, 5.0, 9.0));
+        ann.record(ObjectId(2), ObjectClass::Pedestrian, 3, BBox::new(70.0, 30.0, 6.0, 10.0));
+        ann.record(ObjectId(2), ObjectClass::Pedestrian, 5, BBox::new(75.0, 30.0, 6.0, 10.0));
+        ann
+    }
+
+    fn keyframes() -> KeyFrameResult {
+        KeyFrameResult {
+            segments: vec![Segment {
+                frames: (0..10).collect(),
+                key_frame: 4,
+            }],
+        }
+    }
+
+    #[test]
+    fn candidate_pool_lists_frame_objects() {
+        let pool = candidate_pool(&annotations(), 4);
+        assert_eq!(pool.len(), 2);
+        assert!(pool.iter().any(|c| (c.center.x - 12.0).abs() < 1e-9));
+        let b = pool[0].bbox();
+        assert!(b.w > 0.0 && b.h > 0.0);
+    }
+
+    #[test]
+    fn expansion_pulls_from_neighbors() {
+        let ann = annotations();
+        let kf = keyframes();
+        // Frame 4 has 2 candidates; require 4 → neighbors 3 and 5 add one
+        // each.
+        let pool = expanded_pool(&ann, &kf, 4, 4);
+        assert_eq!(pool.len(), 4);
+        // Requiring more than exists in the whole segment returns everything.
+        let pool = expanded_pool(&ann, &kf, 4, 100);
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn no_expansion_when_sufficient() {
+        let pool = expanded_pool(&annotations(), &keyframes(), 4, 2);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn assignment_covers_all_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = candidate_pool(&annotations(), 4);
+        let a = assign_frame(4, &[0, 2, 5], &pool, Size::new(100, 100), &mut rng);
+        assert_eq!(a.placements.len(), 3);
+        let rows: Vec<usize> = a.placements.iter().map(|(r, _)| *r).collect();
+        assert_eq!(rows, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn jitter_duplication_when_pool_small() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = vec![Candidate {
+            center: Point::new(50.0, 50.0),
+            w: 4.0,
+            h: 8.0,
+        }];
+        let size = Size::new(100, 100);
+        let a = assign_frame(0, &[0, 1, 2], &pool, size, &mut rng);
+        assert_eq!(a.placements.len(), 3);
+        for (_, c) in &a.placements {
+            assert!(size.contains(c.center) || c.center.x == 100.0 || c.center.y == 100.0);
+        }
+    }
+
+    #[test]
+    fn empty_pool_synthesizes_in_lower_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let size = Size::new(200, 100);
+        let a = assign_frame(0, &[0, 1], &[], size, &mut rng);
+        assert_eq!(a.placements.len(), 2);
+        for (_, c) in &a.placements {
+            assert!(c.center.y >= 50.0);
+        }
+    }
+
+    #[test]
+    fn empty_rows_empty_assignment() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = assign_frame(0, &[], &[], Size::new(10, 10), &mut rng);
+        assert!(a.placements.is_empty());
+    }
+
+    #[test]
+    fn assignment_is_a_random_bijection() {
+        // Over many trials, each row receives each candidate with roughly
+        // equal frequency — the "same randomization for all objects"
+        // property underlying Theorem 4.1.
+        let pool = vec![
+            Candidate {
+                center: Point::new(10.0, 10.0),
+                w: 1.0,
+                h: 1.0,
+            },
+            Candidate {
+                center: Point::new(90.0, 90.0),
+                w: 1.0,
+                h: 1.0,
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut row0_got_first = 0;
+        let trials = 4000;
+        for _ in 0..trials {
+            let a = assign_frame(0, &[0, 1], &pool, Size::new(100, 100), &mut rng);
+            let c = a.placements.iter().find(|(r, _)| *r == 0).unwrap().1;
+            if (c.center.x - 10.0).abs() < 1e-9 {
+                row0_got_first += 1;
+            }
+        }
+        let frac = row0_got_first as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac = {frac}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the VERRO pipeline.
+
+use verro_lp::BipError;
+
+/// Failures surfaced by the sanitizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerroError {
+    /// The input video has no frames.
+    EmptyVideo,
+    /// The configuration is inconsistent (message explains).
+    BadConfig(String),
+    /// Key-frame extraction produced fewer frames than the minimum the
+    /// optimizer must pick (the paper requires at least 2 for
+    /// interpolation).
+    TooFewKeyFrames { available: usize, required: usize },
+    /// The Phase I optimizer failed.
+    Optimizer(BipError),
+}
+
+impl std::fmt::Display for VerroError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerroError::EmptyVideo => write!(f, "input video has no frames"),
+            VerroError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            VerroError::TooFewKeyFrames {
+                available,
+                required,
+            } => write!(
+                f,
+                "only {available} key frames available but {required} required"
+            ),
+            VerroError::Optimizer(e) => write!(f, "optimizer failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerroError {}
+
+impl From<BipError> for VerroError {
+    fn from(e: BipError) -> Self {
+        VerroError::Optimizer(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(VerroError::EmptyVideo.to_string().contains("no frames"));
+        let e = VerroError::TooFewKeyFrames {
+            available: 1,
+            required: 2,
+        };
+        assert!(e.to_string().contains("1"));
+        assert!(VerroError::from(BipError::InfeasibleBounds)
+            .to_string()
+            .contains("optimizer"));
+    }
+}

@@ -1,0 +1,70 @@
+//! # verro-core
+//!
+//! VERRO — *Video with Randomly Responded Objects* — the video sanitization
+//! technique of Wang, Kong, Hong and Vaidya, *Publishing Video Data with
+//! Indistinguishable Objects* (EDBT 2020).
+//!
+//! Given a video with `n` sensitive objects, VERRO produces a synthetic
+//! video `V*` in which any two objects are **ε-Object Indistinguishable**:
+//! for any output object `y`, `Pr[A(O_i)=y] ≤ e^ε·Pr[A(O_j)=y]`. The
+//! guarantee covers both the object contents (all replacements share one
+//! shape) and the trajectories (presence is randomized per Equation 4 and
+//! coordinates are drawn from shared candidate pools).
+//!
+//! ```
+//! use verro_core::{Verro, VerroConfig};
+//! use verro_core::config::BackgroundMode;
+//! use verro_video::generator::{GeneratedVideo, VideoSpec};
+//! use verro_video::{Camera, ObjectClass, SceneKind, Size};
+//!
+//! let video = GeneratedVideo::generate(VideoSpec {
+//!     name: "demo".into(),
+//!     nominal_size: Size::new(160, 120),
+//!     raster_scale: 1.0,
+//!     num_frames: 30,
+//!     num_objects: 4,
+//!     scene: SceneKind::DaySquare,
+//!     camera: Camera::Static,
+//!     class: ObjectClass::Pedestrian,
+//!     fps: 30.0,
+//!     seed: 1,
+//!     min_lifetime: 10,
+//!     max_lifetime: 25,
+//!     lifetime_mix: None,
+//!     lighting_drift: 0.1,
+//!     lighting_period: 10.0,
+//! });
+//!
+//! let mut config = VerroConfig::default().with_flip(0.1);
+//! config.background = BackgroundMode::TemporalMedian; // fast mode
+//! let verro = Verro::new(config).unwrap();
+//! let result = verro.sanitize(&video, video.annotations()).unwrap();
+//! assert!(result.privacy.is_consistent());
+//! ```
+
+pub mod adversary;
+pub mod baseline;
+pub mod config;
+pub mod coords;
+pub mod error;
+pub mod metrics;
+pub mod naive;
+pub mod optimize;
+pub mod phase1;
+pub mod phase2;
+pub mod pipeline;
+pub mod presence;
+pub mod privacy;
+pub mod synthesis;
+
+pub use adversary::{linkage_attack, AttackReport};
+pub use baseline::{BlurMode, BlurredVideo};
+pub use config::{BackgroundMode, NoiseLevel, OptimizerStrategy, OvershootPolicy, VerroConfig};
+pub use error::VerroError;
+pub use metrics::UtilityReport;
+pub use phase1::Phase1Output;
+pub use phase2::Phase2Output;
+pub use pipeline::{PhaseTimings, SanitizedResult, Verro};
+pub use presence::PresenceMatrix;
+pub use privacy::PrivacyStatement;
+pub use synthesis::SyntheticVideo;

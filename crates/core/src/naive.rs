@@ -1,0 +1,118 @@
+//! Algorithm 1 — the naive per-frame randomized response baseline.
+//!
+//! Every object's full `m`-bit presence vector is randomized with budget
+//! `ε/m` per bit. Section 3.1 shows why this destroys utility: for real
+//! videos `m` is in the hundreds or thousands, the per-bit budget is
+//! negligible, the keep-probability approaches ½ and the output is close to
+//! uniform noise. The baseline is retained for the ablation benchmarks.
+
+use crate::presence::PresenceMatrix;
+use rand::Rng;
+use verro_ldp::rr::{keep_probability, randomize_budget};
+
+/// Output of the naive baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveOutput {
+    /// Randomized presence matrix (same shape as the input).
+    pub randomized: PresenceMatrix,
+    /// The per-bit keep probability that was applied.
+    pub keep_probability: f64,
+    /// Total ε (the input budget — Algorithm 1 spends exactly ε).
+    pub epsilon: f64,
+}
+
+/// Runs Algorithm 1: equal `ε/m` budget per frame, randomized response per
+/// bit, for every object.
+pub fn randomize_naive<R: Rng + ?Sized>(
+    matrix: &PresenceMatrix,
+    epsilon: f64,
+    rng: &mut R,
+) -> NaiveOutput {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let m = matrix.num_frames();
+    let rows = matrix
+        .rows()
+        .iter()
+        .map(|row| randomize_budget(row, epsilon, rng))
+        .collect();
+    NaiveOutput {
+        randomized: PresenceMatrix::from_rows(matrix.ids().to_vec(), rows, m),
+        keep_probability: if m == 0 {
+            1.0
+        } else {
+            keep_probability(epsilon / m as f64)
+        },
+        epsilon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use verro_ldp::bitvec::BitVec;
+    use verro_video::object::ObjectId;
+
+    fn sparse_matrix(m: usize, n: usize) -> PresenceMatrix {
+        // Every object present in 10% of frames.
+        let rows = (0..n)
+            .map(|i| {
+                let mut r = BitVec::zeros(m);
+                let mut k = i;
+                while k < m {
+                    r.set(k, true);
+                    k += 10;
+                }
+                r
+            })
+            .collect();
+        PresenceMatrix::from_rows((0..n as u32).map(ObjectId).collect(), rows, m)
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = sparse_matrix(50, 4);
+        let out = randomize_naive(&m, 5.0, &mut rng);
+        assert_eq!(out.randomized.num_objects(), 4);
+        assert_eq!(out.randomized.num_frames(), 50);
+        assert_eq!(out.epsilon, 5.0);
+    }
+
+    #[test]
+    fn large_m_gives_near_uniform_output() {
+        // The poor-utility phenomenon: with m = 1000 and ε = 1, roughly half
+        // the bits come out 1 even though the input is 10% dense.
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = sparse_matrix(1000, 3);
+        let out = randomize_naive(&m, 1.0, &mut rng);
+        assert!((out.keep_probability - 0.5).abs() < 0.001);
+        let density: f64 = out
+            .randomized
+            .rows()
+            .iter()
+            .map(|r| r.count_ones() as f64 / 1000.0)
+            .sum::<f64>()
+            / 3.0;
+        assert!((density - 0.5).abs() < 0.05, "density = {density}");
+    }
+
+    #[test]
+    fn small_m_large_eps_preserves_signal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = sparse_matrix(10, 2);
+        let out = randomize_naive(&m, 50.0, &mut rng); // ε/m = 5 per bit
+        assert!(out.keep_probability > 0.99);
+        for (orig, noisy) in m.rows().iter().zip(out.randomized.rows()) {
+            assert!(orig.hamming(noisy) <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_epsilon() {
+        let mut rng = StdRng::seed_from_u64(4);
+        randomize_naive(&sparse_matrix(10, 1), 0.0, &mut rng);
+    }
+}

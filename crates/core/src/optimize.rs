@@ -1,0 +1,364 @@
+//! Phase I utility-maximizing key-frame picking (Section 3.3).
+//!
+//! For key frame `k` with per-frame object count `c_k = Σ_i kb_i^k` out of
+//! `n` objects, the expected absolute deviation contributed by allocating
+//! budget to that frame under flip probability `f` is (Equation 9):
+//!
+//! ```text
+//! cost_k = | n·f/2 − f·c_k |
+//! ```
+//!
+//! The optimizer minimizes `Σ_k x_k·cost_k` subject to
+//! `min_picked ≤ Σ_k x_k ≤ ℓ`, solved by LP relaxation + rounding
+//! (Section 3.3.2) or exactly (oracle). Before the objective is formed the
+//! counts are perturbed with `Lap(Δ/ε′)`, Δ = 1 (Section 3.3.3), so the
+//! optimizer itself does not leak per-frame counts.
+
+use crate::config::OptimizerStrategy;
+use crate::error::VerroError;
+use crate::presence::PresenceMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use verro_ldp::laplace::LaplaceMechanism;
+use verro_lp::bip::{solve_exact, solve_lp_rounding};
+
+/// Which objective the frame picker minimizes.
+///
+/// Equation 9 as printed multiplies the whole per-frame distortion by
+/// `x_k`, so *not* picking a frame costs nothing and the optimum always
+/// selects exactly `min_picked` frames — contradicting the paper's own
+/// experiments (≈10 of 22 key frames picked for MOT01, Figure 5a). The
+/// paper's Equation 6 third case (`E(R_i^k) = 0` when `x_k = 0`) implies an
+/// unpicked frame loses all `c_k` presences recorded there, i.e. the full
+/// distortion objective is
+///
+/// ```text
+/// min Σ_k [ x_k·f·|n/2 − c_k|  +  (1 − x_k)·c_k ]
+/// ```
+///
+/// which is what [`ObjectiveForm::FullDistortion`] implements (and what
+/// reproduces the published behavior). [`ObjectiveForm::PaperEq9`] is the
+/// literal printed objective, kept as an ablation arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjectiveForm {
+    /// `min Σ_k [x_k·f·|n/2 − c_k| + (1−x_k)·c_k]` — distortion of both
+    /// picked (randomization noise) and unpicked (lost presence) frames.
+    FullDistortion,
+    /// The literal Equation 9: `min Σ_k x_k·|n·f/2 − f·c_k|`.
+    PaperEq9,
+}
+
+/// Outcome of the frame-picking optimization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PickResult {
+    /// For each key frame, whether it was picked for budget allocation
+    /// (`x_k` of Equation 9).
+    pub picked: Vec<bool>,
+    /// Per-key-frame costs used in the objective (after Laplace noise).
+    pub costs: Vec<f64>,
+    /// Objective value of the selection.
+    pub objective: f64,
+}
+
+impl PickResult {
+    /// Number of picked frames `Σ_k x_k`.
+    pub fn count(&self) -> usize {
+        self.picked.iter().filter(|&&p| p).count()
+    }
+
+    /// Indices of the picked key frames (into the key-frame list).
+    pub fn indices(&self) -> Vec<usize> {
+        self.picked
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Computes the per-frame selection cost from (possibly noisy) counts.
+///
+/// * [`ObjectiveForm::PaperEq9`]: `|n·f/2 − f·c_k|` (always ≥ 0).
+/// * [`ObjectiveForm::FullDistortion`]: the *marginal* cost of picking,
+///   `f·|n/2 − c_k| − c_k` — negative whenever allocating budget to the
+///   frame distorts less than dropping its `c_k` presences, so the solver
+///   naturally picks every frame worth keeping.
+pub fn cost_vector(counts: &[f64], num_objects: usize, f: f64, form: ObjectiveForm) -> Vec<f64> {
+    counts
+        .iter()
+        .map(|&c| {
+            let eq9 = (num_objects as f64 * f / 2.0 - f * c).abs();
+            match form {
+                ObjectiveForm::PaperEq9 => eq9,
+                ObjectiveForm::FullDistortion => eq9 - c,
+            }
+        })
+        .collect()
+}
+
+/// Picks key frames for budget allocation.
+///
+/// `reduced` is the presence matrix already projected onto the key frames
+/// (ℓ columns). `f` is the flip probability the costs are evaluated at.
+pub fn pick_key_frames<R: Rng + ?Sized>(
+    reduced: &PresenceMatrix,
+    f: f64,
+    strategy: OptimizerStrategy,
+    form: ObjectiveForm,
+    optimizer_noise_epsilon: Option<f64>,
+    min_picked: usize,
+    rng: &mut R,
+) -> Result<PickResult, VerroError> {
+    let ell = reduced.num_frames();
+    if ell < min_picked {
+        return Err(VerroError::TooFewKeyFrames {
+            available: ell,
+            required: min_picked,
+        });
+    }
+
+    // Per-frame counts, Laplace-noised per Section 3.3.3 (Δ = 1).
+    let counts = noisy_counts(reduced, optimizer_noise_epsilon, rng);
+    pick_from_counts(
+        &counts,
+        reduced.num_objects(),
+        f,
+        strategy,
+        form,
+        min_picked,
+    )
+}
+
+/// Releases the per-frame counts used by the optimizer, Laplace-noised when
+/// `optimizer_noise_epsilon` is set (Section 3.3.3, Δ = 1). Noising is a
+/// *single* ε′-release: callers that re-optimize (e.g. the budget-mode
+/// fixed point) must reuse the same noisy counts rather than re-drawing.
+pub fn noisy_counts<R: Rng + ?Sized>(
+    reduced: &PresenceMatrix,
+    optimizer_noise_epsilon: Option<f64>,
+    rng: &mut R,
+) -> Vec<f64> {
+    let raw_counts = reduced.column_counts();
+    match optimizer_noise_epsilon {
+        Some(eps) => LaplaceMechanism::new(1.0, eps).release_counts(&raw_counts, rng),
+        None => raw_counts.iter().map(|&c| c as f64).collect(),
+    }
+}
+
+/// The deterministic optimization core: picks frames given already-released
+/// counts.
+pub fn pick_from_counts(
+    counts: &[f64],
+    num_objects: usize,
+    f: f64,
+    strategy: OptimizerStrategy,
+    form: ObjectiveForm,
+    min_picked: usize,
+) -> Result<PickResult, VerroError> {
+    let ell = counts.len();
+    if ell < min_picked {
+        return Err(VerroError::TooFewKeyFrames {
+            available: ell,
+            required: min_picked,
+        });
+    }
+    let costs = cost_vector(counts, num_objects, f, form);
+
+    let (picked, objective) = match strategy {
+        OptimizerStrategy::AllKeyFrames => {
+            let picked = vec![true; ell];
+            let objective = costs.iter().sum();
+            (picked, objective)
+        }
+        OptimizerStrategy::LpRounding => {
+            let sel = solve_lp_rounding(&costs, min_picked, ell)?;
+            (sel.selected, sel.objective)
+        }
+        OptimizerStrategy::Exact => {
+            let sel = solve_exact(&costs, min_picked, ell)?;
+            (sel.selected, sel.objective)
+        }
+    };
+
+    Ok(PickResult {
+        picked,
+        costs,
+        objective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use verro_ldp::bitvec::BitVec;
+    use verro_video::object::ObjectId;
+
+    /// A reduced matrix with controlled column counts.
+    fn matrix_with_counts(counts: &[usize], n: usize) -> PresenceMatrix {
+        let ell = counts.len();
+        let rows: Vec<BitVec> = (0..n)
+            .map(|i| {
+                let mut r = BitVec::zeros(ell);
+                for (k, &c) in counts.iter().enumerate() {
+                    if i < c {
+                        r.set(k, true);
+                    }
+                }
+                r
+            })
+            .collect();
+        PresenceMatrix::from_rows((0..n as u32).map(ObjectId).collect(), rows, ell)
+    }
+
+    #[test]
+    fn cost_prefers_half_full_frames() {
+        // n = 10, f = 0.5: cost_k = |2.5 - 0.5 c_k| → minimized at c_k = 5.
+        let costs = cost_vector(&[0.0, 5.0, 10.0], 10, 0.5, ObjectiveForm::PaperEq9);
+        assert!((costs[0] - 2.5).abs() < 1e-12);
+        assert!(costs[1].abs() < 1e-12);
+        assert!((costs[2] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_picks_minimum_cost_frames() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Counts: 0, 5, 10, 5, 1 with n = 10, f = 0.5: frames 1 and 3 cost 0.
+        let m = matrix_with_counts(&[0, 5, 10, 5, 1], 10);
+        let pick = pick_key_frames(&m, 0.5, OptimizerStrategy::Exact, ObjectiveForm::PaperEq9, None, 2, &mut rng).unwrap();
+        assert!(pick.picked[1] && pick.picked[3], "{:?}", pick.picked);
+        assert!(pick.objective.abs() < 1e-9);
+        assert!(pick.count() >= 2);
+    }
+
+    #[test]
+    fn full_distortion_picks_populated_frames() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Counts 0, 8, 1, 9, 7 with n = 10, f = 0.1: populated frames have
+        // strongly negative marginal cost and must be picked; empty or
+        // near-empty frames must not.
+        let m = matrix_with_counts(&[0, 8, 1, 9, 7], 10);
+        let pick = pick_key_frames(
+            &m,
+            0.1,
+            OptimizerStrategy::Exact,
+            ObjectiveForm::FullDistortion,
+            None,
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(pick.picked[1] && pick.picked[3] && pick.picked[4], "{:?}", pick.picked);
+        assert!(!pick.picked[0], "empty frame should not receive budget");
+    }
+
+    #[test]
+    fn paper_eq9_picks_exactly_min_cardinality() {
+        // The literal Equation 9 has non-negative costs, so the exact
+        // optimum selects exactly `min_picked` frames — the behavior that
+        // motivated the FullDistortion correction.
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = matrix_with_counts(&[0, 8, 1, 9, 7], 10);
+        let pick = pick_key_frames(
+            &m,
+            0.1,
+            OptimizerStrategy::Exact,
+            ObjectiveForm::PaperEq9,
+            None,
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(pick.count(), 2, "{:?}", pick.picked);
+    }
+
+    #[test]
+    fn lp_matches_exact_without_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = matrix_with_counts(&[1, 4, 7, 2, 6, 3], 8);
+        let lp = pick_key_frames(&m, 0.3, OptimizerStrategy::LpRounding, ObjectiveForm::PaperEq9, None, 2, &mut rng)
+            .unwrap();
+        let ex = pick_key_frames(&m, 0.3, OptimizerStrategy::Exact, ObjectiveForm::PaperEq9, None, 2, &mut rng).unwrap();
+        assert!((lp.objective - ex.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_key_frames_picks_everything() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = matrix_with_counts(&[1, 2, 3], 4);
+        let pick =
+            pick_key_frames(&m, 0.5, OptimizerStrategy::AllKeyFrames, ObjectiveForm::PaperEq9, None, 2, &mut rng).unwrap();
+        assert_eq!(pick.count(), 3);
+        assert_eq!(pick.indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn too_few_key_frames_is_error() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = matrix_with_counts(&[1], 2);
+        let err =
+            pick_key_frames(&m, 0.5, OptimizerStrategy::LpRounding, ObjectiveForm::PaperEq9, None, 2, &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            VerroError::TooFewKeyFrames {
+                available: 1,
+                required: 2
+            }
+        );
+    }
+
+    #[test]
+    fn laplace_noise_perturbs_costs_but_preserves_feasibility() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = matrix_with_counts(&[0, 5, 10, 5, 1, 9, 2], 10);
+        let noisy = pick_key_frames(
+            &m,
+            0.5,
+            OptimizerStrategy::LpRounding,
+            ObjectiveForm::PaperEq9,
+            Some(0.5),
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(noisy.count() >= 2);
+        assert_eq!(noisy.costs.len(), 7);
+        // Noise makes the zero-cost frames generally non-zero.
+        let clean_costs =
+            cost_vector(&[0.0, 5.0, 10.0, 5.0, 1.0, 9.0, 2.0], 10, 0.5, ObjectiveForm::PaperEq9);
+        assert_ne!(noisy.costs, clean_costs);
+    }
+
+    #[test]
+    fn noise_deviation_shrinks_with_larger_epsilon() {
+        // With ε′ → ∞ the noisy costs approach the clean ones.
+        let m = matrix_with_counts(&[3, 6, 2, 8], 10);
+        let clean = cost_vector(&[3.0, 6.0, 2.0, 8.0], 10, 0.4, ObjectiveForm::PaperEq9);
+        let spread = |eps: f64| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut total = 0.0;
+            for _ in 0..200 {
+                let pick = pick_key_frames(
+                    &m,
+                    0.4,
+                    OptimizerStrategy::Exact,
+                    ObjectiveForm::PaperEq9,
+                    Some(eps),
+                    2,
+                    &mut rng,
+                )
+                .unwrap();
+                total += pick
+                    .costs
+                    .iter()
+                    .zip(&clean)
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f64>();
+            }
+            total
+        };
+        assert!(spread(100.0) < spread(0.2));
+    }
+}

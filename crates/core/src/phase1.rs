@@ -1,0 +1,336 @@
+//! Phase I: optimal object presence (Section 3).
+//!
+//! Pipeline: presence matrix → key-frame dimension reduction → utility
+//! maximizing frame picking (Equation 9) → randomized response (Equation 4)
+//! on the picked dimensions. The result satisfies
+//! `ε = ℓ*·ln((2−f)/f)`-Object Indistinguishability where `ℓ*` is the number
+//! of picked frames (Theorem 3.4).
+
+use crate::config::{NoiseLevel, OptimizerStrategy, VerroConfig};
+use crate::error::VerroError;
+use crate::optimize::{noisy_counts, pick_from_counts, PickResult};
+use crate::presence::PresenceMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use verro_ldp::budget::{epsilon_of_flip, flip_for_epsilon, BudgetLedger};
+use verro_ldp::rr::randomize_flip;
+use verro_video::annotations::VideoAnnotations;
+use verro_vision::keyframe::KeyFrameResult;
+
+/// The complete result of Phase I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase1Output {
+    /// Global frame indices of all `ℓ` key frames.
+    pub key_frames: Vec<usize>,
+    /// Positions (into `key_frames`) of the picked frames.
+    pub picked_positions: Vec<usize>,
+    /// Global frame indices of the picked key frames (`ℓ*` of them).
+    pub picked_frames: Vec<usize>,
+    /// The flip probability `f` actually applied.
+    pub flip: f64,
+    /// Privacy guarantee of the randomized response:
+    /// `ε = ℓ*·ln((2−f)/f)`.
+    pub epsilon: f64,
+    /// Presence matrix over the picked frames before randomization
+    /// (`B*` in Section 3.4).
+    pub original: PresenceMatrix,
+    /// Randomized presence matrix over the picked frames (`R`).
+    pub randomized: PresenceMatrix,
+    /// The optimizer's internals (costs, objective).
+    pub pick: PickResult,
+    /// Itemized privacy spending (RR plus optional optimizer noise).
+    pub ledger: BudgetLedger,
+}
+
+impl Phase1Output {
+    /// Number of picked key frames `ℓ* = Σ_k x_k`.
+    pub fn num_picked(&self) -> usize {
+        self.picked_frames.len()
+    }
+
+    /// Objects retained by the randomization (non-empty `R_i`); lost objects
+    /// cannot appear in the synthetic video (Section 4.2.1).
+    pub fn retained_rows(&self) -> Vec<usize> {
+        (0..self.randomized.num_objects())
+            .filter(|&i| !self.randomized.row(i).all_zero())
+            .collect()
+    }
+
+    /// Number of synthetic objects frame position `j` (into
+    /// `picked_frames`) must receive: `Σ_i R_i^j`.
+    pub fn required_in_picked(&self, j: usize) -> usize {
+        self.randomized.column_count(j)
+    }
+}
+
+/// Runs Phase I over ground-truth or tracked annotations.
+///
+/// `key_frames` must come from Algorithm 2 over the same video. The noise
+/// level is resolved here: with [`NoiseLevel::EpsilonBudget`] the flip
+/// probability `f = 2/(e^{ε/ℓ*}+1)` and the picked-frame count `ℓ*` are
+/// solved jointly by a short fixed-point iteration (the optimizer's costs
+/// depend on `f`, and `f` depends on how many frames were picked).
+pub fn run_phase1<R: Rng + ?Sized>(
+    annotations: &VideoAnnotations,
+    key_frames: &KeyFrameResult,
+    config: &VerroConfig,
+    rng: &mut R,
+) -> Result<Phase1Output, VerroError> {
+    config.validate().map_err(VerroError::BadConfig)?;
+
+    let matrix = PresenceMatrix::from_annotations(annotations);
+    let kf: Vec<usize> = key_frames.key_frames();
+    if kf.len() < config.min_picked {
+        return Err(VerroError::TooFewKeyFrames {
+            available: kf.len(),
+            required: config.min_picked,
+        });
+    }
+    let reduced = matrix.project(&kf);
+
+    // The optimizer's counts are Laplace-released exactly once; the
+    // budget-mode fixed point below re-optimizes over the same release.
+    let counts = noisy_counts(&reduced, config.optimizer_noise_epsilon, rng);
+    let n = reduced.num_objects();
+
+    // Resolve the flip probability. In budget mode the selection and `f`
+    // are mutually dependent (the FullDistortion costs depend on `f`, and
+    // `f` depends on the number of picked frames), so iterate to a fixed
+    // point — convergence is fast because `ℓ*` only takes integer values.
+    let (pick, flip) = match config.noise {
+        NoiseLevel::FlipProbability(f) => {
+            let pick = pick_from_counts(
+                &counts,
+                n,
+                f,
+                config.optimizer,
+                config.objective,
+                config.min_picked,
+            )?;
+            (pick, f)
+        }
+        NoiseLevel::EpsilonBudget(eps) => {
+            let mut f = 0.5;
+            let mut pick = None;
+            for _ in 0..8 {
+                let p = pick_from_counts(
+                    &counts,
+                    n,
+                    f,
+                    config.optimizer,
+                    config.objective,
+                    config.min_picked,
+                )?;
+                let new_f = flip_for_epsilon(p.count(), eps);
+                let stable = (new_f - f).abs() < 1e-12;
+                f = new_f;
+                pick = Some(p);
+                if stable {
+                    break;
+                }
+            }
+            (pick.expect("at least one iteration ran"), f)
+        }
+    };
+
+    let picked_positions = pick.indices();
+    let picked_frames: Vec<usize> = picked_positions.iter().map(|&j| kf[j]).collect();
+    let ell_star = picked_frames.len();
+
+    let original = matrix.project(&picked_frames);
+    let randomized_rows = original
+        .rows()
+        .iter()
+        .map(|row| randomize_flip(row, flip, rng))
+        .collect();
+    let randomized = PresenceMatrix::from_rows(
+        original.ids().to_vec(),
+        randomized_rows,
+        original.num_frames(),
+    );
+
+    let epsilon = epsilon_of_flip(ell_star, flip);
+    let mut ledger = BudgetLedger::new();
+    ledger.spend("phase1-randomized-response", epsilon);
+    if config.optimizer_noise_epsilon.is_some()
+        && config.optimizer != OptimizerStrategy::AllKeyFrames
+    {
+        ledger.spend(
+            "optimizer-count-laplace",
+            config.optimizer_noise_epsilon.unwrap_or(0.0),
+        );
+    }
+
+    Ok(Phase1Output {
+        key_frames: kf,
+        picked_positions,
+        picked_frames,
+        flip,
+        epsilon,
+        original,
+        randomized,
+        pick,
+        ledger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use verro_video::geometry::BBox;
+    use verro_video::object::{ObjectClass, ObjectId};
+    use verro_vision::keyframe::Segment;
+
+    fn annotations() -> VideoAnnotations {
+        let mut ann = VideoAnnotations::new(30);
+        let b = |x: f64| BBox::new(x, 10.0, 4.0, 8.0);
+        for i in 0..6u32 {
+            let start = (i as usize) * 3;
+            for k in start..(start + 12).min(30) {
+                ann.record(ObjectId(i), ObjectClass::Pedestrian, k, b(k as f64));
+            }
+        }
+        ann
+    }
+
+    fn key_frames(frames: &[usize]) -> KeyFrameResult {
+        KeyFrameResult {
+            segments: frames
+                .iter()
+                .map(|&k| Segment {
+                    frames: vec![k],
+                    key_frame: k,
+                })
+                .collect(),
+        }
+    }
+
+    fn config() -> VerroConfig {
+        let mut c = VerroConfig::default().with_flip(0.2);
+        c.optimizer_noise_epsilon = None; // deterministic costs in tests
+        c
+    }
+
+    #[test]
+    fn output_dimensions_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ann = annotations();
+        let kf = key_frames(&[2, 8, 14, 20, 26]);
+        let out = run_phase1(&ann, &kf, &config(), &mut rng).unwrap();
+        assert_eq!(out.key_frames, vec![2, 8, 14, 20, 26]);
+        assert!(out.num_picked() >= 2);
+        assert_eq!(out.original.num_frames(), out.num_picked());
+        assert_eq!(out.randomized.num_frames(), out.num_picked());
+        assert_eq!(out.original.num_objects(), 6);
+        // Picked frames are a subset of key frames in order.
+        for w in out.picked_frames.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for pf in &out.picked_frames {
+            assert!(out.key_frames.contains(pf));
+        }
+    }
+
+    #[test]
+    fn epsilon_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ann = annotations();
+        let kf = key_frames(&[2, 8, 14, 20, 26]);
+        let out = run_phase1(&ann, &kf, &config(), &mut rng).unwrap();
+        let expect = out.num_picked() as f64 * ((2.0 - 0.2f64) / 0.2).ln();
+        assert!((out.epsilon - expect).abs() < 1e-12);
+        assert!((out.ledger.total() - out.epsilon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_budget_mode_derives_flip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ann = annotations();
+        let kf = key_frames(&[2, 8, 14, 20, 26]);
+        let mut cfg = config().with_epsilon(6.0);
+        cfg.optimizer_noise_epsilon = None;
+        let out = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
+        // Realized RR epsilon equals the requested budget.
+        assert!((out.epsilon - 6.0).abs() < 1e-9, "epsilon = {}", out.epsilon);
+        assert!(out.flip > 0.0 && out.flip < 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ann = annotations();
+        let kf = key_frames(&[2, 8, 14, 20, 26]);
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = run_phase1(&ann, &kf, &config(), &mut r1).unwrap();
+        let b = run_phase1(&ann, &kf, &config(), &mut r2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn low_flip_preserves_most_presence() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ann = annotations();
+        let kf = key_frames(&[2, 8, 14, 20, 26]);
+        let mut cfg = config().with_flip(0.05);
+        cfg.optimizer = OptimizerStrategy::AllKeyFrames;
+        let out = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
+        let total_flips: usize = out
+            .original
+            .rows()
+            .iter()
+            .zip(out.randomized.rows())
+            .map(|(a, b)| a.hamming(b))
+            .sum();
+        let total_bits = out.original.num_objects() * out.original.num_frames();
+        assert!(
+            (total_flips as f64) < 0.2 * total_bits as f64,
+            "{total_flips}/{total_bits} flips at f = 0.05"
+        );
+    }
+
+    #[test]
+    fn retained_rows_reflect_randomized_matrix() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ann = annotations();
+        let kf = key_frames(&[2, 8, 14, 20, 26]);
+        let out = run_phase1(&ann, &kf, &config(), &mut rng).unwrap();
+        for &i in &out.retained_rows() {
+            assert!(!out.randomized.row(i).all_zero());
+        }
+        let required_total: usize = (0..out.num_picked())
+            .map(|j| out.required_in_picked(j))
+            .sum();
+        let ones_total: usize = out
+            .randomized
+            .rows()
+            .iter()
+            .map(|r| r.count_ones())
+            .sum();
+        assert_eq!(required_total, ones_total);
+    }
+
+    #[test]
+    fn too_few_key_frames_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ann = annotations();
+        let kf = key_frames(&[5]);
+        assert!(matches!(
+            run_phase1(&ann, &kf, &config(), &mut rng),
+            Err(VerroError::TooFewKeyFrames { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ann = annotations();
+        let kf = key_frames(&[2, 8]);
+        let cfg = config().with_flip(2.0);
+        assert!(matches!(
+            run_phase1(&ann, &kf, &cfg, &mut rng),
+            Err(VerroError::BadConfig(_))
+        ));
+    }
+}

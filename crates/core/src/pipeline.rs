@@ -1,0 +1,465 @@
+//! The end-to-end VERRO sanitizer.
+//!
+//! ```text
+//! input video ──► preprocessing (key frames, backgrounds, [detect+track])
+//!              ──► Phase I  (reduce → optimize → randomized response)
+//!              ──► Phase II (coordinates → interpolation → synthesis)
+//!              ──► V* + privacy statement + utility report
+//! ```
+
+use crate::config::VerroConfig;
+use crate::error::VerroError;
+use crate::metrics::UtilityReport;
+use crate::phase1::{run_phase1, Phase1Output};
+use crate::phase2::{run_phase2, Phase2Output};
+use crate::privacy::PrivacyStatement;
+use crate::synthesis::{build_backgrounds, SyntheticVideo};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+use verro_video::annotations::VideoAnnotations;
+use verro_video::object::ObjectClass;
+use verro_video::source::FrameSource;
+use verro_vision::detect::{detect, DetectorConfig};
+use verro_vision::keyframe::{extract_key_frames, KeyFrameResult};
+use verro_vision::track::{SortTracker, TrackerConfig};
+
+/// Wall-clock cost of each stage (Table 3 rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Key-frame extraction + background reconstruction (+ detection and
+    /// tracking when the pipeline ran them).
+    pub preprocess: Duration,
+    /// Dimension reduction + optimization + randomized response.
+    pub phase1: Duration,
+    /// Coordinate assignment + interpolation + synthesis assembly.
+    pub phase2: Duration,
+}
+
+/// Everything a sanitization run produces.
+#[derive(Debug, Clone)]
+pub struct SanitizedResult {
+    /// The publishable synthetic video `V*`.
+    pub video: SyntheticVideo,
+    /// Phase I artifacts (presence vectors, picked frames, ε).
+    pub phase1: Phase1Output,
+    /// Phase II artifacts (trajectories, mapping, losses).
+    pub phase2: Phase2Output,
+    /// The Algorithm 2 segmentation.
+    pub key_frames: KeyFrameResult,
+    /// Stage timings.
+    pub timings: PhaseTimings,
+    /// Owner-side utility summary against the original annotations.
+    pub utility: UtilityReport,
+    /// The privacy guarantee of the release.
+    pub privacy: PrivacyStatement,
+}
+
+/// Per-class artifacts of a multi-type sanitization.
+#[derive(Debug, Clone)]
+pub struct ClassResult {
+    pub class: ObjectClass,
+    pub privacy: PrivacyStatement,
+    pub utility: UtilityReport,
+    pub phase1: Phase1Output,
+    pub phase2: Phase2Output,
+}
+
+/// Result of [`Verro::sanitize_per_class`]: one merged synthetic video plus
+/// per-class privacy statements and utility reports.
+#[derive(Debug, Clone)]
+pub struct MultiClassResult {
+    /// The merged publishable video (all classes' synthetic objects).
+    pub video: SyntheticVideo,
+    /// Per-class artifacts in ascending class order.
+    pub per_class: Vec<ClassResult>,
+    /// The shared Algorithm 2 segmentation.
+    pub key_frames: KeyFrameResult,
+    /// Timings: preprocess, and the combined Phase I+II loop.
+    pub timings: PhaseTimings,
+}
+
+/// The VERRO sanitizer.
+#[derive(Debug, Clone)]
+pub struct Verro {
+    config: VerroConfig,
+}
+
+impl Verro {
+    /// Creates a sanitizer after validating the configuration.
+    pub fn new(config: VerroConfig) -> Result<Self, VerroError> {
+        config.validate().map_err(VerroError::BadConfig)?;
+        Ok(Self { config })
+    }
+
+    pub fn config(&self) -> &VerroConfig {
+        &self.config
+    }
+
+    /// Sanitizes a video given owner-side annotations (ground truth or a
+    /// prior tracking run).
+    pub fn sanitize<S: FrameSource + Sync>(
+        &self,
+        src: &S,
+        annotations: &VideoAnnotations,
+    ) -> Result<SanitizedResult, VerroError> {
+        if src.num_frames() == 0 {
+            return Err(VerroError::EmptyVideo);
+        }
+        assert_eq!(
+            src.num_frames(),
+            annotations.num_frames(),
+            "annotations must cover the video"
+        );
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Preprocessing: Algorithm 2 segmentation + background scenes.
+        let t0 = Instant::now();
+        let key_frames = extract_key_frames(src, &self.config.keyframe);
+        let backgrounds = build_backgrounds(src, annotations, &key_frames, &self.config);
+        let preprocess = t0.elapsed();
+
+        // Phase I.
+        let t1 = Instant::now();
+        let phase1 = run_phase1(annotations, &key_frames, &self.config, &mut rng)?;
+        let phase1_time = t1.elapsed();
+
+        // Phase II.
+        let t2 = Instant::now();
+        let phase2 = run_phase2(
+            &phase1,
+            annotations,
+            &key_frames,
+            src.frame_size(),
+            &self.config,
+            &mut rng,
+        );
+        let video = SyntheticVideo::new(
+            src.frame_size(),
+            src.fps(),
+            backgrounds,
+            phase2.synthetic.clone(),
+        );
+        let phase2_time = t2.elapsed();
+
+        let utility = UtilityReport::compute(annotations, &phase2.synthetic, &phase2.mapping);
+        let privacy = PrivacyStatement::from_phase1(&phase1, &self.config);
+
+        Ok(SanitizedResult {
+            video,
+            phase1,
+            phase2,
+            key_frames,
+            timings: PhaseTimings {
+                preprocess,
+                phase1: phase1_time,
+                phase2: phase2_time,
+            },
+            utility,
+            privacy,
+        })
+    }
+
+    /// Sanitizes a video with **multiple sensitive object types**
+    /// (Section 5, "Multiple Object Types"): the annotations are
+    /// partitioned by class, each class is sanitized independently (its
+    /// objects are ε-indistinguishable within the class), and the synthetic
+    /// populations are merged into one output video. Key frames and
+    /// backgrounds are computed once and shared.
+    pub fn sanitize_per_class<S: FrameSource + Sync>(
+        &self,
+        src: &S,
+        annotations: &VideoAnnotations,
+    ) -> Result<MultiClassResult, VerroError> {
+        if src.num_frames() == 0 {
+            return Err(VerroError::EmptyVideo);
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let t0 = Instant::now();
+        let key_frames = extract_key_frames(src, &self.config.keyframe);
+        let backgrounds =
+            crate::synthesis::build_backgrounds(src, annotations, &key_frames, &self.config);
+        let preprocess = t0.elapsed();
+
+        let classes: std::collections::BTreeSet<ObjectClass> =
+            annotations.tracks().map(|t| t.class).collect();
+
+        let mut merged = VideoAnnotations::new(annotations.num_frames());
+        let mut per_class = Vec::new();
+        let mut next_id = 0u32;
+        let t1 = Instant::now();
+        for class in classes {
+            let class_ann = annotations.filtered(|t| t.class == class);
+            let phase1 = run_phase1(&class_ann, &key_frames, &self.config, &mut rng)?;
+            let phase2 = run_phase2(
+                &phase1,
+                &class_ann,
+                &key_frames,
+                src.frame_size(),
+                &self.config,
+                &mut rng,
+            );
+            // Renumber this class's synthetic objects after the previous
+            // classes' so the merged video has dense distinct IDs.
+            let offset = next_id;
+            for track in phase2.synthetic.tracks() {
+                for obs in track.observations() {
+                    merged.record(
+                        verro_video::object::ObjectId(track.id.0 + offset),
+                        track.class,
+                        obs.frame,
+                        obs.bbox,
+                    );
+                }
+                next_id = next_id.max(offset + track.id.0 + 1);
+            }
+            let privacy = PrivacyStatement::from_phase1(&phase1, &self.config);
+            let utility = UtilityReport::compute(&class_ann, &phase2.synthetic, &phase2.mapping);
+            per_class.push(ClassResult {
+                class,
+                privacy,
+                utility,
+                phase1,
+                phase2,
+            });
+        }
+        let phases = t1.elapsed();
+
+        let video = SyntheticVideo::new(src.frame_size(), src.fps(), backgrounds, merged);
+        Ok(MultiClassResult {
+            video,
+            per_class,
+            key_frames,
+            timings: PhaseTimings {
+                preprocess,
+                phase1: phases,
+                phase2: Duration::ZERO,
+            },
+        })
+    }
+
+    /// Runs the full preprocessing itself — temporal background model,
+    /// background-subtraction detection, SORT tracking — then sanitizes.
+    /// Returns the tracked annotations alongside the result so callers can
+    /// evaluate tracking quality separately.
+    pub fn sanitize_with_tracking<S: FrameSource + Sync>(
+        &self,
+        src: &S,
+        detector: &DetectorConfig,
+        tracker_config: TrackerConfig,
+        class: ObjectClass,
+    ) -> Result<(SanitizedResult, VideoAnnotations), VerroError> {
+        if src.num_frames() == 0 {
+            return Err(VerroError::EmptyVideo);
+        }
+        // Background model over the whole clip for subtraction.
+        let bg = verro_vision::bgmodel::median_background(
+            src,
+            0,
+            src.num_frames() - 1,
+            &verro_vision::bgmodel::BackgroundConfig {
+                max_samples: self.config.background_samples,
+            },
+        );
+        let mut tracker = SortTracker::new(tracker_config, class);
+        for k in 0..src.num_frames() {
+            let frame = src.frame(k);
+            let dets: Vec<_> = detect(&frame, &bg, detector)
+                .into_iter()
+                .map(|d| d.bbox)
+                .collect();
+            tracker.step(k, &dets);
+        }
+        let annotations = tracker.finish(src.num_frames());
+        let result = self.sanitize(src, &annotations)?;
+        Ok((result, annotations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BackgroundMode, NoiseLevel, OptimizerStrategy};
+    use verro_video::camera::Camera;
+    use verro_video::generator::{GeneratedVideo, VideoSpec};
+    use verro_video::geometry::Size;
+    use verro_video::scene::SceneKind;
+
+    fn tiny_video() -> GeneratedVideo {
+        GeneratedVideo::generate(VideoSpec {
+            name: "pipeline-test".into(),
+            nominal_size: Size::new(160, 120),
+            raster_scale: 1.0,
+            num_frames: 40,
+            num_objects: 5,
+            scene: SceneKind::DaySquare,
+            camera: Camera::Static,
+            class: ObjectClass::Pedestrian,
+            fps: 30.0,
+            seed: 3,
+            min_lifetime: 12,
+            max_lifetime: 35,
+            lifetime_mix: None,
+            lighting_drift: 0.15,
+            lighting_period: 8.0,
+        })
+    }
+
+    fn fast_config() -> VerroConfig {
+        let mut cfg = VerroConfig::default().with_flip(0.1).with_seed(7);
+        cfg.background = BackgroundMode::TemporalMedian;
+        cfg.keyframe.tau = 0.97;
+        cfg.optimizer_noise_epsilon = None;
+        cfg
+    }
+
+    #[test]
+    fn end_to_end_sanitization() {
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let result = verro.sanitize(&video, video.annotations()).unwrap();
+
+        assert!(result.privacy.is_consistent());
+        assert!(result.phase1.num_picked() >= 2);
+        assert_eq!(result.video.num_frames(), 40);
+        assert_eq!(result.video.frame_size(), Size::new(160, 120));
+        assert!(result.utility.retained_objects <= result.utility.original_objects);
+        // A frame renders without panicking and differs from raw input.
+        let f = result.video.frame(20);
+        assert_eq!(f.size(), Size::new(160, 120));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let a = verro.sanitize(&video, video.annotations()).unwrap();
+        let b = verro.sanitize(&video, video.annotations()).unwrap();
+        assert_eq!(a.phase2.synthetic, b.phase2.synthetic);
+        assert_eq!(a.phase1.randomized, b.phase1.randomized);
+        assert_eq!(a.utility, b.utility);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let video = tiny_video();
+        let a = Verro::new(fast_config().with_seed(1))
+            .unwrap()
+            .sanitize(&video, video.annotations())
+            .unwrap();
+        let b = Verro::new(fast_config().with_seed(2))
+            .unwrap()
+            .sanitize(&video, video.annotations())
+            .unwrap();
+        assert_ne!(a.phase2.synthetic, b.phase2.synthetic);
+    }
+
+    #[test]
+    fn low_flip_beats_high_flip_on_deviation() {
+        let video = tiny_video();
+        let dev = |f: f64| {
+            let mut cfg = fast_config().with_flip(f);
+            cfg.optimizer = OptimizerStrategy::AllKeyFrames;
+            // Average over seeds to damp randomness.
+            let mut total = 0.0;
+            for seed in 0..5 {
+                let r = Verro::new(cfg.clone().with_seed(seed))
+                    .unwrap()
+                    .sanitize(&video, video.annotations())
+                    .unwrap();
+                total += r.utility.trajectory_deviation;
+            }
+            total / 5.0
+        };
+        let low = dev(0.1);
+        let high = dev(0.9);
+        assert!(
+            low < high + 0.05,
+            "deviation at f=0.1 ({low}) should not exceed f=0.9 ({high})"
+        );
+    }
+
+    #[test]
+    fn epsilon_budget_mode_end_to_end() {
+        let video = tiny_video();
+        let mut cfg = fast_config();
+        cfg.noise = NoiseLevel::EpsilonBudget(8.0);
+        let r = Verro::new(cfg).unwrap().sanitize(&video, video.annotations()).unwrap();
+        assert!((r.privacy.epsilon_rr - 8.0).abs() < 1e-9);
+        assert!(r.privacy.is_consistent());
+    }
+
+    #[test]
+    fn rejects_empty_video() {
+        // An annotations/video length mismatch or empty video must fail.
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let empty_ann = VideoAnnotations::new(40);
+        // Empty annotations are fine (no objects to protect) — check it runs.
+        let r = verro.sanitize(&video, &empty_ann).unwrap();
+        assert_eq!(r.utility.original_objects, 0);
+        assert_eq!(r.phase2.synthetic.num_objects(), 0);
+    }
+
+    #[test]
+    fn tracking_pipeline_end_to_end() {
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let (result, tracked) = verro
+            .sanitize_with_tracking(
+                &video,
+                &DetectorConfig::default(),
+                TrackerConfig::default(),
+                ObjectClass::Pedestrian,
+            )
+            .unwrap();
+        // The tracker must find a sensible number of objects (generator
+        // created 5; occlusion merges can reduce, flicker can add).
+        assert!(tracked.num_objects() >= 1, "tracker found nothing");
+        assert!(result.privacy.is_consistent());
+    }
+
+    #[test]
+    fn multi_class_sanitization_partitions_by_type() {
+        use verro_video::generator::CompositeVideo;
+        let peds = tiny_video();
+        let mut spec = peds.spec().clone();
+        spec.class = ObjectClass::Vehicle;
+        spec.num_objects = 3;
+        spec.seed = 77;
+        let vehicles = GeneratedVideo::generate(spec);
+        let video = CompositeVideo::new(peds, vehicles);
+
+        let verro = Verro::new(fast_config()).unwrap();
+        let result = verro.sanitize_per_class(&video, video.annotations()).unwrap();
+        assert_eq!(result.per_class.len(), 2);
+        for cr in &result.per_class {
+            assert!(cr.privacy.is_consistent(), "{:?}", cr.class);
+        }
+        // The merged video contains both classes' synthetic objects with
+        // distinct IDs.
+        let ids = result.video.annotations.ids();
+        let distinct: std::collections::BTreeSet<_> = ids.iter().collect();
+        assert_eq!(distinct.len(), ids.len());
+        let classes: std::collections::BTreeSet<_> = result
+            .video
+            .annotations
+            .tracks()
+            .map(|t| t.class)
+            .collect();
+        // Both classes survive with high probability at f = 0.1; at minimum
+        // the merge must not invent classes.
+        assert!(classes
+            .iter()
+            .all(|c| matches!(c, ObjectClass::Pedestrian | ObjectClass::Vehicle)));
+        // A frame renders.
+        let _ = result.video.frame(10);
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        assert!(Verro::new(fast_config().with_flip(0.0)).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Object presence matrices (Definition 3.1).
+//!
+//! For a video of `m` frames with `n` objects, the presence matrix stacks
+//! one `m`-bit vector per object: bit `k` of row `i` says whether object
+//! `O_i` appears in frame `F_k`. This is the "local data" Phase I
+//! randomizes.
+
+use serde::{Deserialize, Serialize};
+use verro_ldp::bitvec::BitVec;
+use verro_video::annotations::VideoAnnotations;
+use verro_video::object::ObjectId;
+
+/// The presence matrix of a video: one bit vector per object, all of the
+/// same length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresenceMatrix {
+    /// Object IDs in row order.
+    ids: Vec<ObjectId>,
+    /// One presence vector per object.
+    rows: Vec<BitVec>,
+    /// Number of frames (columns).
+    num_frames: usize,
+}
+
+impl PresenceMatrix {
+    /// Builds the presence matrix from annotations.
+    pub fn from_annotations(ann: &VideoAnnotations) -> Self {
+        let m = ann.num_frames();
+        let mut ids = Vec::with_capacity(ann.num_objects());
+        let mut rows = Vec::with_capacity(ann.num_objects());
+        for track in ann.tracks() {
+            let mut row = BitVec::zeros(m);
+            for obs in track.observations() {
+                row.set(obs.frame, true);
+            }
+            ids.push(track.id);
+            rows.push(row);
+        }
+        Self {
+            ids,
+            rows,
+            num_frames: m,
+        }
+    }
+
+    /// Builds directly from rows (tests and intermediate stages).
+    pub fn from_rows(ids: Vec<ObjectId>, rows: Vec<BitVec>, num_frames: usize) -> Self {
+        assert_eq!(ids.len(), rows.len(), "one id per row");
+        assert!(
+            rows.iter().all(|r| r.len() == num_frames),
+            "all rows must have {num_frames} bits"
+        );
+        Self {
+            ids,
+            rows,
+            num_frames,
+        }
+    }
+
+    /// Number of objects `n`.
+    pub fn num_objects(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of frames (columns).
+    pub fn num_frames(&self) -> usize {
+        self.num_frames
+    }
+
+    /// Object IDs in row order.
+    pub fn ids(&self) -> &[ObjectId] {
+        &self.ids
+    }
+
+    /// The presence vector of row `i`.
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[BitVec] {
+        &self.rows
+    }
+
+    /// Count of objects present in column (frame) `k`: `Σ_i b_i^k`.
+    pub fn column_count(&self, k: usize) -> usize {
+        self.rows.iter().filter(|r| r.get(k)).count()
+    }
+
+    /// Per-column counts for all frames.
+    pub fn column_counts(&self) -> Vec<usize> {
+        (0..self.num_frames).map(|k| self.column_count(k)).collect()
+    }
+
+    /// Projects every row onto the given frame positions (dimension
+    /// reduction onto key frames, Section 3.2): the result has
+    /// `positions.len()` columns.
+    pub fn project(&self, positions: &[usize]) -> PresenceMatrix {
+        for &p in positions {
+            assert!(p < self.num_frames, "frame {p} out of range");
+        }
+        PresenceMatrix {
+            ids: self.ids.clone(),
+            rows: self.rows.iter().map(|r| r.project(positions)).collect(),
+            num_frames: positions.len(),
+        }
+    }
+
+    /// Number of objects whose row is non-empty (present somewhere).
+    pub fn distinct_present(&self) -> usize {
+        self.rows.iter().filter(|r| !r.all_zero()).count()
+    }
+
+    /// IDs of the objects with non-empty rows.
+    pub fn present_ids(&self) -> Vec<ObjectId> {
+        self.ids
+            .iter()
+            .zip(&self.rows)
+            .filter(|(_, r)| !r.all_zero())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verro_video::geometry::BBox;
+    use verro_video::object::ObjectClass;
+
+    fn sample() -> PresenceMatrix {
+        let mut ann = VideoAnnotations::new(6);
+        let b = BBox::new(0.0, 0.0, 2.0, 4.0);
+        for k in 0..3 {
+            ann.record(ObjectId(0), ObjectClass::Pedestrian, k, b);
+        }
+        for k in 2..6 {
+            ann.record(ObjectId(1), ObjectClass::Pedestrian, k, b);
+        }
+        PresenceMatrix::from_annotations(&ann)
+    }
+
+    #[test]
+    fn builds_from_annotations() {
+        let m = sample();
+        assert_eq!(m.num_objects(), 2);
+        assert_eq!(m.num_frames(), 6);
+        assert_eq!(m.row(0).to_string(), "111000");
+        assert_eq!(m.row(1).to_string(), "001111");
+        assert_eq!(m.ids(), &[ObjectId(0), ObjectId(1)]);
+    }
+
+    #[test]
+    fn column_counts() {
+        let m = sample();
+        assert_eq!(m.column_counts(), vec![1, 1, 2, 1, 1, 1]);
+        assert_eq!(m.column_count(2), 2);
+    }
+
+    #[test]
+    fn projection_reduces_dimension() {
+        let m = sample();
+        let p = m.project(&[0, 2, 5]);
+        assert_eq!(p.num_frames(), 3);
+        assert_eq!(p.row(0).to_string(), "110");
+        assert_eq!(p.row(1).to_string(), "011");
+    }
+
+    #[test]
+    fn distinct_present_counts_nonempty_rows() {
+        let m = sample();
+        assert_eq!(m.distinct_present(), 2);
+        // Project onto frames where only object 1 appears.
+        let p = m.project(&[4, 5]);
+        assert_eq!(p.distinct_present(), 1);
+        assert_eq!(p.present_ids(), vec![ObjectId(1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn project_rejects_out_of_range() {
+        sample().project(&[9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_rows_checks_lengths() {
+        PresenceMatrix::from_rows(vec![ObjectId(0)], vec![BitVec::zeros(3)], 4);
+    }
+}

@@ -1,0 +1,124 @@
+//! Privacy accounting for a full VERRO run.
+//!
+//! The randomized-response guarantee is `ε = ℓ*·ln((2−f)/f)` over the
+//! picked key frames (Theorems 3.3/3.4); the optimizer's Laplace noise adds
+//! its own ε′ for the count side channel (Section 3.3.3); Phase II is pure
+//! post-processing and spends nothing (Theorem 4.1).
+
+use crate::config::VerroConfig;
+use crate::phase1::Phase1Output;
+use serde::{Deserialize, Serialize};
+
+/// A machine-readable privacy statement for a sanitized video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyStatement {
+    /// ε of the randomized response (object indistinguishability bound).
+    pub epsilon_rr: f64,
+    /// ε′ of the optimizer's Laplace noise, if enabled.
+    pub epsilon_optimizer: Option<f64>,
+    /// The flip probability applied.
+    pub flip: f64,
+    /// Number of key frames that received budget (`ℓ*`).
+    pub picked_frames: usize,
+    /// Total ε under sequential composition.
+    pub epsilon_total: f64,
+}
+
+impl PrivacyStatement {
+    /// Builds the statement from the Phase I output and configuration.
+    pub fn from_phase1(phase1: &Phase1Output, config: &VerroConfig) -> Self {
+        let epsilon_optimizer = match config.optimizer {
+            crate::config::OptimizerStrategy::AllKeyFrames => None,
+            _ => config.optimizer_noise_epsilon,
+        };
+        Self {
+            epsilon_rr: phase1.epsilon,
+            epsilon_optimizer,
+            flip: phase1.flip,
+            picked_frames: phase1.num_picked(),
+            epsilon_total: phase1.epsilon + epsilon_optimizer.unwrap_or(0.0),
+        }
+    }
+
+    /// Whether the stated ε matches the `ℓ*·ln((2−f)/f)` identity — a
+    /// self-check callers can assert.
+    pub fn is_consistent(&self) -> bool {
+        let expect = self.picked_frames as f64 * ((2.0 - self.flip) / self.flip).ln();
+        (self.epsilon_rr - expect).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OptimizerStrategy, VerroConfig};
+    use crate::phase1::run_phase1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use verro_video::annotations::VideoAnnotations;
+    use verro_video::geometry::BBox;
+    use verro_video::object::{ObjectClass, ObjectId};
+    use verro_vision::keyframe::{KeyFrameResult, Segment};
+
+    fn setup() -> (VideoAnnotations, KeyFrameResult) {
+        let mut ann = VideoAnnotations::new(20);
+        for i in 0..4u32 {
+            for k in (i as usize)..(i as usize + 10) {
+                ann.record(
+                    ObjectId(i),
+                    ObjectClass::Pedestrian,
+                    k,
+                    BBox::new(k as f64, 5.0, 3.0, 6.0),
+                );
+            }
+        }
+        let kf = KeyFrameResult {
+            segments: [3usize, 9, 15]
+                .iter()
+                .map(|&k| Segment {
+                    frames: vec![k],
+                    key_frame: k,
+                })
+                .collect(),
+        };
+        (ann, kf)
+    }
+
+    #[test]
+    fn statement_is_consistent() {
+        let (ann, kf) = setup();
+        let cfg = VerroConfig::default().with_flip(0.25);
+        let mut rng = StdRng::seed_from_u64(1);
+        let p1 = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
+        let s = PrivacyStatement::from_phase1(&p1, &cfg);
+        assert!(s.is_consistent());
+        assert_eq!(s.flip, 0.25);
+        assert_eq!(s.epsilon_optimizer, Some(1.0));
+        assert!((s.epsilon_total - s.epsilon_rr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_key_frames_strategy_skips_optimizer_budget() {
+        let (ann, kf) = setup();
+        let mut cfg = VerroConfig::default().with_flip(0.25);
+        cfg.optimizer = OptimizerStrategy::AllKeyFrames;
+        let mut rng = StdRng::seed_from_u64(2);
+        let p1 = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
+        let s = PrivacyStatement::from_phase1(&p1, &cfg);
+        assert_eq!(s.epsilon_optimizer, None);
+        assert_eq!(s.epsilon_total, s.epsilon_rr);
+        assert_eq!(s.picked_frames, 3);
+    }
+
+    #[test]
+    fn inconsistent_statement_detected() {
+        let s = PrivacyStatement {
+            epsilon_rr: 1.0,
+            epsilon_optimizer: None,
+            flip: 0.5,
+            picked_frames: 10,
+            epsilon_total: 1.0,
+        };
+        assert!(!s.is_consistent());
+    }
+}

@@ -1,0 +1,342 @@
+//! Synthetic video synthesis: background reconstruction and rendering of
+//! the indistinguishable replacement objects.
+//!
+//! Backgrounds are reconstructed per segment by removing the original
+//! objects and filling the holes with exemplar inpainting (the paper's
+//! reference \[11\]) or by the temporal-median ablation. Every retained object
+//! is rendered as the *same shape* — a capsule — in a distinct random color:
+//! visual indistinguishability comes from uniform shape, and the color only
+//! separates instances (its assignment is random, Section 2.2.2).
+
+use crate::config::{BackgroundMode, VerroConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use verro_video::annotations::VideoAnnotations;
+use verro_video::color::{distinct_color, Rgb};
+use verro_video::geometry::{BBox, Size};
+use verro_video::image::ImageBuffer;
+use verro_video::object::ObjectId;
+use verro_video::source::FrameSource;
+use verro_vision::bgmodel::{median_background, BackgroundConfig};
+use verro_vision::inpaint::{inpaint, InpaintConfig, Mask};
+use verro_vision::keyframe::KeyFrameResult;
+
+/// Removes the given object boxes from a frame and reconstructs the pixels
+/// behind them (Section 4.1). Boxes are slightly inflated so soft object
+/// edges do not bleed into the reconstruction.
+pub fn reconstruct_background(
+    frame: &ImageBuffer,
+    boxes: &[BBox],
+    config: &InpaintConfig,
+) -> ImageBuffer {
+    let inflated: Vec<BBox> = boxes.iter().map(|b| b.scaled_about_center(1.15)).collect();
+    let mask = Mask::from_boxes(frame.width(), frame.height(), &inflated);
+    let mut out = frame.clone();
+    inpaint(&mut out, &mask, config);
+    out
+}
+
+/// One reconstructed background and the frame range it covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackgroundScene {
+    pub start: usize,
+    pub end: usize,
+    pub image: ImageBuffer,
+}
+
+/// Builds per-segment background scenes from the source video.
+pub fn build_backgrounds<S: FrameSource + Sync>(
+    src: &S,
+    annotations: &VideoAnnotations,
+    key_frames: &KeyFrameResult,
+    config: &VerroConfig,
+) -> Vec<BackgroundScene> {
+    key_frames
+        .segments
+        .iter()
+        .map(|seg| {
+            let (start, end) = (seg.start(), seg.end());
+            let image = match config.background {
+                BackgroundMode::KeyFrameInpaint => {
+                    let frame = src.frame(seg.key_frame);
+                    let boxes: Vec<BBox> = annotations
+                        .in_frame(seg.key_frame)
+                        .into_iter()
+                        .map(|(_, b)| b)
+                        .collect();
+                    reconstruct_background(&frame, &boxes, &config.inpaint)
+                }
+                BackgroundMode::TemporalMedian => median_background(
+                    src,
+                    start,
+                    end,
+                    &BackgroundConfig {
+                        max_samples: config.background_samples,
+                    },
+                ),
+            };
+            BackgroundScene { start, end, image }
+        })
+        .collect()
+}
+
+/// The published synthetic video `V*`: reconstructed backgrounds plus the
+/// synthetic objects of Phase II, rendered lazily frame by frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticVideo {
+    size: Size,
+    fps: f64,
+    num_frames: usize,
+    backgrounds: Vec<BackgroundScene>,
+    /// Synthetic trajectories (what the recipient could re-derive by
+    /// tracking `V*`).
+    pub annotations: VideoAnnotations,
+    colors: BTreeMap<ObjectId, Rgb>,
+}
+
+/// Serializable summary of the synthetic video (sizes, colors) for reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticVideoInfo {
+    pub num_frames: usize,
+    pub num_objects: usize,
+    pub num_backgrounds: usize,
+}
+
+impl SyntheticVideo {
+    /// Assembles the output video. Colors are assigned by synthetic object
+    /// index — random with respect to the original identities because the
+    /// synthetic IDs were produced by Phase II's randomized assignment.
+    pub fn new(
+        size: Size,
+        fps: f64,
+        backgrounds: Vec<BackgroundScene>,
+        annotations: VideoAnnotations,
+    ) -> Self {
+        assert!(!backgrounds.is_empty(), "need at least one background");
+        let num_frames = annotations.num_frames();
+        let colors = annotations
+            .ids()
+            .into_iter()
+            .map(|id| (id, distinct_color(id.0 as usize)))
+            .collect();
+        Self {
+            size,
+            fps,
+            num_frames,
+            backgrounds,
+            annotations,
+            colors,
+        }
+    }
+
+    /// Summary info for reports.
+    pub fn info(&self) -> SyntheticVideoInfo {
+        SyntheticVideoInfo {
+            num_frames: self.num_frames,
+            num_objects: self.annotations.num_objects(),
+            num_backgrounds: self.backgrounds.len(),
+        }
+    }
+
+    /// The background image covering frame `k` (nearest segment when `k`
+    /// falls outside every range, which can happen with strided key-frame
+    /// extraction).
+    pub fn background_for(&self, k: usize) -> &ImageBuffer {
+        self.backgrounds
+            .iter()
+            .find(|b| k >= b.start && k <= b.end)
+            .map(|b| &b.image)
+            .unwrap_or_else(|| {
+                // Nearest segment by distance to its range.
+                &self
+                    .backgrounds
+                    .iter()
+                    .min_by_key(|b| {
+                        if k < b.start {
+                            b.start - k
+                        } else {
+                            k - b.end
+                        }
+                    })
+                    .expect("non-empty backgrounds")
+                    .image
+            })
+    }
+
+    /// The color of a synthetic object.
+    pub fn color_of(&self, id: ObjectId) -> Option<Rgb> {
+        self.colors.get(&id).copied()
+    }
+
+    /// Renders one synthetic object: a capsule (ellipse body + head disc)
+    /// of a single color — the same shape for every object.
+    fn draw_capsule(img: &mut ImageBuffer, bbox: BBox, color: Rgb) {
+        let head_h = bbox.h * 0.25;
+        img.fill_ellipse(
+            BBox::new(bbox.x + bbox.w * 0.2, bbox.y, bbox.w * 0.6, head_h),
+            color,
+        );
+        img.fill_ellipse(
+            BBox::new(bbox.x, bbox.y + head_h * 0.8, bbox.w, bbox.h - head_h * 0.8),
+            color,
+        );
+    }
+}
+
+impl FrameSource for SyntheticVideo {
+    fn num_frames(&self) -> usize {
+        self.num_frames
+    }
+
+    fn frame_size(&self) -> Size {
+        self.size
+    }
+
+    fn frame(&self, k: usize) -> ImageBuffer {
+        assert!(k < self.num_frames, "frame {k} out of range");
+        let mut img = self.background_for(k).clone();
+        // Painter's order: farther (higher) objects first.
+        let mut present = self.annotations.in_frame(k);
+        present.sort_by(|a, b| a.1.bottom().partial_cmp(&b.1.bottom()).expect("finite"));
+        for (id, bbox) in present {
+            let color = self.colors.get(&id).copied().unwrap_or(Rgb::WHITE);
+            Self::draw_capsule(&mut img, bbox, color);
+        }
+        img
+    }
+
+    fn fps(&self) -> f64 {
+        self.fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verro_video::object::ObjectClass;
+
+    fn scene(v: u8, size: Size) -> ImageBuffer {
+        ImageBuffer::new(size, Rgb::new(v, v, v))
+    }
+
+    fn simple_synthetic() -> SyntheticVideo {
+        let size = Size::new(64, 48);
+        let mut ann = VideoAnnotations::new(10);
+        for k in 0..10 {
+            ann.record(
+                ObjectId(0),
+                ObjectClass::Pedestrian,
+                k,
+                BBox::new(5.0 + k as f64 * 3.0, 20.0, 6.0, 14.0),
+            );
+        }
+        ann.record(ObjectId(1), ObjectClass::Pedestrian, 4, BBox::new(40.0, 25.0, 6.0, 14.0));
+        let backgrounds = vec![
+            BackgroundScene {
+                start: 0,
+                end: 4,
+                image: scene(100, size),
+            },
+            BackgroundScene {
+                start: 5,
+                end: 9,
+                image: scene(150, size),
+            },
+        ];
+        SyntheticVideo::new(size, 30.0, backgrounds, ann)
+    }
+
+    #[test]
+    fn backgrounds_selected_by_range() {
+        let v = simple_synthetic();
+        assert_eq!(v.background_for(0).get(0, 0), Rgb::new(100, 100, 100));
+        assert_eq!(v.background_for(7).get(0, 0), Rgb::new(150, 150, 150));
+    }
+
+    #[test]
+    fn out_of_range_frame_uses_nearest_background() {
+        let size = Size::new(16, 16);
+        let mut ann = VideoAnnotations::new(20);
+        ann.record(ObjectId(0), ObjectClass::Pedestrian, 0, BBox::new(0.0, 0.0, 2.0, 4.0));
+        let v = SyntheticVideo::new(
+            size,
+            30.0,
+            vec![BackgroundScene {
+                start: 5,
+                end: 9,
+                image: scene(42, size),
+            }],
+            ann,
+        );
+        assert_eq!(v.background_for(0).get(0, 0), Rgb::new(42, 42, 42));
+        assert_eq!(v.background_for(19).get(0, 0), Rgb::new(42, 42, 42));
+    }
+
+    #[test]
+    fn objects_rendered_in_distinct_colors() {
+        let v = simple_synthetic();
+        let c0 = v.color_of(ObjectId(0)).unwrap();
+        let c1 = v.color_of(ObjectId(1)).unwrap();
+        assert_ne!(c0, c1);
+        // Frame 4 contains both objects; both colors must appear.
+        let img = v.frame(4);
+        let mut found0 = false;
+        let mut found1 = false;
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let p = img.get(x, y);
+                found0 |= p == c0;
+                found1 |= p == c1;
+            }
+        }
+        assert!(found0 && found1);
+    }
+
+    #[test]
+    fn frames_without_objects_equal_background() {
+        let size = Size::new(16, 16);
+        let ann = VideoAnnotations::new(3);
+        let v = SyntheticVideo::new(
+            size,
+            30.0,
+            vec![BackgroundScene {
+                start: 0,
+                end: 2,
+                image: scene(70, size),
+            }],
+            ann,
+        );
+        assert_eq!(v.frame(1), scene(70, size));
+    }
+
+    #[test]
+    fn reconstruct_background_removes_object() {
+        let size = Size::new(40, 30);
+        // Striped background with a red "object".
+        let mut frame = ImageBuffer::from_fn(size, |x, _| {
+            if (x / 4) % 2 == 0 {
+                Rgb::new(200, 200, 200)
+            } else {
+                Rgb::new(50, 50, 50)
+            }
+        });
+        let obj = BBox::new(16.0, 10.0, 6.0, 10.0);
+        frame.fill_rect(obj, Rgb::new(255, 0, 0));
+        let bg = reconstruct_background(&frame, &[obj], &InpaintConfig::default());
+        // No red pixels survive.
+        for y in 0..30 {
+            for x in 0..40 {
+                assert_ne!(bg.get(x, y), Rgb::new(255, 0, 0), "red at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn info_summary() {
+        let v = simple_synthetic();
+        let info = v.info();
+        assert_eq!(info.num_frames, 10);
+        assert_eq!(info.num_objects, 2);
+        assert_eq!(info.num_backgrounds, 2);
+    }
+}

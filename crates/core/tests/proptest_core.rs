@@ -1,0 +1,199 @@
+//! Property-based tests for the VERRO core: Phase I/II structural
+//! invariants under randomized annotations, configurations and seeds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use verro_core::config::{OptimizerStrategy, VerroConfig};
+use verro_core::metrics::{trajectory_deviation, trajectory_deviation_absolute};
+use verro_core::phase1::run_phase1;
+use verro_core::phase2::run_phase2;
+use verro_core::presence::PresenceMatrix;
+use verro_video::annotations::VideoAnnotations;
+use verro_video::geometry::{BBox, Size};
+use verro_video::object::{ObjectClass, ObjectId};
+use verro_vision::keyframe::{KeyFrameResult, Segment};
+
+/// Random annotations: up to 8 objects with contiguous runs in a 60-frame
+/// video.
+fn arb_annotations() -> impl Strategy<Value = VideoAnnotations> {
+    prop::collection::vec((0usize..50, 5usize..30, 5.0..150.0f64, 20.0..100.0f64), 1..8)
+        .prop_map(|objs| {
+            let mut ann = VideoAnnotations::new(60);
+            for (i, (start, len, x0, y0)) in objs.into_iter().enumerate() {
+                let end = (start + len).min(59);
+                for k in start..=end {
+                    ann.record(
+                        ObjectId(i as u32),
+                        ObjectClass::Pedestrian,
+                        k,
+                        BBox::new(x0 + (k - start) as f64 * 2.0, y0, 6.0, 12.0),
+                    );
+                }
+            }
+            ann
+        })
+}
+
+/// Evenly spaced single-frame segments as a synthetic Algorithm 2 result.
+fn key_frames(step: usize) -> KeyFrameResult {
+    KeyFrameResult {
+        segments: (0..60 / step)
+            .map(|s| Segment {
+                frames: (s * step..(s + 1) * step).collect(),
+                key_frame: s * step + step / 2,
+            })
+            .collect(),
+    }
+}
+
+fn config(f: f64, strategy: OptimizerStrategy) -> VerroConfig {
+    let mut cfg = VerroConfig::default().with_flip(f);
+    cfg.optimizer = strategy;
+    cfg.optimizer_noise_epsilon = None;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn presence_matrix_counts_are_consistent(ann in arb_annotations()) {
+        let m = PresenceMatrix::from_annotations(&ann);
+        prop_assert_eq!(m.num_objects(), ann.num_objects());
+        prop_assert_eq!(m.num_frames(), 60);
+        // Column counts match the per-frame annotation counts.
+        prop_assert_eq!(m.column_counts(), ann.per_frame_counts());
+        // Row popcounts match track lengths.
+        for (row, track) in m.rows().iter().zip(ann.tracks()) {
+            prop_assert_eq!(row.count_ones(), track.len());
+        }
+    }
+
+    #[test]
+    fn phase1_invariants(
+        ann in arb_annotations(),
+        f in 0.05..0.95f64,
+        seed in any::<u64>(),
+        exact in any::<bool>(),
+    ) {
+        let strategy = if exact { OptimizerStrategy::Exact } else { OptimizerStrategy::LpRounding };
+        let kf = key_frames(6);
+        let cfg = config(f, strategy);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p1 = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
+
+        // Picked frames are a sorted subset of key frames.
+        let kf_set: BTreeSet<usize> = kf.key_frames().into_iter().collect();
+        for w in p1.picked_frames.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for g in &p1.picked_frames {
+            prop_assert!(kf_set.contains(g));
+        }
+        prop_assert!(p1.num_picked() >= cfg.min_picked);
+
+        // ε identity.
+        let expect = p1.num_picked() as f64 * ((2.0 - f) / f).ln();
+        prop_assert!((p1.epsilon - expect).abs() < 1e-9);
+
+        // Matrix shapes.
+        prop_assert_eq!(p1.original.num_frames(), p1.num_picked());
+        prop_assert_eq!(p1.randomized.num_frames(), p1.num_picked());
+        prop_assert_eq!(p1.original.num_objects(), ann.num_objects());
+    }
+
+    #[test]
+    fn phase2_invariants(
+        ann in arb_annotations(),
+        f in 0.05..0.95f64,
+        seed in any::<u64>(),
+    ) {
+        let kf = key_frames(10);
+        let cfg = config(f, OptimizerStrategy::AllKeyFrames);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p1 = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
+        let size = Size::new(300, 200);
+        let p2 = run_phase2(&p1, &ann, &kf, size, &cfg, &mut rng);
+
+        // Retained + lost = all objects; mapping is injective.
+        prop_assert_eq!(p2.mapping.len() + p2.lost.len(), ann.num_objects());
+        let synth_ids: BTreeSet<_> = p2.mapping.values().collect();
+        prop_assert_eq!(synth_ids.len(), p2.mapping.len());
+        prop_assert_eq!(p2.synthetic.num_objects(), p2.mapping.len());
+
+        // Knots live only at picked frames; synthetic tracks are contiguous
+        // and span at least their knots.
+        let picked: BTreeSet<usize> = p1.picked_frames.iter().copied().collect();
+        for t in p2.knots.tracks() {
+            for o in t.observations() {
+                prop_assert!(picked.contains(&o.frame));
+            }
+            // The synthetic run covers at least one knot.
+            let synth = p2.synthetic.track(t.id).unwrap();
+            let covered = t
+                .observations()
+                .iter()
+                .filter(|o| synth.present_at(o.frame))
+                .count();
+            prop_assert!(covered >= 1);
+        }
+        for t in p2.synthetic.tracks() {
+            let frames: Vec<usize> = t.observations().iter().map(|o| o.frame).collect();
+            for w in frames.windows(2) {
+                prop_assert!(w[1] > w[0]);
+            }
+            for o in t.observations() {
+                prop_assert!(o.bbox.intersects_frame(size));
+            }
+        }
+
+        // Under the Clamp policy, synthetic tracks are fully contiguous.
+        let mut cfg_clamp = cfg.clone();
+        cfg_clamp.overshoot = verro_core::config::OvershootPolicy::Clamp;
+        let mut rng2 = StdRng::seed_from_u64(seed ^ 1);
+        let p1c = run_phase1(&ann, &kf, &cfg_clamp, &mut rng2).unwrap();
+        let p2c = run_phase2(&p1c, &ann, &kf, size, &cfg_clamp, &mut rng2);
+        for t in p2c.synthetic.tracks() {
+            let frames: Vec<usize> = t.observations().iter().map(|o| o.frame).collect();
+            for w in frames.windows(2) {
+                prop_assert_eq!(w[1], w[0] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn deviation_metrics_are_ordered_and_bounded(
+        ann in arb_annotations(),
+        f in 0.1..0.9f64,
+        seed in any::<u64>(),
+    ) {
+        let kf = key_frames(8);
+        let cfg = config(f, OptimizerStrategy::AllKeyFrames);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p1 = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
+        let p2 = run_phase2(&p1, &ann, &kf, Size::new(300, 200), &cfg, &mut rng);
+
+        let signed = trajectory_deviation(&ann, &p2.synthetic, &p2.mapping);
+        let absolute = trajectory_deviation_absolute(&ann, &p2.synthetic, &p2.mapping);
+        prop_assert!(signed >= 0.0);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&absolute));
+        // |mean| <= mean(|.|): the signed metric never exceeds the absolute
+        // one when contributions share the missing-frame convention, except
+        // that signed per-pair terms can exceed 1; allow slack.
+        prop_assert!(signed <= absolute + 1.0);
+    }
+
+    #[test]
+    fn phase1_is_deterministic_per_seed(
+        ann in arb_annotations(),
+        seed in any::<u64>(),
+    ) {
+        let kf = key_frames(6);
+        let cfg = config(0.3, OptimizerStrategy::LpRounding);
+        let a = run_phase1(&ann, &kf, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = run_phase1(&ann, &kf, &cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

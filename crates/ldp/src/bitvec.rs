@@ -1,0 +1,180 @@
+//! Compact bit vectors for object presence (Definition 3.1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length bit vector backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Builds from booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        if v {
+            *w |= 1 << (i % 64);
+        } else {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    /// Flips bit `i`.
+    pub fn flip(&mut self, i: usize) {
+        let v = self.get(i);
+        self.set(i, !v);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set — an "empty" presence vector means the object
+    /// is lost in the synthetic video (Section 4.2.1).
+    pub fn all_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Hamming distance to another vector of equal length.
+    pub fn hamming(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn ones(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| self.get(i)).collect()
+    }
+
+    /// Projection onto a subset of positions: bit `j` of the result is bit
+    /// `positions[j]` of `self`. Used for key-frame dimension reduction.
+    pub fn project(&self, positions: &[usize]) -> BitVec {
+        let mut out = BitVec::zeros(positions.len());
+        for (j, &i) in positions.iter().enumerate() {
+            out.set(j, self.get(i));
+        }
+        out
+    }
+
+    /// Iterates over all bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl std::fmt::Display for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_flip() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert!(v.all_zero());
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 3);
+        v.flip(64);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_bools_round_trip() {
+        let bits = vec![true, false, true, true, false];
+        let v = BitVec::from_bools(&bits);
+        let back: Vec<bool> = v.iter().collect();
+        assert_eq!(back, bits);
+        assert_eq!(v.to_string(), "10110");
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = BitVec::from_bools(&[true, false, true, false]);
+        let b = BitVec::from_bools(&[true, true, false, false]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn ones_and_projection() {
+        let v = BitVec::from_bools(&[false, true, true, false, true]);
+        assert_eq!(v.ones(), vec![1, 2, 4]);
+        let p = v.project(&[0, 2, 4]);
+        assert_eq!(p.to_string(), "011");
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(5);
+        v.get(5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hamming_rejects_length_mismatch() {
+        BitVec::zeros(3).hamming(&BitVec::zeros(4));
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert!(v.all_zero());
+        assert_eq!(v.count_ones(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Privacy-budget accounting for ε-Object Indistinguishability.
+//!
+//! The central identity (Theorem 3.3 / Section 3.4): randomizing an `ℓ`-bit
+//! presence vector with flip probability `f` (Equation 4) satisfies
+//! `ε = ℓ · ln((2 − f)/f)`. Both directions are provided, plus sequential
+//! composition for multi-release accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// ε consumed by flip-probability randomized response over `dims` bits:
+/// `dims · ln((2 − f)/f)`.
+pub fn epsilon_of_flip(dims: usize, f: f64) -> f64 {
+    assert!(f > 0.0 && f <= 1.0, "flip probability must be in (0,1]");
+    dims as f64 * ((2.0 - f) / f).ln()
+}
+
+/// Flip probability achieving a target ε over `dims` bits — the inverse of
+/// [`epsilon_of_flip`]: `f = 2 / (e^{ε/dims} + 1)`.
+pub fn flip_for_epsilon(dims: usize, epsilon: f64) -> f64 {
+    assert!(dims > 0, "need at least one dimension");
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    2.0 / ((epsilon / dims as f64).exp() + 1.0)
+}
+
+/// A running privacy-budget ledger (sequential composition): the total ε of
+/// a sequence of releases is the sum of the per-release ε.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BudgetLedger {
+    entries: Vec<(String, f64)>,
+}
+
+impl BudgetLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a release of `epsilon` attributed to `label`.
+    pub fn spend(&mut self, label: impl Into<String>, epsilon: f64) {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        self.entries.push((label.into(), epsilon));
+    }
+
+    /// Total ε spent (sequential composition).
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|(_, e)| e).sum()
+    }
+
+    /// Itemized entries.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_formula_matches_paper() {
+        // f = 0.5 over 1 bit: ln(3).
+        assert!((epsilon_of_flip(1, 0.5) - 3.0f64.ln()).abs() < 1e-12);
+        // Scales linearly with dimensions.
+        assert!((epsilon_of_flip(10, 0.5) - 10.0 * 3.0f64.ln()).abs() < 1e-12);
+        // f = 1 gives zero privacy cost (uniform output).
+        assert_eq!(epsilon_of_flip(5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for dims in [1usize, 4, 12, 52] {
+            for f in [0.1, 0.3, 0.5, 0.8, 0.95] {
+                let eps = epsilon_of_flip(dims, f);
+                let back = flip_for_epsilon(dims, eps);
+                assert!((back - f).abs() < 1e-12, "dims={dims} f={f} back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_for_epsilon_monotone() {
+        // Larger ε → smaller flip probability (less noise).
+        assert!(flip_for_epsilon(10, 20.0) < flip_for_epsilon(10, 5.0));
+        // ε = 0 → f = 1 (pure noise).
+        assert!((flip_for_epsilon(3, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_f_costs_more_epsilon() {
+        assert!(epsilon_of_flip(8, 0.1) > epsilon_of_flip(8, 0.9));
+    }
+
+    #[test]
+    fn ledger_composes_sequentially() {
+        let mut ledger = BudgetLedger::new();
+        ledger.spend("phase1-rr", 2.5);
+        ledger.spend("optimizer-laplace", 0.1);
+        assert!((ledger.total() - 2.6).abs() < 1e-12);
+        assert_eq!(ledger.entries().len(), 2);
+        assert_eq!(ledger.entries()[0].0, "phase1-rr");
+    }
+
+    #[test]
+    #[should_panic]
+    fn epsilon_rejects_zero_flip() {
+        epsilon_of_flip(1, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ledger_rejects_negative() {
+        BudgetLedger::new().spend("bad", -1.0);
+    }
+}

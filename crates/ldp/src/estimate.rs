@@ -1,0 +1,134 @@
+//! Debiased estimation over randomized-response outputs.
+//!
+//! The paper's Section 5 ("Noise Cancellation") notes that randomized
+//! response noise cancels in aggregation applications such as object
+//! counting. The estimator here inverts Equation 4: if `c_obs` of `n` output
+//! bits are 1, the unbiased estimate of the true count is
+//! `(c_obs − n·f/2) / (1 − f)`.
+
+/// Unbiased estimate of the true 1-count from the observed 1-count under
+/// flip-probability randomized response (Equation 4).
+pub fn debias_count(observed_ones: f64, n: usize, f: f64) -> f64 {
+    assert!((0.0..1.0).contains(&f), "flip probability must be in [0,1)");
+    (observed_ones - n as f64 * f / 2.0) / (1.0 - f)
+}
+
+/// Debiases a whole series of per-frame counts, clamping at `[0, n]` (counts
+/// are bounded; clamping is post-processing).
+pub fn debias_count_series(observed: &[usize], n: usize, f: f64) -> Vec<f64> {
+    observed
+        .iter()
+        .map(|&c| debias_count(c as f64, n, f).clamp(0.0, n as f64))
+        .collect()
+}
+
+/// Variance of the debiased estimator for a true count `t` out of `n` bits:
+/// each bit is an independent Bernoulli after randomization.
+pub fn debias_variance(true_count: f64, n: usize, f: f64) -> f64 {
+    assert!((0.0..1.0).contains(&f));
+    let n = n as f64;
+    // Output bit is 1 with prob p1 = f/2 + (1-f)·b for true bit b.
+    let p_one_true = 1.0 - f / 2.0;
+    let p_one_false = f / 2.0;
+    let var_obs = true_count * p_one_true * (1.0 - p_one_true)
+        + (n - true_count) * p_one_false * (1.0 - p_one_false);
+    var_obs / (1.0 - f).powi(2)
+}
+
+/// Mean absolute error between two equal-length series.
+pub fn mean_absolute_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series lengths differ");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+    use crate::rr::randomize_flip;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn debias_is_exact_in_expectation() {
+        // E[observed] = t(1-f/2) + (n-t)(f/2); plugging in recovers t.
+        let (t, n, f) = (30.0, 100usize, 0.4);
+        let expected_obs = t * (1.0 - f / 2.0) + (n as f64 - t) * (f / 2.0);
+        assert!((debias_count(expected_obs, n, f) - t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_debias_converges() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 200;
+        let t = 60;
+        let f = 0.5;
+        let mut truth = BitVec::zeros(n);
+        for i in 0..t {
+            truth.set(i, true);
+        }
+        let trials = 2_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let noisy = randomize_flip(&truth, f, &mut rng);
+            sum += debias_count(noisy.count_ones() as f64, n, f);
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - t as f64).abs() < 1.0, "mean estimate {mean}");
+    }
+
+    #[test]
+    fn series_clamps_to_range() {
+        let est = debias_count_series(&[0, 100], 100, 0.8);
+        assert_eq!(est[0], 0.0);
+        assert_eq!(est[1], 100.0);
+    }
+
+    #[test]
+    fn variance_grows_with_f() {
+        let v_low = debias_variance(20.0, 100, 0.1);
+        let v_high = debias_variance(20.0, 100, 0.9);
+        assert!(v_high > v_low);
+    }
+
+    #[test]
+    fn empirical_variance_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 100;
+        let t = 25;
+        let f = 0.3;
+        let mut truth = BitVec::zeros(n);
+        for i in 0..t {
+            truth.set(i, true);
+        }
+        let trials = 5_000;
+        let estimates: Vec<f64> = (0..trials)
+            .map(|_| {
+                let noisy = randomize_flip(&truth, f, &mut rng);
+                debias_count(noisy.count_ones() as f64, n, f)
+            })
+            .collect();
+        let mean = estimates.iter().sum::<f64>() / trials as f64;
+        let var = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / trials as f64;
+        let expected = debias_variance(t as f64, n, f);
+        assert!(
+            (var - expected).abs() / expected < 0.15,
+            "var {var} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mean_absolute_error(&[1.0, 2.0], &[1.0, 4.0]), 1.0);
+        assert_eq!(mean_absolute_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mae_rejects_length_mismatch() {
+        mean_absolute_error(&[1.0], &[1.0, 2.0]);
+    }
+}

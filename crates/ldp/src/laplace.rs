@@ -1,0 +1,132 @@
+//! The Laplace mechanism.
+//!
+//! Section 3.3.3 of the paper injects `Lap(Δ/ε′)` noise into the per-frame
+//! object counts before solving the key-frame optimization, to cover the
+//! minor leakage of using true counts in the objective. Sampling uses the
+//! inverse-CDF transform so only `rand`'s uniform generator is required.
+
+use rand::Rng;
+
+/// Draws one sample from `Laplace(0, scale)` via inverse CDF.
+pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
+    assert!(scale > 0.0, "scale must be positive");
+    // u uniform in (-0.5, 0.5]; inverse CDF: -b * sgn(u) * ln(1 - 2|u|).
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+}
+
+/// The Laplace mechanism: adds `Lap(Δ/ε)` noise to a value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceMechanism {
+    /// Sensitivity Δ of the query.
+    pub sensitivity: f64,
+    /// Privacy budget ε.
+    pub epsilon: f64,
+}
+
+impl LaplaceMechanism {
+    pub fn new(sensitivity: f64, epsilon: f64) -> Self {
+        assert!(sensitivity > 0.0, "sensitivity must be positive");
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self {
+            sensitivity,
+            epsilon,
+        }
+    }
+
+    /// Noise scale `b = Δ/ε`.
+    pub fn scale(&self) -> f64 {
+        self.sensitivity / self.epsilon
+    }
+
+    /// Releases a noisy version of `value`.
+    pub fn release<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        value + sample_laplace(self.scale(), rng)
+    }
+
+    /// Releases a noisy version of each count, clamped at zero (counts are
+    /// non-negative; clamping is standard post-processing and costs no
+    /// privacy).
+    pub fn release_counts<R: Rng + ?Sized>(&self, counts: &[usize], rng: &mut R) -> Vec<f64> {
+        counts
+            .iter()
+            .map(|&c| self.release(c as f64, rng).max(0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_have_laplace_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let scale = 2.0;
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_laplace(scale, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        // Laplace(0, b): mean 0, variance 2b².
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 2.0 * scale * scale).abs() < 0.5, "var = {var}");
+    }
+
+    #[test]
+    fn median_is_zero() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 50_000;
+        let below = (0..n)
+            .filter(|_| sample_laplace(1.0, &mut rng) < 0.0)
+            .count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac below zero = {frac}");
+    }
+
+    #[test]
+    fn quantiles_match_inverse_cdf() {
+        // P(|X| > b·ln 2) = 0.5 for Laplace(0, b): check the 75th percentile
+        // equals b·ln 2 approximately.
+        let mut rng = StdRng::seed_from_u64(9);
+        let b = 3.0;
+        let n = 100_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| sample_laplace(b, &mut rng)).collect();
+        samples.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        let q75 = samples[(0.75 * n as f64) as usize];
+        assert!((q75 - b * 2f64.ln()).abs() < 0.15, "q75 = {q75}");
+    }
+
+    #[test]
+    fn mechanism_scale() {
+        let m = LaplaceMechanism::new(1.0, 0.5);
+        assert_eq!(m.scale(), 2.0);
+    }
+
+    #[test]
+    fn release_counts_clamps_at_zero() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = LaplaceMechanism::new(1.0, 0.05); // huge noise
+        let noisy = m.release_counts(&[0, 0, 0, 0, 0, 0, 0, 0], &mut rng);
+        assert!(noisy.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn tighter_epsilon_means_more_noise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let spread = |eps: f64, rng: &mut StdRng| {
+            let m = LaplaceMechanism::new(1.0, eps);
+            let vals: Vec<f64> = (0..5_000).map(|_| m.release(100.0, rng)).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean).abs()).sum::<f64>() / vals.len() as f64
+        };
+        assert!(spread(0.1, &mut rng) > spread(10.0, &mut rng));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_epsilon() {
+        LaplaceMechanism::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # verro-ldp
+//!
+//! Local differential privacy primitives for VERRO:
+//!
+//! * [`bitvec`] — presence bit vectors (Definition 3.1);
+//! * [`rr`] — randomized response in the per-bit budget form (Algorithm 1)
+//!   and the flip-probability form (Equation 4);
+//! * [`rappor`] — the classic Bloom-filter RAPPOR mechanism (the baseline
+//!   VERRO optimizes);
+//! * [`laplace`] — the Laplace mechanism used to protect the optimizer's
+//!   per-frame counts (Section 3.3.3);
+//! * [`budget`] — ε accounting: `ε = ℓ·ln((2−f)/f)` and its inverse;
+//! * [`estimate`] — debiased count estimation ("noise cancellation").
+
+pub mod bitvec;
+pub mod budget;
+pub mod estimate;
+pub mod laplace;
+pub mod rappor;
+pub mod rr;
+
+pub use bitvec::BitVec;
+pub use budget::{epsilon_of_flip, flip_for_epsilon, BudgetLedger};
+pub use estimate::{debias_count, debias_count_series, mean_absolute_error};
+pub use laplace::{sample_laplace, LaplaceMechanism};
+pub use rappor::{RapporClient, RapporConfig};
+pub use rr::{randomize_budget, randomize_flip};

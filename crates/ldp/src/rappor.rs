@@ -1,0 +1,226 @@
+//! RAPPOR (Erlingsson, Pihur, Korolova, CCS 2014) — the classic LDP
+//! mechanism VERRO's Phase I optimizes.
+//!
+//! A string value is hashed into a Bloom filter of `k` bits with `h` hash
+//! functions; a *permanent randomized response* (PRR) memoizes a noisy
+//! version of the filter, and an *instantaneous randomized response* (IRR)
+//! re-randomizes at each report. The PRR stage satisfies
+//! `2h·ln((2−f)/f)`-LDP, which is the bound Theorem 3.3 transplants to
+//! object presence vectors (replacing the Bloom-encoded bits with the
+//! presence bits and `2h` with `ℓ`).
+
+use crate::bitvec::BitVec;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// RAPPOR parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RapporConfig {
+    /// Bloom filter size in bits (`k`).
+    pub filter_bits: usize,
+    /// Number of hash functions (`h`).
+    pub num_hashes: usize,
+    /// Permanent randomized response flip probability (`f`).
+    pub f: f64,
+    /// IRR probability of reporting 1 when the PRR bit is 1 (`q`).
+    pub q: f64,
+    /// IRR probability of reporting 1 when the PRR bit is 0 (`p`).
+    pub p: f64,
+}
+
+impl Default for RapporConfig {
+    fn default() -> Self {
+        // The paper's canonical configuration.
+        Self {
+            filter_bits: 128,
+            num_hashes: 2,
+            f: 0.5,
+            q: 0.75,
+            p: 0.5,
+        }
+    }
+}
+
+impl RapporConfig {
+    /// ε of the permanent randomized response: `2h·ln((2−f)/f)`.
+    pub fn prr_epsilon(&self) -> f64 {
+        2.0 * self.num_hashes as f64 * ((2.0 - self.f) / self.f).ln()
+    }
+}
+
+/// Deterministic FNV-1a based double hashing into the Bloom filter.
+fn bloom_positions(value: &[u8], config: &RapporConfig) -> Vec<usize> {
+    fn fnv1a(data: &[u8], seed: u64) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+    let h1 = fnv1a(value, 0);
+    let h2 = fnv1a(value, 0x9E37_79B9_7F4A_7C15) | 1; // odd for full period
+    (0..config.num_hashes)
+        .map(|i| (h1.wrapping_add((i as u64).wrapping_mul(h2)) % config.filter_bits as u64) as usize)
+        .collect()
+}
+
+/// Encodes a value into its Bloom filter.
+pub fn bloom_encode(value: &[u8], config: &RapporConfig) -> BitVec {
+    let mut v = BitVec::zeros(config.filter_bits);
+    for pos in bloom_positions(value, config) {
+        v.set(pos, true);
+    }
+    v
+}
+
+/// Permanent randomized response: each bit keeps its value w.p. `1 − f`,
+/// else is redrawn uniformly — identical in form to the paper's Equation 4.
+pub fn permanent_rr<R: Rng + ?Sized>(bloom: &BitVec, config: &RapporConfig, rng: &mut R) -> BitVec {
+    crate::rr::randomize_flip(bloom, config.f, rng)
+}
+
+/// Instantaneous randomized response over a PRR vector: report 1 w.p. `q`
+/// if the PRR bit is 1, else w.p. `p`.
+pub fn instantaneous_rr<R: Rng + ?Sized>(
+    prr: &BitVec,
+    config: &RapporConfig,
+    rng: &mut R,
+) -> BitVec {
+    let mut out = BitVec::zeros(prr.len());
+    for i in 0..prr.len() {
+        let p1 = if prr.get(i) { config.q } else { config.p };
+        out.set(i, rng.gen_bool(p1));
+    }
+    out
+}
+
+/// A full RAPPOR client for one value: memoized PRR plus per-report IRR.
+#[derive(Debug, Clone)]
+pub struct RapporClient {
+    config: RapporConfig,
+    prr: BitVec,
+}
+
+impl RapporClient {
+    /// Creates a client for `value`, fixing its permanent noisy filter.
+    pub fn new<R: Rng + ?Sized>(value: &[u8], config: RapporConfig, rng: &mut R) -> Self {
+        let bloom = bloom_encode(value, &config);
+        let prr = permanent_rr(&bloom, &config, rng);
+        Self { config, prr }
+    }
+
+    /// Produces one report.
+    pub fn report<R: Rng + ?Sized>(&self, rng: &mut R) -> BitVec {
+        instantaneous_rr(&self.prr, &self.config, rng)
+    }
+
+    pub fn config(&self) -> &RapporConfig {
+        &self.config
+    }
+}
+
+/// Debiases aggregated reports: given the number of reports `n` and the
+/// per-bit count of 1s, estimates the true per-bit count of set Bloom bits.
+pub fn debias_counts(ones: &[usize], n: usize, config: &RapporConfig) -> Vec<f64> {
+    // E[ones_i] = n * (p + (q - p) * (f/2 + (1-f) * b_i)) where b_i is the
+    // fraction of clients whose true Bloom bit i is set. Solve for n * b_i.
+    let f = config.f;
+    let (p, q) = (config.p, config.q);
+    ones.iter()
+        .map(|&c| {
+            let c = c as f64;
+            let n = n as f64;
+            (c - n * (p + (q - p) * f / 2.0)) / ((q - p) * (1.0 - f))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bloom_is_deterministic_and_sparse() {
+        let cfg = RapporConfig::default();
+        let a = bloom_encode(b"hello", &cfg);
+        let b = bloom_encode(b"hello", &cfg);
+        assert_eq!(a, b);
+        assert!(a.count_ones() >= 1 && a.count_ones() <= cfg.num_hashes);
+    }
+
+    #[test]
+    fn different_values_differ() {
+        let cfg = RapporConfig::default();
+        let a = bloom_encode(b"value-a", &cfg);
+        let b = bloom_encode(b"value-b", &cfg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prr_epsilon_formula() {
+        let cfg = RapporConfig {
+            num_hashes: 2,
+            f: 0.5,
+            ..RapporConfig::default()
+        };
+        // 2·2·ln(3) ≈ 4.394.
+        assert!((cfg.prr_epsilon() - 4.0 * 3.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn client_reports_vary_but_prr_is_stable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let client = RapporClient::new(b"user-77", RapporConfig::default(), &mut rng);
+        let r1 = client.report(&mut rng);
+        let r2 = client.report(&mut rng);
+        assert_eq!(r1.len(), 128);
+        // Two IRR draws almost surely differ somewhere.
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn aggregation_recovers_heavy_hitter() {
+        // 300 clients share one value; debiasing must put the largest
+        // estimated counts exactly on that value's Bloom positions.
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = RapporConfig {
+            filter_bits: 32,
+            num_hashes: 2,
+            f: 0.2,
+            q: 0.9,
+            p: 0.1,
+        };
+        let n = 300;
+        let mut ones = vec![0usize; cfg.filter_bits];
+        for _ in 0..n {
+            let client = RapporClient::new(b"popular", cfg, &mut rng);
+            let rep = client.report(&mut rng);
+            for i in rep.ones() {
+                ones[i] += 1;
+            }
+        }
+        let est = debias_counts(&ones, n, &cfg);
+        let truth = bloom_encode(b"popular", &cfg);
+        let mut ranked: Vec<usize> = (0..cfg.filter_bits).collect();
+        ranked.sort_by(|&a, &b| est[b].partial_cmp(&est[a]).unwrap());
+        for pos in truth.ones() {
+            assert!(
+                ranked[..truth.count_ones()].contains(&pos),
+                "bit {pos} not among the top estimates"
+            );
+        }
+    }
+
+    #[test]
+    fn debias_is_unbiased_at_zero() {
+        // With no reports of 1 beyond the noise floor, estimates center near
+        // zero for unused bits.
+        let cfg = RapporConfig::default();
+        let expected_noise = (cfg.p + (cfg.q - cfg.p) * cfg.f / 2.0) * 1000.0;
+        let est = debias_counts(&[expected_noise as usize], 1000, &cfg);
+        assert!(est[0].abs() < 5.0, "estimate {}", est[0]);
+    }
+}

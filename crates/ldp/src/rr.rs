@@ -1,0 +1,241 @@
+//! Randomized response over bit vectors.
+//!
+//! Two forms appear in the paper:
+//!
+//! * **Per-bit budget form** (Algorithm 1): each bit keeps its true value
+//!   with probability `e^{ε_bit} / (1 + e^{ε_bit})`, where `ε_bit = ε / m`
+//!   splits the budget equally over the `m` dimensions. This is the naive
+//!   baseline whose utility collapses for large `m`.
+//! * **Flip-probability form** (Equation 4): each bit is kept with
+//!   probability `1 − f` and otherwise re-drawn uniformly (1 w.p. `f/2`,
+//!   0 w.p. `f/2`). A vector of `ℓ` such bits satisfies
+//!   `ℓ·ln((2−f)/f)`-indistinguishability (Theorem 3.3).
+
+use crate::bitvec::BitVec;
+use rand::Rng;
+
+/// Keep-probability of the per-bit budget form: `e^ε / (1 + e^ε)`.
+pub fn keep_probability(eps_bit: f64) -> f64 {
+    assert!(eps_bit >= 0.0, "budget must be non-negative");
+    let e = eps_bit.exp();
+    e / (1.0 + e)
+}
+
+/// Applies the per-bit budget randomized response of Algorithm 1: the total
+/// budget `eps` is split equally over all bits, and each bit independently
+/// *keeps* its true value with probability `e^{ε/m}/(1+e^{ε/m})`, else it is
+/// inverted.
+pub fn randomize_budget<R: Rng + ?Sized>(input: &BitVec, eps: f64, rng: &mut R) -> BitVec {
+    assert!(eps > 0.0, "budget must be positive");
+    let m = input.len();
+    if m == 0 {
+        return input.clone();
+    }
+    let keep = keep_probability(eps / m as f64);
+    let mut out = BitVec::zeros(m);
+    for i in 0..m {
+        let bit = if rng.gen_bool(keep) {
+            input.get(i)
+        } else {
+            !input.get(i)
+        };
+        out.set(i, bit);
+    }
+    out
+}
+
+/// Applies the flip-probability randomized response of Equation 4: each bit
+/// is kept with probability `1 − f`, set to 1 with probability `f/2`, and
+/// set to 0 with probability `f/2`.
+pub fn randomize_flip<R: Rng + ?Sized>(input: &BitVec, f: f64, rng: &mut R) -> BitVec {
+    assert!((0.0..=1.0).contains(&f), "flip probability must be in [0,1]");
+    let mut out = BitVec::zeros(input.len());
+    for i in 0..input.len() {
+        let bit = if rng.gen_bool(1.0 - f) {
+            input.get(i)
+        } else {
+            rng.gen_bool(0.5)
+        };
+        out.set(i, bit);
+    }
+    out
+}
+
+/// Probability that an output bit is 1 under Equation 4 given the true bit —
+/// the expectation model used by the Phase I optimizer (Equation 6).
+pub fn flip_expectation(true_bit: bool, f: f64) -> f64 {
+    if true_bit {
+        1.0 - f / 2.0
+    } else {
+        f / 2.0
+    }
+}
+
+/// Probability that randomizing input vector `b` yields exactly output `y`
+/// under Equation 4. Exact bookkeeping for the indistinguishability tests.
+pub fn output_probability_flip(b: &BitVec, y: &BitVec, f: f64) -> f64 {
+    assert_eq!(b.len(), y.len());
+    let mut p = 1.0;
+    for i in 0..b.len() {
+        let p_one = flip_expectation(b.get(i), f);
+        p *= if y.get(i) { p_one } else { 1.0 - p_one };
+    }
+    p
+}
+
+/// Probability that randomizing `b` with the per-bit budget form yields `y`.
+pub fn output_probability_budget(b: &BitVec, y: &BitVec, eps: f64) -> f64 {
+    assert_eq!(b.len(), y.len());
+    if b.is_empty() {
+        return 1.0;
+    }
+    let keep = keep_probability(eps / b.len() as f64);
+    let mut p = 1.0;
+    for i in 0..b.len() {
+        p *= if b.get(i) == y.get(i) { keep } else { 1.0 - keep };
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all_outputs(len: usize) -> Vec<BitVec> {
+        (0..(1usize << len))
+            .map(|mask| {
+                let bits: Vec<bool> = (0..len).map(|i| (mask >> i) & 1 == 1).collect();
+                BitVec::from_bools(&bits)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keep_probability_limits() {
+        assert!((keep_probability(0.0) - 0.5).abs() < 1e-12);
+        assert!(keep_probability(10.0) > 0.9999);
+        assert!(keep_probability(1.0) > keep_probability(0.5));
+    }
+
+    #[test]
+    fn flip_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = BitVec::from_bools(&[true, false, true, true, false, false]);
+        assert_eq!(randomize_flip(&v, 0.0, &mut rng), v);
+    }
+
+    #[test]
+    fn flip_one_is_uniform() {
+        // With f = 1 every output bit is uniform regardless of input.
+        let mut rng = StdRng::seed_from_u64(2);
+        let zeros = BitVec::zeros(1000);
+        let out = randomize_flip(&zeros, 1.0, &mut rng);
+        let ones = out.count_ones();
+        assert!((400..600).contains(&ones), "got {ones} ones out of 1000");
+    }
+
+    #[test]
+    fn flip_probabilities_sum_to_one() {
+        let b = BitVec::from_bools(&[true, false, true]);
+        for f in [0.1, 0.5, 0.9] {
+            let total: f64 = all_outputs(3)
+                .iter()
+                .map(|y| output_probability_flip(&b, y, f))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "f={f}: total={total}");
+        }
+    }
+
+    #[test]
+    fn budget_probabilities_sum_to_one() {
+        let b = BitVec::from_bools(&[false, true, false, true]);
+        let total: f64 = all_outputs(4)
+            .iter()
+            .map(|y| output_probability_budget(&b, y, 2.0))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flip_satisfies_indistinguishability_bound() {
+        // For every pair of 4-bit inputs and every output, the probability
+        // ratio is bounded by e^ε with ε = ℓ·ln((2−f)/f) (Theorem 3.3).
+        let f = 0.3f64;
+        let len = 4;
+        let eps = len as f64 * ((2.0 - f) / f).ln();
+        let inputs = all_outputs(len);
+        let outputs = all_outputs(len);
+        for bi in &inputs {
+            for bj in &inputs {
+                for y in &outputs {
+                    let pi = output_probability_flip(bi, y, f);
+                    let pj = output_probability_flip(bj, y, f);
+                    assert!(
+                        pi <= eps.exp() * pj + 1e-12,
+                        "violation: {bi} vs {bj} -> {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_satisfies_indistinguishability_bound() {
+        // Algorithm 1 bound: ratio ≤ e^ε overall (Theorem 3.2).
+        let eps = 1.5;
+        let len = 3;
+        let inputs = all_outputs(len);
+        for bi in &inputs {
+            for bj in &inputs {
+                for y in &inputs {
+                    let pi = output_probability_budget(bi, y, eps);
+                    let pj = output_probability_budget(bj, y, eps);
+                    assert!(pi <= eps.exp() * pj + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_flip_rates_match_f() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = 0.4;
+        let trials = 20_000;
+        let input = BitVec::from_bools(&[true]);
+        let mut stayed = 0;
+        for _ in 0..trials {
+            if randomize_flip(&input, f, &mut rng).get(0) {
+                stayed += 1;
+            }
+        }
+        // P(out = 1 | in = 1) = 1 - f/2 = 0.8.
+        let p = stayed as f64 / trials as f64;
+        assert!((p - 0.8).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn budget_small_eps_is_noisy() {
+        // ε/m tiny → keep probability ≈ 0.5 → output ≈ uniform. This is the
+        // "poor utility" phenomenon of Section 3.1.
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = BitVec::zeros(1000);
+        let out = randomize_budget(&input, 1.0, &mut rng); // ε/m = 0.001
+        let ones = out.count_ones();
+        assert!((400..600).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn flip_expectation_model() {
+        assert!((flip_expectation(true, 0.2) - 0.9).abs() < 1e-12);
+        assert!((flip_expectation(false, 0.2) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn flip_rejects_bad_probability() {
+        let mut rng = StdRng::seed_from_u64(0);
+        randomize_flip(&BitVec::zeros(1), 1.5, &mut rng);
+    }
+}

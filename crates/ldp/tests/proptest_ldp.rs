@@ -1,0 +1,121 @@
+//! Property-based tests for the LDP substrate: exact probability laws,
+//! the indistinguishability bound, debiasing identities, and bit-vector
+//! invariants.
+
+use proptest::prelude::*;
+use verro_ldp::bitvec::BitVec;
+use verro_ldp::budget::{epsilon_of_flip, flip_for_epsilon};
+use verro_ldp::estimate::debias_count;
+use verro_ldp::rr::{flip_expectation, output_probability_budget, output_probability_flip};
+
+fn arb_bits(max_len: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), 1..=max_len)
+}
+
+/// All bit vectors of length `len` (len <= 10).
+fn all_vectors(len: usize) -> Vec<BitVec> {
+    (0..(1usize << len))
+        .map(|mask| {
+            BitVec::from_bools(&(0..len).map(|i| (mask >> i) & 1 == 1).collect::<Vec<_>>())
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn flip_output_distribution_is_normalized(bits in arb_bits(6), f in 0.01..0.99f64) {
+        let b = BitVec::from_bools(&bits);
+        let total: f64 = all_vectors(bits.len())
+            .iter()
+            .map(|y| output_probability_flip(&b, y, f))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indistinguishability_bound_holds(
+        bits_i in arb_bits(5), f in 0.05..0.95f64, seed in any::<u64>()
+    ) {
+        // Compare against a random second input of the same length.
+        let len = bits_i.len();
+        let bits_j: Vec<bool> = (0..len)
+            .map(|k| (seed >> (k % 64)) & 1 == 1)
+            .collect();
+        let bi = BitVec::from_bools(&bits_i);
+        let bj = BitVec::from_bools(&bits_j);
+        let eps = epsilon_of_flip(len, f);
+        for y in all_vectors(len) {
+            let pi = output_probability_flip(&bi, &y, f);
+            let pj = output_probability_flip(&bj, &y, f);
+            prop_assert!(pi <= eps.exp() * pj * (1.0 + 1e-9),
+                "violation at y={y} (f={f}, eps={eps})");
+        }
+    }
+
+    #[test]
+    fn budget_output_distribution_is_normalized(bits in arb_bits(6), eps in 0.1..8.0f64) {
+        let b = BitVec::from_bools(&bits);
+        let total: f64 = all_vectors(bits.len())
+            .iter()
+            .map(|y| output_probability_budget(&b, y, eps))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_flip_inverse_round_trip(dims in 1usize..200, f in 0.01..1.0f64) {
+        let eps = epsilon_of_flip(dims, f);
+        prop_assert!(eps >= 0.0);
+        let back = flip_for_epsilon(dims, eps);
+        prop_assert!((back - f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_monotone_in_dims_and_noise(dims in 1usize..100, f in 0.05..0.9f64) {
+        prop_assert!(epsilon_of_flip(dims + 1, f) > epsilon_of_flip(dims, f));
+        prop_assert!(epsilon_of_flip(dims, f) > epsilon_of_flip(dims, f + 0.05));
+    }
+
+    #[test]
+    fn debias_inverts_expectation(t in 0usize..100, extra in 0usize..100, f in 0.0..0.95f64) {
+        let n = t + extra;
+        prop_assume!(n > 0);
+        let expected_obs =
+            t as f64 * flip_expectation(true, f) + extra as f64 * flip_expectation(false, f);
+        let est = debias_count(expected_obs, n, f);
+        prop_assert!((est - t as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bitvec_projection_preserves_bits(bits in arb_bits(64)) {
+        let v = BitVec::from_bools(&bits);
+        let positions: Vec<usize> = (0..bits.len()).step_by(3).collect();
+        let p = v.project(&positions);
+        for (j, &i) in positions.iter().enumerate() {
+            prop_assert_eq!(p.get(j), v.get(i));
+        }
+        prop_assert_eq!(p.len(), positions.len());
+    }
+
+    #[test]
+    fn hamming_is_a_metric(a in arb_bits(32), seed in any::<u64>()) {
+        let len = a.len();
+        let b: Vec<bool> = (0..len).map(|k| (seed >> (k % 64)) & 1 == 1).collect();
+        let c: Vec<bool> = (0..len).map(|k| (seed >> ((k + 17) % 64)) & 1 == 0).collect();
+        let (va, vb, vc) = (
+            BitVec::from_bools(&a),
+            BitVec::from_bools(&b),
+            BitVec::from_bools(&c),
+        );
+        prop_assert_eq!(va.hamming(&va), 0);
+        prop_assert_eq!(va.hamming(&vb), vb.hamming(&va));
+        prop_assert!(va.hamming(&vc) <= va.hamming(&vb) + vb.hamming(&vc));
+    }
+
+    #[test]
+    fn count_ones_matches_ones_list(bits in arb_bits(130)) {
+        let v = BitVec::from_bools(&bits);
+        prop_assert_eq!(v.count_ones(), v.ones().len());
+        prop_assert_eq!(v.all_zero(), v.count_ones() == 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Binary integer programming by LP relaxation and rounding.
+//!
+//! The Phase I frame-picking problem (Equation 9 of the paper) is a binary
+//! selection with cardinality bounds:
+//!
+//! ```text
+//! min  Σ_k c_k x_k     s.t.  lo ≤ Σ_k x_k ≤ hi,   x_k ∈ {0, 1}
+//! ```
+//!
+//! Following Section 3.3.2 we (1) relax `x_k` to `[0, 1]`, (2) solve with
+//! Simplex, (3) round `x_k ≥ 0.5` up and the rest down. Rounding can break
+//! the cardinality bounds, so a repair pass adds the cheapest unselected /
+//! removes the most expensive selected variables until feasible.
+//!
+//! An exact combinatorial solver for this separable objective is also
+//! provided: it serves as a verification oracle in tests and as an ablation
+//! arm in the benchmarks.
+
+use crate::problem::{LinearProgram, Sense};
+use crate::simplex::{solve, LpResult};
+use serde::{Deserialize, Serialize};
+
+/// Errors from binary selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BipError {
+    /// `lo > hi` or `lo > n`.
+    InfeasibleBounds,
+    /// The LP relaxation failed (should not happen for well-formed inputs).
+    RelaxationFailed,
+}
+
+impl std::fmt::Display for BipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BipError::InfeasibleBounds => write!(f, "cardinality bounds are infeasible"),
+            BipError::RelaxationFailed => write!(f, "LP relaxation failed"),
+        }
+    }
+}
+
+impl std::error::Error for BipError {}
+
+/// Result of a binary selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinarySelection {
+    /// The rounded binary decision per variable.
+    pub selected: Vec<bool>,
+    /// The fractional LP relaxation solution (before rounding).
+    pub relaxed: Vec<f64>,
+    /// Objective value of the rounded solution.
+    pub objective: f64,
+}
+
+impl BinarySelection {
+    /// Indices of the selected variables.
+    pub fn indices(&self) -> Vec<usize> {
+        self.selected
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of selected variables.
+    pub fn count(&self) -> usize {
+        self.selected.iter().filter(|&&s| s).count()
+    }
+}
+
+fn objective_of(costs: &[f64], selected: &[bool]) -> f64 {
+    costs
+        .iter()
+        .zip(selected)
+        .filter(|(_, &s)| s)
+        .map(|(c, _)| c)
+        .sum()
+}
+
+/// Solves the cardinality-bounded binary selection by LP relaxation +
+/// 0.5-rounding + feasibility repair (the paper's Section 3.3.2 recipe).
+pub fn solve_lp_rounding(
+    costs: &[f64],
+    lo: usize,
+    hi: usize,
+) -> Result<BinarySelection, BipError> {
+    let n = costs.len();
+    if lo > hi || lo > n {
+        return Err(BipError::InfeasibleBounds);
+    }
+    if n == 0 {
+        return Ok(BinarySelection {
+            selected: vec![],
+            relaxed: vec![],
+            objective: 0.0,
+        });
+    }
+
+    let mut lp = LinearProgram::minimize(costs.to_vec());
+    let all: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
+    lp.constrain(all.clone(), Sense::Ge, lo as f64);
+    lp.constrain(all, Sense::Le, hi.min(n) as f64);
+    lp.upper_bound_all(1.0);
+
+    let relaxed = match solve(&lp) {
+        LpResult::Optimal { x, .. } => x,
+        _ => return Err(BipError::RelaxationFailed),
+    };
+
+    // Round per the paper: x ∈ [0, 0.5) → 0, x ∈ [0.5, 1] → 1.
+    let mut selected: Vec<bool> = relaxed.iter().map(|&v| v >= 0.5).collect();
+
+    // Repair pass: restore cardinality feasibility at minimum cost delta.
+    let mut count = selected.iter().filter(|&&s| s).count();
+    while count < lo {
+        // Add the cheapest unselected variable.
+        let add = (0..n)
+            .filter(|&i| !selected[i])
+            .min_by(|&a, &b| costs[a].partial_cmp(&costs[b]).expect("finite"))
+            .expect("lo <= n guarantees a candidate");
+        selected[add] = true;
+        count += 1;
+    }
+    while count > hi.min(n) {
+        // Drop the most expensive selected variable.
+        let drop = (0..n)
+            .filter(|&i| selected[i])
+            .max_by(|&a, &b| costs[a].partial_cmp(&costs[b]).expect("finite"))
+            .expect("count > 0");
+        selected[drop] = false;
+        count -= 1;
+    }
+
+    let objective = objective_of(costs, &selected);
+    Ok(BinarySelection {
+        selected,
+        relaxed,
+        objective,
+    })
+}
+
+/// Exact solver for the separable selection problem.
+///
+/// With all interactions absent, the optimum is: take every variable with a
+/// negative cost, then pad with the cheapest non-negative ones until `lo`
+/// variables are selected (and never exceed `hi`, dropping the most
+/// expensive negatives if they overflow — impossible here since `hi ≥ lo`).
+/// Zero-cost variables are included greedily as long as `hi` allows: they
+/// never hurt the objective, and downstream utility (more frames with
+/// budget) prefers them.
+pub fn solve_exact(costs: &[f64], lo: usize, hi: usize) -> Result<BinarySelection, BipError> {
+    let n = costs.len();
+    if lo > hi || lo > n {
+        return Err(BipError::InfeasibleBounds);
+    }
+    let hi = hi.min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| costs[a].partial_cmp(&costs[b]).expect("finite costs"));
+
+    let mut selected = vec![false; n];
+    let mut count = 0;
+    for &i in &order {
+        let improves = costs[i] < 0.0;
+        let free = costs[i] == 0.0;
+        if count < lo || ((improves || free) && count < hi) {
+            selected[i] = true;
+            count += 1;
+        }
+    }
+    let objective = objective_of(costs, &selected);
+    let relaxed = selected.iter().map(|&s| if s { 1.0 } else { 0.0 }).collect();
+    Ok(BinarySelection {
+        selected,
+        relaxed,
+        objective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_rounding_picks_cheapest() {
+        let costs = vec![3.0, 0.5, 2.0, 0.1, 5.0];
+        let sel = solve_lp_rounding(&costs, 2, 5).unwrap();
+        assert!(sel.count() >= 2);
+        assert!(sel.selected[3] && sel.selected[1], "{:?}", sel.selected);
+        assert!(!sel.selected[4]);
+    }
+
+    #[test]
+    fn exact_matches_lp_on_positive_costs() {
+        let costs = vec![4.0, 1.0, 2.5, 0.2, 3.3, 0.9];
+        let lp = solve_lp_rounding(&costs, 2, 6).unwrap();
+        let ex = solve_exact(&costs, 2, 6).unwrap();
+        assert!((lp.objective - ex.objective).abs() < 1e-7);
+    }
+
+    #[test]
+    fn exact_is_truly_optimal_by_enumeration() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..50 {
+            let n = rng.gen_range(3..9usize);
+            let costs: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..5.0f64)).collect();
+            let lo = rng.gen_range(1..=2.min(n));
+            let hi = rng.gen_range(lo..=n);
+            let ex = solve_exact(&costs, lo, hi).unwrap();
+            // Brute force over all subsets respecting the bounds.
+            let mut best = f64::INFINITY;
+            for mask in 0u32..(1 << n) {
+                let cnt = mask.count_ones() as usize;
+                if cnt < lo || cnt > hi {
+                    continue;
+                }
+                let obj: f64 = (0..n)
+                    .filter(|&i| (mask >> i) & 1 == 1)
+                    .map(|i| costs[i])
+                    .sum();
+                best = best.min(obj);
+            }
+            assert!(
+                (ex.objective - best).abs() < 1e-9,
+                "exact {} vs brute {best} on {costs:?} [{lo},{hi}]",
+                ex.objective
+            );
+        }
+    }
+
+    #[test]
+    fn lp_rounding_close_to_exact_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        for _ in 0..30 {
+            let n = rng.gen_range(4..20usize);
+            let costs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..3.0f64)).collect();
+            let lp = solve_lp_rounding(&costs, 2, n).unwrap();
+            let ex = solve_exact(&costs, 2, n).unwrap();
+            // LP vertex solutions of this polytope are integral, so rounding
+            // should be exact; tolerate tiny numerical slack.
+            assert!(
+                lp.objective <= ex.objective + 1e-6,
+                "lp {} vs exact {} on {costs:?}",
+                lp.objective,
+                ex.objective
+            );
+            assert!(lp.count() >= 2 && lp.count() <= n);
+        }
+    }
+
+    #[test]
+    fn negative_costs_all_taken() {
+        let costs = vec![-1.0, -2.0, 3.0, -0.5];
+        let ex = solve_exact(&costs, 2, 4).unwrap();
+        assert!(ex.selected[0] && ex.selected[1] && ex.selected[3]);
+        assert!(!ex.selected[2]);
+        assert!((ex.objective + 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_frames_included_up_to_hi() {
+        let costs = vec![0.0, 0.0, 1.0, 0.0];
+        let ex = solve_exact(&costs, 2, 4).unwrap();
+        assert_eq!(ex.count(), 3); // all three zero-cost, not the 1.0
+        assert!(!ex.selected[2]);
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let costs = vec![1.0; 6];
+        let sel = solve_lp_rounding(&costs, 3, 4).unwrap();
+        assert!(sel.count() >= 3 && sel.count() <= 4);
+        let sel = solve_exact(&costs, 3, 4).unwrap();
+        assert_eq!(sel.count(), 3);
+    }
+
+    #[test]
+    fn infeasible_bounds_rejected() {
+        assert_eq!(
+            solve_lp_rounding(&[1.0], 2, 1),
+            Err(BipError::InfeasibleBounds)
+        );
+        assert_eq!(solve_exact(&[1.0], 2, 3), Err(BipError::InfeasibleBounds));
+    }
+
+    #[test]
+    fn empty_problem() {
+        let sel = solve_lp_rounding(&[], 0, 0).unwrap();
+        assert_eq!(sel.count(), 0);
+        assert_eq!(sel.objective, 0.0);
+    }
+
+    #[test]
+    fn indices_helper() {
+        let sel = BinarySelection {
+            selected: vec![true, false, true],
+            relaxed: vec![1.0, 0.0, 1.0],
+            objective: 0.0,
+        };
+        assert_eq!(sel.indices(), vec![0, 2]);
+        assert_eq!(sel.count(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! # verro-lp
+//!
+//! A small dense linear-programming stack for VERRO's Phase I optimization
+//! (Section 3.3 of the paper):
+//!
+//! * [`problem`] — LP model (`min c·x`, `x ≥ 0`, Le/Ge/Eq constraints);
+//! * [`simplex`] — two-phase primal Simplex with Bland's rule;
+//! * [`bip`] — binary selection by LP relaxation + 0.5 rounding (the
+//!   paper's recipe) and an exact separable solver used as an oracle.
+
+pub mod bip;
+pub mod problem;
+pub mod simplex;
+
+pub use bip::{solve_exact, solve_lp_rounding, BinarySelection, BipError};
+pub use problem::{Constraint, LinearProgram, Sense};
+pub use simplex::{solve, LpResult};

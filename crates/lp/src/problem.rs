@@ -1,0 +1,125 @@
+//! Linear-program model: `min c·x` subject to linear constraints and
+//! non-negative variables (upper bounds are expressed as constraints).
+
+use serde::{Deserialize, Serialize};
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    Le,
+    Ge,
+    Eq,
+}
+
+/// One linear constraint `a·x (sense) b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Sparse coefficients `(var_index, coefficient)`.
+    pub terms: Vec<(usize, f64)>,
+    pub sense: Sense,
+    pub rhs: f64,
+}
+
+/// A linear program `min c·x` with `x ≥ 0`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinearProgram {
+    /// Objective coefficients, one per variable.
+    pub objective: Vec<f64>,
+    pub constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates a program over `num_vars` variables minimizing `objective`.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        Self {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Adds a constraint; panics on out-of-range variable indices or
+    /// non-finite data.
+    pub fn constrain(&mut self, terms: Vec<(usize, f64)>, sense: Sense, rhs: f64) -> &mut Self {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        for &(i, c) in &terms {
+            assert!(i < self.num_vars(), "variable index {i} out of range");
+            assert!(c.is_finite(), "coefficient must be finite");
+        }
+        self.constraints.push(Constraint { terms, sense, rhs });
+        self
+    }
+
+    /// Convenience: `x_i ≤ ub` for every variable (box upper bounds).
+    pub fn upper_bound_all(&mut self, ub: f64) -> &mut Self {
+        for i in 0..self.num_vars() {
+            self.constrain(vec![(i, 1.0)], Sense::Le, ub);
+        }
+        self
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars());
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks primal feasibility of `x` within tolerance `tol` (including
+    /// non-negativity).
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.terms.iter().map(|&(i, a)| a * x[i]).sum();
+            match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 1.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.objective_value(&[3.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let mut lp = LinearProgram::minimize(vec![0.0, 0.0]);
+        lp.constrain(vec![(0, 1.0)], Sense::Le, 2.0);
+        lp.constrain(vec![(1, 1.0)], Sense::Eq, 1.0);
+        assert!(lp.is_feasible(&[2.0, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[2.1, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.0, 0.5], 1e-9));
+        assert!(!lp.is_feasible(&[-0.1, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn upper_bound_all_adds_box() {
+        let mut lp = LinearProgram::minimize(vec![0.0; 3]);
+        lp.upper_bound_all(1.0);
+        assert_eq!(lp.constraints.len(), 3);
+        assert!(lp.is_feasible(&[1.0, 0.5, 0.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.2, 0.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_variable() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![(1, 1.0)], Sense::Le, 0.0);
+    }
+}

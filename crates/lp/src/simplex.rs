@@ -1,0 +1,393 @@
+//! Two-phase primal Simplex with Bland's anti-cycling rule.
+//!
+//! Section 3.3.2 of the paper relaxes its binary integer program to an LP
+//! and solves it "using standard LP solvers (e.g., the Simplex algorithm)".
+//! This is that solver: dense tableau, slack/surplus/artificial variables,
+//! Phase 1 drives artificials to zero, Phase 2 optimizes the objective.
+
+use crate::problem::{LinearProgram, Sense};
+
+/// Solver outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal solution: variable values and objective.
+    Optimal { x: Vec<f64>, objective: f64 },
+    Infeasible,
+    Unbounded,
+}
+
+impl LpResult {
+    /// The optimal point, panicking otherwise (test convenience).
+    pub fn unwrap_optimal(self) -> (Vec<f64>, f64) {
+        match self {
+            LpResult::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal solution, got {other:?}"),
+        }
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Dense Simplex tableau.
+struct Tableau {
+    /// `rows × cols` coefficient matrix; last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Objective row (reduced costs); last entry is the negated objective.
+    z: Vec<f64>,
+    /// Basis: for each row, the index of its basic variable.
+    basis: Vec<usize>,
+    num_rows: usize,
+    num_cols: usize, // structural + slack + artificial (excludes RHS)
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.a[row][col];
+        debug_assert!(pivot.abs() > EPS, "pivot too small");
+        for j in 0..=self.num_cols {
+            self.a[row][j] /= pivot;
+        }
+        for i in 0..self.num_rows {
+            if i != row && self.a[i][col].abs() > EPS {
+                let factor = self.a[i][col];
+                for j in 0..=self.num_cols {
+                    self.a[i][j] -= factor * self.a[row][j];
+                }
+            }
+        }
+        if self.z[col].abs() > EPS {
+            let factor = self.z[col];
+            for j in 0..=self.num_cols {
+                self.z[j] -= factor * self.a[row][j];
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs Simplex iterations until optimality or unboundedness.
+    /// `allowed` restricts entering variables (used to bar artificials in
+    /// Phase 2). Returns `false` on unboundedness.
+    fn optimize(&mut self, allowed: usize) -> bool {
+        // Iteration bound comfortably above the theoretical basis count for
+        // our problem sizes; Bland's rule guarantees finiteness anyway.
+        let max_iters = 50 * (self.num_rows + self.num_cols + 10);
+        for _ in 0..max_iters {
+            // Bland: entering variable = smallest index with negative
+            // reduced cost.
+            let Some(col) = (0..allowed).find(|&j| self.z[j] < -EPS) else {
+                return true; // optimal
+            };
+            // Ratio test; Bland tie-break on smallest basis index.
+            let mut best: Option<(f64, usize, usize)> = None;
+            for i in 0..self.num_rows {
+                if self.a[i][col] > EPS {
+                    let ratio = self.a[i][self.num_cols] / self.a[i][col];
+                    let candidate = (ratio, self.basis[i], i);
+                    if best.map_or(true, |(br, bb, _)| {
+                        ratio < br - EPS || (ratio < br + EPS && self.basis[i] < bb)
+                    }) {
+                        best = Some(candidate);
+                    }
+                }
+            }
+            let Some((_, _, row)) = best else {
+                return false; // unbounded
+            };
+            self.pivot(row, col);
+        }
+        // Numerical stall: treat as optimal at the current (feasible) point.
+        true
+    }
+}
+
+/// Solves a linear program with two-phase Simplex.
+pub fn solve(lp: &LinearProgram) -> LpResult {
+    let n = lp.num_vars();
+    let m = lp.constraints.len();
+
+    // Normalize to non-negative RHS and count auxiliary variables.
+    #[derive(Clone, Copy)]
+    struct RowPlan {
+        slack: Option<usize>,      // +1 slack column
+        surplus: Option<usize>,    // -1 surplus column
+        artificial: Option<usize>, // +1 artificial column
+    }
+    let mut next_col = n;
+    let mut plans: Vec<RowPlan> = Vec::with_capacity(m);
+    let mut senses: Vec<Sense> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    for c in &lp.constraints {
+        let (sense, b) = if c.rhs < 0.0 {
+            // Multiply the row by -1.
+            let flipped = match c.sense {
+                Sense::Le => Sense::Ge,
+                Sense::Ge => Sense::Le,
+                Sense::Eq => Sense::Eq,
+            };
+            (flipped, -c.rhs)
+        } else {
+            (c.sense, c.rhs)
+        };
+        senses.push(sense);
+        rhs.push(b);
+        let plan = match sense {
+            Sense::Le => {
+                let s = next_col;
+                next_col += 1;
+                RowPlan {
+                    slack: Some(s),
+                    surplus: None,
+                    artificial: None,
+                }
+            }
+            Sense::Ge => {
+                let s = next_col;
+                let a = next_col + 1;
+                next_col += 2;
+                RowPlan {
+                    slack: None,
+                    surplus: Some(s),
+                    artificial: Some(a),
+                }
+            }
+            Sense::Eq => {
+                let a = next_col;
+                next_col += 1;
+                RowPlan {
+                    slack: None,
+                    surplus: None,
+                    artificial: Some(a),
+                }
+            }
+        };
+        plans.push(plan);
+    }
+    let total_cols = next_col;
+
+    // Build the tableau.
+    let mut a = vec![vec![0.0; total_cols + 1]; m];
+    let mut basis = vec![0usize; m];
+    for (i, c) in lp.constraints.iter().enumerate() {
+        let flip = if c.rhs < 0.0 { -1.0 } else { 1.0 };
+        for &(j, coeff) in &c.terms {
+            a[i][j] += flip * coeff;
+        }
+        a[i][total_cols] = rhs[i];
+        let plan = plans[i];
+        if let Some(s) = plan.slack {
+            a[i][s] = 1.0;
+            basis[i] = s;
+        }
+        if let Some(s) = plan.surplus {
+            a[i][s] = -1.0;
+        }
+        if let Some(art) = plan.artificial {
+            a[i][art] = 1.0;
+            basis[i] = art;
+        }
+    }
+
+    let has_artificials = plans.iter().any(|p| p.artificial.is_some());
+    let mut t = Tableau {
+        a,
+        z: vec![0.0; total_cols + 1],
+        basis,
+        num_rows: m,
+        num_cols: total_cols,
+    };
+
+    // Phase 1: minimize the sum of artificials.
+    if has_artificials {
+        for p in &plans {
+            if let Some(art) = p.artificial {
+                t.z[art] = 1.0;
+            }
+        }
+        // Price out the basic artificials.
+        for i in 0..m {
+            if plans[i].artificial == Some(t.basis[i]) {
+                for j in 0..=total_cols {
+                    t.z[j] -= t.a[i][j];
+                }
+            }
+        }
+        if !t.optimize(total_cols) {
+            return LpResult::Unbounded; // cannot happen in phase 1, defensive
+        }
+        // Infeasible if artificials remain positive.
+        if -t.z[total_cols] > 1e-7 {
+            return LpResult::Infeasible;
+        }
+        // Drive any artificial still in the basis out (degenerate rows).
+        for i in 0..m {
+            if plans.iter().any(|p| p.artificial == Some(t.basis[i])) {
+                // Find a non-artificial column with nonzero coefficient.
+                let col = (0..total_cols)
+                    .filter(|&j| !plans.iter().any(|p| p.artificial == Some(j)))
+                    .find(|&j| t.a[i][j].abs() > EPS);
+                if let Some(col) = col {
+                    t.pivot(i, col);
+                }
+                // Otherwise the row is redundant (all zero): leave it.
+            }
+        }
+    }
+
+    // Phase 2: the original objective over structural + slack/surplus vars.
+    let artificial_cols: Vec<usize> = plans.iter().filter_map(|p| p.artificial).collect();
+    t.z = vec![0.0; total_cols + 1];
+    for j in 0..n {
+        t.z[j] = lp.objective[j];
+    }
+    // Price out basic variables.
+    for i in 0..m {
+        let b = t.basis[i];
+        if t.z[b].abs() > EPS {
+            let factor = t.z[b];
+            for j in 0..=total_cols {
+                t.z[j] -= factor * t.a[i][j];
+            }
+        }
+    }
+    // Forbid artificial columns from re-entering: set allowed to exclude
+    // them. Artificials were appended *after* slacks per row, so they are
+    // interleaved; instead, temporarily pin their reduced costs high.
+    for &j in &artificial_cols {
+        t.z[j] = f64::INFINITY;
+    }
+    // optimize() only enters columns with negative reduced cost; +inf never
+    // enters. But pivots subtract multiples of rows from z, which would
+    // corrupt infinities — guard by replacing with a huge finite cost.
+    for &j in &artificial_cols {
+        t.z[j] = 1e18;
+    }
+    if !t.optimize(total_cols) {
+        return LpResult::Unbounded;
+    }
+
+    // Extract the solution.
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if t.basis[i] < n {
+            x[t.basis[i]] = t.a[i][total_cols];
+        }
+    }
+    let objective = lp.objective_value(&x);
+    LpResult::Optimal { x, objective }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LinearProgram, Sense};
+
+    #[test]
+    fn simple_maximization_as_min() {
+        // max x + y s.t. x ≤ 2, y ≤ 3  →  min -x - y.
+        let mut lp = LinearProgram::minimize(vec![-1.0, -1.0]);
+        lp.constrain(vec![(0, 1.0)], Sense::Le, 2.0);
+        lp.constrain(vec![(1, 1.0)], Sense::Le, 3.0);
+        let (x, obj) = solve(&lp).unwrap_optimal();
+        assert!((x[0] - 2.0).abs() < 1e-7);
+        assert!((x[1] - 3.0).abs() < 1e-7);
+        assert!((obj + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn classic_two_constraint_lp() {
+        // min -3x - 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=-36.
+        let mut lp = LinearProgram::minimize(vec![-3.0, -5.0]);
+        lp.constrain(vec![(0, 1.0)], Sense::Le, 4.0);
+        lp.constrain(vec![(1, 2.0)], Sense::Le, 12.0);
+        lp.constrain(vec![(0, 3.0), (1, 2.0)], Sense::Le, 18.0);
+        let (x, obj) = solve(&lp).unwrap_optimal();
+        assert!((x[0] - 2.0).abs() < 1e-7, "x = {x:?}");
+        assert!((x[1] - 6.0).abs() < 1e-7);
+        assert!((obj + 36.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min x + y s.t. x + y ≥ 4, x ≥ 1 → obj = 4.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 4.0);
+        lp.constrain(vec![(0, 1.0)], Sense::Ge, 1.0);
+        let (x, obj) = solve(&lp).unwrap_optimal();
+        assert!((obj - 4.0).abs() < 1e-7, "x = {x:?} obj = {obj}");
+        assert!(lp.is_feasible(&x, 1e-7));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x + 3y s.t. x + y = 10, x - y = 2 → x=6, y=4, obj=24.
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 10.0);
+        lp.constrain(vec![(0, 1.0), (1, -1.0)], Sense::Eq, 2.0);
+        let (x, obj) = solve(&lp).unwrap_optimal();
+        assert!((x[0] - 6.0).abs() < 1e-7);
+        assert!((x[1] - 4.0).abs() < 1e-7);
+        assert!((obj - 24.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x ≤ 1 and x ≥ 2 is infeasible.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![(0, 1.0)], Sense::Le, 1.0);
+        lp.constrain(vec![(0, 1.0)], Sense::Ge, 2.0);
+        assert_eq!(solve(&lp), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x with no upper bound.
+        let mut lp = LinearProgram::minimize(vec![-1.0]);
+        lp.constrain(vec![(0, 1.0)], Sense::Ge, 0.0);
+        assert_eq!(solve(&lp), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y ≤ -1 with min x + y → x=0, y=1.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, -1.0)], Sense::Le, -1.0);
+        let (x, obj) = solve(&lp).unwrap_optimal();
+        assert!((obj - 1.0).abs() < 1e-7, "x = {x:?}");
+        assert!(lp.is_feasible(&x, 1e-7));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Degenerate vertex: multiple constraints intersect at the optimum.
+        let mut lp = LinearProgram::minimize(vec![-1.0, -1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Le, 1.0);
+        lp.constrain(vec![(0, 1.0)], Sense::Le, 1.0);
+        lp.constrain(vec![(1, 1.0)], Sense::Le, 1.0);
+        lp.constrain(vec![(0, 2.0), (1, 2.0)], Sense::Le, 2.0);
+        let (x, obj) = solve(&lp).unwrap_optimal();
+        assert!((obj + 1.0).abs() < 1e-7, "x = {x:?}");
+    }
+
+    #[test]
+    fn zero_objective_feasibility_problem() {
+        let mut lp = LinearProgram::minimize(vec![0.0, 0.0]);
+        lp.constrain(vec![(0, 1.0), (1, 2.0)], Sense::Eq, 4.0);
+        let (x, obj) = solve(&lp).unwrap_optimal();
+        assert_eq!(obj, 0.0);
+        assert!(lp.is_feasible(&x, 1e-7));
+    }
+
+    #[test]
+    fn box_bounded_selection_shape() {
+        // The Eq. (9) shape: min Σ c_k x_k s.t. Σ x_k ≥ 2, x_k ≤ 1.
+        // All c positive → pick the two cheapest at 1.
+        let c = vec![5.0, 1.0, 3.0, 0.5, 2.0];
+        let mut lp = LinearProgram::minimize(c.clone());
+        lp.constrain((0..5).map(|i| (i, 1.0)).collect(), Sense::Ge, 2.0);
+        lp.upper_bound_all(1.0);
+        let (x, obj) = solve(&lp).unwrap_optimal();
+        assert!((obj - 1.5).abs() < 1e-7, "x = {x:?}");
+        assert!((x[1] - 1.0).abs() < 1e-7);
+        assert!((x[3] - 1.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the LP stack: Simplex optimality and
+//! feasibility certificates on random instances, and BIP solver agreement.
+
+use proptest::prelude::*;
+use verro_lp::bip::{solve_exact, solve_lp_rounding};
+use verro_lp::problem::{LinearProgram, Sense};
+use verro_lp::simplex::{solve, LpResult};
+
+/// A random bounded-feasible LP: min c·x over 0 ≤ x ≤ ub with a few
+/// knapsack-style ≤ constraints (always feasible at x = 0, always bounded).
+fn arb_bounded_lp() -> impl Strategy<Value = LinearProgram> {
+    (
+        2usize..6,
+        prop::collection::vec(-5.0..5.0f64, 2..6),
+        prop::collection::vec(0.5..4.0f64, 0..4),
+        any::<u64>(),
+    )
+        .prop_map(|(n, mut costs, rhs_list, seed)| {
+            costs.truncate(n);
+            while costs.len() < n {
+                costs.push(1.0);
+            }
+            let mut lp = LinearProgram::minimize(costs);
+            lp.upper_bound_all(1.5);
+            for (ci, rhs) in rhs_list.iter().enumerate() {
+                let terms: Vec<(usize, f64)> = (0..n)
+                    .filter(|i| (seed >> ((ci * n + i) % 60)) & 1 == 1)
+                    .map(|i| (i, 1.0 + ((seed >> (i % 30)) & 3) as f64 * 0.5))
+                    .collect();
+                if !terms.is_empty() {
+                    lp.constrain(terms, Sense::Le, *rhs);
+                }
+            }
+            lp
+        })
+}
+
+proptest! {
+    #[test]
+    fn simplex_solution_is_feasible(lp in arb_bounded_lp()) {
+        match solve(&lp) {
+            LpResult::Optimal { x, objective } => {
+                prop_assert!(lp.is_feasible(&x, 1e-6), "x = {x:?}");
+                prop_assert!((lp.objective_value(&x) - objective).abs() < 1e-6);
+            }
+            other => prop_assert!(false, "bounded feasible LP not solved: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simplex_beats_random_feasible_points(lp in arb_bounded_lp(), seed in any::<u64>()) {
+        let LpResult::Optimal { objective, .. } = solve(&lp) else {
+            return Err(TestCaseError::fail("expected optimal"));
+        };
+        // Sample feasible points by scaling down random box points until
+        // feasible; the Simplex objective must not exceed any of them.
+        let n = lp.num_vars();
+        for trial in 0..20u64 {
+            let mut candidate: Vec<f64> = (0..n)
+                .map(|i| {
+                    let h = seed
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add(trial * 131 + i as u64);
+                    (h % 1000) as f64 / 1000.0 * 1.5
+                })
+                .collect();
+            for _ in 0..20 {
+                if lp.is_feasible(&candidate, 1e-9) {
+                    break;
+                }
+                for v in candidate.iter_mut() {
+                    *v *= 0.7;
+                }
+            }
+            if lp.is_feasible(&candidate, 1e-9) {
+                prop_assert!(
+                    objective <= lp.objective_value(&candidate) + 1e-6,
+                    "simplex {objective} worse than sampled {}",
+                    lp.objective_value(&candidate)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_selection_matches_brute_force(
+        costs in prop::collection::vec(-3.0..5.0f64, 1..10),
+        lo_raw in 0usize..3,
+    ) {
+        let n = costs.len();
+        let lo = lo_raw.min(n);
+        let sel = solve_exact(&costs, lo, n).unwrap();
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << n) {
+            let cnt = mask.count_ones() as usize;
+            if cnt < lo {
+                continue;
+            }
+            let obj: f64 = (0..n)
+                .filter(|&i| (mask >> i) & 1 == 1)
+                .map(|i| costs[i])
+                .sum();
+            best = best.min(obj);
+        }
+        prop_assert!((sel.objective - best).abs() < 1e-9,
+            "exact {} vs brute {best} on {costs:?} lo={lo}", sel.objective);
+    }
+
+    #[test]
+    fn lp_rounding_is_feasible_and_near_exact(
+        costs in prop::collection::vec(-3.0..5.0f64, 2..12),
+        lo_raw in 1usize..4,
+    ) {
+        let n = costs.len();
+        let lo = lo_raw.min(n);
+        let lp_sel = solve_lp_rounding(&costs, lo, n).unwrap();
+        let ex_sel = solve_exact(&costs, lo, n).unwrap();
+        prop_assert!(lp_sel.count() >= lo && lp_sel.count() <= n);
+        // The cardinality polytope is integral, so rounding should match the
+        // exact optimum up to zero-cost ties.
+        prop_assert!(lp_sel.objective <= ex_sel.objective + 1e-6,
+            "lp {} vs exact {}", lp_sel.objective, ex_sel.objective);
+    }
+
+    #[test]
+    fn relaxation_bounds_are_respected(
+        costs in prop::collection::vec(0.0..5.0f64, 2..10),
+    ) {
+        let n = costs.len();
+        let sel = solve_lp_rounding(&costs, 2, n).unwrap();
+        for &v in &sel.relaxed {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "relaxed var {v}");
+        }
+        let total: f64 = sel.relaxed.iter().sum();
+        prop_assert!(total >= 2.0 - 1e-6);
+    }
+}

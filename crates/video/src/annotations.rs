@@ -1,0 +1,281 @@
+//! MOT-style video annotations: every sensitive object's bounding box in
+//! every frame it appears in, keyed by a stable object ID.
+//!
+//! This is the interface between the computer-vision preprocessing (detection
+//! + tracking) and the VERRO sanitizer: Phase I consumes only presence
+//! information and Phase II consumes the per-frame *candidate coordinates*.
+
+use crate::geometry::BBox;
+use crate::object::{ObjectClass, ObjectId, Observation, TrackedObject};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Annotations for a whole video: the number of frames and one track per
+/// sensitive object.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct VideoAnnotations {
+    num_frames: usize,
+    tracks: BTreeMap<ObjectId, TrackedObject>,
+}
+
+impl VideoAnnotations {
+    /// Creates empty annotations for a video of `num_frames` frames.
+    pub fn new(num_frames: usize) -> Self {
+        Self {
+            num_frames,
+            tracks: BTreeMap::new(),
+        }
+    }
+
+    pub fn num_frames(&self) -> usize {
+        self.num_frames
+    }
+
+    /// Number of distinct sensitive objects.
+    pub fn num_objects(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Adds one observation, creating the track on first sight.
+    pub fn record(&mut self, id: ObjectId, class: ObjectClass, frame: usize, bbox: BBox) {
+        assert!(frame < self.num_frames, "frame {frame} out of range");
+        self.tracks
+            .entry(id)
+            .or_insert_with(|| TrackedObject::new(id, class))
+            .push(Observation { frame, bbox });
+    }
+
+    /// Inserts a complete track. Replaces any previous track with the same ID.
+    pub fn insert_track(&mut self, track: TrackedObject) {
+        self.tracks.insert(track.id, track);
+    }
+
+    /// The track of a specific object.
+    pub fn track(&self, id: ObjectId) -> Option<&TrackedObject> {
+        self.tracks.get(&id)
+    }
+
+    /// All tracks in ascending ID order.
+    pub fn tracks(&self) -> impl Iterator<Item = &TrackedObject> {
+        self.tracks.values()
+    }
+
+    /// All object IDs in ascending order.
+    pub fn ids(&self) -> Vec<ObjectId> {
+        self.tracks.keys().copied().collect()
+    }
+
+    /// All `(id, bbox)` pairs present in frame `k`.
+    pub fn in_frame(&self, k: usize) -> Vec<(ObjectId, BBox)> {
+        self.tracks
+            .values()
+            .filter_map(|t| t.at_frame(k).map(|o| (t.id, o.bbox)))
+            .collect()
+    }
+
+    /// Number of objects present in frame `k` (the count `c_k` that drives
+    /// Phase II candidate selection and the Figure 12/13 series).
+    pub fn count_in_frame(&self, k: usize) -> usize {
+        self.tracks.values().filter(|t| t.present_at(k)).count()
+    }
+
+    /// Per-frame object counts for the whole video.
+    pub fn per_frame_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_frames];
+        for t in self.tracks.values() {
+            for o in t.observations() {
+                counts[o.frame] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The set of distinct objects present in at least one of the given
+    /// frames — Table 2 reports this after key-frame extraction.
+    pub fn distinct_objects_in_frames(&self, frames: &[usize]) -> Vec<ObjectId> {
+        self.tracks
+            .values()
+            .filter(|t| frames.iter().any(|&k| t.present_at(k)))
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Restriction of these annotations to a subset of objects.
+    pub fn filtered<F: Fn(&TrackedObject) -> bool>(&self, keep: F) -> VideoAnnotations {
+        VideoAnnotations {
+            num_frames: self.num_frames,
+            tracks: self
+                .tracks
+                .iter()
+                .filter(|(_, t)| keep(t))
+                .map(|(id, t)| (*id, t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Serializes to the MOT Challenge ground-truth text format:
+    /// `frame,id,x,y,w,h,conf,class,vis` with 1-based frame/ID indices.
+    pub fn to_mot_text(&self) -> String {
+        let mut lines: Vec<(usize, u32, String)> = Vec::new();
+        for t in self.tracks.values() {
+            let class_code = match t.class {
+                ObjectClass::Pedestrian => 1,
+                ObjectClass::Vehicle => 3,
+                ObjectClass::Cyclist => 4,
+            };
+            for o in t.observations() {
+                lines.push((
+                    o.frame,
+                    t.id.0,
+                    format!(
+                        "{},{},{:.2},{:.2},{:.2},{:.2},1,{},1.0",
+                        o.frame + 1,
+                        t.id.0 + 1,
+                        o.bbox.x,
+                        o.bbox.y,
+                        o.bbox.w,
+                        o.bbox.h,
+                        class_code
+                    ),
+                ));
+            }
+        }
+        lines.sort();
+        let mut out = String::new();
+        for (_, _, l) in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the MOT Challenge ground-truth text format produced by
+    /// [`VideoAnnotations::to_mot_text`]. Unknown class codes map to
+    /// pedestrians (the MOT16 convention treats 1/2 as people).
+    pub fn from_mot_text(text: &str, num_frames: usize) -> Result<VideoAnnotations, String> {
+        let mut ann = VideoAnnotations::new(num_frames);
+        let mut rows: Vec<(usize, ObjectId, ObjectClass, BBox)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() < 6 {
+                return Err(format!("line {}: expected >=6 fields", lineno + 1));
+            }
+            let parse_f = |s: &str| -> Result<f64, String> {
+                s.trim()
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))
+            };
+            let frame1: usize = fields[0]
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let id1: u32 = fields[1]
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if frame1 == 0 || id1 == 0 {
+                return Err(format!("line {}: MOT indices are 1-based", lineno + 1));
+            }
+            let bbox = BBox::new(
+                parse_f(fields[2])?,
+                parse_f(fields[3])?,
+                parse_f(fields[4])?,
+                parse_f(fields[5])?,
+            );
+            let class = match fields.get(7).map(|s| s.trim()) {
+                Some("3") => ObjectClass::Vehicle,
+                Some("4") => ObjectClass::Cyclist,
+                _ => ObjectClass::Pedestrian,
+            };
+            rows.push((frame1 - 1, ObjectId(id1 - 1), class, bbox));
+        }
+        rows.sort_by_key(|(f, id, _, _)| (*id, *f));
+        for (frame, id, class, bbox) in rows {
+            if frame >= num_frames {
+                return Err(format!("frame {} out of declared range", frame + 1));
+            }
+            ann.record(id, class, frame, bbox);
+        }
+        Ok(ann)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VideoAnnotations {
+        let mut a = VideoAnnotations::new(10);
+        a.record(ObjectId(0), ObjectClass::Pedestrian, 0, BBox::new(0.0, 0.0, 5.0, 10.0));
+        a.record(ObjectId(0), ObjectClass::Pedestrian, 1, BBox::new(2.0, 0.0, 5.0, 10.0));
+        a.record(ObjectId(1), ObjectClass::Vehicle, 1, BBox::new(50.0, 20.0, 22.0, 10.0));
+        a.record(ObjectId(1), ObjectClass::Vehicle, 2, BBox::new(55.0, 20.0, 22.0, 10.0));
+        a.record(ObjectId(2), ObjectClass::Pedestrian, 5, BBox::new(9.0, 9.0, 4.0, 8.0));
+        a
+    }
+
+    #[test]
+    fn counts_and_presence() {
+        let a = sample();
+        assert_eq!(a.num_objects(), 3);
+        assert_eq!(a.count_in_frame(1), 2);
+        assert_eq!(a.count_in_frame(3), 0);
+        assert_eq!(a.per_frame_counts(), vec![1, 2, 1, 0, 0, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn in_frame_lists_pairs() {
+        let a = sample();
+        let f1 = a.in_frame(1);
+        assert_eq!(f1.len(), 2);
+        assert!(f1.iter().any(|(id, _)| *id == ObjectId(0)));
+        assert!(f1.iter().any(|(id, _)| *id == ObjectId(1)));
+    }
+
+    #[test]
+    fn distinct_objects_in_frames() {
+        let a = sample();
+        let ids = a.distinct_objects_in_frames(&[0, 5]);
+        assert_eq!(ids, vec![ObjectId(0), ObjectId(2)]);
+        assert!(a.distinct_objects_in_frames(&[9]).is_empty());
+    }
+
+    #[test]
+    fn filtered_keeps_subset() {
+        let a = sample();
+        let peds = a.filtered(|t| t.class == ObjectClass::Pedestrian);
+        assert_eq!(peds.num_objects(), 2);
+        assert!(peds.track(ObjectId(1)).is_none());
+    }
+
+    #[test]
+    fn mot_text_round_trip() {
+        let a = sample();
+        let text = a.to_mot_text();
+        let back = VideoAnnotations::from_mot_text(&text, 10).unwrap();
+        assert_eq!(back.num_objects(), a.num_objects());
+        assert_eq!(back.per_frame_counts(), a.per_frame_counts());
+        assert_eq!(back.track(ObjectId(1)).unwrap().class, ObjectClass::Vehicle);
+        let b0 = back.track(ObjectId(0)).unwrap().at_frame(1).unwrap().bbox;
+        assert!((b0.x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mot_text_rejects_bad_rows() {
+        assert!(VideoAnnotations::from_mot_text("1,1,0,0", 5).is_err());
+        assert!(VideoAnnotations::from_mot_text("0,1,0,0,1,1", 5).is_err());
+        assert!(VideoAnnotations::from_mot_text("9,1,0,0,1,1", 5).is_err());
+        assert!(VideoAnnotations::from_mot_text("x,1,0,0,1,1", 5).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn record_out_of_range_frame_panics() {
+        let mut a = VideoAnnotations::new(3);
+        a.record(ObjectId(0), ObjectClass::Pedestrian, 3, BBox::new(0.0, 0.0, 1.0, 1.0));
+    }
+}

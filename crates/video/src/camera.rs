@@ -1,0 +1,76 @@
+//! Camera models: static and moving (panning) platforms.
+//!
+//! Two of the paper's three evaluation videos come from static cameras and
+//! one from a moving platform (Table 1); camera motion determines the world
+//! offset of each rendered frame and how object world coordinates map to
+//! frame coordinates.
+
+use serde::{Deserialize, Serialize};
+
+/// Camera motion model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Camera {
+    /// Fixed viewpoint: frame coordinates equal world coordinates.
+    Static,
+    /// Horizontal pan at `speed` world-pixels per frame (a moving platform
+    /// driving along the street).
+    Pan { speed: f64 },
+}
+
+impl Camera {
+    /// World-space x offset of the frame window at frame `k`.
+    pub fn offset_at(&self, k: usize) -> f64 {
+        match self {
+            Camera::Static => 0.0,
+            Camera::Pan { speed } => speed * k as f64,
+        }
+    }
+
+    /// Converts a world x coordinate to frame-local x at frame `k`.
+    pub fn world_to_frame_x(&self, world_x: f64, k: usize) -> f64 {
+        world_x - self.offset_at(k)
+    }
+
+    /// Converts a frame-local x coordinate to world x at frame `k`.
+    pub fn frame_to_world_x(&self, frame_x: f64, k: usize) -> f64 {
+        frame_x + self.offset_at(k)
+    }
+
+    /// Whether this camera moves at all.
+    pub fn is_moving(&self) -> bool {
+        matches!(self, Camera::Pan { speed } if *speed != 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_camera_identity() {
+        let c = Camera::Static;
+        assert_eq!(c.offset_at(100), 0.0);
+        assert_eq!(c.world_to_frame_x(55.0, 9), 55.0);
+        assert!(!c.is_moving());
+    }
+
+    #[test]
+    fn pan_accumulates() {
+        let c = Camera::Pan { speed: 2.5 };
+        assert_eq!(c.offset_at(0), 0.0);
+        assert_eq!(c.offset_at(10), 25.0);
+        assert_eq!(c.world_to_frame_x(100.0, 10), 75.0);
+        assert_eq!(c.frame_to_world_x(75.0, 10), 100.0);
+        assert!(c.is_moving());
+        assert!(!Camera::Pan { speed: 0.0 }.is_moving());
+    }
+
+    #[test]
+    fn world_frame_round_trip() {
+        let c = Camera::Pan { speed: 1.75 };
+        for k in [0usize, 3, 17, 400] {
+            let w = 123.4;
+            assert!((c.frame_to_world_x(c.world_to_frame_x(w, k), k) - w).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! RGB and HSV color types and conversions.
+//!
+//! Algorithm 2 of the paper clusters frames by HSV histograms, so a faithful
+//! RGB→HSV transform is part of the substrate. Hue is represented in degrees
+//! `[0, 360)`, saturation and value in `[0, 1]`.
+
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit-per-channel RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rgb {
+    pub r: u8,
+    pub g: u8,
+    pub b: u8,
+}
+
+impl Rgb {
+    pub const BLACK: Rgb = Rgb::new(0, 0, 0);
+    pub const WHITE: Rgb = Rgb::new(255, 255, 255);
+
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Self { r, g, b }
+    }
+
+    /// Converts to HSV (hue in degrees, saturation/value in `[0, 1]`).
+    pub fn to_hsv(self) -> Hsv {
+        let r = self.r as f64 / 255.0;
+        let g = self.g as f64 / 255.0;
+        let b = self.b as f64 / 255.0;
+        let max = r.max(g).max(b);
+        let min = r.min(g).min(b);
+        let delta = max - min;
+
+        let h = if delta == 0.0 {
+            0.0
+        } else if max == r {
+            60.0 * (((g - b) / delta).rem_euclid(6.0))
+        } else if max == g {
+            60.0 * ((b - r) / delta + 2.0)
+        } else {
+            60.0 * ((r - g) / delta + 4.0)
+        };
+        let s = if max == 0.0 { 0.0 } else { delta / max };
+        Hsv { h, s, v: max }
+    }
+
+    /// Perceived luma (BT.601) in `[0, 255]`.
+    pub fn luma(self) -> f64 {
+        0.299 * self.r as f64 + 0.587 * self.g as f64 + 0.114 * self.b as f64
+    }
+
+    /// Channelwise absolute difference summed — a cheap pixel distance used by
+    /// background modeling and detection.
+    pub fn abs_diff(self, other: Rgb) -> u32 {
+        (self.r as i32 - other.r as i32).unsigned_abs()
+            + (self.g as i32 - other.g as i32).unsigned_abs()
+            + (self.b as i32 - other.b as i32).unsigned_abs()
+    }
+
+    /// Squared Euclidean distance in RGB space (used by SSD patch matching in
+    /// the inpainter).
+    pub fn dist_sq(self, other: Rgb) -> u32 {
+        let dr = self.r as i32 - other.r as i32;
+        let dg = self.g as i32 - other.g as i32;
+        let db = self.b as i32 - other.b as i32;
+        (dr * dr + dg * dg + db * db) as u32
+    }
+
+    /// Blends `self` towards `other`: `t = 0` keeps `self`, `t = 1` yields
+    /// `other`.
+    pub fn blend(self, other: Rgb, t: f64) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * t).round() as u8;
+        Rgb::new(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+    }
+}
+
+/// A color in HSV space: `h` in degrees `[0, 360)`, `s`/`v` in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Hsv {
+    pub h: f64,
+    pub s: f64,
+    pub v: f64,
+}
+
+impl Hsv {
+    pub fn new(h: f64, s: f64, v: f64) -> Self {
+        Self {
+            h: h.rem_euclid(360.0),
+            s: s.clamp(0.0, 1.0),
+            v: v.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Converts back to 8-bit RGB.
+    pub fn to_rgb(self) -> Rgb {
+        let c = self.v * self.s;
+        let hp = self.h.rem_euclid(360.0) / 60.0;
+        let x = c * (1.0 - (hp.rem_euclid(2.0) - 1.0).abs());
+        let (r1, g1, b1) = match hp as u32 {
+            0 => (c, x, 0.0),
+            1 => (x, c, 0.0),
+            2 => (0.0, c, x),
+            3 => (0.0, x, c),
+            4 => (x, 0.0, c),
+            _ => (c, 0.0, x),
+        };
+        let m = self.v - c;
+        let to8 = |f: f64| ((f + m) * 255.0).round().clamp(0.0, 255.0) as u8;
+        Rgb::new(to8(r1), to8(g1), to8(b1))
+    }
+}
+
+/// A small palette of maximally-separated hues used to color the synthetic
+/// objects inserted by Phase II. The paper "uses different colors for
+/// different synthetic objects" (Section 6.3); beyond `n` entries the palette
+/// wraps around with varied value, which keeps colors visually distinct while
+/// conveying no identity information (assignment is random).
+pub fn distinct_color(index: usize) -> Rgb {
+    // Golden-angle hue stepping gives well-spread hues for any count.
+    const GOLDEN_ANGLE: f64 = 137.50776405003785;
+    let h = (index as f64 * GOLDEN_ANGLE).rem_euclid(360.0);
+    let tier = (index / 16) % 3;
+    let (s, v) = match tier {
+        0 => (0.85, 0.95),
+        1 => (0.60, 0.80),
+        _ => (0.95, 0.65),
+    };
+    Hsv::new(h, s, v).to_rgb()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_colors_to_hsv() {
+        let red = Rgb::new(255, 0, 0).to_hsv();
+        assert!((red.h - 0.0).abs() < 1e-9);
+        assert!((red.s - 1.0).abs() < 1e-9);
+        assert!((red.v - 1.0).abs() < 1e-9);
+
+        let green = Rgb::new(0, 255, 0).to_hsv();
+        assert!((green.h - 120.0).abs() < 1e-9);
+
+        let blue = Rgb::new(0, 0, 255).to_hsv();
+        assert!((blue.h - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grays_have_zero_saturation() {
+        for g in [0u8, 64, 128, 255] {
+            let hsv = Rgb::new(g, g, g).to_hsv();
+            assert_eq!(hsv.s, 0.0);
+            assert!((hsv.v - g as f64 / 255.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hsv_round_trip_exact_for_primaries() {
+        for c in [
+            Rgb::new(255, 0, 0),
+            Rgb::new(0, 255, 0),
+            Rgb::new(0, 0, 255),
+            Rgb::new(255, 255, 0),
+            Rgb::new(0, 255, 255),
+            Rgb::new(255, 0, 255),
+            Rgb::WHITE,
+            Rgb::BLACK,
+        ] {
+            assert_eq!(c.to_hsv().to_rgb(), c);
+        }
+    }
+
+    #[test]
+    fn hsv_round_trip_near_exact_for_all_channel_combos() {
+        // Sample the cube; round trip must land within 1 LSB per channel.
+        for r in (0..=255).step_by(51) {
+            for g in (0..=255).step_by(51) {
+                for b in (0..=255).step_by(51) {
+                    let c = Rgb::new(r as u8, g as u8, b as u8);
+                    let back = c.to_hsv().to_rgb();
+                    assert!(
+                        (c.r as i32 - back.r as i32).abs() <= 1
+                            && (c.g as i32 - back.g as i32).abs() <= 1
+                            && (c.b as i32 - back.b as i32).abs() <= 1,
+                        "round trip {c:?} -> {back:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abs_diff_and_dist_sq() {
+        let a = Rgb::new(10, 20, 30);
+        let b = Rgb::new(13, 16, 30);
+        assert_eq!(a.abs_diff(b), 7);
+        assert_eq!(a.dist_sq(b), 9 + 16);
+        assert_eq!(a.abs_diff(a), 0);
+    }
+
+    #[test]
+    fn blend_endpoints() {
+        let a = Rgb::new(0, 0, 0);
+        let b = Rgb::new(255, 255, 255);
+        assert_eq!(a.blend(b, 0.0), a);
+        assert_eq!(a.blend(b, 1.0), b);
+        assert_eq!(a.blend(b, 0.5), Rgb::new(128, 128, 128));
+    }
+
+    #[test]
+    fn luma_weights() {
+        assert!((Rgb::WHITE.luma() - 255.0).abs() < 1e-9);
+        assert_eq!(Rgb::BLACK.luma(), 0.0);
+        assert!(Rgb::new(0, 255, 0).luma() > Rgb::new(255, 0, 0).luma());
+    }
+
+    #[test]
+    fn distinct_colors_are_pairwise_distant() {
+        // The first 32 synthetic-object colors must be mutually
+        // distinguishable (pairwise RGB distance above a floor).
+        let colors: Vec<Rgb> = (0..32).map(distinct_color).collect();
+        for i in 0..colors.len() {
+            for j in (i + 1)..colors.len() {
+                assert!(
+                    colors[i].dist_sq(colors[j]) > 400,
+                    "colors {i} and {j} too close: {:?} vs {:?}",
+                    colors[i],
+                    colors[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hsv_new_normalizes() {
+        let c = Hsv::new(-30.0, 2.0, -1.0);
+        assert!((c.h - 330.0).abs() < 1e-9);
+        assert_eq!(c.s, 1.0);
+        assert_eq!(c.v, 0.0);
+    }
+}

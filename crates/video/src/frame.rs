@@ -1,0 +1,46 @@
+//! A video frame: a raster image plus its position on the timeline.
+
+use crate::image::ImageBuffer;
+use serde::{Deserialize, Serialize};
+
+/// One frame of a video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Zero-based frame index.
+    pub index: usize,
+    /// Raster content.
+    pub image: ImageBuffer,
+}
+
+impl Frame {
+    pub fn new(index: usize, image: ImageBuffer) -> Self {
+        Self { index, image }
+    }
+
+    /// Timestamp in seconds given a frame rate.
+    pub fn timestamp(&self, fps: f64) -> f64 {
+        assert!(fps > 0.0, "fps must be positive");
+        self.index as f64 / fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+    use crate::geometry::Size;
+
+    #[test]
+    fn timestamp_scales_with_fps() {
+        let f = Frame::new(30, ImageBuffer::new(Size::new(2, 2), Rgb::BLACK));
+        assert!((f.timestamp(30.0) - 1.0).abs() < 1e-12);
+        assert!((f.timestamp(15.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn timestamp_rejects_zero_fps() {
+        let f = Frame::new(0, ImageBuffer::new(Size::new(1, 1), Rgb::BLACK));
+        let _ = f.timestamp(0.0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Planar geometry primitives used throughout VERRO.
+//!
+//! Video-space coordinates are continuous `f64` values with the origin at the
+//! top-left corner of a frame, `x` growing rightwards and `y` growing
+//! downwards (the usual raster convention). Pixel indices are `u32`.
+
+use serde::{Deserialize, Serialize};
+
+/// A continuous point in frame coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only ordering
+    /// matters).
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean norm interpreted as a vector from the origin.
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Componentwise linear interpolation: `self` at `t = 0`, `other` at
+    /// `t = 1`. `t` outside `[0, 1]` extrapolates.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Clamps both coordinates into the given frame size.
+    pub fn clamp_to(&self, size: Size) -> Point {
+        Point::new(
+            self.x.clamp(0.0, size.width as f64),
+            self.y.clamp(0.0, size.height as f64),
+        )
+    }
+}
+
+impl std::ops::Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl std::ops::Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl std::ops::Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+/// An integral raster size in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Size {
+    pub width: u32,
+    pub height: u32,
+}
+
+impl Size {
+    pub const fn new(width: u32, height: u32) -> Self {
+        Self { width, height }
+    }
+
+    /// Total pixel count.
+    pub fn area(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Returns this size scaled by `factor` (rounded, at least 1×1).
+    pub fn scaled(&self, factor: f64) -> Size {
+        Size::new(
+            ((self.width as f64 * factor).round() as u32).max(1),
+            ((self.height as f64 * factor).round() as u32).max(1),
+        )
+    }
+
+    /// Whether the (continuous) point lies inside the raster.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= 0.0 && p.y >= 0.0 && p.x < self.width as f64 && p.y < self.height as f64
+    }
+}
+
+impl std::fmt::Display for Size {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+/// An axis-aligned bounding box in continuous frame coordinates.
+///
+/// `x, y` is the top-left corner; the box spans `[x, x+w) × [y, y+h)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BBox {
+    pub x: f64,
+    pub y: f64,
+    pub w: f64,
+    pub h: f64,
+}
+
+impl BBox {
+    /// Creates a box from the top-left corner and extent. Negative extents
+    /// are clamped to zero.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        Self {
+            x,
+            y,
+            w: w.max(0.0),
+            h: h.max(0.0),
+        }
+    }
+
+    /// Creates a box centered at `center` with the given extent.
+    pub fn from_center(center: Point, w: f64, h: f64) -> Self {
+        Self::new(center.x - w / 2.0, center.y - h / 2.0, w, h)
+    }
+
+    /// The center point of the box. The paper measures trajectory deviation
+    /// on object *center coordinates* (Section 6.2.2).
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Box area; zero for degenerate boxes.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Right edge coordinate (exclusive).
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Bottom edge coordinate (exclusive).
+    pub fn bottom(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Intersection box, if the two boxes overlap.
+    pub fn intersection(&self, other: &BBox) -> Option<BBox> {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        if x1 > x0 && y1 > y0 {
+            Some(BBox::new(x0, y0, x1 - x0, y1 - y0))
+        } else {
+            None
+        }
+    }
+
+    /// Intersection-over-union in `[0, 1]`. Degenerate boxes yield 0.
+    pub fn iou(&self, other: &BBox) -> f64 {
+        let inter = self.intersection(other).map_or(0.0, |b| b.area());
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Whether the point lies inside the box.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x && p.x < self.right() && p.y >= self.y && p.y < self.bottom()
+    }
+
+    /// Whether any part of the box lies inside the raster of `size`.
+    pub fn intersects_frame(&self, size: Size) -> bool {
+        self.x < size.width as f64 && self.y < size.height as f64 && self.right() > 0.0 && self.bottom() > 0.0
+    }
+
+    /// Whether the box lies entirely inside the raster of `size`.
+    pub fn inside_frame(&self, size: Size) -> bool {
+        self.x >= 0.0
+            && self.y >= 0.0
+            && self.right() <= size.width as f64
+            && self.bottom() <= size.height as f64
+    }
+
+    /// Clips the box to the raster; `None` when nothing remains.
+    pub fn clip_to_frame(&self, size: Size) -> Option<BBox> {
+        self.intersection(&BBox::new(0.0, 0.0, size.width as f64, size.height as f64))
+    }
+
+    /// Translates the box by the vector `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> BBox {
+        BBox::new(self.x + dx, self.y + dy, self.w, self.h)
+    }
+
+    /// Returns the box scaled about its center by `factor`.
+    pub fn scaled_about_center(&self, factor: f64) -> BBox {
+        BBox::from_center(self.center(), self.w * factor, self.h * factor)
+    }
+
+    /// Integer pixel range covered by the box inside a raster of `size`:
+    /// `(x0, y0, x1, y1)` with exclusive upper bounds. `None` when the box
+    /// does not touch the raster.
+    pub fn pixel_range(&self, size: Size) -> Option<(u32, u32, u32, u32)> {
+        let clipped = self.clip_to_frame(size)?;
+        let x0 = clipped.x.floor() as u32;
+        let y0 = clipped.y.floor() as u32;
+        let x1 = (clipped.right().ceil() as u32).min(size.width);
+        let y1 = (clipped.bottom().ceil() as u32).min(size.height);
+        if x1 > x0 && y1 > y0 {
+            Some((x0, y0, x1, y1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(b.norm(), 5.0);
+    }
+
+    #[test]
+    fn point_lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 10.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn point_arith_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a + b, Point::new(4.0, 7.0));
+        assert_eq!(b - a, Point::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn point_clamp_to_size() {
+        let s = Size::new(100, 50);
+        assert_eq!(
+            Point::new(-3.0, 70.0).clamp_to(s),
+            Point::new(0.0, 50.0)
+        );
+        assert_eq!(Point::new(20.0, 20.0).clamp_to(s), Point::new(20.0, 20.0));
+    }
+
+    #[test]
+    fn size_area_and_scaling() {
+        let s = Size::new(1920, 1080);
+        assert_eq!(s.area(), 2_073_600);
+        assert_eq!(s.scaled(0.25), Size::new(480, 270));
+        assert_eq!(Size::new(1, 1).scaled(0.01), Size::new(1, 1));
+    }
+
+    #[test]
+    fn size_contains_boundaries() {
+        let s = Size::new(10, 10);
+        assert!(s.contains(Point::new(0.0, 0.0)));
+        assert!(s.contains(Point::new(9.9, 9.9)));
+        assert!(!s.contains(Point::new(10.0, 5.0)));
+        assert!(!s.contains(Point::new(-0.1, 5.0)));
+    }
+
+    #[test]
+    fn bbox_center_round_trip() {
+        let b = BBox::from_center(Point::new(50.0, 40.0), 20.0, 10.0);
+        assert_eq!(b.center(), Point::new(50.0, 40.0));
+        assert_eq!(b.x, 40.0);
+        assert_eq!(b.y, 35.0);
+    }
+
+    #[test]
+    fn bbox_negative_extent_clamped() {
+        let b = BBox::new(0.0, 0.0, -5.0, 3.0);
+        assert_eq!(b.w, 0.0);
+        assert_eq!(b.area(), 0.0);
+    }
+
+    #[test]
+    fn iou_identical_boxes_is_one() {
+        let b = BBox::new(10.0, 10.0, 30.0, 40.0);
+        assert!((b.iou(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_disjoint_boxes_is_zero() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BBox::new(20.0, 20.0, 10.0, 10.0);
+        assert_eq!(a.iou(&b), 0.0);
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BBox::new(5.0, 0.0, 10.0, 10.0);
+        // intersection = 50, union = 150
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_degenerate_is_zero() {
+        let a = BBox::new(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(a.iou(&a), 0.0);
+    }
+
+    #[test]
+    fn bbox_clip_to_frame() {
+        let s = Size::new(100, 100);
+        let b = BBox::new(-10.0, 90.0, 30.0, 30.0);
+        let c = b.clip_to_frame(s).unwrap();
+        assert_eq!(c, BBox::new(0.0, 90.0, 20.0, 10.0));
+        assert!(BBox::new(200.0, 200.0, 5.0, 5.0).clip_to_frame(s).is_none());
+    }
+
+    #[test]
+    fn bbox_frame_predicates() {
+        let s = Size::new(100, 100);
+        assert!(BBox::new(10.0, 10.0, 10.0, 10.0).inside_frame(s));
+        assert!(!BBox::new(95.0, 10.0, 10.0, 10.0).inside_frame(s));
+        assert!(BBox::new(95.0, 10.0, 10.0, 10.0).intersects_frame(s));
+        assert!(!BBox::new(101.0, 10.0, 10.0, 10.0).intersects_frame(s));
+    }
+
+    #[test]
+    fn bbox_pixel_range() {
+        let s = Size::new(100, 100);
+        let b = BBox::new(1.2, 2.7, 3.0, 3.0);
+        assert_eq!(b.pixel_range(s), Some((1, 2, 5, 6)));
+        assert_eq!(BBox::new(-5.0, -5.0, 2.0, 2.0).pixel_range(s), None);
+    }
+
+    #[test]
+    fn bbox_transforms() {
+        let b = BBox::new(10.0, 20.0, 4.0, 6.0);
+        assert_eq!(b.translated(1.0, -2.0), BBox::new(11.0, 18.0, 4.0, 6.0));
+        let scaled = b.scaled_about_center(2.0);
+        assert_eq!(scaled.center(), b.center());
+        assert_eq!(scaled.w, 8.0);
+        assert_eq!(scaled.h, 12.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Owned RGB raster with the pixel operations the rest of the system needs:
+//! get/set, fills, drawing of simple shapes, patch extraction/blitting, and
+//! PPM export for the visual experiments (Figures 9–11).
+
+use crate::color::Rgb;
+use crate::geometry::{BBox, Point, Size};
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major, 8-bit RGB image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageBuffer {
+    size: Size,
+    /// Row-major RGB triplets, `3 * width * height` bytes.
+    data: Vec<u8>,
+}
+
+impl ImageBuffer {
+    /// Creates an image filled with `fill`.
+    pub fn new(size: Size, fill: Rgb) -> Self {
+        let n = size.area() as usize;
+        let mut data = Vec::with_capacity(n * 3);
+        for _ in 0..n {
+            data.push(fill.r);
+            data.push(fill.g);
+            data.push(fill.b);
+        }
+        Self { size, data }
+    }
+
+    /// Builds an image from a per-pixel function (row-major order).
+    pub fn from_fn(size: Size, mut f: impl FnMut(u32, u32) -> Rgb) -> Self {
+        let mut img = ImageBuffer::new(size, Rgb::BLACK);
+        for y in 0..size.height {
+            for x in 0..size.width {
+                img.set(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    pub fn size(&self) -> Size {
+        self.size
+    }
+
+    pub fn width(&self) -> u32 {
+        self.size.width
+    }
+
+    pub fn height(&self) -> u32 {
+        self.size.height
+    }
+
+    /// Raw byte length (used for bandwidth accounting).
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrow of the raw RGB bytes in row-major order.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    #[inline]
+    fn offset(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.size.width && y < self.size.height);
+        3 * (y as usize * self.size.width as usize + x as usize)
+    }
+
+    /// Reads the pixel at `(x, y)`. Panics out of bounds in debug builds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Rgb {
+        let o = self.offset(x, y);
+        Rgb::new(self.data[o], self.data[o + 1], self.data[o + 2])
+    }
+
+    /// Reads the pixel at `(x, y)` if inside bounds.
+    pub fn get_checked(&self, x: i64, y: i64) -> Option<Rgb> {
+        if x >= 0 && y >= 0 && (x as u32) < self.size.width && (y as u32) < self.size.height {
+            Some(self.get(x as u32, y as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Writes the pixel at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Rgb) {
+        let o = self.offset(x, y);
+        self.data[o] = c.r;
+        self.data[o + 1] = c.g;
+        self.data[o + 2] = c.b;
+    }
+
+    /// Writes the pixel if inside bounds; silently ignores out-of-range
+    /// coordinates (convenient for shape rasterization at frame borders).
+    pub fn set_checked(&mut self, x: i64, y: i64, c: Rgb) {
+        if x >= 0 && y >= 0 && (x as u32) < self.size.width && (y as u32) < self.size.height {
+            self.set(x as u32, y as u32, c);
+        }
+    }
+
+    /// Fills the (clipped) box with a solid color.
+    pub fn fill_rect(&mut self, rect: BBox, c: Rgb) {
+        if let Some((x0, y0, x1, y1)) = rect.pixel_range(self.size) {
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    self.set(x, y, c);
+                }
+            }
+        }
+    }
+
+    /// Fills an axis-aligned ellipse inscribed in the (clipped) box.
+    pub fn fill_ellipse(&mut self, rect: BBox, c: Rgb) {
+        let cx = rect.x + rect.w / 2.0;
+        let cy = rect.y + rect.h / 2.0;
+        let rx = rect.w / 2.0;
+        let ry = rect.h / 2.0;
+        if rx <= 0.0 || ry <= 0.0 {
+            return;
+        }
+        if let Some((x0, y0, x1, y1)) = rect.pixel_range(self.size) {
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let nx = (x as f64 + 0.5 - cx) / rx;
+                    let ny = (y as f64 + 0.5 - cy) / ry;
+                    if nx * nx + ny * ny <= 1.0 {
+                        self.set(x, y, c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Draws a 1-pixel line using the DDA algorithm (clipped to the raster).
+    pub fn draw_line(&mut self, a: Point, b: Point, c: Rgb) {
+        let steps = a.distance(&b).ceil().max(1.0) as usize;
+        for i in 0..=steps {
+            let p = a.lerp(&b, i as f64 / steps as f64);
+            self.set_checked(p.x.round() as i64, p.y.round() as i64, c);
+        }
+    }
+
+    /// Extracts the square patch of half-width `radius` centered at
+    /// `(cx, cy)`; pixels outside the raster are `None`.
+    pub fn patch(&self, cx: i64, cy: i64, radius: i64) -> Vec<Option<Rgb>> {
+        let mut out = Vec::with_capacity(((2 * radius + 1) * (2 * radius + 1)) as usize);
+        for dy in -radius..=radius {
+            for dx in -radius..=radius {
+                out.push(self.get_checked(cx + dx, cy + dy));
+            }
+        }
+        out
+    }
+
+    /// Copies `src` onto `self` with its top-left corner at `(x, y)`
+    /// (clipped).
+    pub fn blit(&mut self, src: &ImageBuffer, x: i64, y: i64) {
+        for sy in 0..src.height() {
+            for sx in 0..src.width() {
+                self.set_checked(x + sx as i64, y + sy as i64, src.get(sx, sy));
+            }
+        }
+    }
+
+    /// Mean channel-summed absolute difference between two same-sized images.
+    /// Used by tests and by frame-difference heuristics.
+    pub fn mean_abs_diff(&self, other: &ImageBuffer) -> f64 {
+        assert_eq!(self.size, other.size, "image sizes must match");
+        let total: u64 = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a as i64 - *b as i64).unsigned_abs())
+            .sum();
+        total as f64 / self.data.len() as f64
+    }
+
+    /// Serializes as binary PPM (P6) — the format used to dump the
+    /// representative frames of Figures 9–11.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let header = format!("P6\n{} {}\n255\n", self.size.width, self.size.height);
+        let mut out = Vec::with_capacity(header.len() + self.data.len());
+        out.extend_from_slice(header.as_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses a binary PPM (P6) produced by [`ImageBuffer::to_ppm`].
+    pub fn from_ppm(bytes: &[u8]) -> Result<ImageBuffer, PpmError> {
+        let mut fields = Vec::new();
+        let mut pos = 0usize;
+        // Read 4 whitespace-separated header fields, skipping comments.
+        while fields.len() < 4 {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'#' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+                continue;
+            }
+            let start = pos;
+            while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if start == pos {
+                return Err(PpmError::Truncated);
+            }
+            fields.push(&bytes[start..pos]);
+        }
+        if fields[0] != b"P6" {
+            return Err(PpmError::BadMagic);
+        }
+        let parse = |f: &[u8]| -> Result<u32, PpmError> {
+            std::str::from_utf8(f)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or(PpmError::BadHeader)
+        };
+        let (w, h, maxval) = (parse(fields[1])?, parse(fields[2])?, parse(fields[3])?);
+        if maxval != 255 {
+            return Err(PpmError::BadHeader);
+        }
+        pos += 1; // single whitespace after maxval
+        let need = (w as usize) * (h as usize) * 3;
+        if bytes.len() < pos + need {
+            return Err(PpmError::Truncated);
+        }
+        Ok(ImageBuffer {
+            size: Size::new(w, h),
+            data: bytes[pos..pos + need].to_vec(),
+        })
+    }
+}
+
+/// PPM parse failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PpmError {
+    BadMagic,
+    BadHeader,
+    Truncated,
+}
+
+impl std::fmt::Display for PpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PpmError::BadMagic => write!(f, "not a P6 PPM file"),
+            PpmError::BadHeader => write!(f, "malformed PPM header"),
+            PpmError::Truncated => write!(f, "PPM data truncated"),
+        }
+    }
+}
+
+impl std::error::Error for PpmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size(w: u32, h: u32) -> Size {
+        Size::new(w, h)
+    }
+
+    #[test]
+    fn new_is_filled() {
+        let img = ImageBuffer::new(size(4, 3), Rgb::new(7, 8, 9));
+        assert_eq!(img.byte_len(), 36);
+        for y in 0..3 {
+            for x in 0..4 {
+                assert_eq!(img.get(x, y), Rgb::new(7, 8, 9));
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut img = ImageBuffer::new(size(10, 10), Rgb::BLACK);
+        img.set(3, 4, Rgb::new(1, 2, 3));
+        assert_eq!(img.get(3, 4), Rgb::new(1, 2, 3));
+        assert_eq!(img.get(4, 3), Rgb::BLACK);
+    }
+
+    #[test]
+    fn get_checked_bounds() {
+        let img = ImageBuffer::new(size(2, 2), Rgb::WHITE);
+        assert_eq!(img.get_checked(0, 0), Some(Rgb::WHITE));
+        assert_eq!(img.get_checked(-1, 0), None);
+        assert_eq!(img.get_checked(2, 0), None);
+        assert_eq!(img.get_checked(0, 2), None);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let img = ImageBuffer::from_fn(size(3, 2), |x, y| Rgb::new(x as u8, y as u8, 0));
+        assert_eq!(img.get(2, 1), Rgb::new(2, 1, 0));
+        assert_eq!(img.get(0, 0), Rgb::new(0, 0, 0));
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut img = ImageBuffer::new(size(4, 4), Rgb::BLACK);
+        img.fill_rect(BBox::new(2.0, 2.0, 10.0, 10.0), Rgb::WHITE);
+        assert_eq!(img.get(1, 1), Rgb::BLACK);
+        assert_eq!(img.get(2, 2), Rgb::WHITE);
+        assert_eq!(img.get(3, 3), Rgb::WHITE);
+    }
+
+    #[test]
+    fn fill_ellipse_inscribed() {
+        let mut img = ImageBuffer::new(size(11, 11), Rgb::BLACK);
+        img.fill_ellipse(BBox::new(0.0, 0.0, 11.0, 11.0), Rgb::WHITE);
+        // Center is filled, corners are not.
+        assert_eq!(img.get(5, 5), Rgb::WHITE);
+        assert_eq!(img.get(0, 0), Rgb::BLACK);
+        assert_eq!(img.get(10, 10), Rgb::BLACK);
+    }
+
+    #[test]
+    fn draw_line_endpoints_present() {
+        let mut img = ImageBuffer::new(size(20, 20), Rgb::BLACK);
+        img.draw_line(Point::new(1.0, 1.0), Point::new(18.0, 10.0), Rgb::WHITE);
+        assert_eq!(img.get(1, 1), Rgb::WHITE);
+        assert_eq!(img.get(18, 10), Rgb::WHITE);
+    }
+
+    #[test]
+    fn patch_covers_border() {
+        let img = ImageBuffer::from_fn(size(3, 3), |x, y| Rgb::new((x + 3 * y) as u8, 0, 0));
+        let p = img.patch(0, 0, 1);
+        assert_eq!(p.len(), 9);
+        assert_eq!(p[0], None); // (-1,-1)
+        assert_eq!(p[4], Some(Rgb::new(0, 0, 0))); // (0,0)
+        assert_eq!(p[8], Some(Rgb::new(4, 0, 0))); // (1,1)
+    }
+
+    #[test]
+    fn blit_clips() {
+        let mut dst = ImageBuffer::new(size(4, 4), Rgb::BLACK);
+        let src = ImageBuffer::new(size(2, 2), Rgb::WHITE);
+        dst.blit(&src, 3, 3);
+        assert_eq!(dst.get(3, 3), Rgb::WHITE);
+        assert_eq!(dst.get(2, 2), Rgb::BLACK);
+    }
+
+    #[test]
+    fn mean_abs_diff_zero_for_identical() {
+        let img = ImageBuffer::from_fn(size(5, 5), |x, y| Rgb::new(x as u8, y as u8, 7));
+        assert_eq!(img.mean_abs_diff(&img), 0.0);
+        let other = ImageBuffer::new(size(5, 5), Rgb::BLACK);
+        assert!(img.mean_abs_diff(&other) > 0.0);
+    }
+
+    #[test]
+    fn ppm_round_trip() {
+        let img = ImageBuffer::from_fn(size(7, 5), |x, y| {
+            Rgb::new((x * 30) as u8, (y * 40) as u8, 200)
+        });
+        let ppm = img.to_ppm();
+        let back = ImageBuffer::from_ppm(&ppm).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ppm_rejects_garbage() {
+        assert_eq!(ImageBuffer::from_ppm(b"P5\n1 1\n255\nx"), Err(PpmError::BadMagic));
+        assert_eq!(ImageBuffer::from_ppm(b"P6\n4 4\n255\n"), Err(PpmError::Truncated));
+        assert_eq!(ImageBuffer::from_ppm(b""), Err(PpmError::Truncated));
+    }
+
+    #[test]
+    fn ppm_skips_comments() {
+        let img = ImageBuffer::new(size(1, 1), Rgb::new(9, 9, 9));
+        let mut ppm = b"P6\n# comment line\n1 1\n255\n".to_vec();
+        ppm.extend_from_slice(&[9, 9, 9]);
+        assert_eq!(ImageBuffer::from_ppm(&ppm).unwrap(), img);
+    }
+}

@@ -1,0 +1,45 @@
+//! # verro-video
+//!
+//! Video data model and synthetic MOT-style video generator for the VERRO
+//! reproduction (*Publishing Video Data with Indistinguishable Objects*,
+//! EDBT 2020).
+//!
+//! This crate is the lowest substrate: continuous geometry, RGB/HSV color,
+//! dense rasters, frames, sensitive objects and their tracks, procedural
+//! street scenes, camera models, and a deterministic generator that
+//! simulates the three MOT16 evaluation videos of the paper (Table 1).
+//!
+//! ```
+//! use verro_video::generator::{GeneratedVideo, MotPreset};
+//! use verro_video::source::FrameSource;
+//!
+//! let video = GeneratedVideo::preset(MotPreset::Mot01, 42);
+//! assert_eq!(video.num_frames(), 450);
+//! assert_eq!(video.annotations().num_objects(), 23);
+//! ```
+
+pub mod annotations;
+pub mod camera;
+pub mod codec;
+pub mod color;
+pub mod frame;
+pub mod generator;
+pub mod geometry;
+pub mod image;
+pub mod object;
+pub mod scene;
+pub mod source;
+pub mod stats;
+pub mod trajectory;
+
+pub use annotations::VideoAnnotations;
+pub use camera::Camera;
+pub use color::{Hsv, Rgb};
+pub use frame::Frame;
+pub use generator::{CompositeVideo, GeneratedVideo, MotPreset, VideoSpec};
+pub use geometry::{BBox, Point, Size};
+pub use image::ImageBuffer;
+pub use object::{ObjectClass, ObjectId, Observation, TrackedObject};
+pub use scene::{Scene, SceneKind};
+pub use source::{FrameSource, InMemoryVideo};
+pub use trajectory::{DepthModel, Lifetime, PathModel};

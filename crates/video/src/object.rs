@@ -1,0 +1,204 @@
+//! Sensitive objects: identities, classes and per-frame observations.
+//!
+//! The paper predefines which object classes are *sensitive* (pedestrians and
+//! vehicles in the experiments); every sensitive object carries a stable ID
+//! across all frames it appears in.
+
+use crate::geometry::BBox;
+use serde::{Deserialize, Serialize};
+
+/// Stable identity of a sensitive object across the whole video.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ObjectId(pub u32);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// The class of a sensitive object. VERRO handles multiple object types by
+/// sanitizing each type independently (Section 5, "Multiple Object Types").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum ObjectClass {
+    Pedestrian,
+    Vehicle,
+    Cyclist,
+}
+
+impl ObjectClass {
+    /// Nominal aspect ratio (width / height) of a synthetic object of this
+    /// class, used when rendering replacements.
+    pub fn aspect_ratio(self) -> f64 {
+        match self {
+            ObjectClass::Pedestrian => 0.4,
+            ObjectClass::Vehicle => 2.2,
+            ObjectClass::Cyclist => 0.7,
+        }
+    }
+}
+
+impl std::fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObjectClass::Pedestrian => write!(f, "pedestrian"),
+            ObjectClass::Vehicle => write!(f, "vehicle"),
+            ObjectClass::Cyclist => write!(f, "cyclist"),
+        }
+    }
+}
+
+/// One observation of an object: its bounding box in a specific frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Zero-based frame index.
+    pub frame: usize,
+    /// Bounding box in frame coordinates.
+    pub bbox: BBox,
+}
+
+/// A sensitive object: identity, class, and the full series of observations
+/// ordered by frame index (its ground-truth trajectory).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackedObject {
+    pub id: ObjectId,
+    pub class: ObjectClass,
+    observations: Vec<Observation>,
+}
+
+impl TrackedObject {
+    /// Creates an empty track for the object.
+    pub fn new(id: ObjectId, class: ObjectClass) -> Self {
+        Self {
+            id,
+            class,
+            observations: Vec::new(),
+        }
+    }
+
+    /// Appends an observation. Panics (debug) if frames go backwards —
+    /// observations must be pushed in frame order.
+    pub fn push(&mut self, obs: Observation) {
+        debug_assert!(
+            self.observations
+                .last()
+                .map_or(true, |last| obs.frame > last.frame),
+            "observations must be strictly frame-ordered"
+        );
+        self.observations.push(obs);
+    }
+
+    /// All observations in frame order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Number of frames in which the object was observed.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// First frame the object appears in ("head" in the paper's Phase II
+    /// terminology), if any.
+    pub fn first_frame(&self) -> Option<usize> {
+        self.observations.first().map(|o| o.frame)
+    }
+
+    /// Last frame the object appears in ("end"), if any.
+    pub fn last_frame(&self) -> Option<usize> {
+        self.observations.last().map(|o| o.frame)
+    }
+
+    /// The observation at exactly frame `k`, if present (binary search).
+    pub fn at_frame(&self, k: usize) -> Option<&Observation> {
+        self.observations
+            .binary_search_by_key(&k, |o| o.frame)
+            .ok()
+            .map(|i| &self.observations[i])
+    }
+
+    /// Whether the object is present at frame `k`.
+    pub fn present_at(&self, k: usize) -> bool {
+        self.at_frame(k).is_some()
+    }
+
+    /// Mean bounding-box size over all observations, `(w, h)`.
+    pub fn mean_box_size(&self) -> Option<(f64, f64)> {
+        if self.observations.is_empty() {
+            return None;
+        }
+        let n = self.observations.len() as f64;
+        let (sw, sh) = self
+            .observations
+            .iter()
+            .fold((0.0, 0.0), |(sw, sh), o| (sw + o.bbox.w, sh + o.bbox.h));
+        Some((sw / n, sh / n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(frame: usize, x: f64) -> Observation {
+        Observation {
+            frame,
+            bbox: BBox::new(x, 0.0, 10.0, 20.0),
+        }
+    }
+
+    #[test]
+    fn track_frame_queries() {
+        let mut t = TrackedObject::new(ObjectId(3), ObjectClass::Pedestrian);
+        assert!(t.is_empty());
+        t.push(obs(5, 0.0));
+        t.push(obs(7, 10.0));
+        t.push(obs(12, 20.0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.first_frame(), Some(5));
+        assert_eq!(t.last_frame(), Some(12));
+        assert!(t.present_at(7));
+        assert!(!t.present_at(6));
+        assert_eq!(t.at_frame(12).unwrap().bbox.x, 20.0);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn track_rejects_unordered_frames() {
+        let mut t = TrackedObject::new(ObjectId(0), ObjectClass::Vehicle);
+        t.push(obs(5, 0.0));
+        t.push(obs(5, 1.0));
+    }
+
+    #[test]
+    fn mean_box_size() {
+        let mut t = TrackedObject::new(ObjectId(1), ObjectClass::Pedestrian);
+        assert_eq!(t.mean_box_size(), None);
+        t.push(Observation {
+            frame: 0,
+            bbox: BBox::new(0.0, 0.0, 10.0, 20.0),
+        });
+        t.push(Observation {
+            frame: 1,
+            bbox: BBox::new(0.0, 0.0, 20.0, 40.0),
+        });
+        assert_eq!(t.mean_box_size(), Some((15.0, 30.0)));
+    }
+
+    #[test]
+    fn class_properties() {
+        assert!(ObjectClass::Vehicle.aspect_ratio() > 1.0);
+        assert!(ObjectClass::Pedestrian.aspect_ratio() < 1.0);
+        assert_eq!(ObjectClass::Pedestrian.to_string(), "pedestrian");
+        assert_eq!(ObjectId(4).to_string(), "O4");
+    }
+}

@@ -1,0 +1,203 @@
+//! Procedural background scenes for the synthetic street videos.
+//!
+//! A scene is a deterministic function of `(world_x, world_y)` so a moving
+//! camera can render any window of it consistently across frames — exactly
+//! what the moving-platform video (MOT16-06) requires: multiple background
+//! scenes swept by a panning camera.
+
+use crate::color::Rgb;
+use crate::geometry::Size;
+use crate::image::ImageBuffer;
+use serde::{Deserialize, Serialize};
+
+/// Visual theme of a generated scene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SceneKind {
+    /// A daylight city square: pale plaza, building band, bright sky.
+    DaySquare,
+    /// A night street: dark sky, lit storefront band, dark asphalt.
+    NightStreet,
+    /// A residential street viewed from a moving platform.
+    MovingStreet,
+}
+
+/// A procedural, world-coordinate background.
+///
+/// World coordinates are in pixels; the visible frame at world offset
+/// `(ox, oy)` shows world pixels `[ox, ox+w) × [oy, oy+h)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    pub kind: SceneKind,
+    /// Frame size this scene renders at.
+    pub frame: Size,
+    /// Seed perturbing texture noise, so distinct videos differ.
+    pub seed: u64,
+}
+
+impl Scene {
+    pub fn new(kind: SceneKind, frame: Size, seed: u64) -> Self {
+        Self { kind, frame, seed }
+    }
+
+    /// Horizon line (top of the walkable region) in frame-local y.
+    pub fn horizon_y(&self) -> f64 {
+        match self.kind {
+            SceneKind::DaySquare => self.frame.height as f64 * 0.35,
+            SceneKind::NightStreet => self.frame.height as f64 * 0.40,
+            SceneKind::MovingStreet => self.frame.height as f64 * 0.45,
+        }
+    }
+
+    /// Deterministic hash-based texture noise in `[0, 1)`.
+    fn noise(&self, x: i64, y: i64) -> f64 {
+        // SplitMix64-style scramble of the coordinates and seed.
+        let mut z = (x as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((y as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(self.seed.wrapping_mul(0x94D0_49BB_1331_11EB));
+        z ^= z >> 30;
+        z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Color of the world pixel `(wx, wy)` rendered into a frame row `fy`
+    /// (frame-local y decides sky/building/ground bands; world x drives
+    /// horizontal texture so panning looks coherent).
+    pub fn world_pixel(&self, wx: i64, fy: u32) -> Rgb {
+        let h = self.frame.height as f64;
+        let y = fy as f64 / h;
+        let n = self.noise(wx, fy as i64);
+        match self.kind {
+            SceneKind::DaySquare => {
+                if y < 0.20 {
+                    // Sky with slight gradient.
+                    let v = 200.0 + 40.0 * (1.0 - y / 0.20) + n * 8.0;
+                    Rgb::new(150, 190, v.min(255.0) as u8)
+                } else if y < 0.35 {
+                    // Building band with window columns.
+                    let col = ((wx.rem_euclid(48)) < 6) as u8;
+                    let base = 120 + (n * 20.0) as u8;
+                    Rgb::new(base + col * 40, base, base.saturating_sub(10))
+                } else {
+                    // Pale plaza paving with joint lines.
+                    let joint = (wx.rem_euclid(64) < 2) || (fy as i64 % 40 < 1);
+                    let base = 185.0 + n * 18.0 - if joint { 35.0 } else { 0.0 };
+                    let b = base.clamp(0.0, 255.0) as u8;
+                    Rgb::new(b, b, b.saturating_sub(8))
+                }
+            }
+            SceneKind::NightStreet => {
+                if y < 0.28 {
+                    let v = (12.0 + n * 10.0) as u8;
+                    Rgb::new(v, v, v + 8)
+                } else if y < 0.40 {
+                    // Lit storefronts: warm windows on a dark wall.
+                    let lit = wx.rem_euclid(80) < 26;
+                    if lit {
+                        Rgb::new(205, 170, (90.0 + n * 40.0) as u8)
+                    } else {
+                        let v = (30.0 + n * 16.0) as u8;
+                        Rgb::new(v, v, v)
+                    }
+                } else {
+                    // Asphalt with lane markings.
+                    let marking = fy as i64 % 90 < 3 && wx.rem_euclid(70) < 36;
+                    if marking {
+                        Rgb::new(180, 180, 160)
+                    } else {
+                        let v = (45.0 + n * 22.0) as u8;
+                        Rgb::new(v, v, v + 4)
+                    }
+                }
+            }
+            SceneKind::MovingStreet => {
+                if y < 0.30 {
+                    let v = 170.0 + n * 20.0;
+                    Rgb::new((v * 0.8) as u8, (v * 0.9) as u8, v.min(255.0) as u8)
+                } else if y < 0.45 {
+                    // Houses: alternating facade colors per 120-px block.
+                    let block = wx.div_euclid(120).rem_euclid(4);
+                    let base = (95.0 + n * 25.0) as u8;
+                    match block {
+                        0 => Rgb::new(base + 50, base + 15, base),
+                        1 => Rgb::new(base, base + 35, base + 15),
+                        2 => Rgb::new(base + 20, base + 20, base + 45),
+                        _ => Rgb::new(base + 40, base + 40, base + 20),
+                    }
+                } else {
+                    // Sidewalk + street.
+                    let sidewalk = y < 0.62;
+                    let base = if sidewalk { 150.0 } else { 80.0 } + n * 18.0;
+                    let joint = sidewalk && wx.rem_euclid(56) < 2;
+                    let b = (base - if joint { 30.0 } else { 0.0 }).clamp(0.0, 255.0) as u8;
+                    Rgb::new(b, b, b)
+                }
+            }
+        }
+    }
+
+    /// Renders the frame window at world offset `offset_x` (camera pan).
+    pub fn render(&self, offset_x: i64) -> ImageBuffer {
+        ImageBuffer::from_fn(self.frame, |x, y| self.world_pixel(offset_x + x as i64, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic() {
+        let s = Scene::new(SceneKind::DaySquare, Size::new(64, 48), 42);
+        assert_eq!(s.render(0), s.render(0));
+    }
+
+    #[test]
+    fn pan_shifts_content() {
+        let s = Scene::new(SceneKind::MovingStreet, Size::new(64, 48), 7);
+        let a = s.render(0);
+        let b = s.render(10);
+        // Column x=10 of frame A equals column x=0 of frame B.
+        for y in 0..48 {
+            assert_eq!(a.get(10, y), b.get(0, y));
+        }
+        assert!(a.mean_abs_diff(&b) > 0.0);
+    }
+
+    #[test]
+    fn seeds_change_texture() {
+        let size = Size::new(64, 48);
+        let a = Scene::new(SceneKind::DaySquare, size, 1).render(0);
+        let b = Scene::new(SceneKind::DaySquare, size, 2).render(0);
+        assert!(a.mean_abs_diff(&b) > 0.0);
+    }
+
+    #[test]
+    fn night_scene_is_darker_than_day() {
+        let size = Size::new(64, 48);
+        let day = Scene::new(SceneKind::DaySquare, size, 3).render(0);
+        let night = Scene::new(SceneKind::NightStreet, size, 3).render(0);
+        let mean_luma = |img: &ImageBuffer| {
+            let mut s = 0.0;
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    s += img.get(x, y).luma();
+                }
+            }
+            s / img.size().area() as f64
+        };
+        assert!(mean_luma(&night) < mean_luma(&day));
+    }
+
+    #[test]
+    fn horizon_within_frame() {
+        for kind in [SceneKind::DaySquare, SceneKind::NightStreet, SceneKind::MovingStreet] {
+            let s = Scene::new(kind, Size::new(100, 80), 0);
+            let h = s.horizon_y();
+            assert!(h > 0.0 && h < 80.0);
+        }
+    }
+}

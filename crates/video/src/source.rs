@@ -1,0 +1,133 @@
+//! Lazy frame production.
+//!
+//! Full videos at evaluation scale do not fit in memory (1,500 frames of RGB
+//! raster), so consumers pull frames through the [`FrameSource`] trait and
+//! sources render or load them on demand. [`InMemoryVideo`] is the eager
+//! implementation used for short clips and tests.
+
+use crate::geometry::Size;
+use crate::image::ImageBuffer;
+
+/// A video whose frames can be produced on demand.
+///
+/// Implementations must be deterministic: `frame(k)` returns the same raster
+/// every time it is called.
+pub trait FrameSource {
+    /// Number of frames in the video.
+    fn num_frames(&self) -> usize;
+
+    /// Raster size of every frame.
+    fn frame_size(&self) -> Size;
+
+    /// Produces frame `k`. Panics if `k >= num_frames()`.
+    fn frame(&self, k: usize) -> ImageBuffer;
+
+    /// Frames per second of the source (defaults to the MOT16 common rate).
+    fn fps(&self) -> f64 {
+        30.0
+    }
+}
+
+/// An eager, fully-materialized video.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InMemoryVideo {
+    size: Size,
+    frames: Vec<ImageBuffer>,
+    fps: f64,
+}
+
+impl InMemoryVideo {
+    /// Builds a video from frames; all frames must share one size.
+    pub fn new(frames: Vec<ImageBuffer>, fps: f64) -> Self {
+        assert!(!frames.is_empty(), "a video needs at least one frame");
+        assert!(fps > 0.0, "fps must be positive");
+        let size = frames[0].size();
+        assert!(
+            frames.iter().all(|f| f.size() == size),
+            "all frames must share one size"
+        );
+        Self { size, frames, fps }
+    }
+
+    /// Materializes any [`FrameSource`] (use only for small videos).
+    pub fn collect_from<S: FrameSource>(src: &S) -> Self {
+        let frames = (0..src.num_frames()).map(|k| src.frame(k)).collect();
+        Self::new(frames, src.fps())
+    }
+
+    /// Mutable access to a frame (used by sanitizers that write in place).
+    pub fn frame_mut(&mut self, k: usize) -> &mut ImageBuffer {
+        &mut self.frames[k]
+    }
+
+    /// Total raw pixel bytes across all frames.
+    pub fn raw_byte_len(&self) -> usize {
+        self.frames.iter().map(|f| f.byte_len()).sum()
+    }
+}
+
+impl FrameSource for InMemoryVideo {
+    fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn frame_size(&self) -> Size {
+        self.size
+    }
+
+    fn frame(&self, k: usize) -> ImageBuffer {
+        self.frames[k].clone()
+    }
+
+    fn fps(&self) -> f64 {
+        self.fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+
+    fn img(v: u8) -> ImageBuffer {
+        ImageBuffer::new(Size::new(3, 2), Rgb::new(v, v, v))
+    }
+
+    #[test]
+    fn in_memory_basics() {
+        let v = InMemoryVideo::new(vec![img(0), img(1), img(2)], 25.0);
+        assert_eq!(v.num_frames(), 3);
+        assert_eq!(v.frame_size(), Size::new(3, 2));
+        assert_eq!(v.frame(1).get(0, 0), Rgb::new(1, 1, 1));
+        assert_eq!(v.fps(), 25.0);
+        assert_eq!(v.raw_byte_len(), 3 * 18);
+    }
+
+    #[test]
+    fn collect_round_trip() {
+        let v = InMemoryVideo::new(vec![img(5), img(9)], 30.0);
+        let w = InMemoryVideo::collect_from(&v);
+        assert_eq!(w, v);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_mismatched_sizes() {
+        let a = ImageBuffer::new(Size::new(2, 2), Rgb::BLACK);
+        let b = ImageBuffer::new(Size::new(3, 2), Rgb::BLACK);
+        InMemoryVideo::new(vec![a, b], 30.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        InMemoryVideo::new(vec![], 30.0);
+    }
+
+    #[test]
+    fn frame_mut_writes_through() {
+        let mut v = InMemoryVideo::new(vec![img(0)], 30.0);
+        v.frame_mut(0).set(0, 0, Rgb::WHITE);
+        assert_eq!(v.frame(0).get(0, 0), Rgb::WHITE);
+    }
+}

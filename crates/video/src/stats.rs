@@ -1,0 +1,117 @@
+//! Video characteristics — the rows of Table 1 of the paper.
+
+use crate::annotations::VideoAnnotations;
+use crate::generator::GeneratedVideo;
+use serde::{Deserialize, Serialize};
+
+/// One row of the video-characteristics table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoCharacteristics {
+    pub name: String,
+    /// Nominal resolution string, e.g. `"1920x1080"`.
+    pub resolution: String,
+    pub num_frames: usize,
+    /// Distinct sensitive objects actually observed in the video.
+    pub num_objects: usize,
+    /// `"static"` or `"moving"`.
+    pub camera: &'static str,
+    /// Mean number of objects per frame (extra context beyond the paper).
+    pub mean_objects_per_frame: f64,
+    /// Mean at-scene duration in frames.
+    pub mean_lifetime: f64,
+}
+
+impl VideoCharacteristics {
+    /// Computes the characteristics of a generated video.
+    pub fn of(video: &GeneratedVideo) -> Self {
+        let spec = video.spec();
+        let ann = video.annotations();
+        Self {
+            name: spec.name.clone(),
+            resolution: spec.nominal_size.to_string(),
+            num_frames: spec.num_frames,
+            num_objects: ann.num_objects(),
+            camera: if spec.camera.is_moving() {
+                "moving"
+            } else {
+                "static"
+            },
+            mean_objects_per_frame: mean_objects_per_frame(ann),
+            mean_lifetime: mean_lifetime(ann),
+        }
+    }
+}
+
+/// Mean number of objects per frame.
+pub fn mean_objects_per_frame(ann: &VideoAnnotations) -> f64 {
+    if ann.num_frames() == 0 {
+        return 0.0;
+    }
+    let total: usize = ann.per_frame_counts().iter().sum();
+    total as f64 / ann.num_frames() as f64
+}
+
+/// Mean per-object at-scene duration (observed frames).
+pub fn mean_lifetime(ann: &VideoAnnotations) -> f64 {
+    if ann.num_objects() == 0 {
+        return 0.0;
+    }
+    let total: usize = ann.tracks().map(|t| t.len()).sum();
+    total as f64 / ann.num_objects() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BBox;
+    use crate::object::{ObjectClass, ObjectId};
+
+    #[test]
+    fn means_on_small_annotation_set() {
+        let mut ann = VideoAnnotations::new(4);
+        ann.record(ObjectId(0), ObjectClass::Pedestrian, 0, BBox::new(0.0, 0.0, 1.0, 2.0));
+        ann.record(ObjectId(0), ObjectClass::Pedestrian, 1, BBox::new(0.0, 0.0, 1.0, 2.0));
+        ann.record(ObjectId(1), ObjectClass::Pedestrian, 1, BBox::new(3.0, 0.0, 1.0, 2.0));
+        assert!((mean_objects_per_frame(&ann) - 3.0 / 4.0).abs() < 1e-12);
+        assert!((mean_lifetime(&ann) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_annotations_are_zero() {
+        let ann = VideoAnnotations::new(0);
+        assert_eq!(mean_objects_per_frame(&ann), 0.0);
+        assert_eq!(mean_lifetime(&ann), 0.0);
+    }
+
+    #[test]
+    fn characteristics_of_generated_video() {
+        use crate::camera::Camera;
+        use crate::generator::VideoSpec;
+        use crate::geometry::Size;
+        use crate::scene::SceneKind;
+        let spec = VideoSpec {
+            name: "t".into(),
+            nominal_size: Size::new(160, 120),
+            raster_scale: 1.0,
+            num_frames: 30,
+            num_objects: 4,
+            scene: SceneKind::DaySquare,
+            camera: Camera::Static,
+            class: ObjectClass::Pedestrian,
+            fps: 30.0,
+            seed: 5,
+            min_lifetime: 10,
+            max_lifetime: 25,
+            lifetime_mix: None,
+            lighting_drift: 0.0,
+            lighting_period: 10.0,
+        };
+        let v = GeneratedVideo::generate(spec);
+        let c = VideoCharacteristics::of(&v);
+        assert_eq!(c.resolution, "160x120");
+        assert_eq!(c.num_frames, 30);
+        assert_eq!(c.camera, "static");
+        assert!(c.num_objects <= 4);
+        assert!(c.mean_lifetime > 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Trajectory models used by the synthetic video generator.
+//!
+//! Pedestrians in the MOT street scenes walk along roughly straight paths
+//! with lateral sway, entering and leaving at the frame border; vehicles move
+//! faster along lanes. A [`PathModel`] maps a frame index to a continuous
+//! center point; the generator samples it over the object's at-scene window.
+
+use crate::geometry::{Point, Size};
+use serde::{Deserialize, Serialize};
+
+/// A continuous center-point path over frame time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PathModel {
+    /// Straight line from `from` to `to` over the lifetime.
+    Linear { from: Point, to: Point },
+    /// Straight base line plus sinusoidal lateral sway (walking gait /
+    /// meandering), `amplitude` pixels with `periods` full cycles over the
+    /// lifetime, displaced perpendicular to the direction of travel.
+    Sway {
+        from: Point,
+        to: Point,
+        amplitude: f64,
+        periods: f64,
+        phase: f64,
+    },
+    /// Piecewise-linear path through waypoints at the given *progress*
+    /// fractions in `[0, 1]` (must be sorted and start at 0, end at 1).
+    Waypoints { points: Vec<(f64, Point)> },
+}
+
+impl PathModel {
+    /// Evaluates the path at progress `t ∈ [0, 1]` (clamped).
+    pub fn at(&self, t: f64) -> Point {
+        let t = t.clamp(0.0, 1.0);
+        match self {
+            PathModel::Linear { from, to } => from.lerp(to, t),
+            PathModel::Sway {
+                from,
+                to,
+                amplitude,
+                periods,
+                phase,
+            } => {
+                let base = from.lerp(to, t);
+                let dir = *to - *from;
+                let len = dir.norm();
+                if len < 1e-9 {
+                    return base;
+                }
+                // Unit normal to the direction of travel.
+                let nx = -dir.y / len;
+                let ny = dir.x / len;
+                let sway =
+                    amplitude * (2.0 * std::f64::consts::PI * periods * t + phase).sin();
+                Point::new(base.x + nx * sway, base.y + ny * sway)
+            }
+            PathModel::Waypoints { points } => {
+                debug_assert!(points.len() >= 2, "need at least two waypoints");
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, p0) = w[0];
+                    let (t1, p1) = w[1];
+                    if t <= t1 {
+                        let local = if t1 > t0 { (t - t0) / (t1 - t0) } else { 1.0 };
+                        return p0.lerp(&p1, local);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+        }
+    }
+
+    /// Total straight-line displacement of the path.
+    pub fn displacement(&self) -> f64 {
+        match self {
+            PathModel::Linear { from, to } | PathModel::Sway { from, to, .. } => {
+                from.distance(to)
+            }
+            PathModel::Waypoints { points } => {
+                if points.len() < 2 {
+                    0.0
+                } else {
+                    points[0].1.distance(&points.last().expect("non-empty").1)
+                }
+            }
+        }
+    }
+}
+
+/// Perspective depth model: objects lower in the frame (larger `y`) are
+/// closer to a street-level camera and therefore rendered larger. The paper
+/// places synthetic objects "by considering the distance of the object to the
+/// camera (e.g., the synthetic object size is larger if getting closer to the
+/// camera)" (Section 2.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepthModel {
+    /// Object height (pixels) at the top of the frame (far away).
+    pub far_height: f64,
+    /// Object height (pixels) at the bottom of the frame (nearby).
+    pub near_height: f64,
+}
+
+impl DepthModel {
+    pub fn new(far_height: f64, near_height: f64) -> Self {
+        Self {
+            far_height,
+            near_height,
+        }
+    }
+
+    /// Height of an object whose *foot* (bottom edge) sits at `foot_y` in a
+    /// frame of the given size. Linear in vertical position, clamped to the
+    /// frame.
+    pub fn height_at(&self, foot_y: f64, frame: Size) -> f64 {
+        let t = (foot_y / frame.height as f64).clamp(0.0, 1.0);
+        self.far_height + (self.near_height - self.far_height) * t
+    }
+}
+
+impl Default for DepthModel {
+    fn default() -> Self {
+        // Tuned for street-level scenes at nominal (unscaled) resolution.
+        Self::new(40.0, 220.0)
+    }
+}
+
+/// The at-scene window of a generated object: the inclusive frame range in
+/// which it is visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lifetime {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Lifetime {
+    /// Creates a lifetime; panics if `end < start`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(end >= start, "lifetime end before start");
+        Self { start, end }
+    }
+
+    /// Number of frames the object is visible in.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // inclusive range always covers >= 1 frame
+    }
+
+    /// Whether frame `k` lies in the window.
+    pub fn contains(&self, k: usize) -> bool {
+        k >= self.start && k <= self.end
+    }
+
+    /// Progress fraction of frame `k` through the lifetime (0 at start, 1 at
+    /// end; degenerate single-frame lifetimes report 0).
+    pub fn progress(&self, k: usize) -> f64 {
+        if self.len() <= 1 {
+            0.0
+        } else {
+            (k.saturating_sub(self.start)) as f64 / (self.len() - 1) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_path_endpoints() {
+        let p = PathModel::Linear {
+            from: Point::new(0.0, 0.0),
+            to: Point::new(100.0, 50.0),
+        };
+        assert_eq!(p.at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(p.at(1.0), Point::new(100.0, 50.0));
+        assert_eq!(p.at(0.5), Point::new(50.0, 25.0));
+        assert_eq!(p.at(2.0), Point::new(100.0, 50.0)); // clamped
+        assert!((p.displacement() - (100.0f64.powi(2) + 50.0f64.powi(2)).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sway_path_stays_near_base_line() {
+        let p = PathModel::Sway {
+            from: Point::new(0.0, 100.0),
+            to: Point::new(200.0, 100.0),
+            amplitude: 5.0,
+            periods: 3.0,
+            phase: 0.0,
+        };
+        for i in 0..=20 {
+            let t = i as f64 / 20.0;
+            let pt = p.at(t);
+            assert!((pt.y - 100.0).abs() <= 5.0 + 1e-9);
+        }
+        // Phase 0 sway starts exactly on the base line.
+        assert!((p.at(0.0).y - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sway_degenerate_zero_length() {
+        let p = PathModel::Sway {
+            from: Point::new(5.0, 5.0),
+            to: Point::new(5.0, 5.0),
+            amplitude: 10.0,
+            periods: 1.0,
+            phase: 0.3,
+        };
+        assert_eq!(p.at(0.5), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn waypoints_interpolate_piecewise() {
+        let p = PathModel::Waypoints {
+            points: vec![
+                (0.0, Point::new(0.0, 0.0)),
+                (0.5, Point::new(10.0, 0.0)),
+                (1.0, Point::new(10.0, 10.0)),
+            ],
+        };
+        assert_eq!(p.at(0.25), Point::new(5.0, 0.0));
+        assert_eq!(p.at(0.75), Point::new(10.0, 5.0));
+        assert_eq!(p.at(1.0), Point::new(10.0, 10.0));
+        assert_eq!(p.displacement(), Point::new(0.0, 0.0).distance(&Point::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn depth_model_monotone() {
+        let d = DepthModel::default();
+        let s = Size::new(640, 480);
+        let far = d.height_at(0.0, s);
+        let mid = d.height_at(240.0, s);
+        let near = d.height_at(480.0, s);
+        assert!(far < mid && mid < near);
+        assert_eq!(far, d.far_height);
+        assert_eq!(near, d.near_height);
+    }
+
+    #[test]
+    fn lifetime_progress() {
+        let l = Lifetime::new(10, 19);
+        assert_eq!(l.len(), 10);
+        assert!(l.contains(10) && l.contains(19) && !l.contains(20));
+        assert_eq!(l.progress(10), 0.0);
+        assert_eq!(l.progress(19), 1.0);
+        assert!((l.progress(14) - 4.0 / 9.0).abs() < 1e-12);
+        assert_eq!(Lifetime::new(5, 5).progress(5), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lifetime_rejects_reversed() {
+        Lifetime::new(5, 4);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the video substrate: geometry invariants, color
+//! round trips, image operations, and codec losslessness.
+
+use proptest::prelude::*;
+use verro_video::codec::{decode_video, encode_video};
+use verro_video::color::Rgb;
+use verro_video::geometry::{BBox, Point, Size};
+use verro_video::image::ImageBuffer;
+use verro_video::source::InMemoryVideo;
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (
+        -100.0..500.0f64,
+        -100.0..500.0f64,
+        0.0..200.0f64,
+        0.0..200.0f64,
+    )
+        .prop_map(|(x, y, w, h)| BBox::new(x, y, w, h))
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1e3..1e3f64, -1e3..1e3f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rgb() -> impl Strategy<Value = Rgb> {
+    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(r, g, b)| Rgb::new(r, g, b))
+}
+
+proptest! {
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in arb_bbox(), b in arb_bbox()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+    }
+
+    #[test]
+    fn iou_with_self_is_one_for_proper_boxes(a in arb_bbox()) {
+        prop_assume!(a.area() > 1e-9);
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_area_bounded_by_operands(a in arb_bbox(), b in arb_bbox()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.area() <= a.area() + 1e-9);
+            prop_assert!(i.area() <= b.area() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn clip_to_frame_stays_inside(a in arb_bbox()) {
+        let size = Size::new(300, 200);
+        if let Some(c) = a.clip_to_frame(size) {
+            prop_assert!(c.inside_frame(size));
+            prop_assert!(c.area() <= a.area() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_exact(a in arb_point(), b in arb_point()) {
+        prop_assert!(a.lerp(&b, 0.0).distance(&a) < 1e-9);
+        prop_assert!(a.lerp(&b, 1.0).distance(&b) < 1e-9);
+    }
+
+    #[test]
+    fn distance_satisfies_triangle_inequality(
+        a in arb_point(), b in arb_point(), c in arb_point()
+    ) {
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+    }
+
+    #[test]
+    fn hsv_round_trip_within_one_lsb(c in arb_rgb()) {
+        let back = c.to_hsv().to_rgb();
+        prop_assert!((c.r as i32 - back.r as i32).abs() <= 1);
+        prop_assert!((c.g as i32 - back.g as i32).abs() <= 1);
+        prop_assert!((c.b as i32 - back.b as i32).abs() <= 1);
+    }
+
+    #[test]
+    fn hsv_ranges_valid(c in arb_rgb()) {
+        let hsv = c.to_hsv();
+        prop_assert!((0.0..360.0 + 1e-9).contains(&hsv.h));
+        prop_assert!((0.0..=1.0).contains(&hsv.s));
+        prop_assert!((0.0..=1.0).contains(&hsv.v));
+    }
+
+    #[test]
+    fn blend_stays_within_channel_bounds(a in arb_rgb(), b in arb_rgb(), t in 0.0..1.0f64) {
+        let m = a.blend(b, t);
+        let within = |x: u8, lo: u8, hi: u8| x >= lo.min(hi) && x <= lo.max(hi);
+        prop_assert!(within(m.r, a.r, b.r));
+        prop_assert!(within(m.g, a.g, b.g));
+        prop_assert!(within(m.b, a.b, b.b));
+    }
+
+    #[test]
+    fn ppm_round_trip(
+        w in 1u32..16, h in 1u32..16, seed in any::<u64>()
+    ) {
+        let img = ImageBuffer::from_fn(Size::new(w, h), |x, y| {
+            let v = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((x as u64) << 32 | y as u64);
+            Rgb::new((v >> 16) as u8, (v >> 24) as u8, (v >> 32) as u8)
+        });
+        let back = ImageBuffer::from_ppm(&img.to_ppm()).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn codec_is_lossless_on_random_videos(
+        w in 2u32..12, h in 2u32..12, frames in 1usize..6, seed in any::<u64>()
+    ) {
+        let imgs: Vec<ImageBuffer> = (0..frames)
+            .map(|k| {
+                ImageBuffer::from_fn(Size::new(w, h), |x, y| {
+                    let v = seed
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add((k as u64) << 40 | (x as u64) << 20 | y as u64);
+                    Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8)
+                })
+            })
+            .collect();
+        let video = InMemoryVideo::new(imgs, 30.0);
+        let decoded = decode_video(&encode_video(&video)).unwrap();
+        for (k, frame) in decoded.iter().enumerate() {
+            prop_assert_eq!(frame, &verro_video::source::FrameSource::frame(&video, k));
+        }
+    }
+
+    #[test]
+    fn fill_rect_touches_only_rect_pixels(bx in 0.0..20.0f64, by in 0.0..20.0f64,
+                                          bw in 0.0..10.0f64, bh in 0.0..10.0f64) {
+        let size = Size::new(24, 24);
+        let mut img = ImageBuffer::new(size, Rgb::BLACK);
+        let rect = BBox::new(bx, by, bw, bh);
+        img.fill_rect(rect, Rgb::WHITE);
+        for y in 0..24u32 {
+            for x in 0..24u32 {
+                let inside = img.get(x, y) == Rgb::WHITE;
+                // A white pixel implies its cell overlaps the rect.
+                if inside {
+                    let cell = BBox::new(x as f64, y as f64, 1.0, 1.0);
+                    prop_assert!(cell.intersection(&rect).is_some(),
+                        "painted pixel ({x},{y}) outside rect {rect:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Object detection by background subtraction.
+//!
+//! The paper detects pedestrians with HOG-based detectors; on our synthetic
+//! footage the equivalent detection artifact (per-frame bounding boxes of
+//! foreground objects) is obtained by differencing each frame against the
+//! temporal background model, thresholding the per-pixel distance, and
+//! extracting connected foreground components.
+
+use serde::{Deserialize, Serialize};
+use verro_video::geometry::BBox;
+use verro_video::image::ImageBuffer;
+
+/// Detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Channel-summed absolute pixel difference above which a pixel is
+    /// foreground (0–765).
+    pub threshold: u32,
+    /// Minimum component area in pixels; smaller blobs are noise.
+    pub min_area: usize,
+    /// Morphological dilation radius applied to the mask before labeling
+    /// (bridges small gaps inside objects).
+    pub dilate: u32,
+    /// Exposure-gain normalization: scale the frame to match the
+    /// background's mean luma before differencing. Compensates global
+    /// illumination drift (cloud cover, auto-exposure) that would otherwise
+    /// turn the whole frame into foreground.
+    pub normalize_gain: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 70,
+            min_area: 12,
+            dilate: 1,
+            normalize_gain: true,
+        }
+    }
+}
+
+/// Mean luma of an image.
+fn mean_luma(img: &ImageBuffer) -> f64 {
+    let mut total = 0.0;
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            total += img.get(x, y).luma();
+        }
+    }
+    total / img.size().area() as f64
+}
+
+/// One detection: a foreground bounding box with its pixel support.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    pub bbox: BBox,
+    /// Number of foreground pixels in the component.
+    pub area: usize,
+}
+
+/// Binary foreground mask of `frame` against `background`, with the frame's
+/// channels scaled by `gain` before differencing (1.0 = no compensation).
+pub fn foreground_mask(
+    frame: &ImageBuffer,
+    background: &ImageBuffer,
+    threshold: u32,
+    gain: f64,
+) -> Vec<bool> {
+    assert_eq!(frame.size(), background.size(), "frame/background size mismatch");
+    let (w, h) = (frame.width(), frame.height());
+    let scale = |v: u8| ((v as f64 * gain).round()).clamp(0.0, 255.0) as u8;
+    let mut mask = vec![false; (w * h) as usize];
+    for y in 0..h {
+        for x in 0..w {
+            let c = frame.get(x, y);
+            let adjusted = crate::detect::rgb_scaled(c, scale);
+            if adjusted.abs_diff(background.get(x, y)) > threshold {
+                mask[(y * w + x) as usize] = true;
+            }
+        }
+    }
+    mask
+}
+
+#[inline]
+fn rgb_scaled(c: verro_video::color::Rgb, scale: impl Fn(u8) -> u8) -> verro_video::color::Rgb {
+    verro_video::color::Rgb::new(scale(c.r), scale(c.g), scale(c.b))
+}
+
+/// Dilates a binary mask by a square structuring element of radius `r`.
+pub fn dilate_mask(mask: &[bool], w: u32, h: u32, r: u32) -> Vec<bool> {
+    if r == 0 {
+        return mask.to_vec();
+    }
+    let mut out = vec![false; mask.len()];
+    let r = r as i64;
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            if mask[(y * w as i64 + x) as usize] {
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        let (nx, ny) = (x + dx, y + dy);
+                        if nx >= 0 && ny >= 0 && nx < w as i64 && ny < h as i64 {
+                            out[(ny * w as i64 + nx) as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Labels 4-connected components of a binary mask and returns the bounding
+/// box and area of each (iterative flood fill — no recursion depth limits).
+pub fn connected_components(mask: &[bool], w: u32, h: u32) -> Vec<Detection> {
+    let mut visited = vec![false; mask.len()];
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..mask.len() {
+        if !mask[start] || visited[start] {
+            continue;
+        }
+        let mut min_x = u32::MAX;
+        let mut min_y = u32::MAX;
+        let mut max_x = 0u32;
+        let mut max_y = 0u32;
+        let mut area = 0usize;
+        visited[start] = true;
+        stack.push(start);
+        while let Some(i) = stack.pop() {
+            let x = (i as u32) % w;
+            let y = (i as u32) / w;
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+            area += 1;
+            let mut push = |j: usize| {
+                if mask[j] && !visited[j] {
+                    visited[j] = true;
+                    stack.push(j);
+                }
+            };
+            if x > 0 {
+                push(i - 1);
+            }
+            if x + 1 < w {
+                push(i + 1);
+            }
+            if y > 0 {
+                push(i - w as usize);
+            }
+            if y + 1 < h {
+                push(i + w as usize);
+            }
+        }
+        out.push(Detection {
+            bbox: BBox::new(
+                min_x as f64,
+                min_y as f64,
+                (max_x - min_x + 1) as f64,
+                (max_y - min_y + 1) as f64,
+            ),
+            area,
+        });
+    }
+    out
+}
+
+/// Full detection pipeline: subtract, dilate, label, filter by area.
+/// Detections are returned sorted by descending area.
+pub fn detect(
+    frame: &ImageBuffer,
+    background: &ImageBuffer,
+    config: &DetectorConfig,
+) -> Vec<Detection> {
+    let (w, h) = (frame.width(), frame.height());
+    let gain = if config.normalize_gain {
+        let frame_luma = mean_luma(frame).max(1.0);
+        mean_luma(background) / frame_luma
+    } else {
+        1.0
+    };
+    let mask = foreground_mask(frame, background, config.threshold, gain);
+    let mask = dilate_mask(&mask, w, h, config.dilate);
+    let mut dets: Vec<Detection> = connected_components(&mask, w, h)
+        .into_iter()
+        .filter(|d| d.area >= config.min_area)
+        .collect();
+    dets.sort_by(|a, b| b.area.cmp(&a.area));
+    dets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verro_video::color::Rgb;
+    use verro_video::geometry::Size;
+
+    fn bg() -> ImageBuffer {
+        ImageBuffer::new(Size::new(32, 24), Rgb::new(100, 100, 100))
+    }
+
+    #[test]
+    fn detects_single_object() {
+        let background = bg();
+        let mut frame = background.clone();
+        frame.fill_rect(BBox::new(10.0, 6.0, 5.0, 8.0), Rgb::new(250, 20, 20));
+        let dets = detect(&frame, &background, &DetectorConfig::default());
+        assert_eq!(dets.len(), 1);
+        let d = dets[0].bbox;
+        // Dilation can grow the box by the radius.
+        assert!(d.x <= 10.0 && d.right() >= 15.0);
+        assert!(d.y <= 6.0 && d.bottom() >= 14.0);
+    }
+
+    #[test]
+    fn detects_two_separated_objects() {
+        let background = bg();
+        let mut frame = background.clone();
+        frame.fill_rect(BBox::new(2.0, 2.0, 4.0, 6.0), Rgb::new(250, 20, 20));
+        frame.fill_rect(BBox::new(20.0, 12.0, 5.0, 7.0), Rgb::new(20, 20, 250));
+        let dets = detect(&frame, &background, &DetectorConfig::default());
+        assert_eq!(dets.len(), 2);
+        // Sorted by area descending.
+        assert!(dets[0].area >= dets[1].area);
+    }
+
+    #[test]
+    fn empty_frame_yields_nothing() {
+        let background = bg();
+        let dets = detect(&background.clone(), &background, &DetectorConfig::default());
+        assert!(dets.is_empty());
+    }
+
+    #[test]
+    fn min_area_filters_noise() {
+        let background = bg();
+        let mut frame = background.clone();
+        frame.set(5, 5, Rgb::new(255, 255, 255)); // single noisy pixel
+        let mut cfg = DetectorConfig::default();
+        cfg.dilate = 0;
+        cfg.min_area = 4;
+        assert!(detect(&frame, &background, &cfg).is_empty());
+        cfg.min_area = 1;
+        assert_eq!(detect(&frame, &background, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn threshold_gates_subtle_changes() {
+        let background = bg();
+        let mut frame = background.clone();
+        frame.fill_rect(BBox::new(8.0, 8.0, 6.0, 6.0), Rgb::new(110, 110, 110));
+        // Difference is 30 per pixel; below the default threshold of 70.
+        assert!(detect(&frame, &background, &DetectorConfig::default()).is_empty());
+        let mut cfg = DetectorConfig::default();
+        cfg.threshold = 20;
+        assert_eq!(detect(&frame, &background, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn gain_normalization_suppresses_global_dimming() {
+        // Dim the whole frame by 10%: without compensation everything turns
+        // foreground; with it, only the painted object is detected.
+        let background = ImageBuffer::new(Size::new(32, 24), Rgb::new(180, 180, 180));
+        let mut frame = ImageBuffer::new(Size::new(32, 24), Rgb::new(162, 162, 162));
+        frame.fill_rect(BBox::new(10.0, 6.0, 5.0, 8.0), Rgb::new(250, 20, 20));
+        let mut cfg = DetectorConfig {
+            threshold: 40,
+            min_area: 10,
+            dilate: 0,
+            normalize_gain: false,
+        };
+        let raw = detect(&frame, &background, &cfg);
+        // Whole frame is one big foreground blob without normalization.
+        assert!(raw.iter().any(|d| d.area > 500), "{raw:?}");
+        cfg.normalize_gain = true;
+        let normalized = detect(&frame, &background, &cfg);
+        assert_eq!(normalized.len(), 1, "{normalized:?}");
+        assert!(normalized[0].bbox.iou(&BBox::new(10.0, 6.0, 5.0, 8.0)) > 0.5);
+    }
+
+    #[test]
+    fn dilation_merges_close_fragments() {
+        let w = 16u32;
+        let h = 4u32;
+        let mut mask = vec![false; (w * h) as usize];
+        mask[(w + 3) as usize] = true;
+        mask[(w + 5) as usize] = true; // gap of one pixel at x=4
+        let dilated = dilate_mask(&mask, w, h, 1);
+        let comps = connected_components(&dilated, w, h);
+        assert_eq!(comps.len(), 1);
+        let comps_raw = connected_components(&mask, w, h);
+        assert_eq!(comps_raw.len(), 2);
+    }
+
+    #[test]
+    fn component_bbox_tight_without_dilation() {
+        let w = 10u32;
+        let h = 10u32;
+        let mut mask = vec![false; 100];
+        for y in 2..5u32 {
+            for x in 3..7u32 {
+                mask[(y * w + x) as usize] = true;
+            }
+        }
+        let comps = connected_components(&mask, w, h);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].bbox, BBox::new(3.0, 2.0, 4.0, 3.0));
+        assert_eq!(comps[0].area, 12);
+    }
+}

@@ -1,0 +1,246 @@
+//! HSV histograms, the similarity measure of Algorithm 2, and frame entropy.
+//!
+//! Algorithm 2 of the paper equally partitions the H, S, V value ranges into
+//! `h`, `s`, `v` parts, builds per-frame histograms, and compares a frame to
+//! a segment with the weighted histogram-intersection similarity
+//! `α·Sim_H + β·Sim_S + γ·Sim_V` against a threshold `τ`. Key frames are the
+//! members with maximum weighted HSV entropy.
+
+use serde::{Deserialize, Serialize};
+use verro_video::image::ImageBuffer;
+
+/// Histogram bin configuration: the `h`, `s`, `v` partition counts of
+/// Algorithm 2, line 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HsvBins {
+    pub h: usize,
+    pub s: usize,
+    pub v: usize,
+}
+
+impl HsvBins {
+    pub fn new(h: usize, s: usize, v: usize) -> Self {
+        assert!(h > 0 && s > 0 && v > 0, "bin counts must be positive");
+        Self { h, s, v }
+    }
+}
+
+impl Default for HsvBins {
+    fn default() -> Self {
+        // 16/8/8 is a common shot-boundary configuration.
+        Self::new(16, 8, 8)
+    }
+}
+
+/// Weights `(α, β, γ)` for the H, S, V similarity/entropy combination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HsvWeights {
+    pub alpha: f64,
+    pub beta: f64,
+    pub gamma: f64,
+}
+
+impl HsvWeights {
+    pub fn new(alpha: f64, beta: f64, gamma: f64) -> Self {
+        assert!(
+            alpha >= 0.0 && beta >= 0.0 && gamma >= 0.0,
+            "weights must be non-negative"
+        );
+        assert!(alpha + beta + gamma > 0.0, "weights must not all be zero");
+        Self { alpha, beta, gamma }
+    }
+}
+
+impl Default for HsvWeights {
+    fn default() -> Self {
+        // Hue carries most chromatic identity; standard 0.5/0.3/0.2 split.
+        Self::new(0.5, 0.3, 0.2)
+    }
+}
+
+/// A normalized HSV histogram of one frame (or the running histogram of a
+/// segment). Each channel histogram sums to 1 for non-empty images.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HsvHistogram {
+    pub bins: HsvBins,
+    pub hue: Vec<f64>,
+    pub sat: Vec<f64>,
+    pub val: Vec<f64>,
+}
+
+impl HsvHistogram {
+    /// Computes the histogram of an image.
+    pub fn of(image: &ImageBuffer, bins: HsvBins) -> Self {
+        let mut hue = vec![0.0f64; bins.h];
+        let mut sat = vec![0.0f64; bins.s];
+        let mut val = vec![0.0f64; bins.v];
+        let n = image.size().area() as f64;
+        for y in 0..image.height() {
+            for x in 0..image.width() {
+                let hsv = image.get(x, y).to_hsv();
+                let hb = ((hsv.h / 360.0 * bins.h as f64) as usize).min(bins.h - 1);
+                let sb = ((hsv.s * bins.s as f64) as usize).min(bins.s - 1);
+                let vb = ((hsv.v * bins.v as f64) as usize).min(bins.v - 1);
+                hue[hb] += 1.0;
+                sat[sb] += 1.0;
+                val[vb] += 1.0;
+            }
+        }
+        if n > 0.0 {
+            for h in hue.iter_mut() {
+                *h /= n;
+            }
+            for s in sat.iter_mut() {
+                *s /= n;
+            }
+            for v in val.iter_mut() {
+                *v /= n;
+            }
+        }
+        Self { bins, hue, sat, val }
+    }
+
+    /// Histogram-intersection similarity per channel:
+    /// `Σ_b min(self[b], other[b])` ∈ `[0, 1]` for normalized histograms.
+    fn channel_similarity(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x.min(*y)).sum()
+    }
+
+    /// Weighted similarity `α·Sim_H + β·Sim_S + γ·Sim_V` (Algorithm 2,
+    /// lines 7–10). In `[0, w_total]`; with weights summing to 1 it is in
+    /// `[0, 1]` and equals 1 only for identical histograms.
+    pub fn similarity(&self, other: &HsvHistogram, w: HsvWeights) -> f64 {
+        assert_eq!(self.bins, other.bins, "histograms must share binning");
+        w.alpha * Self::channel_similarity(&self.hue, &other.hue)
+            + w.beta * Self::channel_similarity(&self.sat, &other.sat)
+            + w.gamma * Self::channel_similarity(&self.val, &other.val)
+    }
+
+    /// Weighted Shannon entropy
+    /// `α·H(hue) + β·H(sat) + γ·H(val)` — Algorithm 2 extracts the frame of
+    /// maximum entropy from each segment (lines 17–21). Natural log.
+    pub fn entropy(&self, w: HsvWeights) -> f64 {
+        fn channel_entropy(p: &[f64]) -> f64 {
+            -p.iter()
+                .filter(|&&x| x > 0.0)
+                .map(|&x| x * x.ln())
+                .sum::<f64>()
+        }
+        w.alpha * channel_entropy(&self.hue)
+            + w.beta * channel_entropy(&self.sat)
+            + w.gamma * channel_entropy(&self.val)
+    }
+
+    /// Merges another histogram into a running mean (used to maintain a
+    /// segment's histogram as frames join it). `count` is the number of
+    /// frames already merged into `self`.
+    pub fn merge_mean(&mut self, other: &HsvHistogram, count: usize) {
+        assert_eq!(self.bins, other.bins, "histograms must share binning");
+        let k = count as f64;
+        let upd = |acc: &mut [f64], new: &[f64]| {
+            for (a, b) in acc.iter_mut().zip(new) {
+                *a = (*a * k + *b) / (k + 1.0);
+            }
+        };
+        upd(&mut self.hue, &other.hue);
+        upd(&mut self.sat, &other.sat);
+        upd(&mut self.val, &other.val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verro_video::color::Rgb;
+    use verro_video::geometry::Size;
+
+    fn flat(color: Rgb) -> ImageBuffer {
+        ImageBuffer::new(Size::new(16, 16), color)
+    }
+
+    #[test]
+    fn histograms_are_normalized() {
+        let img = ImageBuffer::from_fn(Size::new(8, 8), |x, y| {
+            Rgb::new((x * 32) as u8, (y * 32) as u8, 128)
+        });
+        let h = HsvHistogram::of(&img, HsvBins::default());
+        assert!((h.hue.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((h.sat.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((h.val.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_frames_have_similarity_one() {
+        let img = flat(Rgb::new(200, 40, 40));
+        let h = HsvHistogram::of(&img, HsvBins::default());
+        let sim = h.similarity(&h, HsvWeights::default());
+        assert!((sim - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_hues_reduce_similarity() {
+        let bins = HsvBins::default();
+        let red = HsvHistogram::of(&flat(Rgb::new(255, 0, 0)), bins);
+        let blue = HsvHistogram::of(&flat(Rgb::new(0, 0, 255)), bins);
+        let w = HsvWeights::default();
+        let sim = red.similarity(&blue, w);
+        // Same saturation/value bins but disjoint hue bins: only β+γ remain.
+        assert!((sim - (w.beta + w.gamma)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let bins = HsvBins::default();
+        let a = HsvHistogram::of(&flat(Rgb::new(10, 200, 80)), bins);
+        let b = HsvHistogram::of(&flat(Rgb::new(200, 10, 80)), bins);
+        let w = HsvWeights::default();
+        assert!((a.similarity(&b, w) - b.similarity(&a, w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_image_has_zero_entropy() {
+        let h = HsvHistogram::of(&flat(Rgb::new(77, 77, 77)), HsvBins::default());
+        assert!(h.entropy(HsvWeights::default()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textured_image_has_higher_entropy() {
+        let bins = HsvBins::default();
+        let w = HsvWeights::default();
+        let flat_h = HsvHistogram::of(&flat(Rgb::new(77, 77, 77)), bins).entropy(w);
+        let tex = ImageBuffer::from_fn(Size::new(16, 16), |x, y| {
+            Rgb::new((x * 16) as u8, (y * 16) as u8, ((x + y) * 8) as u8)
+        });
+        let tex_h = HsvHistogram::of(&tex, bins).entropy(w);
+        assert!(tex_h > flat_h);
+    }
+
+    #[test]
+    fn merge_mean_averages() {
+        let bins = HsvBins::new(2, 2, 2);
+        let a = HsvHistogram::of(&flat(Rgb::new(255, 0, 0)), bins);
+        let b = HsvHistogram::of(&flat(Rgb::new(0, 0, 255)), bins);
+        let mut seg = a.clone();
+        seg.merge_mean(&b, 1);
+        // Each channel histogram still sums to 1 after averaging.
+        assert!((seg.hue.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The merged histogram is the midpoint.
+        for i in 0..2 {
+            assert!((seg.hue[i] - (a.hue[i] + b.hue[i]) / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn similarity_rejects_mismatched_bins() {
+        let a = HsvHistogram::of(&flat(Rgb::BLACK), HsvBins::new(4, 4, 4));
+        let b = HsvHistogram::of(&flat(Rgb::BLACK), HsvBins::new(8, 4, 4));
+        let _ = a.similarity(&b, HsvWeights::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn weights_reject_all_zero() {
+        HsvWeights::new(0.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Segmentation and key-frame extraction — Algorithm 2 of the paper.
+//!
+//! The video is scanned once: each frame joins the current segment when its
+//! weighted HSV-histogram similarity to the segment is at least `τ`,
+//! otherwise a new segment starts. Afterwards the frame with maximum
+//! weighted HSV entropy in each segment becomes that segment's key frame.
+//! The `ℓ` key frames are the reduced dimension for Phase I.
+
+use crate::histogram::{HsvBins, HsvHistogram, HsvWeights};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use verro_video::source::FrameSource;
+
+/// Parameters of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyFrameConfig {
+    pub bins: HsvBins,
+    pub weights: HsvWeights,
+    /// Similarity threshold `τ`: a frame with similarity `< τ` to the
+    /// running segment opens a new segment. Typical values 0.90–0.99 —
+    /// higher τ means more segments, hence more key frames.
+    pub tau: f64,
+    /// Frame stride for histogram computation (1 = every frame). Strides
+    /// above 1 subsample uniformly before segmentation, a standard
+    /// performance concession that preserves segment structure.
+    pub stride: usize,
+}
+
+impl Default for KeyFrameConfig {
+    fn default() -> Self {
+        Self {
+            bins: HsvBins::default(),
+            weights: HsvWeights::default(),
+            tau: 0.94,
+            stride: 1,
+        }
+    }
+}
+
+/// A contiguous run of similar frames.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Frame indices belonging to the segment (ascending, contiguous up to
+    /// the configured stride).
+    pub frames: Vec<usize>,
+    /// The selected key frame (maximum-entropy member).
+    pub key_frame: usize,
+}
+
+impl Segment {
+    /// First frame covered by the segment.
+    pub fn start(&self) -> usize {
+        *self.frames.first().expect("segments are non-empty")
+    }
+
+    /// Last frame covered by the segment.
+    pub fn end(&self) -> usize {
+        *self.frames.last().expect("segments are non-empty")
+    }
+}
+
+/// Result of Algorithm 2 on a video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeyFrameResult {
+    pub segments: Vec<Segment>,
+}
+
+impl KeyFrameResult {
+    /// The ordered key frames `F_1 … F_ℓ`.
+    pub fn key_frames(&self) -> Vec<usize> {
+        self.segments.iter().map(|s| s.key_frame).collect()
+    }
+
+    /// Number of key frames `ℓ`.
+    pub fn num_key_frames(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Index of the segment containing frame `k`, if any (frames skipped by
+    /// a stride > 1 map to the segment whose range covers them).
+    pub fn segment_of(&self, k: usize) -> Option<usize> {
+        self.segments
+            .iter()
+            .position(|s| k >= s.start() && k <= s.end())
+    }
+}
+
+/// Runs Algorithm 2 over a frame source.
+///
+/// Histograms for all sampled frames are computed in parallel (the dominant
+/// cost), then the single-pass sequential clustering follows the paper
+/// exactly: similarity against the segment's *running mean* histogram,
+/// opening a new segment when it drops below `τ`.
+pub fn extract_key_frames<S: FrameSource + Sync>(
+    src: &S,
+    config: &KeyFrameConfig,
+) -> KeyFrameResult {
+    let stride = config.stride.max(1);
+    let sampled: Vec<usize> = (0..src.num_frames()).step_by(stride).collect();
+    assert!(!sampled.is_empty(), "video has no frames");
+
+    let histograms: Vec<HsvHistogram> = sampled
+        .par_iter()
+        .map(|&k| HsvHistogram::of(&src.frame(k), config.bins))
+        .collect();
+
+    segment_histograms(&sampled, &histograms, config)
+}
+
+/// The clustering + key-frame selection stage, exposed separately so callers
+/// with precomputed histograms (benchmarks, tests) can reuse them.
+pub fn segment_histograms(
+    frames: &[usize],
+    histograms: &[HsvHistogram],
+    config: &KeyFrameConfig,
+) -> KeyFrameResult {
+    assert_eq!(frames.len(), histograms.len());
+    assert!(!frames.is_empty());
+
+    let mut segments: Vec<(Vec<usize>, HsvHistogram)> = Vec::new();
+    // Initialize the first segment with the first frame (Algorithm 2 line 1).
+    segments.push((vec![frames[0]], histograms[0].clone()));
+
+    for i in 1..frames.len() {
+        let (members, seg_hist) = segments.last_mut().expect("non-empty");
+        let sim = histograms[i].similarity(seg_hist, config.weights);
+        if sim >= config.tau {
+            // Join: expand the segment and update its running histogram.
+            seg_hist.merge_mean(&histograms[i], members.len());
+            members.push(frames[i]);
+        } else {
+            segments.push((vec![frames[i]], histograms[i].clone()));
+        }
+    }
+
+    let segments = segments
+        .into_iter()
+        .map(|(members, _)| {
+            // Key frame = member with maximum weighted entropy (lines 17–21).
+            let key_frame = members
+                .iter()
+                .map(|&k| {
+                    let idx = frames.binary_search(&k).expect("member was sampled");
+                    (k, histograms[idx].entropy(config.weights))
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite entropy"))
+                .map(|(k, _)| k)
+                .expect("segments are non-empty");
+            Segment {
+                frames: members,
+                key_frame,
+            }
+        })
+        .collect();
+
+    KeyFrameResult { segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verro_video::color::Rgb;
+    use verro_video::geometry::Size;
+    use verro_video::image::ImageBuffer;
+    use verro_video::source::InMemoryVideo;
+
+    fn flat_video(colors: &[Rgb]) -> InMemoryVideo {
+        let frames = colors
+            .iter()
+            .map(|&c| ImageBuffer::new(Size::new(8, 8), c))
+            .collect();
+        InMemoryVideo::new(frames, 30.0)
+    }
+
+    #[test]
+    fn identical_frames_form_one_segment() {
+        let v = flat_video(&[Rgb::new(100, 150, 200); 12]);
+        let r = extract_key_frames(&v, &KeyFrameConfig::default());
+        assert_eq!(r.num_key_frames(), 1);
+        assert_eq!(r.segments[0].frames.len(), 12);
+    }
+
+    #[test]
+    fn scene_cut_opens_new_segment() {
+        let mut colors = vec![Rgb::new(255, 0, 0); 6];
+        colors.extend(vec![Rgb::new(0, 0, 255); 6]);
+        let v = flat_video(&colors);
+        let r = extract_key_frames(&v, &KeyFrameConfig::default());
+        assert_eq!(r.num_key_frames(), 2);
+        assert_eq!(r.segments[0].end(), 5);
+        assert_eq!(r.segments[1].start(), 6);
+    }
+
+    #[test]
+    fn key_frame_has_max_entropy() {
+        // Two flat frames and one textured frame in the same hue family: the
+        // textured one must be picked.
+        let size = Size::new(8, 8);
+        let flat1 = ImageBuffer::new(size, Rgb::new(200, 60, 60));
+        let textured = ImageBuffer::from_fn(size, |x, _| {
+            if x % 2 == 0 {
+                Rgb::new(200, 60, 60)
+            } else {
+                Rgb::new(180, 80, 60)
+            }
+        });
+        let flat2 = ImageBuffer::new(size, Rgb::new(200, 60, 60));
+        let v = InMemoryVideo::new(vec![flat1, textured, flat2], 30.0);
+        let mut cfg = KeyFrameConfig::default();
+        cfg.tau = 0.5; // keep everything in one segment
+        let r = extract_key_frames(&v, &cfg);
+        assert_eq!(r.num_key_frames(), 1);
+        assert_eq!(r.segments[0].key_frame, 1);
+    }
+
+    #[test]
+    fn higher_tau_gives_more_segments() {
+        // Gradually drifting color.
+        let colors: Vec<Rgb> = (0..30)
+            .map(|k| Rgb::new(100 + 5 * k as u8, 100, 150))
+            .collect();
+        let v = flat_video(&colors);
+        let mut lo = KeyFrameConfig::default();
+        lo.tau = 0.5;
+        let mut hi = KeyFrameConfig::default();
+        hi.tau = 0.999;
+        let n_lo = extract_key_frames(&v, &lo).num_key_frames();
+        let n_hi = extract_key_frames(&v, &hi).num_key_frames();
+        assert!(n_hi >= n_lo);
+        assert!(n_hi > 1);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let v = flat_video(&[Rgb::new(10, 20, 30); 20]);
+        let mut cfg = KeyFrameConfig::default();
+        cfg.stride = 5;
+        let r = extract_key_frames(&v, &cfg);
+        assert_eq!(r.segments[0].frames, vec![0, 5, 10, 15]);
+    }
+
+    #[test]
+    fn segment_of_maps_interior_frames() {
+        let mut colors = vec![Rgb::new(255, 0, 0); 5];
+        colors.extend(vec![Rgb::new(0, 255, 0); 5]);
+        let v = flat_video(&colors);
+        let r = extract_key_frames(&v, &KeyFrameConfig::default());
+        assert_eq!(r.segment_of(2), Some(0));
+        assert_eq!(r.segment_of(7), Some(1));
+        assert_eq!(r.segment_of(99), None);
+    }
+
+    #[test]
+    fn key_frames_are_sorted_and_within_segments() {
+        let colors: Vec<Rgb> = (0..40)
+            .map(|k| Rgb::new((k * 6) as u8, 80, 200))
+            .collect();
+        let v = flat_video(&colors);
+        let r = extract_key_frames(&v, &KeyFrameConfig::default());
+        let kfs = r.key_frames();
+        for w in kfs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for s in &r.segments {
+            assert!(s.frames.contains(&s.key_frame));
+        }
+    }
+}

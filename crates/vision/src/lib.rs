@@ -1,0 +1,28 @@
+//! # verro-vision
+//!
+//! From-scratch computer vision toolkit backing the VERRO reproduction:
+//!
+//! * [`histogram`] — HSV histograms, similarity, entropy (Algorithm 2's
+//!   building blocks);
+//! * [`keyframe`] — segmentation and key-frame extraction (Algorithm 2);
+//! * [`bgmodel`] — temporal median background scenes;
+//! * [`mod@detect`] — background-subtraction object detection;
+//! * [`track`] — Kalman + Hungarian SORT tracking (Deep SORT stand-in);
+//! * [`mod@inpaint`] — Criminisi exemplar-based region filling (reference \[11\]);
+//! * [`interp`] — Lagrange / linear / nearest trajectory interpolation.
+
+pub mod bgmodel;
+pub mod detect;
+pub mod histogram;
+pub mod inpaint;
+pub mod interp;
+pub mod keyframe;
+pub mod track;
+
+pub use bgmodel::{median_background, segment_backgrounds, BackgroundConfig};
+pub use detect::{detect, Detection, DetectorConfig};
+pub use histogram::{HsvBins, HsvHistogram, HsvWeights};
+pub use inpaint::{inpaint, InpaintConfig, InpaintMethod, Mask};
+pub use interp::{extrapolate_to_border, interpolate, InterpMethod};
+pub use keyframe::{extract_key_frames, KeyFrameConfig, KeyFrameResult, Segment};
+pub use track::{SortTracker, TrackerConfig};

@@ -1,0 +1,219 @@
+//! Hungarian algorithm (Kuhn–Munkres) for minimum-cost assignment.
+//!
+//! Used by the tracker to associate detections with track predictions.
+//! This is the O(n³) potentials formulation; rectangular problems are padded
+//! internally.
+
+/// Solves the minimum-cost assignment for a `rows × cols` cost matrix.
+///
+/// Returns `assignment[r] = Some(c)` for each row matched to a column (rows
+/// beyond `min(rows, cols)` matches stay `None`). Costs may be any finite
+/// `f64`; use a large finite penalty to discourage (but not forbid) a pair.
+pub fn hungarian(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let rows = cost.len();
+    if rows == 0 {
+        return Vec::new();
+    }
+    let cols = cost[0].len();
+    assert!(
+        cost.iter().all(|r| r.len() == cols),
+        "cost matrix must be rectangular"
+    );
+    if cols == 0 {
+        return vec![None; rows];
+    }
+    for row in cost {
+        for &c in row {
+            assert!(c.is_finite(), "costs must be finite");
+        }
+    }
+
+    // Pad to square n×n with zeros (dummy rows/columns absorb the surplus).
+    let n = rows.max(cols);
+    let at = |r: usize, c: usize| -> f64 {
+        if r < rows && c < cols {
+            cost[r][c]
+        } else {
+            0.0
+        }
+    };
+
+    // 1-based potentials formulation (cp-algorithms style).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = at(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![None; rows];
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i <= rows && j <= cols {
+            assignment[i - 1] = Some(j - 1);
+        }
+    }
+    assignment
+}
+
+/// Total cost of an assignment produced by [`hungarian`].
+pub fn assignment_cost(cost: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(r, c)| c.map(|c| cost[r][c]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimal assignment cost by enumerating permutations
+    /// (square matrices only, small n).
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        let n = cost.len();
+        let mut cols: Vec<usize> = (0..n).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut cols, 0, &mut |perm| {
+            let total: f64 = perm.iter().enumerate().map(|(r, &c)| cost[r][c]).sum();
+            if total < best {
+                best = total;
+            }
+        });
+        best
+    }
+
+    fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == v.len() {
+            f(v);
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permute(v, k + 1, f);
+            v.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn simple_3x3() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = hungarian(&cost);
+        assert_eq!(assignment_cost(&cost, &a), 5.0);
+        // All rows matched to distinct columns.
+        let mut cols: Vec<usize> = a.iter().map(|c| c.unwrap()).collect();
+        cols.sort();
+        assert_eq!(cols, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for n in 1..=6usize {
+            for _ in 0..20 {
+                let cost: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                    .collect();
+                let a = hungarian(&cost);
+                let got = assignment_cost(&cost, &a);
+                let want = brute_force(&cost);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "n={n}: hungarian {got} vs brute force {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_more_rows() {
+        let cost = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let a = hungarian(&cost);
+        // Exactly one row is matched, and it is the cheapest.
+        let matched: Vec<usize> = a
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(r, _)| r)
+            .collect();
+        assert_eq!(matched, vec![0]);
+    }
+
+    #[test]
+    fn rectangular_more_cols() {
+        let cost = vec![vec![5.0, 1.0, 7.0, 3.0]];
+        let a = hungarian(&cost);
+        assert_eq!(a, vec![Some(1)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(hungarian(&[]).is_empty());
+        let empty_cols: Vec<Vec<f64>> = vec![vec![], vec![]];
+        assert_eq!(hungarian(&empty_cols), vec![None, None]);
+    }
+
+    #[test]
+    fn negative_costs_allowed() {
+        let cost = vec![vec![-5.0, 0.0], vec![0.0, -5.0]];
+        let a = hungarian(&cost);
+        assert_eq!(assignment_cost(&cost, &a), -10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_finite() {
+        hungarian(&[vec![f64::INFINITY]]);
+    }
+}

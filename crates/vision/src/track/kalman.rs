@@ -1,0 +1,196 @@
+//! Constant-velocity Kalman filter over 2-D object centers.
+//!
+//! State is `[cx, cy, vx, vy]ᵀ` with measurements `[cx, cy]ᵀ`; this is the
+//! motion model used by SORT-style trackers (our stand-in for the paper's
+//! Deep SORT preprocessing). All matrices are fixed-size and unrolled.
+
+use verro_video::geometry::Point;
+
+/// A 4-state constant-velocity Kalman filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kalman2D {
+    /// State estimate `[cx, cy, vx, vy]`.
+    x: [f64; 4],
+    /// State covariance (row-major 4×4).
+    p: [[f64; 4]; 4],
+    /// Process noise intensity.
+    q: f64,
+    /// Measurement noise variance.
+    r: f64,
+}
+
+impl Kalman2D {
+    /// Initializes the filter at a measured position with zero velocity and
+    /// large velocity uncertainty.
+    pub fn new(initial: Point, q: f64, r: f64) -> Self {
+        assert!(q > 0.0 && r > 0.0, "noise parameters must be positive");
+        let mut p = [[0.0; 4]; 4];
+        p[0][0] = r;
+        p[1][1] = r;
+        p[2][2] = 100.0 * r;
+        p[3][3] = 100.0 * r;
+        Self {
+            x: [initial.x, initial.y, 0.0, 0.0],
+            p,
+            q,
+            r,
+        }
+    }
+
+    /// Current position estimate.
+    pub fn position(&self) -> Point {
+        Point::new(self.x[0], self.x[1])
+    }
+
+    /// Current velocity estimate.
+    pub fn velocity(&self) -> Point {
+        Point::new(self.x[2], self.x[3])
+    }
+
+    /// Positional uncertainty (trace of the position covariance block).
+    pub fn position_variance(&self) -> f64 {
+        self.p[0][0] + self.p[1][1]
+    }
+
+    /// Prediction step over `dt` frames: `x ← F x`, `P ← F P Fᵀ + Q`.
+    pub fn predict(&mut self, dt: f64) {
+        // F = [[1,0,dt,0],[0,1,0,dt],[0,0,1,0],[0,0,0,1]]
+        self.x[0] += dt * self.x[2];
+        self.x[1] += dt * self.x[3];
+
+        // P ← F P Fᵀ (exploit F's sparsity).
+        let p = self.p;
+        let mut np = p;
+        // Row updates: rows 0,1 pick up dt * rows 2,3.
+        for c in 0..4 {
+            np[0][c] = p[0][c] + dt * p[2][c];
+            np[1][c] = p[1][c] + dt * p[3][c];
+        }
+        // Column updates on the result.
+        let tmp = np;
+        for r in 0..4 {
+            np[r][0] = tmp[r][0] + dt * tmp[r][2];
+            np[r][1] = tmp[r][1] + dt * tmp[r][3];
+        }
+        // Piecewise white-acceleration process noise.
+        let dt2 = dt * dt;
+        let dt3 = dt2 * dt / 2.0;
+        let dt4 = dt2 * dt2 / 4.0;
+        let q = self.q;
+        np[0][0] += dt4 * q;
+        np[1][1] += dt4 * q;
+        np[0][2] += dt3 * q;
+        np[2][0] += dt3 * q;
+        np[1][3] += dt3 * q;
+        np[3][1] += dt3 * q;
+        np[2][2] += dt2 * q;
+        np[3][3] += dt2 * q;
+        self.p = np;
+    }
+
+    /// Measurement update with an observed center position.
+    pub fn update(&mut self, z: Point) {
+        // Innovation.
+        let y = [z.x - self.x[0], z.y - self.x[1]];
+        // S = H P Hᵀ + R  (2×2; H selects positions).
+        let s = [
+            [self.p[0][0] + self.r, self.p[0][1]],
+            [self.p[1][0], self.p[1][1] + self.r],
+        ];
+        let det = s[0][0] * s[1][1] - s[0][1] * s[1][0];
+        assert!(det.abs() > 1e-12, "singular innovation covariance");
+        let s_inv = [
+            [s[1][1] / det, -s[0][1] / det],
+            [-s[1][0] / det, s[0][0] / det],
+        ];
+        // K = P Hᵀ S⁻¹  (4×2).
+        let mut k = [[0.0; 2]; 4];
+        for r in 0..4 {
+            for c in 0..2 {
+                k[r][c] = self.p[r][0] * s_inv[0][c] + self.p[r][1] * s_inv[1][c];
+            }
+        }
+        // x ← x + K y.
+        for r in 0..4 {
+            self.x[r] += k[r][0] * y[0] + k[r][1] * y[1];
+        }
+        // P ← (I − K H) P.
+        let p = self.p;
+        for r in 0..4 {
+            for c in 0..4 {
+                self.p[r][c] = p[r][c] - (k[r][0] * p[0][c] + k[r][1] * p[1][c]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_constant_velocity_target() {
+        let mut kf = Kalman2D::new(Point::new(0.0, 0.0), 0.05, 1.0);
+        // Target moves (2, -1) per frame.
+        for k in 1..=60 {
+            kf.predict(1.0);
+            kf.update(Point::new(2.0 * k as f64, -(k as f64)));
+        }
+        let v = kf.velocity();
+        assert!((v.x - 2.0).abs() < 0.1, "vx = {}", v.x);
+        assert!((v.y + 1.0).abs() < 0.1, "vy = {}", v.y);
+        let p = kf.position();
+        assert!((p.x - 120.0).abs() < 1.0);
+        assert!((p.y + 60.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn prediction_extrapolates() {
+        let mut kf = Kalman2D::new(Point::new(0.0, 0.0), 0.05, 0.5);
+        for k in 1..=30 {
+            kf.predict(1.0);
+            kf.update(Point::new(k as f64, 0.0));
+        }
+        let before = kf.position();
+        kf.predict(5.0);
+        let after = kf.position();
+        assert!((after.x - before.x - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn uncertainty_grows_without_measurements() {
+        let mut kf = Kalman2D::new(Point::new(0.0, 0.0), 0.1, 1.0);
+        kf.update(Point::new(0.0, 0.0));
+        let v0 = kf.position_variance();
+        for _ in 0..10 {
+            kf.predict(1.0);
+        }
+        assert!(kf.position_variance() > v0);
+    }
+
+    #[test]
+    fn update_shrinks_uncertainty() {
+        let mut kf = Kalman2D::new(Point::new(5.0, 5.0), 0.1, 2.0);
+        kf.predict(1.0);
+        let before = kf.position_variance();
+        kf.update(Point::new(5.0, 5.0));
+        assert!(kf.position_variance() < before);
+    }
+
+    #[test]
+    fn stationary_target_stays_put() {
+        let mut kf = Kalman2D::new(Point::new(7.0, 9.0), 0.01, 1.0);
+        for _ in 0..40 {
+            kf.predict(1.0);
+            kf.update(Point::new(7.0, 9.0));
+        }
+        assert!(kf.position().distance(&Point::new(7.0, 9.0)) < 1e-6);
+        assert!(kf.velocity().norm() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_noise() {
+        Kalman2D::new(Point::new(0.0, 0.0), 0.0, 1.0);
+    }
+}

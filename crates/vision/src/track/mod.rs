@@ -1,0 +1,13 @@
+//! Multi-object tracking: Kalman motion models, Hungarian association, and
+//! the SORT-style online tracker used as VERRO's preprocessing stand-in for
+//! Deep SORT.
+
+pub mod hungarian;
+pub mod kalman;
+pub mod metrics;
+pub mod tracker;
+
+pub use hungarian::{assignment_cost, hungarian};
+pub use kalman::Kalman2D;
+pub use metrics::{evaluate_tracking, MotScores};
+pub use tracker::{SortTracker, TrackerConfig};

@@ -1,0 +1,192 @@
+//! Property-based tests for the vision substrate: Hungarian optimality,
+//! interpolation invariants, histogram laws, mask/inpaint completeness and
+//! connected-component consistency.
+
+use proptest::prelude::*;
+use verro_video::color::Rgb;
+use verro_video::geometry::{Point, Size};
+use verro_video::image::ImageBuffer;
+use verro_vision::detect::{connected_components, dilate_mask};
+use verro_vision::histogram::{HsvBins, HsvHistogram, HsvWeights};
+use verro_vision::inpaint::{inpaint, InpaintConfig, InpaintMethod, Mask};
+use verro_vision::interp::{interpolate, InterpMethod};
+use verro_vision::track::hungarian::{assignment_cost, hungarian};
+
+fn brute_force_assignment(cost: &[Vec<f64>]) -> f64 {
+    fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == v.len() {
+            f(v);
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permute(v, k + 1, f);
+            v.swap(k, i);
+        }
+    }
+    let n = cost.len();
+    let mut cols: Vec<usize> = (0..n).collect();
+    let mut best = f64::INFINITY;
+    permute(&mut cols, 0, &mut |perm| {
+        let total: f64 = perm.iter().enumerate().map(|(r, &c)| cost[r][c]).sum();
+        if total < best {
+            best = total;
+        }
+    });
+    best
+}
+
+proptest! {
+    #[test]
+    fn hungarian_is_optimal_on_random_squares(
+        n in 1usize..6,
+        flat in prop::collection::vec(-10.0..10.0f64, 36),
+    ) {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|r| (0..n).map(|c| flat[r * 6 + c]).collect())
+            .collect();
+        let a = hungarian(&cost);
+        let got = assignment_cost(&cost, &a);
+        let want = brute_force_assignment(&cost);
+        prop_assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        // Assignment is a permutation.
+        let mut cols: Vec<usize> = a.iter().map(|c| c.unwrap()).collect();
+        cols.sort();
+        prop_assert_eq!(cols, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interpolation_passes_through_knots(
+        raw in prop::collection::vec((0usize..200, -100.0..100.0f64, -100.0..100.0f64), 1..8),
+    ) {
+        let mut knots: Vec<(usize, Point)> = raw
+            .into_iter()
+            .map(|(k, x, y)| (k, Point::new(x, y)))
+            .collect();
+        knots.sort_by_key(|(k, _)| *k);
+        knots.dedup_by_key(|(k, _)| *k);
+        for method in [
+            InterpMethod::Lagrange { window: 4 },
+            InterpMethod::Linear,
+            InterpMethod::Nearest,
+        ] {
+            let tr = interpolate(&knots, method);
+            // One sample per frame in the knot range, in order.
+            prop_assert_eq!(tr.len(), knots.last().unwrap().0 - knots[0].0 + 1);
+            for w in tr.windows(2) {
+                prop_assert_eq!(w[1].0, w[0].0 + 1);
+            }
+            for &(k, p) in &knots {
+                let got = tr.iter().find(|&&(f, _)| f == k).unwrap().1;
+                prop_assert!(got.distance(&p) < 1e-6, "{method:?} misses knot {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_interpolation_stays_in_convex_hull(
+        raw in prop::collection::vec((0usize..100, -50.0..50.0f64, -50.0..50.0f64), 2..6),
+    ) {
+        let mut knots: Vec<(usize, Point)> = raw
+            .into_iter()
+            .map(|(k, x, y)| (k, Point::new(x, y)))
+            .collect();
+        knots.sort_by_key(|(k, _)| *k);
+        knots.dedup_by_key(|(k, _)| *k);
+        prop_assume!(knots.len() >= 2);
+        let min_x = knots.iter().map(|(_, p)| p.x).fold(f64::MAX, f64::min);
+        let max_x = knots.iter().map(|(_, p)| p.x).fold(f64::MIN, f64::max);
+        for (_, p) in interpolate(&knots, InterpMethod::Linear) {
+            prop_assert!(p.x >= min_x - 1e-9 && p.x <= max_x + 1e-9);
+        }
+    }
+
+    #[test]
+    fn histograms_are_distributions(seed in any::<u64>(), w in 2u32..12, h in 2u32..12) {
+        let img = ImageBuffer::from_fn(Size::new(w, h), |x, y| {
+            let v = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(((x as u64) << 20) | y as u64);
+            Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8)
+        });
+        let hist = HsvHistogram::of(&img, HsvBins::default());
+        for ch in [&hist.hue, &hist.sat, &hist.val] {
+            prop_assert!((ch.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(ch.iter().all(|&v| v >= 0.0));
+        }
+        // Self-similarity is 1 and entropy is non-negative.
+        let w = HsvWeights::default();
+        prop_assert!((hist.similarity(&hist, w) - 1.0).abs() < 1e-9);
+        prop_assert!(hist.entropy(w) >= 0.0);
+    }
+
+    #[test]
+    fn similarity_bounded_by_one(seed in any::<u64>()) {
+        let mk = |s: u64| {
+            ImageBuffer::from_fn(Size::new(8, 8), |x, y| {
+                let v = s.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(((x as u64) << 16) | y as u64);
+                Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8)
+            })
+        };
+        let a = HsvHistogram::of(&mk(seed), HsvBins::default());
+        let b = HsvHistogram::of(&mk(seed.wrapping_add(1)), HsvBins::default());
+        let sim = a.similarity(&b, HsvWeights::default());
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&sim));
+        prop_assert!((a.similarity(&b, HsvWeights::default())
+            - b.similarity(&a, HsvWeights::default())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inpaint_always_completes(
+        bx in 0.0..30.0f64, by in 0.0..20.0f64, bw in 1.0..8.0f64, bh in 1.0..8.0f64,
+        method_exemplar in any::<bool>(),
+    ) {
+        let size = Size::new(40, 30);
+        let mut img = ImageBuffer::from_fn(size, |x, _| {
+            if (x / 4) % 2 == 0 { Rgb::new(200, 180, 160) } else { Rgb::new(60, 80, 100) }
+        });
+        let mask = Mask::from_boxes(40, 30, &[verro_video::geometry::BBox::new(bx, by, bw, bh)]);
+        // Blacken the hole so unfilled pixels are detectable.
+        for y in 0..30u32 {
+            for x in 0..40u32 {
+                if mask.get(x, y) {
+                    img.set(x, y, Rgb::BLACK);
+                }
+            }
+        }
+        let mut cfg = InpaintConfig::default();
+        cfg.method = if method_exemplar { InpaintMethod::Exemplar } else { InpaintMethod::Diffusion };
+        inpaint(&mut img, &mask, &cfg);
+        for y in 0..30u32 {
+            for x in 0..40u32 {
+                if mask.get(x, y) {
+                    prop_assert_ne!(img.get(x, y), Rgb::BLACK, "unfilled pixel at ({}, {})", x, y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connected_components_partition_the_mask(
+        bits in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let (w, h) = (8u32, 8u32);
+        let comps = connected_components(&bits, w, h);
+        let total: usize = comps.iter().map(|c| c.area).sum();
+        prop_assert_eq!(total, bits.iter().filter(|&&b| b).count());
+        for c in &comps {
+            prop_assert!(c.area >= 1);
+            prop_assert!(c.bbox.area() >= c.area as f64 - 1e-9 || c.area == 1);
+        }
+    }
+
+    #[test]
+    fn dilation_is_monotone(bits in prop::collection::vec(any::<bool>(), 64)) {
+        let (w, h) = (8u32, 8u32);
+        let d1 = dilate_mask(&bits, w, h, 1);
+        // Dilation only adds pixels.
+        for i in 0..bits.len() {
+            prop_assert!(!bits[i] || d1[i]);
+        }
+        let ones = |m: &[bool]| m.iter().filter(|&&b| b).count();
+        prop_assert!(ones(&d1) >= ones(&bits));
+    }
+}

@@ -1,0 +1,83 @@
+//! Mixed object types: pedestrians AND vehicles in one video.
+//!
+//! Section 5 of the paper ("Multiple Object Types"): VERRO sanitizes each
+//! sensitive type independently — all pedestrians are ε-indistinguishable
+//! among pedestrians, all vehicles among vehicles — and both synthetic
+//! populations are published in one video.
+//!
+//! ```sh
+//! cargo run --release --example mixed_types
+//! ```
+
+use verro_core::config::BackgroundMode;
+use verro_core::{Verro, VerroConfig};
+use verro_video::generator::{CompositeVideo, GeneratedVideo, VideoSpec};
+use verro_video::source::FrameSource;
+use verro_video::{Camera, ObjectClass, SceneKind, Size};
+
+fn spec(class: ObjectClass, objects: usize, seed: u64) -> VideoSpec {
+    VideoSpec {
+        name: format!("crossing-{class}"),
+        nominal_size: Size::new(320, 240),
+        raster_scale: 1.0,
+        num_frames: 100,
+        num_objects: objects,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class,
+        fps: 30.0,
+        seed,
+        min_lifetime: 25,
+        max_lifetime: 80,
+        lifetime_mix: None,
+        lighting_drift: 0.1,
+        lighting_period: 22.0,
+    }
+}
+
+fn main() {
+    // A street crossing: 9 pedestrians and 5 vehicles share the scene.
+    let pedestrians = GeneratedVideo::generate(spec(ObjectClass::Pedestrian, 9, 31));
+    let vehicles = GeneratedVideo::generate(spec(ObjectClass::Vehicle, 5, 32));
+    let video = CompositeVideo::new(pedestrians, vehicles);
+    println!(
+        "input: {} frames, {} sensitive objects ({} classes)",
+        video.num_frames(),
+        video.annotations().num_objects(),
+        2
+    );
+
+    let mut config = VerroConfig::default().with_flip(0.15).with_seed(8);
+    config.background = BackgroundMode::TemporalMedian;
+    config.keyframe.stride = 2;
+    let verro = Verro::new(config).expect("valid config");
+
+    let result = verro
+        .sanitize_per_class(&video, video.annotations())
+        .expect("sanitization succeeds");
+
+    for cr in &result.per_class {
+        println!(
+            "{:<11}: {} -> {} synthetic, epsilon_RR = {:.2} over {} picked frames \
+             (consistent: {}), deviation {:.3}",
+            cr.class.to_string(),
+            cr.utility.original_objects,
+            cr.utility.retained_objects,
+            cr.privacy.epsilon_rr,
+            cr.privacy.picked_frames,
+            cr.privacy.is_consistent(),
+            cr.utility.trajectory_deviation,
+        );
+    }
+    println!(
+        "merged video: {} synthetic objects over {} background scene(s)",
+        result.video.annotations.num_objects(),
+        result.video.info().num_backgrounds
+    );
+
+    std::fs::create_dir_all("results").ok();
+    let k = 50;
+    std::fs::write("results/mixed_input.ppm", video.frame(k).to_ppm()).unwrap();
+    std::fs::write("results/mixed_sanitized.ppm", result.video.frame(k).to_ppm()).unwrap();
+    println!("wrote results/mixed_{{input,sanitized}}.ppm (frame {k})");
+}

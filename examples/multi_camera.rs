@@ -1,0 +1,83 @@
+//! Multi-camera noise cancellation (Section 5, "Noise Cancellation").
+//!
+//! "If multiple cameras capture more videos for joint analysis, the noise
+//! can be further cancelled in the applications." Here several cameras (or
+//! several independent sanitizations of the same scene) publish synthetic
+//! videos; the analyst averages per-frame counts across releases and the
+//! randomized-response noise shrinks with the number of releases.
+//!
+//! ```sh
+//! cargo run --release --example multi_camera
+//! ```
+
+use verro_core::config::BackgroundMode;
+use verro_core::{Verro, VerroConfig};
+use verro_video::generator::{GeneratedVideo, VideoSpec};
+use verro_video::{Camera, ObjectClass, SceneKind, Size};
+
+fn main() {
+    let video = GeneratedVideo::generate(VideoSpec {
+        name: "junction".into(),
+        nominal_size: Size::new(240, 180),
+        raster_scale: 1.0,
+        num_frames: 80,
+        num_objects: 14,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed: 71,
+        min_lifetime: 20,
+        max_lifetime: 60,
+        lifetime_mix: None,
+        lighting_drift: 0.1,
+        lighting_period: 16.0,
+    });
+    let truth: Vec<f64> = video
+        .annotations()
+        .per_frame_counts()
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
+
+    // Each camera sanitizes independently at a strong noise level.
+    let f = 0.6;
+    let releases: Vec<Vec<f64>> = (0..8u64)
+        .map(|cam| {
+            let mut cfg = VerroConfig::default().with_flip(f).with_seed(1000 + cam);
+            cfg.background = BackgroundMode::TemporalMedian;
+            cfg.keyframe.stride = 2;
+            let result = Verro::new(cfg)
+                .expect("valid config")
+                .sanitize(&video, video.annotations())
+                .expect("sanitize");
+            result
+                .phase2
+                .synthetic
+                .per_frame_counts()
+                .iter()
+                .map(|&c| c as f64)
+                .collect()
+        })
+        .collect();
+
+    println!("joint analysis at f = {f} (per-frame count MAE vs ground truth):");
+    println!("cameras | MAE");
+    println!("--------|------");
+    for n in [1usize, 2, 4, 8] {
+        // Average counts over the first n releases.
+        let mae: f64 = (0..truth.len())
+            .map(|k| {
+                let mean: f64 =
+                    releases[..n].iter().map(|r| r[k]).sum::<f64>() / n as f64;
+                (mean - truth[k]).abs()
+            })
+            .sum::<f64>()
+            / truth.len() as f64;
+        println!("{n:>7} | {mae:.2}");
+    }
+    println!(
+        "\nAveraging independent releases cancels the randomized-response \
+         noise, exactly as Section 5 predicts."
+    );
+}

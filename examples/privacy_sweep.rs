@@ -1,0 +1,74 @@
+//! Privacy–utility frontier: sweep the flip probability `f` (and the
+//! implied ε) and chart retention, trajectory deviation, and count error.
+//!
+//! This is a miniature of the paper's Figure 5 experiment; the bench
+//! harness (`cargo run -p verro-bench --bin report --release`) regenerates
+//! the full figures on the MOT-scale presets.
+//!
+//! ```sh
+//! cargo run --release --example privacy_sweep
+//! ```
+
+use verro_core::config::BackgroundMode;
+use verro_core::{Verro, VerroConfig};
+use verro_video::generator::{GeneratedVideo, VideoSpec};
+use verro_video::{Camera, ObjectClass, SceneKind, Size};
+
+fn main() {
+    let video = GeneratedVideo::generate(VideoSpec {
+        name: "sweep".into(),
+        nominal_size: Size::new(240, 180),
+        raster_scale: 1.0,
+        num_frames: 90,
+        num_objects: 12,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed: 99,
+        min_lifetime: 25,
+        max_lifetime: 70,
+        lifetime_mix: None,
+        lighting_drift: 0.12,
+        lighting_period: 18.0,
+    });
+
+    println!("    f |  eps_RR | picked | retained | deviation | count MAE");
+    println!("------|---------|--------|----------|-----------|----------");
+    for &f in &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
+        // Average the stochastic metrics over a few seeds.
+        let trials = 5;
+        let mut eps = 0.0;
+        let mut picked = 0usize;
+        let mut retained = 0.0;
+        let mut deviation = 0.0;
+        let mut mae = 0.0;
+        for seed in 0..trials {
+            let mut config = VerroConfig::default().with_flip(f).with_seed(seed);
+            config.background = BackgroundMode::TemporalMedian;
+            config.keyframe.stride = 2;
+            let result = Verro::new(config)
+                .expect("valid config")
+                .sanitize(&video, video.annotations())
+                .expect("sanitization succeeds");
+            eps += result.privacy.epsilon_rr;
+            picked += result.privacy.picked_frames;
+            retained += result.utility.retained_objects as f64;
+            deviation += result.utility.trajectory_deviation;
+            mae += result.utility.count_mae;
+        }
+        let t = trials as f64;
+        println!(
+            "{f:>5.1} | {:>7.2} | {:>6.1} | {:>8.1} | {:>9.3} | {:>8.2}",
+            eps / t,
+            picked as f64 / t,
+            retained / t,
+            deviation / t,
+            mae / t
+        );
+    }
+    println!(
+        "\n(n = {} objects; smaller f = more utility but larger epsilon)",
+        video.annotations().num_objects()
+    );
+}

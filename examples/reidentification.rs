@@ -1,0 +1,94 @@
+//! Re-identification attack: detect-and-blur vs VERRO.
+//!
+//! The paper's core motivation (Sections 1–2): blurring hides pixels but
+//! publishes true trajectories, so an adversary with background knowledge
+//! re-identifies everyone. This example runs a concrete linkage attack —
+//! the adversary knows each target's true trajectory and links it to the
+//! most similar published track — against both sanitizers across the flip
+//! probability sweep.
+//!
+//! ```sh
+//! cargo run --release --example reidentification
+//! ```
+
+use std::collections::BTreeMap;
+use verro_core::adversary::linkage_attack;
+use verro_core::config::BackgroundMode;
+use verro_core::{Verro, VerroConfig};
+use verro_video::generator::{GeneratedVideo, VideoSpec};
+use verro_video::object::ObjectId;
+use verro_video::{Camera, ObjectClass, SceneKind, Size};
+
+fn main() {
+    let video = GeneratedVideo::generate(VideoSpec {
+        name: "plaza-cam".into(),
+        nominal_size: Size::new(240, 180),
+        raster_scale: 1.0,
+        num_frames: 90,
+        num_objects: 12,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed: 17,
+        min_lifetime: 25,
+        max_lifetime: 70,
+        lifetime_mix: None,
+        lighting_drift: 0.1,
+        lighting_period: 18.0,
+    });
+    let original = video.annotations();
+    let miss_penalty = 300.0; // ~frame diagonal
+
+    // Baseline: detect-and-blur publishes the true trajectories.
+    let blur_map: BTreeMap<ObjectId, ObjectId> =
+        original.ids().into_iter().map(|id| (id, id)).collect();
+    let blur = linkage_attack(original, original, &blur_map, miss_penalty);
+    println!(
+        "detect-and-blur: {}/{} re-identified ({:.0}%)  [guessing floor {:.0}%]\n",
+        blur.correct,
+        blur.targets,
+        100.0 * blur.success_rate(),
+        100.0 * blur.guessing_floor()
+    );
+
+    println!("VERRO:  f | eps_RR | re-identified | floor");
+    println!("--------|--------|---------------|------");
+    for &f in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+        let trials = 6;
+        let mut correct = 0;
+        let mut targets = 0;
+        let mut pool = 0;
+        let mut eps = 0.0;
+        for seed in 0..trials {
+            let mut cfg = VerroConfig::default().with_flip(f).with_seed(seed);
+            cfg.background = BackgroundMode::TemporalMedian;
+            cfg.keyframe.stride = 2;
+            let result = Verro::new(cfg)
+                .expect("valid config")
+                .sanitize(&video, original)
+                .expect("sanitize");
+            let r = linkage_attack(
+                original,
+                &result.phase2.synthetic,
+                &result.phase2.mapping,
+                miss_penalty,
+            );
+            correct += r.correct;
+            targets += r.targets;
+            pool += r.published_tracks;
+            eps += result.privacy.epsilon_rr;
+        }
+        let t = trials as f64;
+        println!(
+            "  {f:>5.1} | {:>6.1} | {:>11.0}% | {:>4.0}%",
+            eps / t,
+            100.0 * correct as f64 / targets.max(1) as f64,
+            100.0 * t / (pool as f64 / t).max(1.0) / t
+        );
+    }
+    println!(
+        "\nThe adversary holds the strongest possible background knowledge \
+         (the full true trajectory); VERRO still breaks the linkage."
+    );
+}

@@ -1,0 +1,233 @@
+//! End-to-end integration tests across all crates: generator → vision
+//! preprocessing → Phase I → Phase II → synthesis → codec.
+
+use verro_core::config::{BackgroundMode, OptimizerStrategy};
+use verro_core::{Verro, VerroConfig};
+use verro_ldp::estimate::debias_count_series;
+use verro_video::codec::{decode_video, encode_video};
+use verro_video::generator::{GeneratedVideo, VideoSpec};
+use verro_video::image::ImageBuffer;
+use verro_video::source::{FrameSource, InMemoryVideo};
+use verro_video::{Camera, ObjectClass, SceneKind, Size};
+
+fn street_video(seed: u64) -> GeneratedVideo {
+    GeneratedVideo::generate(VideoSpec {
+        name: "integration".into(),
+        nominal_size: Size::new(240, 180),
+        raster_scale: 1.0,
+        num_frames: 100,
+        num_objects: 12,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed,
+        min_lifetime: 25,
+        max_lifetime: 80,
+        lifetime_mix: None,
+        lighting_drift: 0.12,
+        lighting_period: 20.0,
+    })
+}
+
+fn fast_config(f: f64, seed: u64) -> VerroConfig {
+    let mut cfg = VerroConfig::default().with_flip(f).with_seed(seed);
+    cfg.background = BackgroundMode::TemporalMedian;
+    cfg.keyframe.stride = 2;
+    cfg.optimizer_noise_epsilon = None;
+    cfg
+}
+
+#[test]
+fn full_pipeline_preserves_structure_at_low_f() {
+    let video = street_video(1);
+    let result = Verro::new(fast_config(0.1, 2))
+        .unwrap()
+        .sanitize(&video, video.annotations())
+        .unwrap();
+
+    // Most objects that reached the picked key frames survive at f = 0.1.
+    assert!(
+        result.utility.retention() > 0.4,
+        "retention {:.2} too low",
+        result.utility.retention()
+    );
+    // Deviation after Phase II interpolation is far below the
+    // pre-interpolation level (paper: > 0.9 before, ≈ 0.02–0.2 after).
+    let before = verro_core::metrics::trajectory_deviation(
+        video.annotations(),
+        &result.phase2.knots,
+        &result.phase2.mapping,
+    );
+    let after = result.utility.trajectory_deviation;
+    assert!(before > 0.6, "pre-interpolation deviation {before:.2}");
+    assert!(after < before, "interpolation must reduce deviation");
+}
+
+#[test]
+fn moving_camera_video_sanitizes() {
+    let video = GeneratedVideo::generate(VideoSpec {
+        name: "moving".into(),
+        nominal_size: Size::new(200, 150),
+        raster_scale: 1.0,
+        num_frames: 80,
+        num_objects: 10,
+        scene: SceneKind::MovingStreet,
+        camera: Camera::Pan { speed: 1.0 },
+        class: ObjectClass::Pedestrian,
+        fps: 14.0,
+        seed: 4,
+        min_lifetime: 15,
+        max_lifetime: 50,
+        lifetime_mix: None,
+        lighting_drift: 0.08,
+        lighting_period: 16.0,
+    });
+    let result = Verro::new(fast_config(0.2, 5))
+        .unwrap()
+        .sanitize(&video, video.annotations())
+        .unwrap();
+    assert!(result.privacy.is_consistent());
+    // Moving camera ⇒ multiple background scenes.
+    assert!(
+        result.video.info().num_backgrounds > 1,
+        "moving camera should produce several segments"
+    );
+}
+
+#[test]
+fn synthetic_video_round_trips_through_codec() {
+    let video = street_video(7);
+    let result = Verro::new(fast_config(0.3, 8))
+        .unwrap()
+        .sanitize(&video, video.annotations())
+        .unwrap();
+
+    // Encode a short clip of V* and decode it losslessly.
+    let clip = InMemoryVideo::new(
+        (0..12).map(|k| result.video.frame(k)).collect(),
+        result.video.fps(),
+    );
+    let encoded = encode_video(&clip);
+    let decoded = decode_video(&encoded).unwrap();
+    for (k, frame) in decoded.iter().enumerate() {
+        assert_eq!(*frame, clip.frame(k), "frame {k} corrupted");
+    }
+    // The synthetic video compresses (static reconstructed backgrounds).
+    assert!(encoded.byte_len() < clip.raw_byte_len());
+}
+
+#[test]
+fn ppm_artifacts_render() {
+    let video = street_video(9);
+    let result = Verro::new(fast_config(0.1, 10))
+        .unwrap()
+        .sanitize(&video, video.annotations())
+        .unwrap();
+    let frame = result.video.frame(50);
+    let ppm = frame.to_ppm();
+    let parsed = ImageBuffer::from_ppm(&ppm).unwrap();
+    assert_eq!(parsed, frame);
+}
+
+#[test]
+fn recipient_count_analytics_track_truth() {
+    // Aggregated per-frame counts on V* stay close to the original at low f
+    // (Figure 13's claim).
+    let video = street_video(11);
+    let result = Verro::new(fast_config(0.1, 12))
+        .unwrap()
+        .sanitize(&video, video.annotations())
+        .unwrap();
+    let mean_true: f64 = video
+        .annotations()
+        .per_frame_counts()
+        .iter()
+        .sum::<usize>() as f64
+        / 100.0;
+    assert!(
+        result.utility.count_mae < mean_true.max(1.0) * 1.5,
+        "count MAE {:.2} vs mean count {mean_true:.2}",
+        result.utility.count_mae
+    );
+}
+
+#[test]
+fn optimizer_strategies_agree_without_noise() {
+    let video = street_video(13);
+    let run = |strategy| {
+        let mut cfg = fast_config(0.2, 14).with_optimizer(strategy);
+        cfg.optimizer_noise_epsilon = None;
+        Verro::new(cfg)
+            .unwrap()
+            .sanitize(&video, video.annotations())
+            .unwrap()
+    };
+    let lp = run(OptimizerStrategy::LpRounding);
+    let exact = run(OptimizerStrategy::Exact);
+    assert!(
+        (lp.phase1.pick.objective - exact.phase1.pick.objective).abs() < 1e-6,
+        "LP {} vs exact {}",
+        lp.phase1.pick.objective,
+        exact.phase1.pick.objective
+    );
+}
+
+#[test]
+fn debiasing_recovers_presence_density() {
+    // Owner-side check of the "noise cancellation" property: debiased column
+    // counts of the randomized matrix approximate the true counts.
+    let video = street_video(15);
+    let mut cfg = fast_config(0.5, 16);
+    cfg.optimizer = OptimizerStrategy::AllKeyFrames;
+    let result = Verro::new(cfg)
+        .unwrap()
+        .sanitize(&video, video.annotations())
+        .unwrap();
+    let p1 = &result.phase1;
+    let n = p1.original.num_objects();
+    let cols = p1.original.num_frames();
+    let truth: Vec<usize> = (0..cols).map(|j| p1.original.column_count(j)).collect();
+
+    // Average the debiased estimate over many independent randomizations of
+    // the *same* presence matrix: the estimator is unbiased, so the mean
+    // must converge to the truth while the raw observed counts stay biased.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let trials = 300;
+    let mut est_sum = vec![0.0f64; cols];
+    let mut obs_sum = vec![0.0f64; cols];
+    for _ in 0..trials {
+        let randomized: Vec<verro_ldp::bitvec::BitVec> = p1
+            .original
+            .rows()
+            .iter()
+            .map(|row| verro_ldp::rr::randomize_flip(row, 0.5, &mut rng))
+            .collect();
+        let observed: Vec<usize> = (0..cols)
+            .map(|j| randomized.iter().filter(|r| r.get(j)).count())
+            .collect();
+        let est = debias_count_series(&observed, n, 0.5);
+        for j in 0..cols {
+            est_sum[j] += est[j];
+            obs_sum[j] += observed[j] as f64;
+        }
+    }
+    let mae = |sums: &[f64]| -> f64 {
+        sums.iter()
+            .zip(&truth)
+            .map(|(s, t)| (s / trials as f64 - *t as f64).abs())
+            .sum::<f64>()
+            / cols as f64
+    };
+    let debiased_mae = mae(&est_sum);
+    let naive_mae = mae(&obs_sum);
+    assert!(
+        debiased_mae < 0.5,
+        "mean debiased estimate off by {debiased_mae:.2}"
+    );
+    assert!(
+        debiased_mae < naive_mae,
+        "debiased {debiased_mae:.2} should beat naive {naive_mae:.2}"
+    );
+}

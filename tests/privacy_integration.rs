@@ -1,0 +1,289 @@
+//! Privacy-property integration tests: the ε-Object Indistinguishability
+//! guarantee checked end-to-end, exact probability bookkeeping, and the
+//! special cases discussed in Section 5 of the paper.
+
+use std::collections::BTreeMap;
+use verro_core::config::{BackgroundMode, OptimizerStrategy};
+use verro_core::{Verro, VerroConfig};
+use verro_ldp::bitvec::BitVec;
+use verro_ldp::budget::epsilon_of_flip;
+use verro_ldp::rr::output_probability_flip;
+use verro_video::annotations::VideoAnnotations;
+use verro_video::generator::{GeneratedVideo, VideoSpec};
+use verro_video::geometry::BBox;
+use verro_video::object::{ObjectClass, ObjectId};
+use verro_video::{Camera, SceneKind, Size};
+
+fn fast_config(f: f64, seed: u64) -> VerroConfig {
+    let mut cfg = VerroConfig::default().with_flip(f).with_seed(seed);
+    cfg.background = BackgroundMode::TemporalMedian;
+    cfg.keyframe.stride = 2;
+    cfg
+}
+
+fn small_video(num_objects: usize, seed: u64) -> GeneratedVideo {
+    GeneratedVideo::generate(VideoSpec {
+        name: "privacy".into(),
+        nominal_size: Size::new(200, 150),
+        raster_scale: 1.0,
+        num_frames: 60,
+        num_objects,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed,
+        min_lifetime: 20,
+        max_lifetime: 50,
+        lifetime_mix: None,
+        lighting_drift: 0.1,
+        lighting_period: 15.0,
+    })
+}
+
+/// All bit vectors of the given length.
+fn all_vectors(len: usize) -> Vec<BitVec> {
+    (0..(1usize << len))
+        .map(|mask| BitVec::from_bools(&(0..len).map(|i| (mask >> i) & 1 == 1).collect::<Vec<_>>()))
+        .collect()
+}
+
+#[test]
+fn theorem_3_3_bound_holds_exactly_for_pipeline_parameters() {
+    // Run the pipeline, read off (ℓ*, f), and verify the probability-ratio
+    // bound e^ε on exhaustive small vectors with exactly those parameters.
+    let video = small_video(6, 1);
+    let result = Verro::new(fast_config(0.4, 2))
+        .unwrap()
+        .sanitize(&video, video.annotations())
+        .unwrap();
+    let f = result.privacy.flip;
+    let ell = result.privacy.picked_frames.min(5); // cap for exhaustiveness
+    let eps = epsilon_of_flip(ell, f);
+
+    let vectors = all_vectors(ell);
+    for bi in &vectors {
+        for bj in &vectors {
+            for y in &vectors {
+                let pi = output_probability_flip(bi, y, f);
+                let pj = output_probability_flip(bj, y, f);
+                assert!(
+                    pi <= eps.exp() * pj * (1.0 + 1e-9),
+                    "ratio violated for {bi} vs {bj} -> {y}"
+                );
+            }
+        }
+    }
+    // And the pipeline's reported epsilon uses the same formula over ℓ*.
+    assert!(result.privacy.is_consistent());
+}
+
+#[test]
+fn epsilon_decreases_with_larger_f() {
+    let video = small_video(6, 3);
+    let eps_at = |f: f64| {
+        Verro::new(fast_config(f, 4))
+            .unwrap()
+            .sanitize(&video, video.annotations())
+            .unwrap()
+            .privacy
+            .epsilon_rr
+    };
+    let e1 = eps_at(0.1);
+    let e5 = eps_at(0.5);
+    let e9 = eps_at(0.9);
+    assert!(e1 > e5 && e5 > e9, "{e1} > {e5} > {e9} expected");
+}
+
+#[test]
+fn one_object_video_is_protected() {
+    // Section 5: even a single-object video yields a synthetic video whose
+    // object cannot be traced back — presence is randomized and coordinates
+    // come from the candidate pool.
+    let video = small_video(1, 5);
+    assert_eq!(video.annotations().num_objects(), 1);
+    let result = Verro::new(fast_config(0.5, 6))
+        .unwrap()
+        .sanitize(&video, video.annotations())
+        .unwrap();
+    assert!(result.privacy.is_consistent());
+    // Either the object is lost (possible under RR) or its synthetic
+    // trajectory exists; both outcomes are valid randomized outputs.
+    let retained = result.phase2.synthetic.num_objects();
+    assert!(retained <= 1);
+}
+
+#[test]
+fn any_object_can_generate_any_output_slot() {
+    // The heart of indistinguishability (Theorem 4.1): over many runs, each
+    // original object's replacement lands on each candidate slot with
+    // positive frequency. We count which original object was mapped to the
+    // synthetic object appearing *first* in the output and require every
+    // object to win sometimes.
+    let video = small_video(4, 7);
+    let n = video.annotations().num_objects();
+    let mut first_winner = vec![0usize; n];
+    for seed in 0..60 {
+        let result = Verro::new(fast_config(0.7, 100 + seed))
+            .unwrap()
+            .sanitize(&video, video.annotations())
+            .unwrap();
+        // Find the synthetic object with the smallest first frame and map it
+        // back to its original.
+        let inv: BTreeMap<ObjectId, ObjectId> = result
+            .phase2
+            .mapping
+            .iter()
+            .map(|(o, s)| (*s, *o))
+            .collect();
+        if let Some(track) = result
+            .phase2
+            .synthetic
+            .tracks()
+            .min_by_key(|t| t.first_frame().unwrap_or(usize::MAX))
+        {
+            if let Some(orig) = inv.get(&track.id) {
+                first_winner[orig.0 as usize] += 1;
+            }
+        }
+    }
+    let winners = first_winner.iter().filter(|&&c| c > 0).count();
+    assert!(
+        winners >= 3,
+        "expected most objects to win the first slot sometimes: {first_winner:?}"
+    );
+}
+
+#[test]
+fn naive_baseline_spends_budget_but_destroys_utility() {
+    // Algorithm 1 on a 60-frame video with ε = 3: keep probability per bit
+    // is ≈ 0.5, so the randomized matrix is ≈ uniform — the Section 3.1
+    // phenomenon, contrasted with Phase I's optimized approach.
+    use verro_core::naive::randomize_naive;
+    use verro_core::presence::PresenceMatrix;
+    use rand::SeedableRng;
+
+    let video = small_video(8, 9);
+    let matrix = PresenceMatrix::from_annotations(video.annotations());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let naive = randomize_naive(&matrix, 3.0, &mut rng);
+    // ε/m = 0.05 per bit → keep probability e^0.05/(1+e^0.05) ≈ 0.512.
+    assert!((naive.keep_probability - 0.5).abs() < 0.02);
+    let density: f64 = naive
+        .randomized
+        .rows()
+        .iter()
+        .map(|r| r.count_ones() as f64 / r.len() as f64)
+        .sum::<f64>()
+        / naive.randomized.num_objects() as f64;
+    assert!((density - 0.5).abs() < 0.1, "density {density}");
+
+    // VERRO at the same total ε keeps far more structure: its randomized
+    // matrix over the picked frames has low flip noise.
+    let mut cfg = fast_config(0.5, 11).with_epsilon(3.0);
+    cfg.optimizer = OptimizerStrategy::Exact;
+    cfg.min_picked = 2;
+    let result = Verro::new(cfg)
+        .unwrap()
+        .sanitize(&video, video.annotations())
+        .unwrap();
+    // Per-bit corruption: VERRO flips each picked-frame bit with
+    // probability f/2, the naive baseline flips each of the m bits with
+    // probability 1 − keep ≈ 0.49. Equal total ε, far less corruption.
+    assert!(
+        result.privacy.flip / 2.0 < 1.0 - naive.keep_probability,
+        "VERRO per-bit corruption {:.3} should beat naive {:.3}",
+        result.privacy.flip / 2.0,
+        1.0 - naive.keep_probability
+    );
+}
+
+#[test]
+fn phase2_is_pure_postprocessing() {
+    // Re-running Phase II with different seeds on the same Phase I output
+    // never changes the reported ε (Theorem 4.1).
+    let video = small_video(5, 12);
+    let eps: Vec<f64> = (0..4)
+        .map(|seed| {
+            let mut cfg = fast_config(0.3, 50 + seed);
+            // Deterministic optimizer: ℓ* (and hence ε) must not depend on
+            // the seed that only drives Phase II randomness.
+            cfg.optimizer_noise_epsilon = None;
+            Verro::new(cfg)
+                .unwrap()
+                .sanitize(&video, video.annotations())
+                .unwrap()
+                .privacy
+                .epsilon_rr
+        })
+        .collect();
+    // ε depends only on (ℓ*, f); with the same key-frame structure the
+    // values agree across seeds.
+    for e in &eps {
+        assert!((e - eps[0]).abs() < 1e-9, "epsilon varied: {eps:?}");
+    }
+}
+
+#[test]
+fn empty_and_degenerate_annotations() {
+    let video = small_video(3, 13);
+    // Annotations with one object in a single frame.
+    let mut ann = VideoAnnotations::new(60);
+    ann.record(
+        ObjectId(0),
+        ObjectClass::Pedestrian,
+        30,
+        BBox::new(50.0, 50.0, 6.0, 12.0),
+    );
+    let result = Verro::new(fast_config(0.2, 14))
+        .unwrap()
+        .sanitize(&video, &ann)
+        .unwrap();
+    assert!(result.privacy.is_consistent());
+}
+
+#[test]
+fn verro_defeats_linkage_attack_blur_does_not() {
+    // The motivating comparison (Sections 1-2): an adversary who knows a
+    // target's true trajectory re-identifies every detect-and-blur object,
+    // but is near the guessing floor against VERRO's randomized output.
+    use verro_core::adversary::linkage_attack;
+
+    let video = small_video(8, 20);
+    let original = video.annotations();
+    let frame_diag = (200.0f64 * 200.0 + 150.0 * 150.0).sqrt();
+
+    // Detect-and-blur publishes the true trajectories (identity map).
+    let blur_map: BTreeMap<ObjectId, ObjectId> =
+        original.ids().into_iter().map(|id| (id, id)).collect();
+    let blur_report = linkage_attack(original, original, &blur_map, frame_diag);
+    assert_eq!(
+        blur_report.success_rate(),
+        1.0,
+        "blur baseline must be fully re-identifiable"
+    );
+
+    // VERRO at a strong noise level, averaged over several seeds.
+    let mut verro_correct = 0usize;
+    let mut verro_targets = 0usize;
+    for seed in 0..6 {
+        let result = Verro::new(fast_config(0.5, 300 + seed))
+            .unwrap()
+            .sanitize(&video, original)
+            .unwrap();
+        let report = linkage_attack(
+            original,
+            &result.phase2.synthetic,
+            &result.phase2.mapping,
+            frame_diag,
+        );
+        verro_correct += report.correct;
+        verro_targets += report.targets;
+    }
+    let verro_rate = verro_correct as f64 / verro_targets.max(1) as f64;
+    assert!(
+        verro_rate < 0.6,
+        "VERRO re-identification {verro_rate:.2} should be far below the blur baseline's 1.0"
+    );
+}
+

@@ -1,0 +1,179 @@
+//! Substrate integration tests: detection + tracking quality against the
+//! generator's ground truth, key-frame segmentation on realistic footage,
+//! and background reconstruction fidelity.
+
+use verro_video::generator::{GeneratedVideo, VideoSpec};
+use verro_video::source::FrameSource;
+use verro_video::{Camera, ObjectClass, SceneKind, Size};
+use verro_vision::bgmodel::{median_background, BackgroundConfig};
+use verro_vision::detect::{detect, DetectorConfig};
+use verro_vision::inpaint::InpaintConfig;
+use verro_vision::keyframe::{extract_key_frames, KeyFrameConfig};
+use verro_vision::track::{SortTracker, TrackerConfig};
+
+fn video(seed: u64, objects: usize, frames: usize) -> GeneratedVideo {
+    GeneratedVideo::generate(VideoSpec {
+        name: "substrate".into(),
+        nominal_size: Size::new(240, 180),
+        raster_scale: 1.0,
+        num_frames: frames,
+        num_objects: objects,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed,
+        min_lifetime: frames / 3,
+        max_lifetime: frames * 3 / 4,
+        lifetime_mix: None,
+        lighting_drift: 0.10,
+        lighting_period: 20.0,
+    })
+}
+
+#[test]
+fn detector_finds_most_ground_truth_objects() {
+    let v = video(1, 6, 60);
+    let bg = median_background(&v, 0, 59, &BackgroundConfig::default());
+    let cfg = DetectorConfig {
+        threshold: 60,
+        min_area: 15,
+        dilate: 1,
+        normalize_gain: true,
+    };
+    // Across frames with ground-truth objects, recall of detections (IoU
+    // matched) should be reasonable.
+    let mut matched = 0usize;
+    let mut total = 0usize;
+    for k in (0..60).step_by(5) {
+        let frame = v.frame(k);
+        let dets = detect(&frame, &bg, &cfg);
+        for (_, gt_box) in v.annotations().in_frame(k) {
+            total += 1;
+            if dets.iter().any(|d| d.bbox.iou(&gt_box) > 0.2) {
+                matched += 1;
+            }
+        }
+    }
+    assert!(total > 0, "ground truth should populate sampled frames");
+    let recall = matched as f64 / total as f64;
+    assert!(recall > 0.6, "detector recall {recall:.2} too low");
+}
+
+#[test]
+fn tracker_recovers_object_count_within_factor() {
+    let v = video(2, 6, 80);
+    let bg = median_background(&v, 0, 79, &BackgroundConfig::default());
+    let det_cfg = DetectorConfig {
+        threshold: 60,
+        min_area: 15,
+        dilate: 1,
+        normalize_gain: true,
+    };
+    let mut tracker = SortTracker::new(TrackerConfig::default(), ObjectClass::Pedestrian);
+    for k in 0..80 {
+        let dets: Vec<_> = detect(&v.frame(k), &bg, &det_cfg)
+            .into_iter()
+            .map(|d| d.bbox)
+            .collect();
+        tracker.step(k, &dets);
+    }
+    let tracked = tracker.finish(80);
+    let truth = v.annotations().num_objects();
+    assert!(
+        tracked.num_objects() >= truth / 3 && tracked.num_objects() <= truth * 3,
+        "tracked {} vs truth {truth}",
+        tracked.num_objects()
+    );
+    // CLEAR-MOT evaluation: the tracker must reach a usable accuracy on
+    // clean synthetic footage.
+    let scores = verro_vision::track::evaluate_tracking(v.annotations(), &tracked, 0.3);
+    assert!(
+        scores.recall() > 0.5,
+        "recall {:.2} too low (misses {}, matches {})",
+        scores.recall(),
+        scores.misses,
+        scores.matches
+    );
+    assert!(scores.motp > 0.4, "MOTP {:.2} too low", scores.motp);
+}
+
+#[test]
+fn keyframes_reduce_dimension_but_keep_objects() {
+    // Table 2's shape: ℓ ≪ m while ~80% of objects survive the reduction.
+    let v = video(3, 10, 120);
+    let mut cfg = KeyFrameConfig::default();
+    cfg.tau = 0.97;
+    let kf = extract_key_frames(&v, &cfg);
+    let ell = kf.num_key_frames();
+    assert!(ell >= 2, "need at least two key frames, got {ell}");
+    assert!(ell < 120 / 2, "ℓ = {ell} not much smaller than m = 120");
+    let remaining = v
+        .annotations()
+        .distinct_objects_in_frames(&kf.key_frames())
+        .len();
+    let total = v.annotations().num_objects();
+    assert!(
+        remaining as f64 >= 0.5 * total as f64,
+        "only {remaining}/{total} objects survive key frames"
+    );
+}
+
+#[test]
+fn segmentation_covers_video_in_order() {
+    let v = video(4, 5, 60);
+    let kf = extract_key_frames(&v, &KeyFrameConfig::default());
+    // Segments partition the (sampled) frames in order.
+    let mut prev_end = None;
+    for seg in &kf.segments {
+        if let Some(pe) = prev_end {
+            assert!(seg.start() > pe);
+        }
+        assert!(seg.key_frame >= seg.start() && seg.key_frame <= seg.end());
+        prev_end = Some(seg.end());
+    }
+    assert_eq!(kf.segments[0].start(), 0);
+}
+
+#[test]
+fn background_reconstruction_approximates_pristine_scene() {
+    // Inpaint the objects out of a key frame and compare to the generator's
+    // ground-truth object-free background.
+    let v = video(5, 4, 30);
+    let k = (0..30)
+        .find(|&k| v.annotations().count_in_frame(k) >= 1)
+        .expect("some populated frame");
+    let frame = v.frame(k);
+    let boxes: Vec<_> = v.annotations().in_frame(k).into_iter().map(|(_, b)| b).collect();
+    let reconstructed =
+        verro_core::synthesis::reconstruct_background(&frame, &boxes, &InpaintConfig::default());
+    let pristine = v.background_frame(k);
+    let diff_reconstructed = reconstructed.mean_abs_diff(&pristine);
+    let diff_raw = frame.mean_abs_diff(&pristine);
+    assert!(
+        diff_reconstructed < diff_raw,
+        "inpainting should move the frame toward the pristine background \
+         ({diff_reconstructed:.2} vs {diff_raw:.2})"
+    );
+}
+
+#[test]
+fn median_background_close_to_pristine() {
+    let v = video(6, 4, 40);
+    let model = median_background(&v, 0, 39, &BackgroundConfig { max_samples: 20 });
+    // Lighting drift means the median sits between bright and dark phases;
+    // compare against the drift-free mid-cycle background.
+    let pristine = v.background_frame(0);
+    let diff = model.mean_abs_diff(&pristine);
+    assert!(diff < 20.0, "median background off by {diff:.2} per channel");
+}
+
+#[test]
+fn generated_presets_are_reproducible_across_calls() {
+    use verro_video::generator::MotPreset;
+    let a = GeneratedVideo::preset(MotPreset::Mot01, 42);
+    let b = GeneratedVideo::preset(MotPreset::Mot01, 42);
+    assert_eq!(a.annotations(), b.annotations());
+    assert_eq!(a.spec().num_frames, 450);
+    assert_eq!(a.annotations().num_objects(), 23);
+}
