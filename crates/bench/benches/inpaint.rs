@@ -1,0 +1,76 @@
+//! Benchmarks for exemplar inpainting — the dominant preprocessing cost
+//! behind background reconstruction (Table 3's "preprocess" row).
+//!
+//! Compares the incremental engine against the retained naive reference on
+//! the acceptance workload (128×96 frame, 30×40 hole) and a few hole-size
+//! variants. `cargo bench -p verro-bench --bench inpaint -- --quick` gives a
+//! fast smoke run; `results/BENCH_inpaint.json` is written by
+//! `cargo run -p verro-bench --bin report -- --bench-inpaint`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use verro_video::color::Rgb;
+use verro_video::geometry::Size;
+use verro_video::image::ImageBuffer;
+use verro_vision::inpaint::{inpaint_exemplar, inpaint_exemplar_naive, InpaintConfig, Mask};
+
+fn workload(w: u32, h: u32, hole: (u32, u32, u32, u32)) -> (ImageBuffer, Mask) {
+    let img = ImageBuffer::from_fn(Size::new(w, h), |x, y| {
+        if ((x / 4) + (y / 6)) % 2 == 0 {
+            Rgb::new(200, 180, 160)
+        } else {
+            Rgb::new(60, 80, 100)
+        }
+    });
+    let mut mask = Mask::new(w, h);
+    let (hx, hy, hw, hh) = hole;
+    for y in hy..(hy + hh).min(h) {
+        for x in hx..(hx + hw).min(w) {
+            mask.set(x, y, true);
+        }
+    }
+    (img, mask)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let cfg = InpaintConfig::default();
+    let (img, mask) = workload(128, 96, (49, 28, 30, 40));
+
+    let mut group = c.benchmark_group("inpaint_128x96_hole30x40");
+    group.sample_size(10);
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut out = img.clone();
+            inpaint_exemplar_naive(black_box(&mut out), &mut mask.clone(), &cfg);
+            out
+        })
+    });
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut out = img.clone();
+            inpaint_exemplar(black_box(&mut out), &mut mask.clone(), &cfg);
+            out
+        })
+    });
+    group.finish();
+}
+
+fn bench_hole_sizes(c: &mut Criterion) {
+    let cfg = InpaintConfig::default();
+    let mut group = c.benchmark_group("inpaint_incremental_hole_size");
+    group.sample_size(10);
+    for hole in [8u32, 16, 24, 40] {
+        let (img, mask) = workload(128, 96, (49, 28, hole.min(30), hole));
+        group.bench_with_input(BenchmarkId::from_parameter(hole), &hole, |b, _| {
+            b.iter(|| {
+                let mut out = img.clone();
+                inpaint_exemplar(black_box(&mut out), &mut mask.clone(), &cfg);
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_hole_sizes);
+criterion_main!(benches);

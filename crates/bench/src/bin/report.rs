@@ -106,6 +106,9 @@ fn main() {
     if want("--ablate") {
         report.insert("ablations".into(), ablations(&videos, &keyframes));
     }
+    if want("--bench-inpaint") {
+        report.insert("bench_inpaint".into(), bench_inpaint());
+    }
 
     let json = serde_json::to_string_pretty(&serde_json::Value::Object(report))
         .expect("serialize report");
@@ -560,13 +563,9 @@ fn table3(videos: &[(MotPreset, GeneratedVideo)]) -> serde_json::Value {
         let result = verro.sanitize(v, v.annotations()).expect("sanitize");
 
         // Render every frame of V* and encode it — the shipped artifact.
+        // Rendering fans out across frames (parallel `collect_from`).
         let t = Instant::now();
-        let clip = InMemoryVideo::new(
-            (0..result.video.num_frames())
-                .map(|k| result.video.frame(k))
-                .collect(),
-            result.video.fps(),
-        );
+        let clip = InMemoryVideo::collect_from(&result.video);
         let encoded = encode_video(&clip);
         let render_encode_secs = t.elapsed().as_secs_f64();
         let bandwidth_mb = encoded.byte_len() as f64 / 1_048_576.0;
@@ -594,6 +593,76 @@ fn table3(videos: &[(MotPreset, GeneratedVideo)]) -> serde_json::Value {
     }
     println!();
     serde_json::to_value(rows).expect("serialize")
+}
+
+// ---------------------------------------------------------- Inpaint bench
+
+/// The inpaint perf trajectory: incremental engine vs. the naive reference
+/// on the acceptance workload (128×96 frame, 30×40 hole). Writes
+/// `results/BENCH_inpaint.json` so every report run records the current
+/// speedup alongside a bit-identity check of the two engines' outputs.
+fn bench_inpaint() -> serde_json::Value {
+    use verro_video::color::Rgb;
+    use verro_video::geometry::Size;
+    use verro_video::image::ImageBuffer;
+    use verro_vision::inpaint::{inpaint_exemplar, inpaint_exemplar_naive, InpaintConfig, Mask};
+
+    println!("-- Inpaint bench: incremental engine vs naive reference --");
+    let (w, h) = (128u32, 96u32);
+    let (hx, hy, hw, hh) = (49u32, 28u32, 30u32, 40u32);
+    let img = ImageBuffer::from_fn(Size::new(w, h), |x, y| {
+        if ((x / 4) + (y / 6)) % 2 == 0 {
+            Rgb::new(200, 180, 160)
+        } else {
+            Rgb::new(60, 80, 100)
+        }
+    });
+    let mut mask = Mask::new(w, h);
+    for y in hy..(hy + hh).min(h) {
+        for x in hx..(hx + hw).min(w) {
+            mask.set(x, y, true);
+        }
+    }
+    let cfg = InpaintConfig::default();
+    let reps = 5u32;
+
+    let mut naive_out = img.clone();
+    let t = Instant::now();
+    for _ in 0..reps {
+        naive_out = img.clone();
+        inpaint_exemplar_naive(&mut naive_out, &mut mask.clone(), &cfg);
+    }
+    let naive_ms = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+    let mut fast_out = img.clone();
+    let t = Instant::now();
+    for _ in 0..reps {
+        fast_out = img.clone();
+        inpaint_exemplar(&mut fast_out, &mut mask.clone(), &cfg);
+    }
+    let fast_ms = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+    let identical = naive_out == fast_out;
+    let speedup = naive_ms / fast_ms;
+    println!(
+        "  {w}x{h}, {hw}x{hh} hole: naive {naive_ms:.2} ms, incremental {fast_ms:.2} ms, \
+         speedup {speedup:.2}x, bit-identical: {identical}"
+    );
+    let value = serde_json::json!({
+        "workload": { "width": w, "height": h, "hole": [hx, hy, hw, hh] },
+        "reps": reps,
+        "naive_ms": naive_ms,
+        "incremental_ms": fast_ms,
+        "speedup": speedup,
+        "bit_identical": identical,
+    });
+    fs::write(
+        Path::new(RESULTS_DIR).join("BENCH_inpaint.json"),
+        serde_json::to_string_pretty(&value).expect("serialize"),
+    )
+    .expect("write BENCH_inpaint.json");
+    println!("  -> results/BENCH_inpaint.json\n");
+    value
 }
 
 // -------------------------------------------------------------- Ablations

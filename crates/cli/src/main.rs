@@ -168,6 +168,9 @@ fn write_outputs(
         "fps": fps,
         "timings_secs": {
             "preprocess": result.timings.preprocess.as_secs_f64(),
+            "preprocess_keyframes": result.timings.preprocess_keyframes.as_secs_f64(),
+            "preprocess_backgrounds": result.timings.preprocess_backgrounds.as_secs_f64(),
+            "preprocess_detect_track": result.timings.preprocess_detect_track.as_secs_f64(),
             "phase1": result.timings.phase1.as_secs_f64(),
             "phase2": result.timings.phase2.as_secs_f64(),
         },
@@ -221,6 +224,16 @@ fn cmd_sanitize(args: &[String]) -> Result<(), String> {
     };
 
     write_outputs(&out, &result, fps)?;
+    let t = &result.timings;
+    eprintln!(
+        "timings: preprocess {:.3}s (keyframes {:.3}s, backgrounds {:.3}s, detect+track {:.3}s), phase1 {:.3}s, phase2 {:.3}s",
+        t.preprocess.as_secs_f64(),
+        t.preprocess_keyframes.as_secs_f64(),
+        t.preprocess_backgrounds.as_secs_f64(),
+        t.preprocess_detect_track.as_secs_f64(),
+        t.phase1.as_secs_f64(),
+        t.phase2.as_secs_f64(),
+    );
     eprintln!(
         "done: {} synthetic objects, epsilon_RR = {:.2} over {} picked key frames -> {}",
         result.utility.retained_objects,

@@ -29,8 +29,19 @@ use verro_vision::track::{SortTracker, TrackerConfig};
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseTimings {
     /// Key-frame extraction + background reconstruction (+ detection and
-    /// tracking when the pipeline ran them).
+    /// tracking when the pipeline ran them). Equals the sum of the three
+    /// `preprocess_*` breakdown fields.
     pub preprocess: Duration,
+    /// Preprocess breakdown: Algorithm 2 key-frame extraction.
+    #[serde(default)]
+    pub preprocess_keyframes: Duration,
+    /// Preprocess breakdown: per-segment background reconstruction.
+    #[serde(default)]
+    pub preprocess_backgrounds: Duration,
+    /// Preprocess breakdown: background subtraction, detection, and SORT
+    /// tracking (zero unless the pipeline ran its own tracking).
+    #[serde(default)]
+    pub preprocess_detect_track: Duration,
     /// Dimension reduction + optimization + randomized response.
     pub phase1: Duration,
     /// Coordinate assignment + interpolation + synthesis assembly.
@@ -117,7 +128,10 @@ impl Verro {
         // Preprocessing: Algorithm 2 segmentation + background scenes.
         let t0 = Instant::now();
         let key_frames = extract_key_frames(src, &self.config.keyframe);
+        let preprocess_keyframes = t0.elapsed();
+        let tb = Instant::now();
         let backgrounds = build_backgrounds(src, annotations, &key_frames, &self.config);
+        let preprocess_backgrounds = tb.elapsed();
         let preprocess = t0.elapsed();
 
         // Phase I.
@@ -153,6 +167,9 @@ impl Verro {
             key_frames,
             timings: PhaseTimings {
                 preprocess,
+                preprocess_keyframes,
+                preprocess_backgrounds,
+                preprocess_detect_track: Duration::ZERO,
                 phase1: phase1_time,
                 phase2: phase2_time,
             },
@@ -179,8 +196,11 @@ impl Verro {
 
         let t0 = Instant::now();
         let key_frames = extract_key_frames(src, &self.config.keyframe);
+        let preprocess_keyframes = t0.elapsed();
+        let tb = Instant::now();
         let backgrounds =
             crate::synthesis::build_backgrounds(src, annotations, &key_frames, &self.config);
+        let preprocess_backgrounds = tb.elapsed();
         let preprocess = t0.elapsed();
 
         let classes: std::collections::BTreeSet<ObjectClass> =
@@ -234,6 +254,9 @@ impl Verro {
             key_frames,
             timings: PhaseTimings {
                 preprocess,
+                preprocess_keyframes,
+                preprocess_backgrounds,
+                preprocess_detect_track: Duration::ZERO,
                 phase1: phases,
                 phase2: Duration::ZERO,
             },
@@ -255,6 +278,7 @@ impl Verro {
             return Err(VerroError::EmptyVideo);
         }
         // Background model over the whole clip for subtraction.
+        let td = Instant::now();
         let bg = verro_vision::bgmodel::median_background(
             src,
             0,
@@ -273,7 +297,11 @@ impl Verro {
             tracker.step(k, &dets);
         }
         let annotations = tracker.finish(src.num_frames());
-        let result = self.sanitize(src, &annotations)?;
+        let detect_track = td.elapsed();
+        let mut result = self.sanitize(src, &annotations)?;
+        // The tracking stage is preprocessing too; fold it into the report.
+        result.timings.preprocess_detect_track = detect_track;
+        result.timings.preprocess += detect_track;
         Ok((result, annotations))
     }
 }

@@ -9,6 +9,7 @@
 //! separates instances (its assignment is random, Section 2.2.2).
 
 use crate::config::{BackgroundMode, VerroConfig};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use verro_video::annotations::VideoAnnotations;
@@ -45,6 +46,13 @@ pub struct BackgroundScene {
 }
 
 /// Builds per-segment background scenes from the source video.
+///
+/// Segments are reconstructed in parallel — each segment's inpaint (or
+/// temporal median) touches only its own frames, so the fan-out is
+/// embarrassingly parallel. `par_iter().map().collect()` preserves segment
+/// order and every per-segment computation is deterministic, so the output
+/// is bit-identical to a serial run regardless of thread count (covered by
+/// the determinism test in `tests/pipeline_integration.rs`).
 pub fn build_backgrounds<S: FrameSource + Sync>(
     src: &S,
     annotations: &VideoAnnotations,
@@ -53,7 +61,7 @@ pub fn build_backgrounds<S: FrameSource + Sync>(
 ) -> Vec<BackgroundScene> {
     key_frames
         .segments
-        .iter()
+        .par_iter()
         .map(|seg| {
             let (start, end) = (seg.start(), seg.end());
             let image = match config.background {

@@ -60,6 +60,12 @@ impl ImageBuffer {
         &self.data
     }
 
+    /// Mutable borrow of the raw RGB bytes in row-major order (used to write
+    /// disjoint row ranges from parallel workers).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
     #[inline]
     fn offset(&self, x: u32, y: u32) -> usize {
         debug_assert!(x < self.size.width && y < self.size.height);

@@ -7,6 +7,7 @@
 
 use crate::geometry::Size;
 use crate::image::ImageBuffer;
+use rayon::prelude::*;
 
 /// A video whose frames can be produced on demand.
 ///
@@ -50,8 +51,16 @@ impl InMemoryVideo {
     }
 
     /// Materializes any [`FrameSource`] (use only for small videos).
-    pub fn collect_from<S: FrameSource>(src: &S) -> Self {
-        let frames = (0..src.num_frames()).map(|k| src.frame(k)).collect();
+    ///
+    /// Frames are rendered in parallel. This relies on the [`FrameSource`]
+    /// determinism contract — `frame(k)` must return the same raster every
+    /// time — so the collected video is identical to a serial collect
+    /// (`par_iter().map().collect()` preserves index order).
+    pub fn collect_from<S: FrameSource + Sync>(src: &S) -> Self {
+        let frames = (0..src.num_frames())
+            .into_par_iter()
+            .map(|k| src.frame(k))
+            .collect();
         Self::new(frames, src.fps())
     }
 

@@ -50,24 +50,35 @@ pub fn median_background<S: FrameSource + Sync>(
     let frames: Vec<ImageBuffer> = indices.par_iter().map(|&k| src.frame(k)).collect();
     let size = src.frame_size();
 
+    // Parallel reduction over output rows: each worker owns a disjoint row
+    // of the output raster and per-channel scratch buffers. The per-pixel
+    // median is a pure function of the sampled frames, so the result is
+    // bit-identical regardless of thread count.
+    let row_len = 3 * size.width as usize;
     let mut out = ImageBuffer::new(size, Rgb::BLACK);
-    let mut r = Vec::with_capacity(frames.len());
-    let mut g = Vec::with_capacity(frames.len());
-    let mut b = Vec::with_capacity(frames.len());
-    for y in 0..size.height {
-        for x in 0..size.width {
-            r.clear();
-            g.clear();
-            b.clear();
-            for f in &frames {
-                let c = f.get(x, y);
-                r.push(c.r);
-                g.push(c.g);
-                b.push(c.b);
+    out.bytes_mut()
+        .par_chunks_mut(row_len.max(1))
+        .enumerate()
+        .for_each(|(y, row)| {
+            let row_off = y * row_len;
+            let mut r = Vec::with_capacity(frames.len());
+            let mut g = Vec::with_capacity(frames.len());
+            let mut b = Vec::with_capacity(frames.len());
+            for x in 0..size.width as usize {
+                r.clear();
+                g.clear();
+                b.clear();
+                for f in &frames {
+                    let p = &f.bytes()[row_off + 3 * x..row_off + 3 * x + 3];
+                    r.push(p[0]);
+                    g.push(p[1]);
+                    b.push(p[2]);
+                }
+                row[3 * x] = median_u8(&mut r);
+                row[3 * x + 1] = median_u8(&mut g);
+                row[3 * x + 2] = median_u8(&mut b);
             }
-            out.set(x, y, Rgb::new(median_u8(&mut r), median_u8(&mut g), median_u8(&mut b)));
-        }
-    }
+        });
     out
 }
 

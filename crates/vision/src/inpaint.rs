@@ -7,9 +7,25 @@
 //! the isophote hitting the fill front), and each selected patch is replaced
 //! by the best-matching (minimum SSD) source patch.
 //!
+//! Two implementations of the exemplar filler are provided:
+//!
+//! * [`inpaint_exemplar`] — the production engine. It maintains the fill
+//!   front, the missing-pixel count, and per-position source-patch validity
+//!   incrementally; caches front priorities; and fans the SSD candidate
+//!   search out with rayon under a shared atomic pruning bound. Its output is
+//!   bit-identical to the naive reference for every input (ties in both the
+//!   priority argmax and the SSD argmin resolve to the lowest `(y, x)` /
+//!   `(sy, sx)`, exactly matching the naive scan order).
+//! * [`inpaint_exemplar_naive`] — the direct transcription of the algorithm
+//!   with full rescans per fill. Retained as the equivalence oracle for
+//!   property tests and as the baseline for the `inpaint` criterion bench;
+//!   the `naive-inpaint` feature flips [`inpaint`] back to it.
+//!
 //! A cheaper diffusion-based filler is provided as an ablation alternative.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use verro_video::color::Rgb;
 use verro_video::image::ImageBuffer;
 
@@ -110,7 +126,12 @@ pub fn inpaint(img: &mut ImageBuffer, mask: &Mask, config: &InpaintConfig) {
     assert_eq!(img.width(), mask.width);
     assert_eq!(img.height(), mask.height);
     match config.method {
-        InpaintMethod::Exemplar => inpaint_exemplar(img, &mut mask.clone(), config),
+        InpaintMethod::Exemplar => {
+            #[cfg(feature = "naive-inpaint")]
+            inpaint_exemplar_naive(img, &mut mask.clone(), config);
+            #[cfg(not(feature = "naive-inpaint"))]
+            inpaint_exemplar(img, &mut mask.clone(), config);
+        }
         InpaintMethod::Diffusion => inpaint_diffusion(img, &mut mask.clone(), 256),
     }
 }
@@ -157,33 +178,380 @@ fn front_normal(mask: &Mask, x: i64, y: i64) -> (f64, f64) {
     }
 }
 
-fn inpaint_exemplar(img: &mut ImageBuffer, mask: &mut Mask, config: &InpaintConfig) {
+/// Mean confidence of the known pixels in the patch centred at `(cx, cy)`.
+fn patch_confidence(confidence: &[f64], mask: &Mask, cx: i64, cy: i64, r: i64) -> f64 {
+    let (w, h) = (mask.width as i64, mask.height as i64);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let (x, y) = (cx + dx, cy + dy);
+            if x >= 0 && y >= 0 && x < w && y < h {
+                if !mask.get(x as u32, y as u32) {
+                    sum += confidence[(y * w + x) as usize];
+                }
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Summed-area table of the mask (`(w+1) × (h+1)`, row-major, zero border).
+fn mask_integral(mask: &Mask) -> Vec<u32> {
+    let (w, h) = (mask.width as usize, mask.height as usize);
+    let mut integral = vec![0u32; (w + 1) * (h + 1)];
+    for y in 0..h {
+        let mut row = 0u32;
+        for x in 0..w {
+            if mask.data[y * w + x] {
+                row += 1;
+            }
+            integral[(y + 1) * (w + 1) + (x + 1)] = integral[y * (w + 1) + (x + 1)] + row;
+        }
+    }
+    integral
+}
+
+/// Number of set mask pixels in the inclusive rectangle `[x0,x1] × [y0,y1]`.
+fn integral_rect(integral: &[u32], w: usize, x0: i64, y0: i64, x1: i64, y1: i64) -> u32 {
+    let (x0, y0, x1, y1) = (x0 as usize, y0 as usize, x1 as usize + 1, y1 as usize + 1);
+    integral[y1 * (w + 1) + x1] + integral[y0 * (w + 1) + x0]
+        - integral[y0 * (w + 1) + x1]
+        - integral[y1 * (w + 1) + x0]
+}
+
+/// Incremental exemplar inpainter — the production engine.
+///
+/// Bit-identical to [`inpaint_exemplar_naive`] on every input (see the
+/// `proptest_vision` equivalence suite), but avoids its per-fill rescans:
+///
+/// * the fill front and the missing-pixel count are updated only around the
+///   just-filled patch instead of rescanning the whole image;
+/// * front priorities are cached and invalidated only within `r + 1` of the
+///   filled patch (every priority input lives within the patch radius of its
+///   pixel, so nothing further away can change);
+/// * a per-position missing-pixel count (seeded from a mask integral image)
+///   turns the O(r²) "source patch entirely known" test into an O(1) lookup;
+/// * the SSD candidate search runs under rayon with a shared atomic pruning
+///   bound. The bound packs `(ssd << 40) | linear index` so one u64
+///   comparison is exactly the `(ssd, sy, sx)` tie-break order, which lets a
+///   candidate be pruned even when its partial SSD merely *ties* the bound —
+///   as strong as the naive scan's `>=` early-exit, yet independent of the
+///   order in which workers finish.
+pub fn inpaint_exemplar(img: &mut ImageBuffer, mask: &mut Mask, config: &InpaintConfig) {
     let (w, h) = (img.width() as i64, img.height() as i64);
     let r = config.patch_radius.max(1);
     // Confidence map: 1 for known pixels, 0 for missing.
     let mut confidence: Vec<f64> = mask.data.iter().map(|&m| if m { 0.0 } else { 1.0 }).collect();
     let idx = |x: i64, y: i64| (y * w + x) as usize;
+    let mut missing = mask.data.iter().filter(|&&b| b).count();
+    let mut prev_best: Option<(i64, i64)> = None;
 
-    let patch_confidence = |confidence: &[f64], mask: &Mask, cx: i64, cy: i64| -> f64 {
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        for dy in -r..=r {
-            for dx in -r..=r {
-                let (x, y) = (cx + dx, cy + dy);
-                if x >= 0 && y >= 0 && x < w && y < h {
-                    if !mask.get(x as u32, y as u32) {
-                        sum += confidence[idx(x, y)];
-                    }
-                    count += 1;
-                }
+    // Fill front: missing pixels with at least one known 4-neighbor,
+    // maintained incrementally as patches are filled.
+    let mut on_front = vec![false; (w * h) as usize];
+    let mut front: Vec<(i64, i64)> = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if !mask.get(x as u32, y as u32) {
+                continue;
+            }
+            let f = [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)]
+                .iter()
+                .any(|&(dx, dy)| matches!(mask.get_checked(x + dx, y + dy), Some(false)));
+            if f {
+                on_front[idx(x, y)] = true;
+                front.push((x, y));
             }
         }
-        if count == 0 {
-            0.0
-        } else {
-            sum / count as f64
+    }
+
+    // Per-position count of missing pixels inside the (2r+1)² patch centred
+    // there, for centres in the valid source range [r, w-1-r] × [r, h-1-r].
+    // "Source patch entirely known" becomes an O(1) lookup, and the counts
+    // are maintained by decrementing around each filled pixel.
+    let mut patch_missing = vec![0u32; (w * h) as usize];
+    {
+        let integral = mask_integral(mask);
+        for cy in r..(h - r).max(r) {
+            for cx in r..(w - r).max(r) {
+                patch_missing[idx(cx, cy)] =
+                    integral_rect(&integral, w as usize, cx - r, cy - r, cx + r, cy + r);
+            }
         }
-    };
+    }
+
+    // Cached fill-front priorities; entries are invalidated when a fill
+    // mutates anything within the patch radius of them.
+    let mut priority_cache = vec![f64::NAN; (w * h) as usize];
+
+    while missing > 0 {
+        // Highest-priority front pixel; ties resolve to the lowest (y, x) so
+        // the result matches the naive row-major scan bit for bit.
+        let mut best: Option<(i64, i64, f64)> = None;
+        for &(x, y) in &front {
+            let mut priority = priority_cache[idx(x, y)];
+            if priority.is_nan() {
+                let c = patch_confidence(&confidence, mask, x, y, r);
+                // Data term: isophote (gradient rotated 90°) dotted with the
+                // front normal, normalized by the 8-bit dynamic range α=255.
+                let (gx, gy) = luma_gradient(img, mask, x, y);
+                let (nx, ny) = front_normal(mask, x, y);
+                let d = ((-gy) * nx + gx * ny).abs() / 255.0;
+                priority = c * (d + 1e-3); // ε keeps flat regions fillable
+                priority_cache[idx(x, y)] = priority;
+            }
+            let better = match best {
+                None => true,
+                Some((bx, by, bp)) => priority > bp || (priority == bp && (y, x) < (by, bx)),
+            };
+            if better {
+                best = Some((x, y, priority));
+            }
+        }
+        let Some((px, py, _)) = best else {
+            // No front found although pixels are missing; bail defensively
+            // (matches the naive implementation).
+            break;
+        };
+
+        // Valid source candidates in the search window, in scan order.
+        let stride = config.search_stride.max(1);
+        let sr = config.search_radius.max(r + 1);
+        let x_lo = (px - sr).max(r);
+        let x_hi = (px + sr).min(w - 1 - r);
+        let y_lo = (py - sr).max(r);
+        let y_hi = (py + sr).min(h - 1 - r);
+        let mut candidates: Vec<(i64, i64)> = Vec::new();
+        let mut sy = y_lo;
+        while sy <= y_hi {
+            let mut sx = x_lo;
+            while sx <= x_hi {
+                if patch_missing[idx(sx, sy)] == 0 {
+                    candidates.push((sy, sx));
+                }
+                sx += stride;
+            }
+            sy += stride;
+        }
+
+        // Known target-patch pixels grouped into per-row contiguous runs so
+        // the SSD inner loop compares whole byte slices (vectorizable) and
+        // prunes once per run instead of once per pixel. `runs` stores
+        // (byte offset relative to the candidate centre, tbuf start, len).
+        let mut tbuf: Vec<u8> = Vec::new();
+        let mut runs: Vec<(isize, usize, usize)> = Vec::new();
+        for dy in -r..=r {
+            let ty = py + dy;
+            if ty < 0 || ty >= h {
+                continue;
+            }
+            let mut dx = -r;
+            while dx <= r {
+                let tx = px + dx;
+                if tx < 0 || tx >= w || mask.get(tx as u32, ty as u32) {
+                    dx += 1;
+                    continue;
+                }
+                let start_dx = dx;
+                let buf_start = tbuf.len();
+                while dx <= r {
+                    let tx = px + dx;
+                    if tx >= w || mask.get(tx as u32, ty as u32) {
+                        break;
+                    }
+                    let c = img.get(tx as u32, ty as u32);
+                    tbuf.extend_from_slice(&[c.r, c.g, c.b]);
+                    dx += 1;
+                }
+                runs.push((3 * (dy * w + start_dx) as isize, buf_start, tbuf.len() - buf_start));
+            }
+        }
+
+        // Pruning bound packed as (ssd << 40) | linear source index, so a
+        // single u64 comparison is exactly the (ssd, sy, sx) lexicographic
+        // order used for tie-breaking. That lets a candidate be pruned even
+        // when its partial SSD merely *ties* the bound (the tied
+        // earlier-position candidate already in the bound beats it), which
+        // matches the naive scan's `>=` early-exit while staying
+        // order-independent. Packing is exact whenever the worst-case patch
+        // SSD fits in 24 bits (patch radius ≤ 4); larger radii fall back to
+        // strict-> pruning on the raw SSD.
+        let bound = AtomicU64::new(u64::MAX);
+        let bytes = img.bytes();
+        let side = 2 * r as u64 + 1;
+        let packable = side * side * 3 * 255 * 255 < (1u64 << 24);
+        let eval_packed = |sy: i64, sx: i64| -> Option<u64> {
+            let pos = (sy * w + sx) as u64;
+            let center = 3 * (sy * w + sx) as isize;
+            let limit = bound.load(Ordering::Relaxed);
+            let mut ssd = 0u64;
+            for &(delta, start, len) in &runs {
+                let o = (center + delta) as usize;
+                let src = &bytes[o..o + len];
+                let tgt = &tbuf[start..start + len];
+                let mut acc = 0u32;
+                for (&a, &b) in src.iter().zip(tgt) {
+                    let d = a as i32 - b as i32;
+                    acc += (d * d) as u32;
+                }
+                ssd += acc as u64;
+                if ((ssd << 40) | pos) > limit {
+                    return None;
+                }
+            }
+            Some((ssd << 40) | pos)
+        };
+        let ssd_at = |sy: i64, sx: i64, limit: u64| -> Option<u64> {
+            let center = 3 * (sy * w + sx) as isize;
+            let mut ssd = 0u64;
+            for &(delta, start, len) in &runs {
+                let o = (center + delta) as usize;
+                let src = &bytes[o..o + len];
+                let tgt = &tbuf[start..start + len];
+                let mut acc = 0u32;
+                for (&a, &b) in src.iter().zip(tgt) {
+                    let d = a as i32 - b as i32;
+                    acc += (d * d) as u32;
+                }
+                ssd += acc as u64;
+                if ssd > limit {
+                    return None;
+                }
+            }
+            Some(ssd)
+        };
+
+        // Seed the bound from the grid candidate nearest the previous fill's
+        // winning source: neighbouring patches overwhelmingly share sources
+        // on real textures, so the bound is tight before the scan starts. The
+        // seed is itself one of `candidates`, so seeding can only accelerate
+        // pruning, never change the argmin.
+        let best_src: Option<(u64, i64, i64)> = if packable {
+            if let Some((psy, psx)) = prev_best {
+                if let Some(&(sy, sx)) = candidates
+                    .iter()
+                    .min_by_key(|&&(sy, sx)| (sy - psy).abs() + (sx - psx).abs())
+                {
+                    if let Some(p) = eval_packed(sy, sx) {
+                        bound.fetch_min(p, Ordering::Relaxed);
+                    }
+                }
+            }
+            candidates.par_iter().for_each(|&(sy, sx)| {
+                if let Some(p) = eval_packed(sy, sx) {
+                    bound.fetch_min(p, Ordering::Relaxed);
+                }
+            });
+            let p = bound.load(Ordering::Relaxed);
+            if p == u64::MAX {
+                None
+            } else {
+                let pos = (p & ((1u64 << 40) - 1)) as i64;
+                Some((p >> 40, pos / w, pos % w))
+            }
+        } else {
+            if let Some((psy, psx)) = prev_best {
+                if let Some(&(sy, sx)) = candidates
+                    .iter()
+                    .min_by_key(|&&(sy, sx)| (sy - psy).abs() + (sx - psx).abs())
+                {
+                    if let Some(ssd) = ssd_at(sy, sx, u64::MAX) {
+                        bound.store(ssd, Ordering::Relaxed);
+                    }
+                }
+            }
+            candidates
+                .par_iter()
+                .filter_map(|&(sy, sx)| {
+                    let limit = bound.load(Ordering::Relaxed);
+                    let ssd = ssd_at(sy, sx, limit)?;
+                    bound.fetch_min(ssd, Ordering::Relaxed);
+                    Some((ssd, sy, sx))
+                })
+                .min()
+        };
+
+        let new_conf = patch_confidence(&confidence, mask, px, py, r);
+        match best_src {
+            Some((_, sy, sx)) => {
+                prev_best = Some((sy, sx));
+                let mut filled: Vec<(i64, i64)> = Vec::new();
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        let (tx, ty) = (px + dx, py + dy);
+                        if tx < 0 || ty < 0 || tx >= w || ty >= h {
+                            continue;
+                        }
+                        if mask.get(tx as u32, ty as u32) {
+                            img.set(tx as u32, ty as u32, img.get((sx + dx) as u32, (sy + dy) as u32));
+                            mask.set(tx as u32, ty as u32, false);
+                            confidence[idx(tx, ty)] = new_conf;
+                            on_front[idx(tx, ty)] = false;
+                            missing -= 1;
+                            filled.push((tx, ty));
+                        }
+                    }
+                }
+                front.retain(|&(x, y)| mask.get(x as u32, y as u32));
+                for &(tx, ty) in &filled {
+                    // Newly known pixels expose their missing 4-neighbors as
+                    // new front pixels ...
+                    for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                        let (nx, ny) = (tx + dx, ty + dy);
+                        if nx < 0 || ny < 0 || nx >= w || ny >= h {
+                            continue;
+                        }
+                        if mask.get(nx as u32, ny as u32) && !on_front[idx(nx, ny)] {
+                            on_front[idx(nx, ny)] = true;
+                            front.push((nx, ny));
+                        }
+                    }
+                    // ... and make the source patches covering them fully
+                    // known candidates.
+                    for cy in (ty - r).max(r)..=(ty + r).min(h - 1 - r) {
+                        for cx in (tx - r).max(r)..=(tx + r).min(w - 1 - r) {
+                            patch_missing[idx(cx, cy)] -= 1;
+                        }
+                    }
+                }
+                // Invalidate cached priorities near the mutated patch: every
+                // priority input (confidence, mask, luma) lies within the
+                // patch radius of its pixel, so a margin of r+1 around the
+                // filled bbox covers all affected front pixels.
+                let m = r + 1;
+                for y in (py - r - m).max(0)..=(py + r + m).min(h - 1) {
+                    for x in (px - r - m).max(0)..=(px + r + m).min(w - 1) {
+                        priority_cache[idx(x, y)] = f64::NAN;
+                    }
+                }
+            }
+            None => {
+                // No fully-known source patch exists (tiny images): fall back
+                // to diffusion for the remainder.
+                inpaint_diffusion(img, mask, 64);
+                return;
+            }
+        }
+    }
+}
+
+/// Reference exemplar inpainter: full fill-front and source rescans per fill.
+///
+/// Retained verbatim as the equivalence oracle for [`inpaint_exemplar`] and
+/// as the baseline of the `inpaint` criterion bench. The `naive-inpaint`
+/// feature makes [`inpaint`] dispatch here instead of the fast engine.
+pub fn inpaint_exemplar_naive(img: &mut ImageBuffer, mask: &mut Mask, config: &InpaintConfig) {
+    let (w, h) = (img.width() as i64, img.height() as i64);
+    let r = config.patch_radius.max(1);
+    // Confidence map: 1 for known pixels, 0 for missing.
+    let mut confidence: Vec<f64> = mask.data.iter().map(|&m| if m { 0.0 } else { 1.0 }).collect();
+    let idx = |x: i64, y: i64| (y * w + x) as usize;
 
     while mask.missing() > 0 {
         // Fill front: missing pixels with at least one known 4-neighbor.
@@ -199,7 +567,7 @@ fn inpaint_exemplar(img: &mut ImageBuffer, mask: &mut Mask, config: &InpaintConf
                 if !on_front {
                     continue;
                 }
-                let c = patch_confidence(&confidence, mask, x, y);
+                let c = patch_confidence(&confidence, mask, x, y, r);
                 // Data term: isophote (gradient rotated 90°) dotted with the
                 // front normal, normalized by the 8-bit dynamic range α=255.
                 let (gx, gy) = luma_gradient(img, mask, x, y);
@@ -268,7 +636,7 @@ fn inpaint_exemplar(img: &mut ImageBuffer, mask: &mut Mask, config: &InpaintConf
             sy += stride;
         }
 
-        let new_conf = patch_confidence(&confidence, mask, px, py);
+        let new_conf = patch_confidence(&confidence, mask, px, py, r);
         match best_src {
             Some((sx, sy, _)) => {
                 for dy in -r..=r {
@@ -297,43 +665,52 @@ fn inpaint_exemplar(img: &mut ImageBuffer, mask: &mut Mask, config: &InpaintConf
 
 /// Iterative diffusion fill: every missing pixel repeatedly takes the mean
 /// of its known 8-neighbors until the region is filled and smoothed.
-fn inpaint_diffusion(img: &mut ImageBuffer, mask: &mut Mask, max_iters: usize) {
+///
+/// Maintains the active missing set instead of rescanning the whole image
+/// each pass, and stops as soon as the set is empty — converged calls cost
+/// O(missing) per iteration rather than O(w·h·max_iters). Identical output
+/// to the full-rescan version: the per-pass update order is unchanged (the
+/// active set stays in row-major order and updates apply after each pass).
+pub fn inpaint_diffusion(img: &mut ImageBuffer, mask: &mut Mask, max_iters: usize) {
     let (w, h) = (img.width() as i64, img.height() as i64);
+    let mut active: Vec<(i64, i64)> = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if mask.get(x as u32, y as u32) {
+                active.push((x, y));
+            }
+        }
+    }
     for _ in 0..max_iters {
-        if mask.missing() == 0 {
+        if active.is_empty() {
             break;
         }
         let mut updates: Vec<(u32, u32, Rgb)> = Vec::new();
-        for y in 0..h {
-            for x in 0..w {
-                if !mask.get(x as u32, y as u32) {
-                    continue;
-                }
-                let mut rs = 0u32;
-                let mut gs = 0u32;
-                let mut bs = 0u32;
-                let mut n = 0u32;
-                for dy in -1i64..=1 {
-                    for dx in -1i64..=1 {
-                        if dx == 0 && dy == 0 {
-                            continue;
-                        }
-                        if let Some(false) = mask.get_checked(x + dx, y + dy) {
-                            let c = img.get((x + dx) as u32, (y + dy) as u32);
-                            rs += c.r as u32;
-                            gs += c.g as u32;
-                            bs += c.b as u32;
-                            n += 1;
-                        }
+        for &(x, y) in &active {
+            let mut rs = 0u32;
+            let mut gs = 0u32;
+            let mut bs = 0u32;
+            let mut n = 0u32;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    if let Some(false) = mask.get_checked(x + dx, y + dy) {
+                        let c = img.get((x + dx) as u32, (y + dy) as u32);
+                        rs += c.r as u32;
+                        gs += c.g as u32;
+                        bs += c.b as u32;
+                        n += 1;
                     }
                 }
-                if n > 0 {
-                    updates.push((
-                        x as u32,
-                        y as u32,
-                        Rgb::new((rs / n) as u8, (gs / n) as u8, (bs / n) as u8),
-                    ));
-                }
+            }
+            if n > 0 {
+                updates.push((
+                    x as u32,
+                    y as u32,
+                    Rgb::new((rs / n) as u8, (gs / n) as u8, (bs / n) as u8),
+                ));
             }
         }
         if updates.is_empty() {
@@ -343,6 +720,7 @@ fn inpaint_diffusion(img: &mut ImageBuffer, mask: &mut Mask, max_iters: usize) {
             img.set(x, y, c);
             mask.set(x, y, false);
         }
+        active.retain(|&(x, y)| mask.get(x as u32, y as u32));
     }
 }
 
@@ -464,5 +842,26 @@ mod tests {
         let mask = Mask::from_boxes(5, 5, &[BBox::new(2.0, 2.0, 1.0, 1.0)]);
         inpaint(&mut img, &mask, &InpaintConfig::default());
         assert_eq!(img.get(2, 2), Rgb::new(50, 60, 70));
+    }
+
+    #[test]
+    fn fast_engine_matches_naive_on_fixed_cases() {
+        // Broader randomized equivalence lives in tests/proptest_vision.rs;
+        // this pins the fixed cases (interior, border, tiny fallback).
+        for (size, bx, by, bw, bh) in [
+            (Size::new(48, 32), 20.0, 12.0, 8.0, 8.0),
+            (Size::new(24, 24), 0.0, 0.0, 6.0, 6.0),
+            (Size::new(5, 5), 2.0, 2.0, 1.0, 1.0),
+        ] {
+            let img = striped(size);
+            let mask =
+                Mask::from_boxes(size.width, size.height, &[BBox::new(bx, by, bw, bh)]);
+            let cfg = InpaintConfig::default();
+            let mut a = img.clone();
+            let mut b = img.clone();
+            inpaint_exemplar_naive(&mut a, &mut mask.clone(), &cfg);
+            inpaint_exemplar(&mut b, &mut mask.clone(), &cfg);
+            assert_eq!(a, b, "fast/naive divergence on {size:?}");
+        }
     }
 }

@@ -1,0 +1,59 @@
+//! Perf smoke test for the incremental inpainter (run with `--ignored`).
+//!
+//! The criterion bench (`cargo bench -p verro-bench --bench inpaint`) and
+//! `results/BENCH_inpaint.json` carry the real numbers; this test is a
+//! cheap CI-gated guard that the incremental engine has not regressed to
+//! naive-reference speed on the acceptance workload.
+
+use std::time::Instant;
+use verro_video::color::Rgb;
+use verro_video::geometry::Size;
+use verro_video::image::ImageBuffer;
+use verro_vision::inpaint::{inpaint_exemplar, inpaint_exemplar_naive, InpaintConfig, Mask};
+
+#[test]
+#[ignore = "perf smoke; run explicitly with: cargo test -p verro-vision --release -- --ignored"]
+fn incremental_engine_beats_naive_on_acceptance_workload() {
+    let (w, h) = (128u32, 96u32);
+    let img = ImageBuffer::from_fn(Size::new(w, h), |x, y| {
+        if ((x / 4) + (y / 6)) % 2 == 0 {
+            Rgb::new(200, 180, 160)
+        } else {
+            Rgb::new(60, 80, 100)
+        }
+    });
+    let mut mask = Mask::new(w, h);
+    for y in 28..68 {
+        for x in 49..79 {
+            mask.set(x, y, true);
+        }
+    }
+    let cfg = InpaintConfig::default();
+    let reps = 5u32;
+
+    let mut naive_out = img.clone();
+    let t = Instant::now();
+    for _ in 0..reps {
+        naive_out = img.clone();
+        inpaint_exemplar_naive(&mut naive_out, &mut mask.clone(), &cfg);
+    }
+    let naive = t.elapsed() / reps;
+
+    let mut fast_out = img.clone();
+    let t = Instant::now();
+    for _ in 0..reps {
+        fast_out = img.clone();
+        inpaint_exemplar(&mut fast_out, &mut mask.clone(), &cfg);
+    }
+    let fast = t.elapsed() / reps;
+
+    assert_eq!(naive_out, fast_out, "engines must stay bit-identical");
+    let speedup = naive.as_secs_f64() / fast.as_secs_f64();
+    // The bench records ~5x on a single core (more with rayon fan-out); 2x
+    // here keeps the smoke robust to noisy CI hosts while still catching a
+    // regression to naive-scan behaviour.
+    assert!(
+        speedup >= 2.0,
+        "incremental inpainter too slow: naive {naive:?}, incremental {fast:?} ({speedup:.2}x)"
+    );
+}

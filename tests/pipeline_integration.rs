@@ -174,6 +174,52 @@ fn optimizer_strategies_agree_without_noise() {
 }
 
 #[test]
+fn parallel_background_reconstruction_is_deterministic() {
+    // `build_backgrounds` fans segments out across rayon workers; two runs
+    // must stay bit-identical regardless of scheduling — both for the
+    // exemplar-inpaint path (parallel SSD candidate search inside each
+    // segment) and the temporal-median path (parallel row reduction).
+    let video = GeneratedVideo::generate(VideoSpec {
+        name: "determinism".into(),
+        nominal_size: Size::new(160, 120),
+        raster_scale: 1.0,
+        num_frames: 40,
+        num_objects: 6,
+        scene: SceneKind::MovingStreet,
+        camera: Camera::Pan { speed: 1.2 },
+        class: ObjectClass::Pedestrian,
+        fps: 14.0,
+        seed: 21,
+        min_lifetime: 10,
+        max_lifetime: 30,
+        lifetime_mix: None,
+        lighting_drift: 0.1,
+        lighting_period: 12.0,
+    });
+    for background in [BackgroundMode::KeyFrameInpaint, BackgroundMode::TemporalMedian] {
+        let mut cfg = fast_config(0.2, 22);
+        cfg.background = background;
+        let key_frames = verro_vision::keyframe::extract_key_frames(&video, &cfg.keyframe);
+        let a = verro_core::synthesis::build_backgrounds(
+            &video,
+            video.annotations(),
+            &key_frames,
+            &cfg,
+        );
+        let b = verro_core::synthesis::build_backgrounds(
+            &video,
+            video.annotations(),
+            &key_frames,
+            &cfg,
+        );
+        assert_eq!(a.len(), b.len(), "{background:?}: segment count diverged");
+        for (i, (sa, sb)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(sa, sb, "{background:?}: background {i} not bit-identical");
+        }
+    }
+}
+
+#[test]
 fn debiasing_recovers_presence_density() {
     // Owner-side check of the "noise cancellation" property: debiased column
     // counts of the randomized matrix approximate the true counts.
