@@ -1,0 +1,216 @@
+//! Shared deterministic fixtures for integration tests and the audit.
+//!
+//! Every generator here is a pure function of its seed, so any test (or the
+//! `verro audit` CLI) gets bit-identical inputs across runs and crates. The
+//! root integration tests consume these instead of local ad-hoc setup.
+
+use verro_core::config::BackgroundMode;
+use verro_core::VerroConfig;
+use verro_video::annotations::VideoAnnotations;
+use verro_video::generator::{GeneratedVideo, VideoSpec};
+use verro_video::geometry::BBox;
+use verro_video::object::{ObjectClass, ObjectId};
+use verro_video::{Camera, SceneKind, Size};
+use verro_vision::keyframe::{KeyFrameResult, Segment};
+
+/// The standard 240×180, 100-frame, 12-object street scene used by the
+/// end-to-end pipeline tests.
+pub fn street_video(seed: u64) -> GeneratedVideo {
+    GeneratedVideo::generate(VideoSpec {
+        name: "integration".into(),
+        nominal_size: Size::new(240, 180),
+        raster_scale: 1.0,
+        num_frames: 100,
+        num_objects: 12,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed,
+        min_lifetime: 25,
+        max_lifetime: 80,
+        lifetime_mix: None,
+        lighting_drift: 0.12,
+        lighting_period: 20.0,
+    })
+}
+
+/// The small 200×150, 60-frame scene the privacy-property tests sweep over
+/// object counts.
+pub fn privacy_video(num_objects: usize, seed: u64) -> GeneratedVideo {
+    GeneratedVideo::generate(VideoSpec {
+        name: "privacy".into(),
+        nominal_size: Size::new(200, 150),
+        raster_scale: 1.0,
+        num_frames: 60,
+        num_objects,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed,
+        min_lifetime: 20,
+        max_lifetime: 50,
+        lifetime_mix: None,
+        lighting_drift: 0.1,
+        lighting_period: 15.0,
+    })
+}
+
+/// The substrate-test scene (detection/tracking/key-frame quality), with
+/// lifetimes proportional to the video length.
+pub fn substrate_video(seed: u64, objects: usize, frames: usize) -> GeneratedVideo {
+    GeneratedVideo::generate(VideoSpec {
+        name: "substrate".into(),
+        nominal_size: Size::new(240, 180),
+        raster_scale: 1.0,
+        num_frames: frames,
+        num_objects: objects,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed,
+        min_lifetime: frames / 3,
+        max_lifetime: frames * 3 / 4,
+        lifetime_mix: None,
+        lighting_drift: 0.10,
+        lighting_period: 20.0,
+    })
+}
+
+/// A fast test configuration: temporal-median backgrounds and a coarser
+/// key-frame stride, with the optimizer's Laplace noise left on (the
+/// full-guarantee setting).
+pub fn fast_config(f: f64, seed: u64) -> VerroConfig {
+    let mut cfg = VerroConfig::default().with_flip(f).with_seed(seed);
+    cfg.background = BackgroundMode::TemporalMedian;
+    cfg.keyframe.stride = 2;
+    cfg
+}
+
+/// [`fast_config`] with the optimizer noise disabled: deterministic
+/// frame-picking for tests that compare runs or assert exact structure.
+pub fn deterministic_config(f: f64, seed: u64) -> VerroConfig {
+    let mut cfg = fast_config(f, seed);
+    cfg.optimizer_noise_epsilon = None;
+    cfg
+}
+
+/// A [`KeyFrameResult`] with one single-frame segment per given frame —
+/// bypasses Algorithm 2 where a test wants to fix the key frames exactly.
+pub fn key_frames_at(frames: &[usize]) -> KeyFrameResult {
+    KeyFrameResult {
+        segments: frames
+            .iter()
+            .map(|&k| Segment {
+                frames: vec![k],
+                key_frame: k,
+            })
+            .collect(),
+    }
+}
+
+/// Number of frames in the [`audit_annotations`] fixture.
+pub const AUDIT_FRAMES: usize = 48;
+
+/// The key frames the audit fixes (every 6th frame, offset 2).
+pub const AUDIT_KEY_FRAMES: [usize; 8] = [2, 8, 14, 20, 26, 32, 38, 44];
+
+/// Lifetimes (half-open frame ranges) of the six audit objects. Objects 0
+/// and 1 are the adversarial pair — complementary lifetimes, so their
+/// presence rows differ on *every* key frame (maximum Hamming distance, the
+/// worst case of Theorem 3.3). The rest pad every key-frame column count to
+/// ≥ 3 so the Laplace-noised optimizer picks a stable frame set across
+/// trials.
+pub const AUDIT_LIFETIMES: [(usize, usize); 6] =
+    [(0, 24), (24, 48), (0, 48), (6, 42), (0, 30), (18, 48)];
+
+/// Deterministic annotations for the ε-audit: six pedestrians with the
+/// [`AUDIT_LIFETIMES`] presence pattern and simple linear motion. The
+/// trajectories are irrelevant to Phase I (only presence matters); they
+/// exist so the fixture is a complete, valid annotation set.
+pub fn audit_annotations() -> VideoAnnotations {
+    let mut ann = VideoAnnotations::new(AUDIT_FRAMES);
+    for (i, &(start, end)) in AUDIT_LIFETIMES.iter().enumerate() {
+        for k in start..end {
+            let x = 10.0 + 3.0 * i as f64 + 2.0 * (k - start) as f64;
+            let y = 20.0 + 15.0 * i as f64;
+            ann.record(
+                ObjectId(i as u32),
+                ObjectClass::Pedestrian,
+                k,
+                BBox::new(x, y, 6.0, 12.0),
+            );
+        }
+    }
+    ann
+}
+
+/// The audit's fixed key-frame result over [`AUDIT_KEY_FRAMES`].
+pub fn audit_key_frames() -> KeyFrameResult {
+    key_frames_at(&AUDIT_KEY_FRAMES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verro_core::presence::PresenceMatrix;
+
+    #[test]
+    fn generators_are_deterministic_in_the_seed() {
+        assert_eq!(
+            street_video(3).annotations(),
+            street_video(3).annotations()
+        );
+        assert_eq!(
+            privacy_video(5, 4).annotations(),
+            privacy_video(5, 4).annotations()
+        );
+        assert_eq!(
+            substrate_video(5, 4, 30).annotations(),
+            substrate_video(5, 4, 30).annotations()
+        );
+        assert_ne!(
+            street_video(3).annotations(),
+            street_video(4).annotations()
+        );
+    }
+
+    #[test]
+    fn configs_differ_only_in_optimizer_noise() {
+        let fast = fast_config(0.2, 7);
+        let det = deterministic_config(0.2, 7);
+        assert_eq!(fast.optimizer_noise_epsilon, Some(1.0));
+        assert_eq!(det.optimizer_noise_epsilon, None);
+        let mut fast = fast;
+        fast.optimizer_noise_epsilon = None;
+        assert_eq!(fast, det);
+    }
+
+    #[test]
+    fn audit_fixture_has_the_designed_shape() {
+        let ann = audit_annotations();
+        assert_eq!(ann.num_frames(), AUDIT_FRAMES);
+        assert_eq!(ann.num_objects(), 6);
+        let reduced = PresenceMatrix::from_annotations(&ann).project(&AUDIT_KEY_FRAMES);
+        // The adversarial pair is complementary on every key frame.
+        assert_eq!(
+            reduced.row(0).hamming(reduced.row(1)),
+            AUDIT_KEY_FRAMES.len()
+        );
+        // Every key-frame column holds ≥ 3 objects: the pick costs stay
+        // firmly negative under Laplace(1) count noise, keeping the modal
+        // picked set dominant.
+        for k in 0..AUDIT_KEY_FRAMES.len() {
+            assert!(reduced.column_count(k) >= 3, "column {k} too sparse");
+        }
+    }
+
+    #[test]
+    fn audit_key_frames_cover_the_fixture() {
+        let kf = audit_key_frames();
+        assert_eq!(kf.key_frames(), AUDIT_KEY_FRAMES.to_vec());
+        assert!(AUDIT_KEY_FRAMES.iter().all(|&k| k < AUDIT_FRAMES));
+    }
+}

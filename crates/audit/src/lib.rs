@@ -1,0 +1,212 @@
+//! Empirical ε-audit of the VERRO mechanisms.
+//!
+//! The repo's `PrivacyStatement` *states* the Theorem 3.3/3.4 bound
+//! `ε = ℓ*·ln((2−f)/f)` (plus the Section 3.3.3 Laplace side channel ε′);
+//! this crate *measures* whether the implemented mechanisms actually achieve
+//! it:
+//!
+//! * [`mc`] — a Monte-Carlo estimator that runs the real Phase I pipeline on
+//!   an adversarial fixture and bounds the Definition 2.1 likelihood ratio
+//!   with Clopper–Pearson confidence intervals;
+//! * [`stats`] — χ²/KS goodness-of-fit for `sample_laplace` and exact
+//!   flip-rate estimation for the Equation 4 randomized response, reusable
+//!   as `#[ignore]`-able statistical tests;
+//! * [`fixtures`] — deterministic synthetic videos, configs, and presence
+//!   patterns shared by the root integration tests and the audit itself;
+//! * [`report`] — the machine-readable report `verro audit` emits
+//!   (byte-identical JSON for a fixed seed).
+
+pub mod fixtures;
+pub mod mc;
+pub mod report;
+pub mod stats;
+
+pub use mc::{audit_phase1, McOptions};
+pub use report::{AuditReport, CheckResult, Interval, McAudit, PairAudit, Verdict};
+
+use verro_core::error::VerroError;
+use verro_core::VerroConfig;
+
+/// Knobs of a full [`run_audit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditOptions {
+    /// Monte-Carlo settings for the Phase I indistinguishability audit.
+    pub mc: McOptions,
+    /// Sample count for the Laplace goodness-of-fit and RR flip-rate
+    /// checks.
+    pub check_samples: usize,
+    /// Significance level of the primitive checks.
+    pub check_alpha: f64,
+    /// Bin count of the Laplace χ² test.
+    pub chi2_bins: usize,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        Self {
+            mc: McOptions::default(),
+            check_samples: 20_000,
+            check_alpha: 0.01,
+            chi2_bins: 16,
+        }
+    }
+}
+
+/// Runs the full audit: the Monte-Carlo Phase I indistinguishability check
+/// on the [`fixtures::audit_annotations`] adversarial fixture, then the
+/// primitive-level Laplace and randomized-response checks at the parameters
+/// the mechanism actually realized.
+///
+/// Everything derives from `seed`, so a rerun with the same seed and
+/// options produces a byte-identical [`AuditReport`] JSON.
+pub fn run_audit(
+    config: &VerroConfig,
+    seed: u64,
+    opts: &AuditOptions,
+) -> Result<AuditReport, VerroError> {
+    let annotations = fixtures::audit_annotations();
+    let key_frames = fixtures::audit_key_frames();
+    let mc = mc::audit_phase1(&annotations, &key_frames, config, seed, &opts.mc)?;
+    let flip = mc.flip;
+
+    // Audit the Laplace primitive at the scale the optimizer side channel
+    // uses (Δ = 1, b = 1/ε′), falling back to the unit scale when the noise
+    // is disabled — the sampler itself is still worth checking.
+    let laplace_scale = config
+        .optimizer_noise_epsilon
+        .map_or(1.0, |eps| 1.0 / eps);
+    // Check seeds live at the top of the index space, far from the
+    // per-trial seeds `derive_seed(seed, 0..trials)` the MC audit consumed.
+    let mut checks = vec![
+        stats::laplace_ks_check(
+            laplace_scale,
+            opts.check_samples,
+            mc::derive_seed(seed, u64::MAX),
+            opts.check_alpha,
+        ),
+        stats::laplace_chi2_check(
+            laplace_scale,
+            opts.check_samples,
+            opts.chi2_bins,
+            mc::derive_seed(seed, u64::MAX - 1),
+            opts.check_alpha,
+        ),
+    ];
+    checks.extend(stats::rr_flip_rate_checks(
+        flip,
+        opts.check_samples,
+        mc::derive_seed(seed, u64::MAX - 2),
+        opts.check_alpha,
+    ));
+
+    let all_pass = checks.iter().all(|c| c.verdict.passed()) && mc.verdict.passed();
+    Ok(AuditReport {
+        schema_version: 1,
+        seed,
+        flip,
+        optimizer_noise_epsilon: config.optimizer_noise_epsilon,
+        checks,
+        mc,
+        all_pass,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_opts(trials: usize) -> AuditOptions {
+        let mut opts = AuditOptions::default();
+        opts.mc.trials = trials;
+        opts.check_samples = 2_000;
+        opts
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_reruns() {
+        let config = VerroConfig::default();
+        let opts = small_opts(120);
+        let a = run_audit(&config, 0, &opts).unwrap();
+        let b = run_audit(&config, 0, &opts).unwrap();
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+        // A different seed changes the empirical numbers.
+        let c = run_audit(&config, 1, &opts).unwrap();
+        assert_ne!(a.to_json_pretty(), c.to_json_pretty());
+    }
+
+    #[test]
+    fn report_structure_covers_all_checks_and_pairs() {
+        let config = VerroConfig::default();
+        let report = run_audit(&config, 0, &small_opts(120)).unwrap();
+        let names: Vec<&str> = report.checks.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "laplace-ks",
+                "laplace-chi2",
+                "rr-flip-rate-p1-given-1",
+                "rr-flip-rate-p1-given-0"
+            ]
+        );
+        // 6 objects → 15 pairs, worst (complementary) pair first.
+        assert_eq!(report.mc.pairs.len(), 15);
+        assert_eq!(report.mc.pairs[0].hamming, 8);
+        assert_eq!(
+            (report.mc.pairs[0].object_i, report.mc.pairs[0].object_j),
+            (0, 1)
+        );
+        assert!(report.mc.trials_used <= report.mc.trials);
+        assert!(report.mc.trials_used > 0);
+        // ε_total composes RR + optimizer noise for the default config.
+        assert!(
+            (report.mc.epsilon_total - report.mc.epsilon_rr - 1.0).abs() < 1e-12,
+            "epsilon_total {} vs epsilon_rr {}",
+            report.mc.epsilon_total,
+            report.mc.epsilon_rr
+        );
+    }
+
+    /// The full default-size audit: every pair certified, every primitive
+    /// check green. Mirrors the `verro audit --seed 0` acceptance run;
+    /// ignored in tier-1 because it runs 4000 Phase I trials.
+    #[test]
+    #[ignore = "full-size statistical audit (~seconds); run with --ignored"]
+    fn default_audit_passes_at_seed_zero() {
+        let report = run_audit(&VerroConfig::default(), 0, &AuditOptions::default()).unwrap();
+        for check in &report.checks {
+            assert_eq!(check.verdict, Verdict::Pass, "{check:?}");
+        }
+        for pair in &report.mc.pairs {
+            assert!(
+                pair.empirical_epsilon_ucb <= report.mc.epsilon_total + report.mc.slack,
+                "pair ({}, {}) ucb {} vs claim {} + slack {}",
+                pair.object_i,
+                pair.object_j,
+                pair.empirical_epsilon_ucb,
+                report.mc.epsilon_total,
+                report.mc.slack
+            );
+            assert_eq!(pair.verdict, Verdict::Pass);
+        }
+        assert!(report.all_pass);
+        // The modal picked set at seed 0 is the full designed key-frame set.
+        assert_eq!(report.mc.picked_frames, fixtures::AUDIT_KEY_FRAMES.to_vec());
+    }
+
+    /// Negative control for the whole harness: audited against a *stricter*
+    /// claim than the mechanism satisfies (slack-free comparison at half the
+    /// true ε), the worst pair's lcb must expose the gap.
+    #[test]
+    #[ignore = "full-size statistical audit (~seconds); run with --ignored"]
+    fn audit_detects_understated_epsilon() {
+        let report = run_audit(&VerroConfig::default(), 0, &AuditOptions::default()).unwrap();
+        let worst = &report.mc.pairs[0];
+        let understated = report.mc.epsilon_total / 2.0;
+        assert!(
+            worst.empirical_epsilon_lcb > understated,
+            "lcb {} should reject the understated claim {}",
+            worst.empirical_epsilon_lcb,
+            understated
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Monte-Carlo audit of the Phase I ε-Object Indistinguishability claim.
+//!
+//! The estimator treats the mechanism as a black box: it runs the real
+//! [`run_phase1`] pipeline once per trial with an independent per-trial seed,
+//! conditions on the modal picked-frame set (the optimizer's Laplace noise
+//! can shift the selection between trials), and bounds the Definition 2.1
+//! likelihood ratio `Pr[A(O_i)=y] / Pr[A(O_j)=y]` for every object pair.
+//!
+//! Because Equation 4 randomizes each picked coordinate independently, the
+//! worst case over joint outputs `y ∈ {0,1}^{ℓ*}` factorizes:
+//!
+//! ```text
+//! sup_y ln(Pr_i[y]/Pr_j[y]) = Σ_k max_{y_k} ln(Pr_i[y_k]/Pr_j[y_k])
+//! ```
+//!
+//! so per-coordinate Clopper–Pearson bounds on the marginal one-rates compose
+//! (by summation) into a bound on the full ε — which is what makes the audit
+//! tractable at a few thousand trials instead of the ~(2/f)^{ℓ*} trials a
+//! joint-event estimate would need.
+
+use crate::report::{Interval, McAudit, PairAudit, Verdict};
+use crate::stats::clopper_pearson;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use verro_core::config::{OptimizerStrategy, VerroConfig};
+use verro_core::error::VerroError;
+use verro_core::phase1::run_phase1;
+use verro_core::presence::PresenceMatrix;
+use verro_video::annotations::VideoAnnotations;
+use verro_vision::keyframe::KeyFrameResult;
+
+/// Knobs of the Monte-Carlo audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McOptions {
+    /// Number of independent Phase I trials.
+    pub trials: usize,
+    /// Per-interval significance level of the Clopper–Pearson bounds.
+    pub alpha: f64,
+    /// Relative certification slack (fraction of the claimed ε_total added
+    /// to absorb finite-sample interval overshoot).
+    pub slack_rel: f64,
+    /// Absolute certification slack.
+    pub slack_abs: f64,
+    /// Maximum number of object pairs to report (worst pairs first; all
+    /// pairs are always *computed*).
+    pub max_pairs: usize,
+}
+
+impl Default for McOptions {
+    fn default() -> Self {
+        Self {
+            trials: 4000,
+            alpha: 0.05,
+            slack_rel: 0.10,
+            slack_abs: 0.10,
+            max_pairs: 32,
+        }
+    }
+}
+
+/// SplitMix64 step: decorrelates per-trial seeds derived from one master
+/// seed (the weak structure of `master + i` would correlate StdRng streams).
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-pair bounds on the worst-case log likelihood ratio, from the
+/// per-coordinate one-counts of the two objects over `trials` conditioned
+/// runs. Pure function of the counts — unit-testable without running the
+/// mechanism.
+///
+/// Returns `(point, lcb, ucb)` where each is `Σ_k max(0, max over output
+/// value and direction of the per-coordinate log ratio)`:
+/// * `point` uses add-half smoothed frequencies `(c + 0.5)/(n + 1)`;
+/// * `ucb` pairs the numerator's Clopper–Pearson upper bound with the
+///   denominator's lower bound (valid upper bound per coordinate, so the
+///   sum upper-bounds the composed ε);
+/// * `lcb` does the reverse; a `lcb` above the claim is significant
+///   evidence of a violation.
+pub fn pair_epsilon_bounds(
+    ones_i: &[usize],
+    ones_j: &[usize],
+    trials: usize,
+    alpha: f64,
+) -> (f64, f64, f64) {
+    assert_eq!(ones_i.len(), ones_j.len());
+    assert!(trials > 0);
+    // Probabilities can legitimately approach 0 or 1; floor the denominator
+    // of a ratio so a zero-count coordinate yields a huge-but-finite bound
+    // (which fails certification loudly) instead of ±∞/NaN.
+    const FLOOR: f64 = 1e-12;
+    let n = trials as f64;
+    let mut point = 0.0;
+    let mut lcb = 0.0;
+    let mut ucb = 0.0;
+    for (&ci, &cj) in ones_i.iter().zip(ones_j) {
+        let int_i = clopper_pearson(ci, trials, alpha);
+        let int_j = clopper_pearson(cj, trials, alpha);
+        let hat_i = (ci as f64 + 0.5) / (n + 1.0);
+        let hat_j = (cj as f64 + 0.5) / (n + 1.0);
+        // Worst case over the output bit (1 or 0) and the ratio direction
+        // (i/j or j/i); the per-coordinate sup-ratio is ≥ 1, hence the floor
+        // of each term at 0.
+        let worst = |pi_lo: f64, pi_hi: f64, pj_lo: f64, pj_hi: f64| -> f64 {
+            let mut w = 0.0f64;
+            for (num, den) in [
+                (pi_hi, pj_lo),             // y = 1, ratio i/j
+                (pj_hi, pi_lo),             // y = 1, ratio j/i
+                (1.0 - pi_lo, 1.0 - pj_hi), // y = 0, ratio i/j
+                (1.0 - pj_lo, 1.0 - pi_hi), // y = 0, ratio j/i
+            ] {
+                w = w.max((num.max(FLOOR) / den.max(FLOOR)).ln());
+            }
+            w
+        };
+        point += worst(hat_i, hat_i, hat_j, hat_j);
+        ucb += worst(int_i.lo, int_i.hi, int_j.lo, int_j.hi);
+        // For the lower bound the roles swap: the smallest ratio consistent
+        // with the intervals pairs each numerator's lower bound with the
+        // denominator's upper bound.
+        lcb += worst(int_i.hi, int_i.lo, int_j.hi, int_j.lo);
+    }
+    (point, lcb, ucb)
+}
+
+/// Per-group accumulator: trial count plus per-object, per-coordinate
+/// one-counts of the randomized rows.
+struct GroupStats {
+    count: usize,
+    ones: Vec<Vec<usize>>,
+    flip: f64,
+    epsilon_rr: f64,
+}
+
+/// Runs the Monte-Carlo indistinguishability audit of Phase I.
+///
+/// `master_seed` derives one independent seed per trial via [`derive_seed`];
+/// a rerun with the same inputs is bit-identical. The claimed ε the pairs
+/// are certified against is `epsilon_rr + ε′` of the modal group — the same
+/// composition [`verro_core::privacy::PrivacyStatement`] reports.
+pub fn audit_phase1(
+    annotations: &VideoAnnotations,
+    key_frames: &KeyFrameResult,
+    config: &VerroConfig,
+    master_seed: u64,
+    opts: &McOptions,
+) -> Result<McAudit, VerroError> {
+    assert!(opts.trials > 0, "need at least one trial");
+    let mut groups: BTreeMap<Vec<usize>, GroupStats> = BTreeMap::new();
+    for trial in 0..opts.trials {
+        let mut rng = StdRng::seed_from_u64(derive_seed(master_seed, trial as u64));
+        let out = run_phase1(annotations, key_frames, config, &mut rng)?;
+        let n = out.randomized.num_objects();
+        let ell = out.picked_frames.len();
+        let stats = groups
+            .entry(out.picked_frames.clone())
+            .or_insert_with(|| GroupStats {
+                count: 0,
+                ones: vec![vec![0; ell]; n],
+                flip: out.flip,
+                epsilon_rr: out.epsilon,
+            });
+        stats.count += 1;
+        for i in 0..n {
+            let row = out.randomized.row(i);
+            for (k, ones) in stats.ones[i].iter_mut().enumerate() {
+                if row.get(k) {
+                    *ones += 1;
+                }
+            }
+        }
+    }
+
+    // Modal picked set; BTreeMap iteration order makes the tie-break (first
+    // key wins) deterministic.
+    let (picked, stats) = groups
+        .iter()
+        .max_by(|(ka, a), (kb, b)| a.count.cmp(&b.count).then(kb.cmp(ka)))
+        .expect("at least one trial ran");
+    let trials_used = stats.count;
+
+    let epsilon_optimizer = match config.optimizer {
+        OptimizerStrategy::AllKeyFrames => None,
+        _ => config.optimizer_noise_epsilon,
+    };
+    let epsilon_total = stats.epsilon_rr + epsilon_optimizer.unwrap_or(0.0);
+    let slack = opts.slack_rel * epsilon_total + opts.slack_abs;
+
+    // True presence bits over the modal picked frames, for the Hamming
+    // distances that rank pairs worst-first.
+    let truth = PresenceMatrix::from_annotations(annotations).project(picked);
+    let n = truth.num_objects();
+
+    let mut pairs: Vec<PairAudit> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let hamming = truth.row(i).hamming(truth.row(j));
+            let (point, lcb, ucb) =
+                pair_epsilon_bounds(&stats.ones[i], &stats.ones[j], trials_used, opts.alpha);
+            let verdict = if lcb > epsilon_total || ucb > epsilon_total + slack {
+                Verdict::Fail
+            } else {
+                Verdict::Pass
+            };
+            pairs.push(PairAudit {
+                object_i: truth.ids()[i].0,
+                object_j: truth.ids()[j].0,
+                hamming,
+                empirical_epsilon: point,
+                empirical_epsilon_ucb: ucb,
+                empirical_epsilon_lcb: lcb,
+                verdict,
+            });
+        }
+    }
+    pairs.sort_by(|a, b| {
+        b.hamming
+            .cmp(&a.hamming)
+            .then(a.object_i.cmp(&b.object_i))
+            .then(a.object_j.cmp(&b.object_j))
+    });
+    pairs.truncate(opts.max_pairs);
+
+    let verdict = if pairs.iter().all(|p| p.verdict.passed()) {
+        Verdict::Pass
+    } else {
+        Verdict::Fail
+    };
+    Ok(McAudit {
+        trials: opts.trials,
+        trials_used,
+        picked_frames: picked.clone(),
+        flip: stats.flip,
+        epsilon_rr: stats.epsilon_rr,
+        epsilon_total,
+        slack,
+        confidence: 1.0 - opts.alpha,
+        pairs,
+        verdict,
+    })
+}
+
+/// Convenience `Interval` over a pair's [lcb, ucb] band (used by reporting
+/// callers that want the band as a single value).
+pub fn pair_band(pair: &PairAudit, confidence: f64) -> Interval {
+    Interval {
+        lo: pair.empirical_epsilon_lcb,
+        hi: pair.empirical_epsilon_ucb,
+        confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_decorrelates_indices() {
+        let a = derive_seed(0, 0);
+        let b = derive_seed(0, 1);
+        let c = derive_seed(1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable across calls (resumability of the audit).
+        assert_eq!(a, derive_seed(0, 0));
+    }
+
+    /// Exact one-counts matching the theoretical rates of a differing bit at
+    /// flip `f`: the bounds must bracket the true per-coordinate ε.
+    #[test]
+    fn pair_bounds_bracket_theory_on_exact_counts() {
+        let f = 0.1f64;
+        let trials = 4000usize;
+        let ones_hi = (trials as f64 * (1.0 - f / 2.0)).round() as usize;
+        let ones_lo = (trials as f64 * (f / 2.0)).round() as usize;
+        // 8 coordinates all differing: object i present, object j absent.
+        let ones_i = vec![ones_hi; 8];
+        let ones_j = vec![ones_lo; 8];
+        let (point, lcb, ucb) = pair_epsilon_bounds(&ones_i, &ones_j, trials, 0.05);
+        let theory = 8.0 * ((2.0 - f) / f).ln();
+        assert!(
+            (point - theory).abs() < 0.2,
+            "point {point} vs theory {theory}"
+        );
+        assert!(lcb < theory && theory < ucb, "{lcb} < {theory} < {ucb}");
+        // The band is tight at this sample size.
+        assert!(ucb - lcb < 0.35 * theory, "band [{lcb}, {ucb}] too wide");
+    }
+
+    /// Negative control: counts produced at f = 0.1 audited against the much
+    /// smaller ε claim of f = 0.5 must flag a violation (lcb above claim).
+    #[test]
+    fn pair_bounds_detect_violation_of_smaller_claim() {
+        let trials = 4000usize;
+        let ones_i = vec![(trials as f64 * 0.95).round() as usize; 8];
+        let ones_j = vec![(trials as f64 * 0.05).round() as usize; 8];
+        let (_, lcb, _) = pair_epsilon_bounds(&ones_i, &ones_j, trials, 0.05);
+        let claimed_at_half = 8.0 * ((2.0 - 0.5f64) / 0.5).ln(); // ≈ 8.79
+        assert!(
+            lcb > claimed_at_half,
+            "lcb {lcb} should exceed the f=0.5 claim {claimed_at_half}"
+        );
+    }
+
+    /// Identical counts (same object twice) give a near-zero point estimate
+    /// and an lcb of exactly zero.
+    #[test]
+    fn pair_bounds_near_zero_for_identical_distributions() {
+        let ones = vec![3800usize, 200, 2000, 3800];
+        let (point, lcb, ucb) = pair_epsilon_bounds(&ones, &ones, 4000, 0.05);
+        assert_eq!(point, 0.0);
+        assert_eq!(lcb, 0.0);
+        assert!(ucb > 0.0 && ucb < 2.0, "ucb = {ucb}");
+    }
+
+    /// A zero count opposite a full count must produce a loud (huge) ucb,
+    /// not NaN or infinity.
+    #[test]
+    fn pair_bounds_survive_degenerate_counts() {
+        let (point, lcb, ucb) = pair_epsilon_bounds(&[0], &[100], 100, 0.05);
+        assert!(point.is_finite() && lcb.is_finite() && ucb.is_finite());
+        assert!(ucb > lcb && lcb > 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Machine-readable audit report types.
+//!
+//! Every field is either an integer, a finite float computed from seeded
+//! randomness, or a `Vec` — no maps with nondeterministic iteration order and
+//! no wall-clock data — so serializing the report for a fixed seed is
+//! byte-identical across runs (the CLI contract of `verro audit`).
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one audit check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The empirical behavior is consistent with the claimed guarantee.
+    Pass,
+    /// The empirical behavior contradicts the claim (or cannot certify it
+    /// within the configured slack).
+    Fail,
+    /// The check could not run on this configuration (e.g. no Laplace noise
+    /// configured); not counted against `all_pass`.
+    Skip,
+}
+
+impl Verdict {
+    pub fn passed(self) -> bool {
+        !matches!(self, Verdict::Fail)
+    }
+}
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+    /// Joint coverage of the interval, e.g. 0.95.
+    pub confidence: f64,
+}
+
+impl Interval {
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+}
+
+/// One primitive-level statistical check (Laplace goodness-of-fit, RR flip
+/// rate, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckResult {
+    /// Stable machine name, e.g. `"laplace-ks"`.
+    pub name: String,
+    pub verdict: Verdict,
+    /// The test statistic (KS distance, χ², …) or point estimate.
+    pub statistic: f64,
+    /// The decision threshold the statistic was compared against (critical
+    /// value, significance level, claimed parameter — see `detail`).
+    pub threshold: f64,
+    /// Confidence interval attached to the estimate, when the check is an
+    /// interval test.
+    pub interval: Option<Interval>,
+    /// Human-readable explanation of what was tested and how.
+    pub detail: String,
+}
+
+/// Audit of one adversarial object pair under the Definition 2.1 likelihood
+/// ratio `Pr[A(O_i)=y] / Pr[A(O_j)=y]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairAudit {
+    /// Object IDs of the audited pair.
+    pub object_i: u32,
+    pub object_j: u32,
+    /// Hamming distance of the pair's true presence rows over the picked
+    /// frames (adversarial pairs maximize this).
+    pub hamming: usize,
+    /// Point estimate of the worst-case log likelihood ratio (smoothed
+    /// frequencies, composed over the picked coordinates).
+    pub empirical_epsilon: f64,
+    /// Upper confidence bound on the worst-case log ratio: per-coordinate
+    /// Clopper–Pearson bounds composed over the picked coordinates. The
+    /// mechanism is certified when this is ≤ ε_claimed + slack.
+    pub empirical_epsilon_ucb: f64,
+    /// Lower confidence bound on the worst-case log ratio. A value above
+    /// ε_claimed is statistically significant evidence of a violation.
+    pub empirical_epsilon_lcb: f64,
+    pub verdict: Verdict,
+}
+
+/// Result of the Monte-Carlo indistinguishability audit of Phase I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McAudit {
+    /// Total Phase I trials executed.
+    pub trials: usize,
+    /// Trials in the modal picked-frame group (the event space the pair
+    /// audits condition on; optimizer noise can shift the picked set).
+    pub trials_used: usize,
+    /// The modal picked key frames (global frame indices).
+    pub picked_frames: Vec<usize>,
+    /// Flip probability the mechanism realized.
+    pub flip: f64,
+    /// Claimed randomized-response ε = ℓ*·ln((2−f)/f) for the modal group.
+    pub epsilon_rr: f64,
+    /// Claimed total ε (RR + optimizer Laplace side channel).
+    pub epsilon_total: f64,
+    /// Certification slack added to the claim to absorb finite-sample
+    /// Clopper–Pearson overshoot (shrinks as trials grow).
+    pub slack: f64,
+    /// Per-interval confidence used for the Clopper–Pearson bounds.
+    pub confidence: f64,
+    /// Per-pair audits, worst (most adversarial) pairs first.
+    pub pairs: Vec<PairAudit>,
+    pub verdict: Verdict,
+}
+
+/// The full `verro audit` report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Report schema version (bump on breaking JSON changes).
+    pub schema_version: u32,
+    /// Master seed all trial seeds derive from.
+    pub seed: u64,
+    /// Flip probability audited (from the config, or realized in budget
+    /// mode).
+    pub flip: f64,
+    /// The optimizer Laplace ε′ in effect, if any.
+    pub optimizer_noise_epsilon: Option<f64>,
+    /// Primitive-level statistical checks.
+    pub checks: Vec<CheckResult>,
+    /// The Monte-Carlo indistinguishability audit.
+    pub mc: McAudit,
+    /// True iff no check and no pair audit failed.
+    pub all_pass: bool,
+}
+
+impl AuditReport {
+    /// Deterministic pretty JSON (fixed field order via the derive,
+    /// `Vec`-only collections).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("audit report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_passed_semantics() {
+        assert!(Verdict::Pass.passed());
+        assert!(Verdict::Skip.passed());
+        assert!(!Verdict::Fail.passed());
+    }
+
+    #[test]
+    fn interval_contains_endpoints() {
+        let i = Interval {
+            lo: 0.2,
+            hi: 0.4,
+            confidence: 0.95,
+        };
+        assert!(i.contains(0.2) && i.contains(0.4) && i.contains(0.3));
+        assert!(!i.contains(0.19) && !i.contains(0.41));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = AuditReport {
+            schema_version: 1,
+            seed: 7,
+            flip: 0.1,
+            optimizer_noise_epsilon: Some(1.0),
+            checks: vec![CheckResult {
+                name: "rr-flip-rate".into(),
+                verdict: Verdict::Pass,
+                statistic: 0.9493,
+                threshold: 0.95,
+                interval: Some(Interval {
+                    lo: 0.9461,
+                    hi: 0.9524,
+                    confidence: 0.95,
+                }),
+                detail: "P(1|1) vs 1 - f/2".into(),
+            }],
+            mc: McAudit {
+                trials: 100,
+                trials_used: 90,
+                picked_frames: vec![2, 8],
+                flip: 0.1,
+                epsilon_rr: 5.889,
+                epsilon_total: 6.889,
+                slack: 0.688,
+                confidence: 0.95,
+                pairs: vec![],
+                verdict: Verdict::Pass,
+            },
+            all_pass: true,
+        };
+        let json = report.to_json_pretty();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        // Serialization is deterministic.
+        assert_eq!(json, report.to_json_pretty());
+    }
+}

@@ -1,0 +1,526 @@
+//! Statistical machinery for the audit: exact binomial (Clopper–Pearson)
+//! confidence intervals, χ² and Kolmogorov–Smirnov goodness-of-fit tests,
+//! and the primitive-level mechanism checks built on them.
+//!
+//! Everything is implemented on `std` only — special functions via the
+//! Lanczos log-gamma, the incomplete beta continued fraction, and the
+//! incomplete gamma series/continued-fraction pair — so the audit has no
+//! statistics dependency and stays bit-deterministic for a fixed seed.
+
+use crate::report::{CheckResult, Interval, Verdict};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use verro_ldp::bitvec::BitVec;
+use verro_ldp::laplace::sample_laplace;
+use verro_ldp::rr::randomize_flip;
+
+// ------------------------------------------------------ special functions
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0` (g = 7, 9 coefficients;
+/// ~15 significant digits).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const COEF: [f64; 8] = [
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = 0.99999999999980993;
+    for (i, &c) in COEF.iter().enumerate() {
+        a += c / (x + i as f64 + 1.0);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the Lentz continued
+/// fraction, with the symmetry transform for fast convergence.
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "betai requires a,b > 0");
+    assert!((0.0..=1.0).contains(&x), "betai requires x in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let front = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+        + a * x.ln()
+        + b * (1.0 - x).ln())
+    .exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+            + b * (1.0 - x).ln()
+            + a * x.ln())
+        .exp()
+            * beta_cf(b, a, 1.0 - x)
+            / b
+    }
+}
+
+/// Modified Lentz evaluation of the incomplete-beta continued fraction.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Quantile of the Beta(a, b) distribution by bisection on `betai`
+/// (monotone in x; 200 halvings reach full f64 precision).
+pub fn beta_inv(p: f64, a: f64, b: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if betai(a, b, mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-15 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Regularized lower incomplete gamma `P(a, x)`: series for `x < a + 1`,
+/// continued fraction otherwise.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p requires a > 0, x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a, x), then P = 1 − Q.
+        const TINY: f64 = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / TINY;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < TINY {
+                d = TINY;
+            }
+            c = b + an / c;
+            if c.abs() < TINY {
+                c = TINY;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        1.0 - (-x + a * x.ln() - ln_gamma(a)).exp() * h
+    }
+}
+
+/// Upper tail `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    1.0 - gamma_p(a, x)
+}
+
+// -------------------------------------------------------- interval bounds
+
+/// Exact (Clopper–Pearson) two-sided `1 − alpha` confidence interval for a
+/// binomial proportion with `successes` out of `trials`.
+pub fn clopper_pearson(successes: usize, trials: usize, alpha: f64) -> Interval {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials);
+    assert!(alpha > 0.0 && alpha < 1.0);
+    let (k, n) = (successes as f64, trials as f64);
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        beta_inv(alpha / 2.0, k, n - k + 1.0)
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        beta_inv(1.0 - alpha / 2.0, k + 1.0, n - k)
+    };
+    Interval {
+        lo,
+        hi,
+        confidence: 1.0 - alpha,
+    }
+}
+
+// --------------------------------------------------- goodness-of-fit tests
+
+/// CDF of `Laplace(0, scale)`.
+pub fn laplace_cdf(x: f64, scale: f64) -> f64 {
+    if x < 0.0 {
+        0.5 * (x / scale).exp()
+    } else {
+        1.0 - 0.5 * (-x / scale).exp()
+    }
+}
+
+/// Quantile of `Laplace(0, scale)`.
+pub fn laplace_quantile(p: f64, scale: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0);
+    if p < 0.5 {
+        scale * (2.0 * p).ln()
+    } else {
+        -scale * (2.0 * (1.0 - p)).ln()
+    }
+}
+
+/// One-sample Kolmogorov–Smirnov statistic `D_n = sup |F̂ − F|` of `samples`
+/// against the CDF `cdf`. Sorts a copy of the samples.
+pub fn ks_statistic(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let emp_hi = (i as f64 + 1.0) / n;
+        let emp_lo = i as f64 / n;
+        d = d.max((emp_hi - f).abs()).max((f - emp_lo).abs());
+    }
+    d
+}
+
+/// Asymptotic critical value of the one-sample KS statistic at level
+/// `alpha`: `sqrt(−ln(alpha/2) / (2n))`.
+pub fn ks_critical(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0 && alpha > 0.0 && alpha < 1.0);
+    (-(alpha / 2.0).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// χ² statistic of observed bin counts against equal expected counts, plus
+/// the p-value `Q(df/2, χ²/2)` with `df = bins − 1`.
+pub fn chi2_equal_bins(observed: &[usize], total: usize) -> (f64, f64) {
+    let bins = observed.len();
+    assert!(bins >= 2, "need at least two bins");
+    assert_eq!(observed.iter().sum::<usize>(), total);
+    let expected = total as f64 / bins as f64;
+    let stat: f64 = observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let df = (bins - 1) as f64;
+    (stat, gamma_q(df / 2.0, stat / 2.0))
+}
+
+// --------------------------------------------------- primitive-level checks
+
+/// KS goodness-of-fit of [`sample_laplace`] against the `Laplace(0, scale)`
+/// CDF: `n` seeded samples, PASS iff `D_n` is below the level-`alpha`
+/// critical value.
+pub fn laplace_ks_check(scale: f64, n: usize, seed: u64, alpha: f64) -> CheckResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples: Vec<f64> = (0..n).map(|_| sample_laplace(scale, &mut rng)).collect();
+    let d = ks_statistic(&samples, |x| laplace_cdf(x, scale));
+    let crit = ks_critical(n, alpha);
+    CheckResult {
+        name: "laplace-ks".into(),
+        verdict: if d < crit { Verdict::Pass } else { Verdict::Fail },
+        statistic: d,
+        threshold: crit,
+        interval: None,
+        detail: format!(
+            "KS distance of {n} seeded sample_laplace({scale}) draws vs the \
+             Laplace CDF; critical value at alpha = {alpha}"
+        ),
+    }
+}
+
+/// χ² goodness-of-fit of [`sample_laplace`] over `bins` equal-probability
+/// bins (cut points from the Laplace quantile function). PASS iff the
+/// p-value is at least `alpha`.
+pub fn laplace_chi2_check(scale: f64, n: usize, bins: usize, seed: u64, alpha: f64) -> CheckResult {
+    assert!(bins >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cuts: Vec<f64> = (1..bins)
+        .map(|i| laplace_quantile(i as f64 / bins as f64, scale))
+        .collect();
+    let mut observed = vec![0usize; bins];
+    for _ in 0..n {
+        let x = sample_laplace(scale, &mut rng);
+        let bin = cuts.partition_point(|&c| c < x);
+        observed[bin] += 1;
+    }
+    let (stat, p) = chi2_equal_bins(&observed, n);
+    CheckResult {
+        name: "laplace-chi2".into(),
+        verdict: if p >= alpha { Verdict::Pass } else { Verdict::Fail },
+        statistic: stat,
+        threshold: alpha,
+        interval: None,
+        detail: format!(
+            "chi-square over {bins} equal-probability bins of {n} seeded \
+             sample_laplace({scale}) draws; statistic vs df = {} yields \
+             p = {p:.6} (PASS iff p >= alpha)",
+            bins - 1
+        ),
+    }
+}
+
+/// Exact flip-rate estimation for Equation 4 randomized response: over
+/// `trials` seeded single-bit randomizations, the Clopper–Pearson interval
+/// of `P(out = 1 | in = 1)` must contain `1 − f/2` and the interval of
+/// `P(out = 1 | in = 0)` must contain `f/2`. Returns one result per
+/// conditional; both must PASS.
+pub fn rr_flip_rate_checks(f: f64, trials: usize, seed: u64, alpha: f64) -> Vec<CheckResult> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let one = BitVec::from_bools(&[true]);
+    let zero = BitVec::from_bools(&[false]);
+    let mut ones_given_one = 0usize;
+    let mut ones_given_zero = 0usize;
+    for _ in 0..trials {
+        if randomize_flip(&one, f, &mut rng).get(0) {
+            ones_given_one += 1;
+        }
+        if randomize_flip(&zero, f, &mut rng).get(0) {
+            ones_given_zero += 1;
+        }
+    }
+    let make = |name: &str, successes: usize, claim: f64| {
+        let interval = clopper_pearson(successes, trials, alpha);
+        CheckResult {
+            name: name.into(),
+            verdict: if interval.contains(claim) {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            statistic: successes as f64 / trials as f64,
+            threshold: claim,
+            interval: Some(interval),
+            detail: format!(
+                "empirical rate over {trials} seeded Eq. (4) randomizations; \
+                 Clopper-Pearson {:.0}% interval must contain the claim",
+                (1.0 - alpha) * 100.0
+            ),
+        }
+    };
+    vec![
+        make("rr-flip-rate-p1-given-1", ones_given_one, 1.0 - f / 2.0),
+        make("rr-flip-rate-p1-given-0", ones_given_zero, f / 2.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn betai_symmetry_and_known_values() {
+        // I_x(1,1) = x; I_x(a,b) = 1 − I_{1−x}(b,a).
+        for x in [0.1, 0.25, 0.5, 0.9] {
+            assert!((betai(1.0, 1.0, x) - x).abs() < 1e-12);
+            assert!((betai(2.0, 3.0, x) - (1.0 - betai(3.0, 2.0, 1.0 - x))).abs() < 1e-10);
+        }
+        // I_{0.5}(2, 2) = 0.5 by symmetry.
+        assert!((betai(2.0, 2.0, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_inv_inverts_betai() {
+        for (a, b) in [(1.5, 3.0), (4.0, 2.0), (10.0, 10.0)] {
+            for p in [0.025, 0.2, 0.5, 0.8, 0.975] {
+                let x = beta_inv(p, a, b);
+                assert!((betai(a, b, x) - p).abs() < 1e-9, "a={a} b={b} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(1, x) = 1 − e^{−x} (exponential CDF).
+        for x in [0.1, 1.0, 3.0, 10.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+        }
+        // χ²(2) CDF at its median ≈ 1.3863: P(1, 0.6931) = 0.5.
+        assert!((gamma_p(1.0, 2.0f64.ln()) - 0.5).abs() < 1e-12);
+        assert!(gamma_q(2.5, 0.0) == 1.0);
+    }
+
+    #[test]
+    fn clopper_pearson_matches_known_interval() {
+        // Canonical check: 5 successes in 10 trials, 95% CI ≈ (0.187, 0.813).
+        let i = clopper_pearson(5, 10, 0.05);
+        assert!((i.lo - 0.1871).abs() < 1e-3, "lo = {}", i.lo);
+        assert!((i.hi - 0.8129).abs() < 1e-3, "hi = {}", i.hi);
+        // Degenerate endpoints.
+        assert_eq!(clopper_pearson(0, 20, 0.05).lo, 0.0);
+        assert_eq!(clopper_pearson(20, 20, 0.05).hi, 1.0);
+        // Interval covers the empirical rate.
+        let i = clopper_pearson(700, 1000, 0.05);
+        assert!(i.contains(0.7));
+        assert!(i.hi - i.lo < 0.06);
+    }
+
+    #[test]
+    fn clopper_pearson_shrinks_with_trials() {
+        let narrow = clopper_pearson(500, 10_000, 0.05);
+        let wide = clopper_pearson(5, 100, 0.05);
+        assert!(narrow.hi - narrow.lo < wide.hi - wide.lo);
+    }
+
+    #[test]
+    fn laplace_cdf_quantile_round_trip() {
+        for p in [0.01, 0.3, 0.5, 0.77, 0.99] {
+            let x = laplace_quantile(p, 2.0);
+            assert!((laplace_cdf(x, 2.0) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ks_statistic_detects_wrong_distribution() {
+        // Uniform(0,1) quantile grid vs the uniform CDF: tiny distance.
+        let n = 1000;
+        let grid: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d_match = ks_statistic(&grid, |x| x.clamp(0.0, 1.0));
+        assert!(d_match < 0.001, "d = {d_match}");
+        // Same grid vs a shifted CDF: large distance.
+        let d_off = ks_statistic(&grid, |x| (x * x).clamp(0.0, 1.0));
+        assert!(d_off > 0.2, "d = {d_off}");
+        assert!(ks_critical(1000, 0.05) < 0.05);
+    }
+
+    #[test]
+    fn chi2_uniform_counts_have_high_p() {
+        let (stat, p) = chi2_equal_bins(&[100, 100, 100, 100], 400);
+        assert_eq!(stat, 0.0);
+        assert!((p - 1.0).abs() < 1e-12);
+        let (stat, p) = chi2_equal_bins(&[400, 0, 0, 0], 400);
+        assert!(stat > 100.0);
+        assert!(p < 1e-6);
+    }
+
+    #[test]
+    fn laplace_checks_pass_on_real_sampler() {
+        let ks = laplace_ks_check(1.0, 20_000, 11, 0.01);
+        assert_eq!(ks.verdict, Verdict::Pass, "{ks:?}");
+        let chi = laplace_chi2_check(1.0, 20_000, 16, 12, 0.01);
+        assert_eq!(chi.verdict, Verdict::Pass, "{chi:?}");
+    }
+
+    #[test]
+    fn ks_check_fails_on_wrong_scale() {
+        // Samples at scale 1.0 audited against scale 1.5 must FAIL — the
+        // audit's whole point is catching a mis-scaled sampler.
+        let mut rng = StdRng::seed_from_u64(13);
+        let samples: Vec<f64> = (0..20_000).map(|_| sample_laplace(1.0, &mut rng)).collect();
+        let d = ks_statistic(&samples, |x| laplace_cdf(x, 1.5));
+        assert!(d > ks_critical(20_000, 0.01), "d = {d}");
+    }
+
+    #[test]
+    fn rr_flip_rate_checks_pass_on_real_mechanism() {
+        for f in [0.1, 0.5, 0.9] {
+            for check in rr_flip_rate_checks(f, 20_000, 17, 0.01) {
+                assert_eq!(check.verdict, Verdict::Pass, "f={f}: {check:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rr_flip_rate_check_rejects_wrong_claim() {
+        // Claiming the rates of f = 0.5 against a mechanism run at f = 0.1
+        // must FAIL both conditionals.
+        let mut rng = StdRng::seed_from_u64(23);
+        let one = BitVec::from_bools(&[true]);
+        let trials = 20_000;
+        let ones = (0..trials)
+            .filter(|_| randomize_flip(&one, 0.1, &mut rng).get(0))
+            .count();
+        let interval = clopper_pearson(ones, trials, 0.01);
+        assert!(!interval.contains(1.0 - 0.5 / 2.0));
+    }
+}

@@ -1,0 +1,88 @@
+//! Source-hygiene guards: every sampler in the workspace must derive from
+//! the master `VerroConfig::seed`, so ambient entropy sources are banned
+//! outside test code. A grep-style sweep beats convention here — one stray
+//! `thread_rng()` silently destroys reproducibility of a sanitization run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Entropy-backed constructors that bypass seeded randomness.
+const BANNED: [&str; 2] = ["thread_rng", "from_entropy"];
+
+fn workspace_crates_dir() -> PathBuf {
+    // crates/audit/../../crates == crates; resolved from this crate's
+    // manifest so the test works from any cwd.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("audit crate lives under crates/")
+        .to_path_buf()
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable source tree") {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Occurrences of a banned symbol before the first `#[cfg(test)]` marker of
+/// the file (source files keep their test module last, so everything after
+/// the marker is test-only code).
+fn violations_in(source: &str, path: &Path) -> Vec<String> {
+    let mut in_tests = false;
+    let mut found = Vec::new();
+    for (lineno, line) in source.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if in_tests {
+            continue;
+        }
+        for banned in BANNED {
+            if line.contains(banned) {
+                found.push(format!("{}:{}: {line}", path.display(), lineno + 1));
+            }
+        }
+    }
+    found
+}
+
+#[test]
+fn no_unseeded_randomness_outside_test_code() {
+    let mut sources = Vec::new();
+    for crate_dir in fs::read_dir(workspace_crates_dir()).expect("crates/ listing") {
+        let src = crate_dir.expect("crate dir").path().join("src");
+        if src.is_dir() {
+            rust_sources(&src, &mut sources);
+        }
+    }
+    assert!(
+        sources.len() > 10,
+        "sweep looks broken: only {} sources found",
+        sources.len()
+    );
+    let mut violations = Vec::new();
+    for path in sources {
+        let source = fs::read_to_string(&path).expect("readable source file");
+        violations.extend(violations_in(&source, &path));
+    }
+    assert!(
+        violations.is_empty(),
+        "unseeded randomness outside #[cfg(test)]:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn guard_detects_a_planted_violation() {
+    // Self-test of the sweep: a non-test thread_rng is flagged, a test-only
+    // one is not.
+    let bad = "fn f() { let mut rng = rand::thread_rng(); }\n";
+    assert_eq!(violations_in(bad, Path::new("bad.rs")).len(), 1);
+    let ok = "#[cfg(test)]\nmod tests { fn f() { rand::thread_rng(); } }\n";
+    assert!(violations_in(ok, Path::new("ok.rs")).is_empty());
+}

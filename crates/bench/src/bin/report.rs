@@ -109,6 +109,9 @@ fn main() {
     if want("--bench-inpaint") {
         report.insert("bench_inpaint".into(), bench_inpaint());
     }
+    if want("--audit") {
+        report.insert("audit".into(), audit());
+    }
 
     let json = serde_json::to_string_pretty(&serde_json::Value::Object(report))
         .expect("serialize report");
@@ -663,6 +666,42 @@ fn bench_inpaint() -> serde_json::Value {
     .expect("write BENCH_inpaint.json");
     println!("  -> results/BENCH_inpaint.json\n");
     value
+}
+
+// ---------------------------------------------------------------- ε-audit
+
+/// The empirical ε-audit at the default configuration and seed 0 — the same
+/// run `verro audit --seed 0` performs — recorded beside the bench numbers
+/// so every report captures whether the mechanisms still meet their stated
+/// guarantee. Writes `results/audit.json` (byte-identical across reruns).
+fn audit() -> serde_json::Value {
+    use verro_core::VerroConfig;
+
+    println!("-- Empirical ε-audit (default config, seed 0) --");
+    let opts = verro_audit::AuditOptions::default();
+    let report = verro_audit::run_audit(&VerroConfig::default(), 0, &opts).expect("audit");
+    for check in &report.checks {
+        println!("  check {:<26} {:?}", check.name, check.verdict);
+    }
+    println!(
+        "  mc: {} pairs on {}/{} trials, eps_total {:.3} (+{:.3} slack), worst ucb {:.3} -> {:?}",
+        report.mc.pairs.len(),
+        report.mc.trials_used,
+        report.mc.trials,
+        report.mc.epsilon_total,
+        report.mc.slack,
+        report
+            .mc
+            .pairs
+            .first()
+            .map_or(0.0, |p| p.empirical_epsilon_ucb),
+        report.mc.verdict
+    );
+    let json = report.to_json_pretty();
+    fs::write(Path::new(RESULTS_DIR).join("audit.json"), format!("{json}\n"))
+        .expect("write audit.json");
+    println!("  -> results/audit.json (all_pass = {})\n", report.all_pass);
+    serde_json::to_value(&report).expect("serialize")
 }
 
 // -------------------------------------------------------------- Ablations

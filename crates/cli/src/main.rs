@@ -10,6 +10,7 @@
 //! verro sanitize --frames ./frames --out ./sanitized [--gt gt.txt] \
 //!                [--flip 0.1 | --epsilon 20] [--seed 7] [--fast] [--track]
 //! verro demo     --out ./demo [--flip 0.1]
+//! verro audit    [--seed 0] [--trials 4000] [--flip 0.1] [--out report.json]
 //! verro help
 //! ```
 
@@ -31,6 +32,7 @@ verro — publish video data with indistinguishable objects (VERRO, EDBT 2020)
 USAGE:
     verro sanitize --frames <DIR> --out <DIR> [OPTIONS]
     verro demo --out <DIR> [--flip <F>]
+    verro audit [OPTIONS]
     verro help
 
 SANITIZE OPTIONS:
@@ -45,6 +47,14 @@ SANITIZE OPTIONS:
     --fps <N>          frame rate for timing metadata        [default: 30]
     --fast             temporal-median backgrounds instead of inpainting
     --track            force detector+tracker preprocessing even with --gt
+
+AUDIT OPTIONS:
+    --seed <N>         master audit seed (byte-identical rerun) [default: 0]
+    --trials <N>       Monte-Carlo Phase I trials              [default: 4000]
+    --flip <F>         flip probability to audit               [default: 0.1]
+    --epsilon <E>      total epsilon budget instead of --flip
+    --out <FILE>       also write the JSON report to this file
+                       (always printed to stdout)
 
 OUTPUT:
     <out>/000000.ppm ...   sanitized frames
@@ -63,6 +73,19 @@ fn main() -> ExitCode {
         },
         Some("demo") => match cmd_demo(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("audit") => match cmd_audit(&args[1..]) {
+            Ok(all_pass) => {
+                if all_pass {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE
@@ -242,6 +265,47 @@ fn cmd_sanitize(args: &[String]) -> Result<(), String> {
         out.display()
     );
     Ok(())
+}
+
+/// Runs the empirical ε-audit and prints the deterministic JSON report.
+/// Returns whether every check and every pair audit passed (drives the exit
+/// code, so CI can gate on `verro audit`).
+fn cmd_audit(args: &[String]) -> Result<bool, String> {
+    let flags = Flags { args };
+    let config = build_config(&flags)?;
+    let seed: u64 = flags.parse("--seed")?.unwrap_or(0);
+    let mut opts = verro_audit::AuditOptions::default();
+    if let Some(trials) = flags.parse::<usize>("--trials")? {
+        if trials == 0 {
+            return Err("--trials must be positive".into());
+        }
+        opts.mc.trials = trials;
+    }
+    eprintln!(
+        "auditing phase 1 over {} trials (seed {seed}) ...",
+        opts.mc.trials
+    );
+    let report = verro_audit::run_audit(&config, seed, &opts).map_err(|e| e.to_string())?;
+    let json = report.to_json_pretty();
+    println!("{json}");
+    if let Some(path) = flags.value("--out") {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    for check in &report.checks {
+        eprintln!("check {:<26} {:?}", check.name, check.verdict);
+    }
+    let worst = report.mc.pairs.first();
+    eprintln!(
+        "mc: {} pairs on {}/{} trials, claim eps_total = {:.3} (+{:.3} slack), worst ucb = {:.3} -> {:?}",
+        report.mc.pairs.len(),
+        report.mc.trials_used,
+        report.mc.trials,
+        report.mc.epsilon_total,
+        report.mc.slack,
+        worst.map_or(0.0, |p| p.empirical_epsilon_ucb),
+        report.mc.verdict
+    );
+    Ok(report.all_pass)
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {

@@ -121,4 +121,57 @@ mod tests {
         };
         assert!(!s.is_consistent());
     }
+
+    #[test]
+    fn is_consistent_across_the_strategy_noise_matrix() {
+        // Every optimizer strategy × optimizer-noise combination must yield
+        // a statement satisfying the ℓ*·ln((2−f)/f) identity.
+        let (ann, kf) = setup();
+        let strategies = [
+            OptimizerStrategy::LpRounding,
+            OptimizerStrategy::Exact,
+            OptimizerStrategy::AllKeyFrames,
+        ];
+        for (s_idx, &strategy) in strategies.iter().enumerate() {
+            for (n_idx, noise) in [Some(1.0), Some(0.25), None].iter().enumerate() {
+                let mut cfg = VerroConfig::default().with_flip(0.3);
+                cfg.optimizer = strategy;
+                cfg.optimizer_noise_epsilon = *noise;
+                let mut rng = StdRng::seed_from_u64((s_idx * 10 + n_idx) as u64);
+                let p1 = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
+                let s = PrivacyStatement::from_phase1(&p1, &cfg);
+                assert!(s.is_consistent(), "{strategy:?} / {noise:?}: {s:?}");
+                // AllKeyFrames never charges the side channel; the picked
+                // strategies charge exactly the configured ε′.
+                let expected_opt = match strategy {
+                    OptimizerStrategy::AllKeyFrames => None,
+                    _ => *noise,
+                };
+                assert_eq!(s.epsilon_optimizer, expected_opt, "{strategy:?}/{noise:?}");
+                if strategy == OptimizerStrategy::AllKeyFrames {
+                    assert_eq!(s.picked_frames, 3, "AllKeyFrames picks every key frame");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_total_composes_rr_and_optimizer_exactly() {
+        // Regression for the sequential-composition arithmetic: total must
+        // be the exact float sum of the two components, not a re-derivation.
+        let (ann, kf) = setup();
+        for (flip, noise) in [(0.1, Some(1.0)), (0.3, Some(0.7)), (0.55, None)] {
+            let mut cfg = VerroConfig::default().with_flip(flip);
+            cfg.optimizer_noise_epsilon = noise;
+            let mut rng = StdRng::seed_from_u64(77);
+            let p1 = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
+            let s = PrivacyStatement::from_phase1(&p1, &cfg);
+            assert_eq!(
+                s.epsilon_total,
+                s.epsilon_rr + s.epsilon_optimizer.unwrap_or(0.0),
+                "f = {flip}, noise = {noise:?}"
+            );
+            assert_eq!(s.epsilon_rr, p1.epsilon);
+        }
+    }
 }

@@ -10,7 +10,10 @@ use rand::Rng;
 /// Draws one sample from `Laplace(0, scale)` via inverse CDF.
 pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
     assert!(scale > 0.0, "scale must be positive");
-    // u uniform in (-0.5, 0.5]; inverse CDF: -b * sgn(u) * ln(1 - 2|u|).
+    // u uniform in [-0.5, 0.5) (rand's gen::<f64>() samples [0, 1));
+    // inverse CDF: -b * sgn(u) * ln(1 - 2|u|). At the reachable endpoint
+    // u = -0.5 the argument hits 0 exactly, so clamp it to MIN_POSITIVE to
+    // keep the sample finite.
     let u: f64 = rng.gen::<f64>() - 0.5;
     -scale * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
 }
@@ -96,6 +99,38 @@ mod tests {
         samples.sort_by(|a, c| a.partial_cmp(c).unwrap());
         let q75 = samples[(0.75 * n as f64) as usize];
         assert!((q75 - b * 2f64.ln()).abs() < 0.15, "q75 = {q75}");
+    }
+
+    /// RNG that always yields 0, driving `gen::<f64>()` to 0.0 and hence
+    /// `u` to its reachable endpoint −0.5.
+    struct ZeroRng;
+
+    impl rand::RngCore for ZeroRng {
+        fn next_u32(&mut self) -> u32 {
+            0
+        }
+        fn next_u64(&mut self) -> u64 {
+            0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            dest.fill(0);
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+            dest.fill(0);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn endpoint_u_is_clamped_to_a_finite_sample() {
+        // u = −0.5 exactly: without the MIN_POSITIVE clamp the inverse CDF
+        // would take ln(0) and return +∞.
+        let sample = sample_laplace(1.0, &mut ZeroRng);
+        assert!(sample.is_finite(), "endpoint sample must be finite");
+        // sgn(−0.5) = −1, so the clamped sample is the extreme negative
+        // tail value scale · ln(MIN_POSITIVE).
+        assert_eq!(sample, f64::MIN_POSITIVE.ln());
+        assert_eq!(sample_laplace(2.0, &mut ZeroRng), 2.0 * f64::MIN_POSITIVE.ln());
     }
 
     #[test]

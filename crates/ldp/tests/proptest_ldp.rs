@@ -1,12 +1,18 @@
 //! Property-based tests for the LDP substrate: exact probability laws,
 //! the indistinguishability bound, debiasing identities, and bit-vector
-//! invariants.
+//! invariants — plus fixed-seed statistical tests of the samplers' empirical
+//! distributions.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use verro_ldp::bitvec::BitVec;
 use verro_ldp::budget::{epsilon_of_flip, flip_for_epsilon};
 use verro_ldp::estimate::debias_count;
-use verro_ldp::rr::{flip_expectation, output_probability_budget, output_probability_flip};
+use verro_ldp::laplace::LaplaceMechanism;
+use verro_ldp::rr::{
+    flip_expectation, output_probability_budget, output_probability_flip, randomize_flip,
+};
 
 fn arb_bits(max_len: usize) -> impl Strategy<Value = Vec<bool>> {
     prop::collection::vec(any::<bool>(), 1..=max_len)
@@ -117,5 +123,98 @@ proptest! {
         let v = BitVec::from_bools(&bits);
         prop_assert_eq!(v.count_ones(), v.ones().len());
         prop_assert_eq!(v.all_zero(), v.count_ones() == 0);
+    }
+}
+
+// ------------------------------------------------------- statistical tests
+//
+// Fixed-seed empirical checks of the samplers against their claimed
+// distributions. Three-sigma normal-approximation intervals at these sample
+// sizes keep the tests deterministic (the seed is pinned) while staying
+// sensitive to real parameter bugs.
+
+/// Estimates `f` from the observed change rate of Equation 4: a bit changes
+/// iff it is redrawn (prob. `f`) to the opposite value (prob. 1/2), so
+/// `f̂ = 2 · P̂(out ≠ in)`.
+#[test]
+fn empirical_flip_rate_recovers_f() {
+    let trials = 40_000usize;
+    let input = BitVec::from_bools(&[true, false]);
+    for (f, seed) in [(0.1, 101u64), (0.4, 102), (0.8, 103)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut changed = 0usize;
+        for _ in 0..trials {
+            let out = randomize_flip(&input, f, &mut rng);
+            changed += input.hamming(&out);
+        }
+        let n = (2 * trials) as f64; // two bits per trial
+        let change_rate = changed as f64 / n;
+        let f_hat = 2.0 * change_rate;
+        // Var(f̂) = 4 · p(1−p)/n with p = f/2.
+        let p = f / 2.0;
+        let ci = 3.0 * (4.0 * p * (1.0 - p) / n).sqrt();
+        assert!(
+            (f_hat - f).abs() < ci,
+            "f = {f}: estimate {f_hat:.4} outside ±{ci:.4}"
+        );
+    }
+}
+
+/// Per-conditional one-rates of Equation 4: `P(1|1) = 1 − f/2` and
+/// `P(1|0) = f/2`, each within a three-sigma interval at a fixed seed.
+#[test]
+fn empirical_conditional_rates_match_equation_4() {
+    let trials = 40_000usize;
+    let f = 0.3;
+    let one = BitVec::from_bools(&[true]);
+    let zero = BitVec::from_bools(&[false]);
+    let mut rng = StdRng::seed_from_u64(104);
+    let mut ones_given_one = 0usize;
+    let mut ones_given_zero = 0usize;
+    for _ in 0..trials {
+        if randomize_flip(&one, f, &mut rng).get(0) {
+            ones_given_one += 1;
+        }
+        if randomize_flip(&zero, f, &mut rng).get(0) {
+            ones_given_zero += 1;
+        }
+    }
+    let n = trials as f64;
+    for (count, claim) in [(ones_given_one, 1.0 - f / 2.0), (ones_given_zero, f / 2.0)] {
+        let rate = count as f64 / n;
+        let ci = 3.0 * (claim * (1.0 - claim) / n).sqrt();
+        assert!(
+            (rate - claim).abs() < ci,
+            "rate {rate:.4} vs claim {claim:.4} ± {ci:.4}"
+        );
+    }
+}
+
+/// `LaplaceMechanism` releases have mean 0 and variance `2b²` (b = Δ/ε),
+/// each within a three-sigma interval of the estimator's sampling
+/// distribution (Var(s²) ≈ (μ₄ − σ⁴)/n with μ₄ = 24b⁴ for Laplace).
+#[test]
+fn laplace_mechanism_moments_match_claim() {
+    let n = 50_000usize;
+    for (sensitivity, epsilon, seed) in [(1.0, 1.0, 105u64), (1.0, 0.5, 106), (2.0, 4.0, 107)] {
+        let mech = LaplaceMechanism::new(sensitivity, epsilon);
+        let b = mech.scale();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..n).map(|_| mech.release(0.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+
+        let sigma2 = 2.0 * b * b;
+        let mean_ci = 3.0 * (sigma2 / n as f64).sqrt();
+        assert!(
+            mean.abs() < mean_ci,
+            "b = {b}: mean {mean:.4} outside ±{mean_ci:.4}"
+        );
+        let var_of_var = (24.0 * b.powi(4) - sigma2 * sigma2) / n as f64;
+        let var_ci = 3.0 * var_of_var.sqrt();
+        assert!(
+            (var - sigma2).abs() < var_ci,
+            "b = {b}: variance {var:.4} vs {sigma2:.4} ± {var_ci:.4}"
+        );
     }
 }

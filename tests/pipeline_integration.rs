@@ -1,42 +1,15 @@
 //! End-to-end integration tests across all crates: generator → vision
 //! preprocessing → Phase I → Phase II → synthesis → codec.
 
+use verro_audit::fixtures::{deterministic_config as fast_config, street_video};
 use verro_core::config::{BackgroundMode, OptimizerStrategy};
-use verro_core::{Verro, VerroConfig};
+use verro_core::Verro;
 use verro_ldp::estimate::debias_count_series;
 use verro_video::codec::{decode_video, encode_video};
 use verro_video::generator::{GeneratedVideo, VideoSpec};
 use verro_video::image::ImageBuffer;
 use verro_video::source::{FrameSource, InMemoryVideo};
 use verro_video::{Camera, ObjectClass, SceneKind, Size};
-
-fn street_video(seed: u64) -> GeneratedVideo {
-    GeneratedVideo::generate(VideoSpec {
-        name: "integration".into(),
-        nominal_size: Size::new(240, 180),
-        raster_scale: 1.0,
-        num_frames: 100,
-        num_objects: 12,
-        scene: SceneKind::DaySquare,
-        camera: Camera::Static,
-        class: ObjectClass::Pedestrian,
-        fps: 30.0,
-        seed,
-        min_lifetime: 25,
-        max_lifetime: 80,
-        lifetime_mix: None,
-        lighting_drift: 0.12,
-        lighting_period: 20.0,
-    })
-}
-
-fn fast_config(f: f64, seed: u64) -> VerroConfig {
-    let mut cfg = VerroConfig::default().with_flip(f).with_seed(seed);
-    cfg.background = BackgroundMode::TemporalMedian;
-    cfg.keyframe.stride = 2;
-    cfg.optimizer_noise_epsilon = None;
-    cfg
-}
 
 #[test]
 fn full_pipeline_preserves_structure_at_low_f() {

@@ -3,43 +3,15 @@
 //! special cases discussed in Section 5 of the paper.
 
 use std::collections::BTreeMap;
-use verro_core::config::{BackgroundMode, OptimizerStrategy};
-use verro_core::{Verro, VerroConfig};
+use verro_audit::fixtures::{fast_config, privacy_video as small_video};
+use verro_core::config::OptimizerStrategy;
+use verro_core::Verro;
 use verro_ldp::bitvec::BitVec;
 use verro_ldp::budget::epsilon_of_flip;
 use verro_ldp::rr::output_probability_flip;
 use verro_video::annotations::VideoAnnotations;
-use verro_video::generator::{GeneratedVideo, VideoSpec};
 use verro_video::geometry::BBox;
 use verro_video::object::{ObjectClass, ObjectId};
-use verro_video::{Camera, SceneKind, Size};
-
-fn fast_config(f: f64, seed: u64) -> VerroConfig {
-    let mut cfg = VerroConfig::default().with_flip(f).with_seed(seed);
-    cfg.background = BackgroundMode::TemporalMedian;
-    cfg.keyframe.stride = 2;
-    cfg
-}
-
-fn small_video(num_objects: usize, seed: u64) -> GeneratedVideo {
-    GeneratedVideo::generate(VideoSpec {
-        name: "privacy".into(),
-        nominal_size: Size::new(200, 150),
-        raster_scale: 1.0,
-        num_frames: 60,
-        num_objects,
-        scene: SceneKind::DaySquare,
-        camera: Camera::Static,
-        class: ObjectClass::Pedestrian,
-        fps: 30.0,
-        seed,
-        min_lifetime: 20,
-        max_lifetime: 50,
-        lifetime_mix: None,
-        lighting_drift: 0.1,
-        lighting_period: 15.0,
-    })
-}
 
 /// All bit vectors of the given length.
 fn all_vectors(len: usize) -> Vec<BitVec> {

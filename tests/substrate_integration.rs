@@ -2,34 +2,15 @@
 //! generator's ground truth, key-frame segmentation on realistic footage,
 //! and background reconstruction fidelity.
 
-use verro_video::generator::{GeneratedVideo, VideoSpec};
+use verro_audit::fixtures::substrate_video as video;
+use verro_video::generator::GeneratedVideo;
 use verro_video::source::FrameSource;
-use verro_video::{Camera, ObjectClass, SceneKind, Size};
+use verro_video::ObjectClass;
 use verro_vision::bgmodel::{median_background, BackgroundConfig};
 use verro_vision::detect::{detect, DetectorConfig};
 use verro_vision::inpaint::InpaintConfig;
 use verro_vision::keyframe::{extract_key_frames, KeyFrameConfig};
 use verro_vision::track::{SortTracker, TrackerConfig};
-
-fn video(seed: u64, objects: usize, frames: usize) -> GeneratedVideo {
-    GeneratedVideo::generate(VideoSpec {
-        name: "substrate".into(),
-        nominal_size: Size::new(240, 180),
-        raster_scale: 1.0,
-        num_frames: frames,
-        num_objects: objects,
-        scene: SceneKind::DaySquare,
-        camera: Camera::Static,
-        class: ObjectClass::Pedestrian,
-        fps: 30.0,
-        seed,
-        min_lifetime: frames / 3,
-        max_lifetime: frames * 3 / 4,
-        lifetime_mix: None,
-        lighting_drift: 0.10,
-        lighting_period: 20.0,
-    })
-}
 
 #[test]
 fn detector_finds_most_ground_truth_objects() {
