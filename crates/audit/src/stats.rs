@@ -294,7 +294,9 @@ pub fn chi2_equal_bins(observed: &[usize], total: usize) -> (f64, f64) {
 /// critical value.
 pub fn laplace_ks_check(scale: f64, n: usize, seed: u64, alpha: f64) -> CheckResult {
     let mut rng = StdRng::seed_from_u64(seed);
-    let samples: Vec<f64> = (0..n).map(|_| sample_laplace(scale, &mut rng)).collect();
+    let samples: Vec<f64> = (0..n)
+        .map(|_| sample_laplace(scale, &mut rng).expect("audit scale is positive"))
+        .collect();
     let d = ks_statistic(&samples, |x| laplace_cdf(x, scale));
     let crit = ks_critical(n, alpha);
     CheckResult {
@@ -321,7 +323,7 @@ pub fn laplace_chi2_check(scale: f64, n: usize, bins: usize, seed: u64, alpha: f
         .collect();
     let mut observed = vec![0usize; bins];
     for _ in 0..n {
-        let x = sample_laplace(scale, &mut rng);
+        let x = sample_laplace(scale, &mut rng).expect("audit scale is positive");
         let bin = cuts.partition_point(|&c| c < x);
         observed[bin] += 1;
     }
@@ -353,10 +355,10 @@ pub fn rr_flip_rate_checks(f: f64, trials: usize, seed: u64, alpha: f64) -> Vec<
     let mut ones_given_one = 0usize;
     let mut ones_given_zero = 0usize;
     for _ in 0..trials {
-        if randomize_flip(&one, f, &mut rng).get(0) {
+        if randomize_flip(&one, f, &mut rng).expect("audit flip is in (0, 1]").get(0) {
             ones_given_one += 1;
         }
-        if randomize_flip(&zero, f, &mut rng).get(0) {
+        if randomize_flip(&zero, f, &mut rng).expect("audit flip is in (0, 1]").get(0) {
             ones_given_zero += 1;
         }
     }
@@ -496,7 +498,7 @@ mod tests {
         // Samples at scale 1.0 audited against scale 1.5 must FAIL — the
         // audit's whole point is catching a mis-scaled sampler.
         let mut rng = StdRng::seed_from_u64(13);
-        let samples: Vec<f64> = (0..20_000).map(|_| sample_laplace(1.0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..20_000).map(|_| sample_laplace(1.0, &mut rng).unwrap()).collect();
         let d = ks_statistic(&samples, |x| laplace_cdf(x, 1.5));
         assert!(d > ks_critical(20_000, 0.01), "d = {d}");
     }
@@ -518,7 +520,7 @@ mod tests {
         let one = BitVec::from_bools(&[true]);
         let trials = 20_000;
         let ones = (0..trials)
-            .filter(|_| randomize_flip(&one, 0.1, &mut rng).get(0))
+            .filter(|_| randomize_flip(&one, 0.1, &mut rng).unwrap().get(0))
             .count();
         let interval = clopper_pearson(ones, trials, 0.01);
         assert!(!interval.contains(1.0 - 0.5 / 2.0));

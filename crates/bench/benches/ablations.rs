@@ -41,11 +41,11 @@ fn ablate_naive_vs_phase1(c: &mut Criterion) {
     let video = bench_video();
     let matrix = PresenceMatrix::from_annotations(video.annotations());
     let cfg = eval_config(0.5, 0);
-    let kf = extract_key_frames(&video, &cfg.keyframe);
+    let kf = extract_key_frames(&video, &cfg.keyframe).unwrap();
     let mut group = c.benchmark_group("ablate_naive_vs_phase1");
     group.bench_function("naive_algorithm1", |b| {
         let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| randomize_naive(black_box(&matrix), 5.0, &mut rng))
+        b.iter(|| randomize_naive(black_box(&matrix), 5.0, &mut rng).unwrap())
     });
     group.bench_function("phase1_optimized", |b| {
         let mut rng = StdRng::seed_from_u64(2);
@@ -87,14 +87,14 @@ fn ablate_background(c: &mut Criterion) {
         c.background = BackgroundMode::KeyFrameInpaint;
         c
     };
-    let kf = extract_key_frames(&video, &cfg_median.keyframe);
+    let kf = extract_key_frames(&video, &cfg_median.keyframe).unwrap();
     let mut group = c.benchmark_group("ablate_background");
     group.sample_size(10);
     group.bench_function("temporal_median", |b| {
-        b.iter(|| build_backgrounds(black_box(&video), video.annotations(), &kf, &cfg_median))
+        b.iter(|| build_backgrounds(black_box(&video), video.annotations(), &kf, &cfg_median).unwrap())
     });
     group.bench_function("keyframe_inpaint", |b| {
-        b.iter(|| build_backgrounds(black_box(&video), video.annotations(), &kf, &cfg_inpaint))
+        b.iter(|| build_backgrounds(black_box(&video), video.annotations(), &kf, &cfg_inpaint).unwrap())
     });
     group.finish();
 }
@@ -102,7 +102,7 @@ fn ablate_background(c: &mut Criterion) {
 fn ablate_optimizer_noise(c: &mut Criterion) {
     let video = bench_video();
     let cfg_base = eval_config(0.3, 0);
-    let kf = extract_key_frames(&video, &cfg_base.keyframe);
+    let kf = extract_key_frames(&video, &cfg_base.keyframe).unwrap();
     let mut group = c.benchmark_group("ablate_opt_noise");
     for eps in [None, Some(0.1), Some(1.0), Some(10.0)] {
         let mut cfg = cfg_base.clone();

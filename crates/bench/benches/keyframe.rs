@@ -30,7 +30,7 @@ fn bench_extraction(c: &mut Criterion) {
         let mut cfg = KeyFrameConfig::default();
         cfg.stride = stride;
         group.bench_with_input(BenchmarkId::new("stride", stride), &cfg, |b, cfg| {
-            b.iter(|| extract_key_frames(black_box(&video), cfg))
+            b.iter(|| extract_key_frames(black_box(&video), cfg).unwrap())
         });
     }
     group.finish();

@@ -30,7 +30,7 @@ fn bench_randomized_response(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::new("flip_f0.3", bits), &v, |b, v| {
             let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| randomize_flip(black_box(v), 0.3, &mut rng))
+            b.iter(|| randomize_flip(black_box(v), 0.3, &mut rng).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("budget_eps3", bits), &v, |b, v| {
             let mut rng = StdRng::seed_from_u64(2);
@@ -70,7 +70,7 @@ fn bench_optimizer(c: &mut Criterion) {
 fn bench_phase1_end_to_end(c: &mut Criterion) {
     let video = bench_video();
     let cfg = eval_config(0.1, 0);
-    let kf = extract_key_frames(&video, &cfg.keyframe);
+    let kf = extract_key_frames(&video, &cfg.keyframe).unwrap();
     c.bench_function("phase1_full", |b| {
         let mut rng = StdRng::seed_from_u64(3);
         b.iter(|| run_phase1(black_box(video.annotations()), &kf, &cfg, &mut rng).unwrap())

@@ -38,7 +38,7 @@ fn bench_interpolation(c: &mut Criterion) {
 fn bench_phase2_full(c: &mut Criterion) {
     let video = bench_video();
     let cfg = eval_config(0.1, 0);
-    let kf = extract_key_frames(&video, &cfg.keyframe);
+    let kf = extract_key_frames(&video, &cfg.keyframe).unwrap();
     let mut rng = StdRng::seed_from_u64(1);
     let p1 = run_phase1(video.annotations(), &kf, &cfg, &mut rng).unwrap();
     c.bench_function("phase2_full", |b| {
@@ -51,7 +51,7 @@ fn bench_phase2_full(c: &mut Criterion) {
                 video.frame_size(),
                 &cfg,
                 &mut rng,
-            )
+            ).unwrap()
         })
     });
 }
@@ -59,11 +59,12 @@ fn bench_phase2_full(c: &mut Criterion) {
 fn bench_frame_render(c: &mut Criterion) {
     let video = bench_video();
     let cfg = eval_config(0.1, 0);
-    let kf = extract_key_frames(&video, &cfg.keyframe);
+    let kf = extract_key_frames(&video, &cfg.keyframe).unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     let p1 = run_phase1(video.annotations(), &kf, &cfg, &mut rng).unwrap();
-    let p2 = run_phase2(&p1, video.annotations(), &kf, video.frame_size(), &cfg, &mut rng);
-    let backgrounds = build_backgrounds(&video, video.annotations(), &kf, &cfg);
+    let p2 = run_phase2(&p1, video.annotations(), &kf, video.frame_size(), &cfg, &mut rng)
+        .unwrap();
+    let backgrounds = build_backgrounds(&video, video.annotations(), &kf, &cfg).unwrap();
     let synth = SyntheticVideo::new(video.frame_size(), video.fps(), backgrounds, p2.synthetic);
     c.bench_function("synthetic_frame_render", |b| {
         b.iter(|| synth.frame(black_box(45)))

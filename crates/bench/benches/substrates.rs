@@ -46,7 +46,7 @@ fn bench_kalman(c: &mut Criterion) {
 
 fn bench_detection(c: &mut Criterion) {
     let video = bench_video();
-    let bg = median_background(&video, 0, video.num_frames() - 1, &BackgroundConfig::default());
+    let bg = median_background(&video, 0, video.num_frames() - 1, &BackgroundConfig::default()).unwrap();
     let frame = video.frame(40);
     c.bench_function("detect_frame", |b| {
         b.iter(|| detect(black_box(&frame), &bg, &DetectorConfig::default()))
@@ -71,6 +71,7 @@ fn bench_background_model(c: &mut Criterion) {
                             max_samples: samples,
                         },
                     )
+                    .unwrap()
                 })
             },
         );
@@ -107,11 +108,11 @@ fn bench_inpaint(c: &mut Criterion) {
 fn bench_ldp_primitives(c: &mut Criterion) {
     c.bench_function("laplace_sample", |b| {
         let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| sample_laplace(black_box(2.0), &mut rng))
+        b.iter(|| sample_laplace(black_box(2.0), &mut rng).unwrap())
     });
     c.bench_function("rappor_report", |b| {
         let mut rng = StdRng::seed_from_u64(3);
-        let client = RapporClient::new(b"value", RapporConfig::default(), &mut rng);
+        let client = RapporClient::new(b"value", RapporConfig::default(), &mut rng).unwrap();
         b.iter(|| client.report(&mut rng))
     });
 }

@@ -62,7 +62,7 @@ fn main() {
         .iter()
         .map(|(_, v)| {
             let t = Instant::now();
-            let kf = extract_key_frames(v, &eval_config(0.1, 0).keyframe);
+            let kf = extract_key_frames(v, &eval_config(0.1, 0).keyframe).expect("clip is non-empty");
             println!(
                 "key frames for {}: {} segments in {:.1?}",
                 v.spec().name,
@@ -292,7 +292,7 @@ fn fig5_deviation(
                     v.spec().raster_size(),
                     &cfg,
                     &mut rng,
-                );
+                ).expect("phase2");
                 before_sum += trajectory_deviation(v.annotations(), &p2.knots, &p2.mapping);
                 after_sum += trajectory_deviation(v.annotations(), &p2.synthetic, &p2.mapping);
                 after_abs_sum +=
@@ -346,7 +346,7 @@ fn fig678(
                 v.spec().raster_size(),
                 &cfg,
                 &mut rng,
-            );
+            ).expect("phase2");
             // First two retained original objects (deterministic stand-in
             // for the paper's "randomly selected" pair).
             let mut csv = Vec::new();
@@ -513,7 +513,7 @@ fn fig13(
                 v.spec().raster_size(),
                 &cfg,
                 &mut rng,
-            );
+            ).expect("phase2");
             let synth = p2.synthetic.per_frame_counts();
             let mae: f64 = original
                 .iter()
@@ -737,7 +737,7 @@ fn ablations(
                 v.spec().raster_size(),
                 &cfg,
                 &mut rng,
-            );
+            ).expect("phase2");
             dev += trajectory_deviation(v.annotations(), &p2.synthetic, &p2.mapping);
             mae += count_mae(v.annotations(), &p2.synthetic);
             picked += p1.num_picked() as f64;

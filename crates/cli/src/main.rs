@@ -17,7 +17,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use verro_core::config::BackgroundMode;
-use verro_core::{Verro, VerroConfig};
+use verro_core::{Verro, VerroConfig, VerroError};
 use verro_video::annotations::VideoAnnotations;
 use verro_video::geometry::Size;
 use verro_video::image::ImageBuffer;
@@ -59,7 +59,52 @@ AUDIT OPTIONS:
 OUTPUT:
     <out>/000000.ppm ...   sanitized frames
     <out>/synthetic_gt.txt the synthetic objects' MOT annotations
-    <out>/privacy.json     the privacy statement + utility report";
+    <out>/privacy.json     the privacy statement + utility report
+
+EXIT CODES:
+    0  success (audit: every check passed)
+    1  audit found a failing check
+    2  usage error (bad flags or missing arguments)
+    3  unreadable or malformed input data
+    4  the sanitizer rejected the input (typed pipeline error)";
+
+/// Typed CLI failure; each class maps to a distinct exit code so scripts
+/// can tell usage mistakes from bad data from pipeline rejections.
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags / missing arguments.
+    Usage(String),
+    /// I/O failure or malformed input file.
+    Data(String),
+    /// The sanitizer itself rejected the input.
+    Pipeline(VerroError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Data(_) => 3,
+            CliError::Pipeline(_) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Data(msg) => write!(f, "{msg}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<VerroError> for CliError {
+    fn from(e: VerroError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,14 +113,14 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(e.exit_code())
             }
         },
         Some("demo") => match cmd_demo(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(e.exit_code())
             }
         },
         Some("audit") => match cmd_audit(&args[1..]) {
@@ -88,7 +133,7 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(e.exit_code())
             }
         },
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -97,7 +142,7 @@ fn main() -> ExitCode {
         }
         Some(other) => {
             eprintln!("error: unknown command `{other}`\n\n{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
@@ -130,39 +175,46 @@ impl<'a> Flags<'a> {
     }
 }
 
-fn build_config(flags: &Flags) -> Result<VerroConfig, String> {
+fn build_config(flags: &Flags) -> Result<VerroConfig, CliError> {
     let mut cfg = VerroConfig::default();
-    match (flags.parse::<f64>("--flip")?, flags.parse::<f64>("--epsilon")?) {
-        (Some(_), Some(_)) => return Err("--flip and --epsilon are exclusive".into()),
+    let flip = flags.parse::<f64>("--flip").map_err(CliError::Usage)?;
+    let eps = flags.parse::<f64>("--epsilon").map_err(CliError::Usage)?;
+    match (flip, eps) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage("--flip and --epsilon are exclusive".into()))
+        }
         (Some(f), None) => cfg = cfg.with_flip(f),
         (None, Some(e)) => cfg = cfg.with_epsilon(e),
         (None, None) => cfg = cfg.with_flip(0.1),
     }
-    if let Some(seed) = flags.parse::<u64>("--seed")? {
+    if let Some(seed) = flags.parse::<u64>("--seed").map_err(CliError::Usage)? {
         cfg = cfg.with_seed(seed);
     }
     if flags.switch("--fast") {
         cfg.background = BackgroundMode::TemporalMedian;
     }
-    cfg.validate()?;
+    cfg.validate()
+        .map_err(|msg| CliError::Pipeline(VerroError::BadConfig(msg)))?;
     Ok(cfg)
 }
 
-fn load_frames(dir: &Path) -> Result<InMemoryVideo, String> {
+fn load_frames(dir: &Path) -> Result<InMemoryVideo, CliError> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .map_err(|e| CliError::Data(format!("cannot read {}: {e}", dir.display())))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|ext| ext == "ppm"))
         .collect();
     if paths.is_empty() {
-        return Err(format!("no .ppm frames in {}", dir.display()));
+        return Err(CliError::Data(format!("no .ppm frames in {}", dir.display())));
     }
     paths.sort();
     let mut frames = Vec::with_capacity(paths.len());
     for p in &paths {
-        let bytes = std::fs::read(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let bytes =
+            std::fs::read(p).map_err(|e| CliError::Data(format!("{}: {e}", p.display())))?;
         frames.push(
-            ImageBuffer::from_ppm(&bytes).map_err(|e| format!("{}: {e}", p.display()))?,
+            ImageBuffer::from_ppm(&bytes)
+                .map_err(|e| CliError::Data(format!("{}: {e}", p.display())))?,
         );
     }
     Ok(InMemoryVideo::new(frames, 30.0))
@@ -172,18 +224,20 @@ fn write_outputs(
     out: &Path,
     result: &verro_core::SanitizedResult,
     fps: f64,
-) -> Result<(), String> {
-    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+) -> Result<(), CliError> {
+    std::fs::create_dir_all(out)
+        .map_err(|e| CliError::Data(format!("cannot create {}: {e}", out.display())))?;
     for k in 0..result.video.num_frames() {
         let frame = result.video.frame(k);
         let path = out.join(format!("{k:06}.ppm"));
-        std::fs::write(&path, frame.to_ppm()).map_err(|e| format!("{}: {e}", path.display()))?;
+        std::fs::write(&path, frame.to_ppm())
+            .map_err(|e| CliError::Data(format!("{}: {e}", path.display())))?;
     }
     std::fs::write(
         out.join("synthetic_gt.txt"),
         result.phase2.synthetic.to_mot_text(),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::Data(e.to_string()))?;
     let statement = serde_json::json!({
         "privacy": result.privacy,
         "utility": result.utility,
@@ -198,25 +252,28 @@ fn write_outputs(
             "phase2": result.timings.phase2.as_secs_f64(),
         },
     });
-    std::fs::write(
-        out.join("privacy.json"),
-        serde_json::to_string_pretty(&statement).expect("serialize"),
-    )
-    .map_err(|e| e.to_string())?;
+    let statement_json = serde_json::to_string_pretty(&statement)
+        .map_err(|e| CliError::Data(format!("cannot serialize privacy statement: {e}")))?;
+    std::fs::write(out.join("privacy.json"), statement_json)
+        .map_err(|e| CliError::Data(e.to_string()))?;
     Ok(())
 }
 
-fn cmd_sanitize(args: &[String]) -> Result<(), String> {
+fn cmd_sanitize(args: &[String]) -> Result<(), CliError> {
     let flags = Flags { args };
     let frames_dir = PathBuf::from(
         flags
             .value("--frames")
-            .ok_or("missing --frames <DIR>; see `verro help`")?,
+            .ok_or_else(|| CliError::Usage("missing --frames <DIR>; see `verro help`".into()))?,
     );
-    let out = PathBuf::from(flags.value("--out").ok_or("missing --out <DIR>")?);
-    let fps: f64 = flags.parse("--fps")?.unwrap_or(30.0);
+    let out = PathBuf::from(
+        flags
+            .value("--out")
+            .ok_or_else(|| CliError::Usage("missing --out <DIR>".into()))?,
+    );
+    let fps: f64 = flags.parse("--fps").map_err(CliError::Usage)?.unwrap_or(30.0);
     let config = build_config(&flags)?;
-    let verro = Verro::new(config).map_err(|e| e.to_string())?;
+    let verro = Verro::new(config)?;
 
     eprintln!("loading frames from {} ...", frames_dir.display());
     let video = load_frames(&frames_dir)?;
@@ -236,14 +293,17 @@ fn cmd_sanitize(args: &[String]) -> Result<(), String> {
                 TrackerConfig::default(),
                 ObjectClass::Pedestrian,
             )
-            .map_err(|e| e.to_string())?;
+            ?;
         eprintln!("tracked {} objects", tracked.num_objects());
         result
     } else {
-        let text = std::fs::read_to_string(gt.expect("checked")).map_err(|e| e.to_string())?;
-        let ann = VideoAnnotations::from_mot_text(&text, video.num_frames())?;
+        let gt_path = gt.unwrap_or_default();
+        let text =
+            std::fs::read_to_string(gt_path).map_err(|e| CliError::Data(format!("{gt_path}: {e}")))?;
+        let ann = VideoAnnotations::from_mot_text(&text, video.num_frames())
+            .map_err(CliError::Data)?;
         eprintln!("loaded {} annotated objects", ann.num_objects());
-        verro.sanitize(&video, &ann).map_err(|e| e.to_string())?
+        verro.sanitize(&video, &ann)?
     };
 
     write_outputs(&out, &result, fps)?;
@@ -270,14 +330,14 @@ fn cmd_sanitize(args: &[String]) -> Result<(), String> {
 /// Runs the empirical ε-audit and prints the deterministic JSON report.
 /// Returns whether every check and every pair audit passed (drives the exit
 /// code, so CI can gate on `verro audit`).
-fn cmd_audit(args: &[String]) -> Result<bool, String> {
+fn cmd_audit(args: &[String]) -> Result<bool, CliError> {
     let flags = Flags { args };
     let config = build_config(&flags)?;
-    let seed: u64 = flags.parse("--seed")?.unwrap_or(0);
+    let seed: u64 = flags.parse("--seed").map_err(CliError::Usage)?.unwrap_or(0);
     let mut opts = verro_audit::AuditOptions::default();
-    if let Some(trials) = flags.parse::<usize>("--trials")? {
+    if let Some(trials) = flags.parse::<usize>("--trials").map_err(CliError::Usage)? {
         if trials == 0 {
-            return Err("--trials must be positive".into());
+            return Err(CliError::Usage("--trials must be positive".into()));
         }
         opts.mc.trials = trials;
     }
@@ -285,11 +345,13 @@ fn cmd_audit(args: &[String]) -> Result<bool, String> {
         "auditing phase 1 over {} trials (seed {seed}) ...",
         opts.mc.trials
     );
-    let report = verro_audit::run_audit(&config, seed, &opts).map_err(|e| e.to_string())?;
+    let report =
+        verro_audit::run_audit(&config, seed, &opts).map_err(|e| CliError::Data(e.to_string()))?;
     let json = report.to_json_pretty();
     println!("{json}");
     if let Some(path) = flags.value("--out") {
-        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| CliError::Data(format!("{path}: {e}")))?;
     }
     for check in &report.checks {
         eprintln!("check {:<26} {:?}", check.name, check.verdict);
@@ -308,11 +370,15 @@ fn cmd_audit(args: &[String]) -> Result<bool, String> {
     Ok(report.all_pass)
 }
 
-fn cmd_demo(args: &[String]) -> Result<(), String> {
+fn cmd_demo(args: &[String]) -> Result<(), CliError> {
     use verro_video::generator::{GeneratedVideo, VideoSpec};
     use verro_video::{Camera, SceneKind};
     let flags = Flags { args };
-    let out = PathBuf::from(flags.value("--out").ok_or("missing --out <DIR>")?);
+    let out = PathBuf::from(
+        flags
+            .value("--out")
+            .ok_or_else(|| CliError::Usage("missing --out <DIR>".into()))?,
+    );
     let mut config = build_config(&flags)?;
     config.background = BackgroundMode::TemporalMedian;
 
@@ -333,10 +399,8 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         lighting_drift: 0.1,
         lighting_period: 15.0,
     });
-    let verro = Verro::new(config).map_err(|e| e.to_string())?;
-    let result = verro
-        .sanitize(&video, video.annotations())
-        .map_err(|e| e.to_string())?;
+    let verro = Verro::new(config)?;
+    let result = verro.sanitize(&video, video.annotations())?;
     write_outputs(&out, &result, 30.0)?;
     eprintln!(
         "demo written to {} ({} frames, epsilon_RR = {:.2})",

@@ -105,7 +105,7 @@ pub fn linkage_attack(
         let guess = published
             .tracks()
             .map(|cand| (cand.id, linkage_cost(target, cand, miss_penalty)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(id, _)| id);
         if guess == Some(*true_answer) {
             correct += 1;

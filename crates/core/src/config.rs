@@ -148,6 +148,23 @@ impl VerroConfig {
         if !(self.keyframe.tau > 0.0 && self.keyframe.tau <= 1.0) {
             return Err(format!("tau {} outside (0, 1]", self.keyframe.tau));
         }
+        if self.keyframe.stride == 0 {
+            return Err("keyframe stride must be at least 1".into());
+        }
+        if self.background_samples == 0 {
+            return Err("background_samples must be at least 1".into());
+        }
+        if let InterpMethod::Lagrange { window } = self.interp {
+            if window == 0 {
+                return Err("Lagrange interpolation window must be at least 1".into());
+            }
+        }
+        if self.inpaint.patch_radius < 0 || self.inpaint.search_radius < 0 {
+            return Err("inpaint radii must be non-negative".into());
+        }
+        if self.inpaint.search_stride < 1 {
+            return Err("inpaint search stride must be at least 1".into());
+        }
         Ok(())
     }
 
@@ -209,6 +226,25 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.optimizer_noise_epsilon = None;
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_degenerate_preprocessing_params() {
+        let mut cfg = VerroConfig::default();
+        cfg.keyframe.stride = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = VerroConfig::default();
+        cfg.background_samples = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = VerroConfig::default();
+        cfg.interp = InterpMethod::Lagrange { window: 0 };
+        assert!(cfg.validate().is_err());
+        let mut cfg = VerroConfig::default();
+        cfg.inpaint.search_stride = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = VerroConfig::default();
+        cfg.inpaint.patch_radius = -1;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -104,6 +104,13 @@ pub struct FrameAssignment {
 /// is smaller), and pairs them with a random permutation of the rows. The
 /// same randomized procedure applies to every object, which is what makes
 /// the assignment privacy-neutral (Theorem 4.1).
+///
+/// A completely empty pool (no object anywhere in the segment — the
+/// neighbor-frame expansion already ran) suppresses the frame's placements
+/// instead of inventing coordinates: the affected rows simply receive no
+/// knot here, exactly as if randomized response had flipped their bit off
+/// (Section 4). ε accounting is unaffected — suppression is
+/// post-processing of the already-randomized matrix.
 pub fn assign_frame<R: Rng + ?Sized>(
     frame: usize,
     rows: &[usize],
@@ -112,34 +119,23 @@ pub fn assign_frame<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> FrameAssignment {
     let mut placements = Vec::with_capacity(rows.len());
-    if rows.is_empty() {
+    if rows.is_empty() || pool.is_empty() {
         return FrameAssignment { frame, placements };
     }
 
     let mut candidates: Vec<Candidate> = pool.to_vec();
     candidates.shuffle(rng);
 
-    // Jitter-duplicate when the pool is insufficient (or empty: synthesize
-    // placements uniformly in the lower half of the frame).
+    // Jitter-duplicate when the pool is insufficient.
     while candidates.len() < rows.len() {
-        if pool.is_empty() {
-            let w = frame_size.width as f64;
-            let h = frame_size.height as f64;
-            candidates.push(Candidate {
-                center: Point::new(rng.gen_range(0.0..w), rng.gen_range(h * 0.5..h)),
-                w: w * 0.03,
-                h: h * 0.12,
-            });
-        } else {
-            let base = pool[rng.gen_range(0..pool.len())];
-            let jitter_x = rng.gen_range(-0.05..0.05) * frame_size.width as f64;
-            let jitter_y = rng.gen_range(-0.02..0.02) * frame_size.height as f64;
-            candidates.push(Candidate {
-                center: Point::new(base.center.x + jitter_x, base.center.y + jitter_y)
-                    .clamp_to(frame_size),
-                ..base
-            });
-        }
+        let base = pool[rng.gen_range(0..pool.len())];
+        let jitter_x = rng.gen_range(-0.05..0.05) * frame_size.width as f64;
+        let jitter_y = rng.gen_range(-0.02..0.02) * frame_size.height as f64;
+        candidates.push(Candidate {
+            center: Point::new(base.center.x + jitter_x, base.center.y + jitter_y)
+                .clamp_to(frame_size),
+            ..base
+        });
     }
 
     let mut shuffled_rows: Vec<usize> = rows.to_vec();
@@ -233,14 +229,13 @@ mod tests {
     }
 
     #[test]
-    fn empty_pool_synthesizes_in_lower_half() {
+    fn empty_pool_suppresses_placements() {
+        // No candidates anywhere in the segment: the frame's insertions are
+        // suppressed rather than invented (degraded mode, Section 4).
         let mut rng = StdRng::seed_from_u64(3);
         let size = Size::new(200, 100);
         let a = assign_frame(0, &[0, 1], &[], size, &mut rng);
-        assert_eq!(a.placements.len(), 2);
-        for (_, c) in &a.placements {
-            assert!(c.center.y >= 50.0);
-        }
+        assert!(a.placements.is_empty());
     }
 
     #[test]

@@ -1,12 +1,24 @@
 //! Error type for the VERRO pipeline.
+//!
+//! [`VerroError`] is the single error surfaced by the public sanitizer API.
+//! It wraps the per-crate typed errors ([`BipError`], [`LpError`],
+//! [`LdpError`], [`VisionError`]) so any failure anywhere in the pipeline
+//! reaches the caller as a typed value instead of a panic.
 
-use verro_lp::BipError;
+use verro_ldp::LdpError;
+use verro_lp::{BipError, LpError};
+use verro_vision::VisionError;
 
 /// Failures surfaced by the sanitizer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VerroError {
     /// The input video has no frames.
     EmptyVideo,
+    /// The annotations cover a different number of frames than the video.
+    AnnotationMismatch {
+        video_frames: usize,
+        annotation_frames: usize,
+    },
     /// The configuration is inconsistent (message explains).
     BadConfig(String),
     /// Key-frame extraction produced fewer frames than the minimum the
@@ -15,12 +27,25 @@ pub enum VerroError {
     TooFewKeyFrames { available: usize, required: usize },
     /// The Phase I optimizer failed.
     Optimizer(BipError),
+    /// An LP subroutine outside the Phase I optimizer failed.
+    Lp(LpError),
+    /// A local-differential-privacy primitive rejected its input.
+    Ldp(LdpError),
+    /// A vision primitive rejected its input.
+    Vision(VisionError),
 }
 
 impl std::fmt::Display for VerroError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VerroError::EmptyVideo => write!(f, "input video has no frames"),
+            VerroError::AnnotationMismatch {
+                video_frames,
+                annotation_frames,
+            } => write!(
+                f,
+                "annotations cover {annotation_frames} frames but the video has {video_frames}"
+            ),
             VerroError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             VerroError::TooFewKeyFrames {
                 available,
@@ -30,6 +55,9 @@ impl std::fmt::Display for VerroError {
                 "only {available} key frames available but {required} required"
             ),
             VerroError::Optimizer(e) => write!(f, "optimizer failed: {e}"),
+            VerroError::Lp(e) => write!(f, "LP subroutine failed: {e}"),
+            VerroError::Ldp(e) => write!(f, "LDP primitive rejected input: {e}"),
+            VerroError::Vision(e) => write!(f, "vision primitive rejected input: {e}"),
         }
     }
 }
@@ -39,6 +67,29 @@ impl std::error::Error for VerroError {}
 impl From<BipError> for VerroError {
     fn from(e: BipError) -> Self {
         VerroError::Optimizer(e)
+    }
+}
+
+impl From<LpError> for VerroError {
+    fn from(e: LpError) -> Self {
+        VerroError::Lp(e)
+    }
+}
+
+impl From<LdpError> for VerroError {
+    fn from(e: LdpError) -> Self {
+        VerroError::Ldp(e)
+    }
+}
+
+impl From<VisionError> for VerroError {
+    fn from(e: VisionError) -> Self {
+        match e {
+            // An empty video is an empty video no matter which layer
+            // noticed first — collapse to the pipeline-level variant.
+            VisionError::EmptyVideo => VerroError::EmptyVideo,
+            other => VerroError::Vision(other),
+        }
     }
 }
 
@@ -57,5 +108,31 @@ mod tests {
         assert!(VerroError::from(BipError::InfeasibleBounds)
             .to_string()
             .contains("optimizer"));
+        let e = VerroError::AnnotationMismatch {
+            video_frames: 4,
+            annotation_frames: 7,
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("4"));
+    }
+
+    #[test]
+    fn wrapped_errors_convert() {
+        assert_eq!(
+            VerroError::from(LdpError::ZeroDimensions),
+            VerroError::Ldp(LdpError::ZeroDimensions)
+        );
+        assert_eq!(
+            VerroError::from(LpError::Infeasible),
+            VerroError::Lp(LpError::Infeasible)
+        );
+        assert_eq!(
+            VerroError::from(VisionError::EmptyVideo),
+            VerroError::EmptyVideo
+        );
+        assert_eq!(
+            VerroError::from(VisionError::OutOfOrderFrames { what: "x" }),
+            VerroError::Vision(VisionError::OutOfOrderFrames { what: "x" })
+        );
     }
 }

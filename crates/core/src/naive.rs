@@ -6,8 +6,10 @@
 //! negligible, the keep-probability approaches ½ and the output is close to
 //! uniform noise. The baseline is retained for the ablation benchmarks.
 
+use crate::error::VerroError;
 use crate::presence::PresenceMatrix;
 use rand::Rng;
+use verro_ldp::error::LdpError;
 use verro_ldp::rr::{keep_probability, randomize_budget};
 
 /// Output of the naive baseline.
@@ -23,27 +25,33 @@ pub struct NaiveOutput {
 
 /// Runs Algorithm 1: equal `ε/m` budget per frame, randomized response per
 /// bit, for every object.
+///
+/// # Errors
+///
+/// Returns [`VerroError::Ldp`] when `epsilon` is not positive and finite.
 pub fn randomize_naive<R: Rng + ?Sized>(
     matrix: &PresenceMatrix,
     epsilon: f64,
     rng: &mut R,
-) -> NaiveOutput {
-    assert!(epsilon > 0.0, "epsilon must be positive");
+) -> Result<NaiveOutput, VerroError> {
+    if !(epsilon > 0.0 && epsilon.is_finite()) {
+        return Err(VerroError::Ldp(LdpError::InvalidEpsilon { epsilon }));
+    }
     let m = matrix.num_frames();
     let rows = matrix
         .rows()
         .iter()
         .map(|row| randomize_budget(row, epsilon, rng))
-        .collect();
-    NaiveOutput {
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(NaiveOutput {
         randomized: PresenceMatrix::from_rows(matrix.ids().to_vec(), rows, m),
         keep_probability: if m == 0 {
             1.0
         } else {
-            keep_probability(epsilon / m as f64)
+            keep_probability(epsilon / m as f64)?
         },
         epsilon,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -74,7 +82,7 @@ mod tests {
     fn output_shape_matches_input() {
         let mut rng = StdRng::seed_from_u64(1);
         let m = sparse_matrix(50, 4);
-        let out = randomize_naive(&m, 5.0, &mut rng);
+        let out = randomize_naive(&m, 5.0, &mut rng).unwrap();
         assert_eq!(out.randomized.num_objects(), 4);
         assert_eq!(out.randomized.num_frames(), 50);
         assert_eq!(out.epsilon, 5.0);
@@ -86,7 +94,7 @@ mod tests {
         // the bits come out 1 even though the input is 10% dense.
         let mut rng = StdRng::seed_from_u64(2);
         let m = sparse_matrix(1000, 3);
-        let out = randomize_naive(&m, 1.0, &mut rng);
+        let out = randomize_naive(&m, 1.0, &mut rng).unwrap();
         assert!((out.keep_probability - 0.5).abs() < 0.001);
         let density: f64 = out
             .randomized
@@ -102,7 +110,7 @@ mod tests {
     fn small_m_large_eps_preserves_signal() {
         let mut rng = StdRng::seed_from_u64(3);
         let m = sparse_matrix(10, 2);
-        let out = randomize_naive(&m, 50.0, &mut rng); // ε/m = 5 per bit
+        let out = randomize_naive(&m, 50.0, &mut rng).unwrap(); // ε/m = 5 per bit
         assert!(out.keep_probability > 0.99);
         for (orig, noisy) in m.rows().iter().zip(out.randomized.rows()) {
             assert!(orig.hamming(noisy) <= 1);
@@ -110,9 +118,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn rejects_nonpositive_epsilon() {
         let mut rng = StdRng::seed_from_u64(4);
-        randomize_naive(&sparse_matrix(10, 1), 0.0, &mut rng);
+        assert!(matches!(
+            randomize_naive(&sparse_matrix(10, 1), 0.0, &mut rng),
+            Err(VerroError::Ldp(LdpError::InvalidEpsilon { .. }))
+        ));
     }
 }

@@ -119,7 +119,7 @@ pub fn pick_key_frames<R: Rng + ?Sized>(
     }
 
     // Per-frame counts, Laplace-noised per Section 3.3.3 (Δ = 1).
-    let counts = noisy_counts(reduced, optimizer_noise_epsilon, rng);
+    let counts = noisy_counts(reduced, optimizer_noise_epsilon, rng)?;
     pick_from_counts(
         &counts,
         reduced.num_objects(),
@@ -134,16 +134,22 @@ pub fn pick_key_frames<R: Rng + ?Sized>(
 /// `optimizer_noise_epsilon` is set (Section 3.3.3, Δ = 1). Noising is a
 /// *single* ε′-release: callers that re-optimize (e.g. the budget-mode
 /// fixed point) must reuse the same noisy counts rather than re-drawing.
+///
+/// # Errors
+///
+/// Returns [`VerroError::Ldp`] when the noise epsilon is not positive and
+/// finite (already rejected by [`VerroConfig::validate`](crate::config::VerroConfig::validate)
+/// in the pipeline path).
 pub fn noisy_counts<R: Rng + ?Sized>(
     reduced: &PresenceMatrix,
     optimizer_noise_epsilon: Option<f64>,
     rng: &mut R,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, VerroError> {
     let raw_counts = reduced.column_counts();
-    match optimizer_noise_epsilon {
-        Some(eps) => LaplaceMechanism::new(1.0, eps).release_counts(&raw_counts, rng),
+    Ok(match optimizer_noise_epsilon {
+        Some(eps) => LaplaceMechanism::new(1.0, eps)?.release_counts(&raw_counts, rng),
         None => raw_counts.iter().map(|&c| c as f64).collect(),
-    }
+    })
 }
 
 /// The deterministic optimization core: picks frames given already-released

@@ -90,7 +90,7 @@ pub fn run_phase1<R: Rng + ?Sized>(
 
     // The optimizer's counts are Laplace-released exactly once; the
     // budget-mode fixed point below re-optimizes over the same release.
-    let counts = noisy_counts(&reduced, config.optimizer_noise_epsilon, rng);
+    let counts = noisy_counts(&reduced, config.optimizer_noise_epsilon, rng)?;
     let n = reduced.num_objects();
 
     // Resolve the flip probability. In budget mode the selection and `f`
@@ -121,7 +121,7 @@ pub fn run_phase1<R: Rng + ?Sized>(
                     config.objective,
                     config.min_picked,
                 )?;
-                let new_f = flip_for_epsilon(p.count(), eps);
+                let new_f = flip_for_epsilon(p.count(), eps)?;
                 let stable = (new_f - f).abs() < 1e-12;
                 f = new_f;
                 pick = Some(p);
@@ -142,14 +142,14 @@ pub fn run_phase1<R: Rng + ?Sized>(
         .rows()
         .iter()
         .map(|row| randomize_flip(row, flip, rng))
-        .collect();
+        .collect::<Result<Vec<_>, _>>()?;
     let randomized = PresenceMatrix::from_rows(
         original.ids().to_vec(),
         randomized_rows,
         original.num_frames(),
     );
 
-    let epsilon = epsilon_of_flip(ell_star, flip);
+    let epsilon = epsilon_of_flip(ell_star, flip)?;
     let mut ledger = BudgetLedger::new();
     ledger.spend("phase1-randomized-response", epsilon);
     if config.optimizer_noise_epsilon.is_some()

@@ -110,27 +110,67 @@ impl Verro {
 
     /// Sanitizes a video given owner-side annotations (ground truth or a
     /// prior tracking run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerroError::EmptyVideo`] for a zero-frame video and
+    /// [`VerroError::AnnotationMismatch`] when the annotations cover a
+    /// different number of frames than the video; deeper failures surface
+    /// as the wrapped per-crate error variants.
     pub fn sanitize<S: FrameSource + Sync>(
         &self,
         src: &S,
         annotations: &VideoAnnotations,
     ) -> Result<SanitizedResult, VerroError> {
+        self.sanitize_impl(src, annotations, None)
+    }
+
+    /// Shared body of [`sanitize`](Self::sanitize) and
+    /// [`sanitize_with_tracking`](Self::sanitize_with_tracking).
+    /// `detection_background` is a whole-clip temporal-median background a
+    /// caller already paid for; it is reused (instead of re-reduced) when
+    /// it matches what `build_backgrounds` would compute — temporal-median
+    /// mode with a single segment spanning the full clip.
+    fn sanitize_impl<S: FrameSource + Sync>(
+        &self,
+        src: &S,
+        annotations: &VideoAnnotations,
+        detection_background: Option<&verro_video::image::ImageBuffer>,
+    ) -> Result<SanitizedResult, VerroError> {
         if src.num_frames() == 0 {
             return Err(VerroError::EmptyVideo);
         }
-        assert_eq!(
-            src.num_frames(),
-            annotations.num_frames(),
-            "annotations must cover the video"
-        );
+        if src.num_frames() != annotations.num_frames() {
+            return Err(VerroError::AnnotationMismatch {
+                video_frames: src.num_frames(),
+                annotation_frames: annotations.num_frames(),
+            });
+        }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         // Preprocessing: Algorithm 2 segmentation + background scenes.
         let t0 = Instant::now();
-        let key_frames = extract_key_frames(src, &self.config.keyframe);
+        let key_frames = extract_key_frames(src, &self.config.keyframe)?;
         let preprocess_keyframes = t0.elapsed();
         let tb = Instant::now();
-        let backgrounds = build_backgrounds(src, annotations, &key_frames, &self.config);
+        let full_clip_single_segment = key_frames.segments.len() == 1
+            && key_frames.segments[0].start() == 0
+            && key_frames.segments[0].end() == src.num_frames() - 1;
+        let backgrounds = match detection_background {
+            Some(bg)
+                if self.config.background == crate::config::BackgroundMode::TemporalMedian
+                    && full_clip_single_segment =>
+            {
+                // The detection background *is* the single segment's
+                // temporal median — same sample budget, same range.
+                vec![crate::synthesis::BackgroundScene {
+                    start: 0,
+                    end: src.num_frames() - 1,
+                    image: bg.clone(),
+                }]
+            }
+            _ => build_backgrounds(src, annotations, &key_frames, &self.config)?,
+        };
         let preprocess_backgrounds = tb.elapsed();
         let preprocess = t0.elapsed();
 
@@ -148,7 +188,7 @@ impl Verro {
             src.frame_size(),
             &self.config,
             &mut rng,
-        );
+        )?;
         let video = SyntheticVideo::new(
             src.frame_size(),
             src.fps(),
@@ -192,14 +232,20 @@ impl Verro {
         if src.num_frames() == 0 {
             return Err(VerroError::EmptyVideo);
         }
+        if src.num_frames() != annotations.num_frames() {
+            return Err(VerroError::AnnotationMismatch {
+                video_frames: src.num_frames(),
+                annotation_frames: annotations.num_frames(),
+            });
+        }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         let t0 = Instant::now();
-        let key_frames = extract_key_frames(src, &self.config.keyframe);
+        let key_frames = extract_key_frames(src, &self.config.keyframe)?;
         let preprocess_keyframes = t0.elapsed();
         let tb = Instant::now();
         let backgrounds =
-            crate::synthesis::build_backgrounds(src, annotations, &key_frames, &self.config);
+            crate::synthesis::build_backgrounds(src, annotations, &key_frames, &self.config)?;
         let preprocess_backgrounds = tb.elapsed();
         let preprocess = t0.elapsed();
 
@@ -209,10 +255,14 @@ impl Verro {
         let mut merged = VideoAnnotations::new(annotations.num_frames());
         let mut per_class = Vec::new();
         let mut next_id = 0u32;
-        let t1 = Instant::now();
+        let mut phase1_time = Duration::ZERO;
+        let mut phase2_time = Duration::ZERO;
         for class in classes {
             let class_ann = annotations.filtered(|t| t.class == class);
+            let t1 = Instant::now();
             let phase1 = run_phase1(&class_ann, &key_frames, &self.config, &mut rng)?;
+            phase1_time += t1.elapsed();
+            let t2 = Instant::now();
             let phase2 = run_phase2(
                 &phase1,
                 &class_ann,
@@ -220,7 +270,8 @@ impl Verro {
                 src.frame_size(),
                 &self.config,
                 &mut rng,
-            );
+            )?;
+            phase2_time += t2.elapsed();
             // Renumber this class's synthetic objects after the previous
             // classes' so the merged video has dense distinct IDs.
             let offset = next_id;
@@ -245,7 +296,6 @@ impl Verro {
                 phase2,
             });
         }
-        let phases = t1.elapsed();
 
         let video = SyntheticVideo::new(src.frame_size(), src.fps(), backgrounds, merged);
         Ok(MultiClassResult {
@@ -257,8 +307,8 @@ impl Verro {
                 preprocess_keyframes,
                 preprocess_backgrounds,
                 preprocess_detect_track: Duration::ZERO,
-                phase1: phases,
-                phase2: Duration::ZERO,
+                phase1: phase1_time,
+                phase2: phase2_time,
             },
         })
     }
@@ -286,19 +336,23 @@ impl Verro {
             &verro_vision::bgmodel::BackgroundConfig {
                 max_samples: self.config.background_samples,
             },
-        );
+        )?;
         let mut tracker = SortTracker::new(tracker_config, class);
         for k in 0..src.num_frames() {
             let frame = src.frame(k);
-            let dets: Vec<_> = detect(&frame, &bg, detector)
+            let dets: Vec<_> = detect(&frame, &bg, detector)?
                 .into_iter()
                 .map(|d| d.bbox)
                 .collect();
-            tracker.step(k, &dets);
+            tracker.step(k, &dets)?;
         }
+        // A tracker that finds zero objects is not an error: the degraded
+        // result is an empty-but-valid V* whose ε accounting is still exact.
         let annotations = tracker.finish(src.num_frames());
         let detect_track = td.elapsed();
-        let mut result = self.sanitize(src, &annotations)?;
+        // Static single-segment videos reuse the detection background
+        // instead of recomputing the same temporal median.
+        let mut result = self.sanitize_impl(src, &annotations, Some(&bg))?;
         // The tracking stage is preprocessing too; fold it into the report.
         result.timings.preprocess_detect_track = detect_track;
         result.timings.preprocess += detect_track;
@@ -420,8 +474,7 @@ mod tests {
     }
 
     #[test]
-    fn rejects_empty_video() {
-        // An annotations/video length mismatch or empty video must fail.
+    fn empty_annotations_sanitize_to_empty_video() {
         let video = tiny_video();
         let verro = Verro::new(fast_config()).unwrap();
         let empty_ann = VideoAnnotations::new(40);
@@ -429,6 +482,78 @@ mod tests {
         let r = verro.sanitize(&video, &empty_ann).unwrap();
         assert_eq!(r.utility.original_objects, 0);
         assert_eq!(r.phase2.synthetic.num_objects(), 0);
+    }
+
+    #[test]
+    fn rejects_annotation_length_mismatch() {
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let short_ann = VideoAnnotations::new(17);
+        assert_eq!(
+            verro.sanitize(&video, &short_ann).unwrap_err(),
+            VerroError::AnnotationMismatch {
+                video_frames: 40,
+                annotation_frames: 17,
+            }
+        );
+        assert_eq!(
+            verro.sanitize_per_class(&video, &short_ann).unwrap_err(),
+            VerroError::AnnotationMismatch {
+                video_frames: 40,
+                annotation_frames: 17,
+            }
+        );
+    }
+
+    /// A zero-frame [`FrameSource`] (`InMemoryVideo` refuses to be empty).
+    struct EmptyVideoSource;
+
+    impl FrameSource for EmptyVideoSource {
+        fn num_frames(&self) -> usize {
+            0
+        }
+        fn frame_size(&self) -> Size {
+            Size::new(16, 16)
+        }
+        fn frame(&self, _k: usize) -> verro_video::image::ImageBuffer {
+            unreachable!("empty video has no frames")
+        }
+    }
+
+    #[test]
+    fn rejects_empty_video() {
+        let verro = Verro::new(fast_config()).unwrap();
+        let empty = EmptyVideoSource;
+        let ann = VideoAnnotations::new(0);
+        assert_eq!(
+            verro.sanitize(&empty, &ann).unwrap_err(),
+            VerroError::EmptyVideo
+        );
+        assert_eq!(
+            verro.sanitize_per_class(&empty, &ann).unwrap_err(),
+            VerroError::EmptyVideo
+        );
+        assert_eq!(
+            verro
+                .sanitize_with_tracking(
+                    &empty,
+                    &DetectorConfig::default(),
+                    TrackerConfig::default(),
+                    ObjectClass::Pedestrian,
+                )
+                .unwrap_err(),
+            VerroError::EmptyVideo
+        );
+    }
+
+    #[test]
+    fn per_class_times_phases_separately() {
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let result = verro.sanitize_per_class(&video, video.annotations()).unwrap();
+        // Both phases ran, so both accumulators must be non-zero.
+        assert!(result.timings.phase1 > Duration::ZERO);
+        assert!(result.timings.phase2 > Duration::ZERO);
     }
 
     #[test]

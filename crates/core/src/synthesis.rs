@@ -9,6 +9,7 @@
 //! separates instances (its assignment is random, Section 2.2.2).
 
 use crate::config::{BackgroundMode, VerroConfig};
+use crate::error::VerroError;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -33,7 +34,10 @@ pub fn reconstruct_background(
     let inflated: Vec<BBox> = boxes.iter().map(|b| b.scaled_about_center(1.15)).collect();
     let mask = Mask::from_boxes(frame.width(), frame.height(), &inflated);
     let mut out = frame.clone();
-    inpaint(&mut out, &mask, config);
+    // The mask is built from the frame's own dimensions, so inpaint's size
+    // check cannot fail.
+    let filled = inpaint(&mut out, &mask, config);
+    debug_assert!(filled.is_ok());
     out
 }
 
@@ -58,7 +62,7 @@ pub fn build_backgrounds<S: FrameSource + Sync>(
     annotations: &VideoAnnotations,
     key_frames: &KeyFrameResult,
     config: &VerroConfig,
-) -> Vec<BackgroundScene> {
+) -> Result<Vec<BackgroundScene>, VerroError> {
     key_frames
         .segments
         .par_iter()
@@ -81,9 +85,10 @@ pub fn build_backgrounds<S: FrameSource + Sync>(
                     &BackgroundConfig {
                         max_samples: config.background_samples,
                     },
-                ),
+                )
+                .map_err(VerroError::from)?,
             };
-            BackgroundScene { start, end, image }
+            Ok(BackgroundScene { start, end, image })
         })
         .collect()
 }
@@ -120,8 +125,19 @@ impl SyntheticVideo {
         backgrounds: Vec<BackgroundScene>,
         annotations: VideoAnnotations,
     ) -> Self {
-        assert!(!backgrounds.is_empty(), "need at least one background");
+        // The pipeline always produces at least one segment background; a
+        // direct caller handing us none gets a black fallback scene instead
+        // of a panic in `background_for`.
+        debug_assert!(!backgrounds.is_empty(), "need at least one background");
         let num_frames = annotations.num_frames();
+        let mut backgrounds = backgrounds;
+        if backgrounds.is_empty() {
+            backgrounds.push(BackgroundScene {
+                start: 0,
+                end: num_frames.saturating_sub(1),
+                image: ImageBuffer::new(size, Rgb::BLACK),
+            });
+        }
         let colors = annotations
             .ids()
             .into_iter()
@@ -205,7 +221,7 @@ impl FrameSource for SyntheticVideo {
         let mut img = self.background_for(k).clone();
         // Painter's order: farther (higher) objects first.
         let mut present = self.annotations.in_frame(k);
-        present.sort_by(|a, b| a.1.bottom().partial_cmp(&b.1.bottom()).expect("finite"));
+        present.sort_by(|a, b| a.1.bottom().total_cmp(&b.1.bottom()));
         for (id, bbox) in present {
             let color = self.colors.get(&id).copied().unwrap_or(Rgb::WHITE);
             Self::draw_capsule(&mut img, bbox, color);

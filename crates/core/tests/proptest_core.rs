@@ -115,7 +115,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let p1 = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
         let size = Size::new(300, 200);
-        let p2 = run_phase2(&p1, &ann, &kf, size, &cfg, &mut rng);
+        let p2 = run_phase2(&p1, &ann, &kf, size, &cfg, &mut rng).unwrap();
 
         // Retained + lost = all objects; mapping is injective.
         prop_assert_eq!(p2.mapping.len() + p2.lost.len(), ann.num_objects());
@@ -154,7 +154,7 @@ proptest! {
         cfg_clamp.overshoot = verro_core::config::OvershootPolicy::Clamp;
         let mut rng2 = StdRng::seed_from_u64(seed ^ 1);
         let p1c = run_phase1(&ann, &kf, &cfg_clamp, &mut rng2).unwrap();
-        let p2c = run_phase2(&p1c, &ann, &kf, size, &cfg_clamp, &mut rng2);
+        let p2c = run_phase2(&p1c, &ann, &kf, size, &cfg_clamp, &mut rng2).unwrap();
         for t in p2c.synthetic.tracks() {
             let frames: Vec<usize> = t.observations().iter().map(|o| o.frame).collect();
             for w in frames.windows(2) {
@@ -173,7 +173,7 @@ proptest! {
         let cfg = config(f, OptimizerStrategy::AllKeyFrames);
         let mut rng = StdRng::seed_from_u64(seed);
         let p1 = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
-        let p2 = run_phase2(&p1, &ann, &kf, Size::new(300, 200), &cfg, &mut rng);
+        let p2 = run_phase2(&p1, &ann, &kf, Size::new(300, 200), &cfg, &mut rng).unwrap();
 
         let signed = trajectory_deviation(&ann, &p2.synthetic, &p2.mapping);
         let absolute = trajectory_deviation_absolute(&ann, &p2.synthetic, &p2.mapping);

@@ -5,21 +5,29 @@
 //! `ε = ℓ · ln((2 − f)/f)`. Both directions are provided, plus sequential
 //! composition for multi-release accounting.
 
+use crate::error::LdpError;
 use serde::{Deserialize, Serialize};
 
 /// ε consumed by flip-probability randomized response over `dims` bits:
-/// `dims · ln((2 − f)/f)`.
-pub fn epsilon_of_flip(dims: usize, f: f64) -> f64 {
-    assert!(f > 0.0 && f <= 1.0, "flip probability must be in (0,1]");
-    dims as f64 * ((2.0 - f) / f).ln()
+/// `dims · ln((2 − f)/f)`. Rejects `f` outside `(0, 1]`.
+pub fn epsilon_of_flip(dims: usize, f: f64) -> Result<f64, LdpError> {
+    if !(f > 0.0 && f <= 1.0) {
+        return Err(LdpError::InvalidFlip { f });
+    }
+    Ok(dims as f64 * ((2.0 - f) / f).ln())
 }
 
 /// Flip probability achieving a target ε over `dims` bits — the inverse of
-/// [`epsilon_of_flip`]: `f = 2 / (e^{ε/dims} + 1)`.
-pub fn flip_for_epsilon(dims: usize, epsilon: f64) -> f64 {
-    assert!(dims > 0, "need at least one dimension");
-    assert!(epsilon >= 0.0, "epsilon must be non-negative");
-    2.0 / ((epsilon / dims as f64).exp() + 1.0)
+/// [`epsilon_of_flip`]: `f = 2 / (e^{ε/dims} + 1)`. Rejects `dims == 0` and
+/// negative or NaN ε.
+pub fn flip_for_epsilon(dims: usize, epsilon: f64) -> Result<f64, LdpError> {
+    if dims == 0 {
+        return Err(LdpError::ZeroDimensions);
+    }
+    if !(epsilon >= 0.0) {
+        return Err(LdpError::InvalidEpsilon { epsilon });
+    }
+    Ok(2.0 / ((epsilon / dims as f64).exp() + 1.0))
 }
 
 /// A running privacy-budget ledger (sequential composition): the total ε of
@@ -34,10 +42,12 @@ impl BudgetLedger {
         Self::default()
     }
 
-    /// Records a release of `epsilon` attributed to `label`.
+    /// Records a release of `epsilon` attributed to `label`. Spending a
+    /// negative ε is an accounting bug in the caller; it is clamped to zero
+    /// so the ledger never understates the total.
     pub fn spend(&mut self, label: impl Into<String>, epsilon: f64) {
-        assert!(epsilon >= 0.0, "epsilon must be non-negative");
-        self.entries.push((label.into(), epsilon));
+        debug_assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        self.entries.push((label.into(), epsilon.max(0.0)));
     }
 
     /// Total ε spent (sequential composition).
@@ -58,19 +68,19 @@ mod tests {
     #[test]
     fn epsilon_formula_matches_paper() {
         // f = 0.5 over 1 bit: ln(3).
-        assert!((epsilon_of_flip(1, 0.5) - 3.0f64.ln()).abs() < 1e-12);
+        assert!((epsilon_of_flip(1, 0.5).unwrap() - 3.0f64.ln()).abs() < 1e-12);
         // Scales linearly with dimensions.
-        assert!((epsilon_of_flip(10, 0.5) - 10.0 * 3.0f64.ln()).abs() < 1e-12);
+        assert!((epsilon_of_flip(10, 0.5).unwrap() - 10.0 * 3.0f64.ln()).abs() < 1e-12);
         // f = 1 gives zero privacy cost (uniform output).
-        assert_eq!(epsilon_of_flip(5, 1.0), 0.0);
+        assert_eq!(epsilon_of_flip(5, 1.0).unwrap(), 0.0);
     }
 
     #[test]
     fn inverse_round_trips() {
         for dims in [1usize, 4, 12, 52] {
             for f in [0.1, 0.3, 0.5, 0.8, 0.95] {
-                let eps = epsilon_of_flip(dims, f);
-                let back = flip_for_epsilon(dims, eps);
+                let eps = epsilon_of_flip(dims, f).unwrap();
+                let back = flip_for_epsilon(dims, eps).unwrap();
                 assert!((back - f).abs() < 1e-12, "dims={dims} f={f} back={back}");
             }
         }
@@ -79,14 +89,14 @@ mod tests {
     #[test]
     fn flip_for_epsilon_monotone() {
         // Larger ε → smaller flip probability (less noise).
-        assert!(flip_for_epsilon(10, 20.0) < flip_for_epsilon(10, 5.0));
+        assert!(flip_for_epsilon(10, 20.0).unwrap() < flip_for_epsilon(10, 5.0).unwrap());
         // ε = 0 → f = 1 (pure noise).
-        assert!((flip_for_epsilon(3, 0.0) - 1.0).abs() < 1e-12);
+        assert!((flip_for_epsilon(3, 0.0).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn smaller_f_costs_more_epsilon() {
-        assert!(epsilon_of_flip(8, 0.1) > epsilon_of_flip(8, 0.9));
+        assert!(epsilon_of_flip(8, 0.1).unwrap() > epsilon_of_flip(8, 0.9).unwrap());
     }
 
     #[test]
@@ -100,14 +110,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn epsilon_rejects_zero_flip() {
-        epsilon_of_flip(1, 0.0);
+    fn epsilon_rejects_bad_flip() {
+        assert_eq!(epsilon_of_flip(1, 0.0), Err(LdpError::InvalidFlip { f: 0.0 }));
+        assert_eq!(epsilon_of_flip(1, 1.5), Err(LdpError::InvalidFlip { f: 1.5 }));
+        assert!(matches!(
+            epsilon_of_flip(1, f64::NAN),
+            Err(LdpError::InvalidFlip { .. })
+        ));
     }
 
     #[test]
-    #[should_panic]
-    fn ledger_rejects_negative() {
-        BudgetLedger::new().spend("bad", -1.0);
+    fn flip_for_epsilon_rejects_bad_input() {
+        assert_eq!(flip_for_epsilon(0, 1.0), Err(LdpError::ZeroDimensions));
+        assert_eq!(
+            flip_for_epsilon(3, -1.0),
+            Err(LdpError::InvalidEpsilon { epsilon: -1.0 })
+        );
+    }
+
+    #[test]
+    fn ledger_clamps_negative_spends_in_release() {
+        // A negative spend is a caller bug (debug_assert), but in release
+        // builds the ledger clamps instead of understating the total.
+        if cfg!(debug_assertions) {
+            return;
+        }
+        let mut ledger = BudgetLedger::new();
+        ledger.spend("bad", -1.0);
+        ledger.spend("good", 2.0);
+        assert_eq!(ledger.total(), 2.0);
     }
 }

@@ -1,0 +1,55 @@
+//! Typed errors for the LDP primitives.
+//!
+//! `LdpError` covers conditions a caller can trigger with malformed input:
+//! flip probabilities outside their domain, non-positive budgets or noise
+//! scales, zero-dimensional mechanisms, and mismatched series lengths.
+//! Internal invariants (bit indexing, already-validated parameters on hot
+//! paths) stay `assert!`/`debug_assert!`ed.
+
+use std::fmt;
+
+/// Errors from the LDP mechanisms and estimators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LdpError {
+    /// Flip probability outside its valid domain (or NaN). The valid domain
+    /// depends on the operation: `(0, 1]` for ε accounting, `[0, 1]` for
+    /// randomization, `[0, 1)` for debiasing.
+    InvalidFlip { f: f64 },
+    /// Privacy budget is negative, zero where positivity is required, or NaN.
+    InvalidEpsilon { epsilon: f64 },
+    /// Query sensitivity must be positive and finite.
+    InvalidSensitivity { sensitivity: f64 },
+    /// Noise scale must be positive and finite.
+    InvalidScale { scale: f64 },
+    /// A mechanism over zero dimensions has no well-defined per-bit budget.
+    ZeroDimensions,
+    /// Two series that must align have different lengths.
+    LengthMismatch { left: usize, right: usize },
+}
+
+impl fmt::Display for LdpError {
+    fn fmt(&self, fmt: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LdpError::InvalidFlip { f } => {
+                write!(fmt, "flip probability {f} outside its valid domain")
+            }
+            LdpError::InvalidEpsilon { epsilon } => {
+                write!(fmt, "privacy budget {epsilon} is invalid")
+            }
+            LdpError::InvalidSensitivity { sensitivity } => {
+                write!(fmt, "sensitivity {sensitivity} must be positive and finite")
+            }
+            LdpError::InvalidScale { scale } => {
+                write!(fmt, "noise scale {scale} must be positive and finite")
+            }
+            LdpError::ZeroDimensions => {
+                write!(fmt, "mechanism requires at least one dimension")
+            }
+            LdpError::LengthMismatch { left, right } => {
+                write!(fmt, "series lengths differ: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LdpError {}

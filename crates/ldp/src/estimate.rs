@@ -6,42 +6,66 @@
 //! bits are 1, the unbiased estimate of the true count is
 //! `(c_obs − n·f/2) / (1 − f)`.
 
+use crate::error::LdpError;
+
 /// Unbiased estimate of the true 1-count from the observed 1-count under
-/// flip-probability randomized response (Equation 4).
-pub fn debias_count(observed_ones: f64, n: usize, f: f64) -> f64 {
-    assert!((0.0..1.0).contains(&f), "flip probability must be in [0,1)");
+/// flip-probability randomized response (Equation 4). Rejects `f` outside
+/// `[0, 1)` — at `f = 1` the output carries no signal and the estimator's
+/// denominator vanishes.
+pub fn debias_count(observed_ones: f64, n: usize, f: f64) -> Result<f64, LdpError> {
+    if !(0.0..1.0).contains(&f) {
+        return Err(LdpError::InvalidFlip { f });
+    }
+    Ok(debias_count_unchecked(observed_ones, n, f))
+}
+
+/// Estimator body; callers guarantee `f ∈ [0, 1)`.
+fn debias_count_unchecked(observed_ones: f64, n: usize, f: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&f));
     (observed_ones - n as f64 * f / 2.0) / (1.0 - f)
 }
 
 /// Debiases a whole series of per-frame counts, clamping at `[0, n]` (counts
-/// are bounded; clamping is post-processing).
-pub fn debias_count_series(observed: &[usize], n: usize, f: f64) -> Vec<f64> {
-    observed
+/// are bounded; clamping is post-processing). Rejects `f` outside `[0, 1)`.
+pub fn debias_count_series(observed: &[usize], n: usize, f: f64) -> Result<Vec<f64>, LdpError> {
+    if !(0.0..1.0).contains(&f) {
+        return Err(LdpError::InvalidFlip { f });
+    }
+    Ok(observed
         .iter()
-        .map(|&c| debias_count(c as f64, n, f).clamp(0.0, n as f64))
-        .collect()
+        .map(|&c| debias_count_unchecked(c as f64, n, f).clamp(0.0, n as f64))
+        .collect())
 }
 
 /// Variance of the debiased estimator for a true count `t` out of `n` bits:
-/// each bit is an independent Bernoulli after randomization.
-pub fn debias_variance(true_count: f64, n: usize, f: f64) -> f64 {
-    assert!((0.0..1.0).contains(&f));
+/// each bit is an independent Bernoulli after randomization. Rejects `f`
+/// outside `[0, 1)`.
+pub fn debias_variance(true_count: f64, n: usize, f: f64) -> Result<f64, LdpError> {
+    if !(0.0..1.0).contains(&f) {
+        return Err(LdpError::InvalidFlip { f });
+    }
     let n = n as f64;
     // Output bit is 1 with prob p1 = f/2 + (1-f)·b for true bit b.
     let p_one_true = 1.0 - f / 2.0;
     let p_one_false = f / 2.0;
     let var_obs = true_count * p_one_true * (1.0 - p_one_true)
         + (n - true_count) * p_one_false * (1.0 - p_one_false);
-    var_obs / (1.0 - f).powi(2)
+    Ok(var_obs / (1.0 - f).powi(2))
 }
 
-/// Mean absolute error between two equal-length series.
-pub fn mean_absolute_error(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "series lengths differ");
-    if a.is_empty() {
-        return 0.0;
+/// Mean absolute error between two equal-length series. Rejects series of
+/// different lengths.
+pub fn mean_absolute_error(a: &[f64], b: &[f64]) -> Result<f64, LdpError> {
+    if a.len() != b.len() {
+        return Err(LdpError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+    if a.is_empty() {
+        return Ok(0.0);
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64)
 }
 
 #[cfg(test)]
@@ -57,7 +81,7 @@ mod tests {
         // E[observed] = t(1-f/2) + (n-t)(f/2); plugging in recovers t.
         let (t, n, f) = (30.0, 100usize, 0.4);
         let expected_obs = t * (1.0 - f / 2.0) + (n as f64 - t) * (f / 2.0);
-        assert!((debias_count(expected_obs, n, f) - t).abs() < 1e-12);
+        assert!((debias_count(expected_obs, n, f).unwrap() - t).abs() < 1e-12);
     }
 
     #[test]
@@ -73,8 +97,8 @@ mod tests {
         let trials = 2_000;
         let mut sum = 0.0;
         for _ in 0..trials {
-            let noisy = randomize_flip(&truth, f, &mut rng);
-            sum += debias_count(noisy.count_ones() as f64, n, f);
+            let noisy = randomize_flip(&truth, f, &mut rng).unwrap();
+            sum += debias_count(noisy.count_ones() as f64, n, f).unwrap();
         }
         let mean = sum / trials as f64;
         assert!((mean - t as f64).abs() < 1.0, "mean estimate {mean}");
@@ -82,15 +106,15 @@ mod tests {
 
     #[test]
     fn series_clamps_to_range() {
-        let est = debias_count_series(&[0, 100], 100, 0.8);
+        let est = debias_count_series(&[0, 100], 100, 0.8).unwrap();
         assert_eq!(est[0], 0.0);
         assert_eq!(est[1], 100.0);
     }
 
     #[test]
     fn variance_grows_with_f() {
-        let v_low = debias_variance(20.0, 100, 0.1);
-        let v_high = debias_variance(20.0, 100, 0.9);
+        let v_low = debias_variance(20.0, 100, 0.1).unwrap();
+        let v_high = debias_variance(20.0, 100, 0.9).unwrap();
         assert!(v_high > v_low);
     }
 
@@ -107,13 +131,13 @@ mod tests {
         let trials = 5_000;
         let estimates: Vec<f64> = (0..trials)
             .map(|_| {
-                let noisy = randomize_flip(&truth, f, &mut rng);
-                debias_count(noisy.count_ones() as f64, n, f)
+                let noisy = randomize_flip(&truth, f, &mut rng).unwrap();
+                debias_count(noisy.count_ones() as f64, n, f).unwrap()
             })
             .collect();
         let mean = estimates.iter().sum::<f64>() / trials as f64;
         let var = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / trials as f64;
-        let expected = debias_variance(t as f64, n, f);
+        let expected = debias_variance(t as f64, n, f).unwrap();
         assert!(
             (var - expected).abs() / expected < 0.15,
             "var {var} vs expected {expected}"
@@ -122,13 +146,28 @@ mod tests {
 
     #[test]
     fn mae_basic() {
-        assert_eq!(mean_absolute_error(&[1.0, 2.0], &[1.0, 4.0]), 1.0);
-        assert_eq!(mean_absolute_error(&[], &[]), 0.0);
+        assert_eq!(mean_absolute_error(&[1.0, 2.0], &[1.0, 4.0]).unwrap(), 1.0);
+        assert_eq!(mean_absolute_error(&[], &[]).unwrap(), 0.0);
     }
 
     #[test]
-    #[should_panic]
     fn mae_rejects_length_mismatch() {
-        mean_absolute_error(&[1.0], &[1.0, 2.0]);
+        assert_eq!(
+            mean_absolute_error(&[1.0], &[1.0, 2.0]),
+            Err(LdpError::LengthMismatch { left: 1, right: 2 })
+        );
+    }
+
+    #[test]
+    fn debias_rejects_bad_flip() {
+        assert_eq!(debias_count(1.0, 2, 1.0), Err(LdpError::InvalidFlip { f: 1.0 }));
+        assert_eq!(
+            debias_count_series(&[1], 2, -0.1),
+            Err(LdpError::InvalidFlip { f: -0.1 })
+        );
+        assert!(matches!(
+            debias_variance(1.0, 2, f64::NAN),
+            Err(LdpError::InvalidFlip { .. })
+        ));
     }
 }

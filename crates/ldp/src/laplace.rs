@@ -5,11 +5,21 @@
 //! minor leakage of using true counts in the objective. Sampling uses the
 //! inverse-CDF transform so only `rand`'s uniform generator is required.
 
+use crate::error::LdpError;
 use rand::Rng;
 
-/// Draws one sample from `Laplace(0, scale)` via inverse CDF.
-pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
-    assert!(scale > 0.0, "scale must be positive");
+/// Draws one sample from `Laplace(0, scale)` via inverse CDF. Rejects
+/// non-positive, infinite, or NaN scales.
+pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> Result<f64, LdpError> {
+    if !(scale > 0.0 && scale.is_finite()) {
+        return Err(LdpError::InvalidScale { scale });
+    }
+    Ok(sample_laplace_unchecked(scale, rng))
+}
+
+/// Inverse-CDF sampler body; callers guarantee `scale > 0` and finite.
+fn sample_laplace_unchecked<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
+    debug_assert!(scale > 0.0 && scale.is_finite());
     // u uniform in [-0.5, 0.5) (rand's gen::<f64>() samples [0, 1));
     // inverse CDF: -b * sgn(u) * ln(1 - 2|u|). At the reachable endpoint
     // u = -0.5 the argument hits 0 exactly, so clamp it to MIN_POSITIVE to
@@ -28,13 +38,25 @@ pub struct LaplaceMechanism {
 }
 
 impl LaplaceMechanism {
-    pub fn new(sensitivity: f64, epsilon: f64) -> Self {
-        assert!(sensitivity > 0.0, "sensitivity must be positive");
-        assert!(epsilon > 0.0, "epsilon must be positive");
-        Self {
+    /// Builds the mechanism; rejects non-positive, infinite, or NaN
+    /// sensitivity and ε.
+    pub fn new(sensitivity: f64, epsilon: f64) -> Result<Self, LdpError> {
+        if !(sensitivity > 0.0 && sensitivity.is_finite()) {
+            return Err(LdpError::InvalidSensitivity { sensitivity });
+        }
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(LdpError::InvalidEpsilon { epsilon });
+        }
+        // Δ/ε can overflow to ∞ or underflow to 0 for extreme inputs even
+        // when both parameters are individually valid.
+        let scale = sensitivity / epsilon;
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(LdpError::InvalidScale { scale });
+        }
+        Ok(Self {
             sensitivity,
             epsilon,
-        }
+        })
     }
 
     /// Noise scale `b = Δ/ε`.
@@ -44,7 +66,8 @@ impl LaplaceMechanism {
 
     /// Releases a noisy version of `value`.
     pub fn release<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
-        value + sample_laplace(self.scale(), rng)
+        // The constructor guarantees a positive finite scale.
+        value + sample_laplace_unchecked(self.scale(), rng)
     }
 
     /// Releases a noisy version of each count, clamped at zero (counts are
@@ -69,7 +92,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let scale = 2.0;
         let n = 100_000;
-        let samples: Vec<f64> = (0..n).map(|_| sample_laplace(scale, &mut rng)).collect();
+        let samples: Vec<f64> = (0..n).map(|_| sample_laplace(scale, &mut rng).unwrap()).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
         // Laplace(0, b): mean 0, variance 2b².
@@ -82,7 +105,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let n = 50_000;
         let below = (0..n)
-            .filter(|_| sample_laplace(1.0, &mut rng) < 0.0)
+            .filter(|_| sample_laplace(1.0, &mut rng).unwrap() < 0.0)
             .count();
         let frac = below as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.02, "frac below zero = {frac}");
@@ -95,8 +118,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let b = 3.0;
         let n = 100_000;
-        let mut samples: Vec<f64> = (0..n).map(|_| sample_laplace(b, &mut rng)).collect();
-        samples.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        let mut samples: Vec<f64> = (0..n).map(|_| sample_laplace(b, &mut rng).unwrap()).collect();
+        samples.sort_by(f64::total_cmp);
         let q75 = samples[(0.75 * n as f64) as usize];
         assert!((q75 - b * 2f64.ln()).abs() < 0.15, "q75 = {q75}");
     }
@@ -125,24 +148,27 @@ mod tests {
     fn endpoint_u_is_clamped_to_a_finite_sample() {
         // u = −0.5 exactly: without the MIN_POSITIVE clamp the inverse CDF
         // would take ln(0) and return +∞.
-        let sample = sample_laplace(1.0, &mut ZeroRng);
+        let sample = sample_laplace(1.0, &mut ZeroRng).unwrap();
         assert!(sample.is_finite(), "endpoint sample must be finite");
         // sgn(−0.5) = −1, so the clamped sample is the extreme negative
         // tail value scale · ln(MIN_POSITIVE).
         assert_eq!(sample, f64::MIN_POSITIVE.ln());
-        assert_eq!(sample_laplace(2.0, &mut ZeroRng), 2.0 * f64::MIN_POSITIVE.ln());
+        assert_eq!(
+            sample_laplace(2.0, &mut ZeroRng).unwrap(),
+            2.0 * f64::MIN_POSITIVE.ln()
+        );
     }
 
     #[test]
     fn mechanism_scale() {
-        let m = LaplaceMechanism::new(1.0, 0.5);
+        let m = LaplaceMechanism::new(1.0, 0.5).unwrap();
         assert_eq!(m.scale(), 2.0);
     }
 
     #[test]
     fn release_counts_clamps_at_zero() {
         let mut rng = StdRng::seed_from_u64(10);
-        let m = LaplaceMechanism::new(1.0, 0.05); // huge noise
+        let m = LaplaceMechanism::new(1.0, 0.05).unwrap(); // huge noise
         let noisy = m.release_counts(&[0, 0, 0, 0, 0, 0, 0, 0], &mut rng);
         assert!(noisy.iter().all(|&v| v >= 0.0));
     }
@@ -151,7 +177,7 @@ mod tests {
     fn tighter_epsilon_means_more_noise() {
         let mut rng = StdRng::seed_from_u64(11);
         let spread = |eps: f64, rng: &mut StdRng| {
-            let m = LaplaceMechanism::new(1.0, eps);
+            let m = LaplaceMechanism::new(1.0, eps).unwrap();
             let vals: Vec<f64> = (0..5_000).map(|_| m.release(100.0, rng)).collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
             vals.iter().map(|v| (v - mean).abs()).sum::<f64>() / vals.len() as f64
@@ -160,8 +186,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn rejects_zero_epsilon() {
-        LaplaceMechanism::new(1.0, 0.0);
+    fn rejects_bad_parameters() {
+        assert_eq!(
+            LaplaceMechanism::new(1.0, 0.0),
+            Err(LdpError::InvalidEpsilon { epsilon: 0.0 })
+        );
+        assert_eq!(
+            LaplaceMechanism::new(-1.0, 1.0),
+            Err(LdpError::InvalidSensitivity { sensitivity: -1.0 })
+        );
+        assert!(matches!(
+            LaplaceMechanism::new(f64::MAX, f64::MIN_POSITIVE),
+            Err(LdpError::InvalidScale { .. })
+        ));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            sample_laplace(0.0, &mut rng),
+            Err(LdpError::InvalidScale { scale: 0.0 })
+        );
+        assert!(matches!(
+            sample_laplace(f64::NAN, &mut rng),
+            Err(LdpError::InvalidScale { .. })
+        ));
     }
 }

@@ -10,10 +10,12 @@
 //! * [`laplace`] — the Laplace mechanism used to protect the optimizer's
 //!   per-frame counts (Section 3.3.3);
 //! * [`budget`] — ε accounting: `ε = ℓ·ln((2−f)/f)` and its inverse;
-//! * [`estimate`] — debiased count estimation ("noise cancellation").
+//! * [`estimate`] — debiased count estimation ("noise cancellation");
+//! * [`error`] — [`LdpError`], the typed error for malformed inputs.
 
 pub mod bitvec;
 pub mod budget;
+pub mod error;
 pub mod estimate;
 pub mod laplace;
 pub mod rappor;
@@ -21,6 +23,7 @@ pub mod rr;
 
 pub use bitvec::BitVec;
 pub use budget::{epsilon_of_flip, flip_for_epsilon, BudgetLedger};
+pub use error::LdpError;
 pub use estimate::{debias_count, debias_count_series, mean_absolute_error};
 pub use laplace::{sample_laplace, LaplaceMechanism};
 pub use rappor::{RapporClient, RapporConfig};

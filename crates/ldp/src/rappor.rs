@@ -10,6 +10,7 @@
 //! presence bits and `2h` with `ℓ`).
 
 use crate::bitvec::BitVec;
+use crate::error::LdpError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +47,19 @@ impl RapporConfig {
     pub fn prr_epsilon(&self) -> f64 {
         2.0 * self.num_hashes as f64 * ((2.0 - self.f) / self.f).ln()
     }
+
+    /// Checks that every probability parameter is inside its domain.
+    pub fn validate(&self) -> Result<(), LdpError> {
+        if !(0.0..=1.0).contains(&self.f) {
+            return Err(LdpError::InvalidFlip { f: self.f });
+        }
+        for prob in [self.p, self.q] {
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(LdpError::InvalidFlip { f: prob });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Deterministic FNV-1a based double hashing into the Bloom filter.
@@ -76,23 +90,29 @@ pub fn bloom_encode(value: &[u8], config: &RapporConfig) -> BitVec {
 
 /// Permanent randomized response: each bit keeps its value w.p. `1 − f`,
 /// else is redrawn uniformly — identical in form to the paper's Equation 4.
-pub fn permanent_rr<R: Rng + ?Sized>(bloom: &BitVec, config: &RapporConfig, rng: &mut R) -> BitVec {
+/// Rejects `f` outside `[0, 1]`.
+pub fn permanent_rr<R: Rng + ?Sized>(
+    bloom: &BitVec,
+    config: &RapporConfig,
+    rng: &mut R,
+) -> Result<BitVec, LdpError> {
     crate::rr::randomize_flip(bloom, config.f, rng)
 }
 
 /// Instantaneous randomized response over a PRR vector: report 1 w.p. `q`
-/// if the PRR bit is 1, else w.p. `p`.
+/// if the PRR bit is 1, else w.p. `p`. Rejects `p`/`q` outside `[0, 1]`.
 pub fn instantaneous_rr<R: Rng + ?Sized>(
     prr: &BitVec,
     config: &RapporConfig,
     rng: &mut R,
-) -> BitVec {
+) -> Result<BitVec, LdpError> {
+    config.validate()?;
     let mut out = BitVec::zeros(prr.len());
     for i in 0..prr.len() {
         let p1 = if prr.get(i) { config.q } else { config.p };
         out.set(i, rng.gen_bool(p1));
     }
-    out
+    Ok(out)
 }
 
 /// A full RAPPOR client for one value: memoized PRR plus per-report IRR.
@@ -104,15 +124,27 @@ pub struct RapporClient {
 
 impl RapporClient {
     /// Creates a client for `value`, fixing its permanent noisy filter.
-    pub fn new<R: Rng + ?Sized>(value: &[u8], config: RapporConfig, rng: &mut R) -> Self {
+    /// Rejects configs with out-of-domain probabilities.
+    pub fn new<R: Rng + ?Sized>(
+        value: &[u8],
+        config: RapporConfig,
+        rng: &mut R,
+    ) -> Result<Self, LdpError> {
+        config.validate()?;
         let bloom = bloom_encode(value, &config);
-        let prr = permanent_rr(&bloom, &config, rng);
-        Self { config, prr }
+        let prr = permanent_rr(&bloom, &config, rng)?;
+        Ok(Self { config, prr })
     }
 
-    /// Produces one report.
+    /// Produces one report. The constructor validated the config, so the
+    /// IRR probabilities are in domain.
     pub fn report<R: Rng + ?Sized>(&self, rng: &mut R) -> BitVec {
-        instantaneous_rr(&self.prr, &self.config, rng)
+        let mut out = BitVec::zeros(self.prr.len());
+        for i in 0..self.prr.len() {
+            let p1 = if self.prr.get(i) { self.config.q } else { self.config.p };
+            out.set(i, rng.gen_bool(p1));
+        }
+        out
     }
 
     pub fn config(&self) -> &RapporConfig {
@@ -173,7 +205,7 @@ mod tests {
     #[test]
     fn client_reports_vary_but_prr_is_stable() {
         let mut rng = StdRng::seed_from_u64(5);
-        let client = RapporClient::new(b"user-77", RapporConfig::default(), &mut rng);
+        let client = RapporClient::new(b"user-77", RapporConfig::default(), &mut rng).unwrap();
         let r1 = client.report(&mut rng);
         let r2 = client.report(&mut rng);
         assert_eq!(r1.len(), 128);
@@ -196,7 +228,7 @@ mod tests {
         let n = 300;
         let mut ones = vec![0usize; cfg.filter_bits];
         for _ in 0..n {
-            let client = RapporClient::new(b"popular", cfg, &mut rng);
+            let client = RapporClient::new(b"popular", cfg, &mut rng).unwrap();
             let rep = client.report(&mut rng);
             for i in rep.ones() {
                 ones[i] += 1;

@@ -12,26 +12,36 @@
 //!   `ℓ·ln((2−f)/f)`-indistinguishability (Theorem 3.3).
 
 use crate::bitvec::BitVec;
+use crate::error::LdpError;
 use rand::Rng;
 
-/// Keep-probability of the per-bit budget form: `e^ε / (1 + e^ε)`.
-pub fn keep_probability(eps_bit: f64) -> f64 {
-    assert!(eps_bit >= 0.0, "budget must be non-negative");
+/// Keep-probability of the per-bit budget form: `e^ε / (1 + e^ε)`. Rejects
+/// negative or NaN budgets.
+pub fn keep_probability(eps_bit: f64) -> Result<f64, LdpError> {
+    if !(eps_bit >= 0.0) {
+        return Err(LdpError::InvalidEpsilon { epsilon: eps_bit });
+    }
     let e = eps_bit.exp();
-    e / (1.0 + e)
+    Ok(e / (1.0 + e))
 }
 
 /// Applies the per-bit budget randomized response of Algorithm 1: the total
 /// budget `eps` is split equally over all bits, and each bit independently
 /// *keeps* its true value with probability `e^{ε/m}/(1+e^{ε/m})`, else it is
-/// inverted.
-pub fn randomize_budget<R: Rng + ?Sized>(input: &BitVec, eps: f64, rng: &mut R) -> BitVec {
-    assert!(eps > 0.0, "budget must be positive");
+/// inverted. Rejects non-positive or NaN budgets.
+pub fn randomize_budget<R: Rng + ?Sized>(
+    input: &BitVec,
+    eps: f64,
+    rng: &mut R,
+) -> Result<BitVec, LdpError> {
+    if !(eps > 0.0) {
+        return Err(LdpError::InvalidEpsilon { epsilon: eps });
+    }
     let m = input.len();
     if m == 0 {
-        return input.clone();
+        return Ok(input.clone());
     }
-    let keep = keep_probability(eps / m as f64);
+    let keep = keep_probability(eps / m as f64)?;
     let mut out = BitVec::zeros(m);
     for i in 0..m {
         let bit = if rng.gen_bool(keep) {
@@ -41,14 +51,20 @@ pub fn randomize_budget<R: Rng + ?Sized>(input: &BitVec, eps: f64, rng: &mut R) 
         };
         out.set(i, bit);
     }
-    out
+    Ok(out)
 }
 
 /// Applies the flip-probability randomized response of Equation 4: each bit
 /// is kept with probability `1 − f`, set to 1 with probability `f/2`, and
-/// set to 0 with probability `f/2`.
-pub fn randomize_flip<R: Rng + ?Sized>(input: &BitVec, f: f64, rng: &mut R) -> BitVec {
-    assert!((0.0..=1.0).contains(&f), "flip probability must be in [0,1]");
+/// set to 0 with probability `f/2`. Rejects `f` outside `[0, 1]`.
+pub fn randomize_flip<R: Rng + ?Sized>(
+    input: &BitVec,
+    f: f64,
+    rng: &mut R,
+) -> Result<BitVec, LdpError> {
+    if !(0.0..=1.0).contains(&f) {
+        return Err(LdpError::InvalidFlip { f });
+    }
     let mut out = BitVec::zeros(input.len());
     for i in 0..input.len() {
         let bit = if rng.gen_bool(1.0 - f) {
@@ -58,7 +74,7 @@ pub fn randomize_flip<R: Rng + ?Sized>(input: &BitVec, f: f64, rng: &mut R) -> B
         };
         out.set(i, bit);
     }
-    out
+    Ok(out)
 }
 
 /// Probability that an output bit is 1 under Equation 4 given the true bit —
@@ -73,28 +89,40 @@ pub fn flip_expectation(true_bit: bool, f: f64) -> f64 {
 
 /// Probability that randomizing input vector `b` yields exactly output `y`
 /// under Equation 4. Exact bookkeeping for the indistinguishability tests.
-pub fn output_probability_flip(b: &BitVec, y: &BitVec, f: f64) -> f64 {
-    assert_eq!(b.len(), y.len());
+/// Rejects vectors of different lengths.
+pub fn output_probability_flip(b: &BitVec, y: &BitVec, f: f64) -> Result<f64, LdpError> {
+    if b.len() != y.len() {
+        return Err(LdpError::LengthMismatch {
+            left: b.len(),
+            right: y.len(),
+        });
+    }
     let mut p = 1.0;
     for i in 0..b.len() {
         let p_one = flip_expectation(b.get(i), f);
         p *= if y.get(i) { p_one } else { 1.0 - p_one };
     }
-    p
+    Ok(p)
 }
 
 /// Probability that randomizing `b` with the per-bit budget form yields `y`.
-pub fn output_probability_budget(b: &BitVec, y: &BitVec, eps: f64) -> f64 {
-    assert_eq!(b.len(), y.len());
-    if b.is_empty() {
-        return 1.0;
+/// Rejects vectors of different lengths.
+pub fn output_probability_budget(b: &BitVec, y: &BitVec, eps: f64) -> Result<f64, LdpError> {
+    if b.len() != y.len() {
+        return Err(LdpError::LengthMismatch {
+            left: b.len(),
+            right: y.len(),
+        });
     }
-    let keep = keep_probability(eps / b.len() as f64);
+    if b.is_empty() {
+        return Ok(1.0);
+    }
+    let keep = keep_probability(eps / b.len() as f64)?;
     let mut p = 1.0;
     for i in 0..b.len() {
         p *= if b.get(i) == y.get(i) { keep } else { 1.0 - keep };
     }
-    p
+    Ok(p)
 }
 
 #[cfg(test)]
@@ -114,16 +142,16 @@ mod tests {
 
     #[test]
     fn keep_probability_limits() {
-        assert!((keep_probability(0.0) - 0.5).abs() < 1e-12);
-        assert!(keep_probability(10.0) > 0.9999);
-        assert!(keep_probability(1.0) > keep_probability(0.5));
+        assert!((keep_probability(0.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!(keep_probability(10.0).unwrap() > 0.9999);
+        assert!(keep_probability(1.0).unwrap() > keep_probability(0.5).unwrap());
     }
 
     #[test]
     fn flip_zero_is_identity() {
         let mut rng = StdRng::seed_from_u64(1);
         let v = BitVec::from_bools(&[true, false, true, true, false, false]);
-        assert_eq!(randomize_flip(&v, 0.0, &mut rng), v);
+        assert_eq!(randomize_flip(&v, 0.0, &mut rng).unwrap(), v);
     }
 
     #[test]
@@ -131,7 +159,7 @@ mod tests {
         // With f = 1 every output bit is uniform regardless of input.
         let mut rng = StdRng::seed_from_u64(2);
         let zeros = BitVec::zeros(1000);
-        let out = randomize_flip(&zeros, 1.0, &mut rng);
+        let out = randomize_flip(&zeros, 1.0, &mut rng).unwrap();
         let ones = out.count_ones();
         assert!((400..600).contains(&ones), "got {ones} ones out of 1000");
     }
@@ -142,7 +170,7 @@ mod tests {
         for f in [0.1, 0.5, 0.9] {
             let total: f64 = all_outputs(3)
                 .iter()
-                .map(|y| output_probability_flip(&b, y, f))
+                .map(|y| output_probability_flip(&b, y, f).unwrap())
                 .sum();
             assert!((total - 1.0).abs() < 1e-12, "f={f}: total={total}");
         }
@@ -153,7 +181,7 @@ mod tests {
         let b = BitVec::from_bools(&[false, true, false, true]);
         let total: f64 = all_outputs(4)
             .iter()
-            .map(|y| output_probability_budget(&b, y, 2.0))
+            .map(|y| output_probability_budget(&b, y, 2.0).unwrap())
             .sum();
         assert!((total - 1.0).abs() < 1e-12);
     }
@@ -170,8 +198,8 @@ mod tests {
         for bi in &inputs {
             for bj in &inputs {
                 for y in &outputs {
-                    let pi = output_probability_flip(bi, y, f);
-                    let pj = output_probability_flip(bj, y, f);
+                    let pi = output_probability_flip(bi, y, f).unwrap();
+                    let pj = output_probability_flip(bj, y, f).unwrap();
                     assert!(
                         pi <= eps.exp() * pj + 1e-12,
                         "violation: {bi} vs {bj} -> {y}"
@@ -190,8 +218,8 @@ mod tests {
         for bi in &inputs {
             for bj in &inputs {
                 for y in &inputs {
-                    let pi = output_probability_budget(bi, y, eps);
-                    let pj = output_probability_budget(bj, y, eps);
+                    let pi = output_probability_budget(bi, y, eps).unwrap();
+                    let pj = output_probability_budget(bj, y, eps).unwrap();
                     assert!(pi <= eps.exp() * pj + 1e-12);
                 }
             }
@@ -206,7 +234,7 @@ mod tests {
         let input = BitVec::from_bools(&[true]);
         let mut stayed = 0;
         for _ in 0..trials {
-            if randomize_flip(&input, f, &mut rng).get(0) {
+            if randomize_flip(&input, f, &mut rng).unwrap().get(0) {
                 stayed += 1;
             }
         }
@@ -221,7 +249,7 @@ mod tests {
         // "poor utility" phenomenon of Section 3.1.
         let mut rng = StdRng::seed_from_u64(4);
         let input = BitVec::zeros(1000);
-        let out = randomize_budget(&input, 1.0, &mut rng); // ε/m = 0.001
+        let out = randomize_budget(&input, 1.0, &mut rng).unwrap(); // ε/m = 0.001
         let ones = out.count_ones();
         assert!((400..600).contains(&ones), "got {ones}");
     }
@@ -233,9 +261,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn flip_rejects_bad_probability() {
         let mut rng = StdRng::seed_from_u64(0);
-        randomize_flip(&BitVec::zeros(1), 1.5, &mut rng);
+        assert_eq!(
+            randomize_flip(&BitVec::zeros(1), 1.5, &mut rng),
+            Err(LdpError::InvalidFlip { f: 1.5 })
+        );
+        assert!(matches!(
+            randomize_flip(&BitVec::zeros(1), f64::NAN, &mut rng),
+            Err(LdpError::InvalidFlip { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_rejects_bad_epsilon() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            randomize_budget(&BitVec::zeros(4), 0.0, &mut rng),
+            Err(LdpError::InvalidEpsilon { epsilon: 0.0 })
+        );
+    }
+
+    #[test]
+    fn output_probabilities_reject_length_mismatch() {
+        let a = BitVec::zeros(2);
+        let b = BitVec::zeros(3);
+        assert_eq!(
+            output_probability_flip(&a, &b, 0.5),
+            Err(LdpError::LengthMismatch { left: 2, right: 3 })
+        );
+        assert_eq!(
+            output_probability_budget(&a, &b, 1.0),
+            Err(LdpError::LengthMismatch { left: 2, right: 3 })
+        );
     }
 }

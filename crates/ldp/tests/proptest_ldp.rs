@@ -33,7 +33,7 @@ proptest! {
         let b = BitVec::from_bools(&bits);
         let total: f64 = all_vectors(bits.len())
             .iter()
-            .map(|y| output_probability_flip(&b, y, f))
+            .map(|y| output_probability_flip(&b, y, f).unwrap())
             .sum();
         prop_assert!((total - 1.0).abs() < 1e-9);
     }
@@ -49,10 +49,10 @@ proptest! {
             .collect();
         let bi = BitVec::from_bools(&bits_i);
         let bj = BitVec::from_bools(&bits_j);
-        let eps = epsilon_of_flip(len, f);
+        let eps = epsilon_of_flip(len, f).unwrap();
         for y in all_vectors(len) {
-            let pi = output_probability_flip(&bi, &y, f);
-            let pj = output_probability_flip(&bj, &y, f);
+            let pi = output_probability_flip(&bi, &y, f).unwrap();
+            let pj = output_probability_flip(&bj, &y, f).unwrap();
             prop_assert!(pi <= eps.exp() * pj * (1.0 + 1e-9),
                 "violation at y={y} (f={f}, eps={eps})");
         }
@@ -63,23 +63,23 @@ proptest! {
         let b = BitVec::from_bools(&bits);
         let total: f64 = all_vectors(bits.len())
             .iter()
-            .map(|y| output_probability_budget(&b, y, eps))
+            .map(|y| output_probability_budget(&b, y, eps).unwrap())
             .sum();
         prop_assert!((total - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn epsilon_flip_inverse_round_trip(dims in 1usize..200, f in 0.01..1.0f64) {
-        let eps = epsilon_of_flip(dims, f);
+        let eps = epsilon_of_flip(dims, f).unwrap();
         prop_assert!(eps >= 0.0);
-        let back = flip_for_epsilon(dims, eps);
+        let back = flip_for_epsilon(dims, eps).unwrap();
         prop_assert!((back - f).abs() < 1e-9);
     }
 
     #[test]
     fn epsilon_monotone_in_dims_and_noise(dims in 1usize..100, f in 0.05..0.9f64) {
-        prop_assert!(epsilon_of_flip(dims + 1, f) > epsilon_of_flip(dims, f));
-        prop_assert!(epsilon_of_flip(dims, f) > epsilon_of_flip(dims, f + 0.05));
+        prop_assert!(epsilon_of_flip(dims + 1, f).unwrap() > epsilon_of_flip(dims, f).unwrap());
+        prop_assert!(epsilon_of_flip(dims, f).unwrap() > epsilon_of_flip(dims, f + 0.05).unwrap());
     }
 
     #[test]
@@ -88,7 +88,7 @@ proptest! {
         prop_assume!(n > 0);
         let expected_obs =
             t as f64 * flip_expectation(true, f) + extra as f64 * flip_expectation(false, f);
-        let est = debias_count(expected_obs, n, f);
+        let est = debias_count(expected_obs, n, f).unwrap();
         prop_assert!((est - t as f64).abs() < 1e-9);
     }
 
@@ -144,7 +144,7 @@ fn empirical_flip_rate_recovers_f() {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut changed = 0usize;
         for _ in 0..trials {
-            let out = randomize_flip(&input, f, &mut rng);
+            let out = randomize_flip(&input, f, &mut rng).unwrap();
             changed += input.hamming(&out);
         }
         let n = (2 * trials) as f64; // two bits per trial
@@ -172,10 +172,10 @@ fn empirical_conditional_rates_match_equation_4() {
     let mut ones_given_one = 0usize;
     let mut ones_given_zero = 0usize;
     for _ in 0..trials {
-        if randomize_flip(&one, f, &mut rng).get(0) {
+        if randomize_flip(&one, f, &mut rng).unwrap().get(0) {
             ones_given_one += 1;
         }
-        if randomize_flip(&zero, f, &mut rng).get(0) {
+        if randomize_flip(&zero, f, &mut rng).unwrap().get(0) {
             ones_given_zero += 1;
         }
     }
@@ -197,7 +197,7 @@ fn empirical_conditional_rates_match_equation_4() {
 fn laplace_mechanism_moments_match_claim() {
     let n = 50_000usize;
     for (sensitivity, epsilon, seed) in [(1.0, 1.0, 105u64), (1.0, 0.5, 106), (2.0, 4.0, 107)] {
-        let mech = LaplaceMechanism::new(sensitivity, epsilon);
+        let mech = LaplaceMechanism::new(sensitivity, epsilon).unwrap();
         let b = mech.scale();
         let mut rng = StdRng::seed_from_u64(seed);
         let samples: Vec<f64> = (0..n).map(|_| mech.release(0.0, &mut rng)).collect();

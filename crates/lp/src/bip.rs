@@ -25,6 +25,8 @@ use serde::{Deserialize, Serialize};
 pub enum BipError {
     /// `lo > hi` or `lo > n`.
     InfeasibleBounds,
+    /// A cost is NaN or infinite.
+    NonFiniteCosts,
     /// The LP relaxation failed (should not happen for well-formed inputs).
     RelaxationFailed,
 }
@@ -33,6 +35,7 @@ impl std::fmt::Display for BipError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BipError::InfeasibleBounds => write!(f, "cardinality bounds are infeasible"),
+            BipError::NonFiniteCosts => write!(f, "selection costs must be finite"),
             BipError::RelaxationFailed => write!(f, "LP relaxation failed"),
         }
     }
@@ -88,6 +91,9 @@ pub fn solve_lp_rounding(
     if lo > hi || lo > n {
         return Err(BipError::InfeasibleBounds);
     }
+    if costs.iter().any(|c| !c.is_finite()) {
+        return Err(BipError::NonFiniteCosts);
+    }
     if n == 0 {
         return Ok(BinarySelection {
             selected: vec![],
@@ -98,9 +104,15 @@ pub fn solve_lp_rounding(
 
     let mut lp = LinearProgram::minimize(costs.to_vec());
     let all: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
-    lp.constrain(all.clone(), Sense::Ge, lo as f64);
-    lp.constrain(all, Sense::Le, hi.min(n) as f64);
-    lp.upper_bound_all(1.0);
+    let built = lp
+        .constrain(all.clone(), Sense::Ge, lo as f64)
+        .and_then(|lp| lp.constrain(all, Sense::Le, hi.min(n) as f64))
+        .and_then(|lp| lp.upper_bound_all(1.0));
+    if built.is_err() {
+        // Costs were checked finite and indices are 0..n by construction.
+        debug_assert!(false, "cardinality LP construction cannot fail");
+        return Err(BipError::RelaxationFailed);
+    }
 
     let relaxed = match solve(&lp) {
         LpResult::Optimal { x, .. } => x,
@@ -113,20 +125,24 @@ pub fn solve_lp_rounding(
     // Repair pass: restore cardinality feasibility at minimum cost delta.
     let mut count = selected.iter().filter(|&&s| s).count();
     while count < lo {
-        // Add the cheapest unselected variable.
-        let add = (0..n)
+        // Add the cheapest unselected variable; `lo <= n` guarantees one.
+        let Some(add) = (0..n)
             .filter(|&i| !selected[i])
-            .min_by(|&a, &b| costs[a].partial_cmp(&costs[b]).expect("finite"))
-            .expect("lo <= n guarantees a candidate");
+            .min_by(|&a, &b| costs[a].total_cmp(&costs[b]))
+        else {
+            break;
+        };
         selected[add] = true;
         count += 1;
     }
     while count > hi.min(n) {
-        // Drop the most expensive selected variable.
-        let drop = (0..n)
+        // Drop the most expensive selected variable; `count > 0` here.
+        let Some(drop) = (0..n)
             .filter(|&i| selected[i])
-            .max_by(|&a, &b| costs[a].partial_cmp(&costs[b]).expect("finite"))
-            .expect("count > 0");
+            .max_by(|&a, &b| costs[a].total_cmp(&costs[b]))
+        else {
+            break;
+        };
         selected[drop] = false;
         count -= 1;
     }
@@ -153,9 +169,12 @@ pub fn solve_exact(costs: &[f64], lo: usize, hi: usize) -> Result<BinarySelectio
     if lo > hi || lo > n {
         return Err(BipError::InfeasibleBounds);
     }
+    if costs.iter().any(|c| !c.is_finite()) {
+        return Err(BipError::NonFiniteCosts);
+    }
     let hi = hi.min(n);
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| costs[a].partial_cmp(&costs[b]).expect("finite costs"));
+    order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]));
 
     let mut selected = vec![false; n];
     let mut count = 0;
@@ -273,6 +292,18 @@ mod tests {
         assert!(sel.count() >= 3 && sel.count() <= 4);
         let sel = solve_exact(&costs, 3, 4).unwrap();
         assert_eq!(sel.count(), 3);
+    }
+
+    #[test]
+    fn non_finite_costs_rejected() {
+        assert_eq!(
+            solve_lp_rounding(&[1.0, f64::NAN], 0, 2),
+            Err(BipError::NonFiniteCosts)
+        );
+        assert_eq!(
+            solve_exact(&[f64::INFINITY], 0, 1),
+            Err(BipError::NonFiniteCosts)
+        );
     }
 
     #[test]

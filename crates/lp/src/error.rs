@@ -1,0 +1,42 @@
+//! Typed errors for LP model construction and solving.
+//!
+//! `LpError` covers conditions a caller can trigger with malformed input
+//! (non-finite data, out-of-range variable indices, degenerate programs);
+//! internal solver invariants stay `debug_assert!`ed in `simplex`.
+
+use std::fmt;
+
+/// Errors from building or solving a linear program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// A coefficient, right-hand side, or objective entry is NaN/infinite.
+    NonFinite { what: &'static str },
+    /// A constraint references a variable the program does not have.
+    VariableOutOfRange { index: usize, num_vars: usize },
+    /// A point has the wrong dimension for this program.
+    DimensionMismatch { expected: usize, got: usize },
+    /// The program admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::NonFinite { what } => {
+                write!(f, "{what} must be finite")
+            }
+            LpError::VariableOutOfRange { index, num_vars } => {
+                write!(f, "variable index {index} out of range for {num_vars} variables")
+            }
+            LpError::DimensionMismatch { expected, got } => {
+                write!(f, "point has dimension {got}, program has {expected} variables")
+            }
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

@@ -9,9 +9,11 @@
 //!   paper's recipe) and an exact separable solver used as an oracle.
 
 pub mod bip;
+pub mod error;
 pub mod problem;
 pub mod simplex;
 
 pub use bip::{solve_exact, solve_lp_rounding, BinarySelection, BipError};
+pub use error::LpError;
 pub use problem::{Constraint, LinearProgram, Sense};
 pub use simplex::{solve, LpResult};

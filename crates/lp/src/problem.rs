@@ -1,6 +1,7 @@
 //! Linear-program model: `min c·x` subject to linear constraints and
 //! non-negative variables (upper bounds are expressed as constraints).
 
+use crate::error::LpError;
 use serde::{Deserialize, Serialize};
 
 /// Constraint sense.
@@ -41,29 +42,49 @@ impl LinearProgram {
         self.objective.len()
     }
 
-    /// Adds a constraint; panics on out-of-range variable indices or
-    /// non-finite data.
-    pub fn constrain(&mut self, terms: Vec<(usize, f64)>, sense: Sense, rhs: f64) -> &mut Self {
-        assert!(rhs.is_finite(), "rhs must be finite");
+    /// Adds a constraint; rejects out-of-range variable indices and
+    /// non-finite data with a typed error.
+    pub fn constrain(
+        &mut self,
+        terms: Vec<(usize, f64)>,
+        sense: Sense,
+        rhs: f64,
+    ) -> Result<&mut Self, LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NonFinite {
+                what: "constraint right-hand side",
+            });
+        }
         for &(i, c) in &terms {
-            assert!(i < self.num_vars(), "variable index {i} out of range");
-            assert!(c.is_finite(), "coefficient must be finite");
+            if i >= self.num_vars() {
+                return Err(LpError::VariableOutOfRange {
+                    index: i,
+                    num_vars: self.num_vars(),
+                });
+            }
+            if !c.is_finite() {
+                return Err(LpError::NonFinite {
+                    what: "constraint coefficient",
+                });
+            }
         }
         self.constraints.push(Constraint { terms, sense, rhs });
-        self
+        Ok(self)
     }
 
     /// Convenience: `x_i ≤ ub` for every variable (box upper bounds).
-    pub fn upper_bound_all(&mut self, ub: f64) -> &mut Self {
+    pub fn upper_bound_all(&mut self, ub: f64) -> Result<&mut Self, LpError> {
         for i in 0..self.num_vars() {
-            self.constrain(vec![(i, 1.0)], Sense::Le, ub);
+            self.constrain(vec![(i, 1.0)], Sense::Le, ub)?;
         }
-        self
+        Ok(self)
     }
 
-    /// Evaluates the objective at a point.
+    /// Evaluates the objective at a point. The point's dimension must match
+    /// the program's (internal invariant; extra entries are ignored in
+    /// release builds).
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.num_vars());
+        debug_assert_eq!(x.len(), self.num_vars());
         self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
     }
 
@@ -91,7 +112,7 @@ mod tests {
     #[test]
     fn build_and_evaluate() {
         let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
-        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 1.0);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 1.0).unwrap();
         assert_eq!(lp.num_vars(), 2);
         assert_eq!(lp.objective_value(&[3.0, 1.0]), 5.0);
     }
@@ -99,8 +120,8 @@ mod tests {
     #[test]
     fn feasibility_checks() {
         let mut lp = LinearProgram::minimize(vec![0.0, 0.0]);
-        lp.constrain(vec![(0, 1.0)], Sense::Le, 2.0);
-        lp.constrain(vec![(1, 1.0)], Sense::Eq, 1.0);
+        lp.constrain(vec![(0, 1.0)], Sense::Le, 2.0).unwrap();
+        lp.constrain(vec![(1, 1.0)], Sense::Eq, 1.0).unwrap();
         assert!(lp.is_feasible(&[2.0, 1.0], 1e-9));
         assert!(!lp.is_feasible(&[2.1, 1.0], 1e-9));
         assert!(!lp.is_feasible(&[1.0, 0.5], 1e-9));
@@ -110,16 +131,32 @@ mod tests {
     #[test]
     fn upper_bound_all_adds_box() {
         let mut lp = LinearProgram::minimize(vec![0.0; 3]);
-        lp.upper_bound_all(1.0);
+        lp.upper_bound_all(1.0).unwrap();
         assert_eq!(lp.constraints.len(), 3);
         assert!(lp.is_feasible(&[1.0, 0.5, 0.0], 1e-9));
         assert!(!lp.is_feasible(&[1.2, 0.0, 0.0], 1e-9));
     }
 
     #[test]
-    #[should_panic]
     fn rejects_out_of_range_variable() {
         let mut lp = LinearProgram::minimize(vec![1.0]);
-        lp.constrain(vec![(1, 1.0)], Sense::Le, 0.0);
+        assert_eq!(
+            lp.constrain(vec![(1, 1.0)], Sense::Le, 0.0).unwrap_err(),
+            LpError::VariableOutOfRange { index: 1, num_vars: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_data() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        assert!(matches!(
+            lp.constrain(vec![(0, 1.0)], Sense::Le, f64::NAN).unwrap_err(),
+            LpError::NonFinite { .. }
+        ));
+        assert!(matches!(
+            lp.constrain(vec![(0, f64::INFINITY)], Sense::Le, 1.0).unwrap_err(),
+            LpError::NonFinite { .. }
+        ));
+        assert!(lp.constraints.is_empty());
     }
 }

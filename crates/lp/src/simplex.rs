@@ -5,6 +5,7 @@
 //! This is that solver: dense tableau, slack/surplus/artificial variables,
 //! Phase 1 drives artificials to zero, Phase 2 optimizes the objective.
 
+use crate::error::LpError;
 use crate::problem::{LinearProgram, Sense};
 
 /// Solver outcome.
@@ -17,12 +18,18 @@ pub enum LpResult {
 }
 
 impl LpResult {
+    /// The optimal point, or a typed error for infeasible/unbounded programs.
+    pub fn into_optimal(self) -> Result<(Vec<f64>, f64), LpError> {
+        match self {
+            LpResult::Optimal { x, objective } => Ok((x, objective)),
+            LpResult::Infeasible => Err(LpError::Infeasible),
+            LpResult::Unbounded => Err(LpError::Unbounded),
+        }
+    }
+
     /// The optimal point, panicking otherwise (test convenience).
     pub fn unwrap_optimal(self) -> (Vec<f64>, f64) {
-        match self {
-            LpResult::Optimal { x, objective } => (x, objective),
-            other => panic!("expected optimal solution, got {other:?}"),
-        }
+        self.into_optimal().expect("expected optimal solution")
     }
 }
 
@@ -285,8 +292,8 @@ mod tests {
     fn simple_maximization_as_min() {
         // max x + y s.t. x ≤ 2, y ≤ 3  →  min -x - y.
         let mut lp = LinearProgram::minimize(vec![-1.0, -1.0]);
-        lp.constrain(vec![(0, 1.0)], Sense::Le, 2.0);
-        lp.constrain(vec![(1, 1.0)], Sense::Le, 3.0);
+        lp.constrain(vec![(0, 1.0)], Sense::Le, 2.0).unwrap();
+        lp.constrain(vec![(1, 1.0)], Sense::Le, 3.0).unwrap();
         let (x, obj) = solve(&lp).unwrap_optimal();
         assert!((x[0] - 2.0).abs() < 1e-7);
         assert!((x[1] - 3.0).abs() < 1e-7);
@@ -297,9 +304,9 @@ mod tests {
     fn classic_two_constraint_lp() {
         // min -3x - 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=-36.
         let mut lp = LinearProgram::minimize(vec![-3.0, -5.0]);
-        lp.constrain(vec![(0, 1.0)], Sense::Le, 4.0);
-        lp.constrain(vec![(1, 2.0)], Sense::Le, 12.0);
-        lp.constrain(vec![(0, 3.0), (1, 2.0)], Sense::Le, 18.0);
+        lp.constrain(vec![(0, 1.0)], Sense::Le, 4.0).unwrap();
+        lp.constrain(vec![(1, 2.0)], Sense::Le, 12.0).unwrap();
+        lp.constrain(vec![(0, 3.0), (1, 2.0)], Sense::Le, 18.0).unwrap();
         let (x, obj) = solve(&lp).unwrap_optimal();
         assert!((x[0] - 2.0).abs() < 1e-7, "x = {x:?}");
         assert!((x[1] - 6.0).abs() < 1e-7);
@@ -310,8 +317,8 @@ mod tests {
     fn ge_constraints_need_phase1() {
         // min x + y s.t. x + y ≥ 4, x ≥ 1 → obj = 4.
         let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
-        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 4.0);
-        lp.constrain(vec![(0, 1.0)], Sense::Ge, 1.0);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 4.0).unwrap();
+        lp.constrain(vec![(0, 1.0)], Sense::Ge, 1.0).unwrap();
         let (x, obj) = solve(&lp).unwrap_optimal();
         assert!((obj - 4.0).abs() < 1e-7, "x = {x:?} obj = {obj}");
         assert!(lp.is_feasible(&x, 1e-7));
@@ -321,8 +328,8 @@ mod tests {
     fn equality_constraints() {
         // min 2x + 3y s.t. x + y = 10, x - y = 2 → x=6, y=4, obj=24.
         let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
-        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 10.0);
-        lp.constrain(vec![(0, 1.0), (1, -1.0)], Sense::Eq, 2.0);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 10.0).unwrap();
+        lp.constrain(vec![(0, 1.0), (1, -1.0)], Sense::Eq, 2.0).unwrap();
         let (x, obj) = solve(&lp).unwrap_optimal();
         assert!((x[0] - 6.0).abs() < 1e-7);
         assert!((x[1] - 4.0).abs() < 1e-7);
@@ -333,8 +340,8 @@ mod tests {
     fn detects_infeasible() {
         // x ≤ 1 and x ≥ 2 is infeasible.
         let mut lp = LinearProgram::minimize(vec![1.0]);
-        lp.constrain(vec![(0, 1.0)], Sense::Le, 1.0);
-        lp.constrain(vec![(0, 1.0)], Sense::Ge, 2.0);
+        lp.constrain(vec![(0, 1.0)], Sense::Le, 1.0).unwrap();
+        lp.constrain(vec![(0, 1.0)], Sense::Ge, 2.0).unwrap();
         assert_eq!(solve(&lp), LpResult::Infeasible);
     }
 
@@ -342,7 +349,7 @@ mod tests {
     fn detects_unbounded() {
         // min -x with no upper bound.
         let mut lp = LinearProgram::minimize(vec![-1.0]);
-        lp.constrain(vec![(0, 1.0)], Sense::Ge, 0.0);
+        lp.constrain(vec![(0, 1.0)], Sense::Ge, 0.0).unwrap();
         assert_eq!(solve(&lp), LpResult::Unbounded);
     }
 
@@ -350,7 +357,7 @@ mod tests {
     fn negative_rhs_normalized() {
         // x - y ≤ -1 with min x + y → x=0, y=1.
         let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
-        lp.constrain(vec![(0, 1.0), (1, -1.0)], Sense::Le, -1.0);
+        lp.constrain(vec![(0, 1.0), (1, -1.0)], Sense::Le, -1.0).unwrap();
         let (x, obj) = solve(&lp).unwrap_optimal();
         assert!((obj - 1.0).abs() < 1e-7, "x = {x:?}");
         assert!(lp.is_feasible(&x, 1e-7));
@@ -360,10 +367,10 @@ mod tests {
     fn degenerate_lp_terminates() {
         // Degenerate vertex: multiple constraints intersect at the optimum.
         let mut lp = LinearProgram::minimize(vec![-1.0, -1.0]);
-        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Le, 1.0);
-        lp.constrain(vec![(0, 1.0)], Sense::Le, 1.0);
-        lp.constrain(vec![(1, 1.0)], Sense::Le, 1.0);
-        lp.constrain(vec![(0, 2.0), (1, 2.0)], Sense::Le, 2.0);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Sense::Le, 1.0).unwrap();
+        lp.constrain(vec![(0, 1.0)], Sense::Le, 1.0).unwrap();
+        lp.constrain(vec![(1, 1.0)], Sense::Le, 1.0).unwrap();
+        lp.constrain(vec![(0, 2.0), (1, 2.0)], Sense::Le, 2.0).unwrap();
         let (x, obj) = solve(&lp).unwrap_optimal();
         assert!((obj + 1.0).abs() < 1e-7, "x = {x:?}");
     }
@@ -371,7 +378,7 @@ mod tests {
     #[test]
     fn zero_objective_feasibility_problem() {
         let mut lp = LinearProgram::minimize(vec![0.0, 0.0]);
-        lp.constrain(vec![(0, 1.0), (1, 2.0)], Sense::Eq, 4.0);
+        lp.constrain(vec![(0, 1.0), (1, 2.0)], Sense::Eq, 4.0).unwrap();
         let (x, obj) = solve(&lp).unwrap_optimal();
         assert_eq!(obj, 0.0);
         assert!(lp.is_feasible(&x, 1e-7));
@@ -383,8 +390,8 @@ mod tests {
         // All c positive → pick the two cheapest at 1.
         let c = vec![5.0, 1.0, 3.0, 0.5, 2.0];
         let mut lp = LinearProgram::minimize(c.clone());
-        lp.constrain((0..5).map(|i| (i, 1.0)).collect(), Sense::Ge, 2.0);
-        lp.upper_bound_all(1.0);
+        lp.constrain((0..5).map(|i| (i, 1.0)).collect(), Sense::Ge, 2.0).unwrap();
+        lp.upper_bound_all(1.0).unwrap();
         let (x, obj) = solve(&lp).unwrap_optimal();
         assert!((obj - 1.5).abs() < 1e-7, "x = {x:?}");
         assert!((x[1] - 1.0).abs() < 1e-7);

@@ -21,14 +21,14 @@ fn arb_bounded_lp() -> impl Strategy<Value = LinearProgram> {
                 costs.push(1.0);
             }
             let mut lp = LinearProgram::minimize(costs);
-            lp.upper_bound_all(1.5);
+            lp.upper_bound_all(1.5).unwrap();
             for (ci, rhs) in rhs_list.iter().enumerate() {
                 let terms: Vec<(usize, f64)> = (0..n)
                     .filter(|i| (seed >> ((ci * n + i) % 60)) & 1 == 1)
                     .map(|i| (i, 1.0 + ((seed >> (i % 30)) & 3) as f64 * 0.5))
                     .collect();
                 if !terms.is_empty() {
-                    lp.constrain(terms, Sense::Le, *rhs);
+                    lp.constrain(terms, Sense::Le, *rhs).unwrap();
                 }
             }
             lp

@@ -1,8 +1,8 @@
 //! MOT-style video annotations: every sensitive object's bounding box in
 //! every frame it appears in, keyed by a stable object ID.
 //!
-//! This is the interface between the computer-vision preprocessing (detection
-//! + tracking) and the VERRO sanitizer: Phase I consumes only presence
+//! This is the interface between the computer-vision preprocessing
+//! (detection and tracking) and the VERRO sanitizer: Phase I consumes only presence
 //! information and Phase II consumes the per-frame *candidate coordinates*.
 
 use crate::geometry::BBox;

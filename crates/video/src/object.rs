@@ -80,16 +80,24 @@ impl TrackedObject {
         }
     }
 
-    /// Appends an observation. Panics (debug) if frames go backwards —
-    /// observations must be pushed in frame order.
+    /// Adds an observation, keeping the series sorted by frame. The common
+    /// case (in-order append) is O(1); out-of-order records are inserted at
+    /// their sorted position, and a record for an already-observed frame
+    /// replaces the earlier box (last write wins). Annotation sources are
+    /// caller-supplied input, so none of these cases may panic.
     pub fn push(&mut self, obs: Observation) {
-        debug_assert!(
-            self.observations
-                .last()
-                .map_or(true, |last| obs.frame > last.frame),
-            "observations must be strictly frame-ordered"
-        );
-        self.observations.push(obs);
+        match self.observations.last() {
+            Some(last) if obs.frame <= last.frame => {
+                match self
+                    .observations
+                    .binary_search_by_key(&obs.frame, |o| o.frame)
+                {
+                    Ok(i) => self.observations[i] = obs,
+                    Err(i) => self.observations.insert(i, obs),
+                }
+            }
+            _ => self.observations.push(obs),
+        }
     }
 
     /// All observations in frame order.
@@ -171,12 +179,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    #[cfg(debug_assertions)]
-    fn track_rejects_unordered_frames() {
+    fn track_tolerates_unordered_and_duplicate_frames() {
         let mut t = TrackedObject::new(ObjectId(0), ObjectClass::Vehicle);
         t.push(obs(5, 0.0));
+        // Duplicate frame: the newest record wins.
         t.push(obs(5, 1.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.observations()[0].bbox.x, 1.0);
+        // Out-of-order frame: inserted at its sorted position.
+        t.push(obs(2, 7.0));
+        assert_eq!(
+            t.observations().iter().map(|o| o.frame).collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+        assert_eq!(t.observations()[0].bbox.x, 7.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! briefly). For a moving camera the model is built per segment, yielding
 //! "multiple background scenes" exactly as the paper describes for MOT16-06.
 
+use crate::error::VisionError;
 use rayon::prelude::*;
 use verro_video::color::Rgb;
 use verro_video::image::ImageBuffer;
@@ -25,8 +26,9 @@ impl Default for BackgroundConfig {
 }
 
 /// Uniformly samples up to `max_samples` frame indices from `[start, end]`.
+/// Callers validate `start <= end`.
 fn sample_indices(start: usize, end: usize, max_samples: usize) -> Vec<usize> {
-    assert!(end >= start);
+    debug_assert!(end >= start);
     let n = end - start + 1;
     let take = max_samples.max(1).min(n);
     if take == n {
@@ -39,13 +41,21 @@ fn sample_indices(start: usize, end: usize, max_samples: usize) -> Vec<usize> {
 }
 
 /// Estimates the background over the frame range `[start, end]` of `src` by
-/// per-pixel, per-channel temporal median.
+/// per-pixel, per-channel temporal median. Rejects inverted ranges and
+/// ranges extending past the end of the video.
 pub fn median_background<S: FrameSource + Sync>(
     src: &S,
     start: usize,
     end: usize,
     config: &BackgroundConfig,
-) -> ImageBuffer {
+) -> Result<ImageBuffer, VisionError> {
+    if start > end || end >= src.num_frames() {
+        return Err(VisionError::InvalidRange {
+            start,
+            end,
+            num_frames: src.num_frames(),
+        });
+    }
     let indices = sample_indices(start, end, config.max_samples);
     let frames: Vec<ImageBuffer> = indices.par_iter().map(|&k| src.frame(k)).collect();
     let size = src.frame_size();
@@ -79,7 +89,7 @@ pub fn median_background<S: FrameSource + Sync>(
                 row[3 * x + 2] = median_u8(&mut b);
             }
         });
-    out
+    Ok(out)
 }
 
 /// Median of a non-empty byte slice (sorts in place).
@@ -93,11 +103,16 @@ fn median_u8(v: &mut [u8]) -> u8 {
 /// Static-camera videos typically call this with a single full-range
 /// segment; moving-camera videos pass the key-frame segmentation so each
 /// scene is locally consistent.
+///
+/// # Errors
+///
+/// Returns [`VisionError::InvalidRange`] for the first segment whose range
+/// is inverted or extends past the video.
 pub fn segment_backgrounds<S: FrameSource + Sync>(
     src: &S,
     segments: &[(usize, usize)],
     config: &BackgroundConfig,
-) -> Vec<ImageBuffer> {
+) -> Result<Vec<ImageBuffer>, VisionError> {
     segments
         .iter()
         .map(|&(s, e)| median_background(src, s, e, config))
@@ -126,7 +141,7 @@ mod tests {
     #[test]
     fn median_recovers_static_background() {
         let (v, bg) = moving_object_video();
-        let model = median_background(&v, 0, 11, &BackgroundConfig::default());
+        let model = median_background(&v, 0, 11, &BackgroundConfig::default()).unwrap();
         // Every pixel is background in the median since the object covers
         // each pixel in at most ~2 of 12 frames.
         let mut wrong = 0;
@@ -158,9 +173,24 @@ mod tests {
     }
 
     #[test]
+    fn rejects_invalid_frame_ranges() {
+        let (v, _) = moving_object_video();
+        let cfg = BackgroundConfig::default();
+        assert_eq!(
+            median_background(&v, 5, 3, &cfg),
+            Err(VisionError::InvalidRange { start: 5, end: 3, num_frames: 12 })
+        );
+        assert_eq!(
+            median_background(&v, 0, 12, &cfg),
+            Err(VisionError::InvalidRange { start: 0, end: 12, num_frames: 12 })
+        );
+        assert!(segment_backgrounds(&v, &[(0, 5), (6, 99)], &cfg).is_err());
+    }
+
+    #[test]
     fn segment_backgrounds_one_per_segment() {
         let (v, _) = moving_object_video();
-        let bgs = segment_backgrounds(&v, &[(0, 5), (6, 11)], &BackgroundConfig::default());
+        let bgs = segment_backgrounds(&v, &[(0, 5), (6, 11)], &BackgroundConfig::default()).unwrap();
         assert_eq!(bgs.len(), 2);
         assert_eq!(bgs[0].size(), Size::new(24, 16));
     }

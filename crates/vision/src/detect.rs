@@ -6,6 +6,7 @@
 //! temporal background model, thresholding the per-pixel distance, and
 //! extracting connected foreground components.
 
+use crate::error::VisionError;
 use serde::{Deserialize, Serialize};
 use verro_video::geometry::BBox;
 use verro_video::image::ImageBuffer;
@@ -60,13 +61,19 @@ pub struct Detection {
 
 /// Binary foreground mask of `frame` against `background`, with the frame's
 /// channels scaled by `gain` before differencing (1.0 = no compensation).
+/// Rejects frames whose size differs from the background's.
 pub fn foreground_mask(
     frame: &ImageBuffer,
     background: &ImageBuffer,
     threshold: u32,
     gain: f64,
-) -> Vec<bool> {
-    assert_eq!(frame.size(), background.size(), "frame/background size mismatch");
+) -> Result<Vec<bool>, VisionError> {
+    if frame.size() != background.size() {
+        return Err(VisionError::SizeMismatch {
+            expected: (background.width(), background.height()),
+            got: (frame.width(), frame.height()),
+        });
+    }
     let (w, h) = (frame.width(), frame.height());
     let scale = |v: u8| ((v as f64 * gain).round()).clamp(0.0, 255.0) as u8;
     let mut mask = vec![false; (w * h) as usize];
@@ -79,7 +86,7 @@ pub fn foreground_mask(
             }
         }
     }
-    mask
+    Ok(mask)
 }
 
 #[inline]
@@ -174,7 +181,7 @@ pub fn detect(
     frame: &ImageBuffer,
     background: &ImageBuffer,
     config: &DetectorConfig,
-) -> Vec<Detection> {
+) -> Result<Vec<Detection>, VisionError> {
     let (w, h) = (frame.width(), frame.height());
     let gain = if config.normalize_gain {
         let frame_luma = mean_luma(frame).max(1.0);
@@ -182,14 +189,14 @@ pub fn detect(
     } else {
         1.0
     };
-    let mask = foreground_mask(frame, background, config.threshold, gain);
+    let mask = foreground_mask(frame, background, config.threshold, gain)?;
     let mask = dilate_mask(&mask, w, h, config.dilate);
     let mut dets: Vec<Detection> = connected_components(&mask, w, h)
         .into_iter()
         .filter(|d| d.area >= config.min_area)
         .collect();
     dets.sort_by(|a, b| b.area.cmp(&a.area));
-    dets
+    Ok(dets)
 }
 
 #[cfg(test)]
@@ -207,7 +214,7 @@ mod tests {
         let background = bg();
         let mut frame = background.clone();
         frame.fill_rect(BBox::new(10.0, 6.0, 5.0, 8.0), Rgb::new(250, 20, 20));
-        let dets = detect(&frame, &background, &DetectorConfig::default());
+        let dets = detect(&frame, &background, &DetectorConfig::default()).unwrap();
         assert_eq!(dets.len(), 1);
         let d = dets[0].bbox;
         // Dilation can grow the box by the radius.
@@ -221,7 +228,7 @@ mod tests {
         let mut frame = background.clone();
         frame.fill_rect(BBox::new(2.0, 2.0, 4.0, 6.0), Rgb::new(250, 20, 20));
         frame.fill_rect(BBox::new(20.0, 12.0, 5.0, 7.0), Rgb::new(20, 20, 250));
-        let dets = detect(&frame, &background, &DetectorConfig::default());
+        let dets = detect(&frame, &background, &DetectorConfig::default()).unwrap();
         assert_eq!(dets.len(), 2);
         // Sorted by area descending.
         assert!(dets[0].area >= dets[1].area);
@@ -230,7 +237,7 @@ mod tests {
     #[test]
     fn empty_frame_yields_nothing() {
         let background = bg();
-        let dets = detect(&background.clone(), &background, &DetectorConfig::default());
+        let dets = detect(&background.clone(), &background, &DetectorConfig::default()).unwrap();
         assert!(dets.is_empty());
     }
 
@@ -242,9 +249,9 @@ mod tests {
         let mut cfg = DetectorConfig::default();
         cfg.dilate = 0;
         cfg.min_area = 4;
-        assert!(detect(&frame, &background, &cfg).is_empty());
+        assert!(detect(&frame, &background, &cfg).unwrap().is_empty());
         cfg.min_area = 1;
-        assert_eq!(detect(&frame, &background, &cfg).len(), 1);
+        assert_eq!(detect(&frame, &background, &cfg).unwrap().len(), 1);
     }
 
     #[test]
@@ -253,10 +260,10 @@ mod tests {
         let mut frame = background.clone();
         frame.fill_rect(BBox::new(8.0, 8.0, 6.0, 6.0), Rgb::new(110, 110, 110));
         // Difference is 30 per pixel; below the default threshold of 70.
-        assert!(detect(&frame, &background, &DetectorConfig::default()).is_empty());
+        assert!(detect(&frame, &background, &DetectorConfig::default()).unwrap().is_empty());
         let mut cfg = DetectorConfig::default();
         cfg.threshold = 20;
-        assert_eq!(detect(&frame, &background, &cfg).len(), 1);
+        assert_eq!(detect(&frame, &background, &cfg).unwrap().len(), 1);
     }
 
     #[test]
@@ -272,11 +279,11 @@ mod tests {
             dilate: 0,
             normalize_gain: false,
         };
-        let raw = detect(&frame, &background, &cfg);
+        let raw = detect(&frame, &background, &cfg).unwrap();
         // Whole frame is one big foreground blob without normalization.
         assert!(raw.iter().any(|d| d.area > 500), "{raw:?}");
         cfg.normalize_gain = true;
-        let normalized = detect(&frame, &background, &cfg);
+        let normalized = detect(&frame, &background, &cfg).unwrap();
         assert_eq!(normalized.len(), 1, "{normalized:?}");
         assert!(normalized[0].bbox.iou(&BBox::new(10.0, 6.0, 5.0, 8.0)) > 0.5);
     }

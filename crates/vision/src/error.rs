@@ -1,0 +1,74 @@
+//! Typed errors for the vision toolkit.
+//!
+//! `VisionError` covers conditions a caller can trigger with malformed
+//! input: empty videos or knot lists, mismatched image/mask sizes,
+//! out-of-order frame sequences, and frame ranges outside the video.
+//! Internal invariants (segments constructed non-empty, pre-validated
+//! configuration on hot paths) stay `debug_assert!`ed or degrade
+//! gracefully.
+
+use std::fmt;
+
+/// Errors from the vision primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisionError {
+    /// The operation requires at least one frame.
+    EmptyVideo,
+    /// A required input collection is empty.
+    EmptyInput { what: &'static str },
+    /// Two collections that must align have different lengths.
+    LengthMismatch {
+        what: &'static str,
+        left: usize,
+        right: usize,
+    },
+    /// Two images that must share dimensions do not.
+    SizeMismatch {
+        expected: (u32, u32),
+        got: (u32, u32),
+    },
+    /// A frame sequence that must be strictly increasing is not.
+    OutOfOrderFrames { what: &'static str },
+    /// A frame range `[start, end]` is inverted or exceeds the video.
+    InvalidRange {
+        start: usize,
+        end: usize,
+        num_frames: usize,
+    },
+}
+
+impl fmt::Display for VisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VisionError::EmptyVideo => write!(f, "video has no frames"),
+            VisionError::EmptyInput { what } => {
+                write!(f, "{what} must not be empty")
+            }
+            VisionError::LengthMismatch { what, left, right } => {
+                write!(f, "{what} lengths differ: {left} vs {right}")
+            }
+            VisionError::SizeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "image size {}x{} does not match expected {}x{}",
+                    got.0, got.1, expected.0, expected.1
+                )
+            }
+            VisionError::OutOfOrderFrames { what } => {
+                write!(f, "{what} must be strictly frame-ordered")
+            }
+            VisionError::InvalidRange {
+                start,
+                end,
+                num_frames,
+            } => {
+                write!(
+                    f,
+                    "frame range [{start}, {end}] invalid for a video of {num_frames} frames"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VisionError {}

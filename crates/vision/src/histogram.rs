@@ -19,9 +19,15 @@ pub struct HsvBins {
 }
 
 impl HsvBins {
+    /// Zero bin counts are a configuration bug (debug-asserted); release
+    /// builds clamp each count to at least one bin.
     pub fn new(h: usize, s: usize, v: usize) -> Self {
-        assert!(h > 0 && s > 0 && v > 0, "bin counts must be positive");
-        Self { h, s, v }
+        debug_assert!(h > 0 && s > 0 && v > 0, "bin counts must be positive");
+        Self {
+            h: h.max(1),
+            s: s.max(1),
+            v: v.max(1),
+        }
     }
 }
 
@@ -41,13 +47,26 @@ pub struct HsvWeights {
 }
 
 impl HsvWeights {
+    /// Negative or all-zero weights are a configuration bug
+    /// (debug-asserted); release builds clamp negatives to zero and fall
+    /// back to a uniform split when every weight vanishes.
     pub fn new(alpha: f64, beta: f64, gamma: f64) -> Self {
-        assert!(
+        debug_assert!(
             alpha >= 0.0 && beta >= 0.0 && gamma >= 0.0,
             "weights must be non-negative"
         );
-        assert!(alpha + beta + gamma > 0.0, "weights must not all be zero");
-        Self { alpha, beta, gamma }
+        debug_assert!(alpha + beta + gamma > 0.0, "weights must not all be zero");
+        let (alpha, beta, gamma) = (alpha.max(0.0), beta.max(0.0), gamma.max(0.0));
+        if alpha + beta + gamma > 0.0 {
+            Self { alpha, beta, gamma }
+        } else {
+            let third = 1.0 / 3.0;
+            Self {
+                alpha: third,
+                beta: third,
+                gamma: third,
+            }
+        }
     }
 }
 
@@ -110,7 +129,12 @@ impl HsvHistogram {
     /// lines 7–10). In `[0, w_total]`; with weights summing to 1 it is in
     /// `[0, 1]` and equals 1 only for identical histograms.
     pub fn similarity(&self, other: &HsvHistogram, w: HsvWeights) -> f64 {
-        assert_eq!(self.bins, other.bins, "histograms must share binning");
+        // Mixed binnings are a caller bug (debug-asserted); release builds
+        // report zero similarity, the conservative "different frame" answer.
+        debug_assert_eq!(self.bins, other.bins, "histograms must share binning");
+        if self.bins != other.bins {
+            return 0.0;
+        }
         w.alpha * Self::channel_similarity(&self.hue, &other.hue)
             + w.beta * Self::channel_similarity(&self.sat, &other.sat)
             + w.gamma * Self::channel_similarity(&self.val, &other.val)
@@ -135,7 +159,12 @@ impl HsvHistogram {
     /// segment's histogram as frames join it). `count` is the number of
     /// frames already merged into `self`.
     pub fn merge_mean(&mut self, other: &HsvHistogram, count: usize) {
-        assert_eq!(self.bins, other.bins, "histograms must share binning");
+        // Mixed binnings are a caller bug (debug-asserted); release builds
+        // leave the running mean untouched.
+        debug_assert_eq!(self.bins, other.bins, "histograms must share binning");
+        if self.bins != other.bins {
+            return;
+        }
         let k = count as f64;
         let upd = |acc: &mut [f64], new: &[f64]| {
             for (a, b) in acc.iter_mut().zip(new) {

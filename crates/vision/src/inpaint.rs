@@ -23,6 +23,7 @@
 //!
 //! A cheaper diffusion-based filler is provided as an ablation alternative.
 
+use crate::error::VisionError;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -122,9 +123,22 @@ impl Mask {
 }
 
 /// Fills the masked region of `img` in place using the configured method.
-pub fn inpaint(img: &mut ImageBuffer, mask: &Mask, config: &InpaintConfig) {
-    assert_eq!(img.width(), mask.width);
-    assert_eq!(img.height(), mask.height);
+/// Rejects masks whose dimensions differ from the image's; a mask with no
+/// missing pixels is a no-op.
+pub fn inpaint(
+    img: &mut ImageBuffer,
+    mask: &Mask,
+    config: &InpaintConfig,
+) -> Result<(), VisionError> {
+    if img.width() != mask.width || img.height() != mask.height {
+        return Err(VisionError::SizeMismatch {
+            expected: (img.width(), img.height()),
+            got: (mask.width, mask.height),
+        });
+    }
+    if mask.missing() == 0 {
+        return Ok(());
+    }
     match config.method {
         InpaintMethod::Exemplar => {
             #[cfg(feature = "naive-inpaint")]
@@ -134,6 +148,7 @@ pub fn inpaint(img: &mut ImageBuffer, mask: &Mask, config: &InpaintConfig) {
         }
         InpaintMethod::Diffusion => inpaint_diffusion(img, &mut mask.clone(), 256),
     }
+    Ok(())
 }
 
 /// Luma gradient at `(x, y)` using central differences over *known* pixels.
@@ -752,7 +767,7 @@ mod tests {
         let size = Size::new(48, 32);
         let mut img = striped(size);
         let mask = Mask::from_boxes(48, 32, &[BBox::new(20.0, 12.0, 8.0, 8.0)]);
-        inpaint(&mut img, &mask, &InpaintConfig::default());
+        inpaint(&mut img, &mask, &InpaintConfig::default()).unwrap();
         // Nothing missing; every filled pixel came from the two stripe colors.
         for y in 12..20 {
             for x in 20..28 {
@@ -781,7 +796,7 @@ mod tests {
         }
         let mut cfg = InpaintConfig::default();
         cfg.search_stride = 1;
-        inpaint(&mut img, &mask, &cfg);
+        inpaint(&mut img, &mask, &cfg).unwrap();
         let mut wrong = 0;
         for y in 8..16 {
             for x in 28..36 {
@@ -801,7 +816,7 @@ mod tests {
         let mask = Mask::from_boxes(20, 20, &[BBox::new(8.0, 8.0, 4.0, 4.0)]);
         let mut cfg = InpaintConfig::default();
         cfg.method = InpaintMethod::Diffusion;
-        inpaint(&mut img, &mask, &cfg);
+        inpaint(&mut img, &mask, &cfg).unwrap();
         for y in 8..12 {
             for x in 8..12 {
                 assert_eq!(img.get(x, y), Rgb::new(100, 100, 100));
@@ -815,7 +830,7 @@ mod tests {
         let original = striped(size);
         let mut img = original.clone();
         let mask = Mask::new(16, 16);
-        inpaint(&mut img, &mask, &InpaintConfig::default());
+        inpaint(&mut img, &mask, &InpaintConfig::default()).unwrap();
         assert_eq!(img, original);
     }
 
@@ -824,7 +839,7 @@ mod tests {
         let size = Size::new(24, 24);
         let mut img = striped(size);
         let mask = Mask::from_boxes(24, 24, &[BBox::new(0.0, 0.0, 6.0, 6.0)]);
-        inpaint(&mut img, &mask, &InpaintConfig::default());
+        inpaint(&mut img, &mask, &InpaintConfig::default()).unwrap();
         // All pixels filled (missing() on a fresh mask built from the same
         // boxes would still be 36, but the image must contain no black).
         for y in 0..6 {
@@ -840,7 +855,7 @@ mod tests {
         let size = Size::new(5, 5);
         let mut img = ImageBuffer::new(size, Rgb::new(50, 60, 70));
         let mask = Mask::from_boxes(5, 5, &[BBox::new(2.0, 2.0, 1.0, 1.0)]);
-        inpaint(&mut img, &mask, &InpaintConfig::default());
+        inpaint(&mut img, &mask, &InpaintConfig::default()).unwrap();
         assert_eq!(img.get(2, 2), Rgb::new(50, 60, 70));
     }
 

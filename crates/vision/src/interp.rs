@@ -6,6 +6,7 @@
 //! provided as ablation alternatives. Lagrange is evaluated over a sliding
 //! window of nearby knots to avoid Runge oscillation on long videos.
 
+use crate::error::VisionError;
 use serde::{Deserialize, Serialize};
 use verro_video::geometry::Point;
 
@@ -70,18 +71,28 @@ fn nearest_window(knots: &[(f64, Point)], t: f64, window: usize) -> &[(f64, Poin
 /// Interpolates a trajectory through `(frame, point)` knots at every frame
 /// in `[first_knot_frame, last_knot_frame]`.
 ///
-/// Knots must be sorted by frame and contain no duplicate frames.
-/// A single knot produces a single-frame trajectory.
-pub fn interpolate(knots: &[(usize, Point)], method: InterpMethod) -> Vec<(usize, Point)> {
-    assert!(!knots.is_empty(), "need at least one knot");
-    for w in knots.windows(2) {
-        assert!(w[0].0 < w[1].0, "knots must be strictly frame-ordered");
+/// Knots must be sorted by frame and contain no duplicate frames (rejected
+/// with a typed error otherwise). A single knot produces a single-frame
+/// trajectory.
+pub fn interpolate(
+    knots: &[(usize, Point)],
+    method: InterpMethod,
+) -> Result<Vec<(usize, Point)>, VisionError> {
+    if knots.is_empty() {
+        return Err(VisionError::EmptyInput {
+            what: "interpolation knots",
+        });
+    }
+    if knots.windows(2).any(|w| w[0].0 >= w[1].0) {
+        return Err(VisionError::OutOfOrderFrames {
+            what: "interpolation knots",
+        });
     }
     let fk: Vec<(f64, Point)> = knots.iter().map(|&(k, p)| (k as f64, p)).collect();
     let start = knots[0].0;
     let end = knots[knots.len() - 1].0;
 
-    (start..=end)
+    Ok((start..=end)
         .map(|k| {
             let t = k as f64;
             let p = match method {
@@ -103,19 +114,14 @@ pub fn interpolate(knots: &[(usize, Point)], method: InterpMethod) -> Vec<(usize
                 InterpMethod::Nearest => {
                     let best = fk
                         .iter()
-                        .min_by(|a, b| {
-                            (a.0 - t)
-                                .abs()
-                                .partial_cmp(&(b.0 - t).abs())
-                                .expect("finite")
-                        })
-                        .expect("non-empty");
+                        .min_by(|a, b| (a.0 - t).abs().total_cmp(&(b.0 - t).abs()))
+                        .expect("knots checked non-empty");
                     best.1
                 }
             };
             (k, p)
         })
-        .collect()
+        .collect())
 }
 
 /// Linearly extrapolates a trajectory backwards from its first two points
@@ -135,7 +141,7 @@ pub fn extrapolate_to_border(
     max_steps: usize,
     mut keep_going: impl FnMut(Point) -> bool,
 ) -> Vec<(usize, Point)> {
-    assert!(!trajectory.is_empty());
+    // An empty trajectory has no border to extend toward; degrade to empty.
     let mut out: Vec<(usize, Point)> = trajectory.to_vec();
 
     if trajectory.len() >= 2 {
@@ -190,7 +196,7 @@ mod tests {
             InterpMethod::Linear,
             InterpMethod::Nearest,
         ] {
-            let tr = interpolate(&ks, method);
+            let tr = interpolate(&ks, method).unwrap();
             assert_eq!(tr.len(), 15);
             for &(k, p) in &ks {
                 let got = tr.iter().find(|&&(f, _)| f == k).unwrap().1;
@@ -208,7 +214,7 @@ mod tests {
         // window-4 Lagrange interpolation.
         let f = |t: f64| Point::new(0.5 * t * t - t, 2.0 * t);
         let ks: Vec<(usize, Point)> = [0usize, 4, 8, 12].iter().map(|&k| (k, f(k as f64))).collect();
-        let tr = interpolate(&ks, InterpMethod::Lagrange { window: 4 });
+        let tr = interpolate(&ks, InterpMethod::Lagrange { window: 4 }).unwrap();
         for (k, p) in tr {
             assert!(p.distance(&f(k as f64)) < 1e-9, "frame {k}");
         }
@@ -217,14 +223,14 @@ mod tests {
     #[test]
     fn linear_midpoints() {
         let ks = knots(&[(0, 0.0, 0.0), (4, 8.0, 4.0)]);
-        let tr = interpolate(&ks, InterpMethod::Linear);
+        let tr = interpolate(&ks, InterpMethod::Linear).unwrap();
         assert_eq!(tr[2].1, Point::new(4.0, 2.0));
     }
 
     #[test]
     fn nearest_snaps() {
         let ks = knots(&[(0, 0.0, 0.0), (10, 100.0, 0.0)]);
-        let tr = interpolate(&ks, InterpMethod::Nearest);
+        let tr = interpolate(&ks, InterpMethod::Nearest).unwrap();
         assert_eq!(tr[3].1, Point::new(0.0, 0.0));
         assert_eq!(tr[8].1, Point::new(100.0, 0.0));
     }
@@ -237,7 +243,7 @@ mod tests {
             InterpMethod::Linear,
             InterpMethod::Nearest,
         ] {
-            let tr = interpolate(&ks, method);
+            let tr = interpolate(&ks, method).unwrap();
             assert_eq!(tr, vec![(7, Point::new(3.0, 4.0))]);
         }
     }
@@ -249,7 +255,7 @@ mod tests {
         let ks: Vec<(usize, Point)> = (0..20)
             .map(|i| (i * 5, Point::new(i as f64 * 10.0, ((i % 3) as f64) * 4.0)))
             .collect();
-        let tr = interpolate(&ks, InterpMethod::Lagrange { window: 4 });
+        let tr = interpolate(&ks, InterpMethod::Lagrange { window: 4 }).unwrap();
         for (_, p) in tr {
             assert!(p.x >= -20.0 && p.x <= 220.0);
             assert!(p.y >= -30.0 && p.y <= 40.0, "y = {}", p.y);
@@ -257,10 +263,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn rejects_unsorted_knots() {
         let ks = knots(&[(5, 0.0, 0.0), (3, 1.0, 1.0)]);
-        interpolate(&ks, InterpMethod::Linear);
+        assert_eq!(
+            interpolate(&ks, InterpMethod::Linear),
+            Err(VisionError::OutOfOrderFrames {
+                what: "interpolation knots"
+            })
+        );
+        assert_eq!(
+            interpolate(&[], InterpMethod::Linear),
+            Err(VisionError::EmptyInput {
+                what: "interpolation knots"
+            })
+        );
+    }
+
+    #[test]
+    fn empty_trajectory_extrapolates_to_empty() {
+        let out = extrapolate_to_border(&[], 10, usize::MAX, |_| true);
+        assert!(out.is_empty());
     }
 
     #[test]

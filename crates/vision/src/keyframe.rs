@@ -6,6 +6,7 @@
 //! weighted HSV entropy in each segment becomes that segment's key frame.
 //! The `ℓ` key frames are the reduced dimension for Phase I.
 
+use crate::error::VisionError;
 use crate::histogram::{HsvBins, HsvHistogram, HsvWeights};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -94,10 +95,12 @@ impl KeyFrameResult {
 pub fn extract_key_frames<S: FrameSource + Sync>(
     src: &S,
     config: &KeyFrameConfig,
-) -> KeyFrameResult {
+) -> Result<KeyFrameResult, VisionError> {
     let stride = config.stride.max(1);
     let sampled: Vec<usize> = (0..src.num_frames()).step_by(stride).collect();
-    assert!(!sampled.is_empty(), "video has no frames");
+    if sampled.is_empty() {
+        return Err(VisionError::EmptyVideo);
+    }
 
     let histograms: Vec<HsvHistogram> = sampled
         .par_iter()
@@ -113,9 +116,17 @@ pub fn segment_histograms(
     frames: &[usize],
     histograms: &[HsvHistogram],
     config: &KeyFrameConfig,
-) -> KeyFrameResult {
-    assert_eq!(frames.len(), histograms.len());
-    assert!(!frames.is_empty());
+) -> Result<KeyFrameResult, VisionError> {
+    if frames.len() != histograms.len() {
+        return Err(VisionError::LengthMismatch {
+            what: "frame indices and histograms",
+            left: frames.len(),
+            right: histograms.len(),
+        });
+    }
+    if frames.is_empty() {
+        return Err(VisionError::EmptyVideo);
+    }
 
     let mut segments: Vec<(Vec<usize>, HsvHistogram)> = Vec::new();
     // Initialize the first segment with the first frame (Algorithm 2 line 1).
@@ -143,7 +154,7 @@ pub fn segment_histograms(
                     let idx = frames.binary_search(&k).expect("member was sampled");
                     (k, histograms[idx].entropy(config.weights))
                 })
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite entropy"))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(k, _)| k)
                 .expect("segments are non-empty");
             Segment {
@@ -153,7 +164,7 @@ pub fn segment_histograms(
         })
         .collect();
 
-    KeyFrameResult { segments }
+    Ok(KeyFrameResult { segments })
 }
 
 #[cfg(test)]
@@ -175,7 +186,7 @@ mod tests {
     #[test]
     fn identical_frames_form_one_segment() {
         let v = flat_video(&[Rgb::new(100, 150, 200); 12]);
-        let r = extract_key_frames(&v, &KeyFrameConfig::default());
+        let r = extract_key_frames(&v, &KeyFrameConfig::default()).unwrap();
         assert_eq!(r.num_key_frames(), 1);
         assert_eq!(r.segments[0].frames.len(), 12);
     }
@@ -185,7 +196,7 @@ mod tests {
         let mut colors = vec![Rgb::new(255, 0, 0); 6];
         colors.extend(vec![Rgb::new(0, 0, 255); 6]);
         let v = flat_video(&colors);
-        let r = extract_key_frames(&v, &KeyFrameConfig::default());
+        let r = extract_key_frames(&v, &KeyFrameConfig::default()).unwrap();
         assert_eq!(r.num_key_frames(), 2);
         assert_eq!(r.segments[0].end(), 5);
         assert_eq!(r.segments[1].start(), 6);
@@ -208,7 +219,7 @@ mod tests {
         let v = InMemoryVideo::new(vec![flat1, textured, flat2], 30.0);
         let mut cfg = KeyFrameConfig::default();
         cfg.tau = 0.5; // keep everything in one segment
-        let r = extract_key_frames(&v, &cfg);
+        let r = extract_key_frames(&v, &cfg).unwrap();
         assert_eq!(r.num_key_frames(), 1);
         assert_eq!(r.segments[0].key_frame, 1);
     }
@@ -224,8 +235,8 @@ mod tests {
         lo.tau = 0.5;
         let mut hi = KeyFrameConfig::default();
         hi.tau = 0.999;
-        let n_lo = extract_key_frames(&v, &lo).num_key_frames();
-        let n_hi = extract_key_frames(&v, &hi).num_key_frames();
+        let n_lo = extract_key_frames(&v, &lo).unwrap().num_key_frames();
+        let n_hi = extract_key_frames(&v, &hi).unwrap().num_key_frames();
         assert!(n_hi >= n_lo);
         assert!(n_hi > 1);
     }
@@ -235,7 +246,7 @@ mod tests {
         let v = flat_video(&[Rgb::new(10, 20, 30); 20]);
         let mut cfg = KeyFrameConfig::default();
         cfg.stride = 5;
-        let r = extract_key_frames(&v, &cfg);
+        let r = extract_key_frames(&v, &cfg).unwrap();
         assert_eq!(r.segments[0].frames, vec![0, 5, 10, 15]);
     }
 
@@ -244,7 +255,7 @@ mod tests {
         let mut colors = vec![Rgb::new(255, 0, 0); 5];
         colors.extend(vec![Rgb::new(0, 255, 0); 5]);
         let v = flat_video(&colors);
-        let r = extract_key_frames(&v, &KeyFrameConfig::default());
+        let r = extract_key_frames(&v, &KeyFrameConfig::default()).unwrap();
         assert_eq!(r.segment_of(2), Some(0));
         assert_eq!(r.segment_of(7), Some(1));
         assert_eq!(r.segment_of(99), None);
@@ -256,7 +267,7 @@ mod tests {
             .map(|k| Rgb::new((k * 6) as u8, 80, 200))
             .collect();
         let v = flat_video(&colors);
-        let r = extract_key_frames(&v, &KeyFrameConfig::default());
+        let r = extract_key_frames(&v, &KeyFrameConfig::default()).unwrap();
         let kfs = r.key_frames();
         for w in kfs.windows(2) {
             assert!(w[0] < w[1]);

@@ -9,9 +9,11 @@
 //! * [`mod@detect`] — background-subtraction object detection;
 //! * [`track`] — Kalman + Hungarian SORT tracking (Deep SORT stand-in);
 //! * [`mod@inpaint`] — Criminisi exemplar-based region filling (reference \[11\]);
-//! * [`interp`] — Lagrange / linear / nearest trajectory interpolation.
+//! * [`interp`] — Lagrange / linear / nearest trajectory interpolation;
+//! * [`error`] — [`VisionError`], the typed error for malformed inputs.
 
 pub mod bgmodel;
+pub mod error;
 pub mod detect;
 pub mod histogram;
 pub mod inpaint;
@@ -20,6 +22,7 @@ pub mod keyframe;
 pub mod track;
 
 pub use bgmodel::{median_background, segment_backgrounds, BackgroundConfig};
+pub use error::VisionError;
 pub use detect::{detect, Detection, DetectorConfig};
 pub use histogram::{HsvBins, HsvHistogram, HsvWeights};
 pub use inpaint::{inpaint, InpaintConfig, InpaintMethod, Mask};

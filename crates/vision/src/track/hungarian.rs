@@ -14,25 +14,30 @@ pub fn hungarian(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
     if rows == 0 {
         return Vec::new();
     }
-    let cols = cost[0].len();
-    assert!(
-        cost.iter().all(|r| r.len() == cols),
+    // A ragged matrix is a caller bug (debug-asserted); release builds use
+    // the widest rectangle every row can supply.
+    debug_assert!(
+        cost.iter().all(|r| r.len() == cost[0].len()),
         "cost matrix must be rectangular"
     );
+    let cols = cost.iter().map(|r| r.len()).min().unwrap_or(0);
     if cols == 0 {
         return vec![None; rows];
     }
-    for row in cost {
-        for &c in row {
-            assert!(c.is_finite(), "costs must be finite");
-        }
-    }
+    // Non-finite costs are a caller bug (debug-asserted); release builds
+    // substitute a large finite penalty so the assignment stays defined.
+    debug_assert!(
+        cost.iter().all(|r| r.iter().all(|c| c.is_finite())),
+        "costs must be finite"
+    );
+    const PENALTY: f64 = 1e30;
+    let sanitize = |c: f64| if c.is_finite() { c.clamp(-PENALTY, PENALTY) } else { PENALTY };
 
     // Pad to square n×n with zeros (dummy rows/columns absorb the surplus).
     let n = rows.max(cols);
     let at = |r: usize, c: usize| -> f64 {
         if r < rows && c < cols {
-            cost[r][c]
+            sanitize(cost[r][c])
         } else {
             0.0
         }

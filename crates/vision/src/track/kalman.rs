@@ -23,7 +23,11 @@ impl Kalman2D {
     /// Initializes the filter at a measured position with zero velocity and
     /// large velocity uncertainty.
     pub fn new(initial: Point, q: f64, r: f64) -> Self {
-        assert!(q > 0.0 && r > 0.0, "noise parameters must be positive");
+        // Non-positive noise is a configuration bug (debug-asserted);
+        // release builds clamp into a positive finite band.
+        debug_assert!(q > 0.0 && r > 0.0, "noise parameters must be positive");
+        let q = q.max(1e-12).min(1e12);
+        let r = r.max(1e-12).min(1e12);
         let mut p = [[0.0; 4]; 4];
         p[0][0] = r;
         p[1][1] = r;
@@ -98,7 +102,12 @@ impl Kalman2D {
             [self.p[1][0], self.p[1][1] + self.r],
         ];
         let det = s[0][0] * s[1][1] - s[0][1] * s[1][0];
-        assert!(det.abs() > 1e-12, "singular innovation covariance");
+        if !(det.abs() > 1e-12) {
+            // Singular (or NaN) innovation covariance: inverting it would
+            // blow up the gain, so skip this measurement update and keep
+            // the prediction.
+            return;
+        }
         let s_inv = [
             [s[1][1] / det, -s[0][1] / det],
             [-s[1][0] / det, s[0][0] / det],

@@ -7,6 +7,7 @@
 //! tracker noise.
 
 use super::hungarian::hungarian;
+use crate::error::VisionError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use verro_video::annotations::VideoAnnotations;
@@ -66,16 +67,24 @@ impl MotScores {
 /// Matching follows the CLEAR protocol: correspondences from the previous
 /// frame are kept while they remain valid (IoU ≥ gate); remaining objects
 /// are matched by Hungarian assignment on `1 − IoU`.
+///
+/// # Errors
+///
+/// Returns [`VisionError::LengthMismatch`] when the two annotation sets
+/// cover different numbers of frames — scores over misaligned videos would
+/// be meaningless.
 pub fn evaluate_tracking(
     ground_truth: &VideoAnnotations,
     hypothesis: &VideoAnnotations,
     iou_gate: f64,
-) -> MotScores {
-    assert_eq!(
-        ground_truth.num_frames(),
-        hypothesis.num_frames(),
-        "videos must have equal length"
-    );
+) -> Result<MotScores, VisionError> {
+    if ground_truth.num_frames() != hypothesis.num_frames() {
+        return Err(VisionError::LengthMismatch {
+            what: "ground-truth and hypothesis videos",
+            left: ground_truth.num_frames(),
+            right: hypothesis.num_frames(),
+        });
+    }
     let mut scores = MotScores {
         gt_count: 0,
         matches: 0,
@@ -169,7 +178,7 @@ pub fn evaluate_tracking(
     } else {
         0.0
     };
-    scores
+    Ok(scores)
 }
 
 #[cfg(test)]
@@ -194,7 +203,7 @@ mod tests {
         let mut gt = VideoAnnotations::new(10);
         track(&mut gt, 0, 0..10, 5.0);
         track(&mut gt, 1, 2..8, 100.0);
-        let scores = evaluate_tracking(&gt, &gt, 0.5);
+        let scores = evaluate_tracking(&gt, &gt, 0.5).unwrap();
         assert_eq!(scores.mota(), 1.0);
         assert_eq!(scores.misses, 0);
         assert_eq!(scores.false_positives, 0);
@@ -209,7 +218,7 @@ mod tests {
         let mut gt = VideoAnnotations::new(5);
         track(&mut gt, 0, 0..5, 5.0);
         let hyp = VideoAnnotations::new(5);
-        let scores = evaluate_tracking(&gt, &hyp, 0.5);
+        let scores = evaluate_tracking(&gt, &hyp, 0.5).unwrap();
         assert_eq!(scores.misses, 5);
         assert_eq!(scores.mota(), 0.0);
         assert_eq!(scores.recall(), 0.0);
@@ -220,7 +229,7 @@ mod tests {
         let gt = VideoAnnotations::new(5);
         let mut hyp = VideoAnnotations::new(5);
         track(&mut hyp, 0, 0..5, 5.0);
-        let scores = evaluate_tracking(&gt, &hyp, 0.5);
+        let scores = evaluate_tracking(&gt, &hyp, 0.5).unwrap();
         assert_eq!(scores.false_positives, 5);
         assert_eq!(scores.gt_count, 0);
         assert_eq!(scores.precision(), 0.0);
@@ -243,7 +252,7 @@ mod tests {
                 BBox::new(5.0 + k as f64 * 3.0, 20.0, 6.0, 12.0),
             );
         }
-        let scores = evaluate_tracking(&gt, &hyp, 0.5);
+        let scores = evaluate_tracking(&gt, &hyp, 0.5).unwrap();
         assert_eq!(scores.id_switches, 1);
         assert_eq!(scores.matches, 10);
         assert!((scores.mota() - 0.9).abs() < 1e-9);
@@ -263,7 +272,7 @@ mod tests {
                 BBox::new(5.0 + k as f64 * 3.0 + 5.0, 20.0, 6.0, 12.0),
             );
         }
-        let scores = evaluate_tracking(&gt, &hyp, 0.5);
+        let scores = evaluate_tracking(&gt, &hyp, 0.5).unwrap();
         assert_eq!(scores.matches, 0);
         assert_eq!(scores.misses, 5);
         assert_eq!(scores.false_positives, 5);
@@ -282,7 +291,7 @@ mod tests {
             hyp.record(ObjectId(0), ObjectClass::Pedestrian, k, b.translated(0.5, 0.0));
             hyp.record(ObjectId(1), ObjectClass::Pedestrian, k, b.translated(-0.5, 0.0));
         }
-        let scores = evaluate_tracking(&gt, &hyp, 0.5);
+        let scores = evaluate_tracking(&gt, &hyp, 0.5).unwrap();
         assert_eq!(scores.id_switches, 0);
         assert_eq!(scores.matches, 8);
         assert_eq!(scores.false_positives, 8); // the unmatched twin each frame

@@ -8,6 +8,7 @@
 
 use super::hungarian::hungarian;
 use super::kalman::Kalman2D;
+use crate::error::VisionError;
 use serde::{Deserialize, Serialize};
 use verro_video::annotations::VideoAnnotations;
 use verro_video::geometry::BBox;
@@ -91,11 +92,21 @@ impl SortTracker {
         self.active.len()
     }
 
-    /// Processes the detections of frame `frame_idx` (frames must arrive in
-    /// strictly increasing order).
-    pub fn step(&mut self, frame_idx: usize, detections: &[BBox]) {
+    /// Processes the detections of frame `frame_idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VisionError::OutOfOrderFrames`] if `frame_idx` is not
+    /// strictly greater than the previously stepped frame. The tracker state
+    /// is left untouched on error, so a caller may skip the offending frame
+    /// and continue.
+    pub fn step(&mut self, frame_idx: usize, detections: &[BBox]) -> Result<(), VisionError> {
         if let Some(last) = self.last_frame {
-            assert!(frame_idx > last, "frames must be strictly increasing");
+            if frame_idx <= last {
+                return Err(VisionError::OutOfOrderFrames {
+                    what: "tracker input frames",
+                });
+            }
         }
         let dt = self
             .last_frame
@@ -175,6 +186,7 @@ impl SortTracker {
                 });
             }
         }
+        Ok(())
     }
 
     /// Finalizes tracking and returns MOT-style annotations over a video of
@@ -216,7 +228,7 @@ mod tests {
     fn single_target_keeps_one_id() {
         let mut t = SortTracker::new(TrackerConfig::default(), ObjectClass::Pedestrian);
         for k in 0..20usize {
-            t.step(k, &boxes_at(&[(10.0 + k as f64 * 2.0, 50.0)]));
+            t.step(k, &boxes_at(&[(10.0 + k as f64 * 2.0, 50.0)])).unwrap();
         }
         let ann = t.finish(20);
         assert_eq!(ann.num_objects(), 1);
@@ -230,7 +242,7 @@ mod tests {
         for k in 0..25usize {
             let x1 = 10.0 + 3.0 * k as f64;
             let x2 = 90.0 - 3.0 * k as f64;
-            t.step(k, &boxes_at(&[(x1, 30.0), (x2, 80.0)]));
+            t.step(k, &boxes_at(&[(x1, 30.0), (x2, 80.0)])).unwrap();
         }
         let ann = t.finish(25);
         assert_eq!(ann.num_objects(), 2);
@@ -250,9 +262,9 @@ mod tests {
         for k in 0..30usize {
             // Miss detections for 2 frames in the middle.
             if (14..16).contains(&k) {
-                t.step(k, &[]);
+                t.step(k, &[]).unwrap();
             } else {
-                t.step(k, &boxes_at(&[(10.0 + 2.0 * k as f64, 40.0)]));
+                t.step(k, &boxes_at(&[(10.0 + 2.0 * k as f64, 40.0)])).unwrap();
             }
         }
         let ann = t.finish(30);
@@ -266,13 +278,13 @@ mod tests {
         cfg.max_misses = 2;
         let mut t = SortTracker::new(cfg, ObjectClass::Pedestrian);
         for k in 0..10usize {
-            t.step(k, &boxes_at(&[(20.0, 20.0)]));
+            t.step(k, &boxes_at(&[(20.0, 20.0)])).unwrap();
         }
         for k in 10..20usize {
-            t.step(k, &[]); // gone for 10 frames
+            t.step(k, &[]).unwrap(); // gone for 10 frames
         }
         for k in 20..30usize {
-            t.step(k, &boxes_at(&[(20.0, 20.0)]));
+            t.step(k, &boxes_at(&[(20.0, 20.0)])).unwrap();
         }
         let ann = t.finish(30);
         assert_eq!(ann.num_objects(), 2);
@@ -283,21 +295,33 @@ mod tests {
         let mut cfg = TrackerConfig::default();
         cfg.min_hits = 3;
         let mut t = SortTracker::new(cfg, ObjectClass::Pedestrian);
-        t.step(0, &boxes_at(&[(10.0, 10.0), (90.0, 90.0)]));
+        t.step(0, &boxes_at(&[(10.0, 10.0), (90.0, 90.0)])).unwrap();
         // Second detection never recurs.
         for k in 1..10usize {
-            t.step(k, &boxes_at(&[(10.0 + k as f64, 10.0)]));
+            t.step(k, &boxes_at(&[(10.0 + k as f64, 10.0)])).unwrap();
         }
         let ann = t.finish(10);
         assert_eq!(ann.num_objects(), 1);
     }
 
     #[test]
-    #[should_panic]
     fn rejects_out_of_order_frames() {
         let mut t = SortTracker::new(TrackerConfig::default(), ObjectClass::Pedestrian);
-        t.step(5, &[]);
-        t.step(5, &[]);
+        t.step(5, &[]).unwrap();
+        assert_eq!(
+            t.step(5, &[]),
+            Err(VisionError::OutOfOrderFrames {
+                what: "tracker input frames"
+            })
+        );
+        assert_eq!(
+            t.step(3, &[]),
+            Err(VisionError::OutOfOrderFrames {
+                what: "tracker input frames"
+            })
+        );
+        // The tracker is still usable after a rejected frame.
+        t.step(6, &[]).unwrap();
     }
 
     #[test]
@@ -308,7 +332,7 @@ mod tests {
             if k >= 4 {
                 dets.extend(boxes_at(&[(80.0 - k as f64, 90.0)]));
             }
-            t.step(k, &dets);
+            t.step(k, &dets).unwrap();
         }
         let ann = t.finish(10);
         assert_eq!(ann.num_objects(), 2);

@@ -72,7 +72,7 @@ proptest! {
             InterpMethod::Linear,
             InterpMethod::Nearest,
         ] {
-            let tr = interpolate(&knots, method);
+            let tr = interpolate(&knots, method).unwrap();
             // One sample per frame in the knot range, in order.
             prop_assert_eq!(tr.len(), knots.last().unwrap().0 - knots[0].0 + 1);
             for w in tr.windows(2) {
@@ -98,7 +98,7 @@ proptest! {
         prop_assume!(knots.len() >= 2);
         let min_x = knots.iter().map(|(_, p)| p.x).fold(f64::MAX, f64::min);
         let max_x = knots.iter().map(|(_, p)| p.x).fold(f64::MIN, f64::max);
-        for (_, p) in interpolate(&knots, InterpMethod::Linear) {
+        for (_, p) in interpolate(&knots, InterpMethod::Linear).unwrap() {
             prop_assert!(p.x >= min_x - 1e-9 && p.x <= max_x + 1e-9);
         }
     }
@@ -156,7 +156,7 @@ proptest! {
         }
         let mut cfg = InpaintConfig::default();
         cfg.method = if method_exemplar { InpaintMethod::Exemplar } else { InpaintMethod::Diffusion };
-        inpaint(&mut img, &mask, &cfg);
+        inpaint(&mut img, &mask, &cfg).unwrap();
         for y in 0..30u32 {
             for x in 0..40u32 {
                 if mask.get(x, y) {

@@ -59,7 +59,8 @@ fn main() {
         tracked.num_objects(),
         video.annotations().num_objects()
     );
-    let mot = verro_vision::track::evaluate_tracking(video.annotations(), &tracked, 0.3);
+    let mot = verro_vision::track::evaluate_tracking(video.annotations(), &tracked, 0.3)
+        .expect("same clip on both sides");
     println!(
         "tracking quality: MOTA {:.2}, MOTP {:.2}, recall {:.2}, precision {:.2}, {} ID switches",
         mot.mota(),

@@ -1,0 +1,239 @@
+//! Adversarial never-panic certification of the public sanitizer API.
+//!
+//! Every entry point of [`Verro`] — `sanitize`, `sanitize_per_class`, and
+//! `sanitize_with_tracking` — is driven with hostile inputs: annotations
+//! whose frame count disagrees with the video, out-of-frame and zero-area
+//! boxes, duplicate and sparse object IDs, and type-valid but semantically
+//! degenerate configurations (flip probabilities outside `(0, 1]`, zero
+//! strides, `min_picked` below 2, NaN budgets). The contract under test is
+//! the error-handling contract of DESIGN.md §7: each call must return `Ok`
+//! or a typed [`VerroError`] — it must never panic.
+//!
+//! Videos are tiny (≤ 12 frames of 24×18 pixels) and backgrounds use the
+//! temporal-median mode so the 256+ cases per target stay fast; the
+//! heavyweight inpainting path has its own property tests in the vision
+//! crate.
+
+use proptest::prelude::*;
+use verro_core::config::{BackgroundMode, NoiseLevel, OptimizerStrategy, VerroConfig};
+use verro_core::optimize::ObjectiveForm;
+use verro_core::Verro;
+use verro_video::annotations::VideoAnnotations;
+use verro_video::geometry::{BBox, Size};
+use verro_video::image::ImageBuffer;
+use verro_video::Rgb;
+use verro_video::object::{ObjectClass, ObjectId};
+use verro_video::source::FrameSource;
+use verro_vision::detect::DetectorConfig;
+use verro_vision::interp::InterpMethod;
+use verro_vision::track::TrackerConfig;
+
+/// A frame source that, unlike `InMemoryVideo`, permits zero frames — the
+/// adversary gets to hand the sanitizer an empty video.
+#[derive(Debug, Clone)]
+struct RawVideo {
+    size: Size,
+    frames: Vec<ImageBuffer>,
+}
+
+impl FrameSource for RawVideo {
+    fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+    fn frame_size(&self) -> Size {
+        self.size
+    }
+    fn frame(&self, k: usize) -> ImageBuffer {
+        self.frames[k].clone()
+    }
+}
+
+/// Deterministic noise video: `num_frames` frames of 24×18 textured pixels
+/// derived from `seed` (no RNG at generation time keeps cases reproducible).
+fn make_video(num_frames: usize, seed: u64) -> RawVideo {
+    let size = Size::new(24, 18);
+    let frames = (0..num_frames)
+        .map(|k| {
+            ImageBuffer::from_fn(size, |x, y| {
+                let v = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((x as u64) * 31 + (y as u64) * 17 + (k as u64) * 131);
+                Rgb::new((v >> 16) as u8, (v >> 24) as u8, (v >> 32) as u8)
+            })
+        })
+        .collect();
+    RawVideo { size, frames }
+}
+
+/// One adversarial object: possibly duplicate ID, possibly out-of-frame or
+/// zero-area box, placed on a contiguous run clamped to the annotation span.
+type ArbObject = (u32, usize, usize, f64, f64, f64, f64);
+
+fn arb_objects() -> impl Strategy<Value = Vec<ArbObject>> {
+    prop::collection::vec(
+        (
+            0u32..5,       // id — small range forces duplicates
+            0usize..14,    // first frame
+            1usize..10,    // run length
+            -60.0..420.0,  // x (often outside the 24-px frame)
+            -60.0..300.0,  // y
+            0.0..50.0f64,  // w (zero-area allowed)
+            0.0..50.0f64,  // h
+        ),
+        0..6,
+    )
+}
+
+fn build_annotations(num_frames: usize, objects: &[ArbObject]) -> VideoAnnotations {
+    let mut ann = VideoAnnotations::new(num_frames);
+    for &(id, start, len, x, y, w, h) in objects {
+        for k in start..start + len {
+            if k >= num_frames {
+                break;
+            }
+            ann.record(ObjectId(id), ObjectClass::Pedestrian, k, BBox::new(x, y, w, h));
+        }
+    }
+    ann
+}
+
+/// Type-valid configurations, including semantically invalid knobs that
+/// `Verro::new` must reject as `BadConfig` rather than letting them reach
+/// (and panic inside) the pipeline.
+fn arb_config() -> impl Strategy<Value = VerroConfig> {
+    let noise = prop_oneof![
+        (-0.5..1.5f64).prop_map(NoiseLevel::FlipProbability),
+        Just(NoiseLevel::FlipProbability(f64::NAN)),
+        (-2.0..60.0f64).prop_map(NoiseLevel::EpsilonBudget),
+        Just(NoiseLevel::EpsilonBudget(f64::INFINITY)),
+    ];
+    let optimizer = prop_oneof![
+        Just(OptimizerStrategy::LpRounding),
+        Just(OptimizerStrategy::Exact),
+        Just(OptimizerStrategy::AllKeyFrames),
+    ];
+    let objective = prop_oneof![Just(ObjectiveForm::FullDistortion), Just(ObjectiveForm::PaperEq9)];
+    let interp = prop_oneof![
+        (0usize..6).prop_map(|window| InterpMethod::Lagrange { window }),
+        Just(InterpMethod::Linear),
+        Just(InterpMethod::Nearest),
+    ];
+    (
+        (noise, optimizer, objective, interp),
+        (
+            prop::option::of(-1.0..4.0f64), // optimizer noise ε (invalid values included)
+            0usize..5,                      // min_picked (values < 2 are invalid)
+            (0.5..1.1f64, 0usize..4),       // keyframe (tau, stride); stride 0 invalid
+            0usize..8,                      // background_samples; 0 invalid
+            any::<bool>(),                  // count_correction
+            any::<u64>(),                   // seed
+        ),
+    )
+        .prop_map(
+            |(
+                (noise, optimizer, objective, interp),
+                (
+                    optimizer_noise_epsilon,
+                    min_picked,
+                    (tau, stride),
+                    background_samples,
+                    count_correction,
+                    seed,
+                ),
+            )| {
+                let mut cfg = VerroConfig::default();
+                cfg.noise = noise;
+                cfg.optimizer = optimizer;
+                cfg.objective = objective;
+                cfg.interp = interp;
+                cfg.optimizer_noise_epsilon = optimizer_noise_epsilon;
+                cfg.min_picked = min_picked;
+                cfg.keyframe.tau = tau;
+                cfg.keyframe.stride = stride;
+                // Temporal median keeps each fuzz case cheap; the inpaint
+                // path is property-tested in verro-vision.
+                cfg.background = BackgroundMode::TemporalMedian;
+                cfg.background_samples = background_samples;
+                cfg.count_correction = count_correction;
+                cfg.seed = seed;
+                cfg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `sanitize` never panics: any input drives it to `Ok` or a typed error.
+    #[test]
+    fn sanitize_never_panics(
+        cfg in arb_config(),
+        video_frames in 0usize..12,
+        ann_frames in 0usize..14,
+        objects in arb_objects(),
+        video_seed in any::<u64>(),
+    ) {
+        let video = make_video(video_frames, video_seed);
+        let ann = build_annotations(ann_frames, &objects);
+        if let Ok(verro) = Verro::new(cfg) {
+            // Ok and typed Err are both acceptable; a panic fails the test.
+            let _ = verro.sanitize(&video, &ann);
+        }
+    }
+
+    /// `sanitize_per_class` never panics.
+    #[test]
+    fn sanitize_per_class_never_panics(
+        cfg in arb_config(),
+        video_frames in 0usize..12,
+        ann_frames in 0usize..14,
+        objects in arb_objects(),
+        video_seed in any::<u64>(),
+    ) {
+        let video = make_video(video_frames, video_seed);
+        let ann = build_annotations(ann_frames, &objects);
+        if let Ok(verro) = Verro::new(cfg) {
+            let _ = verro.sanitize_per_class(&video, &ann);
+        }
+    }
+
+    /// `sanitize_with_tracking` never panics. Detector and tracker knobs are
+    /// fuzzed over their valid bands (their constructors debug-assert on
+    /// nonsensical noise, which is the documented contract); the video and
+    /// sanitizer configuration stay fully adversarial.
+    #[test]
+    fn sanitize_with_tracking_never_panics(
+        cfg in arb_config(),
+        video_frames in 0usize..10,
+        video_seed in any::<u64>(),
+        threshold in 0u32..900,
+        min_area in 0usize..40,
+        dilate in 0u32..3,
+        normalize_gain in any::<bool>(),
+        iou_threshold in 0.0..1.0f64,
+        max_misses in 0usize..5,
+        min_hits in 0usize..5,
+    ) {
+        let video = make_video(video_frames, video_seed);
+        let detector = DetectorConfig {
+            threshold,
+            min_area,
+            dilate,
+            normalize_gain,
+        };
+        let tracker = TrackerConfig {
+            iou_threshold,
+            max_misses,
+            min_hits,
+            ..TrackerConfig::default()
+        };
+        if let Ok(verro) = Verro::new(cfg) {
+            let _ = verro.sanitize_with_tracking(
+                &video,
+                &detector,
+                tracker,
+                ObjectClass::Pedestrian,
+            );
+        }
+    }
+}

@@ -172,19 +172,21 @@ fn parallel_background_reconstruction_is_deterministic() {
     for background in [BackgroundMode::KeyFrameInpaint, BackgroundMode::TemporalMedian] {
         let mut cfg = fast_config(0.2, 22);
         cfg.background = background;
-        let key_frames = verro_vision::keyframe::extract_key_frames(&video, &cfg.keyframe);
+        let key_frames = verro_vision::keyframe::extract_key_frames(&video, &cfg.keyframe).unwrap();
         let a = verro_core::synthesis::build_backgrounds(
             &video,
             video.annotations(),
             &key_frames,
             &cfg,
-        );
+        )
+        .unwrap();
         let b = verro_core::synthesis::build_backgrounds(
             &video,
             video.annotations(),
             &key_frames,
             &cfg,
-        );
+        )
+        .unwrap();
         assert_eq!(a.len(), b.len(), "{background:?}: segment count diverged");
         for (i, (sa, sb)) in a.iter().zip(&b).enumerate() {
             assert_eq!(sa, sb, "{background:?}: background {i} not bit-identical");
@@ -221,12 +223,12 @@ fn debiasing_recovers_presence_density() {
             .original
             .rows()
             .iter()
-            .map(|row| verro_ldp::rr::randomize_flip(row, 0.5, &mut rng))
+            .map(|row| verro_ldp::rr::randomize_flip(row, 0.5, &mut rng).unwrap())
             .collect();
         let observed: Vec<usize> = (0..cols)
             .map(|j| randomized.iter().filter(|r| r.get(j)).count())
             .collect();
-        let est = debias_count_series(&observed, n, 0.5);
+        let est = debias_count_series(&observed, n, 0.5).unwrap();
         for j in 0..cols {
             est_sum[j] += est[j];
             obs_sum[j] += observed[j] as f64;

@@ -31,14 +31,14 @@ fn theorem_3_3_bound_holds_exactly_for_pipeline_parameters() {
         .unwrap();
     let f = result.privacy.flip;
     let ell = result.privacy.picked_frames.min(5); // cap for exhaustiveness
-    let eps = epsilon_of_flip(ell, f);
+    let eps = epsilon_of_flip(ell, f).unwrap();
 
     let vectors = all_vectors(ell);
     for bi in &vectors {
         for bj in &vectors {
             for y in &vectors {
-                let pi = output_probability_flip(bi, y, f);
-                let pj = output_probability_flip(bj, y, f);
+                let pi = output_probability_flip(bi, y, f).unwrap();
+                let pj = output_probability_flip(bj, y, f).unwrap();
                 assert!(
                     pi <= eps.exp() * pj * (1.0 + 1e-9),
                     "ratio violated for {bi} vs {bj} -> {y}"
@@ -138,7 +138,7 @@ fn naive_baseline_spends_budget_but_destroys_utility() {
     let video = small_video(8, 9);
     let matrix = PresenceMatrix::from_annotations(video.annotations());
     let mut rng = rand::rngs::StdRng::seed_from_u64(10);
-    let naive = randomize_naive(&matrix, 3.0, &mut rng);
+    let naive = randomize_naive(&matrix, 3.0, &mut rng).unwrap();
     // ε/m = 0.05 per bit → keep probability e^0.05/(1+e^0.05) ≈ 0.512.
     assert!((naive.keep_probability - 0.5).abs() < 0.02);
     let density: f64 = naive

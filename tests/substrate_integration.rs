@@ -15,7 +15,7 @@ use verro_vision::track::{SortTracker, TrackerConfig};
 #[test]
 fn detector_finds_most_ground_truth_objects() {
     let v = video(1, 6, 60);
-    let bg = median_background(&v, 0, 59, &BackgroundConfig::default());
+    let bg = median_background(&v, 0, 59, &BackgroundConfig::default()).unwrap();
     let cfg = DetectorConfig {
         threshold: 60,
         min_area: 15,
@@ -28,7 +28,7 @@ fn detector_finds_most_ground_truth_objects() {
     let mut total = 0usize;
     for k in (0..60).step_by(5) {
         let frame = v.frame(k);
-        let dets = detect(&frame, &bg, &cfg);
+        let dets = detect(&frame, &bg, &cfg).unwrap();
         for (_, gt_box) in v.annotations().in_frame(k) {
             total += 1;
             if dets.iter().any(|d| d.bbox.iou(&gt_box) > 0.2) {
@@ -44,7 +44,7 @@ fn detector_finds_most_ground_truth_objects() {
 #[test]
 fn tracker_recovers_object_count_within_factor() {
     let v = video(2, 6, 80);
-    let bg = median_background(&v, 0, 79, &BackgroundConfig::default());
+    let bg = median_background(&v, 0, 79, &BackgroundConfig::default()).unwrap();
     let det_cfg = DetectorConfig {
         threshold: 60,
         min_area: 15,
@@ -54,10 +54,11 @@ fn tracker_recovers_object_count_within_factor() {
     let mut tracker = SortTracker::new(TrackerConfig::default(), ObjectClass::Pedestrian);
     for k in 0..80 {
         let dets: Vec<_> = detect(&v.frame(k), &bg, &det_cfg)
+            .unwrap()
             .into_iter()
             .map(|d| d.bbox)
             .collect();
-        tracker.step(k, &dets);
+        tracker.step(k, &dets).unwrap();
     }
     let tracked = tracker.finish(80);
     let truth = v.annotations().num_objects();
@@ -68,7 +69,7 @@ fn tracker_recovers_object_count_within_factor() {
     );
     // CLEAR-MOT evaluation: the tracker must reach a usable accuracy on
     // clean synthetic footage.
-    let scores = verro_vision::track::evaluate_tracking(v.annotations(), &tracked, 0.3);
+    let scores = verro_vision::track::evaluate_tracking(v.annotations(), &tracked, 0.3).unwrap();
     assert!(
         scores.recall() > 0.5,
         "recall {:.2} too low (misses {}, matches {})",
@@ -85,7 +86,7 @@ fn keyframes_reduce_dimension_but_keep_objects() {
     let v = video(3, 10, 120);
     let mut cfg = KeyFrameConfig::default();
     cfg.tau = 0.97;
-    let kf = extract_key_frames(&v, &cfg);
+    let kf = extract_key_frames(&v, &cfg).unwrap();
     let ell = kf.num_key_frames();
     assert!(ell >= 2, "need at least two key frames, got {ell}");
     assert!(ell < 120 / 2, "ℓ = {ell} not much smaller than m = 120");
@@ -103,7 +104,7 @@ fn keyframes_reduce_dimension_but_keep_objects() {
 #[test]
 fn segmentation_covers_video_in_order() {
     let v = video(4, 5, 60);
-    let kf = extract_key_frames(&v, &KeyFrameConfig::default());
+    let kf = extract_key_frames(&v, &KeyFrameConfig::default()).unwrap();
     // Segments partition the (sampled) frames in order.
     let mut prev_end = None;
     for seg in &kf.segments {
@@ -141,7 +142,7 @@ fn background_reconstruction_approximates_pristine_scene() {
 #[test]
 fn median_background_close_to_pristine() {
     let v = video(6, 4, 40);
-    let model = median_background(&v, 0, 39, &BackgroundConfig { max_samples: 20 });
+    let model = median_background(&v, 0, 39, &BackgroundConfig { max_samples: 20 }).unwrap();
     // Lighting drift means the median sits between bright and dark phases;
     // compare against the drift-free mid-cycle background.
     let pristine = v.background_frame(0);
