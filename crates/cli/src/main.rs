@@ -19,9 +19,11 @@ use std::process::ExitCode;
 use verro_core::config::BackgroundMode;
 use verro_core::{Verro, VerroConfig, VerroError};
 use verro_video::annotations::VideoAnnotations;
+use verro_video::fault::{FaultSchedule, FaultySource, TryFrameSource};
 use verro_video::geometry::Size;
 use verro_video::image::ImageBuffer;
 use verro_video::object::ObjectClass;
+use verro_video::recover::{CorruptAction, RecoveryPolicy};
 use verro_video::source::{FrameSource, InMemoryVideo};
 use verro_vision::detect::DetectorConfig;
 use verro_vision::track::TrackerConfig;
@@ -48,6 +50,15 @@ SANITIZE OPTIONS:
     --fast             temporal-median backgrounds instead of inpainting
     --track            force detector+tracker preprocessing even with --gt
 
+RECOVERY OPTIONS (sanitize and demo):
+    --max-retries <N>  retry budget per frame for transient faults [default: 3]
+    --on-corrupt <A>   unrecoverable-frame action: repair | skip | fail
+                                                            [default: repair]
+    --inject-faults    wrap the source in the deterministic fault injector
+                       (fault drills; degradation is utility-only, never ε)
+    --fault-rate <R>   injected fault intensity in [0, 1]   [default: 0.15]
+    --fault-seed <N>   fault schedule seed                  [default: 1]
+
 AUDIT OPTIONS:
     --seed <N>         master audit seed (byte-identical rerun) [default: 0]
     --trials <N>       Monte-Carlo Phase I trials              [default: 4000]
@@ -65,7 +76,8 @@ EXIT CODES:
     0  success (audit: every check passed)
     1  audit found a failing check
     2  usage error (bad flags or missing arguments)
-    3  unreadable or malformed input data
+    3  unreadable or malformed input data, or the frame source exhausted
+       fault recovery (SourceExhausted)
     4  the sanitizer rejected the input (typed pipeline error)";
 
 /// Typed CLI failure; each class maps to a distinct exit code so scripts
@@ -84,7 +96,9 @@ impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
-            CliError::Data(_) => 3,
+            // An exhausted frame source is bad input data, not a pipeline
+            // rejection — scripts retrying ingest should see code 3.
+            CliError::Data(_) | CliError::Pipeline(VerroError::SourceExhausted { .. }) => 3,
             CliError::Pipeline(_) => 4,
         }
     }
@@ -198,6 +212,44 @@ fn build_config(flags: &Flags) -> Result<VerroConfig, CliError> {
     Ok(cfg)
 }
 
+/// Recovery policy from the `--max-retries` / `--on-corrupt` flags.
+fn build_policy(flags: &Flags) -> Result<RecoveryPolicy, CliError> {
+    let mut policy = RecoveryPolicy::default();
+    if let Some(n) = flags
+        .parse::<u32>("--max-retries")
+        .map_err(CliError::Usage)?
+    {
+        policy.max_retries = n;
+    }
+    if let Some(action) = flags
+        .parse::<CorruptAction>("--on-corrupt")
+        .map_err(CliError::Usage)?
+    {
+        policy.on_corrupt = action;
+    }
+    Ok(policy)
+}
+
+/// Fault-injection schedule from `--inject-faults` / `--fault-rate` /
+/// `--fault-seed`; `None` when injection is off.
+fn fault_schedule(flags: &Flags) -> Result<Option<FaultSchedule>, CliError> {
+    if !flags.switch("--inject-faults") {
+        return Ok(None);
+    }
+    let rate = flags
+        .parse::<f64>("--fault-rate")
+        .map_err(CliError::Usage)?
+        .unwrap_or(0.15);
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CliError::Usage("--fault-rate must be in [0, 1]".into()));
+    }
+    let seed = flags
+        .parse::<u64>("--fault-seed")
+        .map_err(CliError::Usage)?
+        .unwrap_or(1);
+    Ok(Some(FaultSchedule::mixed(seed, rate)))
+}
+
 fn load_frames(dir: &Path) -> Result<InMemoryVideo, CliError> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| CliError::Data(format!("cannot read {}: {e}", dir.display())))?
@@ -205,7 +257,10 @@ fn load_frames(dir: &Path) -> Result<InMemoryVideo, CliError> {
         .filter(|p| p.extension().is_some_and(|ext| ext == "ppm"))
         .collect();
     if paths.is_empty() {
-        return Err(CliError::Data(format!("no .ppm frames in {}", dir.display())));
+        return Err(CliError::Data(format!(
+            "no .ppm frames in {}",
+            dir.display()
+        )));
     }
     paths.sort();
     let mut frames = Vec::with_capacity(paths.len());
@@ -217,7 +272,7 @@ fn load_frames(dir: &Path) -> Result<InMemoryVideo, CliError> {
                 .map_err(|e| CliError::Data(format!("{}: {e}", p.display())))?,
         );
     }
-    Ok(InMemoryVideo::new(frames, 30.0))
+    InMemoryVideo::try_new(frames, 30.0).map_err(|e| CliError::Data(e.to_string()))
 }
 
 fn write_outputs(
@@ -227,7 +282,7 @@ fn write_outputs(
 ) -> Result<(), CliError> {
     std::fs::create_dir_all(out)
         .map_err(|e| CliError::Data(format!("cannot create {}: {e}", out.display())))?;
-    for k in 0..result.video.num_frames() {
+    for k in 0..FrameSource::num_frames(&result.video) {
         let frame = result.video.frame(k);
         let path = out.join(format!("{k:06}.ppm"));
         std::fs::write(&path, frame.to_ppm())
@@ -243,6 +298,18 @@ fn write_outputs(
         "utility": result.utility,
         "picked_key_frames": result.phase1.picked_frames,
         "fps": fps,
+        "health": {
+            "summary": result.health.summary(),
+            "degraded": result.health.is_degraded(),
+            "frames": result.health.num_frames(),
+            "ok": result.health.num_ok(),
+            "retried": result.health.num_retried(),
+            "repaired": result.health.num_repaired(),
+            "skipped": result.health.num_skipped(),
+            "skipped_frames": result.health.skipped_frames(),
+            "total_retries": result.health.total_retries,
+            "total_backoff_ms": result.health.total_backoff_ms,
+        },
         "timings_secs": {
             "preprocess": result.timings.preprocess.as_secs_f64(),
             "preprocess_keyframes": result.timings.preprocess_keyframes.as_secs_f64(),
@@ -259,6 +326,32 @@ fn write_outputs(
     Ok(())
 }
 
+/// Runs the configured sanitization over any fallible source (infallible
+/// videos pass through the blanket `TryFrameSource` impl unchanged).
+fn run_sanitize<S: TryFrameSource + Sync>(
+    verro: &Verro,
+    src: &S,
+    annotations: Option<&VideoAnnotations>,
+    track: bool,
+    policy: RecoveryPolicy,
+) -> Result<verro_core::SanitizedResult, CliError> {
+    if track || annotations.is_none() {
+        eprintln!("running detector + tracker ...");
+        let (result, tracked) = verro.sanitize_with_tracking_fallible(
+            src,
+            &DetectorConfig::default(),
+            TrackerConfig::default(),
+            ObjectClass::Pedestrian,
+            policy,
+        )?;
+        eprintln!("tracked {} objects", tracked.num_objects());
+        Ok(result)
+    } else {
+        let ann = annotations.expect("checked above");
+        Ok(verro.sanitize_fallible(src, ann, policy)?)
+    }
+}
+
 fn cmd_sanitize(args: &[String]) -> Result<(), CliError> {
     let flags = Flags { args };
     let frames_dir = PathBuf::from(
@@ -271,42 +364,54 @@ fn cmd_sanitize(args: &[String]) -> Result<(), CliError> {
             .value("--out")
             .ok_or_else(|| CliError::Usage("missing --out <DIR>".into()))?,
     );
-    let fps: f64 = flags.parse("--fps").map_err(CliError::Usage)?.unwrap_or(30.0);
+    let fps: f64 = flags
+        .parse("--fps")
+        .map_err(CliError::Usage)?
+        .unwrap_or(30.0);
     let config = build_config(&flags)?;
+    // Validate every flag (usage errors, exit 2) before touching the
+    // filesystem: a typo in --on-corrupt must not masquerade as bad data.
+    let policy = build_policy(&flags)?;
+    let schedule = fault_schedule(&flags)?;
     let verro = Verro::new(config)?;
 
     eprintln!("loading frames from {} ...", frames_dir.display());
     let video = load_frames(&frames_dir)?;
     eprintln!(
         "loaded {} frames at {}",
-        video.num_frames(),
-        video.frame_size()
+        FrameSource::num_frames(&video),
+        FrameSource::frame_size(&video)
     );
 
-    let gt = flags.value("--gt");
-    let result = if gt.is_none() || flags.switch("--track") {
-        eprintln!("running detector + tracker ...");
-        let (result, tracked) = verro
-            .sanitize_with_tracking(
-                &video,
-                &DetectorConfig::default(),
-                TrackerConfig::default(),
-                ObjectClass::Pedestrian,
-            )
-            ?;
-        eprintln!("tracked {} objects", tracked.num_objects());
-        result
-    } else {
-        let gt_path = gt.unwrap_or_default();
-        let text =
-            std::fs::read_to_string(gt_path).map_err(|e| CliError::Data(format!("{gt_path}: {e}")))?;
-        let ann = VideoAnnotations::from_mot_text(&text, video.num_frames())
-            .map_err(CliError::Data)?;
-        eprintln!("loaded {} annotated objects", ann.num_objects());
-        verro.sanitize(&video, &ann)?
+    let annotations = match flags.value("--gt") {
+        Some(gt_path) => {
+            let text = std::fs::read_to_string(gt_path)
+                .map_err(|e| CliError::Data(format!("{gt_path}: {e}")))?;
+            let ann = VideoAnnotations::from_mot_text(&text, FrameSource::num_frames(&video))
+                .map_err(CliError::Data)?;
+            eprintln!("loaded {} annotated objects", ann.num_objects());
+            Some(ann)
+        }
+        None => None,
+    };
+    let track = annotations.is_none() || flags.switch("--track");
+
+    let result = match schedule {
+        Some(schedule) => {
+            eprintln!(
+                "injecting faults (seed {}, transient rate {:.2}) ...",
+                schedule.seed, schedule.transient_rate
+            );
+            let faulty = FaultySource::new(video, schedule);
+            run_sanitize(&verro, &faulty, annotations.as_ref(), track, policy)?
+        }
+        None => run_sanitize(&verro, &video, annotations.as_ref(), track, policy)?,
     };
 
     write_outputs(&out, &result, fps)?;
+    if result.health.is_degraded() {
+        eprintln!("source health: {}", result.health.summary());
+    }
     let t = &result.timings;
     eprintln!(
         "timings: preprocess {:.3}s (keyframes {:.3}s, backgrounds {:.3}s, detect+track {:.3}s), phase1 {:.3}s, phase2 {:.3}s",
@@ -400,12 +505,27 @@ fn cmd_demo(args: &[String]) -> Result<(), CliError> {
         lighting_period: 15.0,
     });
     let verro = Verro::new(config)?;
-    let result = verro.sanitize(&video, video.annotations())?;
+    let policy = build_policy(&flags)?;
+    let annotations = video.annotations().clone();
+    let result = match fault_schedule(&flags)? {
+        Some(schedule) => {
+            eprintln!(
+                "injecting faults (seed {}, transient rate {:.2}) ...",
+                schedule.seed, schedule.transient_rate
+            );
+            let faulty = FaultySource::new(video, schedule);
+            verro.sanitize_fallible(&faulty, &annotations, policy)?
+        }
+        None => verro.sanitize_fallible(&video, &annotations, policy)?,
+    };
     write_outputs(&out, &result, 30.0)?;
+    if result.health.is_degraded() {
+        eprintln!("source health: {}", result.health.summary());
+    }
     eprintln!(
         "demo written to {} ({} frames, epsilon_RR = {:.2})",
         out.display(),
-        result.video.num_frames(),
+        FrameSource::num_frames(&result.video),
         result.privacy.epsilon_rr
     );
     Ok(())

@@ -7,6 +7,8 @@
 
 use verro_ldp::LdpError;
 use verro_lp::{BipError, LpError};
+use verro_video::fault::SourceError;
+use verro_video::recover::{FrameHealthReport, IngestError};
 use verro_vision::VisionError;
 
 /// Failures surfaced by the sanitizer.
@@ -33,6 +35,13 @@ pub enum VerroError {
     Ldp(LdpError),
     /// A vision primitive rejected its input.
     Vision(VisionError),
+    /// Fallible frame ingestion exhausted its recovery policy. Carries the
+    /// fault that stopped it and the per-frame health log accumulated up to
+    /// that point, so operators can see *which* frames failed and how.
+    SourceExhausted {
+        error: SourceError,
+        health: FrameHealthReport,
+    },
 }
 
 impl std::fmt::Display for VerroError {
@@ -58,6 +67,11 @@ impl std::fmt::Display for VerroError {
             VerroError::Lp(e) => write!(f, "LP subroutine failed: {e}"),
             VerroError::Ldp(e) => write!(f, "LDP primitive rejected input: {e}"),
             VerroError::Vision(e) => write!(f, "vision primitive rejected input: {e}"),
+            VerroError::SourceExhausted { error, health } => write!(
+                f,
+                "frame source exhausted recovery: {error} ({})",
+                health.summary()
+            ),
         }
     }
 }
@@ -79,6 +93,15 @@ impl From<LpError> for VerroError {
 impl From<LdpError> for VerroError {
     fn from(e: LdpError) -> Self {
         VerroError::Ldp(e)
+    }
+}
+
+impl From<IngestError> for VerroError {
+    fn from(e: IngestError) -> Self {
+        VerroError::SourceExhausted {
+            error: e.error,
+            health: e.health,
+        }
     }
 }
 
@@ -114,6 +137,24 @@ mod tests {
         };
         assert!(e.to_string().contains("7"));
         assert!(e.to_string().contains("4"));
+    }
+
+    #[test]
+    fn ingest_errors_convert_to_source_exhausted() {
+        let ingest = IngestError {
+            error: SourceError::Missing { frame: 3 },
+            health: FrameHealthReport::all_ok(2),
+        };
+        let e = VerroError::from(ingest);
+        assert!(matches!(
+            e,
+            VerroError::SourceExhausted {
+                error: SourceError::Missing { frame: 3 },
+                ..
+            }
+        ));
+        assert!(e.to_string().contains("frame 3"));
+        assert!(e.to_string().contains("2 ok"));
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use error::VerroError;
 pub use metrics::UtilityReport;
 pub use phase1::Phase1Output;
 pub use phase2::Phase2Output;
-pub use pipeline::{PhaseTimings, SanitizedResult, Verro};
+pub use pipeline::{ClassResult, MultiClassResult, PhaseTimings, SanitizedResult, Verro};
 pub use presence::PresenceMatrix;
 pub use privacy::PrivacyStatement;
 pub use synthesis::SyntheticVideo;

@@ -19,7 +19,9 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 use verro_video::annotations::VideoAnnotations;
+use verro_video::fault::TryFrameSource;
 use verro_video::object::ObjectClass;
+use verro_video::recover::{ingest_with_recovery, FrameHealthReport, RecoveryPolicy};
 use verro_video::source::FrameSource;
 use verro_vision::detect::{detect, DetectorConfig};
 use verro_vision::keyframe::{extract_key_frames, KeyFrameResult};
@@ -65,6 +67,9 @@ pub struct SanitizedResult {
     pub utility: UtilityReport,
     /// The privacy guarantee of the release.
     pub privacy: PrivacyStatement,
+    /// Per-frame ingestion health. All-ok for infallible sources; the
+    /// `*_fallible` entry points record retries, repairs, and skips here.
+    pub health: FrameHealthReport,
 }
 
 /// Per-class artifacts of a multi-type sanitization.
@@ -89,6 +94,9 @@ pub struct MultiClassResult {
     pub key_frames: KeyFrameResult,
     /// Timings: preprocess, and the combined Phase I+II loop.
     pub timings: PhaseTimings,
+    /// Per-frame ingestion health. All-ok for infallible sources; the
+    /// `*_fallible` entry points record retries, repairs, and skips here.
+    pub health: FrameHealthReport,
 }
 
 /// The VERRO sanitizer.
@@ -215,6 +223,7 @@ impl Verro {
             },
             utility,
             privacy,
+            health: FrameHealthReport::all_ok(src.num_frames()),
         })
     }
 
@@ -310,6 +319,7 @@ impl Verro {
                 phase1: phase1_time,
                 phase2: phase2_time,
             },
+            health: FrameHealthReport::all_ok(src.num_frames()),
         })
     }
 
@@ -324,21 +334,43 @@ impl Verro {
         tracker_config: TrackerConfig,
         class: ObjectClass,
     ) -> Result<(SanitizedResult, VideoAnnotations), VerroError> {
+        self.track_and_sanitize(src, detector, tracker_config, class, &[])
+    }
+
+    /// Shared body of [`sanitize_with_tracking`](Self::sanitize_with_tracking)
+    /// and its fallible variant. `skipped` lists frames whose rasters are
+    /// neighbor backfills rather than source data: they are excluded from
+    /// the detection background median (a duplicated raster would bias it)
+    /// and the detector is not run on them — the tracker coasts through on
+    /// its motion model, exactly as it does through an occlusion.
+    fn track_and_sanitize<S: FrameSource + Sync>(
+        &self,
+        src: &S,
+        detector: &DetectorConfig,
+        tracker_config: TrackerConfig,
+        class: ObjectClass,
+        skipped: &[usize],
+    ) -> Result<(SanitizedResult, VideoAnnotations), VerroError> {
         if src.num_frames() == 0 {
             return Err(VerroError::EmptyVideo);
         }
         // Background model over the whole clip for subtraction.
         let td = Instant::now();
-        let bg = verro_vision::bgmodel::median_background(
+        let bg = verro_vision::bgmodel::median_background_excluding(
             src,
             0,
             src.num_frames() - 1,
             &verro_vision::bgmodel::BackgroundConfig {
                 max_samples: self.config.background_samples,
             },
+            skipped,
         )?;
         let mut tracker = SortTracker::new(tracker_config, class);
         for k in 0..src.num_frames() {
+            if skipped.contains(&k) {
+                tracker.step(k, &[])?;
+                continue;
+            }
             let frame = src.frame(k);
             let dets: Vec<_> = detect(&frame, &bg, detector)?
                 .into_iter()
@@ -351,11 +383,73 @@ impl Verro {
         let annotations = tracker.finish(src.num_frames());
         let detect_track = td.elapsed();
         // Static single-segment videos reuse the detection background
-        // instead of recomputing the same temporal median.
-        let mut result = self.sanitize_impl(src, &annotations, Some(&bg))?;
+        // instead of recomputing the same temporal median — but only when
+        // nothing was excluded, since the segment median samples all frames.
+        let detection_background = if skipped.is_empty() { Some(&bg) } else { None };
+        let mut result = self.sanitize_impl(src, &annotations, detection_background)?;
         // The tracking stage is preprocessing too; fold it into the report.
         result.timings.preprocess_detect_track = detect_track;
         result.timings.preprocess += detect_track;
+        Ok((result, annotations))
+    }
+
+    /// [`sanitize`](Self::sanitize) over a fallible source: frames are
+    /// ingested under `policy` (bounded retry, neighbor repair or skip) and
+    /// the per-frame [`FrameHealthReport`] lands in
+    /// [`SanitizedResult::health`]. Unrecoverable ingestion fails with
+    /// [`VerroError::SourceExhausted`].
+    ///
+    /// Faults cannot perturb the privacy accounting: all Phase I randomness
+    /// comes from an RNG seeded by `config.seed` after ingestion completes,
+    /// and fault injection/recovery draw no values from it — degradation is
+    /// utility-only (see DESIGN.md §9).
+    pub fn sanitize_fallible<S: TryFrameSource + Sync>(
+        &self,
+        src: &S,
+        annotations: &VideoAnnotations,
+        policy: RecoveryPolicy,
+    ) -> Result<SanitizedResult, VerroError> {
+        let recovered = ingest_with_recovery(src, policy)?;
+        let (video, health) = recovered.into_parts();
+        let mut result = self.sanitize_impl(&video, annotations, None)?;
+        result.health = health;
+        Ok(result)
+    }
+
+    /// [`sanitize_per_class`](Self::sanitize_per_class) over a fallible
+    /// source; see [`sanitize_fallible`](Self::sanitize_fallible).
+    pub fn sanitize_per_class_fallible<S: TryFrameSource + Sync>(
+        &self,
+        src: &S,
+        annotations: &VideoAnnotations,
+        policy: RecoveryPolicy,
+    ) -> Result<MultiClassResult, VerroError> {
+        let recovered = ingest_with_recovery(src, policy)?;
+        let (video, health) = recovered.into_parts();
+        let mut result = self.sanitize_per_class(&video, annotations)?;
+        result.health = health;
+        Ok(result)
+    }
+
+    /// [`sanitize_with_tracking`](Self::sanitize_with_tracking) over a
+    /// fallible source. Skipped frames (whose rasters are backfills) are
+    /// excluded from the detection background and detector; the tracker
+    /// coasts through them. See
+    /// [`sanitize_fallible`](Self::sanitize_fallible) for the ε contract.
+    pub fn sanitize_with_tracking_fallible<S: TryFrameSource + Sync>(
+        &self,
+        src: &S,
+        detector: &DetectorConfig,
+        tracker_config: TrackerConfig,
+        class: ObjectClass,
+        policy: RecoveryPolicy,
+    ) -> Result<(SanitizedResult, VideoAnnotations), VerroError> {
+        let recovered = ingest_with_recovery(src, policy)?;
+        let (video, health) = recovered.into_parts();
+        let skipped = health.skipped_frames();
+        let (mut result, annotations) =
+            self.track_and_sanitize(&video, detector, tracker_config, class, &skipped)?;
+        result.health = health;
         Ok((result, annotations))
     }
 }
@@ -405,8 +499,8 @@ mod tests {
 
         assert!(result.privacy.is_consistent());
         assert!(result.phase1.num_picked() >= 2);
-        assert_eq!(result.video.num_frames(), 40);
-        assert_eq!(result.video.frame_size(), Size::new(160, 120));
+        assert_eq!(FrameSource::num_frames(&result.video), 40);
+        assert_eq!(FrameSource::frame_size(&result.video), Size::new(160, 120));
         assert!(result.utility.retained_objects <= result.utility.original_objects);
         // A frame renders without panicking and differs from raw input.
         let f = result.video.frame(20);
@@ -468,7 +562,10 @@ mod tests {
         let video = tiny_video();
         let mut cfg = fast_config();
         cfg.noise = NoiseLevel::EpsilonBudget(8.0);
-        let r = Verro::new(cfg).unwrap().sanitize(&video, video.annotations()).unwrap();
+        let r = Verro::new(cfg)
+            .unwrap()
+            .sanitize(&video, video.annotations())
+            .unwrap();
         assert!((r.privacy.epsilon_rr - 8.0).abs() < 1e-9);
         assert!(r.privacy.is_consistent());
     }
@@ -550,7 +647,9 @@ mod tests {
     fn per_class_times_phases_separately() {
         let video = tiny_video();
         let verro = Verro::new(fast_config()).unwrap();
-        let result = verro.sanitize_per_class(&video, video.annotations()).unwrap();
+        let result = verro
+            .sanitize_per_class(&video, video.annotations())
+            .unwrap();
         // Both phases ran, so both accumulators must be non-zero.
         assert!(result.timings.phase1 > Duration::ZERO);
         assert!(result.timings.phase2 > Duration::ZERO);
@@ -586,7 +685,9 @@ mod tests {
         let video = CompositeVideo::new(peds, vehicles);
 
         let verro = Verro::new(fast_config()).unwrap();
-        let result = verro.sanitize_per_class(&video, video.annotations()).unwrap();
+        let result = verro
+            .sanitize_per_class(&video, video.annotations())
+            .unwrap();
         assert_eq!(result.per_class.len(), 2);
         for cr in &result.per_class {
             assert!(cr.privacy.is_consistent(), "{:?}", cr.class);
@@ -596,12 +697,8 @@ mod tests {
         let ids = result.video.annotations.ids();
         let distinct: std::collections::BTreeSet<_> = ids.iter().collect();
         assert_eq!(distinct.len(), ids.len());
-        let classes: std::collections::BTreeSet<_> = result
-            .video
-            .annotations
-            .tracks()
-            .map(|t| t.class)
-            .collect();
+        let classes: std::collections::BTreeSet<_> =
+            result.video.annotations.tracks().map(|t| t.class).collect();
         // Both classes survive with high probability at f = 0.1; at minimum
         // the merge must not invent classes.
         assert!(classes
@@ -614,5 +711,127 @@ mod tests {
     #[test]
     fn invalid_config_rejected_at_construction() {
         assert!(Verro::new(fast_config().with_flip(0.0)).is_err());
+    }
+
+    #[test]
+    fn infallible_results_report_all_ok_health() {
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let r = verro.sanitize(&video, video.annotations()).unwrap();
+        assert!(!r.health.is_degraded());
+        assert_eq!(r.health.num_frames(), 40);
+        let m = verro
+            .sanitize_per_class(&video, video.annotations())
+            .unwrap();
+        assert!(!m.health.is_degraded());
+    }
+
+    #[test]
+    fn fallible_clean_source_matches_infallible_run() {
+        use verro_video::recover::RecoveryPolicy;
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let plain = verro.sanitize(&video, video.annotations()).unwrap();
+        // The blanket TryFrameSource impl makes the infallible generator a
+        // fallible source that never fails.
+        let fallible = verro
+            .sanitize_fallible(&video, video.annotations(), RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(fallible.privacy, plain.privacy);
+        assert_eq!(fallible.phase1.randomized, plain.phase1.randomized);
+        assert_eq!(fallible.phase2.synthetic, plain.phase2.synthetic);
+        assert!(!fallible.health.is_degraded());
+    }
+
+    #[test]
+    fn fallible_faulty_source_degrades_utility_not_epsilon() {
+        use verro_video::fault::{FaultSchedule, FaultySource};
+        use verro_video::recover::RecoveryPolicy;
+        use verro_video::source::InMemoryVideo;
+        let video = InMemoryVideo::collect_from(&tiny_video());
+        let verro = Verro::new(fast_config()).unwrap();
+        let clean = verro.sanitize(&video, tiny_video().annotations()).unwrap();
+        // Transient-only faults always heal within the retry budget, so
+        // every raster reaching the pipeline is bit-exact — ε and the whole
+        // Phase I transcript must match the fault-free run.
+        let schedule = FaultSchedule {
+            seed: 11,
+            transient_rate: 0.5,
+            max_transient_run: 3,
+            corrupt_rate: 0.0,
+            truncate_rate: 0.0,
+            missing_rate: 0.0,
+            permanent_rate: 0.0,
+        };
+        let faulty = FaultySource::new(video.clone(), schedule);
+        let r = verro
+            .sanitize_fallible(
+                &faulty,
+                tiny_video().annotations(),
+                RecoveryPolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(r.privacy, clean.privacy);
+        assert_eq!(r.phase1.randomized, clean.phase1.randomized);
+        assert!(
+            r.health.num_retried() > 0,
+            "schedule at rate 0.5 must retry"
+        );
+    }
+
+    #[test]
+    fn fallible_permanent_fault_is_source_exhausted() {
+        use verro_video::fault::{FaultSchedule, FaultySource};
+        use verro_video::recover::RecoveryPolicy;
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let schedule = FaultSchedule {
+            seed: 1,
+            transient_rate: 0.0,
+            max_transient_run: 0,
+            corrupt_rate: 0.0,
+            truncate_rate: 0.0,
+            missing_rate: 0.0,
+            permanent_rate: 1.0,
+        };
+        let faulty = FaultySource::new(video.clone(), schedule);
+        let err = verro
+            .sanitize_fallible(&faulty, video.annotations(), RecoveryPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, VerroError::SourceExhausted { .. }));
+    }
+
+    #[test]
+    fn fallible_tracking_skips_do_not_panic() {
+        use verro_video::fault::{FaultSchedule, FaultySource};
+        use verro_video::recover::{CorruptAction, RecoveryPolicy};
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let schedule = FaultSchedule {
+            seed: 5,
+            transient_rate: 0.2,
+            max_transient_run: 2,
+            corrupt_rate: 0.2,
+            truncate_rate: 0.1,
+            missing_rate: 0.1,
+            permanent_rate: 0.0,
+        };
+        let faulty = FaultySource::new(video, schedule);
+        let policy = RecoveryPolicy {
+            on_corrupt: CorruptAction::Skip,
+            ..RecoveryPolicy::default()
+        };
+        let (result, _tracked) = verro
+            .sanitize_with_tracking_fallible(
+                &faulty,
+                &DetectorConfig::default(),
+                TrackerConfig::default(),
+                ObjectClass::Pedestrian,
+                policy,
+            )
+            .unwrap();
+        assert!(result.privacy.is_consistent());
+        assert!(result.health.num_skipped() > 0, "schedule must skip frames");
+        assert_eq!(result.health.num_frames(), 40);
     }
 }

@@ -29,7 +29,12 @@ fn rle_encode(data: &[u8], out: &mut BytesMut) {
 }
 
 fn rle_decode(mut data: &[u8], expected: usize) -> Result<Vec<u8>, CodecError> {
-    let mut out = Vec::with_capacity(expected);
+    // Never trust `expected` for allocation on its own: a corrupt header
+    // could claim gigabytes. A valid payload of `len` bytes expands to at
+    // most `len / 2 * 255` output bytes, so the allocation is bounded by
+    // the data actually present.
+    let max_out = (data.len() / 2).saturating_mul(255);
+    let mut out = Vec::with_capacity(expected.min(max_out));
     while data.len() >= 2 {
         let run = data[0] as usize;
         let v = data[1];
@@ -37,6 +42,11 @@ fn rle_decode(mut data: &[u8], expected: usize) -> Result<Vec<u8>, CodecError> {
             return Err(CodecError::Corrupt);
         }
         out.extend(std::iter::repeat_n(v, run));
+        if out.len() > expected {
+            // Already longer than a valid stream could be — bail before
+            // materializing the rest of a hostile payload.
+            return Err(CodecError::Corrupt);
+        }
         data = &data[2..];
     }
     if !data.is_empty() || out.len() != expected {
@@ -88,6 +98,9 @@ fn undelta_temporal(delta: &[u8], reference: &[u8]) -> Vec<u8> {
 pub enum CodecError {
     Corrupt,
     SizeMismatch,
+    /// The container header is implausible (e.g. a frame area whose byte
+    /// count overflows the address space).
+    BadHeader,
 }
 
 impl std::fmt::Display for CodecError {
@@ -95,6 +108,7 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::Corrupt => write!(f, "corrupt encoded stream"),
             CodecError::SizeMismatch => write!(f, "frame size mismatch"),
+            CodecError::BadHeader => write!(f, "implausible container header"),
         }
     }
 }
@@ -144,7 +158,18 @@ pub fn decode_video(enc: &EncodedVideo) -> Result<Vec<ImageBuffer>, CodecError> 
     use crate::color::Rgb;
     use crate::geometry::Size;
     let size = Size::new(enc.width, enc.height);
-    let n = size.area() as usize * 3;
+    if enc.frames.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Hostile headers can claim dimensions whose byte count overflows; a
+    // checked computation turns that into a typed error instead of a wrap.
+    let n = usize::try_from(size.area())
+        .ok()
+        .and_then(|px| px.checked_mul(3))
+        .ok_or(CodecError::BadHeader)?;
+    if n == 0 {
+        return Err(CodecError::BadHeader);
+    }
     let mut out: Vec<ImageBuffer> = Vec::with_capacity(enc.frames.len());
     let mut prev_bytes: Option<Vec<u8>> = None;
     for payload in &enc.frames {
@@ -218,7 +243,10 @@ mod tests {
         for k in 0..10usize {
             let mut img = ImageBuffer::new(size, Rgb::new(90, 120, 90));
             // A small moving square over a static background.
-            img.fill_rect(BBox::new(k as f64 * 2.0, 8.0, 5.0, 8.0), Rgb::new(200, 30, 30));
+            img.fill_rect(
+                BBox::new(k as f64 * 2.0, 8.0, 5.0, 8.0),
+                Rgb::new(200, 30, 30),
+            );
             frames.push(img);
         }
         InMemoryVideo::new(frames, 30.0)
@@ -233,6 +261,40 @@ mod tests {
         for k in 0..10 {
             assert_eq!(dec[k], v.frame(k), "frame {k}");
         }
+    }
+
+    #[test]
+    fn rle_bails_early_on_overlong_streams() {
+        // 4 pairs expanding to 1020 bytes against an expected length of 2:
+        // the decoder must reject without materializing the whole expansion.
+        let data = [255u8, 1, 255, 1, 255, 1, 255, 1];
+        assert_eq!(rle_decode(&data, 2), Err(CodecError::Corrupt));
+    }
+
+    #[test]
+    fn decode_rejects_implausible_headers() {
+        let hostile = EncodedVideo {
+            width: u32::MAX,
+            height: u32::MAX,
+            frames: vec![Bytes::from_static(&[1, 0])],
+        };
+        assert_eq!(decode_video(&hostile), Err(CodecError::BadHeader));
+        let zero = EncodedVideo {
+            width: 0,
+            height: 0,
+            frames: vec![Bytes::from_static(&[1, 0])],
+        };
+        assert_eq!(decode_video(&zero), Err(CodecError::BadHeader));
+    }
+
+    #[test]
+    fn decode_empty_video_is_empty() {
+        let empty = EncodedVideo {
+            width: 4,
+            height: 4,
+            frames: vec![],
+        };
+        assert_eq!(decode_video(&empty), Ok(vec![]));
     }
 
     #[test]

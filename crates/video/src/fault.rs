@@ -1,0 +1,542 @@
+//! Fallible frame ingestion and deterministic fault injection.
+//!
+//! [`FrameSource`] models frame production as an infallible pure function —
+//! true for the synthetic generator, false for any production ingest path
+//! (disk reader, decoder, network camera). [`TryFrameSource`] is the
+//! fallible counterpart: `try_frame` classifies failures into a small
+//! taxonomy ([`SourceError`]) that the recovery layer
+//! ([`crate::recover`]) maps to retry / repair / skip decisions.
+//!
+//! Every infallible source is a fallible source that never fails — the
+//! blanket impl makes the whole existing source zoo ([`InMemoryVideo`],
+//! the generator, composites) usable wherever a `TryFrameSource` is
+//! expected.
+//!
+//! [`FaultySource`] wraps an infallible source and injects faults from a
+//! [`FaultSchedule`] that is a **pure function of `(seed, frame, attempt)`**:
+//! the same schedule replays bit-for-bit, so every failure scenario —
+//! transient-failure runs, corrupt pixel bursts, truncated rasters, dropped
+//! frames — is reproducible in tests and in the field. The injector draws
+//! no randomness from the pipeline RNG; faults can therefore never perturb
+//! the privacy accounting of Phase I (see DESIGN.md §9).
+//!
+//! [`InMemoryVideo`]: crate::source::InMemoryVideo
+
+use crate::geometry::Size;
+use crate::image::ImageBuffer;
+use crate::source::FrameSource;
+use serde::{Deserialize, Serialize};
+
+/// A rectangular pixel region of a frame, `[x, x+w) × [y, y+h)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PixelRect {
+    pub x: u32,
+    pub y: u32,
+    pub w: u32,
+    pub h: u32,
+}
+
+impl PixelRect {
+    /// The full raster of a frame of the given size.
+    pub fn full(size: Size) -> Self {
+        Self {
+            x: 0,
+            y: 0,
+            w: size.width,
+            h: size.height,
+        }
+    }
+
+    /// Number of pixels covered.
+    pub fn area(&self) -> u64 {
+        self.w as u64 * self.h as u64
+    }
+}
+
+impl std::fmt::Display for PixelRect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}+{}+{}", self.w, self.h, self.x, self.y)
+    }
+}
+
+/// Classified frame-production failures.
+///
+/// The taxonomy drives recovery: `Transient` is worth retrying, `Corrupt`
+/// and `Missing` are per-frame losses that repair or skipping can absorb,
+/// and `Permanent` means the source as a whole is gone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceError {
+    /// The attempt failed but a retry may succeed (I/O timeout, dropped
+    /// packet, busy decoder).
+    Transient { frame: usize, attempt: u32 },
+    /// The frame was delivered but a region of its raster is unusable
+    /// (bit-flips, decode artifacts, truncated tail rows).
+    Corrupt { frame: usize, region: PixelRect },
+    /// The frame is permanently absent from the source (dropped by the
+    /// camera, missing file). Retries cannot help.
+    Missing { frame: usize },
+    /// The source as a whole failed (device unplugged, stream closed).
+    Permanent { frame: usize, reason: String },
+}
+
+impl SourceError {
+    /// Frame index the failure occurred at.
+    pub fn frame(&self) -> usize {
+        match *self {
+            SourceError::Transient { frame, .. }
+            | SourceError::Corrupt { frame, .. }
+            | SourceError::Missing { frame }
+            | SourceError::Permanent { frame, .. } => frame,
+        }
+    }
+
+    /// Whether a retry of the same frame may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SourceError::Transient { .. })
+    }
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::Transient { frame, attempt } => {
+                write!(
+                    f,
+                    "transient failure producing frame {frame} (attempt {attempt})"
+                )
+            }
+            SourceError::Corrupt { frame, region } => {
+                write!(f, "frame {frame} delivered with corrupt region {region}")
+            }
+            SourceError::Missing { frame } => write!(f, "frame {frame} is missing from the source"),
+            SourceError::Permanent { frame, reason } => {
+                write!(f, "source failed permanently at frame {frame}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// A video source whose frame production can fail.
+///
+/// Like [`FrameSource`], implementations must be deterministic — but the
+/// determinism contract extends to failures: `try_frame(k, attempt)` must
+/// return the same result (the same frame or the same error) every time it
+/// is called with the same arguments. The `attempt` counter is how retries
+/// are expressed without interior mutability: a transient fault that heals
+/// after two retries returns `Err(Transient)` for attempts 0 and 1 and
+/// `Ok` from attempt 2 on, replayably.
+pub trait TryFrameSource {
+    /// Number of frames in the video.
+    fn num_frames(&self) -> usize;
+
+    /// Raster size of every frame.
+    fn frame_size(&self) -> Size;
+
+    /// Frames per second of the source.
+    fn fps(&self) -> f64 {
+        30.0
+    }
+
+    /// Attempts to produce frame `k`. `attempt` counts prior failed
+    /// attempts for this frame (0 on the first try).
+    fn try_frame(&self, k: usize, attempt: u32) -> Result<ImageBuffer, SourceError>;
+}
+
+/// Every infallible source is a fallible source that never fails.
+impl<S: FrameSource> TryFrameSource for S {
+    fn num_frames(&self) -> usize {
+        FrameSource::num_frames(self)
+    }
+
+    fn frame_size(&self) -> Size {
+        FrameSource::frame_size(self)
+    }
+
+    fn fps(&self) -> f64 {
+        FrameSource::fps(self)
+    }
+
+    fn try_frame(&self, k: usize, _attempt: u32) -> Result<ImageBuffer, SourceError> {
+        if k >= FrameSource::num_frames(self) {
+            // `FrameSource::frame` panics out of range; the fallible
+            // surface reports the same misuse as a typed absence.
+            return Err(SourceError::Missing { frame: k });
+        }
+        Ok(self.frame(k))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 — the standard 64-bit finalizer used as a stateless hash so
+/// every fault decision is a pure function of `(seed, frame, salt)`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn mix(seed: u64, frame: usize, salt: u64) -> u64 {
+    splitmix64(
+        seed ^ splitmix64((frame as u64).wrapping_add(salt.wrapping_mul(0xa076_1d64_78bd_642f))),
+    )
+}
+
+/// Maps a hash to a uniform value in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Sanitizes a caller-supplied rate into a probability: non-finite values
+/// count as 0 (the injector must itself be panic-free under hostile input).
+fn rate(r: f64) -> f64 {
+    if r.is_finite() {
+        r.clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+const SALT_KIND: u64 = 1;
+const SALT_RUN: u64 = 2;
+const SALT_REGION: u64 = 3;
+
+/// What the schedule has planned for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedFault {
+    /// Delivered cleanly on the first attempt.
+    None,
+    /// Attempts `0..run` fail with [`SourceError::Transient`]; attempt
+    /// `run` succeeds.
+    Transient { run: u32 },
+    /// Every attempt fails with [`SourceError::Corrupt`] over `region`
+    /// (a pixel burst, or a truncated-raster tail band).
+    Corrupt { region: PixelRect },
+    /// Every attempt fails with [`SourceError::Missing`].
+    Missing,
+    /// Every attempt fails with [`SourceError::Permanent`].
+    Permanent,
+}
+
+/// A deterministic, seeded per-frame fault plan.
+///
+/// Each frame is independently classified by hashing `(seed, frame)`:
+/// first against `permanent_rate`, then `missing_rate`, `corrupt_rate`,
+/// `truncate_rate`, and `transient_rate` (stacked). The classification and
+/// all fault parameters (transient run length, corrupt region) are pure
+/// functions of the seed, so a schedule replays bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Master seed of the schedule.
+    pub seed: u64,
+    /// Probability a frame starts with a run of transient failures.
+    pub transient_rate: f64,
+    /// Maximum transient run length (failing attempts before success).
+    pub max_transient_run: u32,
+    /// Probability a frame is delivered with a corrupt pixel burst.
+    pub corrupt_rate: f64,
+    /// Probability a frame is delivered with a truncated raster (the tail
+    /// rows are lost; reported as a corrupt bottom band).
+    pub truncate_rate: f64,
+    /// Probability a frame is permanently dropped.
+    pub missing_rate: f64,
+    /// Probability the source hard-fails at a frame.
+    pub permanent_rate: f64,
+}
+
+impl FaultSchedule {
+    /// A schedule that never faults.
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            seed,
+            transient_rate: 0.0,
+            max_transient_run: 0,
+            corrupt_rate: 0.0,
+            truncate_rate: 0.0,
+            missing_rate: 0.0,
+            permanent_rate: 0.0,
+        }
+    }
+
+    /// A representative mixed-fault schedule scaled by `r ∈ [0, 1]`:
+    /// transients at rate `r`, corrupt bursts at `r/2`, truncated rasters
+    /// and dropped frames at `r/4` each. Used by `--inject-faults`.
+    pub fn mixed(seed: u64, r: f64) -> Self {
+        let r = rate(r);
+        Self {
+            seed,
+            transient_rate: r,
+            max_transient_run: 3,
+            corrupt_rate: r / 2.0,
+            truncate_rate: r / 4.0,
+            missing_rate: r / 4.0,
+            permanent_rate: 0.0,
+        }
+    }
+
+    /// What this schedule does to frame `k` of a `size`-raster video.
+    pub fn planned(&self, k: usize, size: Size) -> PlannedFault {
+        let u = unit(mix(self.seed, k, SALT_KIND));
+        let permanent = rate(self.permanent_rate);
+        let missing = rate(self.missing_rate);
+        let corrupt = rate(self.corrupt_rate);
+        let truncate = rate(self.truncate_rate);
+        let transient = rate(self.transient_rate);
+        if u < permanent {
+            PlannedFault::Permanent
+        } else if u < permanent + missing {
+            PlannedFault::Missing
+        } else if u < permanent + missing + corrupt {
+            PlannedFault::Corrupt {
+                region: self.burst_region(k, size),
+            }
+        } else if u < permanent + missing + corrupt + truncate {
+            PlannedFault::Corrupt {
+                region: self.truncated_band(k, size),
+            }
+        } else if u < permanent + missing + corrupt + truncate + transient {
+            let span = self.max_transient_run.max(1) as u64;
+            let run = 1 + (mix(self.seed, k, SALT_RUN) % span) as u32;
+            PlannedFault::Transient { run }
+        } else {
+            PlannedFault::None
+        }
+    }
+
+    /// Deterministic corrupt pixel burst: a rectangle covering roughly a
+    /// quarter of each dimension, positioned by hash.
+    fn burst_region(&self, k: usize, size: Size) -> PixelRect {
+        if size.width == 0 || size.height == 0 {
+            return PixelRect::full(size);
+        }
+        let h = mix(self.seed, k, SALT_REGION);
+        let w = (size.width / 4).max(1);
+        let hgt = (size.height / 4).max(1);
+        let x = (h as u32) % (size.width - w + 1).max(1);
+        let y = ((h >> 32) as u32) % (size.height - hgt + 1).max(1);
+        PixelRect { x, y, w, h: hgt }
+    }
+
+    /// Deterministic truncated raster: the delivered stream stops part way
+    /// down the frame, losing a bottom band of rows.
+    fn truncated_band(&self, k: usize, size: Size) -> PixelRect {
+        if size.height == 0 {
+            return PixelRect::full(size);
+        }
+        let h = mix(self.seed, k, SALT_REGION);
+        // Between 1 row and half the frame lost.
+        let lost = 1 + (h as u32) % (size.height / 2).max(1);
+        PixelRect {
+            x: 0,
+            y: size.height - lost,
+            w: size.width,
+            h: lost,
+        }
+    }
+
+    /// Whether the schedule plans any fault over the first `n` frames.
+    pub fn any_fault_in(&self, n: usize, size: Size) -> bool {
+        (0..n).any(|k| self.planned(k, size) != PlannedFault::None)
+    }
+}
+
+/// An infallible source wrapped with deterministic fault injection.
+///
+/// Faults simulate *delivery* failures, not data failures: the underlying
+/// source still holds the true rasters, and a transient run heals into the
+/// bit-exact true frame once retried past the run length. Corrupt and
+/// missing frames never heal — retrying them returns the same error, which
+/// is what pushes the recovery layer into repair/skip/fail decisions.
+#[derive(Debug, Clone)]
+pub struct FaultySource<S> {
+    inner: S,
+    schedule: FaultSchedule,
+}
+
+impl<S: FrameSource> FaultySource<S> {
+    pub fn new(inner: S, schedule: FaultSchedule) -> Self {
+        Self { inner, schedule }
+    }
+
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: FrameSource> TryFrameSource for FaultySource<S> {
+    fn num_frames(&self) -> usize {
+        self.inner.num_frames()
+    }
+
+    fn frame_size(&self) -> Size {
+        self.inner.frame_size()
+    }
+
+    fn fps(&self) -> f64 {
+        self.inner.fps()
+    }
+
+    fn try_frame(&self, k: usize, attempt: u32) -> Result<ImageBuffer, SourceError> {
+        if k >= self.inner.num_frames() {
+            return Err(SourceError::Missing { frame: k });
+        }
+        match self.schedule.planned(k, self.inner.frame_size()) {
+            PlannedFault::None => Ok(self.inner.frame(k)),
+            PlannedFault::Transient { run } => {
+                if attempt < run {
+                    Err(SourceError::Transient { frame: k, attempt })
+                } else {
+                    Ok(self.inner.frame(k))
+                }
+            }
+            PlannedFault::Corrupt { region } => Err(SourceError::Corrupt { frame: k, region }),
+            PlannedFault::Missing => Err(SourceError::Missing { frame: k }),
+            PlannedFault::Permanent => Err(SourceError::Permanent {
+                frame: k,
+                reason: "injected permanent source failure".into(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+    use crate::source::InMemoryVideo;
+
+    fn video(n: usize) -> InMemoryVideo {
+        let frames = (0..n)
+            .map(|k| ImageBuffer::new(Size::new(8, 6), Rgb::new(k as u8, 0, 0)))
+            .collect();
+        InMemoryVideo::new(frames, 30.0)
+    }
+
+    #[test]
+    fn blanket_impl_makes_infallible_sources_fallible() {
+        let v = video(3);
+        assert_eq!(TryFrameSource::num_frames(&v), 3);
+        let f = v.try_frame(1, 0).unwrap();
+        assert_eq!(f.get(0, 0), Rgb::new(1, 0, 0));
+        assert_eq!(v.try_frame(7, 0), Err(SourceError::Missing { frame: 7 }));
+    }
+
+    #[test]
+    fn clean_schedule_is_transparent() {
+        let v = video(5);
+        let f = FaultySource::new(v.clone(), FaultSchedule::clean(9));
+        for k in 0..5 {
+            assert_eq!(f.try_frame(k, 0).unwrap(), v.frame(k));
+        }
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_frame_attempt() {
+        let v = video(40);
+        let s = FaultySource::new(v, FaultSchedule::mixed(42, 0.5));
+        for k in 0..40 {
+            for attempt in 0..4 {
+                assert_eq!(s.try_frame(k, attempt), s.try_frame(k, attempt), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn transient_runs_heal_to_the_true_frame() {
+        let v = video(60);
+        let schedule = FaultSchedule {
+            seed: 7,
+            transient_rate: 1.0,
+            max_transient_run: 3,
+            corrupt_rate: 0.0,
+            truncate_rate: 0.0,
+            missing_rate: 0.0,
+            permanent_rate: 0.0,
+        };
+        let s = FaultySource::new(v.clone(), schedule);
+        for k in 0..60 {
+            let PlannedFault::Transient { run } = schedule.planned(k, Size::new(8, 6)) else {
+                panic!("all frames must be transient at rate 1.0");
+            };
+            assert!(run >= 1 && run <= 3);
+            for attempt in 0..run {
+                assert!(s.try_frame(k, attempt).is_err());
+            }
+            assert_eq!(s.try_frame(k, run).unwrap(), v.frame(k));
+        }
+    }
+
+    #[test]
+    fn corrupt_regions_fit_in_the_frame() {
+        let size = Size::new(32, 24);
+        let schedule = FaultSchedule {
+            seed: 3,
+            transient_rate: 0.0,
+            max_transient_run: 0,
+            corrupt_rate: 0.6,
+            truncate_rate: 0.4,
+            missing_rate: 0.0,
+            permanent_rate: 0.0,
+        };
+        for k in 0..200 {
+            if let PlannedFault::Corrupt { region } = schedule.planned(k, size) {
+                assert!(region.x + region.w <= size.width, "frame {k}: {region}");
+                assert!(region.y + region.h <= size.height, "frame {k}: {region}");
+                assert!(region.area() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_rates_never_panic() {
+        let size = Size::new(8, 6);
+        for r in [f64::NAN, f64::INFINITY, -3.0, 7.5] {
+            let schedule = FaultSchedule {
+                seed: 1,
+                transient_rate: r,
+                max_transient_run: 0,
+                corrupt_rate: r,
+                truncate_rate: r,
+                missing_rate: r,
+                permanent_rate: r,
+            };
+            for k in 0..20 {
+                let _ = schedule.planned(k, size);
+            }
+        }
+        // Zero-sized frames are degenerate but must not divide by zero.
+        let _ = FaultSchedule::mixed(0, 1.0).planned(0, Size::new(0, 0));
+    }
+
+    #[test]
+    fn mixed_schedule_rates_scale() {
+        let s = FaultSchedule::mixed(5, 0.4);
+        assert_eq!(s.transient_rate, 0.4);
+        assert_eq!(s.corrupt_rate, 0.2);
+        assert_eq!(s.missing_rate, 0.1);
+        assert!(FaultSchedule::mixed(5, 0.0).clean_equivalent());
+    }
+
+    impl FaultSchedule {
+        fn clean_equivalent(&self) -> bool {
+            self.transient_rate == 0.0
+                && self.corrupt_rate == 0.0
+                && self.truncate_rate == 0.0
+                && self.missing_rate == 0.0
+                && self.permanent_rate == 0.0
+        }
+    }
+}

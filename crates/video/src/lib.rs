@@ -22,11 +22,13 @@ pub mod annotations;
 pub mod camera;
 pub mod codec;
 pub mod color;
+pub mod fault;
 pub mod frame;
 pub mod generator;
 pub mod geometry;
 pub mod image;
 pub mod object;
+pub mod recover;
 pub mod scene;
 pub mod source;
 pub mod stats;
@@ -35,11 +37,18 @@ pub mod trajectory;
 pub use annotations::VideoAnnotations;
 pub use camera::Camera;
 pub use color::{Hsv, Rgb};
+pub use fault::{
+    FaultSchedule, FaultySource, PixelRect, PlannedFault, SourceError, TryFrameSource,
+};
 pub use frame::Frame;
 pub use generator::{CompositeVideo, GeneratedVideo, MotPreset, VideoSpec};
 pub use geometry::{BBox, Point, Size};
 pub use image::ImageBuffer;
 pub use object::{ObjectClass, ObjectId, Observation, TrackedObject};
+pub use recover::{
+    ingest_with_recovery, CorruptAction, FrameHealthReport, FrameOutcome, IngestError,
+    RecoveredVideo, RecoveringSource, RecoveryPolicy, RepairMethod,
+};
 pub use scene::{Scene, SceneKind};
-pub use source::{FrameSource, InMemoryVideo};
+pub use source::{FrameSource, InMemoryVideo, VideoBuildError};
 pub use trajectory::{DepthModel, Lifetime, PathModel};

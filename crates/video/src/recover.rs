@@ -1,0 +1,870 @@
+//! Bounded-retry recovery over fallible sources.
+//!
+//! [`ingest_with_recovery`] drives a [`TryFrameSource`] to a fully
+//! materialized [`InMemoryVideo`] under a [`RecoveryPolicy`]: transient
+//! failures are retried with deterministic exponential backoff, corrupt and
+//! missing frames are repaired from healthy neighbors (hold-last or temporal
+//! blend) or skipped, and every decision is recorded per frame in a
+//! [`FrameHealthReport`]. When recovery is impossible — a permanent source
+//! failure, an unrecoverable frame under a `Fail` policy, or a source with
+//! no healthy frame at all — ingestion stops with an [`IngestError`] that
+//! still carries the health log accumulated so far.
+//!
+//! Recovery is deterministic: resolution of each frame is a pure function
+//! of the source and the policy, and repairs read only from *healthy*
+//! rasters (never from other repaired frames), so the output is independent
+//! of evaluation order and replays bit-for-bit. Backoff delays are computed
+//! and recorded in the health report rather than slept — tests stay fast
+//! and deterministic, and a caller wrapping a live source can sleep
+//! [`RecoveryPolicy::backoff_ms`] between attempts itself.
+
+use crate::fault::{SourceError, TryFrameSource};
+use crate::image::ImageBuffer;
+use crate::source::{FrameSource, InMemoryVideo};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// What to do with a frame that retrying cannot recover (corrupt raster,
+/// missing frame, or an exhausted transient-retry budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptAction {
+    /// Synthesize a replacement raster from healthy neighbor frames.
+    Repair,
+    /// Keep the frame slot (backfilled from the nearest healthy raster so
+    /// downstream vision stages never see garbage) but mark it skipped.
+    Skip,
+    /// Abort ingestion with [`IngestError`].
+    Fail,
+}
+
+impl std::str::FromStr for CorruptAction {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "repair" => Ok(CorruptAction::Repair),
+            "skip" => Ok(CorruptAction::Skip),
+            "fail" => Ok(CorruptAction::Fail),
+            other => Err(format!(
+                "unknown corrupt action '{other}' (expected repair, skip, or fail)"
+            )),
+        }
+    }
+}
+
+/// How a repaired raster is synthesized from healthy neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairMethod {
+    /// Copy the nearest healthy frame before the gap (after it for a gap at
+    /// the start). Emits only bit-exact copies of delivered rasters, which
+    /// keeps HSV keyframe segmentation stable under faults (DESIGN.md §9).
+    HoldLast,
+    /// Linearly blend the nearest healthy frames on both sides by temporal
+    /// position. Smoother for display, but synthesized rasters can shift
+    /// keyframe segmentation near scene cuts — prefer [`RepairMethod::HoldLast`]
+    /// when schedule-invariant segmentation matters.
+    TemporalBlend,
+}
+
+/// Retry, backoff, and repair policy for [`ingest_with_recovery`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Retries allowed per frame for transient failures (total attempts are
+    /// `max_retries + 1`).
+    pub max_retries: u32,
+    /// Base backoff delay; attempt `a` backs off `min(base << a, cap)` ms.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Disposition of unrecoverable frames (corrupt, missing, or
+    /// transient-exhausted alike).
+    pub on_corrupt: CorruptAction,
+    /// Raster synthesis used when `on_corrupt` is [`CorruptAction::Repair`].
+    pub repair: RepairMethod,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1000,
+            on_corrupt: CorruptAction::Repair,
+            repair: RepairMethod::HoldLast,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Zero tolerance: no retries, any fault aborts ingestion. This is the
+    /// policy behind [`InMemoryVideo::try_collect_from`].
+    pub fn strict() -> Self {
+        Self {
+            max_retries: 0,
+            on_corrupt: CorruptAction::Fail,
+            ..Self::default()
+        }
+    }
+
+    /// Deterministic exponential backoff before retrying after failed
+    /// attempt `attempt`: `min(base * 2^attempt, cap)` milliseconds.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let mult = 1u64 << attempt.min(20);
+        self.backoff_base_ms
+            .saturating_mul(mult)
+            .min(self.backoff_cap_ms)
+    }
+}
+
+/// Per-frame resolution recorded by [`ingest_with_recovery`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FrameOutcome {
+    /// Delivered cleanly on the first attempt.
+    Ok,
+    /// Delivered after `attempts` failed transient attempts.
+    Retried { attempts: u32 },
+    /// Unrecoverable; raster synthesized from healthy neighbors.
+    Repaired {
+        method: RepairMethod,
+        fault: SourceError,
+    },
+    /// Unrecoverable; slot backfilled and marked skipped.
+    Skipped { fault: SourceError },
+    /// Unrecoverable under the policy; ingestion aborted.
+    Failed { fault: SourceError },
+}
+
+impl FrameOutcome {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, FrameOutcome::Ok)
+    }
+
+    /// The frame was delivered by the source (possibly after retries).
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, FrameOutcome::Ok | FrameOutcome::Retried { .. })
+    }
+}
+
+/// Health log of one ingestion: one outcome per frame plus retry totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameHealthReport {
+    /// Outcome per frame index.
+    pub outcomes: Vec<FrameOutcome>,
+    /// Total failed transient attempts across all frames.
+    pub total_retries: u64,
+    /// Total backoff delay the policy prescribed, in milliseconds
+    /// (recorded, not slept).
+    pub total_backoff_ms: u64,
+}
+
+impl FrameHealthReport {
+    /// A report for a fault-free ingestion of `n` frames.
+    pub fn all_ok(n: usize) -> Self {
+        Self {
+            outcomes: vec![FrameOutcome::Ok; n],
+            total_retries: 0,
+            total_backoff_ms: 0,
+        }
+    }
+
+    pub fn num_frames(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    pub fn num_ok(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_ok()).count()
+    }
+
+    pub fn num_retried(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, FrameOutcome::Retried { .. }))
+            .count()
+    }
+
+    pub fn num_repaired(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, FrameOutcome::Repaired { .. }))
+            .count()
+    }
+
+    pub fn num_skipped(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, FrameOutcome::Skipped { .. }))
+            .count()
+    }
+
+    /// Whether any frame needed retry, repair, or skipping.
+    pub fn is_degraded(&self) -> bool {
+        !self.outcomes.iter().all(|o| o.is_ok())
+    }
+
+    /// Indices of frames whose content was *not* delivered by the source
+    /// (skipped slots carry a backfilled raster).
+    pub fn skipped_frames(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, FrameOutcome::Skipped { .. }))
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// One-line human summary, e.g. `"58 ok, 1 retried, 1 repaired"`.
+    pub fn summary(&self) -> String {
+        let mut parts = vec![format!("{} ok", self.num_ok())];
+        if self.num_retried() > 0 {
+            parts.push(format!("{} retried", self.num_retried()));
+        }
+        if self.num_repaired() > 0 {
+            parts.push(format!("{} repaired", self.num_repaired()));
+        }
+        if self.num_skipped() > 0 {
+            parts.push(format!("{} skipped", self.num_skipped()));
+        }
+        let failed = self
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, FrameOutcome::Failed { .. }))
+            .count();
+        if failed > 0 {
+            parts.push(format!("{failed} failed"));
+        }
+        parts.join(", ")
+    }
+}
+
+/// Ingestion failed: the fault that stopped it plus the health log of every
+/// frame resolved up to that point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestError {
+    /// The fault recovery could not absorb.
+    pub error: SourceError,
+    /// Per-frame outcomes, including the [`FrameOutcome::Failed`] entries.
+    pub health: FrameHealthReport,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame ingestion exhausted recovery: {} ({})",
+            self.error,
+            self.health.summary()
+        )
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// A fully recovered video: the materialized frames plus the health log
+/// describing how each was obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredVideo {
+    video: InMemoryVideo,
+    health: FrameHealthReport,
+}
+
+impl RecoveredVideo {
+    pub fn video(&self) -> &InMemoryVideo {
+        &self.video
+    }
+
+    pub fn health(&self) -> &FrameHealthReport {
+        &self.health
+    }
+
+    pub fn into_parts(self) -> (InMemoryVideo, FrameHealthReport) {
+        (self.video, self.health)
+    }
+
+    /// Whether frame `k`'s content is a backfill rather than source data.
+    pub fn is_skipped(&self, k: usize) -> bool {
+        matches!(
+            self.health.outcomes.get(k),
+            Some(FrameOutcome::Skipped { .. })
+        )
+    }
+}
+
+impl FrameSource for RecoveredVideo {
+    fn num_frames(&self) -> usize {
+        FrameSource::num_frames(&self.video)
+    }
+
+    fn frame_size(&self) -> crate::geometry::Size {
+        FrameSource::frame_size(&self.video)
+    }
+
+    fn frame(&self, k: usize) -> ImageBuffer {
+        self.video.frame(k)
+    }
+
+    fn fps(&self) -> f64 {
+        FrameSource::fps(&self.video)
+    }
+}
+
+/// A fallible source paired with the policy to ingest it under.
+#[derive(Debug, Clone)]
+pub struct RecoveringSource<S> {
+    inner: S,
+    policy: RecoveryPolicy,
+}
+
+impl<S: TryFrameSource + Sync> RecoveringSource<S> {
+    pub fn new(inner: S, policy: RecoveryPolicy) -> Self {
+        Self { inner, policy }
+    }
+
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Materializes the source under the policy.
+    pub fn ingest(&self) -> Result<RecoveredVideo, IngestError> {
+        ingest_with_recovery(&self.inner, self.policy)
+    }
+}
+
+/// How pass 1 resolved a single frame.
+enum Resolved {
+    /// Delivered (possibly after retries).
+    Good {
+        img: Box<ImageBuffer>,
+        attempts: u32,
+        backoff_ms: u64,
+    },
+    /// Unrecoverable by retrying; pass 2 decides repair/skip/fail.
+    Bad { fault: SourceError, backoff_ms: u64 },
+    /// The source as a whole failed; ingestion must abort.
+    Fatal { fault: SourceError },
+}
+
+/// Resolves one frame: bounded retry for transients, early bail otherwise.
+fn resolve_frame<S: TryFrameSource + Sync>(src: &S, k: usize, policy: &RecoveryPolicy) -> Resolved {
+    let expected = src.frame_size();
+    let mut backoff_ms = 0u64;
+    let mut attempt = 0u32;
+    loop {
+        match src.try_frame(k, attempt) {
+            Ok(img) => {
+                if img.size() != expected {
+                    // A raster of the wrong size is as unusable as a
+                    // corrupt one; classify it so, over the full frame.
+                    return Resolved::Bad {
+                        fault: SourceError::Corrupt {
+                            frame: k,
+                            region: crate::fault::PixelRect::full(expected),
+                        },
+                        backoff_ms,
+                    };
+                }
+                return Resolved::Good {
+                    img: Box::new(img),
+                    attempts: attempt,
+                    backoff_ms,
+                };
+            }
+            Err(fault @ SourceError::Transient { .. }) => {
+                if attempt >= policy.max_retries {
+                    return Resolved::Bad { fault, backoff_ms };
+                }
+                backoff_ms += policy.backoff_ms(attempt);
+                attempt += 1;
+            }
+            Err(fault @ (SourceError::Corrupt { .. } | SourceError::Missing { .. })) => {
+                return Resolved::Bad { fault, backoff_ms };
+            }
+            Err(fault @ SourceError::Permanent { .. }) => return Resolved::Fatal { fault },
+        }
+    }
+}
+
+/// Linear blend of two same-sized rasters, `a * (1 - t) + b * t`.
+fn blend(a: &ImageBuffer, b: &ImageBuffer, t: f64) -> ImageBuffer {
+    let t = t.clamp(0.0, 1.0);
+    let mut out = a.clone();
+    for (pa, pb) in out.bytes_mut().iter_mut().zip(b.bytes()) {
+        let v = *pa as f64 + (*pb as f64 - *pa as f64) * t;
+        *pa = v.round().clamp(0.0, 255.0) as u8;
+    }
+    out
+}
+
+/// Nearest value in sorted `good` strictly before `k` (max `< k`).
+fn prev_good(good: &[usize], k: usize) -> Option<usize> {
+    match good.binary_search(&k) {
+        Ok(i) | Err(i) => i.checked_sub(1).map(|j| good[j]),
+    }
+}
+
+/// Nearest value in sorted `good` strictly after `k` (min `> k`).
+fn next_good(good: &[usize], k: usize) -> Option<usize> {
+    match good.binary_search(&k) {
+        Ok(i) => good.get(i + 1).copied(),
+        Err(i) => good.get(i).copied(),
+    }
+}
+
+/// Nearest healthy frame to `k` by absolute distance; ties pick the lower
+/// index, so backfills are deterministic.
+fn nearest_good(good: &[usize], k: usize) -> Option<usize> {
+    match (prev_good(good, k), next_good(good, k)) {
+        (Some(p), Some(q)) => Some(if k - p <= q - k { p } else { q }),
+        (Some(p), None) => Some(p),
+        (None, Some(q)) => Some(q),
+        (None, None) => None,
+    }
+}
+
+/// Materializes a fallible source into an [`InMemoryVideo`] under `policy`.
+///
+/// Pass 1 resolves every frame in parallel (retry loop per frame). Pass 2
+/// runs serially: it repairs or backfills unrecoverable frames using only
+/// the *healthy* rasters from pass 1, so the result is a pure function of
+/// `(source, policy)`. Any [`SourceError::Permanent`] fault, any
+/// unrecoverable frame under [`CorruptAction::Fail`], and a source with no
+/// healthy frame at all abort with [`IngestError`].
+pub fn ingest_with_recovery<S: TryFrameSource + Sync>(
+    src: &S,
+    policy: RecoveryPolicy,
+) -> Result<RecoveredVideo, IngestError> {
+    let n = src.num_frames();
+    if n == 0 {
+        return Err(IngestError {
+            error: SourceError::Permanent {
+                frame: 0,
+                reason: "source has zero frames".into(),
+            },
+            health: FrameHealthReport::all_ok(0),
+        });
+    }
+
+    let resolved: Vec<Resolved> = (0..n)
+        .into_par_iter()
+        .map(|k| resolve_frame(src, k, &policy))
+        .collect();
+
+    let mut outcomes = Vec::with_capacity(n);
+    let mut rasters: Vec<Option<&ImageBuffer>> = Vec::with_capacity(n);
+    let mut total_retries = 0u64;
+    let mut total_backoff_ms = 0u64;
+    let mut abort: Option<SourceError> = None;
+
+    for r in &resolved {
+        match r {
+            Resolved::Good {
+                img,
+                attempts,
+                backoff_ms,
+            } => {
+                total_retries += *attempts as u64;
+                total_backoff_ms += backoff_ms;
+                outcomes.push(if *attempts == 0 {
+                    FrameOutcome::Ok
+                } else {
+                    FrameOutcome::Retried {
+                        attempts: *attempts,
+                    }
+                });
+                rasters.push(Some(img.as_ref()));
+            }
+            Resolved::Bad { fault, backoff_ms } => {
+                total_backoff_ms += backoff_ms;
+                if matches!(fault, SourceError::Transient { .. }) {
+                    total_retries += policy.max_retries as u64;
+                }
+                if policy.on_corrupt == CorruptAction::Fail {
+                    if abort.is_none() {
+                        abort = Some(fault.clone());
+                    }
+                    outcomes.push(FrameOutcome::Failed {
+                        fault: fault.clone(),
+                    });
+                } else {
+                    // Placeholder; pass 2 rewrites it to Repaired/Skipped.
+                    outcomes.push(FrameOutcome::Skipped {
+                        fault: fault.clone(),
+                    });
+                }
+                rasters.push(None);
+            }
+            Resolved::Fatal { fault } => {
+                if abort.is_none() {
+                    abort = Some(fault.clone());
+                }
+                outcomes.push(FrameOutcome::Failed {
+                    fault: fault.clone(),
+                });
+                rasters.push(None);
+            }
+        }
+    }
+
+    let good: Vec<usize> = rasters
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_some())
+        .map(|(k, _)| k)
+        .collect();
+
+    if abort.is_none() && good.is_empty() {
+        // Every frame is unrecoverable; there is nothing to repair from.
+        abort = outcomes.iter().find_map(|o| match o {
+            FrameOutcome::Skipped { fault } | FrameOutcome::Failed { fault } => Some(fault.clone()),
+            _ => None,
+        });
+    }
+
+    if let Some(error) = abort {
+        return Err(IngestError {
+            error,
+            health: FrameHealthReport {
+                outcomes,
+                total_retries,
+                total_backoff_ms,
+            },
+        });
+    }
+
+    // Pass 2: synthesize rasters for unrecoverable frames from healthy
+    // neighbors only.
+    let mut frames: Vec<ImageBuffer> = Vec::with_capacity(n);
+    for k in 0..n {
+        match rasters[k] {
+            Some(img) => frames.push(img.clone()),
+            None => {
+                let raster = match policy.on_corrupt {
+                    CorruptAction::Repair => match policy.repair {
+                        RepairMethod::HoldLast => {
+                            let src_k = prev_good(&good, k)
+                                .or_else(|| next_good(&good, k))
+                                .expect("good set is non-empty");
+                            rasters[src_k].expect("index from good set").clone()
+                        }
+                        RepairMethod::TemporalBlend => {
+                            match (prev_good(&good, k), next_good(&good, k)) {
+                                (Some(p), Some(q)) => {
+                                    let t = (k - p) as f64 / (q - p) as f64;
+                                    blend(
+                                        rasters[p].expect("index from good set"),
+                                        rasters[q].expect("index from good set"),
+                                        t,
+                                    )
+                                }
+                                (Some(p), None) => rasters[p].expect("index from good set").clone(),
+                                (None, Some(q)) => rasters[q].expect("index from good set").clone(),
+                                (None, None) => unreachable!("good set is non-empty"),
+                            }
+                        }
+                    },
+                    CorruptAction::Skip => {
+                        let src_k = nearest_good(&good, k).expect("good set is non-empty");
+                        rasters[src_k].expect("index from good set").clone()
+                    }
+                    CorruptAction::Fail => unreachable!("Fail aborted above"),
+                };
+                // Rewrite the pass-1 placeholder with the real disposition.
+                if policy.on_corrupt == CorruptAction::Repair {
+                    let FrameOutcome::Skipped { fault } = outcomes[k].clone() else {
+                        unreachable!("placeholder is Skipped")
+                    };
+                    outcomes[k] = FrameOutcome::Repaired {
+                        method: policy.repair,
+                        fault,
+                    };
+                }
+                frames.push(raster);
+            }
+        }
+    }
+
+    let health = FrameHealthReport {
+        outcomes,
+        total_retries,
+        total_backoff_ms,
+    };
+    let video = InMemoryVideo::try_new(frames, src.fps()).unwrap_or_else(|e| {
+        // All rasters are copies/blends of same-sized source frames and the
+        // frame list is non-empty, so this cannot fail; keep the message.
+        unreachable!("recovered frames are uniform and non-empty: {e}")
+    });
+    Ok(RecoveredVideo { video, health })
+}
+
+impl InMemoryVideo {
+    /// Fallible analogue of [`InMemoryVideo::collect_from`]: materializes a
+    /// [`TryFrameSource`] under the [`RecoveryPolicy::strict`] policy, so
+    /// any fault at all aborts with a typed [`IngestError`].
+    pub fn try_collect_from<S: TryFrameSource + Sync>(src: &S) -> Result<Self, IngestError> {
+        ingest_with_recovery(src, RecoveryPolicy::strict()).map(|r| r.into_parts().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+    use crate::fault::PixelRect;
+    use crate::geometry::Size;
+
+    /// Per-frame behavior scripted for tests.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Plan {
+        Ok,
+        /// Fails `run` attempts, then delivers.
+        Transient(u32),
+        Corrupt,
+        Missing,
+        Permanent,
+    }
+
+    /// A fallible source with an explicit per-frame fault plan. Does not
+    /// implement `FrameSource` (that would collide with the blanket impl).
+    struct Scripted {
+        frames: Vec<ImageBuffer>,
+        plan: Vec<Plan>,
+    }
+
+    impl Scripted {
+        fn new(plan: Vec<Plan>) -> Self {
+            let frames = (0..plan.len())
+                .map(|k| ImageBuffer::new(Size::new(4, 3), Rgb::new((k * 10) as u8, 0, 0)))
+                .collect();
+            Self { frames, plan }
+        }
+    }
+
+    impl TryFrameSource for Scripted {
+        fn num_frames(&self) -> usize {
+            self.frames.len()
+        }
+
+        fn frame_size(&self) -> Size {
+            Size::new(4, 3)
+        }
+
+        fn try_frame(&self, k: usize, attempt: u32) -> Result<ImageBuffer, SourceError> {
+            match self.plan[k] {
+                Plan::Ok => Ok(self.frames[k].clone()),
+                Plan::Transient(run) if attempt < run => {
+                    Err(SourceError::Transient { frame: k, attempt })
+                }
+                Plan::Transient(_) => Ok(self.frames[k].clone()),
+                Plan::Corrupt => Err(SourceError::Corrupt {
+                    frame: k,
+                    region: PixelRect {
+                        x: 0,
+                        y: 0,
+                        w: 2,
+                        h: 2,
+                    },
+                }),
+                Plan::Missing => Err(SourceError::Missing { frame: k }),
+                Plan::Permanent => Err(SourceError::Permanent {
+                    frame: k,
+                    reason: "scripted".into(),
+                }),
+            }
+        }
+    }
+
+    fn raster(k: usize) -> ImageBuffer {
+        ImageBuffer::new(Size::new(4, 3), Rgb::new((k * 10) as u8, 0, 0))
+    }
+
+    #[test]
+    fn clean_source_is_all_ok() {
+        let src = Scripted::new(vec![Plan::Ok; 4]);
+        let r = ingest_with_recovery(&src, RecoveryPolicy::default()).unwrap();
+        assert!(!r.health().is_degraded());
+        assert_eq!(r.health().outcomes, vec![FrameOutcome::Ok; 4]);
+        assert_eq!(r.video().frame(2), raster(2));
+    }
+
+    #[test]
+    fn transients_heal_within_budget() {
+        let src = Scripted::new(vec![Plan::Ok, Plan::Transient(2), Plan::Ok]);
+        let policy = RecoveryPolicy::default();
+        let r = ingest_with_recovery(&src, policy).unwrap();
+        assert_eq!(
+            r.health().outcomes[1],
+            FrameOutcome::Retried { attempts: 2 }
+        );
+        assert_eq!(r.video().frame(1), raster(1), "healed frame is bit-exact");
+        assert_eq!(r.health().total_retries, 2);
+        // Backoff for failed attempts 0 and 1: 10 + 20 ms.
+        assert_eq!(r.health().total_backoff_ms, 30);
+    }
+
+    #[test]
+    fn exhausted_transient_follows_corrupt_policy() {
+        let src = Scripted::new(vec![Plan::Ok, Plan::Transient(9), Plan::Ok]);
+        let policy = RecoveryPolicy {
+            max_retries: 2,
+            ..RecoveryPolicy::default()
+        };
+        let r = ingest_with_recovery(&src, policy).unwrap();
+        assert!(matches!(
+            r.health().outcomes[1],
+            FrameOutcome::Repaired {
+                method: RepairMethod::HoldLast,
+                ..
+            }
+        ));
+        assert_eq!(
+            r.video().frame(1),
+            raster(0),
+            "hold-last copies the previous good frame"
+        );
+    }
+
+    #[test]
+    fn hold_last_at_clip_start_uses_next_good() {
+        let src = Scripted::new(vec![Plan::Missing, Plan::Ok, Plan::Ok]);
+        let r = ingest_with_recovery(&src, RecoveryPolicy::default()).unwrap();
+        assert_eq!(r.video().frame(0), raster(1));
+    }
+
+    #[test]
+    fn temporal_blend_interpolates_by_position() {
+        let policy = RecoveryPolicy {
+            repair: RepairMethod::TemporalBlend,
+            ..RecoveryPolicy::default()
+        };
+        let src = Scripted::new(vec![Plan::Ok, Plan::Corrupt, Plan::Ok]);
+        let r = ingest_with_recovery(&src, policy).unwrap();
+        // Midpoint of Rgb(0,0,0) and Rgb(20,0,0).
+        assert_eq!(r.video().frame(1).get(0, 0), Rgb::new(10, 0, 0));
+        assert!(matches!(
+            r.health().outcomes[1],
+            FrameOutcome::Repaired {
+                method: RepairMethod::TemporalBlend,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn skip_backfills_from_nearest_good_tie_goes_low() {
+        let policy = RecoveryPolicy {
+            on_corrupt: CorruptAction::Skip,
+            ..RecoveryPolicy::default()
+        };
+        let src = Scripted::new(vec![Plan::Ok, Plan::Missing, Plan::Ok, Plan::Corrupt]);
+        let r = ingest_with_recovery(&src, policy).unwrap();
+        // Frame 1 is equidistant from 0 and 2 — tie picks the lower index.
+        assert_eq!(r.video().frame(1), raster(0));
+        assert_eq!(r.video().frame(3), raster(2));
+        assert!(r.is_skipped(1) && r.is_skipped(3) && !r.is_skipped(0));
+        assert_eq!(r.health().skipped_frames(), vec![1, 3]);
+    }
+
+    #[test]
+    fn fail_policy_aborts_with_health() {
+        let policy = RecoveryPolicy {
+            on_corrupt: CorruptAction::Fail,
+            ..RecoveryPolicy::default()
+        };
+        let src = Scripted::new(vec![Plan::Ok, Plan::Corrupt, Plan::Ok]);
+        let err = ingest_with_recovery(&src, policy).unwrap_err();
+        assert!(matches!(err.error, SourceError::Corrupt { frame: 1, .. }));
+        assert_eq!(err.health.outcomes[0], FrameOutcome::Ok);
+        assert!(matches!(
+            err.health.outcomes[1],
+            FrameOutcome::Failed { .. }
+        ));
+    }
+
+    #[test]
+    fn permanent_fault_always_aborts() {
+        let src = Scripted::new(vec![Plan::Ok, Plan::Permanent]);
+        let err = ingest_with_recovery(&src, RecoveryPolicy::default()).unwrap_err();
+        assert!(matches!(err.error, SourceError::Permanent { frame: 1, .. }));
+    }
+
+    #[test]
+    fn all_frames_unrecoverable_aborts() {
+        let src = Scripted::new(vec![Plan::Missing, Plan::Corrupt]);
+        let err = ingest_with_recovery(&src, RecoveryPolicy::default()).unwrap_err();
+        assert!(matches!(err.error, SourceError::Missing { frame: 0 }));
+        assert_eq!(err.health.num_frames(), 2);
+    }
+
+    #[test]
+    fn empty_source_aborts() {
+        let src = Scripted::new(vec![]);
+        let err = ingest_with_recovery(&src, RecoveryPolicy::default()).unwrap_err();
+        assert!(matches!(err.error, SourceError::Permanent { .. }));
+    }
+
+    #[test]
+    fn ingestion_is_deterministic() {
+        let plan = vec![
+            Plan::Ok,
+            Plan::Transient(1),
+            Plan::Corrupt,
+            Plan::Ok,
+            Plan::Missing,
+            Plan::Ok,
+        ];
+        let src = Scripted::new(plan);
+        let a = ingest_with_recovery(&src, RecoveryPolicy::default()).unwrap();
+        let b = ingest_with_recovery(&src, RecoveryPolicy::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strict_collect_matches_infallible_collect_on_clean_sources() {
+        let v = InMemoryVideo::new(vec![raster(0), raster(1)], 30.0);
+        let collected = InMemoryVideo::try_collect_from(&v).unwrap();
+        assert_eq!(collected, InMemoryVideo::collect_from(&v));
+    }
+
+    #[test]
+    fn strict_collect_rejects_any_fault() {
+        let src = Scripted::new(vec![Plan::Ok, Plan::Transient(1)]);
+        let err = InMemoryVideo::try_collect_from(&src).unwrap_err();
+        assert!(matches!(err.error, SourceError::Transient { frame: 1, .. }));
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let policy = RecoveryPolicy {
+            backoff_base_ms: 100,
+            backoff_cap_ms: 250,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(policy.backoff_ms(0), 100);
+        assert_eq!(policy.backoff_ms(1), 200);
+        assert_eq!(policy.backoff_ms(2), 250);
+        assert_eq!(policy.backoff_ms(63), 250, "shift does not overflow");
+    }
+
+    #[test]
+    fn corrupt_action_parses() {
+        assert_eq!("repair".parse::<CorruptAction>(), Ok(CorruptAction::Repair));
+        assert_eq!("skip".parse::<CorruptAction>(), Ok(CorruptAction::Skip));
+        assert_eq!("fail".parse::<CorruptAction>(), Ok(CorruptAction::Fail));
+        assert!("explode".parse::<CorruptAction>().is_err());
+    }
+
+    #[test]
+    fn recovering_source_delegates() {
+        let src = Scripted::new(vec![Plan::Ok, Plan::Transient(1)]);
+        let rs = RecoveringSource::new(src, RecoveryPolicy::default());
+        let r = rs.ingest().unwrap();
+        assert_eq!(r.health().num_retried(), 1);
+    }
+}

@@ -9,6 +9,43 @@ use crate::geometry::Size;
 use crate::image::ImageBuffer;
 use rayon::prelude::*;
 
+/// Why a video could not be assembled from raw frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VideoBuildError {
+    /// A video needs at least one frame.
+    Empty,
+    /// Frame `index` has a different raster size from frame 0.
+    MismatchedSizes {
+        index: usize,
+        expected: Size,
+        got: Size,
+    },
+    /// Frames per second must be a positive, finite number.
+    BadFps { fps: f64 },
+}
+
+impl std::fmt::Display for VideoBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VideoBuildError::Empty => write!(f, "a video needs at least one frame"),
+            VideoBuildError::MismatchedSizes {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "frame {index} is {}x{} but frame 0 is {}x{}",
+                got.width, got.height, expected.width, expected.height
+            ),
+            VideoBuildError::BadFps { fps } => {
+                write!(f, "fps must be positive and finite, got {fps}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VideoBuildError {}
+
 /// A video whose frames can be produced on demand.
 ///
 /// Implementations must be deterministic: `frame(k)` returns the same raster
@@ -39,15 +76,36 @@ pub struct InMemoryVideo {
 
 impl InMemoryVideo {
     /// Builds a video from frames; all frames must share one size.
+    ///
+    /// Panicking convenience over [`InMemoryVideo::try_new`] for call sites
+    /// that construct frames themselves and treat a violation as a bug.
+    #[allow(clippy::panic)]
     pub fn new(frames: Vec<ImageBuffer>, fps: f64) -> Self {
-        assert!(!frames.is_empty(), "a video needs at least one frame");
-        assert!(fps > 0.0, "fps must be positive");
+        match Self::try_new(frames, fps) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a video from frames, reporting violations as typed errors:
+    /// the frame list must be non-empty, every frame must share frame 0's
+    /// size, and `fps` must be positive and finite.
+    pub fn try_new(frames: Vec<ImageBuffer>, fps: f64) -> Result<Self, VideoBuildError> {
+        if frames.is_empty() {
+            return Err(VideoBuildError::Empty);
+        }
+        if !(fps.is_finite() && fps > 0.0) {
+            return Err(VideoBuildError::BadFps { fps });
+        }
         let size = frames[0].size();
-        assert!(
-            frames.iter().all(|f| f.size() == size),
-            "all frames must share one size"
-        );
-        Self { size, frames, fps }
+        if let Some((index, f)) = frames.iter().enumerate().find(|(_, f)| f.size() != size) {
+            return Err(VideoBuildError::MismatchedSizes {
+                index,
+                expected: size,
+                got: f.size(),
+            });
+        }
+        Ok(Self { size, frames, fps })
     }
 
     /// Materializes any [`FrameSource`] (use only for small videos).
@@ -57,11 +115,12 @@ impl InMemoryVideo {
     /// time — so the collected video is identical to a serial collect
     /// (`par_iter().map().collect()` preserves index order).
     pub fn collect_from<S: FrameSource + Sync>(src: &S) -> Self {
-        let frames = (0..src.num_frames())
+        let frames: Vec<ImageBuffer> = (0..src.num_frames())
             .into_par_iter()
             .map(|k| src.frame(k))
             .collect();
-        Self::new(frames, src.fps())
+        // Uniform sizes are guaranteed by the trait; emptiness is not.
+        Self::try_new(frames, src.fps()).expect("source must have at least one frame")
     }
 
     /// Mutable access to a frame (used by sanitizers that write in place).
@@ -131,6 +190,34 @@ mod tests {
     #[should_panic]
     fn rejects_empty() {
         InMemoryVideo::new(vec![], 30.0);
+    }
+
+    #[test]
+    fn try_new_classifies_violations() {
+        assert_eq!(
+            InMemoryVideo::try_new(vec![], 30.0),
+            Err(VideoBuildError::Empty)
+        );
+        assert_eq!(
+            InMemoryVideo::try_new(vec![img(1)], 0.0),
+            Err(VideoBuildError::BadFps { fps: 0.0 })
+        );
+        assert!(matches!(
+            InMemoryVideo::try_new(vec![img(1)], f64::NAN),
+            Err(VideoBuildError::BadFps { .. })
+        ));
+        let odd = ImageBuffer::new(Size::new(4, 2), Rgb::BLACK);
+        assert_eq!(
+            InMemoryVideo::try_new(vec![img(1), img(2), odd], 30.0),
+            Err(VideoBuildError::MismatchedSizes {
+                index: 2,
+                expected: Size::new(3, 2),
+                got: Size::new(4, 2),
+            })
+        );
+        let ok = InMemoryVideo::try_new(vec![img(1), img(2)], 24.0).unwrap();
+        assert_eq!(ok.num_frames(), 2);
+        assert_eq!(ok.fps(), 24.0);
     }
 
     #[test]

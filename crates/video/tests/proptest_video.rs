@@ -131,6 +131,61 @@ proptest! {
         }
     }
 
+    /// Round-trip a video, then corrupt the encoded stream — truncate a
+    /// payload, flip bytes, and lie about the frame dimensions. Decoding
+    /// must return `Ok` or a typed `CodecError`; it must never panic, and
+    /// any frame it does accept must have the advertised size.
+    #[test]
+    fn decode_survives_corrupted_streams(
+        w in 2u32..10, h in 2u32..10, frames in 1usize..5, seed in any::<u64>(),
+        frame_pick in any::<u64>(),
+        byte_pick in any::<u64>(),
+        flip in 1u8..=255,
+        truncate_to in any::<u64>(),
+        bad_w in 0u32..64, bad_h in 0u32..64,
+    ) {
+        let imgs: Vec<ImageBuffer> = (0..frames)
+            .map(|k| {
+                ImageBuffer::from_fn(Size::new(w, h), |x, y| {
+                    let v = seed
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add((k as u64) << 40 | (x as u64) << 20 | y as u64);
+                    Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8)
+                })
+            })
+            .collect();
+        let video = InMemoryVideo::new(imgs, 30.0);
+        let mut enc = encode_video(&video);
+
+        // Bit-flip one byte of one payload.
+        let fi = (frame_pick % enc.frames.len() as u64) as usize;
+        let mut payload = enc.frames[fi].to_vec();
+        if !payload.is_empty() {
+            let bi = (byte_pick % payload.len() as u64) as usize;
+            payload[bi] ^= flip;
+        }
+        enc.frames[fi] = bytes::Bytes::from(payload);
+        if let Ok(frames) = decode_video(&enc) {
+            for f in &frames {
+                prop_assert_eq!(f.size(), Size::new(enc.width, enc.height));
+            }
+        }
+
+        // Truncate the flipped payload.
+        let mut truncated = enc.clone();
+        let cut = (truncate_to % (truncated.frames[fi].len() as u64 + 1)) as usize;
+        let mut short = truncated.frames[fi].to_vec();
+        short.truncate(cut);
+        truncated.frames[fi] = bytes::Bytes::from(short);
+        let _ = decode_video(&truncated);
+
+        // Lie about the dimensions (including zero and mismatched sizes).
+        let mut lied = enc.clone();
+        lied.width = bad_w;
+        lied.height = bad_h;
+        let _ = decode_video(&lied);
+    }
+
     #[test]
     fn fill_rect_touches_only_rect_pixels(bx in 0.0..20.0f64, by in 0.0..20.0f64,
                                           bw in 0.0..10.0f64, bh in 0.0..10.0f64) {

@@ -40,6 +40,21 @@ fn sample_indices(start: usize, end: usize, max_samples: usize) -> Vec<usize> {
     }
 }
 
+/// Uniformly samples up to `max_samples` entries from a non-empty candidate
+/// list (same spacing rule as [`sample_indices`], applied positionally).
+fn sample_from(candidates: &[usize], max_samples: usize) -> Vec<usize> {
+    debug_assert!(!candidates.is_empty());
+    let n = candidates.len();
+    let take = max_samples.max(1).min(n);
+    if take == n {
+        candidates.to_vec()
+    } else {
+        (0..take)
+            .map(|i| candidates[i * (n - 1) / (take - 1).max(1)])
+            .collect()
+    }
+}
+
 /// Estimates the background over the frame range `[start, end]` of `src` by
 /// per-pixel, per-channel temporal median. Rejects inverted ranges and
 /// ranges extending past the end of the video.
@@ -49,6 +64,22 @@ pub fn median_background<S: FrameSource + Sync>(
     end: usize,
     config: &BackgroundConfig,
 ) -> Result<ImageBuffer, VisionError> {
+    median_background_excluding(src, start, end, config, &[])
+}
+
+/// [`median_background`] over only the frames of `[start, end]` whose
+/// indices are *not* in `excluded` (sorted or not). Fault-tolerant
+/// ingestion passes the skipped-frame list here so backfilled rasters —
+/// duplicates of their neighbors — cannot bias the per-pixel median. If
+/// exclusion would leave no frame at all, the full range is used instead
+/// (a duplicated raster is still a better background estimate than none).
+pub fn median_background_excluding<S: FrameSource + Sync>(
+    src: &S,
+    start: usize,
+    end: usize,
+    config: &BackgroundConfig,
+    excluded: &[usize],
+) -> Result<ImageBuffer, VisionError> {
     if start > end || end >= src.num_frames() {
         return Err(VisionError::InvalidRange {
             start,
@@ -56,7 +87,12 @@ pub fn median_background<S: FrameSource + Sync>(
             num_frames: src.num_frames(),
         });
     }
-    let indices = sample_indices(start, end, config.max_samples);
+    let healthy: Vec<usize> = (start..=end).filter(|k| !excluded.contains(k)).collect();
+    let indices = if healthy.is_empty() {
+        sample_indices(start, end, config.max_samples)
+    } else {
+        sample_from(&healthy, config.max_samples)
+    };
     let frames: Vec<ImageBuffer> = indices.par_iter().map(|&k| src.frame(k)).collect();
     let size = src.frame_size();
 
@@ -132,7 +168,10 @@ mod tests {
         let mut frames = Vec::new();
         for k in 0..12usize {
             let mut img = ImageBuffer::new(size, bg);
-            img.fill_rect(BBox::new(k as f64 * 2.0, 5.0, 3.0, 6.0), Rgb::new(220, 30, 30));
+            img.fill_rect(
+                BBox::new(k as f64 * 2.0, 5.0, 3.0, 6.0),
+                Rgb::new(220, 30, 30),
+            );
             frames.push(img);
         }
         (InMemoryVideo::new(frames, 30.0), bg)
@@ -178,19 +217,56 @@ mod tests {
         let cfg = BackgroundConfig::default();
         assert_eq!(
             median_background(&v, 5, 3, &cfg),
-            Err(VisionError::InvalidRange { start: 5, end: 3, num_frames: 12 })
+            Err(VisionError::InvalidRange {
+                start: 5,
+                end: 3,
+                num_frames: 12
+            })
         );
         assert_eq!(
             median_background(&v, 0, 12, &cfg),
-            Err(VisionError::InvalidRange { start: 0, end: 12, num_frames: 12 })
+            Err(VisionError::InvalidRange {
+                start: 0,
+                end: 12,
+                num_frames: 12
+            })
         );
         assert!(segment_backgrounds(&v, &[(0, 5), (6, 99)], &cfg).is_err());
     }
 
     #[test]
+    fn excluding_skipped_frames_removes_their_bias() {
+        // Frames 0..6 are pure background; frames 6..12 are "backfilled"
+        // copies of a contaminated raster. With 6 of 12 frames excluded the
+        // median sees only clean frames.
+        let bg = Rgb::new(90, 120, 90);
+        let size = Size::new(8, 8);
+        let clean = ImageBuffer::new(size, bg);
+        let mut dirty = clean.clone();
+        dirty.fill_rect(BBox::new(0.0, 0.0, 8.0, 8.0), Rgb::new(250, 0, 0));
+        let frames: Vec<ImageBuffer> = (0..12)
+            .map(|k| if k < 6 { clean.clone() } else { dirty.clone() })
+            .collect();
+        let v = InMemoryVideo::new(frames, 30.0);
+        let excluded: Vec<usize> = (6..12).collect();
+        let cfg = BackgroundConfig::default();
+        let model = median_background_excluding(&v, 0, 11, &cfg, &excluded).unwrap();
+        assert_eq!(model.get(3, 3), bg);
+        // With everything excluded the full range is used as a fallback.
+        let all: Vec<usize> = (0..12).collect();
+        let fallback = median_background_excluding(&v, 0, 11, &cfg, &all).unwrap();
+        assert_eq!(fallback.size(), size);
+        // And with no exclusions it matches the plain median.
+        let plain = median_background(&v, 0, 11, &cfg).unwrap();
+        let none = median_background_excluding(&v, 0, 11, &cfg, &[]).unwrap();
+        assert_eq!(plain, none);
+    }
+
+    #[test]
     fn segment_backgrounds_one_per_segment() {
         let (v, _) = moving_object_video();
-        let bgs = segment_backgrounds(&v, &[(0, 5), (6, 11)], &BackgroundConfig::default()).unwrap();
+        let bgs =
+            segment_backgrounds(&v, &[(0, 5), (6, 11)], &BackgroundConfig::default()).unwrap();
         assert_eq!(bgs.len(), 2);
         assert_eq!(bgs[0].size(), Size::new(24, 16));
     }

@@ -1,7 +1,8 @@
 //! Adversarial never-panic certification of the public sanitizer API.
 //!
-//! Every entry point of [`Verro`] — `sanitize`, `sanitize_per_class`, and
-//! `sanitize_with_tracking` — is driven with hostile inputs: annotations
+//! Every entry point of [`Verro`] — `sanitize`, `sanitize_per_class`,
+//! `sanitize_with_tracking`, and the fallible `sanitize_fallible` (behind a
+//! hostile [`FaultySource`]) — is driven with hostile inputs: annotations
 //! whose frame count disagrees with the video, out-of-frame and zero-area
 //! boxes, duplicate and sparse object IDs, and type-valid but semantically
 //! degenerate configurations (flip probabilities outside `(0, 1]`, zero
@@ -16,14 +17,17 @@
 
 use proptest::prelude::*;
 use verro_core::config::{BackgroundMode, NoiseLevel, OptimizerStrategy, VerroConfig};
+use verro_core::error::VerroError;
 use verro_core::optimize::ObjectiveForm;
 use verro_core::Verro;
 use verro_video::annotations::VideoAnnotations;
+use verro_video::fault::{FaultSchedule, FaultySource};
 use verro_video::geometry::{BBox, Size};
 use verro_video::image::ImageBuffer;
-use verro_video::Rgb;
 use verro_video::object::{ObjectClass, ObjectId};
+use verro_video::recover::{CorruptAction, RecoveryPolicy, RepairMethod};
 use verro_video::source::FrameSource;
+use verro_video::Rgb;
 use verro_vision::detect::DetectorConfig;
 use verro_vision::interp::InterpMethod;
 use verro_vision::track::TrackerConfig;
@@ -72,13 +76,13 @@ type ArbObject = (u32, usize, usize, f64, f64, f64, f64);
 fn arb_objects() -> impl Strategy<Value = Vec<ArbObject>> {
     prop::collection::vec(
         (
-            0u32..5,       // id — small range forces duplicates
-            0usize..14,    // first frame
-            1usize..10,    // run length
-            -60.0..420.0,  // x (often outside the 24-px frame)
-            -60.0..300.0,  // y
-            0.0..50.0f64,  // w (zero-area allowed)
-            0.0..50.0f64,  // h
+            0u32..5,      // id — small range forces duplicates
+            0usize..14,   // first frame
+            1usize..10,   // run length
+            -60.0..420.0, // x (often outside the 24-px frame)
+            -60.0..300.0, // y
+            0.0..50.0f64, // w (zero-area allowed)
+            0.0..50.0f64, // h
         ),
         0..6,
     )
@@ -91,10 +95,83 @@ fn build_annotations(num_frames: usize, objects: &[ArbObject]) -> VideoAnnotatio
             if k >= num_frames {
                 break;
             }
-            ann.record(ObjectId(id), ObjectClass::Pedestrian, k, BBox::new(x, y, w, h));
+            ann.record(
+                ObjectId(id),
+                ObjectClass::Pedestrian,
+                k,
+                BBox::new(x, y, w, h),
+            );
         }
     }
     ann
+}
+
+/// Fault rates including the hostile band: negative, above 1, NaN, and
+/// infinite rates must all be absorbed by the schedule's clamping.
+fn arb_rate() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0..1.0f64,
+        0.0..0.6f64,
+        -2.0..2.0f64,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+    ]
+}
+
+/// Arbitrary fault schedules, hostile rates included.
+fn arb_schedule() -> impl Strategy<Value = FaultSchedule> {
+    (
+        any::<u64>(),
+        arb_rate(),
+        0u32..5,
+        (arb_rate(), arb_rate(), arb_rate(), arb_rate()),
+    )
+        .prop_map(
+            |(
+                seed,
+                transient_rate,
+                max_transient_run,
+                (corrupt_rate, truncate_rate, missing_rate, permanent_rate),
+            )| {
+                FaultSchedule {
+                    seed,
+                    transient_rate,
+                    max_transient_run,
+                    corrupt_rate,
+                    truncate_rate,
+                    missing_rate,
+                    permanent_rate,
+                }
+            },
+        )
+}
+
+/// Arbitrary recovery policies over the full knob space (including zero
+/// retries and zero backoff).
+fn arb_policy() -> impl Strategy<Value = RecoveryPolicy> {
+    (
+        0u32..5,
+        0u64..100,
+        0u64..2000,
+        prop_oneof![
+            Just(CorruptAction::Repair),
+            Just(CorruptAction::Skip),
+            Just(CorruptAction::Fail),
+        ],
+        prop_oneof![
+            Just(RepairMethod::HoldLast),
+            Just(RepairMethod::TemporalBlend)
+        ],
+    )
+        .prop_map(
+            |(max_retries, backoff_base_ms, backoff_cap_ms, on_corrupt, repair)| RecoveryPolicy {
+                max_retries,
+                backoff_base_ms,
+                backoff_cap_ms,
+                on_corrupt,
+                repair,
+            },
+        )
 }
 
 /// Type-valid configurations, including semantically invalid knobs that
@@ -112,7 +189,10 @@ fn arb_config() -> impl Strategy<Value = VerroConfig> {
         Just(OptimizerStrategy::Exact),
         Just(OptimizerStrategy::AllKeyFrames),
     ];
-    let objective = prop_oneof![Just(ObjectiveForm::FullDistortion), Just(ObjectiveForm::PaperEq9)];
+    let objective = prop_oneof![
+        Just(ObjectiveForm::FullDistortion),
+        Just(ObjectiveForm::PaperEq9)
+    ];
     let interp = prop_oneof![
         (0usize..6).prop_map(|window| InterpMethod::Lagrange { window }),
         Just(InterpMethod::Linear),
@@ -234,6 +314,37 @@ proptest! {
                 tracker,
                 ObjectClass::Pedestrian,
             );
+        }
+    }
+
+    /// The fallible path never panics either: arbitrary seeded fault
+    /// schedules (hostile rates included) and arbitrary recovery policies
+    /// over adversarial videos must land on `Ok` — with a complete health
+    /// log — or a typed error, `SourceExhausted` included.
+    #[test]
+    fn sanitize_fallible_never_panics(
+        cfg in arb_config(),
+        video_frames in 0usize..12,
+        ann_frames in 0usize..14,
+        objects in arb_objects(),
+        video_seed in any::<u64>(),
+        schedule in arb_schedule(),
+        policy in arb_policy(),
+    ) {
+        let video = make_video(video_frames, video_seed);
+        let ann = build_annotations(ann_frames, &objects);
+        if let Ok(verro) = Verro::new(cfg) {
+            let src = FaultySource::new(video, schedule);
+            match verro.sanitize_fallible(&src, &ann, policy) {
+                Ok(result) => {
+                    prop_assert_eq!(result.health.num_frames(), video_frames);
+                }
+                Err(VerroError::SourceExhausted { error, health }) => {
+                    prop_assert!(error.frame() <= video_frames);
+                    prop_assert!(health.num_frames() <= video_frames);
+                }
+                Err(_) => {}
+            }
         }
     }
 }
