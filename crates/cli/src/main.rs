@@ -49,6 +49,8 @@ SANITIZE OPTIONS:
     --fps <N>          frame rate for timing metadata        [default: 30]
     --fast             temporal-median backgrounds instead of inpainting
     --track            force detector+tracker preprocessing even with --gt
+    --cache-budget <M> decoded-frame cache budget in MiB (0 disables; the
+                       output is byte-identical either way) [default: 256]
 
 RECOVERY OPTIONS (sanitize and demo):
     --max-retries <N>  retry budget per frame for transient faults [default: 3]
@@ -207,6 +209,12 @@ fn build_config(flags: &Flags) -> Result<VerroConfig, CliError> {
     if flags.switch("--fast") {
         cfg.background = BackgroundMode::TemporalMedian;
     }
+    if let Some(mib) = flags
+        .parse::<usize>("--cache-budget")
+        .map_err(CliError::Usage)?
+    {
+        cfg = cfg.with_cache_budget(mib.saturating_mul(1024 * 1024));
+    }
     cfg.validate()
         .map_err(|msg| CliError::Pipeline(VerroError::BadConfig(msg)))?;
     Ok(cfg)
@@ -275,19 +283,35 @@ fn load_frames(dir: &Path) -> Result<InMemoryVideo, CliError> {
     InMemoryVideo::try_new(frames, 30.0).map_err(|e| CliError::Data(e.to_string()))
 }
 
+/// Writes the sanitized frames, annotations, and privacy statement.
+/// Returns the result's timings with the writer-side `render` / `encode`
+/// fields filled in (frame rendering is frame-parallel; encoding reuses one
+/// pooled PPM scratch buffer across frames).
 fn write_outputs(
     out: &Path,
     result: &verro_core::SanitizedResult,
     fps: f64,
-) -> Result<(), CliError> {
+) -> Result<verro_core::PhaseTimings, CliError> {
+    use std::time::Instant;
+    use verro_video::BufferPool;
     std::fs::create_dir_all(out)
         .map_err(|e| CliError::Data(format!("cannot create {}: {e}", out.display())))?;
-    for k in 0..FrameSource::num_frames(&result.video) {
-        let frame = result.video.frame(k);
+    let t_render = Instant::now();
+    let frames = result.video.render_all();
+    let mut timings = result.timings;
+    timings.render = t_render.elapsed();
+    let size = FrameSource::frame_size(&result.video);
+    let pool = BufferPool::new();
+    let mut ppm = pool.acquire((size.width as usize) * (size.height as usize) * 3 + 32);
+    let t_encode = Instant::now();
+    for (k, frame) in frames.iter().enumerate() {
+        frame.write_ppm_into(&mut ppm);
         let path = out.join(format!("{k:06}.ppm"));
-        std::fs::write(&path, frame.to_ppm())
+        std::fs::write(&path, &ppm[..])
             .map_err(|e| CliError::Data(format!("{}: {e}", path.display())))?;
     }
+    timings.encode = t_encode.elapsed();
+    drop(ppm);
     std::fs::write(
         out.join("synthetic_gt.txt"),
         result.phase2.synthetic.to_mot_text(),
@@ -311,19 +335,21 @@ fn write_outputs(
             "total_backoff_ms": result.health.total_backoff_ms,
         },
         "timings_secs": {
-            "preprocess": result.timings.preprocess.as_secs_f64(),
-            "preprocess_keyframes": result.timings.preprocess_keyframes.as_secs_f64(),
-            "preprocess_backgrounds": result.timings.preprocess_backgrounds.as_secs_f64(),
-            "preprocess_detect_track": result.timings.preprocess_detect_track.as_secs_f64(),
-            "phase1": result.timings.phase1.as_secs_f64(),
-            "phase2": result.timings.phase2.as_secs_f64(),
+            "preprocess": timings.preprocess.as_secs_f64(),
+            "preprocess_keyframes": timings.preprocess_keyframes.as_secs_f64(),
+            "preprocess_backgrounds": timings.preprocess_backgrounds.as_secs_f64(),
+            "preprocess_detect_track": timings.preprocess_detect_track.as_secs_f64(),
+            "phase1": timings.phase1.as_secs_f64(),
+            "phase2": timings.phase2.as_secs_f64(),
+            "render": timings.render.as_secs_f64(),
+            "encode": timings.encode.as_secs_f64(),
         },
     });
     let statement_json = serde_json::to_string_pretty(&statement)
         .map_err(|e| CliError::Data(format!("cannot serialize privacy statement: {e}")))?;
     std::fs::write(out.join("privacy.json"), statement_json)
         .map_err(|e| CliError::Data(e.to_string()))?;
-    Ok(())
+    Ok(timings)
 }
 
 /// Runs the configured sanitization over any fallible source (infallible
@@ -408,19 +434,20 @@ fn cmd_sanitize(args: &[String]) -> Result<(), CliError> {
         None => run_sanitize(&verro, &video, annotations.as_ref(), track, policy)?,
     };
 
-    write_outputs(&out, &result, fps)?;
+    let t = write_outputs(&out, &result, fps)?;
     if result.health.is_degraded() {
         eprintln!("source health: {}", result.health.summary());
     }
-    let t = &result.timings;
     eprintln!(
-        "timings: preprocess {:.3}s (keyframes {:.3}s, backgrounds {:.3}s, detect+track {:.3}s), phase1 {:.3}s, phase2 {:.3}s",
+        "timings: preprocess {:.3}s (keyframes {:.3}s, backgrounds {:.3}s, detect+track {:.3}s), phase1 {:.3}s, phase2 {:.3}s, render {:.3}s, encode {:.3}s",
         t.preprocess.as_secs_f64(),
         t.preprocess_keyframes.as_secs_f64(),
         t.preprocess_backgrounds.as_secs_f64(),
         t.preprocess_detect_track.as_secs_f64(),
         t.phase1.as_secs_f64(),
         t.phase2.as_secs_f64(),
+        t.render.as_secs_f64(),
+        t.encode.as_secs_f64(),
     );
     eprintln!(
         "done: {} synthetic objects, epsilon_RR = {:.2} over {} picked key frames -> {}",
@@ -518,7 +545,7 @@ fn cmd_demo(args: &[String]) -> Result<(), CliError> {
         }
         None => verro.sanitize_fallible(&video, &annotations, policy)?,
     };
-    write_outputs(&out, &result, 30.0)?;
+    let _ = write_outputs(&out, &result, 30.0)?;
     if result.health.is_degraded() {
         eprintln!("source health: {}", result.health.summary());
     }

@@ -97,8 +97,19 @@ pub struct VerroConfig {
     pub inpaint: InpaintConfig,
     /// Frames sampled for the temporal background model.
     pub background_samples: usize,
+    /// Byte budget for the decoded-frame LRU cache shared by key-frame
+    /// extraction, background reconstruction and detection (the
+    /// single-ingestion pass). `0` disables caching; the output is
+    /// byte-identical either way because [`verro_video::CachedSource`]
+    /// only memoizes the deterministic frame decode.
+    #[serde(default = "default_frame_cache_budget")]
+    pub frame_cache_budget: usize,
     /// Master randomness seed (reproducible sanitization).
     pub seed: u64,
+}
+
+fn default_frame_cache_budget() -> usize {
+    verro_video::DEFAULT_CACHE_BUDGET
 }
 
 impl Default for VerroConfig {
@@ -116,6 +127,7 @@ impl Default for VerroConfig {
             background: BackgroundMode::KeyFrameInpaint,
             inpaint: InpaintConfig::default(),
             background_samples: 15,
+            frame_cache_budget: default_frame_cache_budget(),
             seed: 0,
         }
     }
@@ -188,6 +200,12 @@ impl VerroConfig {
         self.optimizer = strategy;
         self
     }
+
+    /// Sets the decoded-frame cache budget in bytes (`0` disables caching).
+    pub fn with_cache_budget(mut self, bytes: usize) -> Self {
+        self.frame_cache_budget = bytes;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +263,30 @@ mod tests {
         let mut cfg = VerroConfig::default();
         cfg.inpaint.patch_radius = -1;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn cache_budget_defaults_and_survives_serde() {
+        let cfg = VerroConfig::default();
+        assert_eq!(cfg.frame_cache_budget, verro_video::DEFAULT_CACHE_BUDGET);
+        let zero = cfg.clone().with_cache_budget(0);
+        assert_eq!(zero.frame_cache_budget, 0);
+        assert!(zero.validate().is_ok());
+        // Configs serialized before the field existed must deserialize with
+        // the default budget: strip the key out of the serialized form and
+        // round-trip what remains.
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let start = json
+            .find("\"frame_cache_budget\"")
+            .expect("field serialized");
+        let end = start
+            + json[start..]
+                .find(',')
+                .expect("field is not last in the object")
+            + 1;
+        let legacy = format!("{}{}", &json[..start], &json[end..]);
+        let back: VerroConfig = serde_json::from_str(&legacy).expect("deserialize");
+        assert_eq!(back.frame_cache_budget, verro_video::DEFAULT_CACHE_BUDGET);
     }
 
     #[test]

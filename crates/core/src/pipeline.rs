@@ -19,12 +19,14 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 use verro_video::annotations::VideoAnnotations;
+use verro_video::cache::CachedSource;
 use verro_video::fault::TryFrameSource;
 use verro_video::object::ObjectClass;
 use verro_video::recover::{ingest_with_recovery, FrameHealthReport, RecoveryPolicy};
 use verro_video::source::FrameSource;
-use verro_vision::detect::{detect, DetectorConfig};
-use verro_vision::keyframe::{extract_key_frames, KeyFrameResult};
+use verro_vision::detect::{detect_all, DetectorConfig};
+use verro_vision::histogram::{compute_frame_stats, FrameStats};
+use verro_vision::keyframe::{extract_key_frames, segment_histograms, KeyFrameResult};
 use verro_vision::track::{SortTracker, TrackerConfig};
 
 /// Wall-clock cost of each stage (Table 3 rows).
@@ -34,20 +36,32 @@ pub struct PhaseTimings {
     /// tracking when the pipeline ran them). Equals the sum of the three
     /// `preprocess_*` breakdown fields.
     pub preprocess: Duration,
-    /// Preprocess breakdown: Algorithm 2 key-frame extraction.
+    /// Preprocess breakdown: Algorithm 2 key-frame extraction. When the
+    /// tracking pipeline precomputes per-frame stats in its fused ingestion
+    /// pass, the histogram cost lands in `preprocess_detect_track` and this
+    /// field covers only the sequential clustering.
     #[serde(default)]
     pub preprocess_keyframes: Duration,
     /// Preprocess breakdown: per-segment background reconstruction.
     #[serde(default)]
     pub preprocess_backgrounds: Duration,
-    /// Preprocess breakdown: background subtraction, detection, and SORT
-    /// tracking (zero unless the pipeline ran its own tracking).
+    /// Preprocess breakdown: the fused stats pass (when tracking),
+    /// background subtraction, detection, and SORT tracking (zero unless
+    /// the pipeline ran its own tracking).
     #[serde(default)]
     pub preprocess_detect_track: Duration,
     /// Dimension reduction + optimization + randomized response.
     pub phase1: Duration,
     /// Coordinate assignment + interpolation + synthesis assembly.
     pub phase2: Duration,
+    /// Rendering V* frames to rasters. Zero inside the library (frames are
+    /// rendered lazily); writers such as the CLI fill it in.
+    #[serde(default)]
+    pub render: Duration,
+    /// Encoding rendered rasters to the output container. Zero inside the
+    /// library; writers such as the CLI fill it in.
+    #[serde(default)]
+    pub encode: Duration,
 }
 
 /// Everything a sanitization run produces.
@@ -134,7 +148,10 @@ impl Verro {
     }
 
     /// Shared body of [`sanitize`](Self::sanitize) and
-    /// [`sanitize_with_tracking`](Self::sanitize_with_tracking).
+    /// [`sanitize_with_tracking`](Self::sanitize_with_tracking). Wraps the
+    /// source in the shared decoded-frame LRU cache so key-frame extraction
+    /// and background reconstruction decode each frame at most once, then
+    /// delegates to [`sanitize_cached`](Self::sanitize_cached).
     /// `detection_background` is a whole-clip temporal-median background a
     /// caller already paid for; it is reused (instead of re-reduced) when
     /// it matches what `build_backgrounds` would compute — temporal-median
@@ -144,6 +161,24 @@ impl Verro {
         src: &S,
         annotations: &VideoAnnotations,
         detection_background: Option<&verro_video::image::ImageBuffer>,
+    ) -> Result<SanitizedResult, VerroError> {
+        let cached = CachedSource::new(src, self.config.frame_cache_budget);
+        self.sanitize_cached(&cached, annotations, detection_background, None)
+    }
+
+    /// The single-ingestion sanitizer body. `stats` carries per-frame fused
+    /// histogram/luma stats a caller already computed (the tracking
+    /// pipeline's ingestion pass); when present, Algorithm 2 reuses them via
+    /// [`segment_histograms`] instead of re-decoding frames. Both paths are
+    /// byte-identical because [`extract_key_frames`] computes the very same
+    /// fused stats internally, and caching only memoizes the deterministic
+    /// frame decode (certified by `tests/pipeline_cache_identity.rs`).
+    fn sanitize_cached<S: FrameSource + Sync>(
+        &self,
+        src: &S,
+        annotations: &VideoAnnotations,
+        detection_background: Option<&verro_video::image::ImageBuffer>,
+        stats: Option<&[FrameStats]>,
     ) -> Result<SanitizedResult, VerroError> {
         if src.num_frames() == 0 {
             return Err(VerroError::EmptyVideo);
@@ -158,7 +193,22 @@ impl Verro {
 
         // Preprocessing: Algorithm 2 segmentation + background scenes.
         let t0 = Instant::now();
-        let key_frames = extract_key_frames(src, &self.config.keyframe)?;
+        let key_frames = match stats {
+            Some(stats) => {
+                // Reuse the fused ingestion pass: pick the same sampled
+                // indices extract_key_frames would, take their histograms
+                // from the precomputed stats, and run the identical
+                // sequential clustering.
+                let stride = self.config.keyframe.stride.max(1);
+                let sampled: Vec<usize> = (0..src.num_frames()).step_by(stride).collect();
+                let histograms: Vec<_> = sampled
+                    .iter()
+                    .map(|&k| stats[k].histogram.clone())
+                    .collect();
+                segment_histograms(&sampled, &histograms, &self.config.keyframe)?
+            }
+            None => extract_key_frames(src, &self.config.keyframe)?,
+        };
         let preprocess_keyframes = t0.elapsed();
         let tb = Instant::now();
         let full_clip_single_segment = key_frames.segments.len() == 1
@@ -220,6 +270,8 @@ impl Verro {
                 preprocess_detect_track: Duration::ZERO,
                 phase1: phase1_time,
                 phase2: phase2_time,
+                render: Duration::ZERO,
+                encode: Duration::ZERO,
             },
             utility,
             privacy,
@@ -249,6 +301,9 @@ impl Verro {
         }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
+        // One decoded-frame cache shared by key-frame extraction and the
+        // per-segment background reconstruction.
+        let src = &CachedSource::new(src, self.config.frame_cache_budget);
         let t0 = Instant::now();
         let key_frames = extract_key_frames(src, &self.config.keyframe)?;
         let preprocess_keyframes = t0.elapsed();
@@ -318,6 +373,8 @@ impl Verro {
                 preprocess_detect_track: Duration::ZERO,
                 phase1: phase1_time,
                 phase2: phase2_time,
+                render: Duration::ZERO,
+                encode: Duration::ZERO,
             },
             health: FrameHealthReport::all_ok(src.num_frames()),
         })
@@ -354,39 +411,46 @@ impl Verro {
         if src.num_frames() == 0 {
             return Err(VerroError::EmptyVideo);
         }
-        // Background model over the whole clip for subtraction.
+        // Single ingestion pass: one decoded-frame cache feeds the temporal
+        // median, the fused per-frame stats (HSV histogram + mean luma, one
+        // raster traversal), parallel detection, and the sanitizer body.
+        let cached = CachedSource::new(src, self.config.frame_cache_budget);
         let td = Instant::now();
+        // Background model over the whole clip for subtraction.
         let bg = verro_vision::bgmodel::median_background_excluding(
-            src,
+            &cached,
             0,
-            src.num_frames() - 1,
+            cached.num_frames() - 1,
             &verro_vision::bgmodel::BackgroundConfig {
                 max_samples: self.config.background_samples,
             },
             skipped,
         )?;
+        // Fused stats over every frame (skipped frames included — their
+        // backfilled rasters fed the key-frame histograms before this
+        // restructuring too, so behavior is unchanged).
+        let stats = compute_frame_stats(&cached, self.config.keyframe.bins);
+        let lumas: Vec<f64> = stats.iter().map(|s| s.mean_luma).collect();
+        // Per-frame detection is a pure function of (frame, background), so
+        // it fans out across frames; only the SORT update below is
+        // order-sensitive, and it consumes the collected detections in
+        // ascending frame order — identical tracks to the serial loop.
+        let detections = detect_all(&cached, &bg, detector, &lumas, skipped)?;
         let mut tracker = SortTracker::new(tracker_config, class);
-        for k in 0..src.num_frames() {
-            if skipped.contains(&k) {
-                tracker.step(k, &[])?;
-                continue;
-            }
-            let frame = src.frame(k);
-            let dets: Vec<_> = detect(&frame, &bg, detector)?
-                .into_iter()
-                .map(|d| d.bbox)
-                .collect();
-            tracker.step(k, &dets)?;
+        for (k, dets) in detections.iter().enumerate() {
+            let boxes: Vec<_> = dets.iter().map(|d| d.bbox).collect();
+            tracker.step(k, &boxes)?;
         }
         // A tracker that finds zero objects is not an error: the degraded
         // result is an empty-but-valid V* whose ε accounting is still exact.
-        let annotations = tracker.finish(src.num_frames());
+        let annotations = tracker.finish(cached.num_frames());
         let detect_track = td.elapsed();
         // Static single-segment videos reuse the detection background
         // instead of recomputing the same temporal median — but only when
         // nothing was excluded, since the segment median samples all frames.
         let detection_background = if skipped.is_empty() { Some(&bg) } else { None };
-        let mut result = self.sanitize_impl(src, &annotations, detection_background)?;
+        let mut result =
+            self.sanitize_cached(&cached, &annotations, detection_background, Some(&stats))?;
         // The tracking stage is preprocessing too; fold it into the report.
         result.timings.preprocess_detect_track = detect_track;
         result.timings.preprocess += detect_track;

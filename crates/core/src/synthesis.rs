@@ -192,6 +192,16 @@ impl SyntheticVideo {
         self.colors.get(&id).copied()
     }
 
+    /// Renders every frame of `V*` in parallel. Each frame is a pure
+    /// function of the (immutable) backgrounds, annotations, and color
+    /// table, and `par_iter().map().collect()` preserves frame order, so
+    /// the result is bit-identical to calling [`FrameSource::frame`] for
+    /// `0..num_frames` serially, at any thread count.
+    pub fn render_all(&self) -> Vec<ImageBuffer> {
+        let indices: Vec<usize> = (0..self.num_frames).collect();
+        indices.par_iter().map(|&k| self.frame(k)).collect()
+    }
+
     /// Renders one synthetic object: a capsule (ellipse body + head disc)
     /// of a single color — the same shape for every object.
     fn draw_capsule(img: &mut ImageBuffer, bbox: BBox, color: Rgb) {
@@ -352,6 +362,16 @@ mod tests {
             for x in 0..40 {
                 assert_ne!(bg.get(x, y), Rgb::new(255, 0, 0), "red at ({x},{y})");
             }
+        }
+    }
+
+    #[test]
+    fn render_all_matches_serial_frames() {
+        let v = simple_synthetic();
+        let rendered = v.render_all();
+        assert_eq!(rendered.len(), 10);
+        for (k, img) in rendered.iter().enumerate() {
+            assert_eq!(*img, v.frame(k), "frame {k}");
         }
     }
 

@@ -1,0 +1,291 @@
+//! Bounded decoded-frame cache shared by the pipeline's preprocessing
+//! stages.
+//!
+//! Key-frame extraction, background reconstruction, and detection each walk
+//! the input video; without a cache every walk re-decodes (or re-renders)
+//! every frame it touches. [`CachedSource`] wraps any [`FrameSource`] with
+//! an LRU raster cache under a byte budget so the pipeline pays for each
+//! frame's decode once and the later stages read the retained raster.
+//!
+//! Correctness rests on the [`FrameSource`] determinism contract: `frame(k)`
+//! returns a bit-identical raster on every call, so serving a cached copy
+//! (or re-rendering after an eviction) cannot change any downstream result.
+//! The cache holds no randomness and no floating-point state — it is
+//! invisible to the sanitizer's output, which the cached-vs-uncached
+//! identity test in `tests/pipeline_cache_identity.rs` certifies.
+
+use crate::geometry::Size;
+use crate::image::ImageBuffer;
+use crate::source::FrameSource;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default cache budget: 256 MiB, enough for ~450 frames of 1080p RGB
+/// while staying far from the memory ceiling of a commodity worker.
+pub const DEFAULT_CACHE_BUDGET: usize = 256 * 1024 * 1024;
+
+/// Hit/miss counters of a [`CachedSource`] (observability + benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Rasters currently retained.
+    pub entries: usize,
+    /// Bytes currently retained.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; zero for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    image: Arc<ImageBuffer>,
+    last_used: u64,
+}
+
+struct CacheState {
+    entries: HashMap<usize, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A [`FrameSource`] adapter that memoizes decoded frames under a byte
+/// budget with least-recently-used eviction.
+///
+/// A budget of `0` disables caching entirely: every `frame(k)` forwards to
+/// the underlying source, which is also the fallback for frames larger than
+/// the whole budget. The lock is *not* held while the underlying source
+/// renders, so parallel readers never serialize on a miss; two threads
+/// missing the same frame concurrently both render it (harmless, the
+/// results are bit-identical by the `FrameSource` contract) and the second
+/// insert wins.
+pub struct CachedSource<'a, S> {
+    src: &'a S,
+    budget: usize,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a, S: FrameSource> CachedSource<'a, S> {
+    /// Wraps `src` with a cache holding at most `budget` bytes of rasters.
+    pub fn new(src: &'a S, budget: usize) -> Self {
+        Self {
+            src,
+            budget,
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped source.
+    pub fn source(&self) -> &S {
+        self.src
+    }
+
+    // Inherent mirrors of the metadata accessors. Every `FrameSource` also
+    // gets a blanket `TryFrameSource` impl, and both traits expose these
+    // names; callers with both traits in scope would otherwise need UFCS at
+    // every call site. Inherent methods win resolution unambiguously.
+
+    /// Frame count of the wrapped source.
+    pub fn num_frames(&self) -> usize {
+        self.src.num_frames()
+    }
+
+    /// Frame dimensions of the wrapped source.
+    pub fn frame_size(&self) -> Size {
+        self.src.frame_size()
+    }
+
+    /// Frame rate of the wrapped source.
+    pub fn fps(&self) -> f64 {
+        self.src.fps()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock().expect("cache lock poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: state.entries.len(),
+            bytes: state.bytes,
+        }
+    }
+
+    /// The frame as a shared handle — the cheapest read path when the
+    /// caller only needs a borrow (the pipeline's fused stats pass).
+    pub fn frame_arc(&self, k: usize) -> Arc<ImageBuffer> {
+        if self.budget == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(self.src.frame(k));
+        }
+        {
+            let mut state = self.state.lock().expect("cache lock poisoned");
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(entry) = state.entries.get_mut(&k) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.image);
+            }
+        }
+        // Miss: render outside the lock so other readers proceed.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let image = Arc::new(self.src.frame(k));
+        let cost = image.byte_len();
+        if cost <= self.budget {
+            let mut state = self.state.lock().expect("cache lock poisoned");
+            state.tick += 1;
+            let tick = state.tick;
+            let replaced = state.entries.insert(
+                k,
+                Entry {
+                    image: Arc::clone(&image),
+                    last_used: tick,
+                },
+            );
+            state.bytes += cost;
+            if let Some(old) = replaced {
+                state.bytes -= old.image.byte_len();
+            }
+            while state.bytes > self.budget {
+                // O(entries) scan; entry counts stay small because the
+                // budget caps them, and eviction only runs over budget.
+                let victim = state
+                    .entries
+                    .iter()
+                    .filter(|(&fk, _)| fk != k)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&fk, _)| fk);
+                match victim {
+                    Some(fk) => {
+                        if let Some(old) = state.entries.remove(&fk) {
+                            state.bytes -= old.image.byte_len();
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        image
+    }
+}
+
+impl<S: FrameSource> FrameSource for CachedSource<'_, S> {
+    fn num_frames(&self) -> usize {
+        self.src.num_frames()
+    }
+
+    fn frame_size(&self) -> Size {
+        self.src.frame_size()
+    }
+
+    fn frame(&self, k: usize) -> ImageBuffer {
+        (*self.frame_arc(k)).clone()
+    }
+
+    fn fps(&self) -> f64 {
+        self.src.fps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+    use crate::source::InMemoryVideo;
+
+    fn video(n: usize) -> InMemoryVideo {
+        let frames = (0..n)
+            .map(|k| ImageBuffer::new(Size::new(8, 8), Rgb::new(k as u8, 0, 0)))
+            .collect();
+        InMemoryVideo::new(frames, 30.0)
+    }
+
+    #[test]
+    fn serves_identical_frames() {
+        let v = video(5);
+        let cached = CachedSource::new(&v, DEFAULT_CACHE_BUDGET);
+        for k in 0..5 {
+            assert_eq!(cached.frame(k), v.frame(k));
+        }
+        // Second pass is all hits.
+        for k in 0..5 {
+            assert_eq!(cached.frame(k), v.frame(k));
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.hits, 5);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let v = video(3);
+        let cached = CachedSource::new(&v, 0);
+        for _ in 0..2 {
+            for k in 0..3 {
+                assert_eq!(cached.frame(k), v.frame(k));
+            }
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_under_budget() {
+        let v = video(4);
+        let frame_bytes = v.frame(0).byte_len();
+        // Room for exactly two frames.
+        let cached = CachedSource::new(&v, 2 * frame_bytes);
+        cached.frame(0);
+        cached.frame(1);
+        cached.frame(0); // touch 0 so 1 is the LRU victim
+        cached.frame(2); // evicts 1
+        assert_eq!(cached.stats().entries, 2);
+        cached.frame(0); // hit
+        cached.frame(1); // miss again
+        let stats = cached.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 4);
+        assert!(stats.bytes <= 2 * frame_bytes);
+    }
+
+    #[test]
+    fn oversized_frame_is_served_uncached() {
+        let v = video(2);
+        let cached = CachedSource::new(&v, 10); // smaller than one frame
+        assert_eq!(cached.frame(1), v.frame(1));
+        let stats = cached.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.bytes, 0);
+    }
+
+    #[test]
+    fn metadata_passes_through() {
+        let v = video(3);
+        let cached = CachedSource::new(&v, DEFAULT_CACHE_BUDGET);
+        assert_eq!(cached.num_frames(), 3);
+        assert_eq!(cached.frame_size(), Size::new(8, 8));
+        assert_eq!(cached.fps(), 30.0);
+    }
+}

@@ -614,7 +614,29 @@ impl FrameSource for GeneratedVideo {
 }
 
 /// Scales every channel of every pixel by `factor` (clamped to 8 bits).
+///
+/// The per-channel transform depends only on the byte value, so it runs as
+/// a 256-entry lookup over the contiguous raster — no per-pixel float math
+/// and no per-pixel bounds checks. Each table entry applies the exact
+/// formula of [`apply_brightness_reference`], so the output is bit-identical
+/// (guarded by a proptest in `crates/vision/tests/proptest_vision.rs`).
 pub fn apply_brightness(img: &mut ImageBuffer, factor: f64) {
+    if (factor - 1.0).abs() < 1e-12 {
+        return;
+    }
+    let mut lut = [0u8; 256];
+    for (v, entry) in lut.iter_mut().enumerate() {
+        *entry = ((v as f64 * factor).round()).clamp(0.0, 255.0) as u8;
+    }
+    for byte in img.bytes_mut() {
+        *byte = lut[*byte as usize];
+    }
+}
+
+/// The original per-pixel `get`/`set` implementation, retained as the
+/// equivalence baseline for [`apply_brightness`] and as the "before" arm of
+/// `verro-bench --bench-pipeline`.
+pub fn apply_brightness_reference(img: &mut ImageBuffer, factor: f64) {
     if (factor - 1.0).abs() < 1e-12 {
         return;
     }

@@ -185,11 +185,20 @@ impl ImageBuffer {
     /// Serializes as binary PPM (P6) — the format used to dump the
     /// representative frames of Figures 9–11.
     pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_ppm_into(&mut out);
+        out
+    }
+
+    /// Serializes as binary PPM (P6) into a caller-provided buffer, so an
+    /// encode loop over thousands of frames can reuse one allocation (e.g.
+    /// from a [`crate::pool::BufferPool`]). The buffer is cleared first.
+    pub fn write_ppm_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         let header = format!("P6\n{} {}\n255\n", self.size.width, self.size.height);
-        let mut out = Vec::with_capacity(header.len() + self.data.len());
+        out.reserve(header.len() + self.data.len());
         out.extend_from_slice(header.as_bytes());
         out.extend_from_slice(&self.data);
-        out
     }
 
     /// Parses a binary PPM (P6) produced by [`ImageBuffer::to_ppm`].

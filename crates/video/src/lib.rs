@@ -19,6 +19,7 @@
 //! ```
 
 pub mod annotations;
+pub mod cache;
 pub mod camera;
 pub mod codec;
 pub mod color;
@@ -28,6 +29,7 @@ pub mod generator;
 pub mod geometry;
 pub mod image;
 pub mod object;
+pub mod pool;
 pub mod recover;
 pub mod scene;
 pub mod source;
@@ -35,6 +37,7 @@ pub mod stats;
 pub mod trajectory;
 
 pub use annotations::VideoAnnotations;
+pub use cache::{CacheStats, CachedSource, DEFAULT_CACHE_BUDGET};
 pub use camera::Camera;
 pub use color::{Hsv, Rgb};
 pub use fault::{
@@ -45,6 +48,7 @@ pub use generator::{CompositeVideo, GeneratedVideo, MotPreset, VideoSpec};
 pub use geometry::{BBox, Point, Size};
 pub use image::ImageBuffer;
 pub use object::{ObjectClass, ObjectId, Observation, TrackedObject};
+pub use pool::{BufferPool, PooledBuf};
 pub use recover::{
     ingest_with_recovery, CorruptAction, FrameHealthReport, FrameOutcome, IngestError,
     RecoveredVideo, RecoveringSource, RecoveryPolicy, RepairMethod,

@@ -1,0 +1,122 @@
+//! A small free-list of byte buffers for per-frame scratch allocations.
+//!
+//! Encoding a frame sequence (or running any per-frame transform that needs
+//! a staging buffer) allocates and frees one large `Vec<u8>` per frame; for
+//! thousands of frames that churn dominates the allocator. [`BufferPool`]
+//! keeps a bounded free list so a steady-state loop reuses the same few
+//! allocations. Buffers are handed out zero-length with their capacity
+//! intact and return to the pool on drop.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+/// Free buffers retained at most; beyond this, dropped buffers are freed.
+/// Sized for one buffer per worker thread of a typical fan-out.
+const MAX_POOLED: usize = 16;
+
+/// A bounded pool of reusable `Vec<u8>` scratch buffers.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+}
+
+impl BufferPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared buffer from the pool (or allocates one) with at
+    /// least `capacity` bytes reserved.
+    pub fn acquire(&self, capacity: usize) -> PooledBuf<'_> {
+        let mut buf = self
+            .free
+            .lock()
+            .expect("pool lock poisoned")
+            .pop()
+            .unwrap_or_default();
+        buf.clear();
+        if buf.capacity() < capacity {
+            buf.reserve(capacity - buf.len());
+        }
+        PooledBuf { pool: self, buf }
+    }
+
+    /// Number of buffers currently parked in the free list.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("pool lock poisoned").len()
+    }
+
+    fn release(&self, buf: Vec<u8>) {
+        let mut free = self.free.lock().expect("pool lock poisoned");
+        if free.len() < MAX_POOLED {
+            free.push(buf);
+        }
+    }
+}
+
+/// A scratch buffer checked out of a [`BufferPool`]; derefs to `Vec<u8>`
+/// and returns to the pool when dropped.
+#[derive(Debug)]
+pub struct PooledBuf<'a> {
+    pool: &'a BufferPool,
+    buf: Vec<u8>,
+}
+
+impl Deref for PooledBuf<'_> {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf<'_> {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf<'_> {
+    fn drop(&mut self) {
+        self.pool.release(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_capacity_across_acquisitions() {
+        let pool = BufferPool::new();
+        let ptr = {
+            let mut b = pool.acquire(1024);
+            b.extend_from_slice(&[1, 2, 3]);
+            b.as_ptr() as usize
+        };
+        assert_eq!(pool.idle(), 1);
+        let b = pool.acquire(512);
+        assert!(b.is_empty(), "recycled buffer must come back cleared");
+        assert!(b.capacity() >= 512);
+        assert_eq!(b.as_ptr() as usize, ptr, "allocation was not reused");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn grows_to_requested_capacity() {
+        let pool = BufferPool::new();
+        {
+            let _small = pool.acquire(8);
+        }
+        let big = pool.acquire(4096);
+        assert!(big.capacity() >= 4096);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool = BufferPool::new();
+        let held: Vec<_> = (0..MAX_POOLED + 5).map(|_| pool.acquire(16)).collect();
+        drop(held);
+        assert_eq!(pool.idle(), MAX_POOLED);
+    }
+}

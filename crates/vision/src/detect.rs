@@ -7,9 +7,12 @@
 //! extracting connected foreground components.
 
 use crate::error::VisionError;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use verro_video::color::Rgb;
 use verro_video::geometry::BBox;
 use verro_video::image::ImageBuffer;
+use verro_video::source::FrameSource;
 
 /// Detector parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,13 +43,14 @@ impl Default for DetectorConfig {
     }
 }
 
-/// Mean luma of an image.
-fn mean_luma(img: &ImageBuffer) -> f64 {
+/// Mean luma of an image. Accumulates over the contiguous raster in the
+/// same row-major order (and with the same per-pixel arithmetic) as the
+/// original `get(x, y)` loop, so the sum — and the mean — are bit-identical
+/// while the per-pixel bounds checks disappear.
+pub fn mean_luma(img: &ImageBuffer) -> f64 {
     let mut total = 0.0;
-    for y in 0..img.height() {
-        for x in 0..img.width() {
-            total += img.get(x, y).luma();
-        }
+    for px in img.bytes().chunks_exact(3) {
+        total += Rgb::new(px[0], px[1], px[2]).luma();
     }
     total / img.size().area() as f64
 }
@@ -68,6 +72,58 @@ pub fn foreground_mask(
     threshold: u32,
     gain: f64,
 ) -> Result<Vec<bool>, VisionError> {
+    let mut mask = Vec::new();
+    foreground_mask_into(frame, background, threshold, gain, &mut mask)?;
+    Ok(mask)
+}
+
+/// [`foreground_mask`] into a reusable buffer (cleared and resized), the
+/// allocation-free inner loop of the parallel detection fan-out.
+///
+/// The gain transform depends only on the channel byte, so it runs as a
+/// 256-entry table (each entry evaluates the reference's exact expression);
+/// pixels stream from the two contiguous rasters instead of per-pixel
+/// `get(x, y)` calls. Output is bit-identical to
+/// [`foreground_mask_reference`], guarded by a proptest.
+pub fn foreground_mask_into(
+    frame: &ImageBuffer,
+    background: &ImageBuffer,
+    threshold: u32,
+    gain: f64,
+    mask: &mut Vec<bool>,
+) -> Result<(), VisionError> {
+    if frame.size() != background.size() {
+        return Err(VisionError::SizeMismatch {
+            expected: (background.width(), background.height()),
+            got: (frame.width(), frame.height()),
+        });
+    }
+    let mut lut = [0u8; 256];
+    for (v, entry) in lut.iter_mut().enumerate() {
+        *entry = ((v as f64 * gain).round()).clamp(0.0, 255.0) as u8;
+    }
+    mask.clear();
+    mask.resize(frame.size().area() as usize, false);
+    for ((m, f), b) in mask
+        .iter_mut()
+        .zip(frame.bytes().chunks_exact(3))
+        .zip(background.bytes().chunks_exact(3))
+    {
+        let adjusted = Rgb::new(lut[f[0] as usize], lut[f[1] as usize], lut[f[2] as usize]);
+        *m = adjusted.abs_diff(Rgb::new(b[0], b[1], b[2])) > threshold;
+    }
+    Ok(())
+}
+
+/// The original `get(x, y)` implementation, retained as the equivalence
+/// baseline for [`foreground_mask`] and as the "before" arm of
+/// `verro-bench --bench-pipeline`.
+pub fn foreground_mask_reference(
+    frame: &ImageBuffer,
+    background: &ImageBuffer,
+    threshold: u32,
+    gain: f64,
+) -> Result<Vec<bool>, VisionError> {
     if frame.size() != background.size() {
         return Err(VisionError::SizeMismatch {
             expected: (background.width(), background.height()),
@@ -80,7 +136,7 @@ pub fn foreground_mask(
     for y in 0..h {
         for x in 0..w {
             let c = frame.get(x, y);
-            let adjusted = crate::detect::rgb_scaled(c, scale);
+            let adjusted = Rgb::new(scale(c.r), scale(c.g), scale(c.b));
             if adjusted.abs_diff(background.get(x, y)) > threshold {
                 mask[(y * w + x) as usize] = true;
             }
@@ -89,13 +145,87 @@ pub fn foreground_mask(
     Ok(mask)
 }
 
-#[inline]
-fn rgb_scaled(c: verro_video::color::Rgb, scale: impl Fn(u8) -> u8) -> verro_video::color::Rgb {
-    verro_video::color::Rgb::new(scale(c.r), scale(c.g), scale(c.b))
+/// Dilates a binary mask by a square structuring element of radius `r`.
+///
+/// A square dilation separates into a horizontal 1-D dilation followed by a
+/// vertical one (`out[p] = ∃ mask[q], |qx−px| ≤ r ∧ |qy−py| ≤ r`), each a
+/// sliding-window OR maintained as a running count — O(w·h) total instead
+/// of the naive O(w·h·r²). Output equals [`dilate_mask_naive`] exactly
+/// (proptest-guarded for r ∈ 0..=4).
+pub fn dilate_mask(mask: &[bool], w: u32, h: u32, r: u32) -> Vec<bool> {
+    let mut tmp = Vec::new();
+    let mut out = Vec::new();
+    dilate_mask_into(mask, w, h, r, &mut tmp, &mut out);
+    out
 }
 
-/// Dilates a binary mask by a square structuring element of radius `r`.
-pub fn dilate_mask(mask: &[bool], w: u32, h: u32, r: u32) -> Vec<bool> {
+/// [`dilate_mask`] into reusable buffers: `tmp` holds the horizontal pass,
+/// `out` the result (both cleared and resized).
+pub fn dilate_mask_into(
+    mask: &[bool],
+    w: u32,
+    h: u32,
+    r: u32,
+    tmp: &mut Vec<bool>,
+    out: &mut Vec<bool>,
+) {
+    out.clear();
+    if r == 0 {
+        out.extend_from_slice(mask);
+        return;
+    }
+    let (w, h, r) = (w as usize, h as usize, r as usize);
+    tmp.clear();
+    tmp.resize(mask.len(), false);
+    out.resize(mask.len(), false);
+
+    // Horizontal pass: tmp[y][x] = OR of mask[y][x−r ..= x+r] (clipped).
+    for y in 0..h {
+        let row = &mask[y * w..(y + 1) * w];
+        let trow = &mut tmp[y * w..(y + 1) * w];
+        let mut count: usize = row.iter().take(r + 1).map(|&m| m as usize).sum();
+        for x in 0..w {
+            trow[x] = count > 0;
+            if x + r + 1 < w {
+                count += row[x + r + 1] as usize;
+            }
+            if x >= r {
+                count -= row[x - r] as usize;
+            }
+        }
+    }
+
+    // Vertical pass over tmp with one running count per column.
+    let mut counts = vec![0usize; w];
+    for row in tmp.chunks_exact(w).take(r + 1) {
+        for (c, &m) in counts.iter_mut().zip(row) {
+            *c += m as usize;
+        }
+    }
+    for y in 0..h {
+        let orow = &mut out[y * w..(y + 1) * w];
+        for (o, &c) in orow.iter_mut().zip(counts.iter()) {
+            *o = c > 0;
+        }
+        if y + r + 1 < h {
+            let row = &tmp[(y + r + 1) * w..(y + r + 2) * w];
+            for (c, &m) in counts.iter_mut().zip(row) {
+                *c += m as usize;
+            }
+        }
+        if y >= r {
+            let row = &tmp[(y - r) * w..(y - r + 1) * w];
+            for (c, &m) in counts.iter_mut().zip(row) {
+                *c -= m as usize;
+            }
+        }
+    }
+}
+
+/// The original O(w·h·r²) stamp-the-neighborhood implementation, retained
+/// as the equivalence baseline for [`dilate_mask`] and as the "before" arm
+/// of `verro-bench --bench-pipeline`.
+pub fn dilate_mask_naive(mask: &[bool], w: u32, h: u32, r: u32) -> Vec<bool> {
     if r == 0 {
         return mask.to_vec();
     }
@@ -121,9 +251,24 @@ pub fn dilate_mask(mask: &[bool], w: u32, h: u32, r: u32) -> Vec<bool> {
 /// Labels 4-connected components of a binary mask and returns the bounding
 /// box and area of each (iterative flood fill — no recursion depth limits).
 pub fn connected_components(mask: &[bool], w: u32, h: u32) -> Vec<Detection> {
-    let mut visited = vec![false; mask.len()];
-    let mut out = Vec::new();
+    let mut visited = Vec::new();
     let mut stack = Vec::new();
+    connected_components_scratch(mask, w, h, &mut visited, &mut stack)
+}
+
+/// [`connected_components`] with caller-owned `visited`/`stack` scratch
+/// (cleared and resized), so a per-frame detection loop reuses them.
+fn connected_components_scratch(
+    mask: &[bool],
+    w: u32,
+    h: u32,
+    visited: &mut Vec<bool>,
+    stack: &mut Vec<usize>,
+) -> Vec<Detection> {
+    visited.clear();
+    visited.resize(mask.len(), false);
+    stack.clear();
+    let mut out = Vec::new();
     for start in 0..mask.len() {
         if !mask[start] || visited[start] {
             continue;
@@ -175,6 +320,19 @@ pub fn connected_components(mask: &[bool], w: u32, h: u32) -> Vec<Detection> {
     out
 }
 
+/// Reusable per-worker rasters for the detection inner loop: the foreground
+/// mask, the two dilation passes, and the flood-fill bookkeeping. One
+/// instance per (serial) caller or per parallel chunk kills the five
+/// per-frame allocations the original pipeline paid.
+#[derive(Debug, Default)]
+pub struct DetectScratch {
+    mask: Vec<bool>,
+    dilate_tmp: Vec<bool>,
+    dilated: Vec<bool>,
+    visited: Vec<bool>,
+    stack: Vec<usize>,
+}
+
 /// Full detection pipeline: subtract, dilate, label, filter by area.
 /// Detections are returned sorted by descending area.
 pub fn detect(
@@ -182,21 +340,128 @@ pub fn detect(
     background: &ImageBuffer,
     config: &DetectorConfig,
 ) -> Result<Vec<Detection>, VisionError> {
+    let (frame_luma, background_luma) = if config.normalize_gain {
+        (mean_luma(frame), mean_luma(background))
+    } else {
+        (0.0, 0.0)
+    };
+    detect_precomputed(
+        frame,
+        background,
+        config,
+        frame_luma,
+        background_luma,
+        &mut DetectScratch::default(),
+    )
+}
+
+/// [`detect`] with the two mean lumas already in hand (the fused stats pass
+/// computes the frame's; the background's is computed once per clip instead
+/// of once per frame) and reusable scratch rasters. Bit-identical to
+/// [`detect`]: the gain expression divides the same operands in the same
+/// order, and the lumas themselves are bit-identical by construction.
+pub fn detect_precomputed(
+    frame: &ImageBuffer,
+    background: &ImageBuffer,
+    config: &DetectorConfig,
+    frame_luma: f64,
+    background_luma: f64,
+    scratch: &mut DetectScratch,
+) -> Result<Vec<Detection>, VisionError> {
     let (w, h) = (frame.width(), frame.height());
     let gain = if config.normalize_gain {
-        let frame_luma = mean_luma(frame).max(1.0);
-        mean_luma(background) / frame_luma
+        background_luma / frame_luma.max(1.0)
     } else {
         1.0
     };
-    let mask = foreground_mask(frame, background, config.threshold, gain)?;
-    let mask = dilate_mask(&mask, w, h, config.dilate);
-    let mut dets: Vec<Detection> = connected_components(&mask, w, h)
-        .into_iter()
-        .filter(|d| d.area >= config.min_area)
-        .collect();
+    foreground_mask_into(frame, background, config.threshold, gain, &mut scratch.mask)?;
+    dilate_mask_into(
+        &scratch.mask,
+        w,
+        h,
+        config.dilate,
+        &mut scratch.dilate_tmp,
+        &mut scratch.dilated,
+    );
+    let mut dets: Vec<Detection> = connected_components_scratch(
+        &scratch.dilated,
+        w,
+        h,
+        &mut scratch.visited,
+        &mut scratch.stack,
+    )
+    .into_iter()
+    .filter(|d| d.area >= config.min_area)
+    .collect();
     dets.sort_by(|a, b| b.area.cmp(&a.area));
     Ok(dets)
+}
+
+/// Frames handed to one parallel worker; large enough to amortize the
+/// worker's [`DetectScratch`], small enough to load-balance.
+const DETECT_CHUNK: usize = 8;
+
+/// Runs per-frame detection over a whole source in parallel.
+///
+/// Detection is a pure function of `(frame, background, config)` — the
+/// sequential part of preprocessing is only the SORT tracker — so the frames
+/// fan out across workers and the caller feeds the collected detections to
+/// the tracker in order, producing identical tracks to the serial loop.
+/// `frame_lumas` holds every frame's mean luma (from the fused stats pass;
+/// unused when `config.normalize_gain` is off but the length is always
+/// checked). Frames listed in `skip` yield empty detection lists without
+/// touching the source, mirroring the serial loop's handling of backfilled
+/// rasters.
+pub fn detect_all<S: FrameSource + Sync>(
+    src: &S,
+    background: &ImageBuffer,
+    config: &DetectorConfig,
+    frame_lumas: &[f64],
+    skip: &[usize],
+) -> Result<Vec<Vec<Detection>>, VisionError> {
+    let n = src.num_frames();
+    if frame_lumas.len() != n {
+        return Err(VisionError::LengthMismatch {
+            what: "frames and precomputed lumas",
+            left: n,
+            right: frame_lumas.len(),
+        });
+    }
+    let background_luma = if config.normalize_gain {
+        mean_luma(background)
+    } else {
+        0.0
+    };
+    let mut skipped = vec![false; n];
+    for &k in skip {
+        if k < n {
+            skipped[k] = true;
+        }
+    }
+    let indices: Vec<usize> = (0..n).collect();
+    let per_chunk: Vec<Vec<Vec<Detection>>> = indices
+        .par_chunks(DETECT_CHUNK)
+        .map(|chunk| {
+            let mut scratch = DetectScratch::default();
+            chunk
+                .iter()
+                .map(|&k| {
+                    if skipped[k] {
+                        return Ok(Vec::new());
+                    }
+                    detect_precomputed(
+                        &src.frame(k),
+                        background,
+                        config,
+                        frame_lumas[k],
+                        background_luma,
+                        &mut scratch,
+                    )
+                })
+                .collect::<Result<Vec<_>, VisionError>>()
+        })
+        .collect::<Result<Vec<_>, VisionError>>()?;
+    Ok(per_chunk.into_iter().flatten().collect())
 }
 
 #[cfg(test)]
@@ -260,7 +525,9 @@ mod tests {
         let mut frame = background.clone();
         frame.fill_rect(BBox::new(8.0, 8.0, 6.0, 6.0), Rgb::new(110, 110, 110));
         // Difference is 30 per pixel; below the default threshold of 70.
-        assert!(detect(&frame, &background, &DetectorConfig::default()).unwrap().is_empty());
+        assert!(detect(&frame, &background, &DetectorConfig::default())
+            .unwrap()
+            .is_empty());
         let mut cfg = DetectorConfig::default();
         cfg.threshold = 20;
         assert_eq!(detect(&frame, &background, &cfg).unwrap().len(), 1);
@@ -300,6 +567,83 @@ mod tests {
         assert_eq!(comps.len(), 1);
         let comps_raw = connected_components(&mask, w, h);
         assert_eq!(comps_raw.len(), 2);
+    }
+
+    #[test]
+    fn separable_dilation_matches_naive() {
+        let (w, h) = (23u32, 9u32);
+        // Deterministic pseudo-random speckle plus border pixels.
+        let mut mask = vec![false; (w * h) as usize];
+        for (i, m) in mask.iter_mut().enumerate() {
+            *m = (i * 2654435761) % 7 == 0;
+        }
+        mask[0] = true;
+        let last = mask.len() - 1;
+        mask[last] = true;
+        for r in 0..=4 {
+            assert_eq!(
+                dilate_mask(&mask, w, h, r),
+                dilate_mask_naive(&mask, w, h, r),
+                "radius {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_slice_mask_matches_reference() {
+        let background = bg();
+        let mut frame = background.clone();
+        frame.fill_rect(BBox::new(4.0, 3.0, 7.0, 9.0), Rgb::new(240, 30, 60));
+        for gain in [1.0, 0.73, 1.21] {
+            assert_eq!(
+                foreground_mask(&frame, &background, 70, gain).unwrap(),
+                foreground_mask_reference(&frame, &background, 70, gain).unwrap(),
+                "gain {gain}"
+            );
+        }
+    }
+
+    #[test]
+    fn detect_all_matches_serial_detect() {
+        use verro_video::source::InMemoryVideo;
+        let background = bg();
+        let frames: Vec<ImageBuffer> = (0..13)
+            .map(|k| {
+                let mut f = background.clone();
+                f.fill_rect(
+                    BBox::new(2.0 + k as f64 * 1.5, 4.0, 5.0, 8.0),
+                    Rgb::new(250, 20, 20),
+                );
+                f
+            })
+            .collect();
+        let video = InMemoryVideo::new(frames.clone(), 30.0);
+        let config = DetectorConfig::default();
+        let lumas: Vec<f64> = frames.iter().map(mean_luma).collect();
+        let parallel = detect_all(&video, &background, &config, &lumas, &[3]).unwrap();
+        for (k, frame) in frames.iter().enumerate() {
+            if k == 3 {
+                assert!(parallel[k].is_empty(), "skipped frame must yield nothing");
+                continue;
+            }
+            let serial = detect(frame, &background, &config).unwrap();
+            assert_eq!(parallel[k], serial, "frame {k}");
+        }
+    }
+
+    #[test]
+    fn detect_all_rejects_luma_length_mismatch() {
+        use verro_video::source::InMemoryVideo;
+        let background = bg();
+        let video = InMemoryVideo::new(vec![background.clone(); 4], 30.0);
+        let err = detect_all(
+            &video,
+            &background,
+            &DetectorConfig::default(),
+            &[0.0; 3],
+            &[],
+        );
+        assert!(err.is_err());
     }
 
     #[test]

@@ -6,8 +6,20 @@
 //! `α·Sim_H + β·Sim_S + γ·Sim_V` against a threshold `τ`. Key frames are the
 //! members with maximum weighted HSV entropy.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use verro_video::image::ImageBuffer;
+use verro_video::source::FrameSource;
+
+/// The exact `fl(i / 255.0)` table shared by the fused stats pass. IEEE-754
+/// division is correctly rounded and deterministic, so `LUT[i]` is
+/// bit-identical to computing `i as f64 / 255.0` inline — the table only
+/// removes three divisions per pixel, never a bit of the result.
+fn channel_scale_lut() -> &'static [f64; 256] {
+    static LUT: OnceLock<[f64; 256]> = OnceLock::new();
+    LUT.get_or_init(|| std::array::from_fn(|i| i as f64 / 255.0))
+}
 
 /// Histogram bin configuration: the `h`, `s`, `v` partition counts of
 /// Algorithm 2, line 2.
@@ -89,7 +101,20 @@ pub struct HsvHistogram {
 
 impl HsvHistogram {
     /// Computes the histogram of an image.
+    ///
+    /// This is the fused integer path: `u32` bin counts accumulated over the
+    /// contiguous raster, normalized once at the end. It is bit-identical to
+    /// [`HsvHistogram::of_reference`] — see [`frame_stats`] for the
+    /// argument — and guarded by an equivalence proptest.
     pub fn of(image: &ImageBuffer, bins: HsvBins) -> Self {
+        frame_stats(image, bins).histogram
+    }
+
+    /// The original per-pixel f64 implementation (`get(x, y)` +
+    /// [`verro_video::color::Rgb::to_hsv`] + `+= 1.0` accumulation),
+    /// retained as the equivalence baseline for [`HsvHistogram::of`] and as
+    /// the "before" arm of `verro-bench --bench-pipeline`.
+    pub fn of_reference(image: &ImageBuffer, bins: HsvBins) -> Self {
         let mut hue = vec![0.0f64; bins.h];
         let mut sat = vec![0.0f64; bins.s];
         let mut val = vec![0.0f64; bins.v];
@@ -116,7 +141,12 @@ impl HsvHistogram {
                 *v /= n;
             }
         }
-        Self { bins, hue, sat, val }
+        Self {
+            bins,
+            hue,
+            sat,
+            val,
+        }
     }
 
     /// Histogram-intersection similarity per channel:
@@ -175,6 +205,151 @@ impl HsvHistogram {
         upd(&mut self.sat, &other.sat);
         upd(&mut self.val, &other.val);
     }
+}
+
+/// Per-frame statistics produced by the single fused raster traversal:
+/// the Algorithm 2 histogram plus the mean luma the detector's exposure
+/// normalization needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameStats {
+    pub histogram: HsvHistogram,
+    /// BT.601 mean luma in `[0, 255]`, bit-identical to
+    /// [`crate::detect::mean_luma`].
+    pub mean_luma: f64,
+}
+
+/// A pixel's classification: `(hue bin, sat bin, val bin, luma)`.
+type PixelClass = (usize, usize, usize, f64);
+
+/// Classifies one pixel into its H/S/V bins and computes its luma.
+///
+/// Bit-equivalence with the reference path, channel by channel:
+/// * the `scale` table holds `fl(i/255.0)` exactly (correctly rounded
+///   division), so `r`, `g`, `b`, and therefore `max`/`min`/`delta`, match
+///   [`verro_video::color::Rgb::to_hsv`] bitwise;
+/// * the hue/saturation expressions replicate `to_hsv`'s operation sequence
+///   on those identical operands (hue is *not* a function of byte
+///   differences — `fl(g/255) − fl(b/255) ≠ fl((g−b)/255)` in general — so
+///   no smaller hue table exists; the gray shortcut is exact because equal
+///   bytes give `delta == 0`, hence `h = 0.0`, `s = 0.0`);
+/// * luma uses per-channel product tables `fl(0.299·r)` etc. and adds them
+///   in `Rgb::luma`'s left-to-right order.
+#[inline]
+fn classify_pixel(
+    [rb, gb, bb]: [u8; 3],
+    bins: HsvBins,
+    scale: &[f64; 256],
+    luma_r: &[f64; 256],
+    luma_g: &[f64; 256],
+    luma_b: &[f64; 256],
+) -> PixelClass {
+    let luma = luma_r[rb as usize] + luma_g[gb as usize] + luma_b[bb as usize];
+    if rb == gb && gb == bb {
+        // Gray pixel: to_hsv yields h = 0, s = 0 and v = the shared channel.
+        let v = scale[rb as usize];
+        let vb = ((v * bins.v as f64) as usize).min(bins.v - 1);
+        return (0, 0, vb, luma);
+    }
+    let r = scale[rb as usize];
+    let g = scale[gb as usize];
+    let b = scale[bb as usize];
+    let max = r.max(g).max(b);
+    let min = r.min(g).min(b);
+    let delta = max - min;
+    // Distinct bytes map to distinct scale entries, so delta > 0 and
+    // max > 0 here.
+    let h = if max == r {
+        60.0 * (((g - b) / delta).rem_euclid(6.0))
+    } else if max == g {
+        60.0 * ((b - r) / delta + 2.0)
+    } else {
+        60.0 * ((r - g) / delta + 4.0)
+    };
+    let s = delta / max;
+    let hb = ((h / 360.0 * bins.h as f64) as usize).min(bins.h - 1);
+    let sb = ((s * bins.s as f64) as usize).min(bins.s - 1);
+    let vb = ((max * bins.v as f64) as usize).min(bins.v - 1);
+    (hb, sb, vb, luma)
+}
+
+/// Computes a frame's histogram **and** mean luma in one traversal of the
+/// contiguous raster.
+///
+/// Bin membership is accumulated as `u32` counts and normalized once at the
+/// end: `f64` accumulation of 1.0s is exact below 2^53, so the reference's
+/// running sum equals `count as f64` and the final `count as f64 / n`
+/// divides the same operands. Consecutive identical pixels (common on
+/// surveillance backdrops) reuse the previous classification — pure
+/// memoization of a pure function. Everything is bit-identical to
+/// `HsvHistogram::of_reference` + `detect::mean_luma`; the proptests in
+/// `crates/vision/tests/proptest_vision.rs` enforce it.
+pub fn frame_stats(image: &ImageBuffer, bins: HsvBins) -> FrameStats {
+    let scale = channel_scale_lut();
+    let mut luma_r = [0.0f64; 256];
+    let mut luma_g = [0.0f64; 256];
+    let mut luma_b = [0.0f64; 256];
+    for i in 0..256 {
+        luma_r[i] = 0.299 * i as f64;
+        luma_g[i] = 0.587 * i as f64;
+        luma_b[i] = 0.114 * i as f64;
+    }
+
+    let mut hue = vec![0u32; bins.h];
+    let mut sat = vec![0u32; bins.s];
+    let mut val = vec![0u32; bins.v];
+    let mut luma_total = 0.0f64;
+    let mut last: Option<([u8; 3], PixelClass)> = None;
+    for px in image.bytes().chunks_exact(3) {
+        let key = [px[0], px[1], px[2]];
+        let (hb, sb, vb, luma) = match last {
+            Some((prev, cached)) if prev == key => cached,
+            _ => {
+                let computed = classify_pixel(key, bins, scale, &luma_r, &luma_g, &luma_b);
+                last = Some((key, computed));
+                computed
+            }
+        };
+        hue[hb] += 1;
+        sat[sb] += 1;
+        val[vb] += 1;
+        luma_total += luma;
+    }
+
+    let area = image.size().area() as f64;
+    let normalize = |counts: Vec<u32>| -> Vec<f64> {
+        counts
+            .into_iter()
+            .map(|c| {
+                if area > 0.0 {
+                    c as f64 / area
+                } else {
+                    c as f64
+                }
+            })
+            .collect()
+    };
+    FrameStats {
+        histogram: HsvHistogram {
+            bins,
+            hue: normalize(hue),
+            sat: normalize(sat),
+            val: normalize(val),
+        },
+        mean_luma: luma_total / area,
+    }
+}
+
+/// Fused stats for every frame of a source, in parallel. The single place
+/// the tracking pipeline reads raster statistics: Algorithm 2 consumes the
+/// histograms, the detector's gain normalization consumes the lumas. Each
+/// frame's stats are a pure function of its raster, so the fan-out is
+/// deterministic regardless of thread count.
+pub fn compute_frame_stats<S: FrameSource + Sync>(src: &S, bins: HsvBins) -> Vec<FrameStats> {
+    let indices: Vec<usize> = (0..src.num_frames()).collect();
+    indices
+        .par_iter()
+        .map(|&k| frame_stats(&src.frame(k), bins))
+        .collect()
 }
 
 #[cfg(test)]
@@ -271,5 +446,54 @@ mod tests {
     #[should_panic]
     fn weights_reject_all_zero() {
         HsvWeights::new(0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn fused_path_matches_reference_bitwise() {
+        // Structured + near-gray + saturated content across several binnings.
+        let img = ImageBuffer::from_fn(Size::new(23, 17), |x, y| {
+            Rgb::new(
+                (x * 11 + y) as u8,
+                (y * 13) as u8,
+                ((x + y) * 7 % 256) as u8,
+            )
+        });
+        for bins in [
+            HsvBins::default(),
+            HsvBins::new(16, 8, 8),
+            HsvBins::new(3, 5, 7),
+            HsvBins::new(1, 1, 1),
+        ] {
+            let fused = HsvHistogram::of(&img, bins);
+            let reference = HsvHistogram::of_reference(&img, bins);
+            assert_eq!(fused, reference, "bins {bins:?}");
+        }
+    }
+
+    #[test]
+    fn fused_luma_matches_detector_mean_luma() {
+        let img = ImageBuffer::from_fn(Size::new(19, 11), |x, y| {
+            Rgb::new((x * 29) as u8, (y * 31) as u8, (x * y % 256) as u8)
+        });
+        let stats = frame_stats(&img, HsvBins::default());
+        let reference = crate::detect::mean_luma(&img);
+        assert!(
+            stats.mean_luma.to_bits() == reference.to_bits(),
+            "fused {} vs reference {}",
+            stats.mean_luma,
+            reference
+        );
+    }
+
+    #[test]
+    fn gray_runs_hit_the_memo_and_stay_exact() {
+        // A flat gray image exercises both the gray shortcut and the
+        // consecutive-pixel memo on every pixel after the first.
+        let img = flat(Rgb::new(128, 128, 128));
+        let bins = HsvBins::default();
+        assert_eq!(
+            HsvHistogram::of(&img, bins),
+            HsvHistogram::of_reference(&img, bins)
+        );
     }
 }

@@ -262,7 +262,11 @@ pub fn inpaint_exemplar(img: &mut ImageBuffer, mask: &mut Mask, config: &Inpaint
     let (w, h) = (img.width() as i64, img.height() as i64);
     let r = config.patch_radius.max(1);
     // Confidence map: 1 for known pixels, 0 for missing.
-    let mut confidence: Vec<f64> = mask.data.iter().map(|&m| if m { 0.0 } else { 1.0 }).collect();
+    let mut confidence: Vec<f64> = mask
+        .data
+        .iter()
+        .map(|&m| if m { 0.0 } else { 1.0 })
+        .collect();
     let idx = |x: i64, y: i64| (y * w + x) as usize;
     let mut missing = mask.data.iter().filter(|&&b| b).count();
     let mut prev_best: Option<(i64, i64)> = None;
@@ -384,7 +388,11 @@ pub fn inpaint_exemplar(img: &mut ImageBuffer, mask: &mut Mask, config: &Inpaint
                     tbuf.extend_from_slice(&[c.r, c.g, c.b]);
                     dx += 1;
                 }
-                runs.push((3 * (dy * w + start_dx) as isize, buf_start, tbuf.len() - buf_start));
+                runs.push((
+                    3 * (dy * w + start_dx) as isize,
+                    buf_start,
+                    tbuf.len() - buf_start,
+                ));
             }
         }
 
@@ -504,7 +512,11 @@ pub fn inpaint_exemplar(img: &mut ImageBuffer, mask: &mut Mask, config: &Inpaint
                             continue;
                         }
                         if mask.get(tx as u32, ty as u32) {
-                            img.set(tx as u32, ty as u32, img.get((sx + dx) as u32, (sy + dy) as u32));
+                            img.set(
+                                tx as u32,
+                                ty as u32,
+                                img.get((sx + dx) as u32, (sy + dy) as u32),
+                            );
                             mask.set(tx as u32, ty as u32, false);
                             confidence[idx(tx, ty)] = new_conf;
                             on_front[idx(tx, ty)] = false;
@@ -565,7 +577,11 @@ pub fn inpaint_exemplar_naive(img: &mut ImageBuffer, mask: &mut Mask, config: &I
     let (w, h) = (img.width() as i64, img.height() as i64);
     let r = config.patch_radius.max(1);
     // Confidence map: 1 for known pixels, 0 for missing.
-    let mut confidence: Vec<f64> = mask.data.iter().map(|&m| if m { 0.0 } else { 1.0 }).collect();
+    let mut confidence: Vec<f64> = mask
+        .data
+        .iter()
+        .map(|&m| if m { 0.0 } else { 1.0 })
+        .collect();
     let idx = |x: i64, y: i64| (y * w + x) as usize;
 
     while mask.missing() > 0 {
@@ -661,7 +677,11 @@ pub fn inpaint_exemplar_naive(img: &mut ImageBuffer, mask: &mut Mask, config: &I
                             continue;
                         }
                         if mask.get(tx as u32, ty as u32) {
-                            img.set(tx as u32, ty as u32, img.get((sx + dx) as u32, (sy + dy) as u32));
+                            img.set(
+                                tx as u32,
+                                ty as u32,
+                                img.get((sx + dx) as u32, (sy + dy) as u32),
+                            );
                             mask.set(tx as u32, ty as u32, false);
                             confidence[idx(tx, ty)] = new_conf;
                         }
@@ -869,8 +889,7 @@ mod tests {
             (Size::new(5, 5), 2.0, 2.0, 1.0, 1.0),
         ] {
             let img = striped(size);
-            let mask =
-                Mask::from_boxes(size.width, size.height, &[BBox::new(bx, by, bw, bh)]);
+            let mask = Mask::from_boxes(size.width, size.height, &[BBox::new(bx, by, bw, bh)]);
             let cfg = InpaintConfig::default();
             let mut a = img.clone();
             let mut b = img.clone();

@@ -190,7 +190,12 @@ mod tests {
 
     #[test]
     fn passes_through_knots_all_methods() {
-        let ks = knots(&[(0, 0.0, 0.0), (5, 10.0, 3.0), (9, 20.0, -4.0), (14, 5.0, 5.0)]);
+        let ks = knots(&[
+            (0, 0.0, 0.0),
+            (5, 10.0, 3.0),
+            (9, 20.0, -4.0),
+            (14, 5.0, 5.0),
+        ]);
         for method in [
             InterpMethod::Lagrange { window: 4 },
             InterpMethod::Linear,
@@ -213,7 +218,10 @@ mod tests {
         // Quadratic motion sampled at 4 knots is recovered exactly by a
         // window-4 Lagrange interpolation.
         let f = |t: f64| Point::new(0.5 * t * t - t, 2.0 * t);
-        let ks: Vec<(usize, Point)> = [0usize, 4, 8, 12].iter().map(|&k| (k, f(k as f64))).collect();
+        let ks: Vec<(usize, Point)> = [0usize, 4, 8, 12]
+            .iter()
+            .map(|&k| (k, f(k as f64)))
+            .collect();
         let tr = interpolate(&ks, InterpMethod::Lagrange { window: 4 }).unwrap();
         for (k, p) in tr {
             assert!(p.distance(&f(k as f64)) < 1e-9, "frame {k}");

@@ -89,9 +89,13 @@ impl KeyFrameResult {
 /// Runs Algorithm 2 over a frame source.
 ///
 /// Histograms for all sampled frames are computed in parallel (the dominant
-/// cost), then the single-pass sequential clustering follows the paper
-/// exactly: similarity against the segment's *running mean* histogram,
-/// opening a new segment when it drops below `τ`.
+/// cost) via the fused [`crate::histogram::frame_stats`] pass, then the
+/// single-pass sequential clustering follows the paper exactly: similarity
+/// against the segment's *running mean* histogram, opening a new segment
+/// when it drops below `τ`. Callers that already hold per-frame stats (the
+/// single-ingestion pipeline in `verro-core`) should skip this entry point
+/// and feed their histograms straight into [`segment_histograms`] — the two
+/// paths produce identical results because both use the fused pass.
 pub fn extract_key_frames<S: FrameSource + Sync>(
     src: &S,
     config: &KeyFrameConfig,
@@ -263,9 +267,7 @@ mod tests {
 
     #[test]
     fn key_frames_are_sorted_and_within_segments() {
-        let colors: Vec<Rgb> = (0..40)
-            .map(|k| Rgb::new((k * 6) as u8, 80, 200))
-            .collect();
+        let colors: Vec<Rgb> = (0..40).map(|k| Rgb::new((k * 6) as u8, 80, 200)).collect();
         let v = flat_video(&colors);
         let r = extract_key_frames(&v, &KeyFrameConfig::default()).unwrap();
         let kfs = r.key_frames();

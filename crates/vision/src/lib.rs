@@ -13,8 +13,8 @@
 //! * [`error`] — [`VisionError`], the typed error for malformed inputs.
 
 pub mod bgmodel;
-pub mod error;
 pub mod detect;
+pub mod error;
 pub mod histogram;
 pub mod inpaint;
 pub mod interp;
@@ -22,9 +22,11 @@ pub mod keyframe;
 pub mod track;
 
 pub use bgmodel::{median_background, segment_backgrounds, BackgroundConfig};
+pub use detect::{detect, detect_all, mean_luma, DetectScratch, Detection, DetectorConfig};
 pub use error::VisionError;
-pub use detect::{detect, Detection, DetectorConfig};
-pub use histogram::{HsvBins, HsvHistogram, HsvWeights};
+pub use histogram::{
+    compute_frame_stats, frame_stats, FrameStats, HsvBins, HsvHistogram, HsvWeights,
+};
 pub use inpaint::{inpaint, InpaintConfig, InpaintMethod, Mask};
 pub use interp::{extrapolate_to_border, interpolate, InterpMethod};
 pub use keyframe::{extract_key_frames, KeyFrameConfig, KeyFrameResult, Segment};

@@ -31,7 +31,13 @@ pub fn hungarian(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
         "costs must be finite"
     );
     const PENALTY: f64 = 1e30;
-    let sanitize = |c: f64| if c.is_finite() { c.clamp(-PENALTY, PENALTY) } else { PENALTY };
+    let sanitize = |c: f64| {
+        if c.is_finite() {
+            c.clamp(-PENALTY, PENALTY)
+        } else {
+            PENALTY
+        }
+    };
 
     // Pad to square n×n with zeros (dummy rows/columns absorb the surplus).
     let n = rows.max(cols);

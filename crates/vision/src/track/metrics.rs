@@ -37,8 +37,7 @@ impl MotScores {
         if self.gt_count == 0 {
             return 1.0;
         }
-        1.0 - (self.misses + self.false_positives + self.id_switches) as f64
-            / self.gt_count as f64
+        1.0 - (self.misses + self.false_positives + self.id_switches) as f64 / self.gt_count as f64
     }
 
     /// Recall `TP / GT`.
@@ -288,8 +287,18 @@ mod tests {
         let mut hyp = VideoAnnotations::new(8);
         for k in 0..8usize {
             let b = BBox::new(20.0 + k as f64 * 3.0, 20.0, 6.0, 12.0);
-            hyp.record(ObjectId(0), ObjectClass::Pedestrian, k, b.translated(0.5, 0.0));
-            hyp.record(ObjectId(1), ObjectClass::Pedestrian, k, b.translated(-0.5, 0.0));
+            hyp.record(
+                ObjectId(0),
+                ObjectClass::Pedestrian,
+                k,
+                b.translated(0.5, 0.0),
+            );
+            hyp.record(
+                ObjectId(1),
+                ObjectClass::Pedestrian,
+                k,
+                b.translated(-0.5, 0.0),
+            );
         }
         let scores = evaluate_tracking(&gt, &hyp, 0.5).unwrap();
         assert_eq!(scores.id_switches, 0);

@@ -228,7 +228,8 @@ mod tests {
     fn single_target_keeps_one_id() {
         let mut t = SortTracker::new(TrackerConfig::default(), ObjectClass::Pedestrian);
         for k in 0..20usize {
-            t.step(k, &boxes_at(&[(10.0 + k as f64 * 2.0, 50.0)])).unwrap();
+            t.step(k, &boxes_at(&[(10.0 + k as f64 * 2.0, 50.0)]))
+                .unwrap();
         }
         let ann = t.finish(20);
         assert_eq!(ann.num_objects(), 1);
@@ -249,7 +250,11 @@ mod tests {
         for tr in ann.tracks() {
             assert_eq!(tr.len(), 25);
             // y coordinate stays on one lane per track.
-            let ys: Vec<f64> = tr.observations().iter().map(|o| o.bbox.center().y).collect();
+            let ys: Vec<f64> = tr
+                .observations()
+                .iter()
+                .map(|o| o.bbox.center().y)
+                .collect();
             let spread = ys.iter().cloned().fold(f64::MIN, f64::max)
                 - ys.iter().cloned().fold(f64::MAX, f64::min);
             assert!(spread < 5.0, "track jumped lanes: spread {spread}");
@@ -264,7 +269,8 @@ mod tests {
             if (14..16).contains(&k) {
                 t.step(k, &[]).unwrap();
             } else {
-                t.step(k, &boxes_at(&[(10.0 + 2.0 * k as f64, 40.0)])).unwrap();
+                t.step(k, &boxes_at(&[(10.0 + 2.0 * k as f64, 40.0)]))
+                    .unwrap();
             }
         }
         let ann = t.finish(30);

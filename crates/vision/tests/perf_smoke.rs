@@ -1,15 +1,28 @@
-//! Perf smoke test for the incremental inpainter (run with `--ignored`).
+//! Perf smoke tests for the optimized kernels (run with `--ignored`).
 //!
-//! The criterion bench (`cargo bench -p verro-bench --bench inpaint`) and
-//! `results/BENCH_inpaint.json` carry the real numbers; this test is a
-//! cheap CI-gated guard that the incremental engine has not regressed to
-//! naive-reference speed on the acceptance workload.
+//! The criterion bench (`cargo bench -p verro-bench --bench inpaint`),
+//! `results/BENCH_inpaint.json`, and `results/BENCH_pipeline.json` carry
+//! the real numbers; these tests are cheap CI-gated guards that the
+//! optimized engines have not regressed to reference speed. Thresholds are
+//! deliberately below the recorded speedups so single-core CI hosts pass.
 
 use std::time::Instant;
 use verro_video::color::Rgb;
 use verro_video::geometry::Size;
 use verro_video::image::ImageBuffer;
+use verro_vision::detect::{dilate_mask, dilate_mask_naive, mean_luma};
+use verro_vision::histogram::{frame_stats, HsvBins, HsvHistogram};
 use verro_vision::inpaint::{inpaint_exemplar, inpaint_exemplar_naive, InpaintConfig, Mask};
+
+/// A deterministic noisy raster large enough that per-pixel overheads show.
+fn noisy_image(w: u32, h: u32, seed: u64) -> ImageBuffer {
+    ImageBuffer::from_fn(Size::new(w, h), |x, y| {
+        let v = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(((x as u64) << 20) | ((y as u64) << 2));
+        Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8)
+    })
+}
 
 #[test]
 #[ignore = "perf smoke; run explicitly with: cargo test -p verro-vision --release -- --ignored"]
@@ -55,5 +68,83 @@ fn incremental_engine_beats_naive_on_acceptance_workload() {
     assert!(
         speedup >= 2.0,
         "incremental inpainter too slow: naive {naive:?}, incremental {fast:?} ({speedup:.2}x)"
+    );
+}
+
+#[test]
+#[ignore = "perf smoke; run explicitly with: cargo test -p verro-vision --release -- --ignored"]
+fn fused_stats_pass_beats_reference() {
+    let img = noisy_image(512, 384, 11);
+    let bins = HsvBins::default();
+    let reps = 20u32;
+
+    let t = Instant::now();
+    let mut reference = (HsvHistogram::of_reference(&img, bins), mean_luma(&img));
+    for _ in 1..reps {
+        reference = (HsvHistogram::of_reference(&img, bins), mean_luma(&img));
+    }
+    let before = t.elapsed() / reps;
+
+    let t = Instant::now();
+    let mut fused = frame_stats(&img, bins);
+    for _ in 1..reps {
+        fused = frame_stats(&img, bins);
+    }
+    let after = t.elapsed() / reps;
+
+    assert_eq!(
+        reference.0, fused.histogram,
+        "histograms must stay bit-identical"
+    );
+    assert_eq!(
+        reference.1.to_bits(),
+        fused.mean_luma.to_bits(),
+        "mean luma must stay bit-identical"
+    );
+    let speedup = before.as_secs_f64() / after.as_secs_f64();
+    // The fused pass folds two raster traversals (plus the HSV transcode's
+    // redundant scale divisions) into one; a worst-case all-noise raster
+    // (memoization never fires) measures ~1.34x on a single-core container.
+    // 1.15x catches a regression to the two-pass reference path while
+    // tolerating timer noise on loaded CI hosts.
+    assert!(
+        speedup >= 1.15,
+        "fused stats pass too slow: reference {before:?}, fused {after:?} ({speedup:.2}x)"
+    );
+}
+
+#[test]
+#[ignore = "perf smoke; run explicitly with: cargo test -p verro-vision --release -- --ignored"]
+fn separable_dilation_beats_naive() {
+    let (w, h) = (512u32, 384u32);
+    let mut mask = vec![false; (w * h) as usize];
+    for (i, m) in mask.iter_mut().enumerate() {
+        *m = (i * 2654435761) % 17 == 0;
+    }
+    let reps = 20u32;
+
+    let t = Instant::now();
+    let mut naive = dilate_mask_naive(&mask, w, h, 2);
+    for _ in 1..reps {
+        naive = dilate_mask_naive(&mask, w, h, 2);
+    }
+    let before = t.elapsed() / reps;
+
+    let t = Instant::now();
+    let mut separable = dilate_mask(&mask, w, h, 2);
+    for _ in 1..reps {
+        separable = dilate_mask(&mask, w, h, 2);
+    }
+    let after = t.elapsed() / reps;
+
+    assert_eq!(naive, separable, "dilations must stay identical");
+    let speedup = before.as_secs_f64() / after.as_secs_f64();
+    // O(w*h) vs O(w*h*r^2). At r=2 on a ~6%-density mask the naive scan's
+    // early-exit blunts the asymptotic gap (~1.23x measured on a single-core
+    // container; the gap widens with r). 1.1x still separates the running-
+    // count passes from a regression to the windowed probe loop.
+    assert!(
+        speedup >= 1.1,
+        "separable dilation too slow: naive {before:?}, separable {after:?} ({speedup:.2}x)"
     );
 }

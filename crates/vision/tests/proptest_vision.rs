@@ -6,8 +6,11 @@ use proptest::prelude::*;
 use verro_video::color::Rgb;
 use verro_video::geometry::{Point, Size};
 use verro_video::image::ImageBuffer;
-use verro_vision::detect::{connected_components, dilate_mask};
-use verro_vision::histogram::{HsvBins, HsvHistogram, HsvWeights};
+use verro_vision::detect::{
+    connected_components, dilate_mask, dilate_mask_naive, foreground_mask,
+    foreground_mask_reference, mean_luma,
+};
+use verro_vision::histogram::{frame_stats, HsvBins, HsvHistogram, HsvWeights};
 use verro_vision::inpaint::{
     inpaint, inpaint_exemplar, inpaint_exemplar_naive, InpaintConfig, InpaintMethod, Mask,
 };
@@ -215,6 +218,80 @@ proptest! {
             prop_assert!(c.area >= 1);
             prop_assert!(c.bbox.area() >= c.area as f64 - 1e-9 || c.area == 1);
         }
+    }
+
+    #[test]
+    fn fused_stats_match_reference_on_random_rasters(
+        seed in any::<u64>(),
+        w in 1u32..20, h in 1u32..16,
+        hb in 1usize..10, sb in 1usize..6, vb in 1usize..6,
+    ) {
+        // The integer-count fused pass must be bit-identical to the retained
+        // f64 reference histogram AND to the detector's own mean-luma
+        // traversal on arbitrary rasters and binnings.
+        let img = ImageBuffer::from_fn(Size::new(w, h), |x, y| {
+            let v = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(((x as u64) << 24) | ((y as u64) << 8));
+            Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8)
+        });
+        let bins = HsvBins::new(hb, sb, vb);
+        let stats = frame_stats(&img, bins);
+        let reference = HsvHistogram::of_reference(&img, bins);
+        prop_assert_eq!(&stats.histogram, &reference);
+        prop_assert_eq!(stats.mean_luma.to_bits(), mean_luma(&img).to_bits());
+    }
+
+    #[test]
+    fn separable_dilation_matches_naive_on_random_masks(
+        bits in prop::collection::vec(any::<bool>(), 96),
+        r in 0u32..5,
+    ) {
+        let (w, h) = (12u32, 8u32);
+        prop_assert_eq!(
+            dilate_mask(&bits, w, h, r),
+            dilate_mask_naive(&bits, w, h, r),
+            "radius {}", r
+        );
+    }
+
+    #[test]
+    fn row_slice_foreground_mask_matches_reference(
+        seed in any::<u64>(),
+        threshold in 0u32..160,
+        gain in 0.5..1.6f64,
+    ) {
+        let size = Size::new(14, 11);
+        let mk = |s: u64| {
+            ImageBuffer::from_fn(size, |x, y| {
+                let v = s
+                    .wrapping_mul(0x2545F4914F6CDD1D)
+                    .wrapping_add(((x as u64) << 18) | (y as u64));
+                Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8)
+            })
+        };
+        let frame = mk(seed);
+        let background = mk(seed.wrapping_add(0xABCD));
+        prop_assert_eq!(
+            foreground_mask(&frame, &background, threshold, gain).unwrap(),
+            foreground_mask_reference(&frame, &background, threshold, gain).unwrap()
+        );
+    }
+
+    #[test]
+    fn brightness_lut_matches_reference(seed in any::<u64>(), factor in 0.2..2.5f64) {
+        use verro_video::generator::{apply_brightness, apply_brightness_reference};
+        let img = ImageBuffer::from_fn(Size::new(13, 9), |x, y| {
+            let v = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(((x as u64) << 12) | (y as u64));
+            Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8)
+        });
+        let mut a = img.clone();
+        let mut b = img;
+        apply_brightness(&mut a, factor);
+        apply_brightness_reference(&mut b, factor);
+        prop_assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Certification that the single-ingestion pipeline restructuring is pure
+//! plumbing: the shared decoded-frame cache, the fused stats pass, and the
+//! frame-parallel detection/rendering must leave every released byte — the
+//! rendered `V*` rasters and the serialized [`PrivacyStatement`] — exactly
+//! as the uncached, serial-equivalent path produces them, across seeds,
+//! cache budgets (including budgets small enough to force eviction), and
+//! thread counts.
+
+use verro_core::config::BackgroundMode;
+use verro_core::{SanitizedResult, Verro, VerroConfig};
+use verro_video::camera::Camera;
+use verro_video::generator::{GeneratedVideo, VideoSpec};
+use verro_video::geometry::Size;
+use verro_video::object::ObjectClass;
+use verro_video::scene::SceneKind;
+use verro_vision::detect::DetectorConfig;
+use verro_vision::track::TrackerConfig;
+
+const SEEDS: [u64; 2] = [7, 41];
+
+fn workload() -> GeneratedVideo {
+    GeneratedVideo::generate(VideoSpec {
+        name: "cache-identity".into(),
+        nominal_size: Size::new(160, 120),
+        raster_scale: 1.0,
+        num_frames: 36,
+        num_objects: 5,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed: 3,
+        min_lifetime: 12,
+        max_lifetime: 30,
+        lifetime_mix: None,
+        lighting_drift: 0.15,
+        lighting_period: 8.0,
+    })
+}
+
+fn config(seed: u64, cache_budget: usize) -> VerroConfig {
+    let mut cfg = VerroConfig::default()
+        .with_flip(0.1)
+        .with_seed(seed)
+        .with_cache_budget(cache_budget);
+    cfg.background = BackgroundMode::TemporalMedian;
+    cfg.keyframe.tau = 0.97;
+    cfg.optimizer_noise_epsilon = None;
+    cfg
+}
+
+/// The byte-level fingerprint of a release: every rendered `V*` frame as
+/// encoded PPM bytes plus the serialized privacy statement.
+fn fingerprint(result: &SanitizedResult) -> (Vec<Vec<u8>>, String) {
+    let frames = result
+        .video
+        .render_all()
+        .into_iter()
+        .map(|f| f.to_ppm())
+        .collect();
+    let privacy = serde_json::to_string(&result.privacy).expect("privacy serializes");
+    (frames, privacy)
+}
+
+fn run_annotated(seed: u64, budget: usize) -> SanitizedResult {
+    let video = workload();
+    Verro::new(config(seed, budget))
+        .expect("valid config")
+        .sanitize(&video, video.annotations())
+        .expect("sanitize succeeds")
+}
+
+fn run_tracked(seed: u64, budget: usize) -> (SanitizedResult, verro_video::VideoAnnotations) {
+    let video = workload();
+    Verro::new(config(seed, budget))
+        .expect("valid config")
+        .sanitize_with_tracking(
+            &video,
+            &DetectorConfig::default(),
+            TrackerConfig::default(),
+            ObjectClass::Pedestrian,
+        )
+        .expect("tracking sanitize succeeds")
+}
+
+#[test]
+fn cache_budgets_are_byte_identical_annotated() {
+    // One frame is 160*120*3 = 57_600 bytes, so the 120_000-byte budget
+    // holds two frames and continually evicts, and 0 disables the cache.
+    for seed in SEEDS {
+        let baseline = fingerprint(&run_annotated(seed, 0));
+        for budget in [usize::MAX, 120_000] {
+            let other = fingerprint(&run_annotated(seed, budget));
+            assert_eq!(
+                baseline, other,
+                "seed {seed}, budget {budget}: release bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_budgets_are_byte_identical_tracked() {
+    for seed in SEEDS {
+        let (base_result, base_ann) = run_tracked(seed, 0);
+        let baseline = fingerprint(&base_result);
+        for budget in [usize::MAX, 120_000] {
+            let (result, ann) = run_tracked(seed, budget);
+            assert_eq!(
+                base_ann, ann,
+                "seed {seed}, budget {budget}: tracks diverged"
+            );
+            assert_eq!(
+                baseline,
+                fingerprint(&result),
+                "seed {seed}, budget {budget}: release bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_counts_are_byte_identical() {
+    // Every parallel stage (histograms, detection chunks, backgrounds,
+    // rendering) collects in index order from pure per-item functions, so a
+    // single-thread pool must reproduce the default pool byte for byte.
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool builds");
+    for seed in SEEDS {
+        let default_fp = fingerprint(&run_annotated(seed, usize::MAX));
+        let single_fp = single.install(|| fingerprint(&run_annotated(seed, usize::MAX)));
+        assert_eq!(
+            default_fp, single_fp,
+            "seed {seed}: annotated release depends on thread count"
+        );
+
+        let (default_result, default_ann) = run_tracked(seed, usize::MAX);
+        let (single_result, single_ann) = single.install(|| run_tracked(seed, usize::MAX));
+        assert_eq!(
+            default_ann, single_ann,
+            "seed {seed}: tracked annotations depend on thread count"
+        );
+        assert_eq!(
+            fingerprint(&default_result),
+            fingerprint(&single_result),
+            "seed {seed}: tracked release depends on thread count"
+        );
+    }
+}
+
+#[test]
+fn cached_run_reports_same_timing_structure() {
+    // The restructuring must not break the preprocess = sum(breakdown)
+    // accounting that downstream reports rely on.
+    let (result, _) = run_tracked(SEEDS[0], usize::MAX);
+    let t = result.timings;
+    let breakdown = t.preprocess_keyframes + t.preprocess_backgrounds + t.preprocess_detect_track;
+    let diff = t.preprocess.abs_diff(breakdown);
+    assert!(
+        diff <= t.preprocess / 10 + std::time::Duration::from_millis(5),
+        "preprocess {:?} vs breakdown sum {:?}",
+        t.preprocess,
+        breakdown
+    );
+}
