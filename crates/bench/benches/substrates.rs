@@ -96,7 +96,8 @@ fn bench_inpaint(c: &mut Criterion) {
             |b, mask| {
                 b.iter(|| {
                     let mut img = frame.clone();
-                    inpaint(&mut img, black_box(mask), &InpaintConfig::default());
+                    inpaint(&mut img, black_box(mask), &InpaintConfig::default())
+                        .expect("mask matches frame dimensions");
                     img
                 })
             },

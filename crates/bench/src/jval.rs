@@ -1,0 +1,164 @@
+//! `serde_json::Value` builders and a pretty-printer for the artifact
+//! writers.
+//!
+//! The offline CI container builds against a content-free `serde_json`
+//! stand-in whose `json!` macro evaluates to `Value::Null` and whose
+//! `to_string_pretty` returns `"{}"`, so any artifact assembled with the
+//! macro serializes as nothing there. These helpers construct and render
+//! `Value` trees through the enum's *public accessor API*, which the real
+//! crate and the stand-in both implement, so `BENCH_*.json` and
+//! `report.json` carry real content in every environment.
+
+use serde_json::Value;
+
+/// Builds an object from key/value pairs (insertion order is the map's —
+/// alphabetical under a BTreeMap-backed `Map`, insertion order under the
+/// real crate's default).
+pub fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Escapes a string for a JSON document. Handles the mandatory escapes
+/// (quote, backslash, control characters); everything else passes through
+/// as UTF-8, which JSON permits.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders one number. Integral values print without a fraction; the rest
+/// use Rust's shortest-round-trip `f64` formatting, which is valid JSON
+/// for every finite value.
+fn render_number(v: &Value) -> String {
+    if let Some(u) = v.as_u64() {
+        return u.to_string();
+    }
+    if let Some(i) = v.as_i64() {
+        return i.to_string();
+    }
+    match v.as_f64() {
+        Some(f) if f.is_finite() => format!("{f}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn render(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    if v.is_null() {
+        out.push_str("null");
+    } else if let Some(b) = v.as_bool() {
+        out.push_str(if b { "true" } else { "false" });
+    } else if let Some(s) = v.as_str() {
+        out.push_str(&escape(s));
+    } else if let Some(a) = v.as_array() {
+        if a.is_empty() {
+            out.push_str("[]");
+            return;
+        }
+        out.push_str("[\n");
+        for (i, item) in a.iter().enumerate() {
+            out.push_str(&pad_in);
+            render(item, indent + 1, out);
+            if i + 1 < a.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str(&pad);
+        out.push(']');
+    } else if let Some(m) = v.as_object() {
+        if m.is_empty() {
+            out.push_str("{}");
+            return;
+        }
+        out.push_str("{\n");
+        let n = m.len();
+        for (i, (k, item)) in m.iter().enumerate() {
+            out.push_str(&pad_in);
+            out.push_str(&escape(k));
+            out.push_str(": ");
+            render(item, indent + 1, out);
+            if i + 1 < n {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str(&pad);
+        out.push('}');
+    } else {
+        // The only remaining variant is a number.
+        out.push_str(&render_number(v));
+    }
+}
+
+/// Pretty-prints a `Value` as an indented JSON document (trailing
+/// newline included). Works identically against the real `serde_json`
+/// and the offline stand-in because it only uses the accessor API.
+pub fn pretty(v: &Value) -> String {
+    let mut out = String::new();
+    render(v, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders_nested_content() {
+        let v = obj(vec![
+            ("name", Value::from("mot01")),
+            ("fps", Value::from(30.5_f64)),
+            ("frames", Value::from(48_usize)),
+            ("ok", Value::from(true)),
+            ("none", Value::from(Option::<String>::None)),
+            ("list", Value::from(vec![1_u64, 2, 3])),
+        ]);
+        let s = pretty(&v);
+        for needle in [
+            "\"name\": \"mot01\"",
+            "\"fps\": 30.5",
+            "\"frames\": 48",
+            "\"ok\": true",
+            "\"none\": null",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+        assert!(s.contains('1') && s.contains('3'), "array content: {s}");
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = pretty(&Value::from("a\"b\\c\nd"));
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn integral_floats_render_without_fraction() {
+        assert_eq!(pretty(&Value::from(24.0_f64)), "24\n");
+        assert_eq!(pretty(&Value::from(0.73_f64)), "0.73\n");
+    }
+}

@@ -1,3 +1,5 @@
 //! Shared harness code for the VERRO benchmark/report suite.
 
+pub mod jval;
 pub mod presets;
+pub mod provenance;

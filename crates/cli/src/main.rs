@@ -17,7 +17,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use verro_core::config::BackgroundMode;
-use verro_core::{Verro, VerroConfig, VerroError};
+use verro_core::{KernelMode, Verro, VerroConfig, VerroError};
 use verro_video::annotations::VideoAnnotations;
 use verro_video::fault::{FaultSchedule, FaultySource, TryFrameSource};
 use verro_video::geometry::Size;
@@ -51,6 +51,9 @@ SANITIZE OPTIONS:
     --track            force detector+tracker preprocessing even with --gt
     --cache-budget <M> decoded-frame cache budget in MiB (0 disables; the
                        output is byte-identical either way) [default: 256]
+    --kernels <MODE>   kernel dispatch: auto | scalar | simd (vector arms
+                       are bit-identical to scalar; auto detects the CPU
+                       and honors VERRO_KERNELS)            [default: auto]
 
 RECOVERY OPTIONS (sanitize and demo):
     --max-retries <N>  retry budget per frame for transient faults [default: 3]
@@ -214,6 +217,14 @@ fn build_config(flags: &Flags) -> Result<VerroConfig, CliError> {
         .map_err(CliError::Usage)?
     {
         cfg = cfg.with_cache_budget(mib.saturating_mul(1024 * 1024));
+    }
+    if let Some(mode) = flags.value("--kernels") {
+        let mode = KernelMode::parse(mode).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--kernels must be auto, scalar, or simd (got `{mode}`)"
+            ))
+        })?;
+        cfg = cfg.with_kernels(mode);
     }
     cfg.validate()
         .map_err(|msg| CliError::Pipeline(VerroError::BadConfig(msg)))?;

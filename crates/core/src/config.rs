@@ -58,6 +58,61 @@ pub enum BackgroundMode {
     TemporalMedian,
 }
 
+/// Which kernel arms the per-pixel/per-bit hot loops dispatch to. Every
+/// vector arm in the workspace is certified bit-identical to its scalar
+/// reference (see DESIGN.md §11), so this knob trades only speed, never a
+/// byte of output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "lowercase")]
+pub enum KernelMode {
+    /// Defer to the process-level selection: an explicit override if one
+    /// was installed (the CLI's `--kernels` flag), else the
+    /// `VERRO_KERNELS` env var, else runtime CPU detection. Applying
+    /// `Auto` never clobbers a selection made elsewhere.
+    #[default]
+    Auto,
+    /// Pin the scalar reference arms.
+    Scalar,
+    /// Request the vector arms (platforms without them degrade to scalar).
+    Simd,
+}
+
+impl KernelMode {
+    /// Parses the `--kernels {auto,scalar,simd}` CLI value.
+    pub fn parse(s: &str) -> Option<KernelMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(KernelMode::Auto),
+            "scalar" => Some(KernelMode::Scalar),
+            "simd" => Some(KernelMode::Simd),
+            _ => None,
+        }
+    }
+
+    /// The serialized name (bench provenance records it).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelMode::Auto => "auto",
+            KernelMode::Scalar => "scalar",
+            KernelMode::Simd => "simd",
+        }
+    }
+
+    /// Installs this mode into the kernel dispatch cells of every crate
+    /// with vector arms (`verro-video`/`verro-vision` share one cell,
+    /// `verro-ldp` carries its own). `Auto` is a no-op so that an explicit
+    /// process-wide choice — CLI flag or env var — survives construction
+    /// of default-configured [`crate::Verro`] instances.
+    pub fn apply(self) {
+        let force = match self {
+            KernelMode::Auto => return,
+            KernelMode::Scalar => Some(false),
+            KernelMode::Simd => Some(true),
+        };
+        verro_vision::simd::set_kernel_override(force);
+        verro_ldp::simd::set_kernel_override(force);
+    }
+}
+
 /// Full sanitizer configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VerroConfig {
@@ -104,6 +159,12 @@ pub struct VerroConfig {
     /// only memoizes the deterministic frame decode.
     #[serde(default = "default_frame_cache_budget")]
     pub frame_cache_budget: usize,
+    /// Kernel dispatch mode for the SIMD layer. `Auto` (the default, and
+    /// what legacy configs deserialize to) defers to the process-level
+    /// selection; `Scalar`/`Simd` pin an arm. Outputs are byte-identical
+    /// under every mode.
+    #[serde(default)]
+    pub kernels: KernelMode,
     /// Master randomness seed (reproducible sanitization).
     pub seed: u64,
 }
@@ -128,6 +189,7 @@ impl Default for VerroConfig {
             inpaint: InpaintConfig::default(),
             background_samples: 15,
             frame_cache_budget: default_frame_cache_budget(),
+            kernels: KernelMode::Auto,
             seed: 0,
         }
     }
@@ -204,6 +266,12 @@ impl VerroConfig {
     /// Sets the decoded-frame cache budget in bytes (`0` disables caching).
     pub fn with_cache_budget(mut self, bytes: usize) -> Self {
         self.frame_cache_budget = bytes;
+        self
+    }
+
+    /// Sets the kernel dispatch mode (see [`KernelMode`]).
+    pub fn with_kernels(mut self, mode: KernelMode) -> Self {
+        self.kernels = mode;
         self
     }
 }

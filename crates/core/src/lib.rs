@@ -59,7 +59,9 @@ pub mod synthesis;
 
 pub use adversary::{linkage_attack, AttackReport};
 pub use baseline::{BlurMode, BlurredVideo};
-pub use config::{BackgroundMode, NoiseLevel, OptimizerStrategy, OvershootPolicy, VerroConfig};
+pub use config::{
+    BackgroundMode, KernelMode, NoiseLevel, OptimizerStrategy, OvershootPolicy, VerroConfig,
+};
 pub use error::VerroError;
 pub use metrics::UtilityReport;
 pub use phase1::Phase1Output;

@@ -123,6 +123,11 @@ impl Verro {
     /// Creates a sanitizer after validating the configuration.
     pub fn new(config: VerroConfig) -> Result<Self, VerroError> {
         config.validate().map_err(VerroError::BadConfig)?;
+        // Install the configured kernel mode before any frame is touched.
+        // `Auto` is a no-op (it defers to the CLI/env/process selection),
+        // and the arms are bit-identical, so this changes dispatch speed
+        // only — never released bytes.
+        config.kernels.apply();
         Ok(Self { config })
     }
 

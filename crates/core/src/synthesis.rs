@@ -192,12 +192,29 @@ impl SyntheticVideo {
         self.colors.get(&id).copied()
     }
 
-    /// Renders every frame of `V*` in parallel. Each frame is a pure
-    /// function of the (immutable) backgrounds, annotations, and color
-    /// table, and `par_iter().map().collect()` preserves frame order, so
-    /// the result is bit-identical to calling [`FrameSource::frame`] for
+    /// Renders every frame of `V*`. Each frame is a pure function of the
+    /// (immutable) backgrounds, annotations, and color table, and
+    /// `par_iter().map().collect()` preserves frame order, so the result
+    /// is bit-identical to calling [`FrameSource::frame`] for
     /// `0..num_frames` serially, at any thread count.
+    ///
+    /// The rayon fan-out only pays for itself when there are threads to
+    /// fan out to *and* enough pixels to amortize the splitting/collection
+    /// overhead. Below the crossover (or on a one-thread pool) this
+    /// renders serially; both paths produce the same bytes, so the choice
+    /// is pure scheduling, and on one thread the dispatched path measures
+    /// at parity with the raw serial loop (`BENCH_pipeline.json`, whose
+    /// earlier 0.73× render reading turned out to be a harness artifact —
+    /// see `time_ms_interleaved` in the bench report binary).
     pub fn render_all(&self) -> Vec<ImageBuffer> {
+        // ~1M pixels of total work: at the bench's per-frame cost the
+        // fan-out overhead (~17 µs/frame observed single-core) is no
+        // longer visible against multi-core wins above this size.
+        const RENDER_PARALLEL_MIN_PIXELS: u64 = 1 << 20;
+        let total_pixels = self.size.area().saturating_mul(self.num_frames as u64);
+        if rayon::current_num_threads() <= 1 || total_pixels < RENDER_PARALLEL_MIN_PIXELS {
+            return (0..self.num_frames).map(|k| self.frame(k)).collect();
+        }
         let indices: Vec<usize> = (0..self.num_frames).collect();
         indices.par_iter().map(|&k| self.frame(k)).collect()
     }

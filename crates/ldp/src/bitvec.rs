@@ -18,13 +18,15 @@ impl BitVec {
         }
     }
 
-    /// Builds from booleans.
+    /// Builds from booleans. Packing dispatches through
+    /// [`crate::simd::pack_bools`], whose `movemask` arm is certified
+    /// bit-identical to the scalar `set` loop, so the words are the same
+    /// under every kernel mode.
     pub fn from_bools(bits: &[bool]) -> Self {
-        let mut v = Self::zeros(bits.len());
-        for (i, &b) in bits.iter().enumerate() {
-            v.set(i, b);
+        Self {
+            len: bits.len(),
+            words: crate::simd::pack_bools(bits),
         }
-        v
     }
 
     /// Number of bits.

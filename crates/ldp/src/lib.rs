@@ -11,6 +11,8 @@
 //!   per-frame counts (Section 3.3.3);
 //! * [`budget`] — ε accounting: `ε = ℓ·ln((2−f)/f)` and its inverse;
 //! * [`estimate`] — debiased count estimation ("noise cancellation");
+//! * [`simd`] — runtime-dispatched bit-packing kernels for bulk
+//!   randomized response, bit-identical to their scalar references;
 //! * [`error`] — [`LdpError`], the typed error for malformed inputs.
 
 pub mod bitvec;
@@ -20,6 +22,7 @@ pub mod estimate;
 pub mod laplace;
 pub mod rappor;
 pub mod rr;
+pub mod simd;
 
 pub use bitvec::BitVec;
 pub use budget::{epsilon_of_flip, flip_for_epsilon, BudgetLedger};

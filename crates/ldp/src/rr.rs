@@ -42,16 +42,19 @@ pub fn randomize_budget<R: Rng + ?Sized>(
         return Ok(input.clone());
     }
     let keep = keep_probability(eps / m as f64)?;
-    let mut out = BitVec::zeros(m);
+    // The sampling pass stays scalar — each bit draws exactly one
+    // `gen_bool(keep)`, and the released vector is a function of the draw
+    // sequence — while the decisions are packed in bulk by the dispatched
+    // (and bit-identity-certified) `BitVec::from_bools` kernel.
+    let mut decisions = Vec::with_capacity(m);
     for i in 0..m {
-        let bit = if rng.gen_bool(keep) {
+        decisions.push(if rng.gen_bool(keep) {
             input.get(i)
         } else {
             !input.get(i)
-        };
-        out.set(i, bit);
+        });
     }
-    Ok(out)
+    Ok(BitVec::from_bools(&decisions))
 }
 
 /// Applies the flip-probability randomized response of Equation 4: each bit
@@ -65,16 +68,20 @@ pub fn randomize_flip<R: Rng + ?Sized>(
     if !(0.0..=1.0).contains(&f) {
         return Err(LdpError::InvalidFlip { f });
     }
-    let mut out = BitVec::zeros(input.len());
+    // Scalar sampling, bulk packing: a kept bit draws one `gen_bool`, a
+    // flipped bit draws two, so the draw count is data-dependent and the
+    // sampling loop must not be vectorized — doing so would change the RNG
+    // stream and therefore every released vector. The per-bit decisions
+    // are then packed 16-at-a-time by `BitVec::from_bools`'s kernel.
+    let mut decisions = Vec::with_capacity(input.len());
     for i in 0..input.len() {
-        let bit = if rng.gen_bool(1.0 - f) {
+        decisions.push(if rng.gen_bool(1.0 - f) {
             input.get(i)
         } else {
             rng.gen_bool(0.5)
-        };
-        out.set(i, bit);
+        });
     }
-    Ok(out)
+    Ok(BitVec::from_bools(&decisions))
 }
 
 /// Probability that an output bit is 1 under Equation 4 given the true bit —

@@ -1,0 +1,174 @@
+//! SIMD kernels for bulk randomized-response bit packing.
+//!
+//! `verro-ldp` does not depend on the raster crates, so it carries its own
+//! copy of the kernel-dispatch cell (override > `VERRO_KERNELS` env var >
+//! CPU detection — the same rules as `verro_video::simd`, and
+//! `verro-core`'s `KernelMode::apply` sets both cells together).
+//!
+//! The randomizers in [`crate::rr`] draw a *data-dependent number* of RNG
+//! samples per bit (`gen_bool(1 − f)` first, a second `gen_bool(0.5)` only
+//! on a flip), so the sampling pass itself must stay scalar to preserve
+//! the exact draw sequence — vectorizing it would change every released
+//! vector. What vectorizes exactly is the bit **packing**: collapsing the
+//! per-bit decisions into the `u64` words of a [`crate::bitvec::BitVec`],
+//! 16 bools per `movemask`. [`pack_bools`]'s arms are certified equal by
+//! the equivalence proptests in `crates/ldp/tests/proptest_ldp.rs`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+const AUTO: u8 = 0;
+const FORCE_SCALAR: u8 = 1;
+const FORCE_SIMD: u8 = 2;
+
+static OVERRIDE: AtomicU8 = AtomicU8::new(AUTO);
+
+/// Forces kernel selection for this crate's kernels: `Some(false)` pins
+/// scalar, `Some(true)` requests vector arms, `None` restores automatic
+/// selection (env var, then detection).
+pub fn set_kernel_override(force: Option<bool>) {
+    let v = match force {
+        None => AUTO,
+        Some(false) => FORCE_SCALAR,
+        Some(true) => FORCE_SIMD,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The current explicit override, if any.
+pub fn kernel_override() -> Option<bool> {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        FORCE_SCALAR => Some(false),
+        FORCE_SIMD => Some(true),
+        _ => None,
+    }
+}
+
+fn env_override() -> Option<bool> {
+    static ENV: OnceLock<Option<bool>> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("VERRO_KERNELS") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(false),
+            "simd" => Some(true),
+            _ => None,
+        },
+        Err(_) => None,
+    })
+}
+
+/// Whether this build has vector arms (x86_64 only; SSE2 is baseline).
+pub fn simd_supported() -> bool {
+    cfg!(target_arch = "x86_64")
+}
+
+/// Whether dispatched kernels take their vector arm right now.
+pub fn simd_active() -> bool {
+    let forced = match OVERRIDE.load(Ordering::Relaxed) {
+        FORCE_SCALAR => Some(false),
+        FORCE_SIMD => Some(true),
+        _ => env_override(),
+    };
+    match forced {
+        Some(on) => on && simd_supported(),
+        None => simd_supported(),
+    }
+}
+
+/// The backend actually dispatched to right now.
+pub fn active_label() -> &'static str {
+    if simd_active() {
+        "sse2"
+    } else {
+        "scalar"
+    }
+}
+
+/// Packs per-bit decisions into little-endian `u64` words (bit `i` of the
+/// vector lands at word `i / 64`, position `i % 64`) — the storage layout
+/// of [`crate::bitvec::BitVec`]. Dispatched arm.
+pub fn pack_bools(bits: &[bool]) -> Vec<u64> {
+    if simd_active() {
+        if let Some(words) = pack_bools_simd(bits) {
+            return words;
+        }
+    }
+    pack_bools_scalar(bits)
+}
+
+/// Scalar reference arm: the bit-by-bit `set` loop `BitVec::from_bools`
+/// always used.
+pub fn pack_bools_scalar(bits: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; bits.len().div_ceil(64)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    words
+}
+
+/// Vector arm: 16 bools per step — compare against zero, `movemask` the
+/// lane signs into 16 bits, shift into the word. `movemask` bit `k` is
+/// lane `k`, so the packing order matches the scalar arm exactly. Returns
+/// `None` on builds without vector support.
+pub fn pack_bools_simd(bits: &[bool]) -> Option<Vec<u64>> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: SSE2 baseline; `bool` is one byte with value 0 or 1, so
+        // reading the slice as bytes is sound, and the loop bound keeps
+        // every 16-byte load inside it.
+        Some(unsafe { pack_bools_sse2(bits) })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = bits;
+        None
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn pack_bools_sse2(bits: &[bool]) -> Vec<u64> {
+    use std::arch::x86_64::*;
+    let mut words = vec![0u64; bits.len().div_ceil(64)];
+    let zero = _mm_setzero_si128();
+    let mut i = 0usize;
+    while i + 16 <= bits.len() {
+        let v = _mm_loadu_si128(bits.as_ptr().add(i) as *const __m128i);
+        let is_zero = _mm_cmpeq_epi8(v, zero);
+        let m = !(_mm_movemask_epi8(is_zero) as u32) & 0xFFFF;
+        words[i / 64] |= (m as u64) << (i % 64);
+        i += 16;
+    }
+    for (j, &b) in bits.iter().enumerate().skip(i) {
+        if b {
+            words[j / 64] |= 1 << (j % 64);
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_arms_agree_on_lane_misaligned_lengths() {
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 130] {
+            let bits: Vec<bool> = (0..len).map(|i| (i * 2654435761) % 3 == 0).collect();
+            let scalar = pack_bools_scalar(&bits);
+            if let Some(simd) = pack_bools_simd(&bits) {
+                assert_eq!(scalar, simd, "len {len}");
+            }
+            assert_eq!(pack_bools(&bits), scalar, "dispatched, len {len}");
+        }
+    }
+
+    #[test]
+    fn override_controls_selection() {
+        let prev = kernel_override();
+        set_kernel_override(Some(false));
+        assert!(!simd_active());
+        assert_eq!(active_label(), "scalar");
+        set_kernel_override(prev);
+    }
+}

@@ -218,3 +218,58 @@ fn laplace_mechanism_moments_match_claim() {
         );
     }
 }
+
+// ------------------------------------------------------ SIMD equivalence
+//
+// The bulk bit-packing kernel behind `BitVec::from_bools` must be
+// byte-identical to the scalar set-loop on every length (word and lane
+// boundaries included), and the randomizers must release the same vector
+// under either forced kernel mode — the RNG draw sequence is part of the
+// mechanism's definition.
+
+proptest! {
+    #[test]
+    fn pack_bools_arms_agree(bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        let scalar = verro_ldp::simd::pack_bools_scalar(&bits);
+        if let Some(simd) = verro_ldp::simd::pack_bools_simd(&bits) {
+            prop_assert_eq!(&scalar, &simd);
+        }
+        prop_assert_eq!(verro_ldp::simd::pack_bools(&bits), scalar);
+    }
+
+    #[test]
+    fn from_bools_matches_bit_by_bit_reference(bits in arb_bits(200)) {
+        let packed = BitVec::from_bools(&bits);
+        let mut reference = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            reference.set(i, b);
+        }
+        prop_assert_eq!(packed, reference);
+    }
+
+    /// The only override-flipping test in this binary (a process-global
+    /// cell): randomized response must release byte-identical vectors
+    /// under forced-scalar and forced-SIMD kernels with same-seeded RNGs —
+    /// the sampling stays scalar by design, only the packing dispatches.
+    #[test]
+    fn randomizers_are_mode_invariant(
+        bits in arb_bits(150),
+        f in 0.05..0.95f64,
+        seed in any::<u64>(),
+    ) {
+        let input = BitVec::from_bools(&bits);
+        verro_ldp::simd::set_kernel_override(Some(false));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flip_scalar = randomize_flip(&input, f, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budget_scalar = verro_ldp::rr::randomize_budget(&input, 2.0, &mut rng).unwrap();
+        verro_ldp::simd::set_kernel_override(Some(true));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flip_simd = randomize_flip(&input, f, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budget_simd = verro_ldp::rr::randomize_budget(&input, 2.0, &mut rng).unwrap();
+        verro_ldp::simd::set_kernel_override(None);
+        prop_assert_eq!(flip_scalar, flip_simd);
+        prop_assert_eq!(budget_scalar, budget_simd);
+    }
+}

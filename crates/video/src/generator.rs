@@ -620,6 +620,10 @@ impl FrameSource for GeneratedVideo {
 /// and no per-pixel bounds checks. Each table entry applies the exact
 /// formula of [`apply_brightness_reference`], so the output is bit-identical
 /// (guarded by a proptest in `crates/vision/tests/proptest_vision.rs`).
+/// When the dispatch layer selects vector kernels, the table is applied by
+/// [`crate::simd::brightness_bytes`], whose fixed-point SSE2 arm is
+/// certified against the table per call and falls back to the scalar walk
+/// whenever no exact fixed-point form exists.
 pub fn apply_brightness(img: &mut ImageBuffer, factor: f64) {
     if (factor - 1.0).abs() < 1e-12 {
         return;
@@ -628,9 +632,7 @@ pub fn apply_brightness(img: &mut ImageBuffer, factor: f64) {
     for (v, entry) in lut.iter_mut().enumerate() {
         *entry = ((v as f64 * factor).round()).clamp(0.0, 255.0) as u8;
     }
-    for byte in img.bytes_mut() {
-        *byte = lut[*byte as usize];
-    }
+    crate::simd::brightness_bytes(img.bytes_mut(), &lut, factor);
 }
 
 /// The original per-pixel `get`/`set` implementation, retained as the

@@ -32,6 +32,7 @@ pub mod object;
 pub mod pool;
 pub mod recover;
 pub mod scene;
+pub mod simd;
 pub mod source;
 pub mod stats;
 pub mod trajectory;

@@ -1,0 +1,298 @@
+//! Runtime SIMD dispatch and the byte-lane kernels of the raster substrate.
+//!
+//! Every vector kernel in the workspace follows the same contract, set by
+//! the incremental-inpainter and fused-stats work before it: the optimized
+//! arm must be **bit-identical** to its retained scalar reference — the
+//! sanitizer's privacy argument audits released bytes, so "fast" may never
+//! mean "approximately the same frame". Kernels therefore come in pairs
+//! (`*_scalar` / `*_simd`), are certified against each other by equivalence
+//! proptests, and dispatch through [`simd_active`], which layers three
+//! selection mechanisms:
+//!
+//! 1. an explicit process override ([`set_kernel_override`]), driven by the
+//!    `--kernels {auto,scalar,simd}` CLI flag / `VerroConfig::kernels`;
+//! 2. the `VERRO_KERNELS` env var (`scalar` / `simd` / `auto`), read once —
+//!    this is how CI runs the identity suites under both arms;
+//! 3. runtime CPU capability: SSE2 is baseline on `x86_64`; SSSE3 is probed
+//!    with `is_x86_feature_detected!`; every other architecture falls back
+//!    to the scalar arms.
+//!
+//! This module owns the dispatch state shared by `verro-video` and
+//! `verro-vision` (the vision crate re-exports it); `verro-ldp` carries a
+//! sibling cell because it does not depend on this crate. `verro-core`'s
+//! `KernelMode::apply` sets both.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+const AUTO: u8 = 0;
+const FORCE_SCALAR: u8 = 1;
+const FORCE_SIMD: u8 = 2;
+
+static OVERRIDE: AtomicU8 = AtomicU8::new(AUTO);
+
+/// Forces kernel selection for the whole process: `Some(false)` pins the
+/// scalar arms, `Some(true)` requests the vector arms (still subject to CPU
+/// support), `None` restores automatic selection (env var, then detection).
+pub fn set_kernel_override(force: Option<bool>) {
+    let v = match force {
+        None => AUTO,
+        Some(false) => FORCE_SCALAR,
+        Some(true) => FORCE_SIMD,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The current explicit override, if any ([`set_kernel_override`]).
+pub fn kernel_override() -> Option<bool> {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        FORCE_SCALAR => Some(false),
+        FORCE_SIMD => Some(true),
+        _ => None,
+    }
+}
+
+/// `VERRO_KERNELS` env selection, parsed once per process. Unset, `auto`,
+/// or unrecognizable values defer to runtime detection.
+fn env_override() -> Option<bool> {
+    static ENV: OnceLock<Option<bool>> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("VERRO_KERNELS") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(false),
+            "simd" => Some(true),
+            _ => None,
+        },
+        Err(_) => None,
+    })
+}
+
+/// Whether this build has vector arms at all (currently `x86_64` only;
+/// SSE2 is part of the baseline there, so no runtime probe is needed).
+pub fn simd_supported() -> bool {
+    cfg!(target_arch = "x86_64")
+}
+
+/// Whether SSSE3 (`pshufb`, used by the RGB-deinterleave mask kernel) is
+/// available on this CPU. Probed once.
+pub fn ssse3_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static SSSE3: OnceLock<bool> = OnceLock::new();
+        *SSSE3.get_or_init(|| std::arch::is_x86_feature_detected!("ssse3"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether dispatched kernels should take their vector arm right now:
+/// override > env var > CPU support. Forcing SIMD on an unsupported
+/// architecture degrades to scalar rather than failing.
+pub fn simd_active() -> bool {
+    let forced = match OVERRIDE.load(Ordering::Relaxed) {
+        FORCE_SCALAR => Some(false),
+        FORCE_SIMD => Some(true),
+        _ => env_override(),
+    };
+    match forced {
+        Some(on) => on && simd_supported(),
+        None => simd_supported(),
+    }
+}
+
+/// The instruction-set label of the vector arms this build/CPU offers,
+/// independent of whether they are currently selected.
+pub fn backend_label() -> &'static str {
+    if !simd_supported() {
+        "scalar-only"
+    } else if ssse3_available() {
+        "sse2+ssse3"
+    } else {
+        "sse2"
+    }
+}
+
+/// The backend actually dispatched to right now — bench provenance records
+/// this next to every measurement.
+pub fn active_label() -> &'static str {
+    if simd_active() {
+        backend_label()
+    } else {
+        "scalar"
+    }
+}
+
+/// Applies a brightness lookup table to every byte of a raster.
+///
+/// The scalar arm is the plain 256-entry table walk. The vector arm
+/// evaluates the same transform as a 7-bit fixed-point affine map
+/// `min((v·q + 64) >> 7, 255)` — but only after certifying, for this
+/// specific table, that the fixed-point map reproduces **all 256** entries
+/// exactly ([`brightness_affine_q`]). Tables with no exact fixed-point
+/// representation (extreme factors, overflow in the `u16` product) fall
+/// back to the scalar walk, so the output is bit-identical in every case.
+pub fn brightness_bytes(bytes: &mut [u8], lut: &[u8; 256], factor: f64) {
+    if simd_active() && brightness_bytes_simd(bytes, lut, factor) {
+        return;
+    }
+    brightness_bytes_scalar(bytes, lut);
+}
+
+/// Scalar reference arm: the 256-entry table walk.
+pub fn brightness_bytes_scalar(bytes: &mut [u8], lut: &[u8; 256]) {
+    for b in bytes.iter_mut() {
+        *b = lut[*b as usize];
+    }
+}
+
+/// Vector arm. Returns `false` (leaving `bytes` untouched) when no exact
+/// fixed-point multiplier exists or the build has no vector support.
+pub fn brightness_bytes_simd(bytes: &mut [u8], lut: &[u8; 256], factor: f64) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if let Some(q) = brightness_affine_q(lut, factor) {
+            // SAFETY: SSE2 is baseline on x86_64; the kernel only touches
+            // `bytes` through checked chunking.
+            unsafe { brightness_affine_sse2(bytes, q) };
+            return true;
+        }
+        false
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (bytes, lut, factor);
+        false
+    }
+}
+
+/// Searches for a `u16` multiplier `q` such that the wrapping fixed-point
+/// map `min((v·q + 64) >> 7, 255)` equals `lut[v]` for **every** `v`. The
+/// emulation below wraps exactly like `_mm_mullo_epi16`/`_mm_add_epi16`
+/// and saturates exactly like `_mm_packus_epi16` (the shifted value is at
+/// most 511, hence non-negative as `i16`), so a passing certification
+/// proves the SSE2 arm bit-identical to the table for this factor.
+pub fn brightness_affine_q(lut: &[u8; 256], factor: f64) -> Option<u16> {
+    let base = (factor * 128.0).round();
+    if !base.is_finite() || !(0.0..=u16::MAX as f64).contains(&base) {
+        return None;
+    }
+    let base = base as i64;
+    for cand in [base, base - 1, base + 1] {
+        if !(0..=u16::MAX as i64).contains(&cand) {
+            continue;
+        }
+        let q = cand as u16;
+        let exact = (0u16..256).all(|v| {
+            let t = v.wrapping_mul(q).wrapping_add(64) >> 7;
+            t.min(255) as u8 == lut[v as usize]
+        });
+        if exact {
+            return Some(q);
+        }
+    }
+    None
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn brightness_affine_sse2(bytes: &mut [u8], q: u16) {
+    use std::arch::x86_64::*;
+    let qv = _mm_set1_epi16(q as i16);
+    let round = _mm_set1_epi16(64);
+    let zero = _mm_setzero_si128();
+    let mut chunks = bytes.chunks_exact_mut(16);
+    for chunk in &mut chunks {
+        let v = _mm_loadu_si128(chunk.as_ptr() as *const __m128i);
+        let lo = _mm_unpacklo_epi8(v, zero);
+        let hi = _mm_unpackhi_epi8(v, zero);
+        let lo = _mm_srli_epi16(_mm_add_epi16(_mm_mullo_epi16(lo, qv), round), 7);
+        let hi = _mm_srli_epi16(_mm_add_epi16(_mm_mullo_epi16(hi, qv), round), 7);
+        let out = _mm_packus_epi16(lo, hi);
+        _mm_storeu_si128(chunk.as_mut_ptr() as *mut __m128i, out);
+    }
+    for b in chunks.into_remainder() {
+        // Same wrapping arithmetic the certification in
+        // `brightness_affine_q` verified.
+        let t = (*b as u16).wrapping_mul(q).wrapping_add(64) >> 7;
+        *b = t.min(255) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lut_for(factor: f64) -> [u8; 256] {
+        let mut lut = [0u8; 256];
+        for (v, entry) in lut.iter_mut().enumerate() {
+            *entry = ((v as f64 * factor).round()).clamp(0.0, 255.0) as u8;
+        }
+        lut
+    }
+
+    #[test]
+    fn override_round_trips() {
+        let prev = kernel_override();
+        set_kernel_override(Some(false));
+        assert_eq!(kernel_override(), Some(false));
+        assert!(!simd_active(), "forced scalar must disable vector arms");
+        set_kernel_override(Some(true));
+        assert_eq!(kernel_override(), Some(true));
+        set_kernel_override(None);
+        assert_eq!(kernel_override(), None);
+        set_kernel_override(prev);
+    }
+
+    #[test]
+    fn labels_are_consistent() {
+        assert!(!backend_label().is_empty());
+        assert!(!active_label().is_empty());
+        if !simd_supported() {
+            assert_eq!(backend_label(), "scalar-only");
+        }
+    }
+
+    #[test]
+    fn affine_certification_matches_table_for_typical_factors() {
+        // The generator's lighting drift keeps factors near 1; sweep a wider
+        // band plus extremes that must be rejected or still exact.
+        for i in 0..=60 {
+            let factor = 0.5 + i as f64 * 0.02;
+            let lut = lut_for(factor);
+            if let Some(q) = brightness_affine_q(&lut, factor) {
+                for v in 0u16..256 {
+                    let t = v.wrapping_mul(q).wrapping_add(64) >> 7;
+                    assert_eq!(
+                        t.min(255) as u8,
+                        lut[v as usize],
+                        "factor {factor}, q {q}, v {v}"
+                    );
+                }
+            }
+        }
+        assert!(
+            brightness_affine_q(&lut_for(1.0), 1.0).is_some(),
+            "identity factor must certify"
+        );
+        assert!(brightness_affine_q(&lut_for(f64::NAN), f64::NAN).is_none());
+    }
+
+    #[test]
+    fn simd_brightness_matches_scalar_when_certified() {
+        for factor in [0.85, 0.93, 1.07, 1.15, 1.5] {
+            let lut = lut_for(factor);
+            // 53 bytes: three full 16-lane chunks plus a 5-byte remainder.
+            let src: Vec<u8> = (0..53u32)
+                .map(|i| (i.wrapping_mul(97).wrapping_add(13) % 256) as u8)
+                .collect();
+            let mut scalar = src.clone();
+            brightness_bytes_scalar(&mut scalar, &lut);
+            let mut simd = src.clone();
+            if brightness_bytes_simd(&mut simd, &lut, factor) {
+                assert_eq!(scalar, simd, "factor {factor}");
+            } else {
+                assert_eq!(simd, src, "rejected arm must not touch bytes");
+            }
+        }
+    }
+}

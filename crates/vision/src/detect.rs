@@ -104,14 +104,17 @@ pub fn foreground_mask_into(
     }
     mask.clear();
     mask.resize(frame.size().area() as usize, false);
-    for ((m, f), b) in mask
-        .iter_mut()
-        .zip(frame.bytes().chunks_exact(3))
-        .zip(background.bytes().chunks_exact(3))
-    {
-        let adjusted = Rgb::new(lut[f[0] as usize], lut[f[1] as usize], lut[f[2] as usize]);
-        *m = adjusted.abs_diff(Rgb::new(b[0], b[1], b[2])) > threshold;
-    }
+    // The scalar arm of this kernel is byte-for-byte the original loop
+    // (gain LUT per channel, `Rgb::abs_diff` channel sum, strict `>`);
+    // the SSSE3 arm is certified bit-identical by the equivalence
+    // proptests, so the dispatch cannot change a single mask bit.
+    crate::simd::foreground_mask_bytes(
+        frame.bytes(),
+        background.bytes(),
+        &lut,
+        threshold,
+        &mut mask[..],
+    );
     Ok(())
 }
 

@@ -279,10 +279,15 @@ fn classify_pixel(
 /// end: `f64` accumulation of 1.0s is exact below 2^53, so the reference's
 /// running sum equals `count as f64` and the final `count as f64 / n`
 /// divides the same operands. Consecutive identical pixels (common on
-/// surveillance backdrops) reuse the previous classification — pure
-/// memoization of a pure function. Everything is bit-identical to
-/// `HsvHistogram::of_reference` + `detect::mean_luma`; the proptests in
-/// `crates/vision/tests/proptest_vision.rs` enforce it.
+/// surveillance backdrops) are classified once per **run**: the run length
+/// comes from [`crate::simd::equal_pixel_run`] (an SSE2 shifted-compare
+/// scan whose scalar arm is the byte test the old memo made), bins take
+/// `+= run` (exact integer arithmetic), and the mean-luma chain replays
+/// one `+= luma` per pixel — the identical `f64` additions in the
+/// identical order, because IEEE addition is deterministic and every pixel
+/// of a run contributes the same classified luma. Everything is
+/// bit-identical to `HsvHistogram::of_reference` + `detect::mean_luma`;
+/// the proptests in `crates/vision/tests/proptest_vision.rs` enforce it.
 pub fn frame_stats(image: &ImageBuffer, bins: HsvBins) -> FrameStats {
     let scale = channel_scale_lut();
     let mut luma_r = [0.0f64; 256];
@@ -298,21 +303,22 @@ pub fn frame_stats(image: &ImageBuffer, bins: HsvBins) -> FrameStats {
     let mut sat = vec![0u32; bins.s];
     let mut val = vec![0u32; bins.v];
     let mut luma_total = 0.0f64;
-    let mut last: Option<([u8; 3], PixelClass)> = None;
-    for px in image.bytes().chunks_exact(3) {
-        let key = [px[0], px[1], px[2]];
-        let (hb, sb, vb, luma) = match last {
-            Some((prev, cached)) if prev == key => cached,
-            _ => {
-                let computed = classify_pixel(key, bins, scale, &luma_r, &luma_g, &luma_b);
-                last = Some((key, computed));
-                computed
-            }
-        };
-        hue[hb] += 1;
-        sat[sb] += 1;
-        val[vb] += 1;
-        luma_total += luma;
+    let bytes = image.bytes();
+    let n_px = bytes.len() / 3;
+    let run_of = crate::simd::equal_pixel_run_fn();
+    let mut p = 0usize;
+    while p < n_px {
+        let o = p * 3;
+        let key = [bytes[o], bytes[o + 1], bytes[o + 2]];
+        let (hb, sb, vb, luma) = classify_pixel(key, bins, scale, &luma_r, &luma_g, &luma_b);
+        let run = run_of(bytes, p, n_px);
+        hue[hb] += run as u32;
+        sat[sb] += run as u32;
+        val[vb] += run as u32;
+        for _ in 0..run {
+            luma_total += luma;
+        }
+        p += run;
     }
 
     let area = image.size().area() as f64;

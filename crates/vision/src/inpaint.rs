@@ -407,6 +407,11 @@ pub fn inpaint_exemplar(img: &mut ImageBuffer, mask: &mut Mask, config: &Inpaint
         // strict-> pruning on the raw SSD.
         let bound = AtomicU64::new(u64::MAX);
         let bytes = img.bytes();
+        // Per-run byte SSD kernel, resolved once: the scalar arm is the
+        // original i32-difference loop, the SSE2 arm widens |a-b| and
+        // squares with `pmaddwd` — exact integer arithmetic either way, so
+        // the pruning decisions below are unchanged bit for bit.
+        let ssd_kernel = crate::simd::ssd_bytes_fn();
         let side = 2 * r as u64 + 1;
         let packable = side * side * 3 * 255 * 255 < (1u64 << 24);
         let eval_packed = |sy: i64, sx: i64| -> Option<u64> {
@@ -418,12 +423,7 @@ pub fn inpaint_exemplar(img: &mut ImageBuffer, mask: &mut Mask, config: &Inpaint
                 let o = (center + delta) as usize;
                 let src = &bytes[o..o + len];
                 let tgt = &tbuf[start..start + len];
-                let mut acc = 0u32;
-                for (&a, &b) in src.iter().zip(tgt) {
-                    let d = a as i32 - b as i32;
-                    acc += (d * d) as u32;
-                }
-                ssd += acc as u64;
+                ssd += ssd_kernel(src, tgt) as u64;
                 if ((ssd << 40) | pos) > limit {
                     return None;
                 }
@@ -437,12 +437,7 @@ pub fn inpaint_exemplar(img: &mut ImageBuffer, mask: &mut Mask, config: &Inpaint
                 let o = (center + delta) as usize;
                 let src = &bytes[o..o + len];
                 let tgt = &tbuf[start..start + len];
-                let mut acc = 0u32;
-                for (&a, &b) in src.iter().zip(tgt) {
-                    let d = a as i32 - b as i32;
-                    acc += (d * d) as u32;
-                }
-                ssd += acc as u64;
+                ssd += ssd_kernel(src, tgt) as u64;
                 if ssd > limit {
                     return None;
                 }

@@ -10,6 +10,8 @@
 //! * [`track`] — Kalman + Hungarian SORT tracking (Deep SORT stand-in);
 //! * [`mod@inpaint`] — Criminisi exemplar-based region filling (reference \[11\]);
 //! * [`interp`] — Lagrange / linear / nearest trajectory interpolation;
+//! * [`simd`] — runtime-dispatched vector kernels for the per-pixel hot
+//!   loops, bit-identical to their scalar references;
 //! * [`error`] — [`VisionError`], the typed error for malformed inputs.
 
 pub mod bgmodel;
@@ -19,6 +21,7 @@ pub mod histogram;
 pub mod inpaint;
 pub mod interp;
 pub mod keyframe;
+pub mod simd;
 pub mod track;
 
 pub use bgmodel::{median_background, segment_backgrounds, BackgroundConfig};

@@ -1,0 +1,472 @@
+//! SIMD kernels for the vision hot loops, behind the workspace-wide
+//! bit-identity contract.
+//!
+//! Three u8-lane-parallel inner loops dominate the sanitizer's per-frame
+//! cost at full HD (see `results/BENCH_pipeline.json` and DESIGN.md §11):
+//!
+//! * [`ssd_bytes`] — the per-run byte SSD inside the Criminisi patch
+//!   search (`inpaint.rs`); exact integer arithmetic, so the vector arm
+//!   (`psadbw`-style widen + `pmaddwd`) is trivially bit-identical.
+//! * [`equal_pixel_run`] — run-length scan of identical 3-byte pixels,
+//!   the vector form of the fused stats pass's memoization: histogram
+//!   bins take `+= run` and the mean-luma chain replays the identical
+//!   `f64` additions, so nothing about the reference's arithmetic order
+//!   changes.
+//! * [`foreground_mask_bytes`] — gain-LUT + per-pixel channel
+//!   abs-diff-sum threshold (`detect.rs`); the SSSE3 arm deinterleaves
+//!   RGB with `pshufb`, sums in `u16` lanes (max 765, no overflow), and
+//!   compares against the clamped threshold.
+//!
+//! Dispatch state (process override, `VERRO_KERNELS`, CPU detection) is
+//! shared with `verro-video` and re-exported here; see
+//! [`verro_video::simd`] for the selection rules. Every kernel keeps a
+//! scalar arm that is byte-for-byte the pre-SIMD loop, and the pairs are
+//! certified equal by the equivalence proptests in
+//! `crates/vision/tests/proptest_vision.rs`.
+
+pub use verro_video::simd::{
+    active_label, backend_label, kernel_override, set_kernel_override, simd_active, simd_supported,
+    ssse3_available,
+};
+
+/// Sum of squared byte differences, `Σ (a[i] − b[i])²`, over equal-length
+/// slices. Dispatched arm; see [`ssd_bytes_scalar`] / [`ssd_bytes_simd`].
+///
+/// The caller guarantees the sum fits `u32`; any length up to 65 535 bytes
+/// cannot overflow (65 535 · 255² < 2³²). Patch rows in the inpainter are
+/// at most `(2r+1)·3` bytes, far below that.
+pub fn ssd_bytes(a: &[u8], b: &[u8]) -> u32 {
+    if simd_active() {
+        if let Some(v) = ssd_bytes_simd(a, b) {
+            return v;
+        }
+    }
+    ssd_bytes_scalar(a, b)
+}
+
+/// Picks the SSD arm once so per-run call sites (the patch-search inner
+/// loop runs thousands of times per frontier pixel) skip the per-call
+/// dispatch check.
+pub fn ssd_bytes_fn() -> fn(&[u8], &[u8]) -> u32 {
+    if simd_active() && simd_supported() {
+        ssd_bytes_dispatch_simd
+    } else {
+        ssd_bytes_scalar
+    }
+}
+
+fn ssd_bytes_dispatch_simd(a: &[u8], b: &[u8]) -> u32 {
+    match ssd_bytes_simd(a, b) {
+        Some(v) => v,
+        None => ssd_bytes_scalar(a, b),
+    }
+}
+
+/// Scalar reference arm: exactly the pre-SIMD inner loop of the patch
+/// search (`i32` difference, squared, accumulated in `u32`).
+pub fn ssd_bytes_scalar(a: &[u8], b: &[u8]) -> u32 {
+    debug_assert_eq!(a.len(), b.len(), "ssd_bytes: length mismatch");
+    let mut acc = 0u32;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x as i32 - y as i32;
+        acc += (d * d) as u32;
+    }
+    acc
+}
+
+/// Vector arm: 16 bytes per step — `|a−b|` via saturating subtractions,
+/// widened to `i16`, squared-and-paired with `pmaddwd` into four `i32`
+/// accumulators. All integer, so the total equals the scalar sum exactly.
+/// Returns `None` on builds without vector support.
+pub fn ssd_bytes_simd(a: &[u8], b: &[u8]) -> Option<u32> {
+    debug_assert_eq!(a.len(), b.len(), "ssd_bytes: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: SSE2 is baseline on x86_64; all loads stay inside the
+        // slices via the chunk bound.
+        Some(unsafe { ssd_bytes_sse2(a, b) })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (a, b);
+        None
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn ssd_bytes_sse2(a: &[u8], b: &[u8]) -> u32 {
+    use std::arch::x86_64::*;
+    let n = a.len().min(b.len());
+    let zero = _mm_setzero_si128();
+    let mut acc = _mm_setzero_si128();
+    let chunks = n / 16;
+    for c in 0..chunks {
+        let va = _mm_loadu_si128(a.as_ptr().add(c * 16) as *const __m128i);
+        let vb = _mm_loadu_si128(b.as_ptr().add(c * 16) as *const __m128i);
+        let d = _mm_or_si128(_mm_subs_epu8(va, vb), _mm_subs_epu8(vb, va));
+        let lo = _mm_unpacklo_epi8(d, zero);
+        let hi = _mm_unpackhi_epi8(d, zero);
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(lo, lo));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(hi, hi));
+    }
+    let mut lanes = [0u32; 4];
+    _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, acc);
+    let mut sum = lanes[0]
+        .wrapping_add(lanes[1])
+        .wrapping_add(lanes[2])
+        .wrapping_add(lanes[3]);
+    for i in chunks * 16..n {
+        let d = a[i] as i32 - b[i] as i32;
+        sum = sum.wrapping_add((d * d) as u32);
+    }
+    sum
+}
+
+/// Length of the run of consecutive pixels identical to pixel `px`
+/// (3 bytes each, contiguous raster), capped at `n_px`. Always ≥ 1 for
+/// `px < n_px`. Dispatched arm.
+pub fn equal_pixel_run(bytes: &[u8], px: usize, n_px: usize) -> usize {
+    if simd_active() {
+        if let Some(v) = equal_pixel_run_simd(bytes, px, n_px) {
+            return v;
+        }
+    }
+    equal_pixel_run_scalar(bytes, px, n_px)
+}
+
+/// Picks the run-scan arm once per frame traversal.
+pub fn equal_pixel_run_fn() -> fn(&[u8], usize, usize) -> usize {
+    if simd_active() && simd_supported() {
+        equal_pixel_run_dispatch_simd
+    } else {
+        equal_pixel_run_scalar
+    }
+}
+
+fn equal_pixel_run_dispatch_simd(bytes: &[u8], px: usize, n_px: usize) -> usize {
+    match equal_pixel_run_simd(bytes, px, n_px) {
+        Some(v) => v,
+        None => equal_pixel_run_scalar(bytes, px, n_px),
+    }
+}
+
+/// Scalar reference arm: byte-compare pixel by pixel, exactly the test the
+/// fused stats pass's memo used to make.
+pub fn equal_pixel_run_scalar(bytes: &[u8], px: usize, n_px: usize) -> usize {
+    let o = px * 3;
+    let key = [bytes[o], bytes[o + 1], bytes[o + 2]];
+    let mut run = 1usize;
+    while px + run < n_px {
+        let q = (px + run) * 3;
+        if bytes[q] != key[0] || bytes[q + 1] != key[1] || bytes[q + 2] != key[2] {
+            break;
+        }
+        run += 1;
+    }
+    run
+}
+
+/// Vector arm: compares the byte stream against itself shifted by one
+/// pixel (3 bytes), 16 lanes at a time. If `L` bytes starting at the pixel
+/// satisfy `b[j] == b[j+3]`, then by induction the first `1 + ⌊L/3⌋`
+/// pixels are identical — `pshufb`-free and exact. Returns `None` on
+/// builds without vector support.
+pub fn equal_pixel_run_simd(bytes: &[u8], px: usize, n_px: usize) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: SSE2 baseline; the loop bound keeps both 16-byte loads
+        // inside `bytes[..3 * n_px]`.
+        Some(unsafe { equal_pixel_run_sse2(bytes, px, n_px) })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (bytes, px, n_px);
+        None
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn equal_pixel_run_sse2(bytes: &[u8], px: usize, n_px: usize) -> usize {
+    use std::arch::x86_64::*;
+    let o = px * 3;
+    let end = n_px * 3;
+    let max_run = n_px - px;
+    // Run-of-one fast path: on noise-like rasters almost every run is a
+    // single pixel, and a 3-byte compare settles that without paying for
+    // the 16-byte probe. Same answer as the vector loop (l < 3 ⇒ run 1).
+    if max_run == 1
+        || bytes[o] != bytes[o + 3]
+        || bytes[o + 1] != bytes[o + 4]
+        || bytes[o + 2] != bytes[o + 5]
+    {
+        return 1;
+    }
+    let mut l = 0usize;
+    loop {
+        let j = o + l;
+        if j + 3 + 16 <= end {
+            let v1 = _mm_loadu_si128(bytes.as_ptr().add(j) as *const __m128i);
+            let v2 = _mm_loadu_si128(bytes.as_ptr().add(j + 3) as *const __m128i);
+            let eq = _mm_cmpeq_epi8(v1, v2);
+            let m = _mm_movemask_epi8(eq) as u32;
+            if m == 0xFFFF {
+                l += 16;
+                continue;
+            }
+            l += m.trailing_ones() as usize;
+            break;
+        }
+        let mut k = j;
+        while k + 3 < end && bytes[k] == bytes[k + 3] {
+            k += 1;
+        }
+        l = k - o;
+        break;
+    }
+    (1 + l / 3).min(max_run)
+}
+
+/// Foreground decision for a packed RGB raster against its background
+/// model: `Σ_c |lut[frame_c] − bg_c| > threshold` per pixel. Dispatched
+/// arm; `frame.len() == bg.len() == 3 * out.len()` is the caller's
+/// contract (the detector resizes `out` from the frame dimensions).
+pub fn foreground_mask_bytes(
+    frame: &[u8],
+    bg: &[u8],
+    lut: &[u8; 256],
+    threshold: u32,
+    out: &mut [bool],
+) {
+    if simd_active() && foreground_mask_bytes_simd(frame, bg, lut, threshold, out) {
+        return;
+    }
+    foreground_mask_bytes_scalar(frame, bg, lut, threshold, out);
+}
+
+/// Scalar reference arm: exactly the pre-SIMD detector loop
+/// (gain LUT per channel, `Rgb::abs_diff`-style channel sum, strict `>`).
+pub fn foreground_mask_bytes_scalar(
+    frame: &[u8],
+    bg: &[u8],
+    lut: &[u8; 256],
+    threshold: u32,
+    out: &mut [bool],
+) {
+    for ((m, f), b) in out
+        .iter_mut()
+        .zip(frame.chunks_exact(3))
+        .zip(bg.chunks_exact(3))
+    {
+        let dr = lut[f[0] as usize].abs_diff(b[0]) as u32;
+        let dg = lut[f[1] as usize].abs_diff(b[1]) as u32;
+        let db = lut[f[2] as usize].abs_diff(b[2]) as u32;
+        *m = dr + dg + db > threshold;
+    }
+}
+
+/// Vector arm: 16 pixels (48 bytes) per step. The gain LUT is applied
+/// scalar into a stack block (or skipped entirely when the LUT is the
+/// identity, the common `gain ≈ 1` case), the absolute differences are
+/// computed bytewise, `pshufb` deinterleaves them into R/G/B planes, and
+/// the `u16`-lane channel sums (≤ 765, no overflow) are compared against
+/// the threshold clamped to 766 — sums never exceed 765, so the clamp
+/// preserves the scalar decision for every `u32` threshold. Returns
+/// `false` (untouched output) without SSSE3.
+pub fn foreground_mask_bytes_simd(
+    frame: &[u8],
+    bg: &[u8],
+    lut: &[u8; 256],
+    threshold: u32,
+    out: &mut [bool],
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !ssse3_available() {
+            return false;
+        }
+        let n = out.len().min(frame.len() / 3).min(bg.len() / 3);
+        let identity = lut.iter().enumerate().all(|(i, &v)| v == i as u8);
+        let thresh = threshold.min(766) as i16;
+        let mut buf = [0u8; 48];
+        let mut px = 0usize;
+        while px + 16 <= n {
+            let o = px * 3;
+            let adjusted: &[u8] = if identity {
+                &frame[o..o + 48]
+            } else {
+                for (d, &s) in buf.iter_mut().zip(&frame[o..o + 48]) {
+                    *d = lut[s as usize];
+                }
+                &buf
+            };
+            // SAFETY: SSSE3 availability checked above; slices are exactly
+            // 48 bytes and the output pointer covers 16 valid bools, which
+            // the kernel overwrites with 0/1 bytes only.
+            unsafe {
+                mask16_ssse3(
+                    adjusted,
+                    &bg[o..o + 48],
+                    thresh,
+                    out[px..px + 16].as_mut_ptr() as *mut u8,
+                );
+            }
+            px += 16;
+        }
+        for p in px..n {
+            let f = &frame[p * 3..p * 3 + 3];
+            let b = &bg[p * 3..p * 3 + 3];
+            let dr = lut[f[0] as usize].abs_diff(b[0]) as u32;
+            let dg = lut[f[1] as usize].abs_diff(b[1]) as u32;
+            let db = lut[f[2] as usize].abs_diff(b[2]) as u32;
+            out[p] = dr + dg + db > threshold;
+        }
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (frame, bg, lut, threshold, out);
+        false
+    }
+}
+
+/// `pshufb` index triples selecting channel `c` pixels from the three
+/// 16-byte blocks of a 48-byte / 16-pixel RGB group (0x80 ⇒ zero lane).
+#[cfg(target_arch = "x86_64")]
+const DEINTERLEAVE: [[[u8; 16]; 3]; 3] = {
+    let mut idx = [[[0x80u8; 16]; 3]; 3];
+    let mut c = 0;
+    while c < 3 {
+        let mut p = 0;
+        while p < 16 {
+            let s = 3 * p + c;
+            idx[c][s / 16][p] = (s % 16) as u8;
+            p += 1;
+        }
+        c += 1;
+    }
+    idx
+};
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "ssse3")]
+unsafe fn mask16_ssse3(adjusted: &[u8], bg: &[u8], threshold: i16, out: *mut u8) {
+    use std::arch::x86_64::*;
+    let zero = _mm_setzero_si128();
+    // Bytewise |adjusted − bg| over the three 16-byte blocks.
+    let mut diffs = [zero; 3];
+    for (k, d) in diffs.iter_mut().enumerate() {
+        let va = _mm_loadu_si128(adjusted.as_ptr().add(k * 16) as *const __m128i);
+        let vb = _mm_loadu_si128(bg.as_ptr().add(k * 16) as *const __m128i);
+        *d = _mm_or_si128(_mm_subs_epu8(va, vb), _mm_subs_epu8(vb, va));
+    }
+    // Gather the 16 per-channel diffs of each plane out of the 3-stride
+    // stream.
+    let mut planes = [zero; 3];
+    for (c, plane) in planes.iter_mut().enumerate() {
+        let mut acc = zero;
+        for (k, &d) in diffs.iter().enumerate() {
+            let sel = _mm_loadu_si128(DEINTERLEAVE[c][k].as_ptr() as *const __m128i);
+            acc = _mm_or_si128(acc, _mm_shuffle_epi8(d, sel));
+        }
+        *plane = acc;
+    }
+    let t = _mm_set1_epi16(threshold);
+    let lo = _mm_cmpgt_epi16(
+        _mm_add_epi16(
+            _mm_add_epi16(
+                _mm_unpacklo_epi8(planes[0], zero),
+                _mm_unpacklo_epi8(planes[1], zero),
+            ),
+            _mm_unpacklo_epi8(planes[2], zero),
+        ),
+        t,
+    );
+    let hi = _mm_cmpgt_epi16(
+        _mm_add_epi16(
+            _mm_add_epi16(
+                _mm_unpackhi_epi8(planes[0], zero),
+                _mm_unpackhi_epi8(planes[1], zero),
+            ),
+            _mm_unpackhi_epi8(planes[2], zero),
+        ),
+        t,
+    );
+    // 0xFFFF/0x0000 lanes pack (signed saturation of −1/0) to 0xFF/0x00;
+    // masking with 1 yields valid `bool` bytes.
+    let ones = _mm_and_si128(_mm_packs_epi16(lo, hi), _mm_set1_epi8(1));
+    _mm_storeu_si128(out as *mut __m128i, ones);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(len: usize, seed: u64) -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                let v = seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0xD1B54A32D192ED03);
+                (v >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ssd_arms_agree_on_odd_lengths() {
+        for len in [0usize, 1, 3, 15, 16, 17, 27, 48, 100] {
+            let a = noisy(len, 1);
+            let b = noisy(len, 2);
+            let scalar = ssd_bytes_scalar(&a, &b);
+            if let Some(simd) = ssd_bytes_simd(&a, &b) {
+                assert_eq!(scalar, simd, "len {len}");
+            }
+            assert_eq!(ssd_bytes(&a, &b), scalar, "dispatched, len {len}");
+        }
+    }
+
+    #[test]
+    fn equal_pixel_run_arms_agree_on_constructed_runs() {
+        // A raster of runs: 5 identical pixels, 1 odd one, 20 identical, ...
+        let mut bytes = Vec::new();
+        for (count, px) in [(5usize, [9u8, 9, 9]), (1, [1, 2, 3]), (20, [7, 8, 7])] {
+            for _ in 0..count {
+                bytes.extend_from_slice(&px);
+            }
+        }
+        let n_px = bytes.len() / 3;
+        let mut p = 0;
+        while p < n_px {
+            let scalar = equal_pixel_run_scalar(&bytes, p, n_px);
+            if let Some(simd) = equal_pixel_run_simd(&bytes, p, n_px) {
+                assert_eq!(scalar, simd, "pixel {p}");
+            }
+            assert_eq!(equal_pixel_run(&bytes, p, n_px), scalar);
+            p += scalar;
+        }
+    }
+
+    #[test]
+    fn mask_arms_agree_including_tail_pixels() {
+        // 37 pixels: two 16-lane blocks plus a 5-pixel tail.
+        let n = 37usize;
+        let frame = noisy(n * 3, 3);
+        let bg = noisy(n * 3, 4);
+        let mut lut = [0u8; 256];
+        for (v, entry) in lut.iter_mut().enumerate() {
+            *entry = ((v as f64 * 1.08).round()).clamp(0.0, 255.0) as u8;
+        }
+        for threshold in [0u32, 30, 120, 765, 766, 10_000] {
+            let mut scalar = vec![false; n];
+            foreground_mask_bytes_scalar(&frame, &bg, &lut, threshold, &mut scalar);
+            let mut simd = vec![false; n];
+            if foreground_mask_bytes_simd(&frame, &bg, &lut, threshold, &mut simd) {
+                assert_eq!(scalar, simd, "threshold {threshold}");
+            }
+            let mut dispatched = vec![false; n];
+            foreground_mask_bytes(&frame, &bg, &lut, threshold, &mut dispatched);
+            assert_eq!(scalar, dispatched, "threshold {threshold}");
+        }
+    }
+}

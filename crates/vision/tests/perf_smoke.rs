@@ -148,3 +148,58 @@ fn separable_dilation_beats_naive() {
         "separable dilation too slow: naive {before:?}, separable {after:?} ({speedup:.2}x)"
     );
 }
+
+/// One full-HD frame through the sanitizer's per-frame hot path — stats →
+/// foreground mask → dilate → render-style ellipse fill — under forced
+/// scalar and forced SIMD kernels, asserting bit identity end to end at
+/// the target 1920×1080 raster. `#[ignore]`d because a full-HD raster is
+/// wall-clock-heavy on small CI hosts; the scaling bench
+/// (`results/BENCH_scaling.json`) carries the timing numbers.
+#[test]
+#[ignore = "full-HD smoke; run explicitly with: cargo test -p verro-vision --release -- --ignored"]
+fn full_hd_frame_is_mode_invariant_end_to_end() {
+    use verro_vision::detect::foreground_mask;
+
+    let (w, h) = (1920u32, 1080u32);
+    let frame = noisy_image(w, h, 3);
+    let background = noisy_image(w, h, 4);
+    let bins = HsvBins::default();
+
+    let run = |force: bool| {
+        verro_vision::simd::set_kernel_override(Some(force));
+        let stats = frame_stats(&frame, bins);
+        let mask = foreground_mask(&frame, &background, 90, 1.02)
+            .expect("frame and background rasters match");
+        let dilated = dilate_mask(&mask, w, h, 2);
+        // Render stand-in: paint a capsule the way `SyntheticVideo` does.
+        let mut canvas = background.clone();
+        canvas.fill_ellipse(
+            verro_video::geometry::BBox::new(400.0, 300.0, 180.0, 420.0),
+            Rgb::new(200, 40, 40),
+        );
+        verro_vision::simd::set_kernel_override(None);
+        (stats, mask, dilated, canvas)
+    };
+
+    let t = Instant::now();
+    let scalar = run(false);
+    let scalar_elapsed = t.elapsed();
+    let t = Instant::now();
+    let simd = run(true);
+    let simd_elapsed = t.elapsed();
+
+    assert_eq!(
+        scalar.0.mean_luma.to_bits(),
+        simd.0.mean_luma.to_bits(),
+        "mean luma must stay bit-identical at 1080p"
+    );
+    assert_eq!(scalar.0.histogram, simd.0.histogram, "histograms diverged");
+    assert_eq!(scalar.1, simd.1, "foreground masks diverged");
+    assert_eq!(scalar.2, simd.2, "dilated masks diverged");
+    assert_eq!(scalar.3, simd.3, "rendered frames diverged");
+    println!(
+        "full-HD hot path: scalar {scalar_elapsed:?}, simd {simd_elapsed:?} \
+         ({:.2}x)",
+        scalar_elapsed.as_secs_f64() / simd_elapsed.as_secs_f64()
+    );
+}

@@ -306,3 +306,149 @@ proptest! {
         prop_assert!(ones(&d1) >= ones(&bits));
     }
 }
+
+// ------------------------------------------------------ SIMD equivalence
+//
+// Every vector kernel must be byte-identical to its retained scalar
+// reference on arbitrary inputs — especially widths that are not multiples
+// of the 16-lane width, where the tail handling lives. These certify the
+// dispatch contract that lets `--kernels {scalar,simd}` produce the same
+// published video.
+
+/// A brightness gain LUT exactly as `apply_brightness` builds it.
+fn gain_lut(factor: f64) -> [u8; 256] {
+    std::array::from_fn(|v| ((v as f64 * factor).round().clamp(0.0, 255.0)) as u8)
+}
+
+proptest! {
+    #[test]
+    fn ssd_arms_agree_on_lane_misaligned_lengths(
+        a in prop::collection::vec(any::<u8>(), 0..100),
+        b in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let scalar = verro_vision::simd::ssd_bytes_scalar(a, b);
+        if let Some(simd) = verro_vision::simd::ssd_bytes_simd(a, b) {
+            prop_assert_eq!(scalar, simd);
+        }
+        prop_assert_eq!(verro_vision::simd::ssd_bytes(a, b), scalar);
+    }
+
+    #[test]
+    fn equal_pixel_run_arms_agree_on_run_structured_rasters(
+        runs in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), 1usize..6), 1..12),
+        start_frac in 0.0..1.0f64,
+    ) {
+        let bytes: Vec<u8> = runs
+            .iter()
+            .flat_map(|&(r, g, b, len)| [r, g, b].into_iter().cycle().take(3 * len).collect::<Vec<_>>())
+            .collect();
+        let n_px = bytes.len() / 3;
+        let px = ((n_px - 1) as f64 * start_frac) as usize;
+        let scalar = verro_vision::simd::equal_pixel_run_scalar(&bytes, px, n_px);
+        if let Some(simd) = verro_vision::simd::equal_pixel_run_simd(&bytes, px, n_px) {
+            prop_assert_eq!(scalar, simd);
+        }
+        prop_assert_eq!(verro_vision::simd::equal_pixel_run(&bytes, px, n_px), scalar);
+        // A run never claims more pixels than remain.
+        prop_assert!(scalar >= 1 && px + scalar <= n_px);
+    }
+
+    #[test]
+    fn foreground_mask_arms_agree_incl_threshold_edges(
+        pixels in prop::collection::vec(any::<u8>(), 3..120),
+        factor in 0.5..1.8f64,
+        threshold_idx in 0usize..7,
+    ) {
+        let n_px = pixels.len() / 3;
+        let frame = &pixels[..n_px * 3];
+        // Background: a deterministic scramble of the frame bytes.
+        let bg: Vec<u8> = frame.iter().map(|&b| b.wrapping_mul(31).wrapping_add(7)).collect();
+        let lut = gain_lut(factor);
+        // Edge thresholds around the 765 channel-sum maximum and the 766
+        // SIMD clamp, plus ordinary values.
+        let threshold = [0u32, 1, 30, 764, 765, 766, 10_000][threshold_idx];
+        {
+            let mut scalar = vec![false; n_px];
+            verro_vision::simd::foreground_mask_bytes_scalar(frame, &bg, &lut, threshold, &mut scalar);
+            let mut simd = vec![false; n_px];
+            if verro_vision::simd::foreground_mask_bytes_simd(frame, &bg, &lut, threshold, &mut simd) {
+                prop_assert_eq!(&scalar, &simd, "threshold {}", threshold);
+            }
+            let mut dispatched = vec![false; n_px];
+            verro_vision::simd::foreground_mask_bytes(frame, &bg, &lut, threshold, &mut dispatched);
+            prop_assert_eq!(&scalar, &dispatched, "threshold {}", threshold);
+        }
+    }
+
+    #[test]
+    fn brightness_arms_agree_across_factors(
+        bytes in prop::collection::vec(any::<u8>(), 0..100),
+        factor in 0.0..3.0f64,
+    ) {
+        let lut = gain_lut(factor);
+        let mut scalar = bytes.clone();
+        verro_video::simd::brightness_bytes_scalar(&mut scalar, &lut);
+        let mut simd = bytes.clone();
+        if verro_video::simd::brightness_bytes_simd(&mut simd, &lut, factor) {
+            prop_assert_eq!(&scalar, &simd);
+        }
+        let mut dispatched = bytes;
+        verro_video::simd::brightness_bytes(&mut dispatched, &lut, factor);
+        prop_assert_eq!(&scalar, &dispatched);
+    }
+
+    #[test]
+    fn dilate_arms_agree_for_radii_zero_to_four(
+        w in 1u32..12,
+        h in 1u32..12,
+        r in 0u32..=4,
+        seed in any::<u64>(),
+    ) {
+        let bits: Vec<bool> = (0..(w * h) as usize)
+            .map(|i| {
+                let term = (i as u64).wrapping_mul(1442695040888963407);
+                (seed.wrapping_mul(6364136223846793005).wrapping_add(term)) >> 63 == 1
+            })
+            .collect();
+        let fast = dilate_mask(&bits, w, h, r);
+        let naive = dilate_mask_naive(&bits, w, h, r);
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// The only override-flipping test in this binary (a process-global
+    /// cell): `frame_stats` must produce bit-identical histograms and mean
+    /// luma under forced-scalar and forced-SIMD dispatch, both matching
+    /// the reference pair.
+    #[test]
+    fn frame_stats_is_mode_invariant(
+        seed in any::<u64>(),
+        w in 1u32..24,
+        h in 1u32..16,
+    ) {
+        let img = ImageBuffer::from_fn(Size::new(w, h), |x, y| {
+            let v = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((y as u64) << 32 | x as u64)
+                .wrapping_mul(0xD1B54A32D192ED03);
+            // Low entropy on purpose: runs of equal pixels exercise the
+            // run-compression kernel.
+            let q = ((v >> 56) as u8) / 64 * 64;
+            Rgb::new(q, q.wrapping_add((v >> 48) as u8 % 3), q)
+        });
+        let bins = HsvBins::default();
+        verro_vision::simd::set_kernel_override(Some(false));
+        let scalar = frame_stats(&img, bins);
+        verro_vision::simd::set_kernel_override(Some(true));
+        let simd = frame_stats(&img, bins);
+        verro_vision::simd::set_kernel_override(None);
+        prop_assert_eq!(scalar.mean_luma.to_bits(), simd.mean_luma.to_bits());
+        prop_assert_eq!(&scalar.histogram.hue, &simd.histogram.hue);
+        prop_assert_eq!(&scalar.histogram.sat, &simd.histogram.sat);
+        prop_assert_eq!(&scalar.histogram.val, &simd.histogram.val);
+        let reference = HsvHistogram::of_reference(&img, bins);
+        prop_assert_eq!(&scalar.histogram.hue, &reference.hue);
+        prop_assert!((scalar.mean_luma - mean_luma(&img)).abs() == 0.0);
+    }
+}

@@ -165,3 +165,32 @@ fn cached_run_reports_same_timing_structure() {
         breakdown
     );
 }
+
+/// `--kernels scalar` and `--kernels simd` must publish byte-identical
+/// releases: every SIMD kernel is certified bit-identical to its scalar
+/// reference, so kernel selection is pure scheduling, exactly like cache
+/// budgets and thread counts. (Flipping the process-global override
+/// mid-suite is safe for the same reason — concurrent tests see identical
+/// bytes from either arm.)
+#[test]
+fn kernel_modes_are_byte_identical() {
+    use verro_core::KernelMode;
+
+    let budget = VerroConfig::default().frame_cache_budget;
+    for seed in SEEDS {
+        KernelMode::Scalar.apply();
+        let scalar = fingerprint(&run_annotated(seed, budget));
+        KernelMode::Simd.apply();
+        let simd = fingerprint(&run_annotated(seed, budget));
+        verro_vision::simd::set_kernel_override(None);
+        verro_ldp::simd::set_kernel_override(None);
+        assert_eq!(
+            scalar.0, simd.0,
+            "seed {seed}: rendered frames diverged between kernel modes"
+        );
+        assert_eq!(
+            scalar.1, simd.1,
+            "seed {seed}: privacy statement diverged between kernel modes"
+        );
+    }
+}
