@@ -10,6 +10,8 @@
 //! # CI-sized variant, with forced kernel selection:
 //! cargo run -p verro-bench --bin report --release -- \
 //!     --bench-scaling --scaling-small --kernels scalar
+//! # streaming engine harness (opt-in, not part of --all):
+//! cargo run -p verro-bench --bin report --release -- --bench-stream
 //! ```
 //!
 //! `--kernels {auto,scalar,simd}` pins the SIMD dispatch for the whole
@@ -88,14 +90,20 @@ fn main() {
     fs::create_dir_all(RESULTS_DIR).expect("create results dir");
     let t0 = Instant::now();
 
-    // `--bench-scaling` is opt-in only: it is not part of `--all` (full-HD
-    // rasters dwarf every other section), and running it alone skips the
-    // report's video/key-frame generation entirely.
+    // `--bench-scaling` and `--bench-stream` are opt-in only: neither is
+    // part of `--all` (full-HD rasters / double end-to-end runs dwarf every
+    // other section), and running them alone skips the report's
+    // video/key-frame generation entirely.
+    let standalone = ["--bench-scaling", "--bench-stream"];
     let run_scaling = args.iter().any(|a| a == "--bench-scaling");
+    let run_stream = args.iter().any(|a| a == "--bench-stream");
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
-    let run_sections = all || args.iter().any(|a| a != "--bench-scaling");
+    let run_sections = all || args.iter().any(|a| !standalone.contains(&a.as_str()));
     if run_sections {
         run_report(&args, all);
+    }
+    if run_stream {
+        bench_stream();
     }
     if run_scaling {
         bench_scaling(&scaling);
@@ -1425,6 +1433,123 @@ fn bench_scaling(opts: &ScalingOpts) {
     )
     .expect("write BENCH_scaling.json");
     println!("  -> results/BENCH_scaling.json\n");
+}
+
+// --------------------------------------------------------- Streaming bench
+
+/// `--bench-stream`: the streaming engine's perf record on the three
+/// evaluation presets at `EVAL_SCALE`. Each preset runs twice end to end —
+/// once through batch `sanitize` + full render (the resident-set profile
+/// streaming is built to avoid) and once through `sanitize_streaming`
+/// under the default memory budget — with a running FNV fingerprint of
+/// every delivered byte proving the two arms render bit-identical `V*`
+/// frames. Records steady-state frames/sec, p50/p99/max segment render
+/// latency (from the engine's own `segment_render_ms` samples), and the
+/// raster high-water mark against the configured ceiling. Writes
+/// `results/BENCH_stream.json` with full machine provenance.
+fn bench_stream() {
+    use verro_core::StreamOptions;
+
+    println!("-- Streaming bench: stage graph vs batch sanitize+render --");
+    let mut presets_json = Vec::new();
+    for &preset in MotPreset::ALL.iter() {
+        let video = eval_video(preset);
+        let spec = video.spec();
+        let n = video.num_frames();
+        let size = spec.raster_size();
+        let frame_bytes = (size.width as usize) * (size.height as usize) * 3;
+        let verro = Verro::new(eval_config(0.1, 0)).expect("config");
+
+        // Batch arm. The fingerprint fold is inside the timed region so
+        // both arms pay the same per-byte accounting cost.
+        let t = Instant::now();
+        let batch = verro
+            .sanitize(&video, video.annotations())
+            .expect("sanitize");
+        let rendered = batch.video.render_all();
+        let mut batch_fp = 0xcbf2_9ce4_8422_2325u64;
+        for frame in &rendered {
+            batch_fp = fnv1a(batch_fp, frame.bytes());
+        }
+        let batch_secs = t.elapsed().as_secs_f64();
+        let batch_resident_bytes = rendered.len() * frame_bytes;
+        drop(rendered);
+
+        // Streaming arm: same config and seed; the sink folds each frame
+        // into the fingerprint the moment it leaves the render stage.
+        let options = StreamOptions::default();
+        let mut delivered = 0usize;
+        let mut stream_fp = 0xcbf2_9ce4_8422_2325u64;
+        let t = Instant::now();
+        let out = verro
+            .sanitize_streaming(&video, video.annotations(), &options, |_, frame| {
+                delivered += 1;
+                stream_fp = fnv1a(stream_fp, frame.bytes());
+            })
+            .expect("stream");
+        let stream_secs = t.elapsed().as_secs_f64();
+        assert_eq!(delivered, n, "streaming must deliver every frame");
+
+        let identical = batch_fp == stream_fp
+            && (batch.privacy.epsilon_rr - out.privacy.epsilon_rr).abs() == 0.0;
+        let fps = n as f64 / stream_secs;
+        let high_water = out.stats.peak_raster_bytes + out.stats.cache.peak_bytes;
+        let mut seg_ms = out.stats.segment_render_ms.clone();
+        println!(
+            "  {}: {n} frames in {} segments, batch {batch_secs:.2} s, \
+             stream {stream_secs:.2} s ({fps:.1} fps), peak {:.1} MiB of \
+             {:.1} MiB budget, bit-identical: {identical}",
+            spec.name,
+            out.stats.segments,
+            high_water as f64 / 1_048_576.0,
+            out.stats.memory_budget as f64 / 1_048_576.0,
+        );
+
+        presets_json.push(obj(vec![
+            ("preset", Value::from(spec.name.as_str())),
+            ("frames", Value::from(n)),
+            ("segments", Value::from(out.stats.segments)),
+            ("frame_bytes", Value::from(frame_bytes)),
+            ("batch_secs", Value::from(batch_secs)),
+            ("stream_secs", Value::from(stream_secs)),
+            ("stream_fps", Value::from(fps)),
+            ("real_time", Value::from(fps >= spec.fps)),
+            ("segment_render_latency", latency_stats_ms(&mut seg_ms)),
+            (
+                "memory",
+                obj(vec![
+                    ("budget_bytes", Value::from(out.stats.memory_budget)),
+                    ("render_slots", Value::from(out.stats.render_slots)),
+                    ("cache_budget_bytes", Value::from(out.stats.cache_budget)),
+                    (
+                        "peak_raster_bytes",
+                        Value::from(out.stats.peak_raster_bytes),
+                    ),
+                    ("cache_peak_bytes", Value::from(out.stats.cache.peak_bytes)),
+                    ("high_water_bytes", Value::from(high_water)),
+                    ("batch_rendered_bytes", Value::from(batch_resident_bytes)),
+                ]),
+            ),
+            ("bit_identical", Value::from(identical)),
+        ]));
+    }
+
+    let value = obj(vec![
+        (
+            "provenance",
+            provenance::capture(
+                "cargo run --release -p verro-bench --bin report -- --bench-stream",
+            ),
+        ),
+        ("eval_scale", Value::from(EVAL_SCALE)),
+        ("presets", Value::Array(presets_json)),
+    ]);
+    fs::write(
+        Path::new(RESULTS_DIR).join("BENCH_stream.json"),
+        pretty(&value),
+    )
+    .expect("write BENCH_stream.json");
+    println!("  -> results/BENCH_stream.json\n");
 }
 
 // ---------------------------------------------------------------- ε-audit

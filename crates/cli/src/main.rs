@@ -9,6 +9,8 @@
 //! ```text
 //! verro sanitize --frames ./frames --out ./sanitized [--gt gt.txt] \
 //!                [--flip 0.1 | --epsilon 20] [--seed 7] [--fast] [--track]
+//! verro stream   --frames ./a,./b --gt a.txt,b.txt --out ./sanitized \
+//!                [--stream-budget 256] [--streams from dirs]
 //! verro demo     --out ./demo [--flip 0.1]
 //! verro audit    [--seed 0] [--trials 4000] [--flip 0.1] [--out report.json]
 //! verro help
@@ -19,7 +21,7 @@ use std::process::ExitCode;
 use verro_core::config::BackgroundMode;
 use verro_core::{KernelMode, Verro, VerroConfig, VerroError};
 use verro_video::annotations::VideoAnnotations;
-use verro_video::fault::{FaultSchedule, FaultySource, TryFrameSource};
+use verro_video::fault::{FaultSchedule, FaultySource, PixelRect, SourceError, TryFrameSource};
 use verro_video::geometry::Size;
 use verro_video::image::ImageBuffer;
 use verro_video::object::ObjectClass;
@@ -33,6 +35,8 @@ verro — publish video data with indistinguishable objects (VERRO, EDBT 2020)
 
 USAGE:
     verro sanitize --frames <DIR> --out <DIR> [OPTIONS]
+    verro stream (--frames <DIR>[,<DIR>...] --gt <FILE>[,<FILE>...] | --demo <N>)
+                 --out <DIR> [OPTIONS]
     verro demo --out <DIR> [--flip <F>]
     verro audit [OPTIONS]
     verro help
@@ -55,7 +59,29 @@ SANITIZE OPTIONS:
                        are bit-identical to scalar; auto detects the CPU
                        and honors VERRO_KERNELS)            [default: auto]
 
-RECOVERY OPTIONS (sanitize and demo):
+STREAM OPTIONS:
+    verro stream runs the stage-per-segment streaming engine: frames are
+    decoded lazily, rendered V* frames are written as they leave the render
+    stage, and resident raster bytes stay under the streaming budget. The
+    privacy statement is byte-identical to `verro sanitize` on the same
+    input. Each comma-separated frame directory (or each of the N demo
+    clips) is one stream; streams run concurrently on their own threads.
+    --frames <DIRS>    comma-separated .ppm frame directories, one stream
+                       each, decoded on demand (never fully resident)
+    --gt <FILES>       comma-separated MOT ground-truth files, one per
+                       stream; required with --frames (the detector+tracker
+                       path is batch-only)
+    --demo <N>         drive N generated demo streams instead of directories
+    --out <DIR>        output root; stream i writes stream<i>/ under it
+                       (a single stream writes directly into <DIR>)
+    --stream-budget <M> per-stream working-set ceiling in MiB [default: 256]
+    --chunk <N>        histogram batch size on the ingest channel
+                                                            [default: 16]
+    sanitize options --flip/--epsilon/--seed/--fast/--fps/--kernels and the
+    recovery options below also apply; --inject-faults needs --demo (file
+    streams carry real I/O faults already)
+
+RECOVERY OPTIONS (sanitize, stream, and demo):
     --max-retries <N>  retry budget per frame for transient faults [default: 3]
     --on-corrupt <A>   unrecoverable-frame action: repair | skip | fail
                                                             [default: repair]
@@ -129,6 +155,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sanitize") => match cmd_sanitize(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(e.exit_code())
+            }
+        },
+        Some("stream") => match cmd_stream(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -468,6 +501,411 @@ fn cmd_sanitize(args: &[String]) -> Result<(), CliError> {
         out.display()
     );
     Ok(())
+}
+
+/// A lazy PPM-directory source for `verro stream`: frames are read and
+/// decoded on demand, one at a time, so residency is governed by the
+/// streaming budget instead of the clip length. Real I/O failures surface
+/// as typed [`SourceError`]s and flow through the recovery policy exactly
+/// like injected ones: an unreadable file is `Missing`, a malformed or
+/// wrong-sized raster is `Corrupt` over the full frame.
+struct PpmDirSource {
+    paths: Vec<PathBuf>,
+    size: Size,
+    fps: f64,
+}
+
+impl PpmDirSource {
+    fn open(dir: &Path, fps: f64) -> Result<Self, CliError> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| CliError::Data(format!("cannot read {}: {e}", dir.display())))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "ppm"))
+            .collect();
+        if paths.is_empty() {
+            return Err(CliError::Data(format!(
+                "no .ppm frames in {}",
+                dir.display()
+            )));
+        }
+        paths.sort();
+        // The first frame pins the stream geometry; later frames that
+        // disagree are reported as corrupt, not trusted.
+        let bytes = std::fs::read(&paths[0])
+            .map_err(|e| CliError::Data(format!("{}: {e}", paths[0].display())))?;
+        let first = ImageBuffer::from_ppm(&bytes)
+            .map_err(|e| CliError::Data(format!("{}: {e}", paths[0].display())))?;
+        Ok(Self {
+            paths,
+            size: first.size(),
+            fps,
+        })
+    }
+}
+
+impl TryFrameSource for PpmDirSource {
+    fn num_frames(&self) -> usize {
+        self.paths.len()
+    }
+
+    fn frame_size(&self) -> Size {
+        self.size
+    }
+
+    fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    fn try_frame(&self, k: usize, _attempt: u32) -> Result<ImageBuffer, SourceError> {
+        let Some(path) = self.paths.get(k) else {
+            return Err(SourceError::Missing { frame: k });
+        };
+        let bytes = std::fs::read(path).map_err(|_| SourceError::Missing { frame: k })?;
+        let img = ImageBuffer::from_ppm(&bytes).map_err(|_| SourceError::Corrupt {
+            frame: k,
+            region: PixelRect::full(self.size),
+        })?;
+        if img.size() != self.size {
+            return Err(SourceError::Corrupt {
+                frame: k,
+                region: PixelRect::full(self.size),
+            });
+        }
+        Ok(img)
+    }
+}
+
+/// One stream's input for `verro stream`.
+enum StreamInput {
+    /// A directory of PPM frames with owner-supplied annotations.
+    Dir { dir: PathBuf, gt: PathBuf },
+    /// A generated demo clip (annotations built in).
+    Demo { seed: u64 },
+}
+
+/// What `cmd_stream` prints per stream after the threads join.
+struct StreamSummary {
+    label: String,
+    frames: usize,
+    segments: usize,
+    epsilon_rr: f64,
+    picked_frames: usize,
+    peak_raster_bytes: usize,
+    cache_peak_bytes: usize,
+    health_degraded: bool,
+    health_summary: String,
+}
+
+/// Runs one stream end to end: frames stream from `src` through the stage
+/// graph and every rendered `V*` frame is written to `out` the moment it
+/// leaves the render stage — the CLI never holds the sanitized clip in
+/// memory either.
+fn run_stream<S: TryFrameSource + Sync>(
+    label: &str,
+    verro: &Verro,
+    src: &S,
+    annotations: &VideoAnnotations,
+    policy: RecoveryPolicy,
+    options: &verro_core::StreamOptions,
+    out: &Path,
+) -> Result<StreamSummary, CliError> {
+    use verro_video::BufferPool;
+    std::fs::create_dir_all(out)
+        .map_err(|e| CliError::Data(format!("cannot create {}: {e}", out.display())))?;
+    let size = src.frame_size();
+    let fps = src.fps();
+    let pool = BufferPool::new();
+    let mut ppm = pool.acquire((size.width as usize) * (size.height as usize) * 3 + 32);
+    let mut io_err: Option<String> = None;
+    let result =
+        verro.sanitize_streaming_fallible(src, annotations, policy, options, |k, frame| {
+            if io_err.is_some() {
+                return; // first write failure wins; drain the rest quietly
+            }
+            frame.write_ppm_into(&mut ppm);
+            let path = out.join(format!("{k:06}.ppm"));
+            if let Err(e) = std::fs::write(&path, &ppm[..]) {
+                io_err = Some(format!("{}: {e}", path.display()));
+            }
+        })?;
+    drop(ppm);
+    if let Some(msg) = io_err {
+        return Err(CliError::Data(msg));
+    }
+    std::fs::write(
+        out.join("synthetic_gt.txt"),
+        result.phase2.synthetic.to_mot_text(),
+    )
+    .map_err(|e| CliError::Data(e.to_string()))?;
+    let statement = serde_json::json!({
+        "stream": label,
+        "privacy": result.privacy,
+        "utility": result.utility,
+        "picked_key_frames": result.phase1.picked_frames,
+        "fps": fps,
+        "health": {
+            "summary": result.health.summary(),
+            "degraded": result.health.is_degraded(),
+            "frames": result.health.num_frames(),
+            "ok": result.health.num_ok(),
+            "retried": result.health.num_retried(),
+            "repaired": result.health.num_repaired(),
+            "skipped": result.health.num_skipped(),
+            "skipped_frames": result.health.skipped_frames(),
+            "total_retries": result.health.total_retries,
+            "total_backoff_ms": result.health.total_backoff_ms,
+        },
+        "stream_stats": {
+            "frames": result.stats.frames,
+            "segments": result.stats.segments,
+            "frame_bytes": result.stats.frame_bytes,
+            "memory_budget": result.stats.memory_budget,
+            "render_slots": result.stats.render_slots,
+            "cache_budget": result.stats.cache_budget,
+            "peak_raster_bytes": result.stats.peak_raster_bytes,
+            "cache_peak_bytes": result.stats.cache.peak_bytes,
+            "segment_render_ms": result.stats.segment_render_ms,
+        },
+        "timings_secs": {
+            "preprocess": result.timings.preprocess.as_secs_f64(),
+            "phase1": result.timings.phase1.as_secs_f64(),
+            "phase2": result.timings.phase2.as_secs_f64(),
+            "render": result.timings.render.as_secs_f64(),
+        },
+    });
+    let statement_json = serde_json::to_string_pretty(&statement)
+        .map_err(|e| CliError::Data(format!("cannot serialize privacy statement: {e}")))?;
+    std::fs::write(out.join("privacy.json"), statement_json)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    Ok(StreamSummary {
+        label: label.to_string(),
+        frames: result.stats.frames,
+        segments: result.stats.segments,
+        epsilon_rr: result.privacy.epsilon_rr,
+        picked_frames: result.privacy.picked_frames,
+        peak_raster_bytes: result.stats.peak_raster_bytes,
+        cache_peak_bytes: result.stats.cache.peak_bytes,
+        health_degraded: result.health.is_degraded(),
+        health_summary: result.health.summary(),
+    })
+}
+
+/// The demo clip used for `verro stream --demo`: the `verro demo` scene
+/// with a per-stream generator seed so concurrent streams carry distinct
+/// objects.
+fn demo_stream_video(seed: u64) -> verro_video::generator::GeneratedVideo {
+    use verro_video::generator::{GeneratedVideo, VideoSpec};
+    use verro_video::{Camera, SceneKind};
+    GeneratedVideo::generate(VideoSpec {
+        name: format!("demo-stream-{seed}"),
+        nominal_size: Size::new(320, 240),
+        raster_scale: 1.0,
+        num_frames: 60,
+        num_objects: 8,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed,
+        min_lifetime: 20,
+        max_lifetime: 50,
+        lifetime_mix: None,
+        lighting_drift: 0.1,
+        lighting_period: 15.0,
+    })
+}
+
+fn cmd_stream(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags { args };
+    let out_root = PathBuf::from(
+        flags
+            .value("--out")
+            .ok_or_else(|| CliError::Usage("missing --out <DIR>".into()))?,
+    );
+    let mut config = build_config(&flags)?;
+    if let Some(mib) = flags
+        .parse::<usize>("--stream-budget")
+        .map_err(CliError::Usage)?
+    {
+        config = config.with_stream_budget(mib.saturating_mul(1024 * 1024));
+        config
+            .validate()
+            .map_err(|msg| CliError::Pipeline(VerroError::BadConfig(msg)))?;
+    }
+    let policy = build_policy(&flags)?;
+    let schedule = fault_schedule(&flags)?;
+    let mut options = verro_core::StreamOptions::default();
+    if let Some(chunk) = flags.parse::<usize>("--chunk").map_err(CliError::Usage)? {
+        if chunk == 0 {
+            return Err(CliError::Usage("--chunk must be positive".into()));
+        }
+        options.chunk_size = chunk;
+    }
+    let fps: f64 = flags
+        .parse("--fps")
+        .map_err(CliError::Usage)?
+        .unwrap_or(30.0);
+
+    let inputs: Vec<(String, StreamInput)> = match (
+        flags.value("--frames"),
+        flags.parse::<usize>("--demo").map_err(CliError::Usage)?,
+    ) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage("--frames and --demo are exclusive".into()))
+        }
+        (Some(dirs), None) => {
+            if schedule.is_some() {
+                return Err(CliError::Usage(
+                    "--inject-faults needs --demo; file streams carry real I/O faults".into(),
+                ));
+            }
+            let dirs: Vec<&str> = dirs.split(',').filter(|d| !d.is_empty()).collect();
+            let gts: Vec<&str> = flags
+                .value("--gt")
+                .ok_or_else(|| {
+                    CliError::Usage(
+                        "streaming needs --gt <FILE>[,<FILE>...]; the detector+tracker \
+                         path is batch-only (`verro sanitize`)"
+                            .into(),
+                    )
+                })?
+                .split(',')
+                .filter(|g| !g.is_empty())
+                .collect();
+            if dirs.is_empty() {
+                return Err(CliError::Usage("--frames lists no directories".into()));
+            }
+            if gts.len() != dirs.len() {
+                return Err(CliError::Usage(format!(
+                    "--gt lists {} files for {} frame directories",
+                    gts.len(),
+                    dirs.len()
+                )));
+            }
+            dirs.iter()
+                .zip(&gts)
+                .map(|(d, g)| {
+                    (
+                        d.to_string(),
+                        StreamInput::Dir {
+                            dir: PathBuf::from(d),
+                            gt: PathBuf::from(g),
+                        },
+                    )
+                })
+                .collect()
+        }
+        (None, Some(n)) => {
+            if n == 0 {
+                return Err(CliError::Usage("--demo needs at least one stream".into()));
+            }
+            (0..n)
+                .map(|i| {
+                    (
+                        format!("demo-{i}"),
+                        StreamInput::Demo { seed: 1 + i as u64 },
+                    )
+                })
+                .collect()
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "missing --frames <DIR>[,<DIR>...] or --demo <N>; see `verro help`".into(),
+            ))
+        }
+    };
+
+    let verro = Verro::new(config)?;
+    let single = inputs.len() == 1;
+    eprintln!(
+        "streaming {} source(s), budget {} MiB per stream ...",
+        inputs.len(),
+        verro.config().stream_memory_budget / (1024 * 1024)
+    );
+
+    // One OS thread per stream: the engine's own stages subdivide further,
+    // and the bounded channels keep every stream under its own ceiling.
+    let results: Vec<Result<StreamSummary, CliError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, (label, input))| {
+                let verro = &verro;
+                let options = &options;
+                let out = if single {
+                    out_root.clone()
+                } else {
+                    out_root.join(format!("stream{i}"))
+                };
+                scope.spawn(move || -> Result<StreamSummary, CliError> {
+                    match input {
+                        StreamInput::Dir { dir, gt } => {
+                            let src = PpmDirSource::open(dir, fps)?;
+                            let text = std::fs::read_to_string(gt)
+                                .map_err(|e| CliError::Data(format!("{}: {e}", gt.display())))?;
+                            let ann = VideoAnnotations::from_mot_text(&text, src.num_frames())
+                                .map_err(CliError::Data)?;
+                            run_stream(label, verro, &src, &ann, policy, options, &out)
+                        }
+                        StreamInput::Demo { seed } => {
+                            let video = demo_stream_video(*seed);
+                            let ann = video.annotations().clone();
+                            match schedule {
+                                Some(schedule) => {
+                                    let faulty = FaultySource::new(video, schedule);
+                                    run_stream(label, verro, &faulty, &ann, policy, options, &out)
+                                }
+                                None => {
+                                    run_stream(label, verro, &video, &ann, policy, options, &out)
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stream thread panicked"))
+            .collect()
+    });
+
+    let mut first_err: Option<CliError> = None;
+    for (i, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(s) => {
+                eprintln!(
+                    "stream {i} ({}): {} frames in {} segments, epsilon_RR = {:.2} over {} \
+                     picked key frames, peak raster {} KiB (+{} KiB cache){}",
+                    s.label,
+                    s.frames,
+                    s.segments,
+                    s.epsilon_rr,
+                    s.picked_frames,
+                    s.peak_raster_bytes / 1024,
+                    s.cache_peak_bytes / 1024,
+                    if s.health_degraded {
+                        format!("; health: {}", s.health_summary)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            Err(e) => {
+                eprintln!("stream {i} failed: {e}");
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => {
+            eprintln!("done -> {}", out_root.display());
+            Ok(())
+        }
+    }
 }
 
 /// Runs the empirical ε-audit and prints the deterministic JSON report.

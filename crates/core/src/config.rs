@@ -165,12 +165,26 @@ pub struct VerroConfig {
     /// under every mode.
     #[serde(default)]
     pub kernels: KernelMode,
+    /// Hard working-set ceiling, in bytes, for the streaming engine
+    /// ([`crate::stream`]): decoded-raster cache + background sample
+    /// window + rendered frames in flight must all fit under this budget.
+    /// Sizing is resolved per stream from the frame geometry (see
+    /// [`crate::stream::StreamBudget`]); budgets too small to hold the
+    /// minimal working set are rejected with
+    /// [`crate::VerroError::BadConfig`] at stream start. Ignored by the
+    /// batch entry points, whose working set is the whole video.
+    #[serde(default = "default_stream_memory_budget")]
+    pub stream_memory_budget: usize,
     /// Master randomness seed (reproducible sanitization).
     pub seed: u64,
 }
 
 fn default_frame_cache_budget() -> usize {
     verro_video::DEFAULT_CACHE_BUDGET
+}
+
+fn default_stream_memory_budget() -> usize {
+    crate::stream::DEFAULT_STREAM_BUDGET
 }
 
 impl Default for VerroConfig {
@@ -190,6 +204,7 @@ impl Default for VerroConfig {
             background_samples: 15,
             frame_cache_budget: default_frame_cache_budget(),
             kernels: KernelMode::Auto,
+            stream_memory_budget: default_stream_memory_budget(),
             seed: 0,
         }
     }
@@ -227,6 +242,9 @@ impl VerroConfig {
         }
         if self.background_samples == 0 {
             return Err("background_samples must be at least 1".into());
+        }
+        if self.stream_memory_budget == 0 {
+            return Err("stream_memory_budget must be positive".into());
         }
         if let InterpMethod::Lagrange { window } = self.interp {
             if window == 0 {
@@ -272,6 +290,13 @@ impl VerroConfig {
     /// Sets the kernel dispatch mode (see [`KernelMode`]).
     pub fn with_kernels(mut self, mode: KernelMode) -> Self {
         self.kernels = mode;
+        self
+    }
+
+    /// Sets the streaming working-set ceiling in bytes (see
+    /// [`crate::stream`]).
+    pub fn with_stream_budget(mut self, bytes: usize) -> Self {
+        self.stream_memory_budget = bytes;
         self
     }
 }
@@ -355,6 +380,30 @@ mod tests {
         let legacy = format!("{}{}", &json[..start], &json[end..]);
         let back: VerroConfig = serde_json::from_str(&legacy).expect("deserialize");
         assert_eq!(back.frame_cache_budget, verro_video::DEFAULT_CACHE_BUDGET);
+    }
+
+    #[test]
+    fn stream_budget_defaults_validates_and_survives_serde() {
+        let cfg = VerroConfig::default();
+        assert_eq!(cfg.stream_memory_budget, crate::stream::DEFAULT_STREAM_BUDGET);
+        assert_eq!(cfg.clone().with_stream_budget(123).stream_memory_budget, 123);
+        let mut zero = cfg.clone();
+        zero.stream_memory_budget = 0;
+        assert!(zero.validate().is_err());
+        // Pre-streaming configs carry no such key; they must deserialize
+        // with the default (same strip-the-key scheme as the cache test).
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let start = json
+            .find("\"stream_memory_budget\"")
+            .expect("field serialized");
+        let end = start
+            + json[start..]
+                .find(',')
+                .expect("field is not last in the object")
+            + 1;
+        let legacy = format!("{}{}", &json[..start], &json[end..]);
+        let back: VerroConfig = serde_json::from_str(&legacy).expect("deserialize");
+        assert_eq!(back.stream_memory_budget, crate::stream::DEFAULT_STREAM_BUDGET);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod phase2;
 pub mod pipeline;
 pub mod presence;
 pub mod privacy;
+pub mod stream;
 pub mod synthesis;
 
 pub use adversary::{linkage_attack, AttackReport};
@@ -69,4 +70,7 @@ pub use phase2::Phase2Output;
 pub use pipeline::{ClassResult, MultiClassResult, PhaseTimings, SanitizedResult, Verro};
 pub use presence::PresenceMatrix;
 pub use privacy::PrivacyStatement;
+pub use stream::{
+    StreamBudget, StreamOptions, StreamOutput, StreamStats, DEFAULT_STREAM_BUDGET,
+};
 pub use synthesis::SyntheticVideo;

@@ -1,0 +1,811 @@
+//! Streaming sanitization: the batch pipeline restructured as a
+//! stage-per-segment graph over bounded channels, with a hard working-set
+//! ceiling (DESIGN.md §12).
+//!
+//! ```text
+//!           ingest thread                         main thread
+//!   ┌──────────────────────────┐   metadata   ┌──────────────────────────┐
+//!   │ stream_with_recovery     │──(k, hist)──►│ OnlineSegmenter          │
+//!   │  + per-frame histograms  │   channel    │  closes segments         │
+//!   └──────────────────────────┘              │ Phase I + Phase II       │
+//!           render thread                     │  (one seeded StdRng)     │
+//!   ┌──────────────────────────┐   rasters    ├──────────────────────────┤
+//!   │ second recovery sweep    │──(k, V*_k)──►│ sink(k, frame)           │
+//!   │  retain bg inputs only   │   channel    │  in ascending order      │
+//!   │  per-segment bg + render │              └──────────────────────────┘
+//!   └──────────────────────────┘
+//! ```
+//!
+//! # Why the output is byte-identical to the batch path
+//!
+//! Every stage reuses the exact computation of its batch counterpart on the
+//! exact same inputs:
+//!
+//! * **Ingest** runs [`stream_with_recovery`], whose emitted rasters and
+//!   health report are byte-identical to the [`ingest_with_recovery`]
+//!   materialization (both are pure functions of `(source, policy)`).
+//! * **Segment close** feeds the sampled-frame histograms — computed with
+//!   the same [`HsvHistogram::of`] the batch path uses — to
+//!   [`OnlineSegmenter`], which replays Algorithm 2's clustering
+//!   incrementally and provably matches `segment_histograms`.
+//! * **Phase I / Phase II** run on the main thread once all segments have
+//!   closed, drawing from a single `StdRng::seed_from_u64(config.seed)` in
+//!   the same phase1-then-phase2 order as the batch body. They consume only
+//!   metadata (segments + annotations), never rasters, so nothing about
+//!   their transcript — and hence nothing about ε or the serialized
+//!   [`PrivacyStatement`] — can depend on chunking, thread count, or budget.
+//! * **Render** makes a second deterministic recovery sweep (the
+//!   [`TryFrameSource`] contract makes it bit-identical to the first),
+//!   retains *only* the frames [`segment_background_inputs`] says each
+//!   segment's background build will read, builds the scene with the same
+//!   [`build_segment_background`] the batch fan-out calls, and paints each
+//!   display frame with the same [`compose_frame`] that backs
+//!   [`SyntheticVideo::frame`](crate::SyntheticVideo).
+//!
+//! A note on the stage naming: segments close incrementally and their
+//! metadata accumulates per segment, but the paper's Phase I optimizer is
+//! *global* — the LP picks frames across all `ℓ` key frames at once — so
+//! the optimizer (and everything downstream of it) necessarily waits for
+//! the final segment to close. What streams is the raster working set, not
+//! the privacy accounting.
+//!
+//! # Memory ceiling
+//!
+//! [`VerroConfig::stream_memory_budget`] caps resident raster bytes.
+//! [`StreamBudget::plan`] splits it into (a) a fixed reservation of
+//! `background_samples + 5` frame slots for the per-segment sample window
+//! and the rasters the sweeps themselves hold (current frame, last healthy
+//! frame, one frame being composed, one at the sink, one margin), (b)
+//! `render_slots` for rendered frames in flight on the bounded render
+//! channel, and (c) the remainder as the decoded-frame cache budget of the
+//! infallible entry point. Budgets that cannot hold the minimal working
+//! set are rejected with [`VerroError::BadConfig`] before any frame is
+//! decoded. A [`MemoryGauge`] charges every retained/in-flight raster;
+//! its high-water mark plus the cache's `peak_bytes` is the empirical
+//! ceiling the memory tests compare against the budget.
+//!
+//! Backpressure is the channels themselves: a slow sink blocks the render
+//! thread's `send`, which pauses the render sweep (and so stops decoding),
+//! holding the working set at the ceiling instead of growing it. Each
+//! scope is a single producer feeding a single always-draining consumer,
+//! so the graph is deadlock-free by construction at any channel capacity
+//! ≥ 1 — certified by the 1-slot test in `tests/stream_memory.rs`.
+
+use crate::config::VerroConfig;
+use crate::error::VerroError;
+use crate::metrics::UtilityReport;
+use crate::phase1::{run_phase1, Phase1Output};
+use crate::phase2::{run_phase2, Phase2Output};
+use crate::pipeline::{PhaseTimings, Verro};
+use crate::privacy::PrivacyStatement;
+use crate::synthesis::{
+    background_index_for, build_segment_background, color_table, compose_frame,
+    segment_background_inputs,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use verro_video::annotations::VideoAnnotations;
+use verro_video::cache::{CacheStats, CachedSource};
+use verro_video::fault::TryFrameSource;
+use verro_video::geometry::Size;
+use verro_video::image::ImageBuffer;
+use verro_video::pool::MemoryGauge;
+use verro_video::recover::{stream_with_recovery, FrameHealthReport, IngestError, RecoveryPolicy};
+use verro_video::source::FrameSource;
+use verro_vision::histogram::HsvHistogram;
+use verro_vision::keyframe::{KeyFrameResult, OnlineSegmenter, Segment};
+
+/// Default working-set ceiling: 256 MiB — a full-HD stream fits its
+/// background sample window, render slots, and a useful cache under it.
+pub const DEFAULT_STREAM_BUDGET: usize = 256 * 1024 * 1024;
+
+/// Frame slots reserved beyond the background sample window: the sweep's
+/// current frame, its last healthy frame, one frame being composed, one at
+/// the sink, and one of margin.
+const FIXED_OVERHEAD_SLOTS: usize = 5;
+
+/// How [`VerroConfig::stream_memory_budget`] is apportioned for one stream,
+/// resolved from the frame geometry at stream start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamBudget {
+    /// The configured ceiling, in bytes.
+    pub total: usize,
+    /// Bytes of one decoded RGB frame.
+    pub frame_bytes: usize,
+    /// Reserved slots: `background_samples + 5` (see module docs).
+    pub fixed_slots: usize,
+    /// Capacity of the rendered-frame channel (frames in flight).
+    pub render_slots: usize,
+    /// Remainder handed to the decoded-frame LRU cache.
+    pub cache_budget: usize,
+}
+
+impl StreamBudget {
+    /// Splits the configured budget for frames of `size`. Rejects budgets
+    /// that cannot hold the fixed reservation plus one render slot.
+    pub fn plan(size: Size, config: &VerroConfig) -> Result<Self, VerroError> {
+        let frame_bytes = (size.area() as usize).saturating_mul(3).max(1);
+        let total = config.stream_memory_budget;
+        let fixed_slots = config.background_samples + FIXED_OVERHEAD_SLOTS;
+        let avail_slots = total / frame_bytes;
+        if avail_slots < fixed_slots + 1 {
+            return Err(VerroError::BadConfig(format!(
+                "stream_memory_budget of {total} bytes holds {avail_slots} frames \
+                 of {frame_bytes} bytes but streaming needs at least {} \
+                 (background sample window + stage overhead + one render slot)",
+                fixed_slots + 1
+            )));
+        }
+        // Half the slack becomes render-channel depth (capped — beyond ~64
+        // frames in flight the channel is pure latency, not throughput),
+        // the rest feeds the cache.
+        let render_slots = ((avail_slots - fixed_slots) / 2).clamp(1, 64);
+        let cache_budget = total - (fixed_slots + render_slots) * frame_bytes;
+        Ok(Self {
+            total,
+            frame_bytes,
+            fixed_slots,
+            render_slots,
+            cache_budget,
+        })
+    }
+}
+
+/// Tuning knobs of the streaming engine. None of them can change a byte of
+/// output — the conformance harness in `tests/stream_identity.rs` sweeps
+/// them against the batch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOptions {
+    /// Sampled-frame histograms batched per ingest-channel message.
+    pub chunk_size: usize,
+    /// Capacity of the ingest metadata channel, in messages.
+    pub channel_slots: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        Self {
+            chunk_size: 16,
+            channel_slots: 4,
+        }
+    }
+}
+
+/// Observability counters of one streaming run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Frames delivered to the sink.
+    pub frames: usize,
+    /// Segments Algorithm 2 produced.
+    pub segments: usize,
+    /// Bytes of one decoded frame.
+    pub frame_bytes: usize,
+    /// The configured ceiling.
+    pub memory_budget: usize,
+    /// Render-channel capacity the plan chose.
+    pub render_slots: usize,
+    /// Cache share the plan chose.
+    pub cache_budget: usize,
+    /// High-water mark of gauge-charged raster bytes (retained background
+    /// inputs, built scenes, rendered frames in flight).
+    pub peak_raster_bytes: usize,
+    /// Decoded-frame cache counters (all-zero for the raw fallible entry
+    /// point, which does not interpose a cache).
+    pub cache: CacheStats,
+    /// Wall-clock milliseconds per segment on the render stage (background
+    /// build + compose + send), in segment order — the bench's p99 source.
+    pub segment_render_ms: Vec<f64>,
+}
+
+/// Everything a streaming run produces. The rendered `V*` frames went to
+/// the sink in ascending order; all artifacts here are byte-identical to
+/// the corresponding [`SanitizedResult`](crate::SanitizedResult) fields of
+/// a batch run over the same `(source, annotations, config)`.
+#[derive(Debug, Clone)]
+pub struct StreamOutput {
+    /// Phase I artifacts (presence vectors, picked frames, ε).
+    pub phase1: Phase1Output,
+    /// Phase II artifacts (trajectories, mapping, losses).
+    pub phase2: Phase2Output,
+    /// The Algorithm 2 segmentation.
+    pub key_frames: KeyFrameResult,
+    /// Stage timings (`preprocess` covers the ingest sweep; background
+    /// builds are fused into the render sweep and land in `render`).
+    pub timings: PhaseTimings,
+    /// Owner-side utility summary against the original annotations.
+    pub utility: UtilityReport,
+    /// The privacy guarantee of the release — unchanged from batch.
+    pub privacy: PrivacyStatement,
+    /// Per-frame ingestion health of the stream.
+    pub health: FrameHealthReport,
+    /// Memory/cadence observability.
+    pub stats: StreamStats,
+}
+
+/// The retained-frame window the render stage hands to
+/// [`build_segment_background`]: a [`FrameSource`] facade over exactly the
+/// frames [`segment_background_inputs`] listed for the segment being
+/// built. `num_frames`/`frame_size` mirror the real source so the build's
+/// range validation sees the same video shape the batch path does.
+struct RetainedWindow<'a> {
+    frames: &'a [(usize, ImageBuffer)],
+    num_frames: usize,
+    size: Size,
+    fps: f64,
+}
+
+impl FrameSource for RetainedWindow<'_> {
+    fn num_frames(&self) -> usize {
+        self.num_frames
+    }
+
+    fn frame_size(&self) -> Size {
+        self.size
+    }
+
+    fn frame(&self, k: usize) -> ImageBuffer {
+        self.frames
+            .iter()
+            .find(|(i, _)| *i == k)
+            .map(|(_, img)| img.clone())
+            .expect("render stage retained every background input frame")
+    }
+
+    fn fps(&self) -> f64 {
+        self.fps
+    }
+}
+
+impl Verro {
+    /// Streaming [`sanitize`](Self::sanitize): rendered `V*` frames are
+    /// handed to `sink(k, frame)` in ascending frame order instead of being
+    /// materialized, and resident raster bytes stay under
+    /// [`VerroConfig::stream_memory_budget`]. The frames and every returned
+    /// artifact are byte-identical to the batch run's.
+    pub fn sanitize_streaming<S, F>(
+        &self,
+        src: &S,
+        annotations: &VideoAnnotations,
+        options: &StreamOptions,
+        mut sink: F,
+    ) -> Result<StreamOutput, VerroError>
+    where
+        S: FrameSource + Sync,
+        F: FnMut(usize, &ImageBuffer),
+    {
+        if FrameSource::num_frames(src) == 0 {
+            return Err(VerroError::EmptyVideo);
+        }
+        if FrameSource::num_frames(src) != annotations.num_frames() {
+            return Err(VerroError::AnnotationMismatch {
+                video_frames: FrameSource::num_frames(src),
+                annotation_frames: annotations.num_frames(),
+            });
+        }
+        let plan = StreamBudget::plan(FrameSource::frame_size(src), self.config())?;
+        // The cache absorbs the render sweep's re-decodes within its budget
+        // share; it is output-invisible (FrameSource determinism), so the
+        // engine below stays byte-identical with or without it.
+        let cached = CachedSource::new(src, plan.cache_budget);
+        let mut out = stream_engine(
+            self.config(),
+            &cached,
+            annotations,
+            RecoveryPolicy::default(),
+            options,
+            plan,
+            &mut sink,
+        )?;
+        out.stats.cache = cached.stats();
+        Ok(out)
+    }
+
+    /// Streaming [`sanitize_fallible`](Self::sanitize_fallible): frames are
+    /// ingested under `policy` and the stream's health report is returned;
+    /// unrecoverable ingestion fails with
+    /// [`VerroError::SourceExhausted`]. Faults cannot perturb ε for the
+    /// same reason as in batch — all Phase I randomness comes from an RNG
+    /// seeded after ingestion, and recovery draws nothing from it.
+    pub fn sanitize_streaming_fallible<S, F>(
+        &self,
+        src: &S,
+        annotations: &VideoAnnotations,
+        policy: RecoveryPolicy,
+        options: &StreamOptions,
+        mut sink: F,
+    ) -> Result<StreamOutput, VerroError>
+    where
+        S: TryFrameSource + Sync,
+        F: FnMut(usize, &ImageBuffer),
+    {
+        let plan = StreamBudget::plan(src.frame_size(), self.config())?;
+        stream_engine(
+            self.config(),
+            src,
+            annotations,
+            policy,
+            options,
+            plan,
+            &mut sink,
+        )
+    }
+}
+
+/// The unified streaming body: both entry points land here (the infallible
+/// one through the blanket [`TryFrameSource`] impl with the default
+/// never-triggered policy).
+fn stream_engine<S, F>(
+    config: &VerroConfig,
+    src: &S,
+    annotations: &VideoAnnotations,
+    policy: RecoveryPolicy,
+    options: &StreamOptions,
+    plan: StreamBudget,
+    sink: &mut F,
+) -> Result<StreamOutput, VerroError>
+where
+    S: TryFrameSource + Sync,
+    F: FnMut(usize, &ImageBuffer),
+{
+    let n = src.num_frames();
+    let size = src.frame_size();
+    let fps = src.fps();
+    let gauge = MemoryGauge::new();
+    let stride = config.keyframe.stride.max(1);
+    let bins = config.keyframe.bins;
+    let chunk = options.chunk_size.max(1);
+    let slots = options.channel_slots.max(1);
+
+    // ── Pass A: ingest → per-frame histograms → segment close ──────────
+    // The ingest thread sweeps the source under the recovery policy and
+    // ships (frame, histogram) metadata — never rasters — in bounded
+    // chunks; the main thread replays Algorithm 2 incrementally. A
+    // zero-frame source surfaces here as the same typed IngestError the
+    // batch fallible path reports.
+    let t0 = Instant::now();
+    let (segments, health) = std::thread::scope(
+        |scope| -> Result<(Vec<Segment>, FrameHealthReport), VerroError> {
+            let (tx, rx) = mpsc::sync_channel::<Vec<(usize, HsvHistogram)>>(slots);
+            let ingest = scope.spawn(move || -> Result<FrameHealthReport, IngestError> {
+                // Capacity capped by the frame count: `chunk` is a caller
+                // knob and may be absurdly large.
+                let mut buf: Vec<(usize, HsvHistogram)> = Vec::with_capacity(chunk.min(n));
+                // A closed receiver means the consumer is gone; stop
+                // shipping but let the sweep finish its health accounting.
+                let mut closed = false;
+                let health = stream_with_recovery(src, policy, |k, img| {
+                    if closed || k % stride != 0 {
+                        return;
+                    }
+                    buf.push((k, HsvHistogram::of(img, bins)));
+                    if buf.len() >= chunk && tx.send(std::mem::take(&mut buf)).is_err() {
+                        closed = true;
+                    }
+                })?;
+                if !buf.is_empty() {
+                    let _ = tx.send(buf);
+                }
+                Ok(health)
+            });
+            let mut segmenter = OnlineSegmenter::new(config.keyframe);
+            let mut segments = Vec::new();
+            for batch in rx.iter() {
+                for (k, hist) in &batch {
+                    segments.extend(segmenter.push(*k, hist));
+                }
+            }
+            let health = ingest
+                .join()
+                .expect("ingest stage panicked")
+                .map_err(VerroError::from)?;
+            segments.extend(segmenter.finish());
+            Ok((segments, health))
+        },
+    )?;
+    let preprocess = t0.elapsed();
+
+    // Batch-fallible error ordering: ingestion failures surface before the
+    // annotation-coverage check.
+    if n != annotations.num_frames() {
+        return Err(VerroError::AnnotationMismatch {
+            video_frames: n,
+            annotation_frames: annotations.num_frames(),
+        });
+    }
+
+    // ── Phases I and II: metadata only, single seeded RNG ───────────────
+    let key_frames = KeyFrameResult { segments };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let t1 = Instant::now();
+    let phase1 = run_phase1(annotations, &key_frames, config, &mut rng)?;
+    let phase1_time = t1.elapsed();
+    let t2 = Instant::now();
+    let phase2 = run_phase2(&phase1, annotations, &key_frames, size, config, &mut rng)?;
+    let phase2_time = t2.elapsed();
+    let utility = UtilityReport::compute(annotations, &phase2.synthetic, &phase2.mapping);
+    let privacy = PrivacyStatement::from_phase1(&phase1, config);
+    let colors = color_table(&phase2.synthetic);
+
+    // ── Pass B: render sweep → per-segment backgrounds → sink ───────────
+    // Which source frames each segment's background build will read, and
+    // which display frames each scene covers. `background_index_for` is
+    // monotone non-decreasing in k and hits every segment at its own start,
+    // so the display intervals are contiguous and in segment order.
+    let ranges: Vec<(usize, usize)> = key_frames
+        .segments
+        .iter()
+        .map(|s| (s.start(), s.end()))
+        .collect();
+    let needed: Vec<Vec<usize>> = key_frames
+        .segments
+        .iter()
+        .map(|s| segment_background_inputs(s, config))
+        .collect();
+    let mut display: Vec<(usize, usize)> = Vec::with_capacity(ranges.len());
+    let mut cur_owner = 0usize;
+    let mut cur_start = 0usize;
+    for k in 0..n {
+        let owner = background_index_for(&ranges, k);
+        if owner != cur_owner {
+            display.push((cur_start, k - 1));
+            cur_owner = owner;
+            cur_start = k;
+        }
+    }
+    display.push((cur_start, n - 1));
+    debug_assert_eq!(display.len(), ranges.len());
+
+    let t3 = Instant::now();
+    let (pass_b_health, segment_render_ms) = std::thread::scope(
+        |scope| -> Result<(FrameHealthReport, Vec<f64>), VerroError> {
+            let (tx, rx) = mpsc::sync_channel::<(usize, ImageBuffer)>(plan.render_slots);
+            let segs = &key_frames.segments;
+            let needed = &needed;
+            let display = &display;
+            let colors = &colors;
+            let synthetic = &phase2.synthetic;
+            let gauge = &gauge;
+            let render = scope.spawn(
+                move || -> Result<(FrameHealthReport, Vec<f64>), VerroError> {
+                    let mut seg = 0usize; // segment currently collecting inputs
+                    let mut want = 0usize; // position within needed[seg]
+                    let mut retained: Vec<(usize, ImageBuffer)> = Vec::new();
+                    let mut times: Vec<f64> = Vec::with_capacity(segs.len());
+                    let mut build_err: Option<VerroError> = None;
+                    let mut closed = false;
+                    let health = stream_with_recovery(src, policy, |k, img| {
+                        if closed || build_err.is_some() || seg >= segs.len() {
+                            return;
+                        }
+                        if needed[seg][want] != k {
+                            return;
+                        }
+                        gauge.charge(img.byte_len());
+                        retained.push((k, img.clone()));
+                        want += 1;
+                        if want < needed[seg].len() {
+                            return;
+                        }
+                        // Final input of this segment arrived: build its scene
+                        // from the window, paint its display frames, ship them.
+                        let t = Instant::now();
+                        let window = RetainedWindow {
+                            frames: &retained,
+                            num_frames: n,
+                            size,
+                            fps,
+                        };
+                        match build_segment_background(&window, annotations, &segs[seg], config) {
+                            Ok(scene) => {
+                                gauge.charge(scene.image.byte_len());
+                                let (d0, d1) = display[seg];
+                                for dk in d0..=d1 {
+                                    let frame = compose_frame(&scene.image, synthetic, colors, dk);
+                                    let bytes = frame.byte_len();
+                                    gauge.charge(bytes);
+                                    if tx.send((dk, frame)).is_err() {
+                                        gauge.release(bytes);
+                                        closed = true;
+                                        break;
+                                    }
+                                }
+                                gauge.release(scene.image.byte_len());
+                                times.push(t.elapsed().as_secs_f64() * 1e3);
+                            }
+                            Err(e) => build_err = Some(e),
+                        }
+                        for (_, old) in retained.drain(..) {
+                            gauge.release(old.byte_len());
+                        }
+                        seg += 1;
+                        want = 0;
+                    })
+                    .map_err(VerroError::from)?;
+                    match build_err {
+                        Some(e) => Err(e),
+                        None => Ok((health, times)),
+                    }
+                },
+            );
+            for (k, frame) in rx.iter() {
+                sink(k, &frame);
+                gauge.release(frame.byte_len());
+            }
+            render.join().expect("render stage panicked")
+        },
+    )?;
+    let render_time = t3.elapsed();
+    // The TryFrameSource determinism contract makes the second sweep
+    // resolve every frame identically to the first.
+    debug_assert_eq!(pass_b_health, health, "source violated determinism");
+
+    let stats = StreamStats {
+        frames: n,
+        segments: key_frames.segments.len(),
+        frame_bytes: plan.frame_bytes,
+        memory_budget: plan.total,
+        render_slots: plan.render_slots,
+        cache_budget: plan.cache_budget,
+        peak_raster_bytes: gauge.peak(),
+        cache: CacheStats::default(),
+        segment_render_ms,
+    };
+    Ok(StreamOutput {
+        phase1,
+        phase2,
+        key_frames,
+        timings: PhaseTimings {
+            preprocess,
+            preprocess_keyframes: preprocess,
+            preprocess_backgrounds: Duration::ZERO,
+            preprocess_detect_track: Duration::ZERO,
+            phase1: phase1_time,
+            phase2: phase2_time,
+            render: render_time,
+            encode: Duration::ZERO,
+        },
+        utility,
+        privacy,
+        health,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BackgroundMode;
+    use verro_video::camera::Camera;
+    use verro_video::fault::{FaultSchedule, FaultySource};
+    use verro_video::generator::{GeneratedVideo, VideoSpec};
+    use verro_video::object::ObjectClass;
+    use verro_video::scene::SceneKind;
+    use verro_video::source::InMemoryVideo;
+
+    fn tiny_video() -> GeneratedVideo {
+        GeneratedVideo::generate(VideoSpec {
+            name: "stream-test".into(),
+            nominal_size: Size::new(96, 72),
+            raster_scale: 1.0,
+            num_frames: 30,
+            num_objects: 4,
+            scene: SceneKind::DaySquare,
+            camera: Camera::Static,
+            class: ObjectClass::Pedestrian,
+            fps: 30.0,
+            seed: 3,
+            min_lifetime: 10,
+            max_lifetime: 26,
+            lifetime_mix: None,
+            lighting_drift: 0.15,
+            lighting_period: 8.0,
+        })
+    }
+
+    fn fast_config() -> VerroConfig {
+        let mut cfg = VerroConfig::default().with_flip(0.1).with_seed(7);
+        cfg.background = BackgroundMode::TemporalMedian;
+        cfg.keyframe.tau = 0.97;
+        cfg.optimizer_noise_epsilon = None;
+        cfg
+    }
+
+    fn collect_stream(
+        verro: &Verro,
+        video: &GeneratedVideo,
+        options: &StreamOptions,
+    ) -> (Vec<ImageBuffer>, StreamOutput) {
+        let mut frames: Vec<(usize, ImageBuffer)> = Vec::new();
+        let out = verro
+            .sanitize_streaming(video, video.annotations(), options, |k, img| {
+                frames.push((k, img.clone()))
+            })
+            .unwrap();
+        assert!(
+            frames.windows(2).all(|w| w[0].0 + 1 == w[1].0),
+            "sink frames out of order"
+        );
+        assert_eq!(frames.first().map(|f| f.0), Some(0));
+        (frames.into_iter().map(|(_, img)| img).collect(), out)
+    }
+
+    #[test]
+    fn streaming_matches_batch_bytes_and_privacy() {
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let batch = verro.sanitize(&video, video.annotations()).unwrap();
+        let batch_frames = batch.video.render_all();
+
+        let (frames, out) = collect_stream(&verro, &video, &StreamOptions::default());
+        assert_eq!(frames.len(), batch_frames.len());
+        for (k, (s, b)) in frames.iter().zip(&batch_frames).enumerate() {
+            assert_eq!(s, b, "frame {k} diverged");
+        }
+        assert_eq!(out.privacy, batch.privacy);
+        assert_eq!(out.phase1.randomized, batch.phase1.randomized);
+        assert_eq!(out.key_frames, batch.key_frames);
+        assert_eq!(out.utility, batch.utility);
+        assert!(!out.health.is_degraded());
+        assert_eq!(out.stats.frames, 30);
+        assert_eq!(out.stats.segments, out.key_frames.segments.len());
+        assert_eq!(out.stats.segment_render_ms.len(), out.stats.segments);
+    }
+
+    #[test]
+    fn streaming_stays_under_the_memory_ceiling() {
+        let video = tiny_video();
+        let frame_bytes = (Size::new(96, 72).area() as usize) * 3;
+        let mut cfg = fast_config();
+        // Tight but feasible: window + overhead + a couple render slots.
+        cfg.stream_memory_budget =
+            (cfg.background_samples + FIXED_OVERHEAD_SLOTS + 4) * frame_bytes;
+        let verro = Verro::new(cfg.clone()).unwrap();
+        let (_, out) = collect_stream(&verro, &video, &StreamOptions::default());
+        assert!(out.stats.peak_raster_bytes > 0);
+        assert!(
+            out.stats.peak_raster_bytes + out.stats.cache.peak_bytes <= cfg.stream_memory_budget,
+            "peak {} + cache {} exceeded budget {}",
+            out.stats.peak_raster_bytes,
+            out.stats.cache.peak_bytes,
+            cfg.stream_memory_budget
+        );
+    }
+
+    #[test]
+    fn chunking_extremes_do_not_change_output() {
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let (a, _) = collect_stream(&verro, &video, &StreamOptions::default());
+        let tight = StreamOptions {
+            chunk_size: 1,
+            channel_slots: 1,
+        };
+        let (b, _) = collect_stream(&verro, &video, &tight);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_fallible_matches_batch_fallible() {
+        let video = InMemoryVideo::collect_from(&tiny_video());
+        let ann = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let schedule = FaultSchedule::mixed(0xfeed, 0.2);
+        let policy = RecoveryPolicy::default();
+
+        let faulty = FaultySource::new(video, schedule);
+        let batch = verro
+            .sanitize_fallible(&faulty, ann.annotations(), policy)
+            .unwrap();
+        let batch_frames = batch.video.render_all();
+
+        let mut frames: Vec<ImageBuffer> = Vec::new();
+        let out = verro
+            .sanitize_streaming_fallible(
+                &faulty,
+                ann.annotations(),
+                policy,
+                &StreamOptions::default(),
+                |_, img| frames.push(img.clone()),
+            )
+            .unwrap();
+        assert_eq!(frames, batch_frames);
+        assert_eq!(out.privacy, batch.privacy);
+        assert_eq!(out.health, batch.health);
+    }
+
+    #[test]
+    fn budget_plan_splits_and_rejects_floor() {
+        let cfg = fast_config();
+        let size = Size::new(96, 72);
+        let frame_bytes = (size.area() as usize) * 3;
+        let plan = StreamBudget::plan(size, &cfg).unwrap();
+        assert_eq!(plan.frame_bytes, frame_bytes);
+        assert_eq!(
+            plan.fixed_slots,
+            cfg.background_samples + FIXED_OVERHEAD_SLOTS
+        );
+        assert!(plan.render_slots >= 1 && plan.render_slots <= 64);
+        assert!(
+            (plan.fixed_slots + plan.render_slots) * frame_bytes + plan.cache_budget <= plan.total
+        );
+        // One slot short of the floor is rejected with a typed error.
+        let mut small = cfg.clone();
+        small.stream_memory_budget =
+            (small.background_samples + FIXED_OVERHEAD_SLOTS) * frame_bytes;
+        assert!(matches!(
+            StreamBudget::plan(size, &small),
+            Err(VerroError::BadConfig(_))
+        ));
+        // Exactly at the floor succeeds with one render slot and no cache.
+        let mut floor = cfg.clone();
+        floor.stream_memory_budget =
+            (floor.background_samples + FIXED_OVERHEAD_SLOTS + 1) * frame_bytes;
+        let plan = StreamBudget::plan(size, &floor).unwrap();
+        assert_eq!(plan.render_slots, 1);
+        assert_eq!(plan.cache_budget, 0);
+    }
+
+    /// A zero-frame source (`InMemoryVideo` refuses to be empty).
+    struct EmptySource;
+
+    impl FrameSource for EmptySource {
+        fn num_frames(&self) -> usize {
+            0
+        }
+        fn frame_size(&self) -> Size {
+            Size::new(16, 16)
+        }
+        fn frame(&self, _k: usize) -> ImageBuffer {
+            unreachable!("empty video has no frames")
+        }
+    }
+
+    #[test]
+    fn streaming_rejects_degenerate_inputs_with_typed_errors() {
+        let verro = Verro::new(fast_config()).unwrap();
+        let ann = VideoAnnotations::new(0);
+        // Infallible entry: same upfront checks as batch sanitize.
+        assert_eq!(
+            verro
+                .sanitize_streaming(&EmptySource, &ann, &StreamOptions::default(), |_, _| {})
+                .unwrap_err(),
+            VerroError::EmptyVideo
+        );
+        let video = tiny_video();
+        let short = VideoAnnotations::new(7);
+        assert_eq!(
+            verro
+                .sanitize_streaming(&video, &short, &StreamOptions::default(), |_, _| {})
+                .unwrap_err(),
+            VerroError::AnnotationMismatch {
+                video_frames: 30,
+                annotation_frames: 7,
+            }
+        );
+        // Fallible entry: a zero-frame source is a typed ingestion failure,
+        // matching batch sanitize_fallible.
+        let err = verro
+            .sanitize_streaming_fallible(
+                &EmptySource,
+                &ann,
+                RecoveryPolicy::default(),
+                &StreamOptions::default(),
+                |_, _| {},
+            )
+            .unwrap_err();
+        assert!(matches!(err, VerroError::SourceExhausted { .. }));
+        // And a mismatch after a clean ingest is the batch error too.
+        let err = verro
+            .sanitize_streaming_fallible(
+                &video,
+                &short,
+                RecoveryPolicy::default(),
+                &StreamOptions::default(),
+                |_, _| {},
+            )
+            .unwrap_err();
+        assert!(matches!(err, VerroError::AnnotationMismatch { .. }));
+    }
+}

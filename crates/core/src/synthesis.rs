@@ -66,31 +66,115 @@ pub fn build_backgrounds<S: FrameSource + Sync>(
     key_frames
         .segments
         .par_iter()
-        .map(|seg| {
-            let (start, end) = (seg.start(), seg.end());
-            let image = match config.background {
-                BackgroundMode::KeyFrameInpaint => {
-                    let frame = src.frame(seg.key_frame);
-                    let boxes: Vec<BBox> = annotations
-                        .in_frame(seg.key_frame)
-                        .into_iter()
-                        .map(|(_, b)| b)
-                        .collect();
-                    reconstruct_background(&frame, &boxes, &config.inpaint)
-                }
-                BackgroundMode::TemporalMedian => median_background(
-                    src,
-                    start,
-                    end,
-                    &BackgroundConfig {
-                        max_samples: config.background_samples,
-                    },
-                )
-                .map_err(VerroError::from)?,
-            };
-            Ok(BackgroundScene { start, end, image })
-        })
+        .map(|seg| build_segment_background(src, annotations, seg, config))
         .collect()
+}
+
+/// Reconstructs one segment's background scene — the unit of work
+/// [`build_backgrounds`] fans out, exposed so the streaming renderer can
+/// build scenes lazily (one segment resident at a time) and still produce
+/// the exact bytes of the batch path: both run this function on the same
+/// source frames.
+pub fn build_segment_background<S: FrameSource + Sync>(
+    src: &S,
+    annotations: &VideoAnnotations,
+    seg: &verro_vision::keyframe::Segment,
+    config: &VerroConfig,
+) -> Result<BackgroundScene, VerroError> {
+    let (start, end) = (seg.start(), seg.end());
+    let image = match config.background {
+        BackgroundMode::KeyFrameInpaint => {
+            let frame = src.frame(seg.key_frame);
+            let boxes: Vec<BBox> = annotations
+                .in_frame(seg.key_frame)
+                .into_iter()
+                .map(|(_, b)| b)
+                .collect();
+            reconstruct_background(&frame, &boxes, &config.inpaint)
+        }
+        BackgroundMode::TemporalMedian => median_background(
+            src,
+            start,
+            end,
+            &BackgroundConfig {
+                max_samples: config.background_samples,
+            },
+        )
+        .map_err(VerroError::from)?,
+    };
+    Ok(BackgroundScene { start, end, image })
+}
+
+/// The source frames [`build_segment_background`] reads for one segment:
+/// the key frame under [`BackgroundMode::KeyFrameInpaint`], the median's
+/// uniform sample under [`BackgroundMode::TemporalMedian`]. Ascending. The
+/// streaming renderer retains exactly these frames from its forward sweep;
+/// a mismatch with what the build actually touches would surface as a
+/// missing-frame panic in the conformance tests.
+pub fn segment_background_inputs(
+    seg: &verro_vision::keyframe::Segment,
+    config: &VerroConfig,
+) -> Vec<usize> {
+    match config.background {
+        BackgroundMode::KeyFrameInpaint => vec![seg.key_frame],
+        BackgroundMode::TemporalMedian => verro_vision::bgmodel::sample_indices(
+            seg.start(),
+            seg.end(),
+            config.background_samples,
+        ),
+    }
+}
+
+/// Index of the background scene covering frame `k` over the scenes'
+/// `(start, end)` ranges: the covering range if one exists, else the
+/// nearest range by distance with ties to the *first* minimum — exactly
+/// [`SyntheticVideo::background_for`]'s rule, factored out so the
+/// streaming renderer can partition frames across scenes before any scene
+/// is built. `ranges` must be non-empty.
+pub fn background_index_for(ranges: &[(usize, usize)], k: usize) -> usize {
+    ranges
+        .iter()
+        .position(|&(start, end)| k >= start && k <= end)
+        .unwrap_or_else(|| {
+            ranges
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(start, end))| if k < start { start - k } else { k - end })
+                .map(|(i, _)| i)
+                .expect("non-empty ranges")
+        })
+}
+
+/// The synthetic objects' color table: one visually distinct color per
+/// object ID, keyed by the randomized IDs Phase II assigned. Shared by
+/// [`SyntheticVideo::new`] and the streaming renderer so both paint
+/// identical pixels.
+pub fn color_table(annotations: &VideoAnnotations) -> BTreeMap<ObjectId, Rgb> {
+    annotations
+        .ids()
+        .into_iter()
+        .map(|id| (id, distinct_color(id.0 as usize)))
+        .collect()
+}
+
+/// Paints frame `k`'s synthetic objects over a background: painter's order
+/// by box bottom (farther objects first), one capsule per present object.
+/// [`SyntheticVideo`]'s `frame` and the streaming renderer both delegate
+/// here, which is what makes their output bytes identical.
+pub fn compose_frame(
+    background: &ImageBuffer,
+    annotations: &VideoAnnotations,
+    colors: &BTreeMap<ObjectId, Rgb>,
+    k: usize,
+) -> ImageBuffer {
+    let mut img = background.clone();
+    let mut present = annotations.in_frame(k);
+    present.sort_by(|a, b| a.1.bottom().total_cmp(&b.1.bottom()));
+    for (id, bbox) in present {
+        let color = colors.get(&id).copied().unwrap_or(Rgb::WHITE);
+        SyntheticVideo::draw_capsule(&mut img, bbox, color);
+    }
+    img
 }
 
 /// The published synthetic video `V*`: reconstructed backgrounds plus the
@@ -138,11 +222,7 @@ impl SyntheticVideo {
                 image: ImageBuffer::new(size, Rgb::BLACK),
             });
         }
-        let colors = annotations
-            .ids()
-            .into_iter()
-            .map(|id| (id, distinct_color(id.0 as usize)))
-            .collect();
+        let colors = color_table(&annotations);
         Self {
             size,
             fps,
@@ -166,25 +246,9 @@ impl SyntheticVideo {
     /// falls outside every range, which can happen with strided key-frame
     /// extraction).
     pub fn background_for(&self, k: usize) -> &ImageBuffer {
-        self.backgrounds
-            .iter()
-            .find(|b| k >= b.start && k <= b.end)
-            .map(|b| &b.image)
-            .unwrap_or_else(|| {
-                // Nearest segment by distance to its range.
-                &self
-                    .backgrounds
-                    .iter()
-                    .min_by_key(|b| {
-                        if k < b.start {
-                            b.start - k
-                        } else {
-                            k - b.end
-                        }
-                    })
-                    .expect("non-empty backgrounds")
-                    .image
-            })
+        let ranges: Vec<(usize, usize)> =
+            self.backgrounds.iter().map(|b| (b.start, b.end)).collect();
+        &self.backgrounds[background_index_for(&ranges, k)].image
     }
 
     /// The color of a synthetic object.
@@ -245,15 +309,7 @@ impl FrameSource for SyntheticVideo {
 
     fn frame(&self, k: usize) -> ImageBuffer {
         assert!(k < self.num_frames, "frame {k} out of range");
-        let mut img = self.background_for(k).clone();
-        // Painter's order: farther (higher) objects first.
-        let mut present = self.annotations.in_frame(k);
-        present.sort_by(|a, b| a.1.bottom().total_cmp(&b.1.bottom()));
-        for (id, bbox) in present {
-            let color = self.colors.get(&id).copied().unwrap_or(Rgb::WHITE);
-            Self::draw_capsule(&mut img, bbox, color);
-        }
-        img
+        compose_frame(self.background_for(k), &self.annotations, &self.colors, k)
     }
 
     fn fps(&self) -> f64 {
@@ -399,5 +455,59 @@ mod tests {
         assert_eq!(info.num_frames, 10);
         assert_eq!(info.num_objects, 2);
         assert_eq!(info.num_backgrounds, 2);
+    }
+
+    #[test]
+    fn background_index_covers_gaps_with_first_min_ties() {
+        // Ranges with a gap (strided segmentation) and leading/trailing
+        // frames outside every range.
+        let ranges = [(2usize, 5usize), (9, 12)];
+        assert_eq!(background_index_for(&ranges, 0), 0);
+        assert_eq!(background_index_for(&ranges, 3), 0);
+        assert_eq!(background_index_for(&ranges, 6), 0); // distance 1 vs 3
+        // Equidistant (distance 2 from both ranges): first minimum wins.
+        assert_eq!(background_index_for(&ranges, 7), 0);
+        assert_eq!(background_index_for(&ranges, 8), 1); // distance 3 vs 1
+        assert_eq!(background_index_for(&ranges, 11), 1);
+        assert_eq!(background_index_for(&ranges, 99), 1);
+        // Assignment is monotone non-decreasing in k — the property the
+        // streaming renderer's single forward pass relies on.
+        let mut prev = 0;
+        for k in 0..100 {
+            let j = background_index_for(&ranges, k);
+            assert!(j >= prev, "assignment regressed at frame {k}");
+            prev = j;
+        }
+    }
+
+    #[test]
+    fn compose_frame_matches_video_frame() {
+        let v = simple_synthetic();
+        let colors = color_table(&v.annotations);
+        for k in 0..10 {
+            assert_eq!(
+                compose_frame(v.background_for(k), &v.annotations, &colors, k),
+                v.frame(k),
+                "frame {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_background_inputs_match_mode() {
+        let seg = verro_vision::keyframe::Segment {
+            frames: (0..30).collect(),
+            key_frame: 7,
+        };
+        let mut cfg = VerroConfig::default();
+        cfg.background = BackgroundMode::KeyFrameInpaint;
+        assert_eq!(segment_background_inputs(&seg, &cfg), vec![7]);
+        cfg.background = BackgroundMode::TemporalMedian;
+        cfg.background_samples = 5;
+        let inputs = segment_background_inputs(&seg, &cfg);
+        assert_eq!(inputs.len(), 5);
+        assert_eq!(*inputs.first().unwrap(), 0);
+        assert_eq!(*inputs.last().unwrap(), 29);
+        assert!(inputs.windows(2).all(|w| w[0] < w[1]));
     }
 }

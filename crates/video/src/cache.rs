@@ -34,6 +34,10 @@ pub struct CacheStats {
     pub entries: usize,
     /// Bytes currently retained.
     pub bytes: usize,
+    /// High-water mark of retained bytes over the cache's lifetime — the
+    /// number the streaming memory-ceiling tests compare against the
+    /// cache's share of `stream_memory_budget`.
+    pub peak_bytes: usize,
 }
 
 impl CacheStats {
@@ -56,6 +60,7 @@ struct Entry {
 struct CacheState {
     entries: HashMap<usize, Entry>,
     bytes: usize,
+    peak_bytes: usize,
     tick: u64,
 }
 
@@ -86,6 +91,7 @@ impl<'a, S: FrameSource> CachedSource<'a, S> {
             state: Mutex::new(CacheState {
                 entries: HashMap::new(),
                 bytes: 0,
+                peak_bytes: 0,
                 tick: 0,
             }),
             hits: AtomicU64::new(0),
@@ -126,6 +132,7 @@ impl<'a, S: FrameSource> CachedSource<'a, S> {
             misses: self.misses.load(Ordering::Relaxed),
             entries: state.entries.len(),
             bytes: state.bytes,
+            peak_bytes: state.peak_bytes,
         }
     }
 
@@ -183,6 +190,11 @@ impl<'a, S: FrameSource> CachedSource<'a, S> {
                     None => break,
                 }
             }
+            // Recorded post-eviction: the mark tracks what the cache
+            // *retains*, not the transient insert-then-evict window (the
+            // incoming raster is resident regardless — its caller holds
+            // the Arc — so charging it here would double-count).
+            state.peak_bytes = state.peak_bytes.max(state.bytes);
         }
         image
     }
@@ -268,6 +280,23 @@ mod tests {
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 4);
         assert!(stats.bytes <= 2 * frame_bytes);
+    }
+
+    #[test]
+    fn peak_bytes_is_a_high_water_mark_within_budget() {
+        let v = video(4);
+        let frame_bytes = v.frame(0).byte_len();
+        let cached = CachedSource::new(&v, 2 * frame_bytes);
+        assert_eq!(cached.stats().peak_bytes, 0);
+        for k in 0..4 {
+            cached.frame(k);
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.peak_bytes, 2 * frame_bytes);
+        assert!(stats.peak_bytes >= stats.bytes);
+        // Evictions never lower the mark.
+        cached.frame(0);
+        assert_eq!(cached.stats().peak_bytes, 2 * frame_bytes);
     }
 
     #[test]

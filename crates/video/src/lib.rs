@@ -49,10 +49,10 @@ pub use generator::{CompositeVideo, GeneratedVideo, MotPreset, VideoSpec};
 pub use geometry::{BBox, Point, Size};
 pub use image::ImageBuffer;
 pub use object::{ObjectClass, ObjectId, Observation, TrackedObject};
-pub use pool::{BufferPool, PooledBuf};
+pub use pool::{BufferPool, MemoryGauge, PooledBuf};
 pub use recover::{
-    ingest_with_recovery, CorruptAction, FrameHealthReport, FrameOutcome, IngestError,
-    RecoveredVideo, RecoveringSource, RecoveryPolicy, RepairMethod,
+    ingest_with_recovery, stream_with_recovery, CorruptAction, FrameHealthReport, FrameOutcome,
+    IngestError, RecoveredVideo, RecoveringSource, RecoveryPolicy, RepairMethod,
 };
 pub use scene::{Scene, SceneKind};
 pub use source::{FrameSource, InMemoryVideo, VideoBuildError};

@@ -1,4 +1,6 @@
-//! A small free-list of byte buffers for per-frame scratch allocations.
+//! A small free-list of byte buffers for per-frame scratch allocations,
+//! plus the memory gauge the streaming engine uses to certify its
+//! working-set ceiling.
 //!
 //! Encoding a frame sequence (or running any per-frame transform that needs
 //! a staging buffer) allocates and frees one large `Vec<u8>` per frame; for
@@ -6,18 +8,79 @@
 //! keeps a bounded free list so a steady-state loop reuses the same few
 //! allocations. Buffers are handed out zero-length with their capacity
 //! intact and return to the pool on drop.
+//!
+//! [`MemoryGauge`] is a lock-free current/high-water byte counter. It does
+//! *accounting*, not admission control: bounded channels and fixed reserves
+//! are what actually cap residency in the streaming engine; the gauge
+//! records the peak so tests can assert the cap held. [`BufferPool`] embeds
+//! one, charging each checked-out buffer's requested capacity, so encode
+//! scratch participates in the same high-water story.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Free buffers retained at most; beyond this, dropped buffers are freed.
 /// Sized for one buffer per worker thread of a typical fan-out.
 const MAX_POOLED: usize = 16;
 
+/// A lock-free current/peak byte counter. `charge` when memory is
+/// acquired, `release` when it is dropped; `peak` never decreases, so it
+/// reports the high-water mark of everything charged against the gauge.
+///
+/// Thread-safe and cheap (two relaxed atomics per charge); the peak update
+/// uses `fetch_max` so concurrent chargers cannot lose a maximum.
+#[derive(Debug, Default)]
+pub struct MemoryGauge {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl MemoryGauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` as resident and folds the new total into the peak.
+    pub fn charge(&self, bytes: usize) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` as no longer resident. Saturates at zero rather
+    /// than wrapping if callers release more than they charged.
+    pub fn release(&self, bytes: usize) {
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Bytes currently charged.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Largest value `current` has ever reached.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
 /// A bounded pool of reusable `Vec<u8>` scratch buffers.
 #[derive(Debug, Default)]
 pub struct BufferPool {
     free: Mutex<Vec<Vec<u8>>>,
+    gauge: MemoryGauge,
 }
 
 impl BufferPool {
@@ -26,7 +89,8 @@ impl BufferPool {
     }
 
     /// Takes a cleared buffer from the pool (or allocates one) with at
-    /// least `capacity` bytes reserved.
+    /// least `capacity` bytes reserved. The requested capacity is charged
+    /// against the pool's [`MemoryGauge`] until the buffer is dropped.
     pub fn acquire(&self, capacity: usize) -> PooledBuf<'_> {
         let mut buf = self
             .free
@@ -38,7 +102,12 @@ impl BufferPool {
         if buf.capacity() < capacity {
             buf.reserve(capacity - buf.len());
         }
-        PooledBuf { pool: self, buf }
+        self.gauge.charge(capacity);
+        PooledBuf {
+            pool: self,
+            buf,
+            charged: capacity,
+        }
     }
 
     /// Number of buffers currently parked in the free list.
@@ -46,7 +115,20 @@ impl BufferPool {
         self.free.lock().expect("pool lock poisoned").len()
     }
 
-    fn release(&self, buf: Vec<u8>) {
+    /// Requested bytes currently checked out (not yet dropped). Tracks the
+    /// capacities callers asked for, not post-acquisition growth.
+    pub fn outstanding(&self) -> usize {
+        self.gauge.current()
+    }
+
+    /// High-water mark of [`BufferPool::outstanding`] over the pool's
+    /// lifetime.
+    pub fn peak_outstanding(&self) -> usize {
+        self.gauge.peak()
+    }
+
+    fn release(&self, buf: Vec<u8>, charged: usize) {
+        self.gauge.release(charged);
         let mut free = self.free.lock().expect("pool lock poisoned");
         if free.len() < MAX_POOLED {
             free.push(buf);
@@ -60,6 +142,7 @@ impl BufferPool {
 pub struct PooledBuf<'a> {
     pool: &'a BufferPool,
     buf: Vec<u8>,
+    charged: usize,
 }
 
 impl Deref for PooledBuf<'_> {
@@ -78,7 +161,7 @@ impl DerefMut for PooledBuf<'_> {
 
 impl Drop for PooledBuf<'_> {
     fn drop(&mut self) {
-        self.pool.release(std::mem::take(&mut self.buf));
+        self.pool.release(std::mem::take(&mut self.buf), self.charged);
     }
 }
 
@@ -118,5 +201,38 @@ mod tests {
         let held: Vec<_> = (0..MAX_POOLED + 5).map(|_| pool.acquire(16)).collect();
         drop(held);
         assert_eq!(pool.idle(), MAX_POOLED);
+    }
+
+    #[test]
+    fn gauge_tracks_current_and_peak() {
+        let g = MemoryGauge::new();
+        assert_eq!((g.current(), g.peak()), (0, 0));
+        g.charge(100);
+        g.charge(50);
+        assert_eq!((g.current(), g.peak()), (150, 150));
+        g.release(100);
+        assert_eq!((g.current(), g.peak()), (50, 150));
+        g.charge(20);
+        assert_eq!((g.current(), g.peak()), (70, 150));
+        // Over-release saturates instead of wrapping.
+        g.release(1_000);
+        assert_eq!(g.current(), 0);
+        assert_eq!(g.peak(), 150);
+    }
+
+    #[test]
+    fn pool_high_water_counts_outstanding_buffers() {
+        let pool = BufferPool::new();
+        assert_eq!(pool.peak_outstanding(), 0);
+        {
+            let _a = pool.acquire(1000);
+            let _b = pool.acquire(200);
+            assert_eq!(pool.outstanding(), 1200);
+        }
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.peak_outstanding(), 1200);
+        // A later, smaller acquisition never lowers the mark.
+        let _c = pool.acquire(10);
+        assert_eq!(pool.peak_outstanding(), 1200);
     }
 }

@@ -612,6 +612,200 @@ impl InMemoryVideo {
     }
 }
 
+/// Repairs or backfills the `pending` run of unrecoverable frames between
+/// healthy neighbors `prev` and `next` (either may be absent at the clip
+/// edges, never both), emitting each synthesized raster in frame order.
+/// Shares the batch pass-2 rules exactly: for a bad run the global
+/// `prev_good`/`next_good`/`nearest_good` of every pending frame are
+/// precisely `prev` and `next`, so hold-last, temporal blend, and the
+/// tie-goes-low backfill all reproduce [`ingest_with_recovery`] bytes.
+fn flush_pending<F: FnMut(usize, &ImageBuffer)>(
+    pending: &mut Vec<(usize, SourceError)>,
+    prev: Option<&(usize, ImageBuffer)>,
+    next: Option<(usize, &ImageBuffer)>,
+    policy: &RecoveryPolicy,
+    outcomes: &mut [FrameOutcome],
+    emit: &mut F,
+) {
+    for (k, fault) in pending.drain(..) {
+        let raster = match policy.on_corrupt {
+            CorruptAction::Repair => match policy.repair {
+                RepairMethod::HoldLast => prev
+                    .map(|(_, img)| img.clone())
+                    .or_else(|| next.map(|(_, img)| img.clone()))
+                    .expect("flush requires a healthy neighbor"),
+                RepairMethod::TemporalBlend => match (prev, next) {
+                    (Some(&(p, ref a)), Some((q, b))) => {
+                        let t = (k - p) as f64 / (q - p) as f64;
+                        blend(a, b, t)
+                    }
+                    (Some((_, a)), None) => a.clone(),
+                    (None, Some((_, b))) => b.clone(),
+                    (None, None) => unreachable!("flush requires a healthy neighbor"),
+                },
+            },
+            CorruptAction::Skip => match (prev, next) {
+                (Some(&(p, ref a)), Some((q, b))) => {
+                    if k - p <= q - k {
+                        a.clone()
+                    } else {
+                        b.clone()
+                    }
+                }
+                (Some((_, a)), None) => a.clone(),
+                (None, Some((_, b))) => b.clone(),
+                (None, None) => unreachable!("flush requires a healthy neighbor"),
+            },
+            CorruptAction::Fail => unreachable!("Fail aborts before any flush"),
+        };
+        if policy.on_corrupt == CorruptAction::Repair {
+            outcomes[k] = FrameOutcome::Repaired {
+                method: policy.repair,
+                fault,
+            };
+        }
+        emit(k, &raster);
+    }
+}
+
+/// Streaming analogue of [`ingest_with_recovery`]: resolves frames
+/// sequentially and hands each recovered raster to `emit(k, raster)` in
+/// ascending frame order, holding at most a constant number of rasters
+/// (the last healthy frame, the incoming frame, and one repair in flight)
+/// instead of materializing the video. Unrecoverable runs are buffered as
+/// *fault metadata only* until the next healthy frame arrives, then
+/// repaired from exactly the neighbors batch pass 2 would use.
+///
+/// On success the emitted rasters and the returned [`FrameHealthReport`]
+/// are byte-identical to what [`ingest_with_recovery`] materializes — both
+/// are pure functions of `(source, policy)` with the same per-frame
+/// resolution and the same repair rules. On failure the abort fault
+/// matches the batch one (faults are classified in frame order in both),
+/// but the health log covers only the prefix resolved so far, and `emit`
+/// may already have observed a prefix of frames — streaming cannot take
+/// back what it has delivered.
+pub fn stream_with_recovery<S, F>(
+    src: &S,
+    policy: RecoveryPolicy,
+    mut emit: F,
+) -> Result<FrameHealthReport, IngestError>
+where
+    S: TryFrameSource + Sync,
+    F: FnMut(usize, &ImageBuffer),
+{
+    let n = src.num_frames();
+    if n == 0 {
+        return Err(IngestError {
+            error: SourceError::Permanent {
+                frame: 0,
+                reason: "source has zero frames".into(),
+            },
+            health: FrameHealthReport::all_ok(0),
+        });
+    }
+
+    let mut outcomes: Vec<FrameOutcome> = Vec::with_capacity(n);
+    let mut total_retries = 0u64;
+    let mut total_backoff_ms = 0u64;
+    let mut last_good: Option<(usize, ImageBuffer)> = None;
+    let mut pending: Vec<(usize, SourceError)> = Vec::new();
+    let mut first_fault: Option<SourceError> = None;
+
+    let health = |outcomes: Vec<FrameOutcome>, retries: u64, backoff: u64| FrameHealthReport {
+        outcomes,
+        total_retries: retries,
+        total_backoff_ms: backoff,
+    };
+
+    for k in 0..n {
+        match resolve_frame(src, k, &policy) {
+            Resolved::Good {
+                img,
+                attempts,
+                backoff_ms,
+            } => {
+                total_retries += attempts as u64;
+                total_backoff_ms += backoff_ms;
+                outcomes.push(if attempts == 0 {
+                    FrameOutcome::Ok
+                } else {
+                    FrameOutcome::Retried { attempts }
+                });
+                flush_pending(
+                    &mut pending,
+                    last_good.as_ref(),
+                    Some((k, img.as_ref())),
+                    &policy,
+                    &mut outcomes,
+                    &mut emit,
+                );
+                emit(k, img.as_ref());
+                last_good = Some((k, *img));
+            }
+            Resolved::Bad { fault, backoff_ms } => {
+                total_backoff_ms += backoff_ms;
+                if matches!(fault, SourceError::Transient { .. }) {
+                    total_retries += policy.max_retries as u64;
+                }
+                if first_fault.is_none() {
+                    first_fault = Some(fault.clone());
+                }
+                outcomes.push(if policy.on_corrupt == CorruptAction::Fail {
+                    FrameOutcome::Failed {
+                        fault: fault.clone(),
+                    }
+                } else {
+                    // Placeholder; rewritten to Repaired at flush time
+                    // under a Repair policy, kept as-is under Skip.
+                    FrameOutcome::Skipped {
+                        fault: fault.clone(),
+                    }
+                });
+                if policy.on_corrupt == CorruptAction::Fail {
+                    return Err(IngestError {
+                        error: fault,
+                        health: health(outcomes, total_retries, total_backoff_ms),
+                    });
+                }
+                pending.push((k, fault));
+            }
+            Resolved::Fatal { fault } => {
+                outcomes.push(FrameOutcome::Failed {
+                    fault: fault.clone(),
+                });
+                return Err(IngestError {
+                    error: fault,
+                    health: health(outcomes, total_retries, total_backoff_ms),
+                });
+            }
+        }
+    }
+
+    if last_good.is_none() {
+        // Every frame was unrecoverable; nothing to repair from. The first
+        // fault in frame order matches the batch abort.
+        let error = first_fault.unwrap_or(SourceError::Permanent {
+            frame: 0,
+            reason: "no healthy frame".into(),
+        });
+        return Err(IngestError {
+            error,
+            health: health(outcomes, total_retries, total_backoff_ms),
+        });
+    }
+    // Trailing bad run: only a previous healthy neighbor exists.
+    flush_pending(
+        &mut pending,
+        last_good.as_ref(),
+        None,
+        &policy,
+        &mut outcomes,
+        &mut emit,
+    );
+
+    Ok(health(outcomes, total_retries, total_backoff_ms))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -866,5 +1060,109 @@ mod tests {
         let rs = RecoveringSource::new(src, RecoveryPolicy::default());
         let r = rs.ingest().unwrap();
         assert_eq!(r.health().num_retried(), 1);
+    }
+
+    /// Runs the streaming ingester and collects what it emitted.
+    fn stream_collect(
+        src: &Scripted,
+        policy: RecoveryPolicy,
+    ) -> (
+        Vec<(usize, ImageBuffer)>,
+        Result<FrameHealthReport, IngestError>,
+    ) {
+        let mut emitted = Vec::new();
+        let res = stream_with_recovery(src, policy, |k, img| emitted.push((k, img.clone())));
+        (emitted, res)
+    }
+
+    /// Exhaustive batch/stream equivalence: every 4-frame plan over four
+    /// fault kinds, under four policies. On success the emitted rasters
+    /// and health report must be byte-identical to the materialized batch;
+    /// on failure the abort fault must match and the streamed health must
+    /// be a prefix-consistent log.
+    #[test]
+    fn stream_matches_batch_over_all_small_plans() {
+        let kinds = [Plan::Ok, Plan::Transient(1), Plan::Corrupt, Plan::Missing];
+        let policies = [
+            RecoveryPolicy::default(),
+            RecoveryPolicy {
+                repair: RepairMethod::TemporalBlend,
+                ..RecoveryPolicy::default()
+            },
+            RecoveryPolicy {
+                on_corrupt: CorruptAction::Skip,
+                ..RecoveryPolicy::default()
+            },
+            RecoveryPolicy {
+                on_corrupt: CorruptAction::Fail,
+                ..RecoveryPolicy::default()
+            },
+        ];
+        let mut successes = 0usize;
+        let mut failures = 0usize;
+        for plan_id in 0..kinds.len().pow(4) {
+            let plan: Vec<Plan> = (0..4).map(|i| kinds[(plan_id >> (2 * i)) & 3]).collect();
+            for policy in policies {
+                let src = Scripted::new(plan.clone());
+                let batch = ingest_with_recovery(&src, policy);
+                let (emitted, streamed) = stream_collect(&src, policy);
+                match (batch, streamed) {
+                    (Ok(recovered), Ok(health)) => {
+                        successes += 1;
+                        assert_eq!(health, *recovered.health(), "health for plan {plan:?}");
+                        assert_eq!(emitted.len(), 4, "one emission per frame");
+                        for (i, (k, img)) in emitted.iter().enumerate() {
+                            assert_eq!(*k, i, "ascending frame order");
+                            assert_eq!(
+                                *img,
+                                recovered.video().frame(*k),
+                                "raster {k} for plan {plan:?} under {policy:?}"
+                            );
+                        }
+                    }
+                    (Err(be), Err(se)) => {
+                        failures += 1;
+                        assert_eq!(se.error, be.error, "abort fault for plan {plan:?}");
+                        assert!(se.health.num_frames() <= be.health.num_frames());
+                    }
+                    (b, s) => panic!(
+                        "batch/stream verdict mismatch for plan {plan:?} under {policy:?}: \
+                         batch ok={}, stream ok={}",
+                        b.is_ok(),
+                        s.is_ok()
+                    ),
+                }
+            }
+        }
+        assert!(successes > 0 && failures > 0, "matrix must cover both paths");
+    }
+
+    #[test]
+    fn stream_permanent_fault_aborts_with_prefix_health() {
+        let src = Scripted::new(vec![Plan::Ok, Plan::Permanent, Plan::Ok]);
+        let (emitted, res) = stream_collect(&src, RecoveryPolicy::default());
+        let err = res.unwrap_err();
+        assert!(matches!(err.error, SourceError::Permanent { frame: 1, .. }));
+        // Frame 0 was already delivered before the abort.
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(err.health.num_frames(), 2);
+    }
+
+    #[test]
+    fn stream_empty_source_aborts() {
+        let src = Scripted::new(vec![]);
+        let (emitted, res) = stream_collect(&src, RecoveryPolicy::default());
+        assert!(emitted.is_empty());
+        assert!(matches!(res.unwrap_err().error, SourceError::Permanent { .. }));
+    }
+
+    #[test]
+    fn stream_trailing_bad_run_repairs_from_last_good() {
+        let src = Scripted::new(vec![Plan::Ok, Plan::Missing, Plan::Corrupt]);
+        let (emitted, res) = stream_collect(&src, RecoveryPolicy::default());
+        let health = res.unwrap();
+        assert_eq!(health.num_repaired(), 2);
+        assert_eq!(emitted[1].1, raster(0));
+        assert_eq!(emitted[2].1, raster(0));
     }
 }

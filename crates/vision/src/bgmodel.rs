@@ -27,7 +27,12 @@ impl Default for BackgroundConfig {
 
 /// Uniformly samples up to `max_samples` frame indices from `[start, end]`.
 /// Callers validate `start <= end`.
-fn sample_indices(start: usize, end: usize, max_samples: usize) -> Vec<usize> {
+///
+/// Public because the streaming renderer plans which source frames each
+/// segment's [`median_background`] will touch: with no exclusions the
+/// median reads exactly these indices (`sample_from` over the full range
+/// reduces to this spacing), so a forward sweep can retain just them.
+pub fn sample_indices(start: usize, end: usize, max_samples: usize) -> Vec<usize> {
     debug_assert!(end >= start);
     let n = end - start + 1;
     let take = max_samples.max(1).min(n);

@@ -171,6 +171,103 @@ pub fn segment_histograms(
     Ok(KeyFrameResult { segments })
 }
 
+/// The open segment an [`OnlineSegmenter`] is accumulating.
+struct OpenSegment {
+    members: Vec<usize>,
+    /// Running-mean histogram of the members (Algorithm 2's segment
+    /// representative).
+    seg_hist: HsvHistogram,
+    key_frame: usize,
+    key_entropy: f64,
+}
+
+impl OpenSegment {
+    fn open(k: usize, hist: &HsvHistogram, weights: HsvWeights) -> Self {
+        Self {
+            members: vec![k],
+            seg_hist: hist.clone(),
+            key_frame: k,
+            key_entropy: hist.entropy(weights),
+        }
+    }
+
+    fn close(self) -> Segment {
+        Segment {
+            frames: self.members,
+            key_frame: self.key_frame,
+        }
+    }
+}
+
+/// Incremental Algorithm 2: feed sampled-frame histograms one at a time and
+/// receive each segment the moment it closes, without retaining per-frame
+/// histograms. This is the segment-close stage of the streaming engine.
+///
+/// Produces *exactly* the segments of [`segment_histograms`] on the same
+/// `(frames, histograms)` sequence: the similarity test runs against the
+/// identical running-mean histogram (`merge_mean` in the identical order),
+/// and the key frame is the running maximum of the members' entropies with
+/// ties resolved to the **latest** member — the same winner `max_by`
+/// returns in the batch path, which keeps the last of equal maxima. The
+/// equivalence is asserted by tests here and, end to end, by the
+/// batch/stream conformance harness in `tests/stream_identity.rs`.
+#[derive(Debug)]
+pub struct OnlineSegmenter {
+    config: KeyFrameConfig,
+    current: Option<OpenSegment>,
+}
+
+impl std::fmt::Debug for OpenSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenSegment")
+            .field("members", &self.members.len())
+            .field("key_frame", &self.key_frame)
+            .finish()
+    }
+}
+
+impl OnlineSegmenter {
+    pub fn new(config: KeyFrameConfig) -> Self {
+        Self {
+            config,
+            current: None,
+        }
+    }
+
+    /// Feeds the histogram of sampled frame `k` (callers feed sampled
+    /// frames in ascending order, exactly the sequence the batch path
+    /// would). Returns the previous segment if this frame opened a new
+    /// one — i.e. its similarity to the running segment fell below `τ`.
+    pub fn push(&mut self, k: usize, hist: &HsvHistogram) -> Option<Segment> {
+        let w = self.config.weights;
+        let Some(seg) = self.current.as_mut() else {
+            self.current = Some(OpenSegment::open(k, hist, w));
+            return None;
+        };
+        let sim = hist.similarity(&seg.seg_hist, w);
+        if sim >= self.config.tau {
+            seg.seg_hist.merge_mean(hist, seg.members.len());
+            seg.members.push(k);
+            let entropy = hist.entropy(w);
+            // `>=` so the latest of equal maxima wins, like batch `max_by`.
+            if entropy >= seg.key_entropy {
+                seg.key_entropy = entropy;
+                seg.key_frame = k;
+            }
+            None
+        } else {
+            let closed = self.current.replace(OpenSegment::open(k, hist, w));
+            closed.map(OpenSegment::close)
+        }
+    }
+
+    /// Closes and returns the final open segment; `None` when nothing was
+    /// ever pushed.
+    pub fn finish(self) -> Option<Segment> {
+        self.current.map(OpenSegment::close)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +360,52 @@ mod tests {
         assert_eq!(r.segment_of(2), Some(0));
         assert_eq!(r.segment_of(7), Some(1));
         assert_eq!(r.segment_of(99), None);
+    }
+
+    /// Feeds the same sampled histograms to the batch and online paths and
+    /// requires identical segmentation, across tau values that produce one
+    /// segment, several, and one-per-frame.
+    #[test]
+    fn online_segmenter_matches_batch_exactly() {
+        // Drifting colors with a hard cut and a few plateaus (plateaus
+        // exercise the equal-entropy tie rule).
+        let mut colors: Vec<Rgb> = (0..24).map(|k| Rgb::new(100 + 4 * k as u8, 90, 160)).collect();
+        colors.extend(std::iter::repeat(Rgb::new(30, 200, 40)).take(8));
+        colors.extend((0..10).map(|k| Rgb::new(30, 200 - 10 * k as u8, 40)));
+        let v = flat_video(&colors);
+        for (tau, stride) in [(0.5, 1), (0.94, 1), (0.999, 1), (0.94, 3)] {
+            let mut cfg = KeyFrameConfig::default();
+            cfg.tau = tau;
+            cfg.stride = stride;
+            let batch = extract_key_frames(&v, &cfg).unwrap();
+
+            let mut online = OnlineSegmenter::new(cfg);
+            let mut segments = Vec::new();
+            for k in (0..colors.len()).step_by(stride) {
+                let hist = HsvHistogram::of(&v.frame(k), cfg.bins);
+                if let Some(closed) = online.push(k, &hist) {
+                    segments.push(closed);
+                }
+            }
+            segments.extend(online.finish());
+            assert_eq!(
+                KeyFrameResult { segments },
+                batch,
+                "online/batch segmentation diverged at tau={tau} stride={stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn online_segmenter_empty_and_single() {
+        let cfg = KeyFrameConfig::default();
+        assert_eq!(OnlineSegmenter::new(cfg).finish(), None);
+        let v = flat_video(&[Rgb::new(9, 9, 9)]);
+        let mut online = OnlineSegmenter::new(cfg);
+        assert_eq!(online.push(0, &HsvHistogram::of(&v.frame(0), cfg.bins)), None);
+        let seg = online.finish().unwrap();
+        assert_eq!(seg.frames, vec![0]);
+        assert_eq!(seg.key_frame, 0);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod keyframe;
 pub mod simd;
 pub mod track;
 
-pub use bgmodel::{median_background, segment_backgrounds, BackgroundConfig};
+pub use bgmodel::{median_background, sample_indices, segment_backgrounds, BackgroundConfig};
 pub use detect::{detect, detect_all, mean_luma, DetectScratch, Detection, DetectorConfig};
 pub use error::VisionError;
 pub use histogram::{
@@ -32,5 +32,8 @@ pub use histogram::{
 };
 pub use inpaint::{inpaint, InpaintConfig, InpaintMethod, Mask};
 pub use interp::{extrapolate_to_border, interpolate, InterpMethod};
-pub use keyframe::{extract_key_frames, KeyFrameConfig, KeyFrameResult, Segment};
+pub use keyframe::{
+    extract_key_frames, segment_histograms, KeyFrameConfig, KeyFrameResult, OnlineSegmenter,
+    Segment,
+};
 pub use track::{SortTracker, TrackerConfig};

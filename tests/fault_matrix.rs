@@ -17,7 +17,7 @@
 //! with it ε = ℓ*·ln((2−f)/f) — cannot move.
 
 use verro_core::config::{BackgroundMode, OptimizerStrategy, VerroConfig};
-use verro_core::{Verro, VerroError};
+use verro_core::{StreamOptions, Verro, VerroError};
 use verro_video::annotations::VideoAnnotations;
 use verro_video::fault::{FaultSchedule, FaultySource};
 use verro_video::geometry::{BBox, Size};
@@ -253,6 +253,87 @@ fn owner_annotations_phase1_transcript_is_fault_invariant() {
     assert!(
         non_exhausted >= 8,
         "sweep is vacuous, only {non_exhausted} completed"
+    );
+}
+
+/// The streaming entry point under the same fault matrix: for every
+/// schedule, `sanitize_streaming_fallible` either succeeds with a
+/// [`PrivacyStatement`] byte-identical to the fault-free batch run — so
+/// ε is invariant to faults *and* to the batch/stream split at once — or
+/// fails with the typed `SourceExhausted`. Successful schedules are also
+/// cross-checked against batch `sanitize_fallible` for identical health.
+#[test]
+fn streaming_privacy_is_schedule_invariant_byte_for_byte() {
+    let video = cut_scene();
+    let verro = Verro::new(matrix_config()).expect("valid config");
+
+    // Owner-supplied full-span objects, as in the Phase I transcript test.
+    let mut annotations = VideoAnnotations::new(FRAMES);
+    for k in 0..FRAMES {
+        annotations.record(
+            ObjectId(1),
+            ObjectClass::Pedestrian,
+            k,
+            BBox::new(6.0, 6.0, 8.0, 8.0),
+        );
+        annotations.record(
+            ObjectId(2),
+            ObjectClass::Pedestrian,
+            k,
+            BBox::new(30.0, 22.0, 8.0, 8.0),
+        );
+    }
+
+    let clean = verro.sanitize(&video, &annotations).expect("clean run");
+    let baseline_bytes = serde_json::to_string(&clean.privacy).expect("serialize");
+
+    let mut succeeded = 0usize;
+    let mut exhausted = 0usize;
+    for i in 0..16 {
+        let schedule = schedule_for(i);
+        let policy = policy_for(i);
+        let src = FaultySource::new(video.clone(), schedule);
+        let mut delivered = 0usize;
+        let stream = verro.sanitize_streaming_fallible(
+            &src,
+            &annotations,
+            policy,
+            &StreamOptions::default(),
+            |_, _| delivered += 1,
+        );
+        match stream {
+            Ok(out) => {
+                succeeded += 1;
+                assert_eq!(delivered, FRAMES, "schedule {i}: sink missed frames");
+                let bytes = serde_json::to_string(&out.privacy).expect("serialize");
+                assert_eq!(
+                    bytes, baseline_bytes,
+                    "schedule {i}: streaming privacy statement drifted from the \
+                     fault-free batch run"
+                );
+                let batch = verro
+                    .sanitize_fallible(&src, &annotations, policy)
+                    .expect("batch must agree with streaming on success");
+                assert_eq!(
+                    out.health, batch.health,
+                    "schedule {i}: streaming health diverged from batch"
+                );
+            }
+            Err(VerroError::SourceExhausted { error, health }) => {
+                exhausted += 1;
+                assert!(
+                    !error.is_retryable(),
+                    "schedule {i}: exhaustion must be caused by a non-retryable \
+                     fault under the default retry budget, got {error}"
+                );
+                assert!(health.num_frames() <= FRAMES);
+            }
+            Err(other) => panic!("schedule {i}: unexpected error {other}"),
+        }
+    }
+    assert!(
+        succeeded >= 8,
+        "streaming matrix is vacuous: only {succeeded} completed ({exhausted} exhausted)"
     );
 }
 

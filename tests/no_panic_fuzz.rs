@@ -1,8 +1,10 @@
 //! Adversarial never-panic certification of the public sanitizer API.
 //!
 //! Every entry point of [`Verro`] — `sanitize`, `sanitize_per_class`,
-//! `sanitize_with_tracking`, and the fallible `sanitize_fallible` (behind a
-//! hostile [`FaultySource`]) — is driven with hostile inputs: annotations
+//! `sanitize_with_tracking`, the fallible `sanitize_fallible` (behind a
+//! hostile [`FaultySource`]), and the streaming
+//! `sanitize_streaming_fallible` (which additionally must never *hang*, so
+//! it runs under a watchdog) — is driven with hostile inputs: annotations
 //! whose frame count disagrees with the video, out-of-frame and zero-area
 //! boxes, duplicate and sparse object IDs, and type-valid but semantically
 //! degenerate configurations (flip probabilities outside `(0, 1]`, zero
@@ -19,7 +21,7 @@ use proptest::prelude::*;
 use verro_core::config::{BackgroundMode, NoiseLevel, OptimizerStrategy, VerroConfig};
 use verro_core::error::VerroError;
 use verro_core::optimize::ObjectiveForm;
-use verro_core::Verro;
+use verro_core::{StreamOptions, Verro};
 use verro_video::annotations::VideoAnnotations;
 use verro_video::fault::{FaultSchedule, FaultySource};
 use verro_video::geometry::{BBox, Size};
@@ -344,6 +346,69 @@ proptest! {
                     prop_assert!(health.num_frames() <= video_frames);
                 }
                 Err(_) => {}
+            }
+        }
+    }
+}
+
+proptest! {
+    // Fewer cases than the batch targets: each case runs the two-sweep
+    // streaming engine (and possibly its backoff sleeps) twice over.
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The streaming entry point never panics *or hangs*: hostile sources
+    /// (zero frames, mid-stream exhaustion through permanent faults,
+    /// transient runs mid-segment), mismatched annotations, degenerate
+    /// chunk/channel options (zero and absurdly large), and starved or
+    /// zero memory budgets must all land on `Ok` or a typed error before
+    /// the watchdog fires. The stage graph runs on its own thread so a
+    /// deadlocked channel cycle surfaces as a test failure, not a stuck
+    /// suite.
+    #[test]
+    fn sanitize_streaming_never_panics(
+        cfg in arb_config(),
+        budget in prop_oneof![
+            Just(0usize),
+            1usize..100_000,
+            1_000_000usize..10_000_000,
+            Just(usize::MAX),
+        ],
+        video_frames in 0usize..12,
+        ann_frames in 0usize..14,
+        objects in arb_objects(),
+        video_seed in any::<u64>(),
+        schedule in arb_schedule(),
+        policy in arb_policy(),
+        chunk_size in prop_oneof![0usize..40, Just(usize::MAX)],
+        channel_slots in 0usize..6,
+    ) {
+        let mut cfg = cfg;
+        cfg.stream_memory_budget = budget;
+        if let Ok(verro) = Verro::new(cfg) {
+            let (done_tx, done_rx) = std::sync::mpsc::channel();
+            std::thread::spawn(move || {
+                let video = make_video(video_frames, video_seed);
+                let ann = build_annotations(ann_frames, &objects);
+                let src = FaultySource::new(video, schedule);
+                let options = StreamOptions { chunk_size, channel_slots };
+                let result =
+                    verro.sanitize_streaming_fallible(&src, &ann, policy, &options, |_, _| {});
+                let _ = done_tx.send(result.map(|_| ()).map_err(Box::new));
+            });
+            match done_rx.recv_timeout(std::time::Duration::from_secs(120)) {
+                Ok(Err(err)) => {
+                    if let VerroError::SourceExhausted { error, health } = *err {
+                        prop_assert!(error.frame() <= video_frames);
+                        prop_assert!(health.num_frames() <= video_frames);
+                    }
+                }
+                Ok(Ok(())) => {}
+                // A dead sender without a value means the engine panicked;
+                // a timeout means it hung. Both violate the contract.
+                Err(_) => prop_assert!(
+                    false,
+                    "streaming engine panicked or hung (watchdog fired)"
+                ),
             }
         }
     }

@@ -1,0 +1,305 @@
+//! Batch/stream conformance certification: the streaming stage graph of
+//! `verro_core::stream` must publish exactly the bytes the batch pipeline
+//! publishes — every rendered `V*` frame as encoded PPM bytes and the
+//! serialized [`PrivacyStatement`] — for the three MOT presets of Table 1,
+//! across every knob that only reschedules work: ingest chunk size (one
+//! histogram per message, a mid-sized batch, the whole video in one
+//! message), channel capacity, rayon thread count, kernel mode, and — for
+//! the fallible entry point — deterministic fault schedules with retrying
+//! and degrading recovery policies.
+//!
+//! The presets are trimmed (short clip, small raster, fewer objects) so the
+//! sweep stays tier-1 fast while keeping each preset's distinguishing
+//! structure: scene theme, camera motion, frame rate, and lighting drift
+//! all come straight from [`MotPreset::spec`]. The full-scale run is the
+//! `#[ignore]`d smoke at the bottom, exercised by the release perf job.
+
+use verro_core::config::BackgroundMode;
+use verro_core::{StreamOptions, Verro, VerroConfig};
+use verro_video::fault::{FaultSchedule, FaultySource};
+use verro_video::generator::{GeneratedVideo, MotPreset};
+use verro_video::recover::{CorruptAction, RecoveryPolicy};
+use verro_video::source::{FrameSource, InMemoryVideo};
+
+const SEEDS: [u64; 2] = [7, 41];
+
+/// A Table 1 preset trimmed for tier-1: the same scene, camera, frame rate,
+/// and lighting drift as the full preset, at a small raster and short clip.
+fn preset_video(preset: MotPreset, seed: u64) -> GeneratedVideo {
+    let mut spec = preset.spec(0.05, seed);
+    spec.num_frames = 48;
+    spec.num_objects = spec.num_objects.min(9);
+    spec.min_lifetime = spec.min_lifetime.min(12);
+    spec.max_lifetime = spec.max_lifetime.min(44);
+    GeneratedVideo::generate(spec)
+}
+
+/// Harness configuration: temporal-median backgrounds keep each run cheap,
+/// stride 2 exercises the sampled-histogram path (display frames between
+/// samples), and a sub-unity tau produces several segments per clip.
+fn harness_config(seed: u64) -> VerroConfig {
+    let mut cfg = VerroConfig::default().with_flip(0.2).with_seed(seed);
+    cfg.background = BackgroundMode::TemporalMedian;
+    cfg.keyframe.tau = 0.94;
+    cfg.keyframe.stride = 2;
+    cfg.optimizer_noise_epsilon = None;
+    cfg
+}
+
+/// The byte-level fingerprint of a release: every rendered `V*` frame as
+/// encoded PPM bytes plus the serialized privacy statement.
+type Fingerprint = (Vec<Vec<u8>>, String);
+
+fn batch_fingerprint(video: &GeneratedVideo, cfg: &VerroConfig) -> Fingerprint {
+    let verro = Verro::new(cfg.clone()).expect("valid config");
+    let result = verro
+        .sanitize(video, video.annotations())
+        .expect("batch sanitize succeeds");
+    let frames = result
+        .video
+        .render_all()
+        .iter()
+        .map(|f| f.to_ppm())
+        .collect();
+    let privacy = serde_json::to_string(&result.privacy).expect("privacy serializes");
+    (frames, privacy)
+}
+
+fn stream_fingerprint(
+    video: &GeneratedVideo,
+    cfg: &VerroConfig,
+    options: &StreamOptions,
+) -> Fingerprint {
+    let verro = Verro::new(cfg.clone()).expect("valid config");
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    let out = verro
+        .sanitize_streaming(video, video.annotations(), options, |k, img| {
+            assert_eq!(k, frames.len(), "sink frames out of order");
+            frames.push(img.to_ppm());
+        })
+        .expect("streaming sanitize succeeds");
+    assert_eq!(frames.len(), FrameSource::num_frames(video));
+    assert_eq!(out.stats.frames, frames.len());
+    let privacy = serde_json::to_string(&out.privacy).expect("privacy serializes");
+    (frames, privacy)
+}
+
+/// The ISSUE's chunk-size sweep: one sampled histogram per message, a
+/// mid-sized batch on the order of a segment, and the whole video in a
+/// single message — each paired with a different channel capacity.
+fn chunkings(num_frames: usize) -> [StreamOptions; 3] {
+    [
+        StreamOptions {
+            chunk_size: 1,
+            channel_slots: 1,
+        },
+        StreamOptions {
+            chunk_size: 8,
+            channel_slots: 2,
+        },
+        StreamOptions {
+            chunk_size: num_frames,
+            channel_slots: 4,
+        },
+    ]
+}
+
+fn assert_preset_conformance(preset: MotPreset) {
+    for seed in SEEDS {
+        let video = preset_video(preset, 11 + seed);
+        let cfg = harness_config(seed);
+        let batch = batch_fingerprint(&video, &cfg);
+        for options in chunkings(FrameSource::num_frames(&video)) {
+            let stream = stream_fingerprint(&video, &cfg, &options);
+            assert_eq!(
+                batch, stream,
+                "{preset:?} seed {seed} {options:?}: release bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn mot01_streaming_matches_batch_across_chunkings() {
+    assert_preset_conformance(MotPreset::Mot01);
+}
+
+#[test]
+fn mot03_streaming_matches_batch_across_chunkings() {
+    assert_preset_conformance(MotPreset::Mot03);
+}
+
+#[test]
+fn mot06_streaming_matches_batch_across_chunkings() {
+    assert_preset_conformance(MotPreset::Mot06);
+}
+
+/// Streaming under a single-thread rayon pool reproduces the default pool
+/// (and the batch release) byte for byte: every parallel stage the engine
+/// reuses collects in index order from pure per-item functions.
+#[test]
+fn thread_counts_are_byte_identical() {
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool builds");
+    let video = preset_video(MotPreset::Mot01, 5);
+    let cfg = harness_config(SEEDS[0]);
+    let options = StreamOptions::default();
+    let default_fp = stream_fingerprint(&video, &cfg, &options);
+    let single_fp = single.install(|| stream_fingerprint(&video, &cfg, &options));
+    assert_eq!(
+        default_fp, single_fp,
+        "streaming release depends on thread count"
+    );
+    assert_eq!(
+        default_fp,
+        batch_fingerprint(&video, &cfg),
+        "streaming release diverged from batch"
+    );
+}
+
+/// `--kernels scalar` and `--kernels simd` publish the same streamed bytes:
+/// kernel selection is pure scheduling for the streaming graph exactly as
+/// it is for batch (every SIMD kernel is certified bit-identical to its
+/// scalar reference).
+#[test]
+fn kernel_modes_are_byte_identical() {
+    use verro_core::KernelMode;
+
+    let video = preset_video(MotPreset::Mot06, 5);
+    let cfg = harness_config(SEEDS[1]);
+    let options = StreamOptions::default();
+    KernelMode::Scalar.apply();
+    let scalar_batch = batch_fingerprint(&video, &cfg);
+    let scalar_stream = stream_fingerprint(&video, &cfg, &options);
+    KernelMode::Simd.apply();
+    let simd_stream = stream_fingerprint(&video, &cfg, &options);
+    verro_vision::simd::set_kernel_override(None);
+    verro_ldp::simd::set_kernel_override(None);
+    assert_eq!(
+        scalar_stream, scalar_batch,
+        "scalar streaming diverged from batch"
+    );
+    assert_eq!(
+        simd_stream, scalar_batch,
+        "simd streaming diverged from the scalar release"
+    );
+}
+
+/// Deterministic fault schedule `i` for the fallible sweep: rates step
+/// through the mixed bands, and one schedule adds permanent faults so the
+/// failing path is exercised too.
+fn schedule_for(i: u64) -> FaultSchedule {
+    let mut schedule = FaultSchedule::mixed(0x57e4_0000 + i, (i % 8) as f64 * 0.06);
+    if i == 7 {
+        schedule.permanent_rate = 0.05;
+    }
+    schedule
+}
+
+/// Alternating recovery policies (repairing vs skipping corrupt frames),
+/// with backoff zeroed so retries do not sleep in the test.
+fn policy_for(i: u64) -> RecoveryPolicy {
+    RecoveryPolicy {
+        backoff_base_ms: 0,
+        backoff_cap_ms: 0,
+        on_corrupt: if i % 2 == 1 {
+            CorruptAction::Skip
+        } else {
+            CorruptAction::Repair
+        },
+        ..RecoveryPolicy::default()
+    }
+}
+
+/// The fallible streaming entry point agrees with batch `sanitize_fallible`
+/// on every schedule: byte-identical frames, privacy statement, and health
+/// report on success, and the same typed error class on failure.
+#[test]
+fn fault_schedules_are_byte_identical_to_batch_fallible() {
+    let gen = preset_video(MotPreset::Mot01, 9);
+    let video = InMemoryVideo::collect_from(&gen);
+    let ann = gen.annotations();
+    let verro = Verro::new(harness_config(13)).expect("valid config");
+    let mut succeeded = 0usize;
+    for i in 0..10u64 {
+        let faulty = FaultySource::new(video.clone(), schedule_for(i));
+        let policy = policy_for(i);
+        let batch = verro.sanitize_fallible(&faulty, ann, policy);
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let stream = verro.sanitize_streaming_fallible(
+            &faulty,
+            ann,
+            policy,
+            &StreamOptions::default(),
+            |_, img| frames.push(img.to_ppm()),
+        );
+        match (batch, stream) {
+            (Ok(b), Ok(s)) => {
+                succeeded += 1;
+                let batch_frames: Vec<Vec<u8>> =
+                    b.video.render_all().iter().map(|f| f.to_ppm()).collect();
+                assert_eq!(frames, batch_frames, "schedule {i}: frames diverged");
+                assert_eq!(
+                    serde_json::to_string(&s.privacy).expect("privacy serializes"),
+                    serde_json::to_string(&b.privacy).expect("privacy serializes"),
+                    "schedule {i}: privacy statement diverged"
+                );
+                assert_eq!(s.health, b.health, "schedule {i}: health diverged");
+            }
+            (Err(be), Err(se)) => {
+                assert_eq!(
+                    std::mem::discriminant(&be),
+                    std::mem::discriminant(&se),
+                    "schedule {i}: batch failed with {be:?} but streaming with {se:?}"
+                );
+            }
+            (batch, stream) => panic!(
+                "schedule {i}: batch ok={} but streaming ok={}",
+                batch.is_ok(),
+                stream.is_ok()
+            ),
+        }
+    }
+    assert!(
+        succeeded >= 6,
+        "fault sweep too hostile to certify the success path ({succeeded}/10 succeeded)"
+    );
+}
+
+/// Full-scale smoke for the release perf job: MOT01 at the evaluation
+/// scale streamed end to end under the default ceiling, with the sink
+/// observing every frame in order.
+#[test]
+#[ignore = "full-scale; run in release mode by the CI perf-smoke job"]
+fn full_scale_streaming_smoke() {
+    let video = GeneratedVideo::generate(MotPreset::Mot01.spec(0.25, 20200330));
+    let mut cfg = VerroConfig::default().with_flip(0.2).with_seed(1);
+    cfg.background = BackgroundMode::TemporalMedian;
+    cfg.keyframe.tau = 0.94;
+    cfg.keyframe.stride = 4;
+    cfg.optimizer_noise_epsilon = None;
+    let budget = cfg.stream_memory_budget;
+    let verro = Verro::new(cfg).expect("valid config");
+    let mut delivered = 0usize;
+    let out = verro
+        .sanitize_streaming(
+            &video,
+            video.annotations(),
+            &StreamOptions::default(),
+            |k, _| {
+                assert_eq!(k, delivered, "sink frames out of order");
+                delivered += 1;
+            },
+        )
+        .expect("full-scale streaming succeeds");
+    assert_eq!(delivered, 450);
+    assert!(!out.health.is_degraded());
+    assert!(
+        out.stats.peak_raster_bytes + out.stats.cache.peak_bytes <= budget,
+        "peak {} + cache {} exceeded budget {budget}",
+        out.stats.peak_raster_bytes,
+        out.stats.cache.peak_bytes
+    );
+}

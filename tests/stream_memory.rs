@@ -1,0 +1,140 @@
+//! Memory-ceiling and liveness certification of the streaming stage graph.
+//!
+//! Two properties from DESIGN.md §12 are on trial here. First, the hard
+//! working-set ceiling: with a deliberately *slow* sink — the worst case
+//! for a producer/consumer graph, since rendered frames pile up against the
+//! bounded render channel — the gauge's high-water mark of resident raster
+//! bytes plus the decoded-frame cache's high-water mark must stay at or
+//! under `stream_memory_budget`. Backpressure, not buffering, absorbs the
+//! rate mismatch. Second, deadlock freedom: the graph must complete with
+//! every channel squeezed to one slot and the budget at its floor (a single
+//! render slot, zero cache), certified under a watchdog so a cycle would
+//! fail the test instead of hanging the suite.
+
+use std::sync::mpsc;
+use std::time::Duration;
+use verro_core::config::BackgroundMode;
+use verro_core::{StreamBudget, StreamOptions, Verro, VerroConfig};
+use verro_video::camera::Camera;
+use verro_video::generator::{GeneratedVideo, VideoSpec};
+use verro_video::geometry::Size;
+use verro_video::object::ObjectClass;
+use verro_video::scene::SceneKind;
+use verro_video::source::FrameSource;
+
+const SIZE: Size = Size::new(96, 72);
+
+fn workload() -> GeneratedVideo {
+    GeneratedVideo::generate(VideoSpec {
+        name: "stream-memory".into(),
+        nominal_size: SIZE,
+        raster_scale: 1.0,
+        num_frames: 40,
+        num_objects: 5,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed: 3,
+        min_lifetime: 10,
+        max_lifetime: 34,
+        lifetime_mix: None,
+        lighting_drift: 0.15,
+        lighting_period: 8.0,
+    })
+}
+
+fn config(budget: usize) -> VerroConfig {
+    let mut cfg = VerroConfig::default()
+        .with_flip(0.1)
+        .with_seed(7)
+        .with_stream_budget(budget);
+    cfg.background = BackgroundMode::TemporalMedian;
+    cfg.keyframe.tau = 0.96;
+    cfg.optimizer_noise_epsilon = None;
+    cfg
+}
+
+/// The fixed slot reservation (`background_samples` + stage overhead) as
+/// the planner computes it, read off a plan under an unconstrained budget
+/// so the tests track the planner instead of hardcoding its constants.
+fn fixed_slots() -> usize {
+    StreamBudget::plan(SIZE, &config(usize::MAX))
+        .expect("unconstrained budget plans")
+        .fixed_slots
+}
+
+fn frame_bytes() -> usize {
+    (SIZE.area() as usize) * 3
+}
+
+/// A sink that drains far slower than the render stage produces must not
+/// push the resident working set past the configured ceiling: the bounded
+/// render channel blocks the producer instead.
+#[test]
+fn slow_consumer_stays_under_the_ceiling() {
+    let video = workload();
+    // Tight but feasible: the fixed window plus a few render/cache slots.
+    let budget = (fixed_slots() + 4) * frame_bytes();
+    let cfg = config(budget);
+    let verro = Verro::new(cfg).expect("valid config");
+    let mut delivered = 0usize;
+    let out = verro
+        .sanitize_streaming(
+            &video,
+            video.annotations(),
+            &StreamOptions::default(),
+            |k, _| {
+                assert_eq!(k, delivered, "sink frames out of order");
+                delivered += 1;
+                // The slow consumer: every frame dwells at the sink.
+                std::thread::sleep(Duration::from_millis(2));
+            },
+        )
+        .expect("streaming succeeds under a slow sink");
+    assert_eq!(delivered, FrameSource::num_frames(&video));
+    assert!(out.stats.peak_raster_bytes > 0, "gauge never charged");
+    assert!(
+        out.stats.peak_raster_bytes + out.stats.cache.peak_bytes <= budget,
+        "slow sink pushed peak {} + cache {} past the {budget}-byte ceiling",
+        out.stats.peak_raster_bytes,
+        out.stats.cache.peak_bytes
+    );
+}
+
+/// The stage graph completes with every capacity at its minimum — 1-slot
+/// ingest channel, chunk size 1, and a floor budget that leaves exactly one
+/// render slot and no cache — under a watchdog, certifying there is no
+/// channel cycle that a minimal configuration could close into a deadlock.
+#[test]
+fn one_slot_channels_do_not_deadlock() {
+    let budget = (fixed_slots() + 1) * frame_bytes();
+    let plan = StreamBudget::plan(SIZE, &config(budget)).expect("floor budget plans");
+    assert_eq!(plan.render_slots, 1, "floor budget should leave one slot");
+    assert_eq!(plan.cache_budget, 0, "floor budget should leave no cache");
+
+    let (done_tx, done_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let video = workload();
+        let verro = Verro::new(config(budget)).expect("valid config");
+        let mut delivered = 0usize;
+        let result = verro.sanitize_streaming(
+            &video,
+            video.annotations(),
+            &StreamOptions {
+                chunk_size: 1,
+                channel_slots: 1,
+            },
+            |_, _| delivered += 1,
+        );
+        let _ = done_tx.send(result.map(|out| (delivered, out.stats.peak_raster_bytes)));
+    });
+    match done_rx.recv_timeout(Duration::from_secs(120)) {
+        Ok(result) => {
+            let (delivered, peak) = result.expect("floor-budget streaming succeeds");
+            assert_eq!(delivered, 40);
+            assert!(peak <= budget, "peak {peak} exceeded floor budget {budget}");
+        }
+        Err(_) => panic!("streaming deadlocked with 1-slot channels (watchdog fired)"),
+    }
+}
