@@ -11,6 +11,9 @@
 //! * [`stats`] — χ²/KS goodness-of-fit for `sample_laplace` and exact
 //!   flip-rate estimation for the Equation 4 randomized response, reusable
 //!   as `#[ignore]`-able statistical tests;
+//! * [`query_audit`] — certification of the `verro-query` analytics layer:
+//!   estimator unbiasedness, CI coverage, and bit-exact ε-ledger
+//!   accounting against the `PrivacyStatement` composition;
 //! * [`fixtures`] — deterministic synthetic videos, configs, and presence
 //!   patterns shared by the root integration tests and the audit itself;
 //! * [`report`] — the machine-readable report `verro audit` emits
@@ -18,10 +21,12 @@
 
 pub mod fixtures;
 pub mod mc;
+pub mod query_audit;
 pub mod report;
 pub mod stats;
 
 pub use mc::{audit_phase1, McOptions};
+pub use query_audit::{run_query_audit, QueryAuditOptions, QueryAuditReport, QueryCheck};
 pub use report::{AuditReport, CheckResult, Interval, McAudit, PairAudit, Verdict};
 
 use verro_core::error::VerroError;

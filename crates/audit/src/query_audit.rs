@@ -1,0 +1,545 @@
+//! Monte-Carlo certification of the `verro-query` analytics layer.
+//!
+//! Where [`crate::mc`] certifies that the *mechanism* stays inside its
+//! claimed ε, this module certifies that the *query engine on top of it*
+//! keeps its two promises:
+//!
+//! 1. **Statistics** — every query type (frame count, object duration,
+//!    class histogram) is unbiased and its confidence intervals cover the
+//!    ground truth at no less than the nominal rate. Each trial runs the
+//!    real Phase I pipeline under a [`crate::mc::derive_seed`]-derived
+//!    seed, packages the release as a [`QueryArtifact`], answers all three
+//!    query types through the real [`QueryEngine`] (ephemeral ledger), and
+//!    compares against that trial's own ground truth
+//!    (`Phase1Output::original`) — no conditioning on a modal picked set
+//!    is needed because truth is recomputed per trial.
+//!    * Unbiasedness: residuals are standardized by the *exact* estimator
+//!      standard deviation (`debias_variance` at the true count), so their
+//!      mean over `N` samples is a z-statistic tested against the normal
+//!      critical value at the configured α.
+//!    * Coverage: the empirical cover rate gets a Clopper–Pearson interval;
+//!      the check fails only if coverage is significantly *below* nominal
+//!      (the engine's continuity correction intentionally over-covers).
+//! 2. **Accounting** — on a persistent ledger, a fresh tenant's full-scope
+//!    query is charged bit-for-bit the `PrivacyStatement` composition
+//!    total; a tenant past the cap gets a typed `BudgetExhausted` with
+//!    nothing recorded; a reopened ledger never re-charges the first-touch
+//!    side channel.
+//!
+//! The report renders through `verro-query`'s self-contained JSON, so a
+//! fixed seed yields byte-identical output.
+
+use crate::fixtures;
+use crate::mc::derive_seed;
+use crate::report::Verdict;
+use crate::stats::clopper_pearson;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use verro_core::config::VerroConfig;
+use verro_core::error::VerroError;
+use verro_core::phase1::run_phase1;
+use verro_core::PrivacyStatement;
+use verro_ldp::estimate::debias_variance;
+use verro_query::json::{obj, JsonValue};
+use verro_query::stats::two_sided_z;
+use verro_query::{LedgerStore, QueryArtifact, QueryEngine, QueryError, QueryScope};
+
+/// Knobs of the query-layer certification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryAuditOptions {
+    /// Number of independent Phase I + query trials.
+    pub trials: usize,
+    /// Nominal confidence of the query answers' intervals.
+    pub confidence: f64,
+    /// Significance level of the certification decisions.
+    pub alpha: f64,
+}
+
+impl Default for QueryAuditOptions {
+    fn default() -> Self {
+        Self {
+            trials: 600,
+            confidence: 0.95,
+            alpha: 0.01,
+        }
+    }
+}
+
+/// One certification check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryCheck {
+    /// Stable machine name, e.g. `"count-unbiased"`.
+    pub name: String,
+    pub verdict: Verdict,
+    /// The test statistic (z-score, empirical coverage, charged ε…).
+    pub statistic: f64,
+    /// What the statistic was compared against.
+    pub threshold: f64,
+    /// Number of samples behind the statistic.
+    pub samples: usize,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// The full query-layer certification report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAuditReport {
+    pub schema_version: u32,
+    pub seed: u64,
+    pub trials: usize,
+    /// Flip probability the audited releases realized.
+    pub flip: f64,
+    /// Nominal CI confidence the engine was asked for.
+    pub confidence: f64,
+    /// The `PrivacyStatement` composition total of the reference release.
+    pub epsilon_statement_total: f64,
+    /// ε the engine charged a fresh tenant for a full-scope query.
+    pub epsilon_charged_full_scope: f64,
+    /// Whether the two ε values above are bit-identical.
+    pub epsilon_exact_match: bool,
+    pub checks: Vec<QueryCheck>,
+    pub all_pass: bool,
+}
+
+impl QueryAuditReport {
+    /// Deterministic pretty JSON via `verro-query`'s own serializer (no
+    /// serde involvement, so the bytes are a pure function of the values).
+    pub fn to_json_pretty(&self) -> String {
+        obj(vec![
+            ("schema_version", JsonValue::Num(self.schema_version as f64)),
+            ("seed", JsonValue::Num(self.seed as f64)),
+            ("trials", JsonValue::Num(self.trials as f64)),
+            ("flip", JsonValue::Num(self.flip)),
+            ("confidence", JsonValue::Num(self.confidence)),
+            (
+                "epsilon_statement_total",
+                JsonValue::Num(self.epsilon_statement_total),
+            ),
+            (
+                "epsilon_charged_full_scope",
+                JsonValue::Num(self.epsilon_charged_full_scope),
+            ),
+            (
+                "epsilon_exact_match",
+                JsonValue::Bool(self.epsilon_exact_match),
+            ),
+            (
+                "checks",
+                JsonValue::Arr(
+                    self.checks
+                        .iter()
+                        .map(|c| {
+                            obj(vec![
+                                ("name", JsonValue::Str(c.name.clone())),
+                                (
+                                    "verdict",
+                                    JsonValue::Str(
+                                        match c.verdict {
+                                            Verdict::Pass => "Pass",
+                                            Verdict::Fail => "Fail",
+                                            Verdict::Skip => "Skip",
+                                        }
+                                        .into(),
+                                    ),
+                                ),
+                                ("statistic", JsonValue::Num(c.statistic)),
+                                ("threshold", JsonValue::Num(c.threshold)),
+                                ("samples", JsonValue::Num(c.samples as f64)),
+                                ("detail", JsonValue::Str(c.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("all_pass", JsonValue::Bool(self.all_pass)),
+        ])
+        .pretty()
+    }
+}
+
+/// Accumulates standardized residuals and CI hits for one query family.
+#[derive(Default)]
+struct FamilyStats {
+    /// Σ of `(estimate − truth) / σ_true`.
+    z_sum: f64,
+    /// Samples behind `z_sum`.
+    z_count: usize,
+    /// CI-covered-truth count.
+    hits: usize,
+    /// Coverage samples.
+    total: usize,
+}
+
+impl FamilyStats {
+    fn push(&mut self, estimate: f64, ci: (f64, f64), truth: f64, sigma: f64) {
+        // σ > 0 always holds for f ∈ (0, 1) and n ≥ 1; guard anyway so a
+        // degenerate release skews nothing silently.
+        if sigma > 0.0 {
+            self.z_sum += (estimate - truth) / sigma;
+            self.z_count += 1;
+        }
+        self.total += 1;
+        if ci.0 <= truth && truth <= ci.1 {
+            self.hits += 1;
+        }
+    }
+
+    /// The unbiasedness and coverage checks for this family.
+    fn checks(&self, family: &str, confidence: f64, alpha: f64) -> Vec<QueryCheck> {
+        let critical = two_sided_z(1.0 - alpha);
+        let z = self.z_sum / (self.z_count as f64).sqrt();
+        let unbiased = QueryCheck {
+            name: format!("{family}-unbiased"),
+            verdict: if z.abs() <= critical {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            statistic: z,
+            threshold: critical,
+            samples: self.z_count,
+            detail: format!(
+                "mean standardized residual of {} samples as a z-score \
+                 (|z| vs the two-sided normal critical value at α = {alpha})",
+                self.z_count
+            ),
+        };
+        let coverage = self.hits as f64 / self.total as f64;
+        let band = clopper_pearson(self.hits, self.total, alpha);
+        let covered = QueryCheck {
+            name: format!("{family}-coverage"),
+            verdict: if band.hi >= confidence {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            statistic: coverage,
+            threshold: confidence,
+            samples: self.total,
+            detail: format!(
+                "empirical CI coverage with Clopper–Pearson band [{:.4}, {:.4}]; \
+                 fails only if significantly below the nominal {confidence}",
+                band.lo, band.hi
+            ),
+        };
+        vec![unbiased, covered]
+    }
+}
+
+/// Runs the statistical + accounting certification of the query layer on
+/// the audit fixture. Everything derives from `seed`; reruns are
+/// byte-identical.
+pub fn run_query_audit(
+    config: &VerroConfig,
+    seed: u64,
+    opts: &QueryAuditOptions,
+) -> Result<QueryAuditReport, VerroError> {
+    assert!(opts.trials > 0, "need at least one trial");
+    let annotations = fixtures::audit_annotations();
+    let key_frames = fixtures::audit_key_frames();
+
+    let mut count_stats = FamilyStats::default();
+    let mut duration_stats = FamilyStats::default();
+    let mut histogram_stats = FamilyStats::default();
+    let mut flip = 0.0;
+
+    // Per-trial seeds live in their own index stripe (offset by 2^32) so
+    // they never collide with the mc audit's `derive_seed(seed, trial)`
+    // stripe when both audits share a master seed.
+    const STRIPE: u64 = 1 << 32;
+    let bad_artifact =
+        |e: QueryError| VerroError::BadConfig(format!("query artifact construction: {e}"));
+    for trial in 0..opts.trials {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, STRIPE + trial as u64));
+        let p1 = run_phase1(&annotations, &key_frames, config, &mut rng)?;
+        let privacy = PrivacyStatement::from_phase1(&p1, config);
+        let artifact = QueryArtifact::from_run("query-audit", &p1, &privacy, &annotations)
+            .map_err(bad_artifact)?;
+        flip = artifact.flip;
+        let f = artifact.flip;
+        let n = artifact.num_objects();
+        let m = artifact.num_frames();
+        let store = LedgerStore::ephemeral("query-audit", f64::MAX / 2.0).map_err(bad_artifact)?;
+        let mut engine = QueryEngine::new(artifact, store).map_err(bad_artifact)?;
+        let run_err = |e: QueryError| VerroError::BadConfig(format!("query run: {e}"));
+
+        // Count: per-frame truth from this trial's own pre-randomization
+        // matrix.
+        let truth_counts = p1.original.column_counts();
+        let ans = engine
+            .count("auditor", &QueryScope::All, opts.confidence)
+            .map_err(run_err)?;
+        for (item, &t) in ans.items.iter().zip(&truth_counts) {
+            let sigma = debias_variance(t as f64, n, f)?.sqrt();
+            count_stats.push(item.estimate, (item.ci_low, item.ci_high), t as f64, sigma);
+        }
+
+        // Duration: every object's true picked-frame presence count.
+        for (i, id) in p1.original.ids().iter().enumerate() {
+            let t = p1.original.row(i).count_ones() as f64;
+            let ans = engine
+                .duration("auditor", id.0, opts.confidence)
+                .map_err(run_err)?;
+            let sigma = debias_variance(t, m, f)?.sqrt();
+            duration_stats.push(
+                ans.items[0].estimate,
+                (ans.items[0].ci_low, ans.items[0].ci_high),
+                t,
+                sigma,
+            );
+        }
+
+        // Histogram: per-class true presence mass. The audit fixture is
+        // single-class, which still certifies the estimator (the class
+        // partition only changes which bits are summed).
+        let ans = engine
+            .histogram("auditor", opts.confidence)
+            .map_err(run_err)?;
+        for item in &ans.items {
+            let class = item.label.strip_prefix("class:").unwrap_or(&item.label);
+            let mut t = 0.0;
+            let mut bits = 0usize;
+            for (i, id) in p1.original.ids().iter().enumerate() {
+                let track_class = annotations
+                    .track(*id)
+                    .map(|tr| tr.class.to_string())
+                    .unwrap_or_default();
+                if track_class == class {
+                    t += p1.original.row(i).count_ones() as f64;
+                    bits += m;
+                }
+            }
+            let sigma = debias_variance(t, bits, f)?.sqrt();
+            histogram_stats.push(item.estimate, (item.ci_low, item.ci_high), t, sigma);
+        }
+    }
+
+    let mut checks = Vec::new();
+    checks.extend(count_stats.checks("count", opts.confidence, opts.alpha));
+    checks.extend(duration_stats.checks("duration", opts.confidence, opts.alpha));
+    checks.extend(histogram_stats.checks("histogram", opts.confidence, opts.alpha));
+
+    // ---- Accounting certification on a persistent ledger ----------------
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, STRIPE * 2));
+    let p1 = run_phase1(&annotations, &key_frames, config, &mut rng)?;
+    let privacy = PrivacyStatement::from_phase1(&p1, config);
+    let artifact = QueryArtifact::from_run("query-audit", &p1, &privacy, &annotations)
+        .map_err(bad_artifact)?;
+    let (charge_checks, charged) =
+        certify_accounting(&artifact, &privacy, seed, opts.confidence).map_err(bad_artifact)?;
+    checks.extend(charge_checks);
+
+    let all_pass = checks.iter().all(|c| c.verdict.passed());
+    Ok(QueryAuditReport {
+        schema_version: 1,
+        seed,
+        trials: opts.trials,
+        flip,
+        confidence: opts.confidence,
+        epsilon_statement_total: privacy.epsilon_total,
+        epsilon_charged_full_scope: charged,
+        epsilon_exact_match: charged.to_bits() == privacy.epsilon_total.to_bits(),
+        checks,
+        all_pass,
+    })
+}
+
+/// The ε-accounting contract, exercised on a real on-disk ledger: exact
+/// composition charge, typed exhaustion with zero spend recorded, and no
+/// first-touch double-charge across a reopen.
+fn certify_accounting(
+    artifact: &QueryArtifact,
+    privacy: &PrivacyStatement,
+    seed: u64,
+    confidence: f64,
+) -> Result<(Vec<QueryCheck>, f64), QueryError> {
+    let dir = std::env::temp_dir().join("verro-query-audit");
+    std::fs::create_dir_all(&dir).map_err(|e| QueryError::Io {
+        path: dir.display().to_string(),
+        reason: e.to_string(),
+    })?;
+    let path = dir.join(format!("ledger-{seed}.json"));
+    let _ = std::fs::remove_file(&path);
+
+    // Generous cap: the first full-scope query must fit.
+    let cap = privacy.epsilon_total * 2.5;
+    let store = LedgerStore::open_or_create(&path, "query-audit", cap)?;
+    let mut engine = QueryEngine::new(artifact.clone(), store)?;
+
+    let ans = engine.count("tenant", &QueryScope::All, confidence)?;
+    let charged = ans.epsilon_charged;
+    let exact = charged.to_bits() == privacy.epsilon_total.to_bits();
+    let mut checks = vec![QueryCheck {
+        name: "epsilon-exact-composition".into(),
+        verdict: if exact { Verdict::Pass } else { Verdict::Fail },
+        statistic: charged,
+        threshold: privacy.epsilon_total,
+        samples: 1,
+        detail: "fresh tenant, full scope: charged ε must equal the \
+                 PrivacyStatement composition total bit-for-bit"
+            .into(),
+    }];
+
+    // Reopen the ledger: the first-touch ε′ must not be charged again.
+    let store = LedgerStore::open_or_create(&path, "query-audit", cap)?;
+    let mut engine = QueryEngine::new(artifact.clone(), store)?;
+    let again = engine.count("tenant", &QueryScope::All, confidence)?;
+    let no_double = again.epsilon_charged.to_bits() == artifact.epsilon_rr.to_bits();
+    checks.push(QueryCheck {
+        name: "no-first-touch-after-reopen".into(),
+        verdict: if no_double {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        },
+        statistic: again.epsilon_charged,
+        threshold: artifact.epsilon_rr,
+        samples: 1,
+        detail: "after a ledger reopen the same tenant pays only the RR ε — \
+                 the optimizer side channel is never double-charged"
+            .into(),
+    });
+
+    // Drive the tenant into the cap: the rejection must be typed, charge
+    // nothing, and the on-disk ledger must agree.
+    let mut exhausted_ok = false;
+    let mut spent_before = engine.store().total("tenant");
+    for _ in 0..16 {
+        match engine.count("tenant", &QueryScope::All, confidence) {
+            Ok(a) => spent_before = a.epsilon_spent,
+            Err(QueryError::BudgetExhausted { .. }) => {
+                exhausted_ok = true;
+                break;
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    let in_memory = engine.store().total("tenant");
+    let on_disk = LedgerStore::load(&path)?.total("tenant");
+    let never_overspent = exhausted_ok
+        && in_memory.to_bits() == spent_before.to_bits()
+        && on_disk.to_bits() == spent_before.to_bits()
+        && in_memory <= cap;
+    checks.push(QueryCheck {
+        name: "budget-exhaustion-typed-and-clean".into(),
+        verdict: if never_overspent {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        },
+        statistic: in_memory,
+        threshold: cap,
+        samples: 1,
+        detail: "repeated full-scope queries hit a typed BudgetExhausted; the \
+                 rejected query records nothing in memory or on disk and the \
+                 total never exceeds the cap"
+            .into(),
+    });
+
+    Ok((checks, charged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_opts(trials: usize) -> QueryAuditOptions {
+        QueryAuditOptions {
+            trials,
+            confidence: 0.95,
+            alpha: 0.01,
+        }
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_reruns() {
+        let config = VerroConfig::default();
+        let a = run_query_audit(&config, 0, &small_opts(25)).unwrap();
+        let b = run_query_audit(&config, 0, &small_opts(25)).unwrap();
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+        let c = run_query_audit(&config, 1, &small_opts(25)).unwrap();
+        assert_ne!(a.to_json_pretty(), c.to_json_pretty());
+    }
+
+    #[test]
+    fn report_covers_all_families_and_accounting() {
+        let report = run_query_audit(&VerroConfig::default(), 0, &small_opts(25)).unwrap();
+        let names: Vec<&str> = report.checks.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "count-unbiased",
+                "count-coverage",
+                "duration-unbiased",
+                "duration-coverage",
+                "histogram-unbiased",
+                "histogram-coverage",
+                "epsilon-exact-composition",
+                "no-first-touch-after-reopen",
+                "budget-exhaustion-typed-and-clean",
+            ]
+        );
+        // The accounting contract is exact even at tiny trial counts.
+        assert!(report.epsilon_exact_match);
+        for name in [
+            "epsilon-exact-composition",
+            "no-first-touch-after-reopen",
+            "budget-exhaustion-typed-and-clean",
+        ] {
+            let check = report.checks.iter().find(|c| c.name == name).unwrap();
+            assert_eq!(check.verdict, Verdict::Pass, "{name}");
+        }
+        // Sample bookkeeping: one count sample per picked frame per trial,
+        // and ℓ* varies per trial within 1..=8 on the audit fixture.
+        let count = report
+            .checks
+            .iter()
+            .find(|c| c.name == "count-coverage")
+            .unwrap();
+        assert!(
+            (25..=8 * 25).contains(&count.samples),
+            "{} count samples",
+            count.samples
+        );
+    }
+
+    /// The full-size statistical certification; ignored in tier-1 because it
+    /// runs hundreds of Phase I trials.
+    #[test]
+    #[ignore = "full-size statistical certification (~seconds); run with --ignored"]
+    fn default_query_audit_passes_at_seed_zero() {
+        let report =
+            run_query_audit(&VerroConfig::default(), 0, &QueryAuditOptions::default()).unwrap();
+        for check in &report.checks {
+            assert_eq!(check.verdict, Verdict::Pass, "{check:?}");
+        }
+        assert!(report.all_pass);
+        assert!(report.epsilon_exact_match);
+    }
+
+    /// Negative control: intervals shrunk to a point (confidence → tiny)
+    /// must fail coverage at the nominal 0.95 — proving the coverage check
+    /// can reject.
+    #[test]
+    #[ignore = "full-size statistical certification (~seconds); run with --ignored"]
+    fn coverage_check_detects_undercoverage() {
+        let opts = QueryAuditOptions {
+            trials: 200,
+            confidence: 0.95,
+            alpha: 0.01,
+        };
+        let report = run_query_audit(&VerroConfig::default(), 3, &opts).unwrap();
+        // With honest intervals all families pass…
+        assert!(report.all_pass);
+        // …and a hand-built family with deliberately broken intervals fails.
+        let mut broken = FamilyStats::default();
+        for i in 0..400 {
+            // Interval of width zero at a point 2σ away from the truth:
+            // covers essentially never.
+            let truth = 10.0 + (i % 5) as f64;
+            broken.push(truth + 2.0, (truth + 2.0, truth + 2.0), truth, 1.0);
+        }
+        let checks = broken.checks("broken", 0.95, 0.01);
+        assert_eq!(checks[1].verdict, Verdict::Fail, "{:?}", checks[1]);
+    }
+}

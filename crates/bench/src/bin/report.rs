@@ -12,6 +12,8 @@
 //!     --bench-scaling --scaling-small --kernels scalar
 //! # streaming engine harness (opt-in, not part of --all):
 //! cargo run -p verro-bench --bin report --release -- --bench-stream
+//! # DP query-layer utility-vs-ε curves (opt-in, not part of --all):
+//! cargo run -p verro-bench --bin report --release -- --bench-query
 //! ```
 //!
 //! `--kernels {auto,scalar,simd}` pins the SIMD dispatch for the whole
@@ -94,9 +96,10 @@ fn main() {
     // part of `--all` (full-HD rasters / double end-to-end runs dwarf every
     // other section), and running them alone skips the report's
     // video/key-frame generation entirely.
-    let standalone = ["--bench-scaling", "--bench-stream"];
+    let standalone = ["--bench-scaling", "--bench-stream", "--bench-query"];
     let run_scaling = args.iter().any(|a| a == "--bench-scaling");
     let run_stream = args.iter().any(|a| a == "--bench-stream");
+    let run_query = args.iter().any(|a| a == "--bench-query");
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
     let run_sections = all || args.iter().any(|a| !standalone.contains(&a.as_str()));
     if run_sections {
@@ -104,6 +107,9 @@ fn main() {
     }
     if run_stream {
         bench_stream();
+    }
+    if run_query {
+        bench_query();
     }
     if run_scaling {
         bench_scaling(&scaling);
@@ -1550,6 +1556,128 @@ fn bench_stream() {
     )
     .expect("write BENCH_stream.json");
     println!("  -> results/BENCH_stream.json\n");
+}
+
+// ------------------------------------------------------- query-layer bench
+
+/// `--bench-query`: utility-vs-ε curves of the DP analytics layer. For each
+/// flip probability in [`F_SWEEP`] it runs the full release → query path
+/// (Phase I on the deterministic audit fixture, `QueryArtifact`,
+/// `QueryEngine` over an ephemeral ledger) many times and records, per query
+/// family, the root-mean-square error against each trial's own ground
+/// truth, the mean CI half-width, and the empirical CI coverage, beside the
+/// exact ε a full-scope query costs a tenant at that flip. Writes
+/// `results/BENCH_query.json`; the report is a deterministic function of
+/// [`EVAL_SEED`].
+fn bench_query() {
+    use verro_audit::fixtures;
+    use verro_audit::mc::derive_seed;
+    use verro_core::VerroConfig;
+    use verro_ldp::debias_variance;
+    use verro_query::{LedgerStore, QueryArtifact, QueryEngine, QueryScope};
+
+    const TRIALS_PER_FLIP: usize = 48;
+    const CONFIDENCE: f64 = 0.95;
+
+    println!("-- Query-layer bench: utility vs epsilon --");
+    let annotations = fixtures::audit_annotations();
+    let key_frames = fixtures::audit_key_frames();
+    let mut curve = Vec::new();
+    for (fi, &flip) in F_SWEEP.iter().enumerate() {
+        let config = VerroConfig::default().with_flip(flip);
+        // (sq_err_sum, half_width_sum, hits, samples) per family.
+        let mut fam = BTreeMap::<&str, (f64, f64, usize, usize)>::new();
+        let mut epsilon_query = 0.0;
+        let mut epsilon_first_touch = 0.0;
+        for trial in 0..TRIALS_PER_FLIP {
+            let seed = derive_seed(EVAL_SEED, (fi * TRIALS_PER_FLIP + trial) as u64);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let p1 = run_phase1(&annotations, &key_frames, &config, &mut rng).expect("phase1");
+            let privacy = verro_core::PrivacyStatement::from_phase1(&p1, &config);
+            let artifact =
+                QueryArtifact::from_run("bench", &p1, &privacy, &annotations).expect("artifact");
+            let store = LedgerStore::ephemeral("bench", f64::MAX / 2.0).expect("ledger");
+            let mut engine = QueryEngine::new(artifact, store).expect("engine");
+
+            let truth = p1.original.column_counts();
+            let ans = engine
+                .count("bench", &QueryScope::All, CONFIDENCE)
+                .expect("count query");
+            epsilon_first_touch = privacy.epsilon_total - privacy.epsilon_rr;
+            epsilon_query = ans.epsilon_charged - epsilon_first_touch;
+            let slot = fam.entry("count").or_default();
+            for (item, &t) in ans.items.iter().zip(&truth) {
+                slot.0 += (item.estimate - t as f64).powi(2);
+                slot.1 += (item.ci_high - item.ci_low) / 2.0;
+                slot.3 += 1;
+                if item.ci_low <= t as f64 && t as f64 <= item.ci_high {
+                    slot.2 += 1;
+                }
+            }
+
+            for (i, id) in p1.original.ids().iter().enumerate() {
+                let t = p1.original.row(i).count_ones() as f64;
+                let ans = engine
+                    .duration("bench", id.0, CONFIDENCE)
+                    .expect("duration query");
+                let item = &ans.items[0];
+                let slot = fam.entry("duration").or_default();
+                slot.0 += (item.estimate - t).powi(2);
+                slot.1 += (item.ci_high - item.ci_low) / 2.0;
+                slot.3 += 1;
+                if item.ci_low <= t && t <= item.ci_high {
+                    slot.2 += 1;
+                }
+            }
+        }
+
+        let families: Vec<Value> = fam
+            .iter()
+            .map(|(name, &(sq, hw, hits, total))| {
+                obj(vec![
+                    ("family", Value::from(*name)),
+                    ("rmse", Value::from((sq / total as f64).sqrt())),
+                    ("mean_ci_half_width", Value::from(hw / total as f64)),
+                    ("ci_coverage", Value::from(hits as f64 / total as f64)),
+                    ("samples", Value::from(total)),
+                ])
+            })
+            .collect();
+        // Exact per-bit standard deviation at this flip for scale: a single
+        // cell of the presence matrix debiased back.
+        let bit_sigma = debias_variance(0.0, 1, flip).expect("variance").sqrt();
+        let count = &fam["count"];
+        println!(
+            "  f = {flip:.1}: eps/query = {epsilon_query:6.2}, count rmse = {:6.3}, \
+             coverage = {:.3}",
+            (count.0 / count.3 as f64).sqrt(),
+            count.2 as f64 / count.3 as f64,
+        );
+        curve.push(obj(vec![
+            ("flip", Value::from(flip)),
+            ("epsilon_per_count_query", Value::from(epsilon_query)),
+            ("epsilon_first_touch", Value::from(epsilon_first_touch)),
+            ("per_bit_sigma", Value::from(bit_sigma)),
+            ("families", Value::Array(families)),
+        ]));
+    }
+
+    let value = obj(vec![
+        (
+            "provenance",
+            provenance::capture("cargo run --release -p verro-bench --bin report -- --bench-query"),
+        ),
+        ("seed", Value::from(EVAL_SEED)),
+        ("trials_per_flip", Value::from(TRIALS_PER_FLIP)),
+        ("confidence", Value::from(CONFIDENCE)),
+        ("curve", Value::Array(curve)),
+    ]);
+    fs::write(
+        Path::new(RESULTS_DIR).join("BENCH_query.json"),
+        pretty(&value),
+    )
+    .expect("write BENCH_query.json");
+    println!("  -> results/BENCH_query.json\n");
 }
 
 // ---------------------------------------------------------------- ε-audit

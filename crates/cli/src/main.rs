@@ -13,13 +13,22 @@
 //!                [--stream-budget 256] [--streams from dirs]
 //! verro demo     --out ./demo [--flip 0.1]
 //! verro audit    [--seed 0] [--trials 4000] [--flip 0.1] [--out report.json]
+//! verro audit    --queries [--seed 0] [--trials 600]
+//! verro query    --artifact ./out/phase1.json --ledger ./ledger.json \
+//!                --tenant acme --query count [--frames 0,2] [--cap 40]
 //! verro help
 //! ```
+//!
+//! Every sanitize/demo run also writes `phase1.json` — the randomized
+//! presence artifact — next to the sanitized frames, so the DP analytics
+//! layer (`verro query`) can answer count/duration/histogram queries later
+//! without re-running the pipeline.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use verro_core::config::BackgroundMode;
 use verro_core::{KernelMode, Verro, VerroConfig, VerroError};
+use verro_query::{LedgerStore, QueryArtifact, QueryEngine, QueryError, QueryScope};
 use verro_video::annotations::VideoAnnotations;
 use verro_video::fault::{FaultSchedule, FaultySource, PixelRect, SourceError, TryFrameSource};
 use verro_video::geometry::Size;
@@ -39,6 +48,8 @@ USAGE:
                  --out <DIR> [OPTIONS]
     verro demo --out <DIR> [--flip <F>]
     verro audit [OPTIONS]
+    verro query --artifact <FILE> --ledger <FILE> --tenant <NAME>
+                --query <count|duration|histogram> [OPTIONS]
     verro help
 
 SANITIZE OPTIONS:
@@ -95,13 +106,34 @@ AUDIT OPTIONS:
     --trials <N>       Monte-Carlo Phase I trials              [default: 4000]
     --flip <F>         flip probability to audit               [default: 0.1]
     --epsilon <E>      total epsilon budget instead of --flip
+    --queries          certify the DP query layer instead: estimator
+                       unbiasedness, CI coverage, and bit-exact ε-ledger
+                       accounting (--trials then defaults to 600)
     --out <FILE>       also write the JSON report to this file
                        (always printed to stdout)
+
+QUERY OPTIONS:
+    verro query answers DP analytics queries from the phase1.json artifact a
+    sanitize/demo run wrote, debiased per Sec. 3.2, with every answer charged
+    to the tenant's ε-ledger under sequential composition. The ledger file is
+    created on first use and updated atomically (write-then-rename).
+    --artifact <FILE>  phase1.json written by sanitize/demo/stream
+    --ledger <FILE>    per-stream ε-ledger (created if missing)
+    --tenant <NAME>    tenant whose budget the query is charged to
+    --query <KIND>     count | duration | histogram
+    --frames <LIST>    count only: comma-separated picked-frame positions
+                       (0-based; default: all picked frames)
+    --object <ID>      duration only: the object id to query
+    --cap <E>          per-tenant ε cap when creating a new ledger (a stored
+                       cap always wins on reopen)  [default: 3x the
+                       artifact's epsilon_total]
+    --confidence <C>   confidence level of the intervals    [default: 0.95]
 
 OUTPUT:
     <out>/000000.ppm ...   sanitized frames
     <out>/synthetic_gt.txt the synthetic objects' MOT annotations
     <out>/privacy.json     the privacy statement + utility report
+    <out>/phase1.json      randomized presence artifact for `verro query`
 
 EXIT CODES:
     0  success (audit: every check passed)
@@ -109,7 +141,9 @@ EXIT CODES:
     2  usage error (bad flags or missing arguments)
     3  unreadable or malformed input data, or the frame source exhausted
        fault recovery (SourceExhausted)
-    4  the sanitizer rejected the input (typed pipeline error)";
+    4  the sanitizer rejected the input (typed pipeline error)
+    5  the tenant's epsilon budget is exhausted (BudgetExhausted); nothing
+       was charged and no estimate was revealed";
 
 /// Typed CLI failure; each class maps to a distinct exit code so scripts
 /// can tell usage mistakes from bad data from pipeline rejections.
@@ -121,6 +155,8 @@ enum CliError {
     Data(String),
     /// The sanitizer itself rejected the input.
     Pipeline(VerroError),
+    /// The query layer rejected the request.
+    Query(QueryError),
 }
 
 impl CliError {
@@ -131,6 +167,19 @@ impl CliError {
             // rejection — scripts retrying ingest should see code 3.
             CliError::Data(_) | CliError::Pipeline(VerroError::SourceExhausted { .. }) => 3,
             CliError::Pipeline(_) => 4,
+            CliError::Query(e) => match e {
+                // The documented budget signal: scripts distinguish "stop
+                // querying this tenant" from every other failure.
+                QueryError::BudgetExhausted { .. } => 5,
+                // Caller mistakes in the query itself are usage errors.
+                QueryError::UnknownObject { .. }
+                | QueryError::UnknownClass { .. }
+                | QueryError::FrameOutOfRange { .. }
+                | QueryError::EmptyScope
+                | QueryError::BadConfidence { .. } => 2,
+                // Broken artifacts/ledgers are bad input data.
+                _ => 3,
+            },
         }
     }
 }
@@ -141,6 +190,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Data(msg) => write!(f, "{msg}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::Query(e) => write!(f, "{e}"),
         }
     }
 }
@@ -148,6 +198,12 @@ impl std::fmt::Display for CliError {
 impl From<VerroError> for CliError {
     fn from(e: VerroError) -> Self {
         CliError::Pipeline(e)
+    }
+}
+
+impl From<QueryError> for CliError {
+    fn from(e: QueryError) -> Self {
+        CliError::Query(e)
     }
 }
 
@@ -183,6 +239,13 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(e.exit_code())
+            }
+        },
+        Some("query") => match cmd_query(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::from(e.exit_code())
@@ -327,13 +390,17 @@ fn load_frames(dir: &Path) -> Result<InMemoryVideo, CliError> {
     InMemoryVideo::try_new(frames, 30.0).map_err(|e| CliError::Data(e.to_string()))
 }
 
-/// Writes the sanitized frames, annotations, and privacy statement.
+/// Writes the sanitized frames, annotations, privacy statement, and the
+/// `phase1.json` query artifact (the randomized presence vectors plus the ε
+/// parameters `verro query` needs to answer DP analytics later).
 /// Returns the result's timings with the writer-side `render` / `encode`
 /// fields filled in (frame rendering is frame-parallel; encoding reuses one
 /// pooled PPM scratch buffer across frames).
 fn write_outputs(
     out: &Path,
     result: &verro_core::SanitizedResult,
+    annotations: &VideoAnnotations,
+    stream: &str,
     fps: f64,
 ) -> Result<verro_core::PhaseTimings, CliError> {
     use std::time::Instant;
@@ -393,18 +460,22 @@ fn write_outputs(
         .map_err(|e| CliError::Data(format!("cannot serialize privacy statement: {e}")))?;
     std::fs::write(out.join("privacy.json"), statement_json)
         .map_err(|e| CliError::Data(e.to_string()))?;
+    let artifact = QueryArtifact::from_run(stream, &result.phase1, &result.privacy, annotations)?;
+    artifact.save(&out.join("phase1.json"))?;
     Ok(timings)
 }
 
 /// Runs the configured sanitization over any fallible source (infallible
 /// videos pass through the blanket `TryFrameSource` impl unchanged).
+/// Also returns the annotations the pipeline actually ran on (tracked or
+/// owner-supplied) so the query artifact can label objects by class.
 fn run_sanitize<S: TryFrameSource + Sync>(
     verro: &Verro,
     src: &S,
     annotations: Option<&VideoAnnotations>,
     track: bool,
     policy: RecoveryPolicy,
-) -> Result<verro_core::SanitizedResult, CliError> {
+) -> Result<(verro_core::SanitizedResult, VideoAnnotations), CliError> {
     if track || annotations.is_none() {
         eprintln!("running detector + tracker ...");
         let (result, tracked) = verro.sanitize_with_tracking_fallible(
@@ -415,10 +486,10 @@ fn run_sanitize<S: TryFrameSource + Sync>(
             policy,
         )?;
         eprintln!("tracked {} objects", tracked.num_objects());
-        Ok(result)
+        Ok((result, tracked))
     } else {
         let ann = annotations.expect("checked above");
-        Ok(verro.sanitize_fallible(src, ann, policy)?)
+        Ok((verro.sanitize_fallible(src, ann, policy)?, ann.clone()))
     }
 }
 
@@ -466,7 +537,7 @@ fn cmd_sanitize(args: &[String]) -> Result<(), CliError> {
     };
     let track = annotations.is_none() || flags.switch("--track");
 
-    let result = match schedule {
+    let (result, used_annotations) = match schedule {
         Some(schedule) => {
             eprintln!(
                 "injecting faults (seed {}, transient rate {:.2}) ...",
@@ -478,7 +549,11 @@ fn cmd_sanitize(args: &[String]) -> Result<(), CliError> {
         None => run_sanitize(&verro, &video, annotations.as_ref(), track, policy)?,
     };
 
-    let t = write_outputs(&out, &result, fps)?;
+    let stream = frames_dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "sanitize".into());
+    let t = write_outputs(&out, &result, &used_annotations, &stream, fps)?;
     if result.health.is_degraded() {
         eprintln!("source health: {}", result.health.summary());
     }
@@ -677,6 +752,8 @@ fn run_stream<S: TryFrameSource + Sync>(
         .map_err(|e| CliError::Data(format!("cannot serialize privacy statement: {e}")))?;
     std::fs::write(out.join("privacy.json"), statement_json)
         .map_err(|e| CliError::Data(e.to_string()))?;
+    let artifact = QueryArtifact::from_run(label, &result.phase1, &result.privacy, annotations)?;
+    artifact.save(&out.join("phase1.json"))?;
     Ok(StreamSummary {
         label: label.to_string(),
         frames: result.stats.frames,
@@ -908,13 +985,140 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// Answers one DP analytics query from a `phase1.json` artifact, charging
+/// the tenant's ε-ledger. The answer JSON goes to stdout; budget exhaustion
+/// is the documented exit code 5 with nothing charged.
+fn cmd_query(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags { args };
+    let artifact_path = PathBuf::from(flags.value("--artifact").ok_or_else(|| {
+        CliError::Usage("missing --artifact <FILE> (the phase1.json of a run)".into())
+    })?);
+    let ledger_path = PathBuf::from(
+        flags
+            .value("--ledger")
+            .ok_or_else(|| CliError::Usage("missing --ledger <FILE>".into()))?,
+    );
+    let tenant = flags
+        .value("--tenant")
+        .ok_or_else(|| CliError::Usage("missing --tenant <NAME>".into()))?;
+    let kind = flags
+        .value("--query")
+        .ok_or_else(|| CliError::Usage("missing --query <count|duration|histogram>".into()))?;
+    let confidence: f64 = flags
+        .parse("--confidence")
+        .map_err(CliError::Usage)?
+        .unwrap_or(0.95);
+
+    let artifact = QueryArtifact::load(&artifact_path)?;
+    let cap = match flags.parse::<f64>("--cap").map_err(CliError::Usage)? {
+        Some(c) => c,
+        None => 3.0 * artifact.epsilon_total(),
+    };
+    let store = LedgerStore::open_or_create(&ledger_path, &artifact.stream, cap)?;
+    let mut engine = QueryEngine::new(artifact, store)?;
+
+    let answer = match kind {
+        "count" => {
+            let scope = match flags.value("--frames") {
+                Some(list) => {
+                    let mut positions = Vec::new();
+                    for part in list.split(',').filter(|p| !p.is_empty()) {
+                        positions.push(part.parse::<usize>().map_err(|e| {
+                            CliError::Usage(format!("bad --frames entry `{part}`: {e}"))
+                        })?);
+                    }
+                    QueryScope::Frames(positions)
+                }
+                None => QueryScope::All,
+            };
+            engine.count(tenant, &scope, confidence)?
+        }
+        "duration" => {
+            let object: u32 = flags
+                .parse("--object")
+                .map_err(CliError::Usage)?
+                .ok_or_else(|| CliError::Usage("duration queries need --object <ID>".into()))?;
+            engine.duration(tenant, object, confidence)?
+        }
+        "histogram" => {
+            if flags.value("--frames").is_some() || flags.value("--object").is_some() {
+                return Err(CliError::Usage(
+                    "histogram queries take no --frames/--object".into(),
+                ));
+            }
+            engine.histogram(tenant, confidence)?
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "--query must be count, duration, or histogram (got `{other}`)"
+            )))
+        }
+    };
+
+    println!("{}", answer.to_json().pretty());
+    eprintln!(
+        "charged epsilon {:.4} to tenant `{tenant}` ({:.4} of {:.4} spent, {:.4} remaining) -> {}",
+        answer.epsilon_charged,
+        answer.epsilon_spent,
+        engine.store().cap(),
+        answer.epsilon_remaining,
+        ledger_path.display()
+    );
+    Ok(())
+}
+
+/// Runs the query-layer certification (`verro audit --queries`): estimator
+/// unbiasedness and CI coverage over Monte-Carlo trials, plus the bit-exact
+/// ε-accounting checks on a persistent ledger.
+fn cmd_query_audit(flags: &Flags, seed: u64) -> Result<bool, CliError> {
+    let config = build_config(flags)?;
+    let mut opts = verro_audit::QueryAuditOptions::default();
+    if let Some(trials) = flags.parse::<usize>("--trials").map_err(CliError::Usage)? {
+        if trials == 0 {
+            return Err(CliError::Usage("--trials must be positive".into()));
+        }
+        opts.trials = trials;
+    }
+    eprintln!(
+        "certifying the query layer over {} trials (seed {seed}) ...",
+        opts.trials
+    );
+    let report = verro_audit::run_query_audit(&config, seed, &opts)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    let json = report.to_json_pretty();
+    println!("{json}");
+    if let Some(path) = flags.value("--out") {
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| CliError::Data(format!("{path}: {e}")))?;
+    }
+    for check in &report.checks {
+        eprintln!("check {:<34} {:?}", check.name, check.verdict);
+    }
+    eprintln!(
+        "queries: {} trials at f = {}, charged eps {:.4} vs statement {:.4} ({})",
+        report.trials,
+        report.flip,
+        report.epsilon_charged_full_scope,
+        report.epsilon_statement_total,
+        if report.epsilon_exact_match {
+            "bit-exact"
+        } else {
+            "MISMATCH"
+        }
+    );
+    Ok(report.all_pass)
+}
+
 /// Runs the empirical ε-audit and prints the deterministic JSON report.
 /// Returns whether every check and every pair audit passed (drives the exit
 /// code, so CI can gate on `verro audit`).
 fn cmd_audit(args: &[String]) -> Result<bool, CliError> {
     let flags = Flags { args };
-    let config = build_config(&flags)?;
     let seed: u64 = flags.parse("--seed").map_err(CliError::Usage)?.unwrap_or(0);
+    if flags.switch("--queries") {
+        return cmd_query_audit(&flags, seed);
+    }
+    let config = build_config(&flags)?;
     let mut opts = verro_audit::AuditOptions::default();
     if let Some(trials) = flags.parse::<usize>("--trials").map_err(CliError::Usage)? {
         if trials == 0 {
@@ -994,7 +1198,7 @@ fn cmd_demo(args: &[String]) -> Result<(), CliError> {
         }
         None => verro.sanitize_fallible(&video, &annotations, policy)?,
     };
-    let _ = write_outputs(&out, &result, 30.0)?;
+    let _ = write_outputs(&out, &result, &annotations, "demo", 30.0)?;
     if result.health.is_degraded() {
         eprintln!("source health: {}", result.health.summary());
     }

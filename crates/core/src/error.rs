@@ -35,6 +35,9 @@ pub enum VerroError {
     Ldp(LdpError),
     /// A vision primitive rejected its input.
     Vision(VisionError),
+    /// A frame index outside the matrix/video it addresses (projection
+    /// positions, query frame ranges).
+    FrameOutOfRange { frame: usize, num_frames: usize },
     /// Fallible frame ingestion exhausted its recovery policy. Carries the
     /// fault that stopped it and the per-frame health log accumulated up to
     /// that point, so operators can see *which* frames failed and how.
@@ -67,6 +70,9 @@ impl std::fmt::Display for VerroError {
             VerroError::Lp(e) => write!(f, "LP subroutine failed: {e}"),
             VerroError::Ldp(e) => write!(f, "LDP primitive rejected input: {e}"),
             VerroError::Vision(e) => write!(f, "vision primitive rejected input: {e}"),
+            VerroError::FrameOutOfRange { frame, num_frames } => {
+                write!(f, "frame {frame} out of range (0..{num_frames})")
+            }
             VerroError::SourceExhausted { error, health } => write!(
                 f,
                 "frame source exhausted recovery: {error} ({})",

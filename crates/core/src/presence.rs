@@ -5,6 +5,7 @@
 //! `O_i` appears in frame `F_k`. This is the "local data" Phase I
 //! randomizes.
 
+use crate::error::VerroError;
 use serde::{Deserialize, Serialize};
 use verro_ldp::bitvec::BitVec;
 use verro_video::annotations::VideoAnnotations;
@@ -94,11 +95,32 @@ impl PresenceMatrix {
 
     /// Projects every row onto the given frame positions (dimension
     /// reduction onto key frames, Section 3.2): the result has
-    /// `positions.len()` columns.
+    /// `positions.len()` columns. Positions come from the pipeline's own
+    /// key-frame picker, so an out-of-range position is a bug — asserted.
+    /// Surfaces fed positions from outside (query scopes, CLI input) should
+    /// use [`Self::try_project`] instead.
     pub fn project(&self, positions: &[usize]) -> PresenceMatrix {
         for &p in positions {
             assert!(p < self.num_frames, "frame {p} out of range");
         }
+        self.project_unchecked(positions)
+    }
+
+    /// Fallible projection for externally supplied positions: returns
+    /// [`VerroError::FrameOutOfRange`] naming the first offending position
+    /// instead of panicking.
+    pub fn try_project(&self, positions: &[usize]) -> Result<PresenceMatrix, VerroError> {
+        if let Some(&p) = positions.iter().find(|&&p| p >= self.num_frames) {
+            return Err(VerroError::FrameOutOfRange {
+                frame: p,
+                num_frames: self.num_frames,
+            });
+        }
+        Ok(self.project_unchecked(positions))
+    }
+
+    /// Projection body; callers guarantee every position is in range.
+    fn project_unchecked(&self, positions: &[usize]) -> PresenceMatrix {
         PresenceMatrix {
             ids: self.ids.clone(),
             rows: self.rows.iter().map(|r| r.project(positions)).collect(),
@@ -180,6 +202,23 @@ mod tests {
     #[should_panic]
     fn project_rejects_out_of_range() {
         sample().project(&[9]);
+    }
+
+    #[test]
+    fn try_project_returns_typed_error() {
+        let m = sample();
+        assert_eq!(
+            m.try_project(&[0, 9]),
+            Err(VerroError::FrameOutOfRange {
+                frame: 9,
+                num_frames: 6
+            })
+        );
+        // In-range positions agree with the asserting variant.
+        let p = m.try_project(&[0, 2, 5]).unwrap();
+        assert_eq!(p, m.project(&[0, 2, 5]));
+        // Empty projection is valid: zero columns.
+        assert_eq!(m.try_project(&[]).unwrap().num_frames(), 0);
     }
 
     #[test]

@@ -10,11 +10,32 @@ use serde::{Deserialize, Serialize};
 
 /// ε consumed by flip-probability randomized response over `dims` bits:
 /// `dims · ln((2 − f)/f)`. Rejects `f` outside `(0, 1]`.
+///
+/// Domain note: this accepts `f = 1` (uniform output, ε = 0) which
+/// [`crate::estimate::debias_count`] rejects (nothing to invert), and
+/// rejects `f = 0` which the estimators accept (noiseless identity, but
+/// unbounded ε). The intersection usable for both accounting *and*
+/// debiasing is the open interval `(0, 1)`, pinned by [`check_query_flip`].
 pub fn epsilon_of_flip(dims: usize, f: f64) -> Result<f64, LdpError> {
     if !(f > 0.0 && f <= 1.0) {
         return Err(LdpError::InvalidFlip { f });
     }
     Ok(dims as f64 * ((2.0 - f) / f).ln())
+}
+
+/// Validates that `f` lies in the open interval `(0, 1)` — the intersection
+/// of the accounting domain `(0, 1]` ([`epsilon_of_flip`]) and the debiasing
+/// domain `[0, 1)` ([`crate::estimate::debias_count`]). A release configured
+/// at either endpoint is accountable but not debiasable (`f = 1`) or
+/// debiasable but not accountable (`f = 0`); a query surface that must do
+/// both — charge a ledger *and* invert the noise — has to stay strictly
+/// inside. NaN fails both comparisons and is rejected.
+pub fn check_query_flip(f: f64) -> Result<(), LdpError> {
+    if f > 0.0 && f < 1.0 {
+        Ok(())
+    } else {
+        Err(LdpError::InvalidFlip { f })
+    }
 }
 
 /// Flip probability achieving a target ε over `dims` bits — the inverse of
@@ -43,11 +64,38 @@ impl BudgetLedger {
     }
 
     /// Records a release of `epsilon` attributed to `label`. Spending a
-    /// negative ε is an accounting bug in the caller; it is clamped to zero
-    /// so the ledger never understates the total.
+    /// negative ε is an accounting bug in the caller (debug-asserted); the
+    /// non-asserting [`Self::record_clamped`] core clamps it to zero in
+    /// release builds so the ledger never understates the total.
     pub fn spend(&mut self, label: impl Into<String>, epsilon: f64) {
         debug_assert!(epsilon >= 0.0, "epsilon must be non-negative");
-        self.entries.push((label.into(), epsilon.max(0.0)));
+        self.record_clamped(label.into(), epsilon);
+    }
+
+    /// Fallible spend for runtime surfaces fed by external callers (the
+    /// query layer): a negative, NaN, or infinite ε is rejected with a
+    /// typed error instead of being clamped or asserted away.
+    pub fn spend_checked(
+        &mut self,
+        label: impl Into<String>,
+        epsilon: f64,
+    ) -> Result<(), LdpError> {
+        if !(epsilon >= 0.0 && epsilon.is_finite()) {
+            return Err(LdpError::InvalidEpsilon { epsilon });
+        }
+        self.record_clamped(label.into(), epsilon);
+        Ok(())
+    }
+
+    /// The non-asserting recording core shared by [`Self::spend`] (which
+    /// debug-asserts first) and [`Self::spend_checked`] (which validates
+    /// first): clamps negative spends to zero — `f64::max` also maps NaN to
+    /// `0.0` — so the total can never be understated. Kept separate so the
+    /// release-mode clamping behavior has live test coverage in every build
+    /// profile (a `cfg!(debug_assertions)`-gated test of `spend` would
+    /// never exercise it under a normal `cargo test`).
+    fn record_clamped(&mut self, label: String, epsilon: f64) {
+        self.entries.push((label, epsilon.max(0.0)));
     }
 
     /// Total ε spent (sequential composition).
@@ -55,9 +103,24 @@ impl BudgetLedger {
         self.entries.iter().map(|(_, e)| e).sum()
     }
 
+    /// ε left under a cap: `max(0, cap − total)`.
+    pub fn remaining(&self, cap: f64) -> f64 {
+        (cap - self.total()).max(0.0)
+    }
+
     /// Itemized entries.
     pub fn entries(&self) -> &[(String, f64)] {
         &self.entries
+    }
+
+    /// Number of recorded releases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been charged yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -129,15 +192,59 @@ mod tests {
     }
 
     #[test]
-    fn ledger_clamps_negative_spends_in_release() {
-        // A negative spend is a caller bug (debug_assert), but in release
-        // builds the ledger clamps instead of understating the total.
-        if cfg!(debug_assertions) {
-            return;
-        }
+    fn ledger_clamps_negative_spends() {
+        // The clamping core is exercised directly so this coverage is live
+        // in every build profile — the old test early-returned under
+        // `cfg!(debug_assertions)` and so never ran in a normal
+        // `cargo test`. A negative spend is a caller bug; the ledger clamps
+        // instead of understating the total, and NaN clamps to zero too.
         let mut ledger = BudgetLedger::new();
-        ledger.spend("bad", -1.0);
-        ledger.spend("good", 2.0);
+        ledger.record_clamped("bad".into(), -1.0);
+        ledger.record_clamped("nan".into(), f64::NAN);
+        ledger.record_clamped("good".into(), 2.0);
         assert_eq!(ledger.total(), 2.0);
+        assert_eq!(ledger.entries()[0].1, 0.0);
+        assert_eq!(ledger.entries()[1].1, 0.0);
+        // `spend` routes through the same core (release builds skip its
+        // debug_assert and clamp identically).
+        if !cfg!(debug_assertions) {
+            let mut ledger = BudgetLedger::new();
+            ledger.spend("bad", -1.0);
+            ledger.spend("good", 2.0);
+            assert_eq!(ledger.total(), 2.0);
+        }
+    }
+
+    #[test]
+    fn spend_checked_rejects_invalid_epsilon() {
+        let mut ledger = BudgetLedger::new();
+        assert_eq!(
+            ledger.spend_checked("bad", -1.0),
+            Err(LdpError::InvalidEpsilon { epsilon: -1.0 })
+        );
+        assert!(matches!(
+            ledger.spend_checked("nan", f64::NAN),
+            Err(LdpError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            ledger.spend_checked("inf", f64::INFINITY),
+            Err(LdpError::InvalidEpsilon { .. })
+        ));
+        assert!(ledger.is_empty(), "rejected spends must not be recorded");
+        ledger.spend_checked("ok", 1.5).unwrap();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.total(), 1.5);
+        assert_eq!(ledger.remaining(2.0), 0.5);
+        assert_eq!(ledger.remaining(1.0), 0.0, "remaining never negative");
+    }
+
+    #[test]
+    fn check_query_flip_pins_the_open_interval() {
+        for f in [1e-9, 0.1, 0.5, 0.999_999] {
+            assert_eq!(check_query_flip(f), Ok(()));
+        }
+        for f in [0.0, 1.0, -0.1, 1.1, f64::NAN] {
+            assert!(check_query_flip(f).is_err(), "f = {f} must be rejected");
+        }
     }
 }

@@ -25,6 +25,9 @@ pub enum LdpError {
     ZeroDimensions,
     /// Two series that must align have different lengths.
     LengthMismatch { left: usize, right: usize },
+    /// A (true or estimated) bit count outside `[0, n]`, or NaN — the
+    /// estimator formulas are only meaningful on that closed interval.
+    InvalidCount { count: f64, n: usize },
 }
 
 impl fmt::Display for LdpError {
@@ -47,6 +50,9 @@ impl fmt::Display for LdpError {
             }
             LdpError::LengthMismatch { left, right } => {
                 write!(fmt, "series lengths differ: {left} vs {right}")
+            }
+            LdpError::InvalidCount { count, n } => {
+                write!(fmt, "count {count} outside the valid domain [0, {n}]")
             }
         }
     }

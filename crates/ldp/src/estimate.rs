@@ -12,6 +12,13 @@ use crate::error::LdpError;
 /// flip-probability randomized response (Equation 4). Rejects `f` outside
 /// `[0, 1)` — at `f = 1` the output carries no signal and the estimator's
 /// denominator vanishes.
+///
+/// Domain note: this accepts `f = 0` (a noiseless release debiases to the
+/// identity) which [`crate::budget::epsilon_of_flip`] rejects (its ε is
+/// unbounded), and rejects `f = 1` which the accountant accepts (ε = 0 but
+/// nothing to invert). The intersection usable for both accounting *and*
+/// debiasing is the open interval `(0, 1)`, pinned by
+/// [`crate::budget::check_query_flip`].
 pub fn debias_count(observed_ones: f64, n: usize, f: f64) -> Result<f64, LdpError> {
     if !(0.0..1.0).contains(&f) {
         return Err(LdpError::InvalidFlip { f });
@@ -39,10 +46,16 @@ pub fn debias_count_series(observed: &[usize], n: usize, f: f64) -> Result<Vec<f
 
 /// Variance of the debiased estimator for a true count `t` out of `n` bits:
 /// each bit is an independent Bernoulli after randomization. Rejects `f`
-/// outside `[0, 1)`.
+/// outside `[0, 1)` and `true_count` outside `[0, n]` (or NaN) — outside
+/// that domain the per-bit Bernoulli decomposition is meaningless and the
+/// formula silently produces garbage (negative or NaN "variances" that
+/// would corrupt every confidence interval built on it).
 pub fn debias_variance(true_count: f64, n: usize, f: f64) -> Result<f64, LdpError> {
     if !(0.0..1.0).contains(&f) {
         return Err(LdpError::InvalidFlip { f });
+    }
+    if !(true_count >= 0.0 && true_count <= n as f64) {
+        return Err(LdpError::InvalidCount { count: true_count, n });
     }
     let n = n as f64;
     // Output bit is 1 with prob p1 = f/2 + (1-f)·b for true bit b.
@@ -156,6 +169,41 @@ mod tests {
             mean_absolute_error(&[1.0], &[1.0, 2.0]),
             Err(LdpError::LengthMismatch { left: 1, right: 2 })
         );
+    }
+
+    #[test]
+    fn variance_rejects_out_of_domain_counts() {
+        // Regression: these all used to pass validation (only `f` was
+        // checked) and return garbage — a negative count gives a negative
+        // "variance", a count above n likewise, NaN propagates.
+        assert_eq!(
+            debias_variance(-1.0, 100, 0.3),
+            Err(LdpError::InvalidCount { count: -1.0, n: 100 })
+        );
+        assert_eq!(
+            debias_variance(101.0, 100, 0.3),
+            Err(LdpError::InvalidCount { count: 101.0, n: 100 })
+        );
+        assert!(matches!(
+            debias_variance(f64::NAN, 100, 0.3),
+            Err(LdpError::InvalidCount { .. })
+        ));
+        assert!(matches!(
+            debias_variance(f64::INFINITY, 100, 0.3),
+            Err(LdpError::InvalidCount { .. })
+        ));
+    }
+
+    #[test]
+    fn variance_accepts_the_closed_count_domain() {
+        // Endpoints are valid: a count of exactly 0 or exactly n has zero
+        // observation variance from the certain bits only.
+        let v0 = debias_variance(0.0, 10, 0.2).unwrap();
+        let vn = debias_variance(10.0, 10, 0.2).unwrap();
+        assert!(v0 > 0.0 && v0.is_finite());
+        assert!((v0 - vn).abs() < 1e-12, "symmetric at the endpoints");
+        // n = 0 with count 0 is degenerate but total: zero variance.
+        assert_eq!(debias_variance(0.0, 0, 0.2).unwrap(), 0.0);
     }
 
     #[test]

@@ -25,9 +25,9 @@ pub mod rr;
 pub mod simd;
 
 pub use bitvec::BitVec;
-pub use budget::{epsilon_of_flip, flip_for_epsilon, BudgetLedger};
+pub use budget::{check_query_flip, epsilon_of_flip, flip_for_epsilon, BudgetLedger};
 pub use error::LdpError;
-pub use estimate::{debias_count, debias_count_series, mean_absolute_error};
+pub use estimate::{debias_count, debias_count_series, debias_variance, mean_absolute_error};
 pub use laplace::{sample_laplace, LaplaceMechanism};
 pub use rappor::{RapporClient, RapporConfig};
 pub use rr::{randomize_budget, randomize_flip};

@@ -1,0 +1,99 @@
+//! Cross-module contract: the flip-probability domains of the accountant
+//! (`budget`), the mechanism (`rr`), and the estimators (`estimate`) are
+//! intentionally different at the endpoints, and the shared valid range —
+//! what a surface that must account *and* randomize *and* debias can use —
+//! is exactly the open interval `(0, 1)`, as pinned by `check_query_flip`.
+//!
+//! | f        | epsilon_of_flip | randomize_flip | debias_count | check_query_flip |
+//! |----------|-----------------|----------------|--------------|------------------|
+//! | 0        | reject (ε = ∞)  | ok (identity)  | ok (identity)| reject           |
+//! | (0, 1)   | ok              | ok             | ok           | ok               |
+//! | 1        | ok (ε = 0)      | ok (uniform)   | reject       | reject           |
+//! | outside  | reject          | reject         | reject       | reject           |
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use verro_ldp::bitvec::BitVec;
+use verro_ldp::budget::{check_query_flip, epsilon_of_flip, flip_for_epsilon};
+use verro_ldp::estimate::{debias_count, debias_count_series, debias_variance};
+use verro_ldp::rr::randomize_flip;
+
+/// A grid of interior flips plus near-endpoint values.
+const INTERIOR: [f64; 7] = [1e-6, 0.05, 0.1, 0.3, 0.5, 0.9, 0.999_999];
+
+#[test]
+fn interior_flips_are_valid_everywhere() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let bits = BitVec::zeros(16);
+    for f in INTERIOR {
+        assert_eq!(check_query_flip(f), Ok(()), "query domain at f = {f}");
+        let eps = epsilon_of_flip(8, f).unwrap_or_else(|e| panic!("accounting at f = {f}: {e}"));
+        assert!(eps.is_finite() && eps > 0.0);
+        // The inverse round-trips back into the interior.
+        let back = flip_for_epsilon(8, eps).unwrap();
+        assert!((back - f).abs() < 1e-9, "f = {f} -> ε -> {back}");
+        randomize_flip(&bits, f, &mut rng)
+            .unwrap_or_else(|e| panic!("randomization at f = {f}: {e}"));
+        debias_count(4.0, 16, f).unwrap_or_else(|e| panic!("debias at f = {f}: {e}"));
+        debias_variance(4.0, 16, f).unwrap_or_else(|e| panic!("variance at f = {f}: {e}"));
+    }
+}
+
+#[test]
+fn endpoint_zero_is_debiasable_but_not_accountable() {
+    // f = 0: the mechanism is the identity — debiasing works (and is the
+    // identity too), but ε = ln(2/0) is unbounded so accounting rejects it,
+    // and therefore so does the query domain.
+    let mut rng = StdRng::seed_from_u64(12);
+    assert!(epsilon_of_flip(8, 0.0).is_err());
+    assert!(check_query_flip(0.0).is_err());
+    let bits = BitVec::zeros(8);
+    let out = randomize_flip(&bits, 0.0, &mut rng).unwrap();
+    assert_eq!(out, bits, "f = 0 randomization is the identity");
+    assert_eq!(debias_count(3.0, 8, 0.0), Ok(3.0), "f = 0 debias is the identity");
+    assert_eq!(debias_variance(3.0, 8, 0.0), Ok(0.0), "f = 0 has no noise");
+}
+
+#[test]
+fn endpoint_one_is_accountable_but_not_debiasable() {
+    // f = 1: the output is uniform noise — ε = 0 is perfectly accountable,
+    // but the estimator's denominator (1 − f) vanishes, so debiasing
+    // rejects it, and therefore so does the query domain.
+    assert_eq!(epsilon_of_flip(8, 1.0), Ok(0.0));
+    assert!(check_query_flip(1.0).is_err());
+    assert!(debias_count(3.0, 8, 1.0).is_err());
+    assert!(debias_count_series(&[3], 8, 1.0).is_err());
+    assert!(debias_variance(3.0, 8, 1.0).is_err());
+}
+
+#[test]
+fn out_of_range_flips_are_rejected_everywhere() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let bits = BitVec::zeros(8);
+    for f in [-0.5, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(epsilon_of_flip(8, f).is_err(), "accounting at f = {f}");
+        assert!(randomize_flip(&bits, f, &mut rng).is_err(), "rr at f = {f}");
+        assert!(debias_count(3.0, 8, f).is_err(), "debias at f = {f}");
+        assert!(debias_variance(3.0, 8, f).is_err(), "variance at f = {f}");
+        assert!(check_query_flip(f).is_err(), "query domain at f = {f}");
+    }
+}
+
+/// The concrete failure mode the alignment guards against: a run configured
+/// at an endpoint is accountable-but-not-debiasable (or vice versa), so a
+/// query layer that accepted the accountant's domain wholesale would build
+/// answers that cannot be debiased. `check_query_flip` must reject exactly
+/// the flips where the two domains disagree.
+#[test]
+fn query_domain_is_the_intersection() {
+    let grid: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+    for f in grid {
+        let accountable = epsilon_of_flip(1, f).is_ok();
+        let debiasable = debias_count(0.0, 1, f).is_ok();
+        assert_eq!(
+            check_query_flip(f).is_ok(),
+            accountable && debiasable,
+            "f = {f}: accountable = {accountable}, debiasable = {debiasable}"
+        );
+    }
+}

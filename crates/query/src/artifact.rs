@@ -1,0 +1,369 @@
+//! The query artifact: the released Phase I evidence a query engine runs
+//! on.
+//!
+//! Sanitization publishes, alongside the synthetic video, the randomized
+//! presence matrix `R` over the picked key frames together with the privacy
+//! parameters that produced it (flip probability, ε components). That is
+//! everything the analytics layer needs: all three query types debias
+//! functions of `R`'s bits, and the ε arithmetic reuses the exact values
+//! recorded here. The artifact is JSON on disk (via [`crate::json`], so a
+//! truncated file is a parse error and floats round-trip exactly).
+
+use crate::error::QueryError;
+use crate::json::{obj, parse, JsonValue};
+use std::collections::BTreeSet;
+use std::path::Path;
+use verro_core::{Phase1Output, PresenceMatrix, PrivacyStatement};
+use verro_ldp::bitvec::BitVec;
+use verro_video::annotations::VideoAnnotations;
+use verro_video::object::ObjectId;
+
+/// Magic format tag; bumped on breaking layout changes.
+const FORMAT: &str = "verro-query-artifact-v1";
+
+/// One object's released row: identity, class label, and its randomized
+/// presence bits over the picked frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactRow {
+    pub id: u32,
+    pub class: String,
+    pub bits: BitVec,
+}
+
+/// The released Phase I evidence for one sanitized stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArtifact {
+    /// Stream name — ties the artifact to its ledger.
+    pub stream: String,
+    /// Flip probability `f` of the randomized response.
+    pub flip: f64,
+    /// ε of the randomized response (`ℓ*·ln((2−f)/f)`).
+    pub epsilon_rr: f64,
+    /// ε′ of the optimizer's Laplace side channel, if it ran.
+    pub epsilon_optimizer: Option<f64>,
+    /// Global frame indices of the picked key frames, ascending.
+    pub picked_frames: Vec<usize>,
+    /// One row per object, in release order.
+    pub rows: Vec<ArtifactRow>,
+}
+
+impl QueryArtifact {
+    /// Builds the artifact from a sanitization run. Object classes come
+    /// from the (tracked or ground-truth) annotations the run consumed.
+    pub fn from_run(
+        stream: &str,
+        phase1: &Phase1Output,
+        privacy: &PrivacyStatement,
+        annotations: &VideoAnnotations,
+    ) -> Result<Self, QueryError> {
+        let matrix = &phase1.randomized;
+        let mut rows = Vec::with_capacity(matrix.num_objects());
+        for (i, id) in matrix.ids().iter().enumerate() {
+            let class = annotations
+                .track(*id)
+                .map(|t| t.class.to_string())
+                .ok_or_else(|| {
+                    QueryError::BadArtifact(format!("object {id} has no annotation track"))
+                })?;
+            rows.push(ArtifactRow {
+                id: id.0,
+                class,
+                bits: matrix.row(i).clone(),
+            });
+        }
+        let artifact = Self {
+            stream: stream.to_string(),
+            flip: privacy.flip,
+            epsilon_rr: privacy.epsilon_rr,
+            epsilon_optimizer: privacy.epsilon_optimizer,
+            picked_frames: phase1.picked_frames.clone(),
+            rows,
+        };
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Structural invariants: every row spans the picked-frame axis, ids
+    /// are unique, the frame axis is strictly ascending.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        let m = self.picked_frames.len();
+        for w in self.picked_frames.windows(2) {
+            if w[0] >= w[1] {
+                return Err(QueryError::BadArtifact(format!(
+                    "picked frames not strictly ascending: {} then {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        let mut seen = BTreeSet::new();
+        for row in &self.rows {
+            if row.bits.len() != m {
+                return Err(QueryError::BadArtifact(format!(
+                    "object {} has {} bits but {m} picked frames",
+                    row.id,
+                    row.bits.len()
+                )));
+            }
+            if !seen.insert(row.id) {
+                return Err(QueryError::BadArtifact(format!(
+                    "duplicate object id {}",
+                    row.id
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of picked frames `ℓ*` (the matrix columns).
+    pub fn num_frames(&self) -> usize {
+        self.picked_frames.len()
+    }
+
+    /// Number of released objects `n` (the matrix rows).
+    pub fn num_objects(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total ε of the release under sequential composition — the exact sum
+    /// the [`PrivacyStatement`] reported.
+    pub fn epsilon_total(&self) -> f64 {
+        self.epsilon_rr + self.epsilon_optimizer.unwrap_or(0.0)
+    }
+
+    /// The randomized presence matrix `R` the queries estimate from.
+    pub fn matrix(&self) -> PresenceMatrix {
+        PresenceMatrix::from_rows(
+            self.rows.iter().map(|r| ObjectId(r.id)).collect(),
+            self.rows.iter().map(|r| r.bits.clone()).collect(),
+            self.num_frames(),
+        )
+    }
+
+    /// Distinct class labels present, in sorted order.
+    pub fn classes(&self) -> Vec<&str> {
+        let set: BTreeSet<&str> = self.rows.iter().map(|r| r.class.as_str()).collect();
+        set.into_iter().collect()
+    }
+
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("format", JsonValue::Str(FORMAT.into())),
+            ("stream", JsonValue::Str(self.stream.clone())),
+            ("flip", JsonValue::Num(self.flip)),
+            ("epsilon_rr", JsonValue::Num(self.epsilon_rr)),
+            (
+                "epsilon_optimizer",
+                self.epsilon_optimizer
+                    .map_or(JsonValue::Null, JsonValue::Num),
+            ),
+            (
+                "picked_frames",
+                JsonValue::Arr(
+                    self.picked_frames
+                        .iter()
+                        .map(|&k| JsonValue::Num(k as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "objects",
+                JsonValue::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("id", JsonValue::Num(r.id as f64)),
+                                ("class", JsonValue::Str(r.class.clone())),
+                                ("bits", JsonValue::Str(r.bits.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(doc: &JsonValue) -> Result<Self, QueryError> {
+        let bad = |msg: &str| QueryError::BadArtifact(msg.to_string());
+        if doc.get("format").and_then(JsonValue::as_str) != Some(FORMAT) {
+            return Err(bad("missing or unknown format tag"));
+        }
+        let stream = doc
+            .get("stream")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("missing stream"))?
+            .to_string();
+        let flip = doc
+            .get("flip")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| bad("missing flip"))?;
+        let epsilon_rr = doc
+            .get("epsilon_rr")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| bad("missing epsilon_rr"))?;
+        let epsilon_optimizer = match doc.get("epsilon_optimizer") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| bad("epsilon_optimizer not a number"))?,
+            ),
+        };
+        let picked_frames = doc
+            .get("picked_frames")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| bad("missing picked_frames"))?
+            .iter()
+            .map(|v| v.as_usize().ok_or_else(|| bad("picked frame not an index")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let rows = doc
+            .get("objects")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| bad("missing objects"))?
+            .iter()
+            .map(|v| {
+                let id = v
+                    .get("id")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or_else(|| bad("object missing id"))? as u32;
+                let class = v
+                    .get("class")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| bad("object missing class"))?
+                    .to_string();
+                let bit_text = v
+                    .get("bits")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| bad("object missing bits"))?;
+                let bools = bit_text
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(false),
+                        '1' => Ok(true),
+                        other => Err(QueryError::BadArtifact(format!(
+                            "bit character '{other}' in object {id}"
+                        ))),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ArtifactRow {
+                    id,
+                    class,
+                    bits: BitVec::from_bools(&bools),
+                })
+            })
+            .collect::<Result<Vec<_>, QueryError>>()?;
+        let artifact = Self {
+            stream,
+            flip,
+            epsilon_rr,
+            epsilon_optimizer,
+            picked_frames,
+            rows,
+        };
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Serializes to the on-disk JSON text.
+    pub fn to_text(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parses the on-disk JSON text.
+    pub fn from_text(text: &str) -> Result<Self, QueryError> {
+        let doc = parse(text).map_err(QueryError::BadArtifact)?;
+        Self::from_json(&doc)
+    }
+
+    /// Writes the artifact to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), QueryError> {
+        std::fs::write(path, self.to_text()).map_err(|e| QueryError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })
+    }
+
+    /// Reads an artifact from `path`.
+    pub fn load(path: &Path) -> Result<Self, QueryError> {
+        let text = std::fs::read_to_string(path).map_err(|e| QueryError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        Self::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryArtifact {
+        QueryArtifact {
+            stream: "demo".into(),
+            flip: 0.2,
+            epsilon_rr: 3.0 * ((2.0 - 0.2f64) / 0.2).ln(),
+            epsilon_optimizer: Some(1.0),
+            picked_frames: vec![2, 9, 17],
+            rows: vec![
+                ArtifactRow {
+                    id: 0,
+                    class: "pedestrian".into(),
+                    bits: BitVec::from_bools(&[true, false, true]),
+                },
+                ArtifactRow {
+                    id: 1,
+                    class: "vehicle".into(),
+                    bits: BitVec::from_bools(&[false, true, true]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let a = sample();
+        let text = a.to_text();
+        let back = QueryArtifact::from_text(&text).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.flip.to_bits(), a.flip.to_bits());
+        assert_eq!(back.epsilon_rr.to_bits(), a.epsilon_rr.to_bits());
+        // Re-serialization is byte-identical.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn exposes_matrix_and_classes() {
+        let a = sample();
+        let m = a.matrix();
+        assert_eq!(m.num_objects(), 2);
+        assert_eq!(m.num_frames(), 3);
+        assert_eq!(m.row(0).to_string(), "101");
+        assert_eq!(a.classes(), vec!["pedestrian", "vehicle"]);
+        assert!((a.epsilon_total() - a.epsilon_rr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_structural_damage() {
+        let mut a = sample();
+        a.rows[1].bits = BitVec::from_bools(&[true]);
+        assert!(matches!(a.validate(), Err(QueryError::BadArtifact(_))));
+
+        let mut a = sample();
+        a.rows[1].id = 0;
+        assert!(matches!(a.validate(), Err(QueryError::BadArtifact(_))));
+
+        let mut a = sample();
+        a.picked_frames = vec![9, 2, 17];
+        assert!(matches!(a.validate(), Err(QueryError::BadArtifact(_))));
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(QueryArtifact::from_text("{").is_err());
+        assert!(QueryArtifact::from_text("{}").is_err());
+        let bad_bits = sample().to_text().replace("101", "1x1");
+        assert!(matches!(
+            QueryArtifact::from_text(&bad_bits),
+            Err(QueryError::BadArtifact(_))
+        ));
+    }
+}

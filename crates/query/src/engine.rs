@@ -1,0 +1,516 @@
+//! The DP analytics engine: answers count / duration / histogram queries
+//! from the released randomized presence matrix, and charges every answer
+//! against the persistent per-tenant ε-ledger *before* revealing it.
+//!
+//! # Estimation
+//!
+//! All three query types are debiased functions of the released bits `R`
+//! (Equation 4 inverted, Section 5 "Noise Cancellation"):
+//!
+//! * **count** — per picked frame in scope, the debiased number of objects
+//!   present: `(c_obs − n·f/2)/(1 − f)` over the `n` rows;
+//! * **duration** — one object's debiased number of picked frames present,
+//!   over its `ℓ*` bits;
+//! * **histogram** — per class, the debiased total presence mass over that
+//!   class's `n_c · ℓ*` bits.
+//!
+//! Estimates are reported *unclamped* (they can dip below zero — that is
+//! what unbiasedness costs); each carries a plug-in standard error from
+//! [`verro_ldp::estimate::debias_variance`] (the plug-in count is clamped
+//! into the estimator's `[0, n]` domain first) and a two-sided normal CI
+//! widened by half the estimator's lattice spacing, `0.5/(1 − f)` — the
+//! statistic is discrete, and without the continuity correction coverage
+//! oscillates around the nominal level at small `n`.
+//!
+//! # Accounting
+//!
+//! Charging is deliberately conservative: re-reading released bits is free
+//! post-processing in theory, but a per-query charge of
+//! `epsilon_of_flip(columns_read, f)` gives operators a monotone,
+//! tamper-evident ledger that upper-bounds the true exposure. The
+//! optimizer's Laplace side-channel ε′ rides along exactly once, on a
+//! tenant's first charge for the stream — so a full-scope query by a fresh
+//! tenant is charged bit-for-bit the release's
+//! [`PrivacyStatement::epsilon_total`](verro_core::PrivacyStatement)
+//! (same `epsilon_of_flip` call, same inputs, and `f` survives the artifact
+//! round-trip exactly). A query that would push the tenant past the cap is
+//! rejected with [`QueryError::BudgetExhausted`] and charges nothing.
+
+use crate::artifact::QueryArtifact;
+use crate::error::QueryError;
+use crate::json::{obj, JsonValue};
+use crate::ledger::LedgerStore;
+use crate::stats::two_sided_z;
+use verro_core::PresenceMatrix;
+use verro_ldp::budget::{check_query_flip, epsilon_of_flip};
+use verro_ldp::estimate::{debias_count, debias_variance};
+
+/// Which picked-frame columns a query reads. Positions index into the
+/// artifact's `picked_frames` axis (`0..ℓ*`), not global frame numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryScope {
+    /// Every picked frame.
+    All,
+    /// An explicit list of picked-frame positions.
+    Frames(Vec<usize>),
+}
+
+impl QueryScope {
+    fn positions(&self, num_frames: usize) -> Vec<usize> {
+        match self {
+            QueryScope::All => (0..num_frames).collect(),
+            QueryScope::Frames(list) => list.clone(),
+        }
+    }
+}
+
+/// One estimated quantity with its uncertainty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// What this row estimates (`frame:12`, `object:3`, `class:pedestrian`).
+    pub label: String,
+    /// Unbiased (unclamped) point estimate.
+    pub estimate: f64,
+    /// Plug-in standard error of the estimator.
+    pub std_error: f64,
+    /// Lower CI bound (continuity-corrected normal interval).
+    pub ci_low: f64,
+    /// Upper CI bound.
+    pub ci_high: f64,
+}
+
+/// A fully accounted query answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// The ledger label this answer was charged under.
+    pub query: String,
+    /// Confidence level of the intervals.
+    pub confidence: f64,
+    /// ε charged for this answer (including any first-touch surcharge).
+    pub epsilon_charged: f64,
+    /// Tenant's total ε spent on this stream after the charge.
+    pub epsilon_spent: f64,
+    /// Tenant's ε remaining under the cap.
+    pub epsilon_remaining: f64,
+    /// One row per estimated quantity.
+    pub items: Vec<Estimate>,
+}
+
+impl QueryAnswer {
+    /// Renders the answer as a JSON document (deterministic layout).
+    pub fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("query", JsonValue::Str(self.query.clone())),
+            ("confidence", JsonValue::Num(self.confidence)),
+            ("epsilon_charged", JsonValue::Num(self.epsilon_charged)),
+            ("epsilon_spent", JsonValue::Num(self.epsilon_spent)),
+            ("epsilon_remaining", JsonValue::Num(self.epsilon_remaining)),
+            (
+                "items",
+                JsonValue::Arr(
+                    self.items
+                        .iter()
+                        .map(|e| {
+                            obj(vec![
+                                ("label", JsonValue::Str(e.label.clone())),
+                                ("estimate", JsonValue::Num(e.estimate)),
+                                ("std_error", JsonValue::Num(e.std_error)),
+                                ("ci_low", JsonValue::Num(e.ci_low)),
+                                ("ci_high", JsonValue::Num(e.ci_high)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The analytics engine for one artifact + one ledger.
+#[derive(Debug)]
+pub struct QueryEngine {
+    artifact: QueryArtifact,
+    matrix: PresenceMatrix,
+    store: LedgerStore,
+}
+
+impl QueryEngine {
+    /// Binds an artifact to its ledger. Rejects artifacts whose flip
+    /// probability falls outside the query domain `(0, 1)` (see
+    /// [`check_query_flip`] — an endpoint release is accountable or
+    /// debiasable but not both) and ledgers belonging to another stream.
+    pub fn new(artifact: QueryArtifact, store: LedgerStore) -> Result<Self, QueryError> {
+        artifact.validate()?;
+        check_query_flip(artifact.flip)?;
+        if artifact.stream != store.stream() {
+            return Err(QueryError::BadArtifact(format!(
+                "artifact stream '{}' does not match ledger stream '{}'",
+                artifact.stream,
+                store.stream()
+            )));
+        }
+        let matrix = artifact.matrix();
+        Ok(Self {
+            artifact,
+            matrix,
+            store,
+        })
+    }
+
+    /// The bound artifact.
+    pub fn artifact(&self) -> &QueryArtifact {
+        &self.artifact
+    }
+
+    /// The bound ledger store.
+    pub fn store(&self) -> &LedgerStore {
+        &self.store
+    }
+
+    /// Frame-level object count over `scope`, one estimate per picked frame
+    /// in scope. Charged `epsilon_of_flip(|scope|, f)`.
+    pub fn count(
+        &mut self,
+        tenant: &str,
+        scope: &QueryScope,
+        confidence: f64,
+    ) -> Result<QueryAnswer, QueryError> {
+        check_confidence(confidence)?;
+        let positions = scope.positions(self.matrix.num_frames());
+        if positions.is_empty() {
+            return Err(QueryError::EmptyScope);
+        }
+        // Fallible projection: out-of-range positions surface as a typed
+        // error, not a panic — query scopes are external input.
+        let scoped = self.matrix.try_project(&positions)?;
+        let n = scoped.num_objects();
+        let f = self.artifact.flip;
+        let items = positions
+            .iter()
+            .zip(scoped.column_counts())
+            .map(|(&pos, observed)| {
+                estimate_count(
+                    format!("frame:{}", self.artifact.picked_frames[pos]),
+                    observed as f64,
+                    n,
+                    f,
+                    confidence,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let label = format!("count[{}]", positions.len());
+        self.answer(tenant, label, positions.len(), confidence, items)
+    }
+
+    /// One object's at-scene duration in picked frames. Reads the object's
+    /// whole row, so it is charged `epsilon_of_flip(ℓ*, f)`.
+    pub fn duration(
+        &mut self,
+        tenant: &str,
+        object: u32,
+        confidence: f64,
+    ) -> Result<QueryAnswer, QueryError> {
+        check_confidence(confidence)?;
+        let m = self.matrix.num_frames();
+        if m == 0 {
+            return Err(QueryError::EmptyScope);
+        }
+        let row = self
+            .artifact
+            .rows
+            .iter()
+            .find(|r| r.id == object)
+            .ok_or(QueryError::UnknownObject { id: object })?;
+        let item = estimate_count(
+            format!("object:{object}"),
+            row.bits.count_ones() as f64,
+            m,
+            self.artifact.flip,
+            confidence,
+        )?;
+        self.answer(
+            tenant,
+            format!("duration[{object}]"),
+            m,
+            confidence,
+            vec![item],
+        )
+    }
+
+    /// Per-class total presence mass (object-frame incidences) across all
+    /// picked frames, one estimate per class present in the artifact.
+    /// Reads every column once, so it is charged `epsilon_of_flip(ℓ*, f)`.
+    pub fn histogram(&mut self, tenant: &str, confidence: f64) -> Result<QueryAnswer, QueryError> {
+        check_confidence(confidence)?;
+        let m = self.matrix.num_frames();
+        if m == 0 {
+            return Err(QueryError::EmptyScope);
+        }
+        let f = self.artifact.flip;
+        let items = self
+            .artifact
+            .classes()
+            .iter()
+            .map(|&class| {
+                let rows: Vec<_> = self
+                    .artifact
+                    .rows
+                    .iter()
+                    .filter(|r| r.class == class)
+                    .collect();
+                let observed: usize = rows.iter().map(|r| r.bits.count_ones()).sum();
+                estimate_count(
+                    format!("class:{class}"),
+                    observed as f64,
+                    rows.len() * m,
+                    f,
+                    confidence,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.answer(tenant, "histogram".to_string(), m, confidence, items)
+    }
+
+    /// Charges the query and assembles the answer. On any error nothing is
+    /// persisted and nothing is revealed.
+    fn answer(
+        &mut self,
+        tenant: &str,
+        label: String,
+        columns_read: usize,
+        confidence: f64,
+        items: Vec<Estimate>,
+    ) -> Result<QueryAnswer, QueryError> {
+        let epsilon = epsilon_of_flip(columns_read, self.artifact.flip)?;
+        let mut charges = Vec::with_capacity(2);
+        if self.store.is_fresh(tenant) {
+            if let Some(side_channel) = self.artifact.epsilon_optimizer {
+                charges.push((
+                    "optimizer-side-channel-first-touch".to_string(),
+                    side_channel,
+                ));
+            }
+        }
+        charges.push((label.clone(), epsilon));
+        let charged = self.store.charge_all(tenant, &charges)?;
+        self.store.save()?;
+        Ok(QueryAnswer {
+            query: label,
+            confidence,
+            epsilon_charged: charged,
+            epsilon_spent: self.store.total(tenant),
+            epsilon_remaining: self.store.remaining(tenant),
+            items,
+        })
+    }
+}
+
+fn check_confidence(confidence: f64) -> Result<(), QueryError> {
+    if confidence > 0.0 && confidence < 1.0 {
+        Ok(())
+    } else {
+        Err(QueryError::BadConfidence { confidence })
+    }
+}
+
+/// Debiases one observed 1-count over `n` bits and attaches a plug-in
+/// standard error and a continuity-corrected normal CI.
+fn estimate_count(
+    label: String,
+    observed: f64,
+    n: usize,
+    f: f64,
+    confidence: f64,
+) -> Result<Estimate, QueryError> {
+    let estimate = debias_count(observed, n, f)?;
+    // The variance formula's domain is the closed count interval [0, n];
+    // the unbiased estimate can fall outside it, so clamp the plug-in.
+    let plug_in = estimate.clamp(0.0, n as f64);
+    let variance = debias_variance(plug_in, n, f)?;
+    let std_error = variance.sqrt();
+    // Half the estimator's lattice spacing: observed counts move in steps
+    // of 1, so estimates move in steps of 1/(1−f).
+    let continuity = 0.5 / (1.0 - f);
+    let half_width = two_sided_z(confidence) * std_error + continuity;
+    Ok(Estimate {
+        label,
+        estimate,
+        std_error,
+        ci_low: estimate - half_width,
+        ci_high: estimate + half_width,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::ArtifactRow;
+    use verro_ldp::bitvec::BitVec;
+
+    fn artifact(flip: f64) -> QueryArtifact {
+        QueryArtifact {
+            stream: "demo".into(),
+            flip,
+            epsilon_rr: epsilon_of_flip(3, flip).unwrap(),
+            epsilon_optimizer: Some(1.0),
+            picked_frames: vec![2, 9, 17],
+            rows: vec![
+                ArtifactRow {
+                    id: 0,
+                    class: "pedestrian".into(),
+                    bits: BitVec::from_bools(&[true, false, true]),
+                },
+                ArtifactRow {
+                    id: 1,
+                    class: "pedestrian".into(),
+                    bits: BitVec::from_bools(&[true, true, false]),
+                },
+                ArtifactRow {
+                    id: 5,
+                    class: "vehicle".into(),
+                    bits: BitVec::from_bools(&[false, true, true]),
+                },
+            ],
+        }
+    }
+
+    fn engine(flip: f64, cap: f64, name: &str) -> QueryEngine {
+        let dir = std::env::temp_dir().join("verro-query-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.json"));
+        let _ = std::fs::remove_file(&path);
+        let store = LedgerStore::open_or_create(path, "demo", cap).unwrap();
+        QueryEngine::new(artifact(flip), store).unwrap()
+    }
+
+    #[test]
+    fn count_debiases_each_frame_in_scope() {
+        let mut eng = engine(0.2, 100.0, "count");
+        let ans = eng.count("t", &QueryScope::All, 0.95).unwrap();
+        assert_eq!(ans.items.len(), 3);
+        assert_eq!(ans.items[0].label, "frame:2");
+        // Column 0 observes 2 of 3 ones at f = 0.2.
+        let expect = (2.0 - 3.0 * 0.2 / 2.0) / 0.8;
+        assert!((ans.items[0].estimate - expect).abs() < 1e-12);
+        for item in &ans.items {
+            assert!(item.ci_low < item.estimate && item.estimate < item.ci_high);
+            assert!(item.std_error > 0.0);
+        }
+    }
+
+    #[test]
+    fn fresh_tenant_full_scope_charge_is_the_privacy_statement_total() {
+        let mut eng = engine(0.2, 100.0, "first-touch");
+        let total = eng.artifact().epsilon_total();
+        let ans = eng.count("fresh", &QueryScope::All, 0.95).unwrap();
+        // Bit-for-bit, not approximately: same epsilon_of_flip call, same
+        // inputs, plus the same ε′, added commutatively.
+        assert_eq!(ans.epsilon_charged.to_bits(), total.to_bits());
+        // Second full-scope query no longer pays the side channel.
+        let again = eng.count("fresh", &QueryScope::All, 0.95).unwrap();
+        assert_eq!(
+            again.epsilon_charged.to_bits(),
+            eng.artifact().epsilon_rr.to_bits()
+        );
+    }
+
+    #[test]
+    fn narrower_scopes_charge_less() {
+        let mut eng = engine(0.2, 100.0, "scopes");
+        let one = eng.count("t", &QueryScope::Frames(vec![1]), 0.95).unwrap();
+        let all = eng.count("t", &QueryScope::All, 0.95).unwrap();
+        assert!(one.epsilon_charged < all.epsilon_charged);
+        assert_eq!(
+            one.epsilon_charged.to_bits(),
+            (epsilon_of_flip(1, 0.2).unwrap() + 1.0).to_bits(),
+            "single column + first touch"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed_and_charges_nothing() {
+        // Cap below even the first-touch surcharge alone.
+        let mut eng = engine(0.2, 0.5, "exhausted");
+        let err = eng.count("t", &QueryScope::All, 0.95).unwrap_err();
+        assert!(matches!(err, QueryError::BudgetExhausted { .. }));
+        assert_eq!(eng.store().total("t"), 0.0);
+        assert!(eng.store().is_fresh("t"), "failed query must not touch");
+    }
+
+    #[test]
+    fn duration_reads_one_row_over_all_columns() {
+        let mut eng = engine(0.2, 100.0, "duration");
+        let ans = eng.duration("t", 5, 0.95).unwrap();
+        assert_eq!(ans.items.len(), 1);
+        assert_eq!(ans.items[0].label, "object:5");
+        let expect = (2.0 - 3.0 * 0.2 / 2.0) / 0.8;
+        assert!((ans.items[0].estimate - expect).abs() < 1e-12);
+        assert!(matches!(
+            eng.duration("t", 99, 0.95),
+            Err(QueryError::UnknownObject { id: 99 })
+        ));
+    }
+
+    #[test]
+    fn histogram_covers_every_class() {
+        let mut eng = engine(0.2, 100.0, "histogram");
+        let ans = eng.histogram("t", 0.95).unwrap();
+        let labels: Vec<&str> = ans.items.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["class:pedestrian", "class:vehicle"]);
+        // Pedestrians: 4 observed ones over 2 objects × 3 frames.
+        let expect = (4.0 - 6.0 * 0.2 / 2.0) / 0.8;
+        assert!((ans.items[0].estimate - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_scope_is_a_typed_error() {
+        let mut eng = engine(0.2, 100.0, "range");
+        assert_eq!(
+            eng.count("t", &QueryScope::Frames(vec![0, 7]), 0.95),
+            Err(QueryError::FrameOutOfRange {
+                frame: 7,
+                num_frames: 3
+            })
+        );
+        assert_eq!(
+            eng.count("t", &QueryScope::Frames(vec![]), 0.95),
+            Err(QueryError::EmptyScope)
+        );
+        // Failed queries never charge.
+        assert!(eng.store().is_fresh("t"));
+    }
+
+    #[test]
+    fn rejects_endpoint_flips_and_bad_confidence() {
+        let dir = std::env::temp_dir().join("verro-query-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = LedgerStore::open_or_create(dir.join("flip-gate.json"), "demo", 1.0).unwrap();
+        assert!(matches!(
+            QueryEngine::new(artifact(1.0), store),
+            Err(QueryError::Ldp(_))
+        ));
+        let mut eng = engine(0.2, 100.0, "confidence");
+        for c in [0.0, 1.0, -0.5, f64::NAN] {
+            assert!(matches!(
+                eng.count("t", &QueryScope::All, c),
+                Err(QueryError::BadConfidence { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn answers_render_to_json() {
+        let mut eng = engine(0.2, 100.0, "json");
+        let ans = eng.histogram("t", 0.9).unwrap();
+        let text = ans.to_json().pretty();
+        let doc = crate::json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("query").and_then(JsonValue::as_str),
+            Some("histogram")
+        );
+        assert_eq!(
+            doc.get("items").and_then(JsonValue::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Typed errors for the query layer.
+//!
+//! Everything an operator-facing query surface can hit is a value here:
+//! budget exhaustion (the one callers must branch on — the CLI maps it to
+//! its own exit code), malformed artifacts or ledgers, and wrapped
+//! lower-layer rejections.
+
+use std::fmt;
+use verro_core::VerroError;
+use verro_ldp::LdpError;
+
+/// Failures surfaced by the query engine and ledger store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The tenant's remaining budget cannot cover this query. Nothing was
+    /// charged; the ledger on disk is unchanged.
+    BudgetExhausted {
+        tenant: String,
+        /// ε the query would have charged (including any first-touch
+        /// surcharge).
+        requested: f64,
+        /// ε still available under the cap before this query.
+        remaining: f64,
+        /// The per-tenant cap in force.
+        cap: f64,
+    },
+    /// The ledger file exists but cannot be parsed — a partial write or
+    /// external corruption. The store refuses to guess (and in particular
+    /// refuses to silently start from zero spend).
+    LedgerCorrupt { path: String, reason: String },
+    /// Filesystem failure reading or writing the ledger or artifact.
+    Io { path: String, reason: String },
+    /// The query artifact is malformed (missing field, bad bit string, …).
+    BadArtifact(String),
+    /// The query names an object id absent from the artifact.
+    UnknownObject { id: u32 },
+    /// The query names a class with no objects in the artifact.
+    UnknownClass { class: String },
+    /// A frame position outside the artifact's picked-frame axis.
+    FrameOutOfRange { frame: usize, num_frames: usize },
+    /// The query scope selects no frames (nothing to estimate).
+    EmptyScope,
+    /// Confidence level outside the open interval `(0, 1)`.
+    BadConfidence { confidence: f64 },
+    /// An LDP primitive rejected its input (flip probability outside the
+    /// query domain `(0, 1)`, invalid ε, out-of-domain count).
+    Ldp(LdpError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::BudgetExhausted {
+                tenant,
+                requested,
+                remaining,
+                cap,
+            } => write!(
+                f,
+                "budget exhausted for tenant {tenant}: query needs ε = {requested} \
+                 but only {remaining} of cap {cap} remains"
+            ),
+            QueryError::LedgerCorrupt { path, reason } => {
+                write!(f, "ledger {path} is corrupt: {reason}")
+            }
+            QueryError::Io { path, reason } => write!(f, "io error on {path}: {reason}"),
+            QueryError::BadArtifact(msg) => write!(f, "bad query artifact: {msg}"),
+            QueryError::UnknownObject { id } => {
+                write!(f, "object {id} not present in the artifact")
+            }
+            QueryError::UnknownClass { class } => {
+                write!(f, "class {class} has no objects in the artifact")
+            }
+            QueryError::FrameOutOfRange { frame, num_frames } => {
+                write!(f, "frame position {frame} out of range (0..{num_frames})")
+            }
+            QueryError::EmptyScope => write!(f, "query scope selects no frames"),
+            QueryError::BadConfidence { confidence } => {
+                write!(
+                    f,
+                    "confidence {confidence} must lie strictly between 0 and 1"
+                )
+            }
+            QueryError::Ldp(e) => write!(f, "LDP primitive rejected input: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<LdpError> for QueryError {
+    fn from(e: LdpError) -> Self {
+        QueryError::Ldp(e)
+    }
+}
+
+impl From<VerroError> for QueryError {
+    fn from(e: VerroError) -> Self {
+        match e {
+            VerroError::FrameOutOfRange { frame, num_frames } => {
+                QueryError::FrameOutOfRange { frame, num_frames }
+            }
+            VerroError::Ldp(inner) => QueryError::Ldp(inner),
+            other => QueryError::BadArtifact(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = QueryError::BudgetExhausted {
+            tenant: "acme".into(),
+            requested: 2.0,
+            remaining: 0.5,
+            cap: 10.0,
+        };
+        for needle in ["acme", "2", "0.5", "10"] {
+            assert!(e.to_string().contains(needle), "missing {needle}: {e}");
+        }
+        assert!(QueryError::EmptyScope.to_string().contains("no frames"));
+        assert!(QueryError::UnknownObject { id: 7 }
+            .to_string()
+            .contains('7'));
+    }
+
+    #[test]
+    fn verro_frame_errors_map_to_query_frame_errors() {
+        let e = QueryError::from(VerroError::FrameOutOfRange {
+            frame: 9,
+            num_frames: 4,
+        });
+        assert_eq!(
+            e,
+            QueryError::FrameOutOfRange {
+                frame: 9,
+                num_frames: 4
+            }
+        );
+        assert!(matches!(
+            QueryError::from(VerroError::Ldp(LdpError::ZeroDimensions)),
+            QueryError::Ldp(LdpError::ZeroDimensions)
+        ));
+    }
+}

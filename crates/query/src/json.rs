@@ -1,0 +1,444 @@
+//! Minimal self-contained JSON: a value tree, a recursive-descent parser,
+//! and a deterministic pretty-printer.
+//!
+//! The query layer owns its serialization instead of reaching for serde so
+//! its on-disk artifacts (ledgers, query artifacts) are plain functions of
+//! the data: object keys keep insertion order, numbers print via Rust's
+//! shortest round-trip `f64` formatting (so `flip` and ε values survive a
+//! save/load cycle bit-for-bit), and a truncated file is a parse error
+//! rather than silently missing fields.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects are ordered key/value pairs — serialization is
+/// deterministic and round-trips preserve layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64 => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(x) => write_num(out, *x),
+            JsonValue::Str(s) => write_str(out, s),
+            JsonValue::Arr(items) if items.is_empty() => out.push_str("[]"),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // Rust's `{}` for f64 is the shortest string that parses back to
+        // the same bits — exact round-trip for ε and flip values.
+        let _ = write!(out, "{x}");
+    } else {
+        // JSON has no Inf/NaN; the query layer never emits them, but a
+        // printer must still be total.
+        out.push_str("null");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document. Errors carry the byte offset and a short reason.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected byte '{}' at {}",
+                other as char, self.pos
+            )),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid utf8 in number at byte {start}"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs are not produced by our own
+                            // printer; accept lone BMP code points only.
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| format!("bad \\u escape at {}", self.pos))?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("bad escape {:?} at byte {}", other, self.pos))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| format!("invalid utf8 at byte {}", self.pos))?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let text = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| "invalid utf8 in \\u escape".to_string())?;
+        let cp = u32::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape '{text}'"))?;
+        self.pos = end - 1;
+        Ok(cp)
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Convenience: an object from key/value pairs.
+pub fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structures() {
+        let v = obj(vec![
+            ("name", JsonValue::Str("tenant \"a\"\n".into())),
+            ("cap", JsonValue::Num(12.5)),
+            (
+                "entries",
+                JsonValue::Arr(vec![
+                    JsonValue::Arr(vec![JsonValue::Str("q1".into()), JsonValue::Num(0.1)]),
+                    JsonValue::Null,
+                    JsonValue::Bool(true),
+                ]),
+            ),
+            ("empty_obj", JsonValue::Obj(vec![])),
+            ("empty_arr", JsonValue::Arr(vec![])),
+        ]);
+        let text = v.pretty();
+        assert_eq!(parse(&text).unwrap(), v);
+        // Printing is deterministic: same value, same bytes.
+        assert_eq!(parse(&text).unwrap().pretty(), text);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            2.0f64.ln() * 7.0,
+            1e-300,
+            -0.0,
+            123456789.123456789,
+            f64::MIN_POSITIVE,
+        ] {
+            let text = JsonValue::Num(x).pretty();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let full = obj(vec![("a", JsonValue::Num(1.0))]).pretty();
+        for cut in 1..full.len() - 1 {
+            assert!(
+                parse(&full[..cut]).is_err(),
+                "prefix of {cut} bytes parsed successfully"
+            );
+        }
+        assert!(parse("").is_err());
+        assert!(parse("{} garbage").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse(r#"{"n": 3, "s": "x", "a": [1, 2], "f": 1.5}"#).unwrap();
+        assert_eq!(v.get("n").and_then(JsonValue::as_usize), Some(3));
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(
+            v.get("a").and_then(JsonValue::as_arr).map(|a| a.len()),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("f").and_then(JsonValue::as_usize),
+            None,
+            "1.5 is not a usize"
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "tab\t nl\n quote\" backslash\\ unicode\u{1F600} ctrl\u{1}";
+        let text = JsonValue::Str(s.into()).pretty();
+        assert_eq!(parse(&text).unwrap().as_str(), Some(s));
+    }
+}

@@ -1,0 +1,369 @@
+//! Persistent per-tenant ε-ledger for one sanitized stream.
+//!
+//! A [`LedgerStore`] maps tenant names to [`BudgetLedger`]s (sequential
+//! composition — the total is the sum of the per-query charges) and pins a
+//! per-tenant cap. It persists as a single JSON document written
+//! atomically: the new contents go to a sibling temporary file, are
+//! `sync_all`ed, then renamed over the old file, so a crash leaves either
+//! the previous complete ledger or the new complete ledger — never a
+//! truncated hybrid. A file that does fail to parse (external corruption)
+//! is surfaced as [`QueryError::LedgerCorrupt`]; the store never silently
+//! restarts a tenant from zero spend.
+
+use crate::error::QueryError;
+use crate::json::{obj, parse, JsonValue};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use verro_ldp::BudgetLedger;
+
+/// Magic format tag; bumped on breaking layout changes.
+const FORMAT: &str = "verro-ledger-v1";
+
+fn check_cap(cap: f64) -> Result<(), QueryError> {
+    if cap > 0.0 && cap.is_finite() {
+        Ok(())
+    } else {
+        Err(QueryError::BadArtifact(format!(
+            "ledger cap {cap} must be positive and finite"
+        )))
+    }
+}
+
+/// A persistent map of tenant → itemized ε spending for one stream, with a
+/// shared per-tenant cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerStore {
+    /// `None` for an ephemeral (in-memory) store — see [`Self::ephemeral`].
+    path: Option<PathBuf>,
+    stream: String,
+    cap: f64,
+    tenants: BTreeMap<String, BudgetLedger>,
+}
+
+impl LedgerStore {
+    /// Opens the ledger at `path`, creating an empty one (in memory — the
+    /// file appears on first [`Self::save`]) if the file does not exist.
+    /// For an existing file the *stored* stream name and cap win; `stream`
+    /// must match and `cap` is ignored, so a ledger cannot be quietly
+    /// re-capped after tenants have spent against it.
+    pub fn open_or_create(
+        path: impl Into<PathBuf>,
+        stream: &str,
+        cap: f64,
+    ) -> Result<Self, QueryError> {
+        let path = path.into();
+        check_cap(cap)?;
+        if path.exists() {
+            let store = Self::load(&path)?;
+            if store.stream != stream {
+                return Err(QueryError::LedgerCorrupt {
+                    path: path.display().to_string(),
+                    reason: format!(
+                        "ledger belongs to stream '{}', not '{stream}'",
+                        store.stream
+                    ),
+                });
+            }
+            Ok(store)
+        } else {
+            Ok(Self {
+                path: Some(path),
+                stream: stream.to_string(),
+                cap,
+                tenants: BTreeMap::new(),
+            })
+        }
+    }
+
+    /// A purely in-memory store: [`Self::save`] is a no-op and nothing ever
+    /// touches disk. For simulation and certification harnesses that replay
+    /// many independent ledgers; production query surfaces should use
+    /// [`Self::open_or_create`] so charges survive restarts.
+    pub fn ephemeral(stream: &str, cap: f64) -> Result<Self, QueryError> {
+        check_cap(cap)?;
+        Ok(Self {
+            path: None,
+            stream: stream.to_string(),
+            cap,
+            tenants: BTreeMap::new(),
+        })
+    }
+
+    /// Loads an existing ledger file.
+    pub fn load(path: impl Into<PathBuf>) -> Result<Self, QueryError> {
+        let path = path.into();
+        let text = std::fs::read_to_string(&path).map_err(|e| QueryError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        let corrupt = |reason: String| QueryError::LedgerCorrupt {
+            path: path.display().to_string(),
+            reason,
+        };
+        let doc = parse(&text).map_err(&corrupt)?;
+        let format = doc.get("format").and_then(JsonValue::as_str);
+        if format != Some(FORMAT) {
+            return Err(corrupt(format!(
+                "format tag {format:?}, expected {FORMAT:?}"
+            )));
+        }
+        let stream = doc
+            .get("stream")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| corrupt("missing stream".into()))?
+            .to_string();
+        let cap = doc
+            .get("cap")
+            .and_then(JsonValue::as_f64)
+            .filter(|c| *c > 0.0 && c.is_finite())
+            .ok_or_else(|| corrupt("missing or invalid cap".into()))?;
+        let mut tenants = BTreeMap::new();
+        let tenant_pairs = doc
+            .get("tenants")
+            .and_then(JsonValue::as_obj)
+            .ok_or_else(|| corrupt("missing tenants".into()))?;
+        for (tenant, entries) in tenant_pairs {
+            let mut ledger = BudgetLedger::new();
+            let items = entries
+                .as_arr()
+                .ok_or_else(|| corrupt(format!("tenant {tenant}: entries not an array")))?;
+            for item in items {
+                let pair = item
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| corrupt(format!("tenant {tenant}: malformed entry")))?;
+                let label = pair[0]
+                    .as_str()
+                    .ok_or_else(|| corrupt(format!("tenant {tenant}: entry label not a string")))?;
+                let epsilon = pair[1]
+                    .as_f64()
+                    .ok_or_else(|| corrupt(format!("tenant {tenant}: entry ε not a number")))?;
+                // Replay through the validating path: a negative, NaN, or
+                // infinite stored charge means the file was tampered with.
+                ledger
+                    .spend_checked(label, epsilon)
+                    .map_err(|e| corrupt(format!("tenant {tenant}: {e}")))?;
+            }
+            tenants.insert(tenant.clone(), ledger);
+        }
+        Ok(Self {
+            path: Some(path),
+            stream,
+            cap,
+            tenants,
+        })
+    }
+
+    /// Atomically persists the ledger: temp file → `sync_all` → rename.
+    /// A no-op for [`Self::ephemeral`] stores.
+    pub fn save(&self) -> Result<(), QueryError> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let io_err = |e: std::io::Error| QueryError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        };
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+            file.write_all(self.to_json().pretty().as_bytes())
+                .map_err(io_err)?;
+            file.sync_all().map_err(io_err)?;
+        }
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|(name, ledger)| {
+                let entries = ledger
+                    .entries()
+                    .iter()
+                    .map(|(label, eps)| {
+                        JsonValue::Arr(vec![JsonValue::Str(label.clone()), JsonValue::Num(*eps)])
+                    })
+                    .collect();
+                (name.clone(), JsonValue::Arr(entries))
+            })
+            .collect();
+        obj(vec![
+            ("format", JsonValue::Str(FORMAT.into())),
+            ("stream", JsonValue::Str(self.stream.clone())),
+            ("cap", JsonValue::Num(self.cap)),
+            ("tenants", JsonValue::Obj(tenants)),
+        ])
+    }
+
+    /// The stream this ledger accounts for.
+    pub fn stream(&self) -> &str {
+        &self.stream
+    }
+
+    /// The per-tenant cap in force.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// The file this store persists to (`None` for ephemeral stores).
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// A tenant's itemized ledger, if they have ever been charged.
+    pub fn tenant(&self, tenant: &str) -> Option<&BudgetLedger> {
+        self.tenants.get(tenant)
+    }
+
+    /// All tenants in deterministic (sorted) order.
+    pub fn tenants(&self) -> impl Iterator<Item = (&str, &BudgetLedger)> {
+        self.tenants.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total ε a tenant has spent (zero if never charged).
+    pub fn total(&self, tenant: &str) -> f64 {
+        self.tenants.get(tenant).map_or(0.0, BudgetLedger::total)
+    }
+
+    /// ε a tenant still has under the cap.
+    pub fn remaining(&self, tenant: &str) -> f64 {
+        self.cap - self.total(tenant)
+    }
+
+    /// Whether the tenant has never been charged on this stream — the
+    /// engine uses this to decide when the optimizer side-channel ε′ must
+    /// ride along ("first touch").
+    pub fn is_fresh(&self, tenant: &str) -> bool {
+        // `Option::is_none_or` needs Rust 1.82; the workspace MSRV is 1.75.
+        #[allow(clippy::unnecessary_map_or)]
+        self.tenants
+            .get(tenant)
+            .map_or(true, BudgetLedger::is_empty)
+    }
+
+    /// Charges a batch of `(label, ε)` items to `tenant` all-or-nothing:
+    /// if the sum would push the tenant past the cap, nothing is recorded
+    /// and [`QueryError::BudgetExhausted`] is returned. Invalid ε (negative,
+    /// NaN, infinite) is rejected before anything is recorded. The change
+    /// is in-memory; call [`Self::save`] to persist.
+    pub fn charge_all(&mut self, tenant: &str, items: &[(String, f64)]) -> Result<f64, QueryError> {
+        let mut requested = 0.0;
+        for (_, eps) in items {
+            if !(*eps >= 0.0 && eps.is_finite()) {
+                return Err(QueryError::Ldp(verro_ldp::LdpError::InvalidEpsilon {
+                    epsilon: *eps,
+                }));
+            }
+            requested += eps;
+        }
+        let spent = self.total(tenant);
+        if spent + requested > self.cap {
+            return Err(QueryError::BudgetExhausted {
+                tenant: tenant.to_string(),
+                requested,
+                remaining: self.cap - spent,
+                cap: self.cap,
+            });
+        }
+        let ledger = self.tenants.entry(tenant.to_string()).or_default();
+        for (label, eps) in items {
+            // Validated above; spend_checked re-validates for defense in
+            // depth and cannot fail here.
+            ledger.spend_checked(label.clone(), *eps)?;
+        }
+        Ok(requested)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("verro-query-ledger-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn charges_compose_and_cap_is_enforced() {
+        let mut store = LedgerStore::open_or_create(tmp_path("mem-only.json"), "s", 1.0).unwrap();
+        store
+            .charge_all("a", &[("q1".into(), 0.4), ("q2".into(), 0.3)])
+            .unwrap();
+        assert!((store.total("a") - 0.7).abs() < 1e-12);
+        let err = store.charge_all("a", &[("q3".into(), 0.5)]).unwrap_err();
+        match err {
+            QueryError::BudgetExhausted {
+                tenant,
+                requested,
+                remaining,
+                cap,
+            } => {
+                assert_eq!(tenant, "a");
+                assert_eq!(requested, 0.5);
+                assert!((remaining - 0.3).abs() < 1e-12);
+                assert_eq!(cap, 1.0);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // The failed charge recorded nothing.
+        assert!((store.total("a") - 0.7).abs() < 1e-12);
+        assert_eq!(store.tenant("a").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut store = LedgerStore::open_or_create(tmp_path("isolated.json"), "s", 1.0).unwrap();
+        store.charge_all("a", &[("q".into(), 0.9)]).unwrap();
+        // Tenant b is untouched by a's spending…
+        assert_eq!(store.total("b"), 0.0);
+        assert!(store.is_fresh("b"));
+        store.charge_all("b", &[("q".into(), 0.9)]).unwrap();
+        // …and a exhausting the cap does not exhaust b.
+        assert!(store.charge_all("a", &[("q".into(), 0.2)]).is_err());
+        assert!(store.charge_all("b", &[("q".into(), 0.05)]).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid_charges_atomically() {
+        let mut store = LedgerStore::open_or_create(tmp_path("invalid.json"), "s", 10.0).unwrap();
+        // One bad item poisons the whole batch — nothing recorded.
+        let err = store
+            .charge_all("a", &[("ok".into(), 0.1), ("bad".into(), f64::NAN)])
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Ldp(_)));
+        assert!(store.is_fresh("a"));
+        assert!(store.charge_all("a", &[("neg".into(), -0.1)]).is_err());
+    }
+
+    #[test]
+    fn zero_cost_charge_marks_tenant_touched() {
+        let mut store = LedgerStore::open_or_create(tmp_path("zero.json"), "s", 1.0).unwrap();
+        store.charge_all("a", &[("free".into(), 0.0)]).unwrap();
+        assert!(!store.is_fresh("a"), "a zero charge still counts as touch");
+    }
+
+    #[test]
+    fn ephemeral_store_never_touches_disk() {
+        let mut store = LedgerStore::ephemeral("s", 1.0).unwrap();
+        assert_eq!(store.path(), None);
+        store.charge_all("a", &[("q".into(), 0.4)]).unwrap();
+        store.save().unwrap(); // no-op
+        assert!((store.total("a") - 0.4).abs() < 1e-12);
+        assert!(LedgerStore::ephemeral("s", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_caps() {
+        for cap in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                LedgerStore::open_or_create(tmp_path("cap.json"), "s", cap).is_err(),
+                "cap {cap} accepted"
+            );
+        }
+    }
+}

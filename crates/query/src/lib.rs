@@ -1,0 +1,56 @@
+//! # verro-query
+//!
+//! DP analytics over VERRO-sanitized streams (Section 5, "Noise
+//! Cancellation", operationalized): answers frame-level object **count**,
+//! per-object at-scene **duration**, and per-class **histogram** queries
+//! from the released randomized presence matrix, with every answer
+//!
+//! * debiased by the unbiased estimators of [`verro_ldp::estimate`],
+//! * wrapped in a plug-in-variance confidence interval, and
+//! * charged against a **persistent per-tenant ε-ledger**
+//!   ([`LedgerStore`]) under sequential composition before it is revealed.
+//!
+//! The ledger persists as atomically written JSON (temp file → fsync →
+//! rename), so a crash leaves either the old or the new complete ledger,
+//! and a corrupt file is a typed error rather than a silent budget reset.
+//! A tenant whose cap cannot cover a query receives
+//! [`QueryError::BudgetExhausted`] and is charged nothing.
+//!
+//! ```
+//! use verro_query::{LedgerStore, QueryArtifact, QueryEngine, QueryScope};
+//! # use verro_query::artifact::ArtifactRow;
+//! # use verro_ldp::bitvec::BitVec;
+//! # let dir = std::env::temp_dir().join("verro-query-doc");
+//! # std::fs::create_dir_all(&dir).unwrap();
+//! # let ledger_path = dir.join("ledger.json");
+//! # let _ = std::fs::remove_file(&ledger_path);
+//! # let artifact = QueryArtifact {
+//! #     stream: "demo".into(),
+//! #     flip: 0.2,
+//! #     epsilon_rr: verro_ldp::epsilon_of_flip(2, 0.2).unwrap(),
+//! #     epsilon_optimizer: None,
+//! #     picked_frames: vec![3, 11],
+//! #     rows: vec![ArtifactRow {
+//! #         id: 0,
+//! #         class: "pedestrian".into(),
+//! #         bits: BitVec::from_bools(&[true, false]),
+//! #     }],
+//! # };
+//! let store = LedgerStore::open_or_create(&ledger_path, "demo", 50.0).unwrap();
+//! let mut engine = QueryEngine::new(artifact, store).unwrap();
+//! let answer = engine.count("tenant-a", &QueryScope::All, 0.95).unwrap();
+//! assert!(answer.epsilon_charged > 0.0);
+//! assert_eq!(answer.items.len(), 2);
+//! ```
+
+pub mod artifact;
+pub mod engine;
+pub mod error;
+pub mod json;
+pub mod ledger;
+pub mod stats;
+
+pub use artifact::QueryArtifact;
+pub use engine::{Estimate, QueryAnswer, QueryEngine, QueryScope};
+pub use error::QueryError;
+pub use ledger::LedgerStore;

@@ -1,0 +1,188 @@
+//! Persistence contract of the ε-ledger store: exact round-trips, crash
+//! safety (a partial write is rejected, never silently truncated to a
+//! smaller spend), and per-tenant isolation.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use verro_query::{LedgerStore, QueryError};
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("verro-query-persistence-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn save_load_round_trip_is_exact() {
+    let path = tmp_path("round-trip.json");
+    let mut store = LedgerStore::open_or_create(&path, "stream-a", 10.0).unwrap();
+    store
+        .charge_all(
+            "acme",
+            &[("count[3]".into(), 1.0 / 3.0), ("histogram".into(), 0.125)],
+        )
+        .unwrap();
+    store
+        .charge_all("beta", &[("duration[7]".into(), 0.7)])
+        .unwrap();
+    store.save().unwrap();
+
+    let loaded = LedgerStore::load(&path).unwrap();
+    assert_eq!(loaded, store);
+    // Totals are bit-exact, not just close: entries round-trip via
+    // shortest-f64 formatting.
+    assert_eq!(
+        loaded.total("acme").to_bits(),
+        store.total("acme").to_bits()
+    );
+    let entries = loaded.tenant("acme").unwrap().entries();
+    assert_eq!(entries[0].0, "count[3]");
+    assert_eq!(entries[0].1.to_bits(), (1.0f64 / 3.0).to_bits());
+    // Saving the loaded store reproduces the file byte-for-byte.
+    let before = std::fs::read_to_string(&path).unwrap();
+    loaded.save().unwrap();
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+}
+
+#[test]
+fn open_or_create_resumes_existing_spend() {
+    let path = tmp_path("resume.json");
+    let mut store = LedgerStore::open_or_create(&path, "s", 5.0).unwrap();
+    store.charge_all("t", &[("q".into(), 4.5)]).unwrap();
+    store.save().unwrap();
+
+    // A fresh process opens the same file: spend survives, and the cap
+    // keeps biting. The stored cap wins over whatever the caller passes —
+    // a restart cannot re-cap tenants.
+    let mut reopened = LedgerStore::open_or_create(&path, "s", 999.0).unwrap();
+    assert_eq!(reopened.cap(), 5.0);
+    assert!((reopened.total("t") - 4.5).abs() < 1e-12);
+    assert!(matches!(
+        reopened.charge_all("t", &[("q".into(), 1.0)]),
+        Err(QueryError::BudgetExhausted { .. })
+    ));
+
+    // But a different stream name is refused outright.
+    assert!(matches!(
+        LedgerStore::open_or_create(&path, "other-stream", 5.0),
+        Err(QueryError::LedgerCorrupt { .. })
+    ));
+}
+
+#[test]
+fn partial_write_is_rejected_not_truncated() {
+    let path = tmp_path("crash.json");
+    let mut store = LedgerStore::open_or_create(&path, "s", 10.0).unwrap();
+    store
+        .charge_all("t", &[("q1".into(), 1.0), ("q2".into(), 2.0)])
+        .unwrap();
+    store.save().unwrap();
+    let full = std::fs::read_to_string(&path).unwrap();
+
+    // Simulate a torn write: every proper prefix of the file must load as
+    // LedgerCorrupt — never as a ledger with less spend than was charged.
+    for cut in [1, full.len() / 4, full.len() / 2, full.len() - 2] {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        match LedgerStore::load(&path) {
+            Err(QueryError::LedgerCorrupt { .. }) => {}
+            other => panic!("prefix of {cut} bytes: expected LedgerCorrupt, got {other:?}"),
+        }
+        // open_or_create must refuse too — not silently start from zero.
+        assert!(LedgerStore::open_or_create(&path, "s", 10.0).is_err());
+    }
+
+    // Tampered ε values (negative spend) are corruption, not data.
+    std::fs::write(&path, full.replace("2", "-2")).unwrap();
+    assert!(matches!(
+        LedgerStore::load(&path),
+        Err(QueryError::LedgerCorrupt { .. })
+    ));
+}
+
+#[test]
+fn save_replaces_atomically_via_rename() {
+    let path = tmp_path("atomic.json");
+    let mut store = LedgerStore::open_or_create(&path, "s", 10.0).unwrap();
+    store.charge_all("t", &[("q".into(), 1.0)]).unwrap();
+    store.save().unwrap();
+    // The temp file never survives a successful save.
+    assert!(!path.with_extension("tmp").exists());
+    // A stale temp file from a crashed writer is ignored and overwritten.
+    std::fs::write(path.with_extension("tmp"), "garbage").unwrap();
+    store.charge_all("t", &[("q2".into(), 2.0)]).unwrap();
+    store.save().unwrap();
+    assert!(!path.with_extension("tmp").exists());
+    let loaded = LedgerStore::load(&path).unwrap();
+    assert!((loaded.total("t") - 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn tenants_stay_isolated_through_persistence() {
+    let path = tmp_path("isolation.json");
+    let mut store = LedgerStore::open_or_create(&path, "s", 2.0).unwrap();
+    store.charge_all("a", &[("q".into(), 1.9)]).unwrap();
+    store.charge_all("b", &[("q".into(), 0.1)]).unwrap();
+    store.save().unwrap();
+
+    let mut loaded = LedgerStore::load(&path).unwrap();
+    // a is nearly exhausted, b is not — across the reload boundary.
+    assert!(matches!(
+        loaded.charge_all("a", &[("q".into(), 0.5)]),
+        Err(QueryError::BudgetExhausted { .. })
+    ));
+    loaded.charge_all("b", &[("q".into(), 0.5)]).unwrap();
+    assert!((loaded.total("a") - 1.9).abs() < 1e-12);
+    assert!((loaded.total("b") - 0.6).abs() < 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// total() is exactly the left-to-right sum of the recorded charges —
+    /// the ledger adds nothing, drops nothing, reorders nothing.
+    #[test]
+    fn total_is_the_running_sum_of_charges(
+        charges in proptest::collection::vec(0.0f64..0.01, 0..40),
+    ) {
+        let mut store = LedgerStore::open_or_create(
+            tmp_path("proptest-mem.json"),
+            "s",
+            1.0,
+        ).unwrap();
+        let mut expected = 0.0f64;
+        for (i, &eps) in charges.iter().enumerate() {
+            store.charge_all("t", &[(format!("q{i}"), eps)]).unwrap();
+            expected += eps;
+        }
+        prop_assert_eq!(store.total("t").to_bits(), expected.to_bits());
+        let ledger = store.tenant("t");
+        prop_assert_eq!(ledger.map_or(0, |l| l.len()), charges.len());
+    }
+
+    /// Interleaved multi-tenant charging: each tenant's total is the sum of
+    /// its own charges only.
+    #[test]
+    fn interleaved_tenants_do_not_leak(
+        seq in proptest::collection::vec((0u8..4, 0.0f64..0.01), 0..60),
+    ) {
+        let mut store = LedgerStore::open_or_create(
+            tmp_path("proptest-multi.json"),
+            "s",
+            1.0,
+        ).unwrap();
+        let mut expected = [0.0f64; 4];
+        for &(who, eps) in &seq {
+            store.charge_all(&format!("tenant-{who}"), &[("q".into(), eps)]).unwrap();
+            expected[who as usize] += eps;
+        }
+        for who in 0..4u8 {
+            prop_assert_eq!(
+                store.total(&format!("tenant-{who}")).to_bits(),
+                expected[who as usize].to_bits(),
+                "tenant {}", who
+            );
+        }
+    }
+}

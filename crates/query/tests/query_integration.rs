@@ -1,0 +1,195 @@
+//! End-to-end: Phase I run → query artifact → engine answers charged
+//! against a persistent ledger, with the ε arithmetic matching the run's
+//! own `PrivacyStatement` exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use verro_core::config::VerroConfig;
+use verro_core::phase1::run_phase1;
+use verro_core::PrivacyStatement;
+use verro_query::{LedgerStore, QueryArtifact, QueryEngine, QueryError, QueryScope};
+use verro_video::annotations::VideoAnnotations;
+use verro_video::geometry::BBox;
+use verro_video::object::{ObjectClass, ObjectId};
+use verro_vision::keyframe::{KeyFrameResult, Segment};
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("verro-query-integration-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn annotations() -> VideoAnnotations {
+    let mut ann = VideoAnnotations::new(30);
+    let b = |x: f64| BBox::new(x, 10.0, 4.0, 8.0);
+    for i in 0..6u32 {
+        let class = if i % 2 == 0 {
+            ObjectClass::Pedestrian
+        } else {
+            ObjectClass::Vehicle
+        };
+        let start = (i as usize) * 3;
+        for k in start..(start + 12).min(30) {
+            ann.record(ObjectId(i), class, k, b(k as f64));
+        }
+    }
+    ann
+}
+
+fn key_frames() -> KeyFrameResult {
+    KeyFrameResult {
+        segments: [2usize, 8, 14, 20, 26]
+            .iter()
+            .map(|&k| Segment {
+                frames: vec![k],
+                key_frame: k,
+            })
+            .collect(),
+    }
+}
+
+/// Runs Phase I and packages the release as a query artifact.
+fn release(seed: u64, flip: f64) -> (QueryArtifact, PrivacyStatement) {
+    let ann = annotations();
+    let cfg = VerroConfig::default().with_flip(flip);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p1 = run_phase1(&ann, &key_frames(), &cfg, &mut rng).unwrap();
+    let privacy = PrivacyStatement::from_phase1(&p1, &cfg);
+    let artifact = QueryArtifact::from_run("it-stream", &p1, &privacy, &ann).unwrap();
+    (artifact, privacy)
+}
+
+#[test]
+fn artifact_from_run_survives_disk_round_trip() {
+    let (artifact, privacy) = release(1, 0.25);
+    assert_eq!(artifact.flip, 0.25);
+    assert_eq!(artifact.epsilon_rr.to_bits(), privacy.epsilon_rr.to_bits());
+    assert_eq!(artifact.num_objects(), 6);
+    assert!(artifact.classes().contains(&"vehicle"));
+
+    let path = tmp_path("artifact.json");
+    artifact.save(&path).unwrap();
+    let loaded = QueryArtifact::load(&path).unwrap();
+    assert_eq!(loaded, artifact);
+    assert_eq!(
+        loaded.epsilon_total().to_bits(),
+        privacy.epsilon_total.to_bits(),
+        "ε_total survives the disk round trip bit-for-bit"
+    );
+}
+
+#[test]
+fn full_scope_query_charges_the_statement_total() {
+    let (artifact, privacy) = release(2, 0.3);
+    let store = LedgerStore::open_or_create(tmp_path("statement.json"), "it-stream", 1e6).unwrap();
+    let mut engine = QueryEngine::new(artifact, store).unwrap();
+
+    let ans = engine.count("tenant", &QueryScope::All, 0.95).unwrap();
+    assert_eq!(
+        ans.epsilon_charged.to_bits(),
+        privacy.epsilon_total.to_bits(),
+        "fresh tenant, full scope: charge must equal the PrivacyStatement \
+         composition exactly"
+    );
+    assert_eq!(ans.items.len(), privacy.picked_frames);
+
+    // Subsequent queries compose sequentially on top.
+    let before = ans.epsilon_spent;
+    let again = engine.histogram("tenant", 0.95).unwrap();
+    assert_eq!(
+        again.epsilon_spent.to_bits(),
+        (before + again.epsilon_charged).to_bits()
+    );
+}
+
+#[test]
+fn ledger_survives_engine_restarts() {
+    let (artifact, _) = release(3, 0.3);
+    let path = tmp_path("restart.json");
+    let spent = {
+        let store = LedgerStore::open_or_create(&path, "it-stream", 1e6).unwrap();
+        let mut engine = QueryEngine::new(artifact.clone(), store).unwrap();
+        engine.duration("tenant", 0, 0.95).unwrap().epsilon_spent
+    };
+    // New engine, same ledger file: spend resumes, first-touch is not
+    // re-charged.
+    let store = LedgerStore::open_or_create(&path, "it-stream", 1e6).unwrap();
+    let mut engine = QueryEngine::new(artifact.clone(), store).unwrap();
+    let ans = engine.duration("tenant", 0, 0.95).unwrap();
+    assert_eq!(
+        ans.epsilon_charged.to_bits(),
+        engine.artifact().epsilon_rr.to_bits(),
+        "no first-touch surcharge after restart"
+    );
+    assert_eq!(
+        ans.epsilon_spent.to_bits(),
+        (spent + ans.epsilon_charged).to_bits()
+    );
+}
+
+#[test]
+fn exhausted_tenant_is_rejected_and_never_overspends() {
+    let (artifact, privacy) = release(4, 0.3);
+    // Cap fits the first query (statement total) plus one more count query,
+    // but not a third.
+    let cap = privacy.epsilon_total + privacy.epsilon_rr + 1e-9;
+    let store = LedgerStore::open_or_create(tmp_path("cap.json"), "it-stream", cap).unwrap();
+    let mut engine = QueryEngine::new(artifact, store).unwrap();
+
+    engine.count("t", &QueryScope::All, 0.95).unwrap();
+    engine.count("t", &QueryScope::All, 0.95).unwrap();
+    let err = engine.count("t", &QueryScope::All, 0.95).unwrap_err();
+    match err {
+        QueryError::BudgetExhausted {
+            requested,
+            remaining,
+            cap: c,
+            ..
+        } => {
+            assert!(remaining < requested);
+            assert_eq!(c, cap);
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    // The ledger never exceeds the cap, in memory or on disk.
+    assert!(engine.store().total("t") <= cap);
+    let reloaded = LedgerStore::load(engine.store().path().unwrap()).unwrap();
+    assert!(reloaded.total("t") <= cap);
+    assert_eq!(
+        reloaded.total("t").to_bits(),
+        engine.store().total("t").to_bits()
+    );
+
+    // A different tenant on the same stream still has full budget.
+    assert!(engine.duration("fresh-tenant", 0, 0.95).is_ok());
+}
+
+#[test]
+fn estimates_track_ground_truth_loosely() {
+    // Single-run sanity (the Monte-Carlo certification in verro-audit does
+    // the statistics properly): at a low flip probability the debiased
+    // per-frame counts stay within a few objects of the truth.
+    let ann = annotations();
+    let cfg = VerroConfig::default().with_flip(0.05);
+    let mut rng = StdRng::seed_from_u64(5);
+    let p1 = run_phase1(&ann, &key_frames(), &cfg, &mut rng).unwrap();
+    let privacy = PrivacyStatement::from_phase1(&p1, &cfg);
+    let artifact = QueryArtifact::from_run("it-stream", &p1, &privacy, &ann).unwrap();
+    let truth = p1.original.column_counts();
+
+    let store = LedgerStore::open_or_create(tmp_path("truth.json"), "it-stream", 1e6).unwrap();
+    let mut engine = QueryEngine::new(artifact, store).unwrap();
+    let ans = engine.count("t", &QueryScope::All, 0.95).unwrap();
+    for (item, &t) in ans.items.iter().zip(&truth) {
+        assert!(
+            (item.estimate - t as f64).abs() < 4.0,
+            "{}: estimate {} vs truth {t}",
+            item.label,
+            item.estimate
+        );
+        assert!(item.ci_high - item.ci_low > 0.0);
+    }
+}
