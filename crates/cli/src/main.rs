@@ -26,18 +26,64 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 use verro_core::config::BackgroundMode;
+use verro_core::journal::{fnv1a_seed, frame_fold};
+use verro_core::stream::{CheckpointOptions, SegmentSink};
+use verro_core::supervise::{supervise, CancelToken, SupervisorPolicy, SupervisorReport};
 use verro_core::{KernelMode, Verro, VerroConfig, VerroError};
-use verro_query::{LedgerStore, QueryArtifact, QueryEngine, QueryError, QueryScope};
+use verro_query::{LedgerLock, LedgerStore, QueryArtifact, QueryEngine, QueryError, QueryScope};
 use verro_video::annotations::VideoAnnotations;
 use verro_video::fault::{FaultSchedule, FaultySource, PixelRect, SourceError, TryFrameSource};
 use verro_video::geometry::Size;
 use verro_video::image::ImageBuffer;
 use verro_video::object::ObjectClass;
 use verro_video::recover::{CorruptAction, RecoveryPolicy};
+use verro_video::sink::{FaultySink, PpmDirSink, RecoveringSink, SinkFaultSchedule, SinkHealth};
 use verro_video::source::{FrameSource, InMemoryVideo};
 use verro_vision::detect::DetectorConfig;
 use verro_vision::track::TrackerConfig;
+
+/// SIGINT → graceful drain. The handler only flips a static atomic; the
+/// stream command polls it from an ordinary thread and cancels each
+/// stream's interrupt token, so the whole drain path is safe code.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the SIGINT (2) handler. Idempotent.
+    pub fn install() {
+        // SAFETY: the handler only stores to a static atomic, which is
+        // async-signal-safe; `signal` itself has no memory preconditions.
+        unsafe {
+            signal(2, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() {}
+
+    pub fn interrupted() -> bool {
+        false
+    }
+}
 
 const USAGE: &str = "\
 verro — publish video data with indistinguishable objects (VERRO, EDBT 2020)
@@ -88,9 +134,35 @@ STREAM OPTIONS:
     --stream-budget <M> per-stream working-set ceiling in MiB [default: 256]
     --chunk <N>        histogram batch size on the ingest channel
                                                             [default: 16]
+    --resume <DIR>     resume an interrupted/killed run from its output
+                       directory (reads each stream's run.journal; exclusive
+                       with --out; inputs and flags must be re-specified).
+                       Completed segments are verified byte-for-byte and
+                       skipped; any seed/config/input mismatch is refused
+                       (exit 4) — resume never re-randomizes
+    --stall-timeout <S> per-stream stall watchdog deadline in seconds; a
+                       stream making no progress for this long is cancelled
+                       and restarted from its journal (0 disables)
+                                                            [default: 0]
+    --max-restarts <N> stall restarts per stream before it fails typed
+                                                            [default: 2]
+    --inject-sink-faults  wrap each stream's output sink in the
+                       deterministic sink-fault injector (ENOSPC, short
+                       writes, rename failures; retried under the recovery
+                       policy, recorded never slept)
+    --sink-fault-rate <R> injected sink-fault intensity in [0, 1]
+                                                            [default: 0.15]
+    --sink-fault-seed <N> sink-fault schedule seed          [default: 1]
     sanitize options --flip/--epsilon/--seed/--fast/--fps/--kernels and the
     recovery options below also apply; --inject-faults needs --demo (file
     streams carry real I/O faults already)
+
+    Each stream runs under a supervisor: a panic in one stream is caught at
+    the stream boundary (exit 4, siblings finish), every committed segment
+    is journaled durably (write-tmp -> fsync -> rename), and SIGINT drains
+    at the next segment boundary, commits the journal, writes a valid
+    partial manifest, and exits 6 so `--resume` can continue the run
+    byte-identically.
 
 RECOVERY OPTIONS (sanitize, stream, and demo):
     --max-retries <N>  retry budget per frame for transient faults [default: 3]
@@ -128,6 +200,10 @@ QUERY OPTIONS:
                        cap always wins on reopen)  [default: 3x the
                        artifact's epsilon_total]
     --confidence <C>   confidence level of the intervals    [default: 0.95]
+    --lock-wait-ms <N> how long to wait for the ledger's advisory file lock
+                       when another verro process holds it (charges are
+                       serialized so none can be lost); 0 fails immediately
+                                                            [default: 5000]
 
 OUTPUT:
     <out>/000000.ppm ...   sanitized frames
@@ -143,7 +219,10 @@ EXIT CODES:
        fault recovery (SourceExhausted)
     4  the sanitizer rejected the input (typed pipeline error)
     5  the tenant's epsilon budget is exhausted (BudgetExhausted); nothing
-       was charged and no estimate was revealed";
+       was charged and no estimate was revealed
+    6  the run was interrupted (SIGINT): every committed segment is
+       journaled and on disk; `verro stream --resume <out>` continues the
+       run byte-identically";
 
 /// Typed CLI failure; each class maps to a distinct exit code so scripts
 /// can tell usage mistakes from bad data from pipeline rejections.
@@ -157,6 +236,9 @@ enum CliError {
     Pipeline(VerroError),
     /// The query layer rejected the request.
     Query(QueryError),
+    /// The run drained on an operator interrupt with its journal
+    /// committed; the message says how to resume.
+    Interrupted(String),
 }
 
 impl CliError {
@@ -167,6 +249,7 @@ impl CliError {
             // rejection — scripts retrying ingest should see code 3.
             CliError::Data(_) | CliError::Pipeline(VerroError::SourceExhausted { .. }) => 3,
             CliError::Pipeline(_) => 4,
+            CliError::Interrupted(_) => 6,
             CliError::Query(e) => match e {
                 // The documented budget signal: scripts distinguish "stop
                 // querying this tenant" from every other failure.
@@ -191,6 +274,7 @@ impl std::fmt::Display for CliError {
             CliError::Data(msg) => write!(f, "{msg}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Query(e) => write!(f, "{e}"),
+            CliError::Interrupted(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -666,15 +750,79 @@ struct StreamSummary {
     epsilon_rr: f64,
     picked_frames: usize,
     peak_raster_bytes: usize,
-    cache_peak_bytes: usize,
     health_degraded: bool,
     health_summary: String,
+    supervisor: SupervisorReport,
+    resumed_segments: usize,
+    committed_segments: usize,
+    total_segments: usize,
+    interrupted: bool,
+    sink_health: SinkHealth,
 }
 
-/// Runs one stream end to end: frames stream from `src` through the stage
-/// graph and every rendered `V*` frame is written to `out` the moment it
-/// leaves the render stage — the CLI never holds the sanitized clip in
-/// memory either.
+/// The CLI's [`SegmentSink`]: every frame is committed atomically
+/// (write-tmp → fsync → rename) by [`PpmDirSink`], optionally behind the
+/// deterministic sink-fault injector, with retryable faults absorbed by
+/// [`RecoveringSink`] under the stream's recovery policy (backoff recorded,
+/// never slept). Per-frame durability is what lets `commit_segment` stay a
+/// no-op: by the time the journal records a segment, every frame in it has
+/// already survived its rename.
+struct CliStreamSink {
+    sink: RecoveringSink<FaultySink<PpmDirSink>>,
+}
+
+impl CliStreamSink {
+    fn create(
+        dir: &Path,
+        schedule: SinkFaultSchedule,
+        policy: RecoveryPolicy,
+    ) -> Result<Self, CliError> {
+        let ppm = PpmDirSink::create(dir)
+            .map_err(|e| CliError::Data(format!("cannot create {}: {e}", dir.display())))?;
+        Ok(Self {
+            sink: RecoveringSink::new(FaultySink::new(ppm, schedule), policy),
+        })
+    }
+
+    fn health(&self) -> SinkHealth {
+        self.sink.health()
+    }
+}
+
+impl SegmentSink for CliStreamSink {
+    fn put(&mut self, k: usize, frame: &ImageBuffer) -> Result<(), VerroError> {
+        self.sink.put(k, frame).map_err(|e| VerroError::SinkFailed {
+            frame: e.frame(),
+            reason: e.to_string(),
+        })
+    }
+
+    fn persisted_fingerprint(&mut self, d0: usize, d1: usize) -> Result<u64, VerroError> {
+        let mut fp = fnv1a_seed();
+        for k in d0..=d1 {
+            let img =
+                self.sink
+                    .inner()
+                    .inner()
+                    .read_frame(k)
+                    .map_err(|e| VerroError::SinkFailed {
+                        frame: k,
+                        reason: format!("cannot read back persisted frame: {e}"),
+                    })?;
+            fp = frame_fold(fp, k, &img);
+        }
+        Ok(fp)
+    }
+}
+
+/// Runs one stream end to end under supervision: frames stream from `src`
+/// through the checkpointed stage graph, every rendered `V*` frame is
+/// committed atomically the moment it leaves the render stage, every
+/// finished segment is journaled, and the stall watchdog restarts a hung
+/// attempt from that journal. Even when the run drains on an interrupt the
+/// manifest written here is complete and valid — it just carries
+/// `interrupted: true` and fewer committed segments.
+#[allow(clippy::too_many_arguments)]
 fn run_stream<S: TryFrameSource + Sync>(
     label: &str,
     verro: &Verro,
@@ -683,30 +831,38 @@ fn run_stream<S: TryFrameSource + Sync>(
     policy: RecoveryPolicy,
     options: &verro_core::StreamOptions,
     out: &Path,
+    sup_policy: SupervisorPolicy,
+    sink_schedule: SinkFaultSchedule,
+    cli_resume: bool,
+    interrupt: &CancelToken,
 ) -> Result<StreamSummary, CliError> {
-    use verro_video::BufferPool;
     std::fs::create_dir_all(out)
         .map_err(|e| CliError::Data(format!("cannot create {}: {e}", out.display())))?;
-    let size = src.frame_size();
-    let fps = src.fps();
-    let pool = BufferPool::new();
-    let mut ppm = pool.acquire((size.width as usize) * (size.height as usize) * 3 + 32);
-    let mut io_err: Option<String> = None;
-    let result =
-        verro.sanitize_streaming_fallible(src, annotations, policy, options, |k, frame| {
-            if io_err.is_some() {
-                return; // first write failure wins; drain the rest quietly
-            }
-            frame.write_ppm_into(&mut ppm);
-            let path = out.join(format!("{k:06}.ppm"));
-            if let Err(e) = std::fs::write(&path, &ppm[..]) {
-                io_err = Some(format!("{}: {e}", path.display()));
-            }
-        })?;
-    drop(ppm);
-    if let Some(msg) = io_err {
-        return Err(CliError::Data(msg));
+    let journal_path = out.join("run.journal");
+    if cli_resume && !journal_path.exists() {
+        return Err(CliError::Data(format!(
+            "--resume: no run.journal in {} (was this directory written by `verro stream`?)",
+            out.display()
+        )));
     }
+    let fps = src.fps();
+    let mut sink = CliStreamSink::create(out, sink_schedule, policy)?;
+    let (sup, engine) = supervise(label, &sup_policy, |attempt, hb, cancel| {
+        let ckpt = CheckpointOptions {
+            journal_path: journal_path.clone(),
+            // A stall restart resumes from whatever the previous attempt
+            // journaled; the first attempt resumes only when the operator
+            // asked to.
+            resume: cli_resume || (attempt > 0 && journal_path.exists()),
+            cancel: cancel.clone(),
+            interrupt: interrupt.clone(),
+            heartbeat: hb.clone(),
+        };
+        verro.sanitize_streaming_checkpointed(src, annotations, policy, options, &ckpt, &mut sink)
+    });
+    let ckpt = engine.map_err(CliError::Pipeline)?;
+    let result = &ckpt.output;
+    let sink_health = sink.health();
     std::fs::write(
         out.join("synthetic_gt.txt"),
         result.phase2.synthetic.to_mot_text(),
@@ -729,6 +885,22 @@ fn run_stream<S: TryFrameSource + Sync>(
             "skipped_frames": result.health.skipped_frames(),
             "total_retries": result.health.total_retries,
             "total_backoff_ms": result.health.total_backoff_ms,
+        },
+        "supervisor": {
+            "restarts": sup.restarts,
+            "stalls": sup.stalls,
+            "panics": sup.panics,
+            "backoff_ms": sup.backoff_ms,
+            "resumed_segments": ckpt.resumed_segments,
+            "committed_segments": ckpt.committed_segments,
+            "total_segments": ckpt.total_segments,
+            "interrupted": ckpt.interrupted,
+            "sink": {
+                "frames": sink_health.frames,
+                "retried": sink_health.retried,
+                "total_retries": sink_health.total_retries,
+                "total_backoff_ms": sink_health.total_backoff_ms,
+            },
         },
         "stream_stats": {
             "frames": result.stats.frames,
@@ -761,9 +933,14 @@ fn run_stream<S: TryFrameSource + Sync>(
         epsilon_rr: result.privacy.epsilon_rr,
         picked_frames: result.privacy.picked_frames,
         peak_raster_bytes: result.stats.peak_raster_bytes,
-        cache_peak_bytes: result.stats.cache.peak_bytes,
         health_degraded: result.health.is_degraded(),
         health_summary: result.health.summary(),
+        supervisor: sup,
+        resumed_segments: ckpt.resumed_segments,
+        committed_segments: ckpt.committed_segments,
+        total_segments: ckpt.total_segments,
+        interrupted: ckpt.interrupted,
+        sink_health,
     })
 }
 
@@ -794,11 +971,14 @@ fn demo_stream_video(seed: u64) -> verro_video::generator::GeneratedVideo {
 
 fn cmd_stream(args: &[String]) -> Result<(), CliError> {
     let flags = Flags { args };
-    let out_root = PathBuf::from(
-        flags
-            .value("--out")
-            .ok_or_else(|| CliError::Usage("missing --out <DIR>".into()))?,
-    );
+    let (out_root, cli_resume) = match (flags.value("--out"), flags.value("--resume")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage("--out and --resume are exclusive".into()))
+        }
+        (Some(out), None) => (PathBuf::from(out), false),
+        (None, Some(dir)) => (PathBuf::from(dir), true),
+        (None, None) => return Err(CliError::Usage("missing --out <DIR>".into())),
+    };
     let mut config = build_config(&flags)?;
     if let Some(mib) = flags
         .parse::<usize>("--stream-budget")
@@ -822,6 +1002,37 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
         .parse("--fps")
         .map_err(CliError::Usage)?
         .unwrap_or(30.0);
+    let stall_secs: f64 = flags
+        .parse("--stall-timeout")
+        .map_err(CliError::Usage)?
+        .unwrap_or(0.0);
+    if !stall_secs.is_finite() || stall_secs < 0.0 {
+        return Err(CliError::Usage(
+            "--stall-timeout must be a non-negative number of seconds".into(),
+        ));
+    }
+    let sup_policy = SupervisorPolicy {
+        stall_timeout_ms: (stall_secs * 1000.0) as u64,
+        max_restarts: flags
+            .parse::<u32>("--max-restarts")
+            .map_err(CliError::Usage)?
+            .unwrap_or(2),
+        ..SupervisorPolicy::default()
+    };
+    let inject_sink = flags.switch("--inject-sink-faults");
+    let sink_rate: f64 = flags
+        .parse("--sink-fault-rate")
+        .map_err(CliError::Usage)?
+        .unwrap_or(0.15);
+    let sink_seed: u64 = flags
+        .parse("--sink-fault-seed")
+        .map_err(CliError::Usage)?
+        .unwrap_or(1);
+    if inject_sink && !(0.0..=1.0).contains(&sink_rate) {
+        return Err(CliError::Usage(
+            "--sink-fault-rate must be in [0, 1]".into(),
+        ));
+    }
 
     let inputs: Vec<(String, StreamInput)> = match (
         flags.value("--frames"),
@@ -900,19 +1111,44 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
         verro.config().stream_memory_budget / (1024 * 1024)
     );
 
+    // SIGINT drains at the next segment boundary: the handler flips a flag,
+    // a monitor thread fans it out to every stream's interrupt token, and
+    // each stream commits its journal and writes a valid partial manifest
+    // before exiting with code 6.
+    sigint::install();
+    let interrupt = CancelToken::default();
+
     // One OS thread per stream: the engine's own stages subdivide further,
     // and the bounded channels keep every stream under its own ceiling.
+    let done = AtomicBool::new(false);
     let results: Vec<Result<StreamSummary, CliError>> = std::thread::scope(|scope| {
+        let done = &done;
+        let monitor_interrupt = interrupt.clone();
+        scope.spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                if sigint::interrupted() {
+                    monitor_interrupt.cancel();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
         let handles: Vec<_> = inputs
             .iter()
             .enumerate()
             .map(|(i, (label, input))| {
                 let verro = &verro;
                 let options = &options;
+                let interrupt = &interrupt;
                 let out = if single {
                     out_root.clone()
                 } else {
                     out_root.join(format!("stream{i}"))
+                };
+                let sink_schedule = if inject_sink {
+                    SinkFaultSchedule::mixed(sink_seed.wrapping_add(i as u64), sink_rate)
+                } else {
+                    SinkFaultSchedule::clean(0)
                 };
                 scope.spawn(move || -> Result<StreamSummary, CliError> {
                     match input {
@@ -922,7 +1158,19 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
                                 .map_err(|e| CliError::Data(format!("{}: {e}", gt.display())))?;
                             let ann = VideoAnnotations::from_mot_text(&text, src.num_frames())
                                 .map_err(CliError::Data)?;
-                            run_stream(label, verro, &src, &ann, policy, options, &out)
+                            run_stream(
+                                label,
+                                verro,
+                                &src,
+                                &ann,
+                                policy,
+                                options,
+                                &out,
+                                sup_policy,
+                                sink_schedule,
+                                cli_resume,
+                                interrupt,
+                            )
                         }
                         StreamInput::Demo { seed } => {
                             let video = demo_stream_video(*seed);
@@ -930,42 +1178,109 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
                             match schedule {
                                 Some(schedule) => {
                                     let faulty = FaultySource::new(video, schedule);
-                                    run_stream(label, verro, &faulty, &ann, policy, options, &out)
+                                    run_stream(
+                                        label,
+                                        verro,
+                                        &faulty,
+                                        &ann,
+                                        policy,
+                                        options,
+                                        &out,
+                                        sup_policy,
+                                        sink_schedule,
+                                        cli_resume,
+                                        interrupt,
+                                    )
                                 }
-                                None => {
-                                    run_stream(label, verro, &video, &ann, policy, options, &out)
-                                }
+                                None => run_stream(
+                                    label,
+                                    verro,
+                                    &video,
+                                    &ann,
+                                    policy,
+                                    options,
+                                    &out,
+                                    sup_policy,
+                                    sink_schedule,
+                                    cli_resume,
+                                    interrupt,
+                                ),
                             }
                         }
                     }
                 })
             })
             .collect();
-        handles
+        // A panicked stream thread must not take its siblings down with it:
+        // surface the payload as a typed failure and let the rest finish.
+        let results = handles
             .into_iter()
-            .map(|h| h.join().expect("stream thread panicked"))
-            .collect()
+            .enumerate()
+            .map(|(i, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    let reason = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_string()
+                    };
+                    Err(CliError::Pipeline(VerroError::StreamFailed {
+                        stream: format!("stream{i}"),
+                        reason,
+                    }))
+                })
+            })
+            .collect();
+        done.store(true, Ordering::Release);
+        results
     });
 
     let mut first_err: Option<CliError> = None;
+    let mut any_interrupted = false;
     for (i, result) in results.into_iter().enumerate() {
         match result {
             Ok(s) => {
+                any_interrupted |= s.interrupted;
+                let mut extras = String::new();
+                if s.health_degraded {
+                    extras.push_str(&format!("; health: {}", s.health_summary));
+                }
+                if s.supervisor.restarts > 0 || s.supervisor.stalls > 0 {
+                    extras.push_str(&format!(
+                        "; supervisor: {} stall(s), {} restart(s), {} ms recorded backoff",
+                        s.supervisor.stalls, s.supervisor.restarts, s.supervisor.backoff_ms
+                    ));
+                }
+                if s.resumed_segments > 0 {
+                    extras.push_str(&format!(
+                        "; resumed {} already-committed segment(s)",
+                        s.resumed_segments
+                    ));
+                }
+                if s.sink_health.retried > 0 {
+                    extras.push_str(&format!(
+                        "; sink: {} frame(s) retried over {} fault(s)",
+                        s.sink_health.retried, s.sink_health.total_retries
+                    ));
+                }
+                if s.interrupted {
+                    extras.push_str(&format!(
+                        "; interrupted: {} of {} segments committed",
+                        s.committed_segments + s.resumed_segments,
+                        s.total_segments
+                    ));
+                }
                 eprintln!(
                     "stream {i} ({}): {} frames in {} segments, epsilon_RR = {:.2} over {} \
-                     picked key frames, peak raster {} KiB (+{} KiB cache){}",
+                     picked key frames, peak raster {} KiB{}",
                     s.label,
                     s.frames,
                     s.segments,
                     s.epsilon_rr,
                     s.picked_frames,
                     s.peak_raster_bytes / 1024,
-                    s.cache_peak_bytes / 1024,
-                    if s.health_degraded {
-                        format!("; health: {}", s.health_summary)
-                    } else {
-                        String::new()
-                    }
+                    extras
                 );
             }
             Err(e) => {
@@ -978,6 +1293,10 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
     }
     match first_err {
         Some(e) => Err(e),
+        None if any_interrupted => Err(CliError::Interrupted(format!(
+            "committed segments are journaled; resume with `verro stream --resume {}`",
+            out_root.display()
+        ))),
         None => {
             eprintln!("done -> {}", out_root.display());
             Ok(())
@@ -1009,11 +1328,19 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         .map_err(CliError::Usage)?
         .unwrap_or(0.95);
 
+    let lock_wait_ms: u64 = flags
+        .parse("--lock-wait-ms")
+        .map_err(CliError::Usage)?
+        .unwrap_or(5000);
+
     let artifact = QueryArtifact::load(&artifact_path)?;
     let cap = match flags.parse::<f64>("--cap").map_err(CliError::Usage)? {
         Some(c) => c,
         None => 3.0 * artifact.epsilon_total(),
     };
+    // Held for the whole read → charge → save window so a concurrent
+    // `verro query` cannot interleave and lose this charge.
+    let _lock = LedgerLock::acquire(&ledger_path, lock_wait_ms)?;
     let store = LedgerStore::open_or_create(&ledger_path, &artifact.stream, cap)?;
     let mut engine = QueryEngine::new(artifact, store)?;
 

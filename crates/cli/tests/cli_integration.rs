@@ -215,6 +215,203 @@ fn exclusive_flip_and_epsilon_rejected() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("exclusive"));
 }
 
+#[test]
+fn stream_demo_journals_and_resumes_byte_identically() {
+    let dir = tmpdir("stream-journal");
+    let out = verro()
+        .args(["stream", "--demo", "1", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("run stream");
+    assert!(
+        out.status.success(),
+        "stream failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let journal = std::fs::read_to_string(dir.join("run.journal")).expect("journal written");
+    assert!(journal.starts_with("verro-journal-v1"));
+    assert!(journal.contains("done"), "finished run must be marked done");
+    assert!(dir.join("000000.ppm").exists());
+    assert!(dir.join("privacy.json").exists());
+    let frame0 = std::fs::read(dir.join("000000.ppm")).unwrap();
+
+    // Resuming a finished run verifies every journaled segment against the
+    // persisted bytes and re-renders nothing.
+    let out = verro()
+        .args(["stream", "--demo", "1", "--resume", dir.to_str().unwrap()])
+        .output()
+        .expect("run resume");
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("resumed"));
+    assert_eq!(
+        std::fs::read(dir.join("000000.ppm")).unwrap(),
+        frame0,
+        "resume changed published bytes"
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn stream_with_injected_sink_faults_retries_and_succeeds() {
+    let dir = tmpdir("stream-sink-faults");
+    let out = verro()
+        .args([
+            "stream",
+            "--demo",
+            "1",
+            "--out",
+            dir.to_str().unwrap(),
+            "--inject-sink-faults",
+            "--sink-fault-rate",
+            "0.3",
+            "--sink-fault-seed",
+            "7",
+        ])
+        .output()
+        .expect("run stream");
+    assert!(
+        out.status.success(),
+        "faulty-sink stream failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("sink:"),
+        "rate 0.3 must hit at least one frame and be summarized"
+    );
+    assert!(dir.join("000000.ppm").exists());
+    cleanup(&dir);
+}
+
+#[test]
+fn resume_without_a_journal_is_refused() {
+    let dir = tmpdir("no-journal");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = verro()
+        .args(["stream", "--demo", "1", "--resume", dir.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("run.journal"));
+    cleanup(&dir);
+}
+
+#[test]
+fn out_and_resume_are_exclusive() {
+    let out = verro()
+        .args(["stream", "--demo", "1", "--out", "a", "--resume", "b"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exclusive"));
+}
+
+/// `verro demo` output primed for query tests: returns the artifact path.
+fn demo_artifact(dir: &Path) -> std::path::PathBuf {
+    let out = verro()
+        .args(["demo", "--out", dir.to_str().unwrap(), "--flip", "0.2"])
+        .output()
+        .expect("run demo");
+    assert!(
+        out.status.success(),
+        "demo failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    dir.join("phase1.json")
+}
+
+#[test]
+fn concurrent_queries_do_not_lose_ledger_charges() {
+    let dir = tmpdir("ledger-race");
+    let artifact = demo_artifact(&dir);
+    let ledger = dir.join("ledger.json");
+
+    // Four processes charge four distinct tenants at once. Without the
+    // advisory lock their load → charge → save cycles interleave and the
+    // last save wins, silently dropping earlier tenants' spend.
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let artifact = artifact.clone();
+            let ledger = ledger.clone();
+            std::thread::spawn(move || {
+                verro()
+                    .args([
+                        "query",
+                        "--artifact",
+                        artifact.to_str().unwrap(),
+                        "--ledger",
+                        ledger.to_str().unwrap(),
+                        "--tenant",
+                        &format!("tenant-{i}"),
+                        "--query",
+                        "count",
+                        "--cap",
+                        "1000",
+                        "--lock-wait-ms",
+                        "30000",
+                    ])
+                    .output()
+                    .expect("run query")
+            })
+        })
+        .collect();
+    for h in handles {
+        let out = h.join().unwrap();
+        assert!(
+            out.status.success(),
+            "query failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let text = std::fs::read_to_string(&ledger).expect("ledger written");
+    for i in 0..4 {
+        assert!(
+            text.contains(&format!("tenant-{i}")),
+            "tenant-{i}'s charge was lost: {text}"
+        );
+    }
+    assert!(
+        !dir.join("ledger.json.lock").exists(),
+        "lockfile leaked after queries finished"
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn held_ledger_lock_fails_typed_within_the_wait_budget() {
+    let dir = tmpdir("ledger-locked");
+    let artifact = demo_artifact(&dir);
+    let ledger = dir.join("ledger.json");
+    std::fs::write(dir.join("ledger.json.lock"), "pid 0\n").unwrap();
+    let out = verro()
+        .args([
+            "query",
+            "--artifact",
+            artifact.to_str().unwrap(),
+            "--ledger",
+            ledger.to_str().unwrap(),
+            "--tenant",
+            "acme",
+            "--query",
+            "count",
+            "--lock-wait-ms",
+            "0",
+        ])
+        .output()
+        .expect("run query");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("locked"));
+    assert!(!ledger.exists(), "a refused query must charge nothing");
+    cleanup(&dir);
+}
+
 fn cleanup(dir: &Path) {
     let _ = std::fs::remove_dir_all(dir);
 }

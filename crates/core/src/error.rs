@@ -45,6 +45,38 @@ pub enum VerroError {
         error: SourceError,
         health: FrameHealthReport,
     },
+    /// The output sink exhausted its retry budget (or failed permanently)
+    /// while persisting frame `frame` (DESIGN.md §14).
+    SinkFailed { frame: usize, reason: String },
+    /// A run journal on disk could not be parsed or persisted. Resume
+    /// refuses rather than guessing at partial state.
+    JournalCorrupt { path: String, reason: String },
+    /// `--resume` was pointed at a journal recorded under different inputs.
+    /// Resuming would re-randomize, which the ε accounting forbids, so the
+    /// engine refuses with the exact field that diverged.
+    ResumeMismatch {
+        what: String,
+        expected: String,
+        found: String,
+    },
+    /// A supervised stream's worker panicked. The panic is caught at the
+    /// supervision boundary so sibling streams keep running; the payload
+    /// (if it was a string) is carried for the run report.
+    StreamFailed { stream: String, reason: String },
+    /// A supervised stream made no progress within its stall deadline and
+    /// exhausted its restart budget.
+    Stalled {
+        stream: String,
+        timeout_ms: u64,
+        restarts: u32,
+    },
+    /// The run was interrupted (operator signal) after `completed_segments`
+    /// of `total_segments` committed. The journal is durable; the run can
+    /// be resumed byte-identically.
+    Interrupted {
+        completed_segments: usize,
+        total_segments: usize,
+    },
 }
 
 impl std::fmt::Display for VerroError {
@@ -77,6 +109,41 @@ impl std::fmt::Display for VerroError {
                 f,
                 "frame source exhausted recovery: {error} ({})",
                 health.summary()
+            ),
+            VerroError::SinkFailed { frame, reason } => {
+                write!(f, "output sink failed at frame {frame}: {reason}")
+            }
+            VerroError::JournalCorrupt { path, reason } => {
+                write!(f, "run journal {path} is corrupt: {reason}")
+            }
+            VerroError::ResumeMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "resume refused: journal {what} is {expected} but this run has {found} \
+                 (resuming would re-randomize)"
+            ),
+            VerroError::StreamFailed { stream, reason } => {
+                write!(f, "stream {stream} worker panicked: {reason}")
+            }
+            VerroError::Stalled {
+                stream,
+                timeout_ms,
+                restarts,
+            } => write!(
+                f,
+                "stream {stream} stalled (no progress for {timeout_ms} ms) and exhausted \
+                 {restarts} restarts"
+            ),
+            VerroError::Interrupted {
+                completed_segments,
+                total_segments,
+            } => write!(
+                f,
+                "run interrupted with {completed_segments} of {total_segments} segments \
+                 committed; resume with the journaled run directory"
             ),
         }
     }
@@ -143,6 +210,33 @@ mod tests {
         };
         assert!(e.to_string().contains("7"));
         assert!(e.to_string().contains("4"));
+    }
+
+    #[test]
+    fn supervision_errors_display_their_context() {
+        let e = VerroError::SinkFailed {
+            frame: 9,
+            reason: "no space".into(),
+        };
+        assert!(e.to_string().contains("frame 9"));
+        let e = VerroError::ResumeMismatch {
+            what: "seed".into(),
+            expected: "7".into(),
+            found: "8".into(),
+        };
+        assert!(e.to_string().contains("re-randomize"));
+        let e = VerroError::Stalled {
+            stream: "cam0".into(),
+            timeout_ms: 500,
+            restarts: 2,
+        };
+        assert!(e.to_string().contains("500 ms"));
+        assert!(e.to_string().contains("2 restarts"));
+        let e = VerroError::Interrupted {
+            completed_segments: 3,
+            total_segments: 5,
+        };
+        assert!(e.to_string().contains("3 of 5"));
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! Crash-safe run journal for checkpointed streaming (DESIGN.md §14).
+//!
+//! A [`RunJournal`] is the durable record of one stream's sanitization run:
+//! the seed, a fingerprint of the effective [`VerroConfig`], a fingerprint
+//! of the ingested input, and one entry per *committed* segment — its
+//! display range and the fingerprint of the rendered frames the sink
+//! persisted. Every mutation rewrites the whole file through the same
+//! write-temp → `sync_all` → rename discipline as the ε-ledger store, so a
+//! crash at any instant leaves either the previous complete journal or the
+//! new complete journal, never a torn hybrid.
+//!
+//! The journal is what makes resume ε-safe *by construction*: Phases I/II
+//! are pure functions of `(segments, annotations, config, seed)`, so a
+//! resumed run that passes the seed/config/input fingerprint checks replays
+//! the exact randomness transcript of the interrupted run — it can only
+//! ever re-derive the same `V*` bytes, never re-draw them. A journal whose
+//! fingerprints do not match the resumed inputs is refused with a typed
+//! error ([`VerroError::ResumeMismatch`]); a file that does not parse is
+//! [`VerroError::JournalCorrupt`]. The engine never guesses and never
+//! silently re-randomizes.
+//!
+//! Fingerprints are FNV-1a (64-bit) folds over raw bytes — deliberately
+//! not a serialization format, so they work identically with any serde
+//! backend and cost one pass over data the run touches anyway.
+
+use crate::config::VerroConfig;
+use crate::error::VerroError;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use verro_video::image::ImageBuffer;
+
+/// Magic format tag; bumped on breaking layout changes.
+const FORMAT: &str = "verro-journal-v1";
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a accumulator.
+pub fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a hash of one byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_fold(FNV_OFFSET, bytes)
+}
+
+/// The empty-accumulator seed for incremental folds.
+pub fn fnv1a_seed() -> u64 {
+    FNV_OFFSET
+}
+
+/// Fingerprint of the effective configuration. `VerroConfig` derives
+/// `Debug` over every field, so any knob that could change a byte of
+/// output changes this fingerprint.
+pub fn config_fingerprint(config: &VerroConfig) -> u64 {
+    fnv1a(format!("{config:?}").as_bytes())
+}
+
+/// Folds one delivered frame into an input/output fingerprint: the frame
+/// index pins the position, the raw raster bytes pin the content.
+pub fn frame_fold(h: u64, k: usize, img: &ImageBuffer) -> u64 {
+    let h = fnv1a_fold(h, &(k as u64).to_le_bytes());
+    fnv1a_fold(h, img.bytes())
+}
+
+/// One committed segment: its display interval `[display_start,
+/// display_end]` and the FNV-1a fold of its rendered frames (in ascending
+/// frame order, via [`frame_fold`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentRecord {
+    pub index: usize,
+    pub display_start: usize,
+    pub display_end: usize,
+    pub fingerprint: u64,
+}
+
+/// The persistent journal of one checkpointed streaming run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunJournal {
+    path: PathBuf,
+    seed: u64,
+    config_fp: u64,
+    input_fp: u64,
+    num_frames: usize,
+    num_segments: usize,
+    segments: Vec<SegmentRecord>,
+    done: bool,
+}
+
+impl RunJournal {
+    /// Starts a fresh journal at `path`, replacing any previous one, and
+    /// commits the header durably before returning.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        seed: u64,
+        config_fp: u64,
+        input_fp: u64,
+        num_frames: usize,
+        num_segments: usize,
+    ) -> Result<Self, VerroError> {
+        let journal = Self {
+            path: path.into(),
+            seed,
+            config_fp,
+            input_fp,
+            num_frames,
+            num_segments,
+            segments: Vec::new(),
+            done: false,
+        };
+        journal.persist()?;
+        Ok(journal)
+    }
+
+    /// Loads an existing journal. Any malformation — bad tag, missing
+    /// field, out-of-order segment, trailing garbage — is a typed
+    /// [`VerroError::JournalCorrupt`]; the loader never guesses.
+    pub fn load(path: impl Into<PathBuf>) -> Result<Self, VerroError> {
+        let path = path.into();
+        let corrupt = |reason: String| VerroError::JournalCorrupt {
+            path: path.display().to_string(),
+            reason,
+        };
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| corrupt(format!("cannot read journal: {e}")))?;
+        let mut lines = text.lines();
+        if lines.next() != Some(FORMAT) {
+            return Err(corrupt(format!("missing format tag {FORMAT:?}")));
+        }
+        fn field<'a>(line: Option<&'a str>, name: &str) -> Result<&'a str, String> {
+            let line = line.ok_or_else(|| format!("missing {name}"))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .ok_or_else(|| format!("expected `{name} <value>`, got `{line}`"))
+        }
+        let seed = field(lines.next(), "seed")
+            .and_then(|v| v.parse::<u64>().map_err(|e| format!("bad seed: {e}")))
+            .map_err(&corrupt)?;
+        let config_fp = field(lines.next(), "config_fp")
+            .and_then(|v| u64::from_str_radix(v, 16).map_err(|e| format!("bad config_fp: {e}")))
+            .map_err(&corrupt)?;
+        let input_fp = field(lines.next(), "input_fp")
+            .and_then(|v| u64::from_str_radix(v, 16).map_err(|e| format!("bad input_fp: {e}")))
+            .map_err(&corrupt)?;
+        let num_frames = field(lines.next(), "frames")
+            .and_then(|v| v.parse::<usize>().map_err(|e| format!("bad frames: {e}")))
+            .map_err(&corrupt)?;
+        let num_segments = field(lines.next(), "segments")
+            .and_then(|v| v.parse::<usize>().map_err(|e| format!("bad segments: {e}")))
+            .map_err(&corrupt)?;
+        let mut segments: Vec<SegmentRecord> = Vec::new();
+        let mut done = false;
+        for line in lines {
+            if done {
+                return Err(corrupt("content after done marker".into()));
+            }
+            if line == "done" {
+                done = true;
+                continue;
+            }
+            let mut parts = line.split(' ');
+            if parts.next() != Some("segment") {
+                return Err(corrupt(format!("unrecognized line `{line}`")));
+            }
+            let mut next_num = |what: &str| -> Result<u64, VerroError> {
+                parts
+                    .next()
+                    .ok_or_else(|| format!("segment line missing {what}"))
+                    .and_then(|v| {
+                        if what == "fingerprint" {
+                            u64::from_str_radix(v, 16).map_err(|e| format!("bad {what}: {e}"))
+                        } else {
+                            v.parse::<u64>().map_err(|e| format!("bad {what}: {e}"))
+                        }
+                    })
+                    .map_err(&corrupt)
+            };
+            let rec = SegmentRecord {
+                index: next_num("index")? as usize,
+                display_start: next_num("display_start")? as usize,
+                display_end: next_num("display_end")? as usize,
+                fingerprint: next_num("fingerprint")?,
+            };
+            if parts.next().is_some() {
+                return Err(corrupt(format!("trailing tokens on `{line}`")));
+            }
+            if rec.index != segments.len() {
+                return Err(corrupt(format!(
+                    "segment {} recorded out of order (expected {})",
+                    rec.index,
+                    segments.len()
+                )));
+            }
+            if rec.index >= num_segments || rec.display_end < rec.display_start {
+                return Err(corrupt(format!("segment {} out of range", rec.index)));
+            }
+            segments.push(rec);
+        }
+        if done && segments.len() != num_segments {
+            return Err(corrupt(format!(
+                "done marker with {} of {num_segments} segments",
+                segments.len()
+            )));
+        }
+        Ok(Self {
+            path,
+            seed,
+            config_fp,
+            input_fp,
+            num_frames,
+            num_segments,
+            segments,
+            done,
+        })
+    }
+
+    /// Checks the resumed run's identity against the journal. Any mismatch
+    /// is a typed refusal — resuming under a different seed, config, or
+    /// input would re-randomize, which the privacy accounting forbids.
+    pub fn verify_run(
+        &self,
+        seed: u64,
+        config_fp: u64,
+        input_fp: u64,
+        num_frames: usize,
+        num_segments: usize,
+    ) -> Result<(), VerroError> {
+        let mismatch = |what: &str, expected: String, found: String| VerroError::ResumeMismatch {
+            what: what.to_string(),
+            expected,
+            found,
+        };
+        if self.seed != seed {
+            return Err(mismatch("seed", self.seed.to_string(), seed.to_string()));
+        }
+        if self.config_fp != config_fp {
+            return Err(mismatch(
+                "config fingerprint",
+                format!("{:016x}", self.config_fp),
+                format!("{config_fp:016x}"),
+            ));
+        }
+        if self.input_fp != input_fp {
+            return Err(mismatch(
+                "input fingerprint",
+                format!("{:016x}", self.input_fp),
+                format!("{input_fp:016x}"),
+            ));
+        }
+        if self.num_frames != num_frames {
+            return Err(mismatch(
+                "frame count",
+                self.num_frames.to_string(),
+                num_frames.to_string(),
+            ));
+        }
+        if self.num_segments != num_segments {
+            return Err(mismatch(
+                "segment count",
+                self.num_segments.to_string(),
+                num_segments.to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Records the next committed segment and persists durably. Segments
+    /// commit strictly in order; a gap means the caller lost track.
+    pub fn record_segment(&mut self, rec: SegmentRecord) -> Result<(), VerroError> {
+        if rec.index != self.segments.len() {
+            return Err(VerroError::JournalCorrupt {
+                path: self.path.display().to_string(),
+                reason: format!(
+                    "segment {} committed out of order (expected {})",
+                    rec.index,
+                    self.segments.len()
+                ),
+            });
+        }
+        self.segments.push(rec);
+        if self.segments.len() == self.num_segments {
+            self.done = true;
+        }
+        self.persist()
+    }
+
+    /// Atomically rewrites the journal file: temp → `sync_all` → rename.
+    fn persist(&self) -> Result<(), VerroError> {
+        let io_err = |e: std::io::Error| VerroError::JournalCorrupt {
+            path: self.path.display().to_string(),
+            reason: format!("cannot persist journal: {e}"),
+        };
+        let mut text = format!(
+            "{FORMAT}\nseed {}\nconfig_fp {:016x}\ninput_fp {:016x}\nframes {}\nsegments {}\n",
+            self.seed, self.config_fp, self.input_fp, self.num_frames, self.num_segments
+        );
+        for rec in &self.segments {
+            text.push_str(&format!(
+                "segment {} {} {} {:016x}\n",
+                rec.index, rec.display_start, rec.display_end, rec.fingerprint
+            ));
+        }
+        if self.done {
+            text.push_str("done\n");
+        }
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+            file.write_all(text.as_bytes()).map_err(io_err)?;
+            file.sync_all().map_err(io_err)?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(io_err)
+    }
+
+    /// The file this journal persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Seed the run was started with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Segments committed so far, in order.
+    pub fn segments(&self) -> &[SegmentRecord] {
+        &self.segments
+    }
+
+    /// Total segments the run will produce.
+    pub fn num_segments(&self) -> usize {
+        self.num_segments
+    }
+
+    /// Whether every segment has committed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("verro-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_and_completes() {
+        let path = tmp("round.journal");
+        let mut j = RunJournal::create(&path, 7, 0xabc, 0xdef, 60, 2).unwrap();
+        assert!(!j.is_done());
+        j.record_segment(SegmentRecord {
+            index: 0,
+            display_start: 0,
+            display_end: 29,
+            fingerprint: 0x1111,
+        })
+        .unwrap();
+        let loaded = RunJournal::load(&path).unwrap();
+        assert_eq!(loaded, j);
+        assert_eq!(loaded.segments().len(), 1);
+        j.record_segment(SegmentRecord {
+            index: 1,
+            display_start: 30,
+            display_end: 59,
+            fingerprint: 0x2222,
+        })
+        .unwrap();
+        assert!(j.is_done());
+        assert!(RunJournal::load(&path).unwrap().is_done());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn verify_refuses_every_mismatch_typed() {
+        let path = tmp("verify.journal");
+        let j = RunJournal::create(&path, 7, 10, 20, 60, 3).unwrap();
+        j.verify_run(7, 10, 20, 60, 3).unwrap();
+        for (seed, cfp, ifp, n, s) in [
+            (8, 10, 20, 60, 3),
+            (7, 11, 20, 60, 3),
+            (7, 10, 21, 60, 3),
+            (7, 10, 20, 61, 3),
+            (7, 10, 20, 60, 4),
+        ] {
+            assert!(matches!(
+                j.verify_run(seed, cfp, ifp, n, s),
+                Err(VerroError::ResumeMismatch { .. })
+            ));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tampered_files_are_refused_typed() {
+        let path = tmp("tamper.journal");
+        let mut j = RunJournal::create(&path, 7, 10, 20, 60, 2).unwrap();
+        j.record_segment(SegmentRecord {
+            index: 0,
+            display_start: 0,
+            display_end: 29,
+            fingerprint: 0x1111,
+        })
+        .unwrap();
+        let original = std::fs::read_to_string(&path).unwrap();
+        for tamper in [
+            original.replace("verro-journal-v1", "verro-journal-v9"),
+            original.replace("seed 7", "seed banana"),
+            original.replace("segment 0", "segment 1"),
+            format!("{original}garbage line\n"),
+            original.replace("segment 0 0 29", "segment 0 29 0"),
+            String::new(),
+        ] {
+            std::fs::write(&path, &tamper).unwrap();
+            assert!(
+                matches!(
+                    RunJournal::load(&path),
+                    Err(VerroError::JournalCorrupt { .. })
+                ),
+                "accepted tampered journal: {tamper:?}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_order_commits_are_rejected() {
+        let path = tmp("order.journal");
+        let mut j = RunJournal::create(&path, 1, 2, 3, 10, 3).unwrap();
+        let rec = SegmentRecord {
+            index: 2,
+            display_start: 0,
+            display_end: 4,
+            fingerprint: 1,
+        };
+        assert!(matches!(
+            j.record_segment(rec),
+            Err(VerroError::JournalCorrupt { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        assert_eq!(fnv1a(b""), fnv1a_seed());
+        // Reference vector for 64-bit FNV-1a.
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+        let img = ImageBuffer::new(
+            verro_video::geometry::Size::new(4, 4),
+            verro_video::color::Rgb::new(1, 2, 3),
+        );
+        assert_ne!(
+            frame_fold(fnv1a_seed(), 0, &img),
+            frame_fold(fnv1a_seed(), 1, &img)
+        );
+    }
+}

@@ -47,6 +47,7 @@ pub mod baseline;
 pub mod config;
 pub mod coords;
 pub mod error;
+pub mod journal;
 pub mod metrics;
 pub mod naive;
 pub mod optimize;
@@ -56,6 +57,7 @@ pub mod pipeline;
 pub mod presence;
 pub mod privacy;
 pub mod stream;
+pub mod supervise;
 pub mod synthesis;
 
 pub use adversary::{linkage_attack, AttackReport};
@@ -64,6 +66,7 @@ pub use config::{
     BackgroundMode, KernelMode, NoiseLevel, OptimizerStrategy, OvershootPolicy, VerroConfig,
 };
 pub use error::VerroError;
+pub use journal::{RunJournal, SegmentRecord};
 pub use metrics::UtilityReport;
 pub use phase1::Phase1Output;
 pub use phase2::Phase2Output;
@@ -71,6 +74,10 @@ pub use pipeline::{ClassResult, MultiClassResult, PhaseTimings, SanitizedResult,
 pub use presence::PresenceMatrix;
 pub use privacy::PrivacyStatement;
 pub use stream::{
-    StreamBudget, StreamOptions, StreamOutput, StreamStats, DEFAULT_STREAM_BUDGET,
+    CheckpointOptions, CheckpointedOutput, SegmentSink, StreamBudget, StreamOptions, StreamOutput,
+    StreamStats, DEFAULT_STREAM_BUDGET,
+};
+pub use supervise::{
+    supervise, CancelToken, Heartbeat, SupervisedSource, SupervisorPolicy, SupervisorReport,
 };
 pub use synthesis::SyntheticVideo;

@@ -73,17 +73,20 @@
 
 use crate::config::VerroConfig;
 use crate::error::VerroError;
+use crate::journal::{self, RunJournal, SegmentRecord};
 use crate::metrics::UtilityReport;
 use crate::phase1::{run_phase1, Phase1Output};
 use crate::phase2::{run_phase2, Phase2Output};
 use crate::pipeline::{PhaseTimings, Verro};
 use crate::privacy::PrivacyStatement;
+use crate::supervise::{CancelToken, Heartbeat, SupervisedSource};
 use crate::synthesis::{
     background_index_for, build_segment_background, color_table, compose_frame,
     segment_background_inputs,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use verro_video::annotations::VideoAnnotations;
@@ -573,6 +576,465 @@ where
     })
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointed streaming (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+/// Where a checkpointed run's rendered frames go. Unlike the closure sink
+/// of [`Verro::sanitize_streaming`], a `SegmentSink` is fallible (sink
+/// faults surface as typed [`VerroError::SinkFailed`]), transactional
+/// (`commit_segment` makes a segment's frames durable *before* the journal
+/// records it), and auditable (`persisted_fingerprint` re-reads what was
+/// actually persisted so resume can verify byte identity instead of
+/// trusting the journal).
+pub trait SegmentSink {
+    /// Persists frame `k`. Called in ascending `k` order.
+    fn put(&mut self, k: usize, frame: &ImageBuffer) -> Result<(), VerroError>;
+
+    /// Makes segment `seg`'s display frames `d0..=d1` durable. The engine
+    /// journals the segment only after this returns `Ok`, so a crash
+    /// between the two re-renders the segment byte-identically.
+    fn commit_segment(&mut self, seg: usize, d0: usize, d1: usize) -> Result<(), VerroError> {
+        let _ = (seg, d0, d1);
+        Ok(())
+    }
+
+    /// [`journal::frame_fold`] over the *persisted* frames `d0..=d1`, read
+    /// back from storage.
+    fn persisted_fingerprint(&mut self, d0: usize, d1: usize) -> Result<u64, VerroError>;
+}
+
+/// Checkpoint/resume and supervision wiring of one checkpointed run.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Where the [`RunJournal`] lives.
+    pub journal_path: PathBuf,
+    /// `true` resumes from an existing journal (refusing on any identity
+    /// mismatch); `false` starts a fresh journal, replacing any prior one.
+    pub resume: bool,
+    /// Supervisor hard-cancel: the wrapped source surfaces a typed
+    /// permanent fault on the next fetch, unwinding the run promptly
+    /// (stall-watchdog path).
+    pub cancel: CancelToken,
+    /// Graceful drain (operator interrupt): the run stops at the next
+    /// segment boundary with the journal committed and reports
+    /// `interrupted` instead of erroring.
+    pub interrupt: CancelToken,
+    /// Progress counter the stall watchdog observes.
+    pub heartbeat: Heartbeat,
+}
+
+impl CheckpointOptions {
+    /// Fresh-run options with detached supervision handles.
+    pub fn new(journal_path: impl Into<PathBuf>) -> Self {
+        Self {
+            journal_path: journal_path.into(),
+            resume: false,
+            cancel: CancelToken::new(),
+            interrupt: CancelToken::new(),
+            heartbeat: Heartbeat::new(),
+        }
+    }
+}
+
+/// What a checkpointed run produced beyond the ordinary [`StreamOutput`].
+#[derive(Debug, Clone)]
+pub struct CheckpointedOutput {
+    /// The full artifact set — byte-identical to an uninterrupted
+    /// un-checkpointed run over the same `(source, annotations, config)`.
+    pub output: StreamOutput,
+    /// Segments verified from the journal and skipped (resume hits).
+    pub resumed_segments: usize,
+    /// Segments durable after this run (resumed + newly committed).
+    pub committed_segments: usize,
+    /// Segments the full video comprises.
+    pub total_segments: usize,
+    /// `true` when the run drained at a segment boundary on the interrupt
+    /// token; `committed_segments < total_segments` and the journal is
+    /// primed for `resume`.
+    pub interrupted: bool,
+}
+
+impl Verro {
+    /// Checkpointed [`sanitize_streaming_fallible`]
+    /// (Self::sanitize_streaming_fallible): every committed segment is
+    /// journaled durably, the run can be killed at any instant and resumed
+    /// byte-identically, and the supervision handles in `checkpoint` give
+    /// a watchdog cancellation and graceful-drain surface.
+    ///
+    /// Resume never re-randomizes: the journal pins seed, config and input
+    /// fingerprints, and any mismatch is a typed refusal
+    /// ([`VerroError::ResumeMismatch`]). Completed segments are verified
+    /// against what the sink actually persisted, then skipped; rendering
+    /// continues from the first incomplete segment. Phases I and II are
+    /// recomputed from metadata (they are pure functions of the pinned
+    /// inputs), so the returned artifacts are identical too.
+    pub fn sanitize_streaming_checkpointed<S, K>(
+        &self,
+        src: &S,
+        annotations: &VideoAnnotations,
+        policy: RecoveryPolicy,
+        options: &StreamOptions,
+        checkpoint: &CheckpointOptions,
+        sink: &mut K,
+    ) -> Result<CheckpointedOutput, VerroError>
+    where
+        S: TryFrameSource + Sync,
+        K: SegmentSink,
+    {
+        let plan = StreamBudget::plan(src.frame_size(), self.config())?;
+        let supervised =
+            SupervisedSource::new(src, checkpoint.heartbeat.clone(), checkpoint.cancel.clone());
+        checkpoint_engine(
+            self.config(),
+            &supervised,
+            annotations,
+            policy,
+            options,
+            plan,
+            checkpoint,
+            sink,
+        )
+    }
+}
+
+/// The checkpointed streaming body. Structurally the certified
+/// [`stream_engine`] with three insertions: an input fingerprint folded
+/// during Pass A, journal create/verify between segmentation and the
+/// phases, and a transactional per-segment commit protocol on the sink
+/// side of Pass B. Nothing upstream of the sink changes, which is why the
+/// conformance tests can hold its output byte-identical to the plain
+/// streaming engine's.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_engine<S, K>(
+    config: &VerroConfig,
+    src: &S,
+    annotations: &VideoAnnotations,
+    policy: RecoveryPolicy,
+    options: &StreamOptions,
+    plan: StreamBudget,
+    checkpoint: &CheckpointOptions,
+    sink: &mut K,
+) -> Result<CheckpointedOutput, VerroError>
+where
+    S: TryFrameSource + Sync,
+    K: SegmentSink,
+{
+    let n = src.num_frames();
+    let size = src.frame_size();
+    let fps = src.fps();
+    let gauge = MemoryGauge::new();
+    let stride = config.keyframe.stride.max(1);
+    let bins = config.keyframe.bins;
+    let chunk = options.chunk_size.max(1);
+    let slots = options.channel_slots.max(1);
+
+    // ── Pass A: ingest + input fingerprint ──────────────────────────────
+    let t0 = Instant::now();
+    let (segments, health, input_fp) = std::thread::scope(
+        |scope| -> Result<(Vec<Segment>, FrameHealthReport, u64), VerroError> {
+            let (tx, rx) = mpsc::sync_channel::<Vec<(usize, HsvHistogram)>>(slots);
+            let ingest = scope.spawn(move || -> Result<(FrameHealthReport, u64), IngestError> {
+                let mut buf: Vec<(usize, HsvHistogram)> = Vec::with_capacity(chunk.min(n));
+                let mut closed = false;
+                // Folded over EVERY delivered frame in order — the
+                // journal's witness that a resumed run reads the same
+                // video the interrupted run read.
+                let mut input_fp = journal::fnv1a_seed();
+                let health = stream_with_recovery(src, policy, |k, img| {
+                    input_fp = journal::frame_fold(input_fp, k, img);
+                    if closed || k % stride != 0 {
+                        return;
+                    }
+                    buf.push((k, HsvHistogram::of(img, bins)));
+                    if buf.len() >= chunk && tx.send(std::mem::take(&mut buf)).is_err() {
+                        closed = true;
+                    }
+                })?;
+                if !buf.is_empty() {
+                    let _ = tx.send(buf);
+                }
+                Ok((health, input_fp))
+            });
+            let mut segmenter = OnlineSegmenter::new(config.keyframe);
+            let mut segments = Vec::new();
+            for batch in rx.iter() {
+                for (k, hist) in &batch {
+                    segments.extend(segmenter.push(*k, hist));
+                }
+            }
+            let (health, input_fp) = ingest
+                .join()
+                .expect("ingest stage panicked")
+                .map_err(VerroError::from)?;
+            segments.extend(segmenter.finish());
+            Ok((segments, health, input_fp))
+        },
+    )?;
+    let preprocess = t0.elapsed();
+
+    if n != annotations.num_frames() {
+        return Err(VerroError::AnnotationMismatch {
+            video_frames: n,
+            annotation_frames: annotations.num_frames(),
+        });
+    }
+
+    // ── Journal: create or verify-and-resume ────────────────────────────
+    let key_frames = KeyFrameResult { segments };
+    let ranges: Vec<(usize, usize)> = key_frames
+        .segments
+        .iter()
+        .map(|s| (s.start(), s.end()))
+        .collect();
+    let mut display: Vec<(usize, usize)> = Vec::with_capacity(ranges.len());
+    let mut cur_owner = 0usize;
+    let mut cur_start = 0usize;
+    for k in 0..n {
+        let owner = background_index_for(&ranges, k);
+        if owner != cur_owner {
+            display.push((cur_start, k - 1));
+            cur_owner = owner;
+            cur_start = k;
+        }
+    }
+    display.push((cur_start, n - 1));
+    debug_assert_eq!(display.len(), ranges.len());
+
+    let total_segments = key_frames.segments.len();
+    let config_fp = journal::config_fingerprint(config);
+    let mut run_journal = if checkpoint.resume {
+        let loaded = RunJournal::load(&checkpoint.journal_path)?;
+        loaded.verify_run(config.seed, config_fp, input_fp, n, total_segments)?;
+        loaded
+    } else {
+        RunJournal::create(
+            &checkpoint.journal_path,
+            config.seed,
+            config_fp,
+            input_fp,
+            n,
+            total_segments,
+        )?
+    };
+    // Verify every journaled segment against what the sink actually holds
+    // before trusting it — a tampered or torn output directory must be a
+    // typed refusal, never a silently wrong release.
+    for rec in run_journal.segments() {
+        let (d0, d1) = display[rec.index];
+        if (rec.display_start, rec.display_end) != (d0, d1) {
+            return Err(VerroError::ResumeMismatch {
+                what: format!("segment {} display range", rec.index),
+                expected: format!("{}..={}", rec.display_start, rec.display_end),
+                found: format!("{d0}..={d1}"),
+            });
+        }
+        let found = sink.persisted_fingerprint(d0, d1)?;
+        if found != rec.fingerprint {
+            return Err(VerroError::ResumeMismatch {
+                what: format!("segment {} output fingerprint", rec.index),
+                expected: format!("{:016x}", rec.fingerprint),
+                found: format!("{found:016x}"),
+            });
+        }
+    }
+    let resumed_segments = run_journal.segments().len();
+
+    // ── Phases I and II: identical to the certified engine ──────────────
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let t1 = Instant::now();
+    let phase1 = run_phase1(annotations, &key_frames, config, &mut rng)?;
+    let phase1_time = t1.elapsed();
+    let t2 = Instant::now();
+    let phase2 = run_phase2(&phase1, annotations, &key_frames, size, config, &mut rng)?;
+    let phase2_time = t2.elapsed();
+    let utility = UtilityReport::compute(annotations, &phase2.synthetic, &phase2.mapping);
+    let privacy = PrivacyStatement::from_phase1(&phase1, config);
+    let colors = color_table(&phase2.synthetic);
+
+    // ── Pass B: render from the first incomplete segment ────────────────
+    let needed: Vec<Vec<usize>> = key_frames
+        .segments
+        .iter()
+        .map(|s| segment_background_inputs(s, config))
+        .collect();
+
+    let mut committed_segments = resumed_segments;
+    let mut interrupted = checkpoint.interrupt.is_cancelled();
+    let t3 = Instant::now();
+    let (pass_b_health, segment_render_ms) = if interrupted || resumed_segments == total_segments {
+        // Nothing to render: drained before Pass B, or a fully-journaled
+        // run was resumed. Health below is a placeholder the conformance
+        // assert skips.
+        (health.clone(), Vec::new())
+    } else {
+        std::thread::scope(
+            |scope| -> Result<(FrameHealthReport, Vec<f64>), VerroError> {
+                let (tx, rx) = mpsc::sync_channel::<(usize, usize, ImageBuffer)>(plan.render_slots);
+                let segs = &key_frames.segments;
+                let needed = &needed;
+                let display = &display;
+                let colors = &colors;
+                let synthetic = &phase2.synthetic;
+                let gauge = &gauge;
+                let render = scope.spawn(
+                    move || -> Result<(FrameHealthReport, Vec<f64>), VerroError> {
+                        // Journaled segments are skipped wholesale; the
+                        // sweep still reads every frame, so its health
+                        // report matches the first sweep's exactly.
+                        let mut seg = resumed_segments;
+                        let mut want = 0usize;
+                        let mut retained: Vec<(usize, ImageBuffer)> = Vec::new();
+                        let mut times: Vec<f64> = Vec::with_capacity(segs.len());
+                        let mut build_err: Option<VerroError> = None;
+                        let mut closed = false;
+                        let health = stream_with_recovery(src, policy, |k, img| {
+                            if closed || build_err.is_some() || seg >= segs.len() {
+                                return;
+                            }
+                            if needed[seg][want] != k {
+                                return;
+                            }
+                            gauge.charge(img.byte_len());
+                            retained.push((k, img.clone()));
+                            want += 1;
+                            if want < needed[seg].len() {
+                                return;
+                            }
+                            let t = Instant::now();
+                            let window = RetainedWindow {
+                                frames: &retained,
+                                num_frames: n,
+                                size,
+                                fps,
+                            };
+                            match build_segment_background(&window, annotations, &segs[seg], config)
+                            {
+                                Ok(scene) => {
+                                    gauge.charge(scene.image.byte_len());
+                                    let (d0, d1) = display[seg];
+                                    for dk in d0..=d1 {
+                                        let frame =
+                                            compose_frame(&scene.image, synthetic, colors, dk);
+                                        let bytes = frame.byte_len();
+                                        gauge.charge(bytes);
+                                        if tx.send((seg, dk, frame)).is_err() {
+                                            gauge.release(bytes);
+                                            closed = true;
+                                            break;
+                                        }
+                                    }
+                                    gauge.release(scene.image.byte_len());
+                                    times.push(t.elapsed().as_secs_f64() * 1e3);
+                                }
+                                Err(e) => build_err = Some(e),
+                            }
+                            for (_, old) in retained.drain(..) {
+                                gauge.release(old.byte_len());
+                            }
+                            seg += 1;
+                            want = 0;
+                        })
+                        .map_err(VerroError::from)?;
+                        match build_err {
+                            Some(e) => Err(e),
+                            None => Ok((health, times)),
+                        }
+                    },
+                );
+                // Transactional consumer: frames go to the sink as they
+                // arrive; at each segment's last display frame the sink
+                // commits, then the journal records — in that order, so
+                // every journaled segment is durably on disk.
+                let mut consumer_err: Option<VerroError> = None;
+                let mut seg_fp = journal::fnv1a_seed();
+                for (s, dk, frame) in rx {
+                    let put = sink.put(dk, &frame);
+                    gauge.release(frame.byte_len());
+                    if let Err(e) = put {
+                        consumer_err = Some(e);
+                        break;
+                    }
+                    checkpoint.heartbeat.tick();
+                    seg_fp = journal::frame_fold(seg_fp, dk, &frame);
+                    let (d0, d1) = display[s];
+                    if dk == d1 {
+                        let commit = sink.commit_segment(s, d0, d1).and_then(|()| {
+                            run_journal.record_segment(SegmentRecord {
+                                index: s,
+                                display_start: d0,
+                                display_end: d1,
+                                fingerprint: seg_fp,
+                            })
+                        });
+                        if let Err(e) = commit {
+                            consumer_err = Some(e);
+                            break;
+                        }
+                        committed_segments += 1;
+                        seg_fp = journal::fnv1a_seed();
+                        if checkpoint.interrupt.is_cancelled() {
+                            interrupted = true;
+                            break;
+                        }
+                    }
+                }
+                // Breaking the loop dropped the receiver: a blocked render
+                // send fails, the sweep finishes quietly, and the join
+                // below cannot deadlock.
+                let joined = render.join().expect("render stage panicked")?;
+                if let Some(e) = consumer_err {
+                    return Err(e);
+                }
+                Ok(joined)
+            },
+        )?
+    };
+    let render_time = t3.elapsed();
+    if !interrupted && resumed_segments < total_segments {
+        // Same determinism witness as the certified engine; skipped when
+        // the second sweep did not run (or stopped early on a drain).
+        debug_assert_eq!(pass_b_health, health, "source violated determinism");
+    }
+
+    let stats = StreamStats {
+        frames: n,
+        segments: total_segments,
+        frame_bytes: plan.frame_bytes,
+        memory_budget: plan.total,
+        render_slots: plan.render_slots,
+        cache_budget: plan.cache_budget,
+        peak_raster_bytes: gauge.peak(),
+        cache: CacheStats::default(),
+        segment_render_ms,
+    };
+    Ok(CheckpointedOutput {
+        output: StreamOutput {
+            phase1,
+            phase2,
+            key_frames,
+            timings: PhaseTimings {
+                preprocess,
+                preprocess_keyframes: preprocess,
+                preprocess_backgrounds: Duration::ZERO,
+                preprocess_detect_track: Duration::ZERO,
+                phase1: phase1_time,
+                phase2: phase2_time,
+                render: render_time,
+                encode: Duration::ZERO,
+            },
+            utility,
+            privacy,
+            health,
+            stats,
+        },
+        resumed_segments,
+        committed_segments,
+        total_segments,
+        interrupted,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -807,5 +1269,182 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, VerroError::AnnotationMismatch { .. }));
+    }
+
+    /// In-memory [`SegmentSink`] for checkpoint tests.
+    #[derive(Default)]
+    struct MemSink {
+        frames: std::collections::BTreeMap<usize, ImageBuffer>,
+        puts: usize,
+    }
+
+    impl SegmentSink for MemSink {
+        fn put(&mut self, k: usize, frame: &ImageBuffer) -> Result<(), VerroError> {
+            self.frames.insert(k, frame.clone());
+            self.puts += 1;
+            Ok(())
+        }
+
+        fn persisted_fingerprint(&mut self, d0: usize, d1: usize) -> Result<u64, VerroError> {
+            let mut fp = journal::fnv1a_seed();
+            for k in d0..=d1 {
+                match self.frames.get(&k) {
+                    Some(f) => fp = journal::frame_fold(fp, k, f),
+                    None => {
+                        return Err(VerroError::SinkFailed {
+                            frame: k,
+                            reason: "persisted frame missing".into(),
+                        })
+                    }
+                }
+            }
+            Ok(fp)
+        }
+    }
+
+    fn journal_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("verro-stream-ckpt-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.journal", std::process::id()))
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_streaming_and_journals() {
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let (plain, plain_out) = collect_stream(&verro, &video, &StreamOptions::default());
+
+        let path = journal_path("full");
+        let mut sink = MemSink::default();
+        let ckpt = CheckpointOptions::new(&path);
+        let out = verro
+            .sanitize_streaming_checkpointed(
+                &video,
+                video.annotations(),
+                RecoveryPolicy::default(),
+                &StreamOptions::default(),
+                &ckpt,
+                &mut sink,
+            )
+            .unwrap();
+        assert!(!out.interrupted);
+        assert_eq!(out.resumed_segments, 0);
+        assert_eq!(out.committed_segments, out.total_segments);
+        assert_eq!(out.output.privacy, plain_out.privacy);
+        assert_eq!(sink.frames.len(), plain.len());
+        for (k, img) in plain.iter().enumerate() {
+            assert_eq!(sink.frames.get(&k), Some(img), "frame {k} diverged");
+        }
+        let j = RunJournal::load(&path).unwrap();
+        assert!(j.is_done());
+        assert_eq!(j.segments().len(), out.total_segments);
+        // The heartbeat saw both sweeps plus the sunk frames.
+        assert!(ckpt.heartbeat.count() >= (2 * plain.len()) as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_of_a_finished_run_verifies_and_skips_rendering() {
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let path = journal_path("skip");
+        let mut sink = MemSink::default();
+        let run = |resume: bool, sink: &mut MemSink| {
+            let ckpt = CheckpointOptions {
+                resume,
+                ..CheckpointOptions::new(&path)
+            };
+            verro.sanitize_streaming_checkpointed(
+                &video,
+                video.annotations(),
+                RecoveryPolicy::default(),
+                &StreamOptions::default(),
+                &ckpt,
+                sink,
+            )
+        };
+        run(false, &mut sink).unwrap();
+        let puts_after_first = sink.puts;
+        let out = run(true, &mut sink).unwrap();
+        assert_eq!(out.resumed_segments, out.total_segments);
+        assert_eq!(sink.puts, puts_after_first, "resume re-rendered frames");
+        assert!(!out.interrupted);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupt_drains_then_resume_completes_byte_identically() {
+        let video = tiny_video();
+        let verro = Verro::new(fast_config()).unwrap();
+        let (plain, _) = collect_stream(&verro, &video, &StreamOptions::default());
+
+        let path = journal_path("drain");
+        let mut sink = MemSink::default();
+        // Interrupt raised before the run: it journals the header, skips
+        // rendering entirely, and reports a resumable drain.
+        let ckpt = CheckpointOptions::new(&path);
+        ckpt.interrupt.cancel();
+        let out = verro
+            .sanitize_streaming_checkpointed(
+                &video,
+                video.annotations(),
+                RecoveryPolicy::default(),
+                &StreamOptions::default(),
+                &ckpt,
+                &mut sink,
+            )
+            .unwrap();
+        assert!(out.interrupted);
+        assert_eq!(out.committed_segments, 0);
+        assert_eq!(sink.puts, 0);
+
+        let resume = CheckpointOptions {
+            resume: true,
+            ..CheckpointOptions::new(&path)
+        };
+        let out = verro
+            .sanitize_streaming_checkpointed(
+                &video,
+                video.annotations(),
+                RecoveryPolicy::default(),
+                &StreamOptions::default(),
+                &resume,
+                &mut sink,
+            )
+            .unwrap();
+        assert!(!out.interrupted);
+        assert_eq!(out.committed_segments, out.total_segments);
+        for (k, img) in plain.iter().enumerate() {
+            assert_eq!(sink.frames.get(&k), Some(img), "frame {k} diverged");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_refuses_a_different_seed_typed() {
+        let video = tiny_video();
+        let path = journal_path("seed");
+        let mut sink = MemSink::default();
+        let run = |cfg: VerroConfig, resume: bool, sink: &mut MemSink| {
+            let ckpt = CheckpointOptions {
+                resume,
+                ..CheckpointOptions::new(&path)
+            };
+            Verro::new(cfg).unwrap().sanitize_streaming_checkpointed(
+                &video,
+                video.annotations(),
+                RecoveryPolicy::default(),
+                &StreamOptions::default(),
+                &ckpt,
+                sink,
+            )
+        };
+        run(fast_config(), false, &mut sink).unwrap();
+        let err = run(fast_config().with_seed(8), true, &mut sink).unwrap_err();
+        assert!(
+            matches!(err, VerroError::ResumeMismatch { .. }),
+            "expected ResumeMismatch, got {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

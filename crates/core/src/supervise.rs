@@ -1,0 +1,478 @@
+//! Stream supervision: panic isolation, stall watchdogs, and bounded
+//! restarts for long-running sanitization runs (DESIGN.md §14).
+//!
+//! A multi-stream run must not die because one stream died. The supervisor
+//! runs each stream's work on its own thread behind a panic boundary
+//! ([`std::panic::catch_unwind`]) and converts the three ways a stream can
+//! go wrong into typed, per-stream outcomes:
+//!
+//! * **Panic** — the worker unwound. The payload is captured and the
+//!   stream reports [`VerroError::StreamFailed`]; sibling streams are
+//!   untouched. Panics are programming errors, so they are terminal — a
+//!   restart would deterministically hit the same bug.
+//! * **Stall** — the [`Heartbeat`] stopped advancing for longer than the
+//!   watchdog deadline. The supervisor cancels the attempt through its
+//!   [`CancelToken`] (the cancelled source surfaces a typed permanent
+//!   fault, so the worker unwinds *cooperatively* through ordinary error
+//!   paths and its scoped thread joins) and restarts it, up to
+//!   [`SupervisorPolicy::max_restarts`] times with recorded exponential
+//!   backoff — the same record-don't-sleep discipline as
+//!   [`RecoveryPolicy`](verro_video::recover::RecoveryPolicy), so tests
+//!   stay fast and deterministic. Restarting a *checkpointed* run resumes
+//!   from the journal, which is why restarts are cheap and ε-safe.
+//! * **Typed failure** — the worker returned `Err(VerroError)`. Reported
+//!   as-is; the supervisor never retries typed failures (the recovery
+//!   policies inside the engine already retried everything retryable).
+//!
+//! Threads cannot be killed, so cancellation is cooperative by
+//! construction: [`SupervisedSource`] checks the token on every frame
+//! fetch, and the checkpointed engine checks it at every segment boundary.
+
+use crate::error::VerroError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use verro_video::fault::{SourceError, TryFrameSource};
+use verro_video::geometry::Size;
+use verro_video::image::ImageBuffer;
+
+/// A shared progress counter. The worker ticks it on every unit of forward
+/// progress (frame fetched, segment closed, frame sunk); the watchdog
+/// declares a stall only when the count stops moving.
+#[derive(Debug, Clone, Default)]
+pub struct Heartbeat(Arc<AtomicU64>);
+
+impl Heartbeat {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one unit of progress.
+    pub fn tick(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total progress units observed.
+    pub fn count(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared cooperative-cancellation flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`TryFrameSource`] adapter that ticks a [`Heartbeat`] on every frame
+/// attempt and honors a [`CancelToken`] by reporting a typed permanent
+/// fault, which the recovery layer surfaces immediately (permanent faults
+/// are never retried) so a cancelled worker unwinds through ordinary error
+/// paths within one frame.
+pub struct SupervisedSource<'a, S> {
+    inner: &'a S,
+    heartbeat: Heartbeat,
+    cancel: CancelToken,
+}
+
+impl<'a, S: TryFrameSource> SupervisedSource<'a, S> {
+    pub fn new(inner: &'a S, heartbeat: Heartbeat, cancel: CancelToken) -> Self {
+        Self {
+            inner,
+            heartbeat,
+            cancel,
+        }
+    }
+}
+
+/// The reason string a cancelled [`SupervisedSource`] reports; the
+/// supervisor matches on it to distinguish its own cancellation from a
+/// genuine permanent source fault.
+pub const CANCELLED_REASON: &str = "cancelled by supervisor";
+
+impl<S: TryFrameSource> TryFrameSource for SupervisedSource<'_, S> {
+    fn num_frames(&self) -> usize {
+        self.inner.num_frames()
+    }
+
+    fn frame_size(&self) -> Size {
+        self.inner.frame_size()
+    }
+
+    fn fps(&self) -> f64 {
+        self.inner.fps()
+    }
+
+    fn try_frame(&self, k: usize, attempt: u32) -> Result<ImageBuffer, SourceError> {
+        if self.cancel.is_cancelled() {
+            return Err(SourceError::Permanent {
+                frame: k,
+                reason: CANCELLED_REASON.into(),
+            });
+        }
+        self.heartbeat.tick();
+        self.inner.try_frame(k, attempt)
+    }
+}
+
+/// Restart and watchdog policy of one supervised stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Stall deadline in milliseconds; `0` disables the watchdog (the
+    /// worker still runs behind the panic boundary).
+    pub stall_timeout_ms: u64,
+    /// Stall-triggered restarts allowed before the stream fails with
+    /// [`VerroError::Stalled`].
+    pub max_restarts: u32,
+    /// First restart backoff (doubles per restart, recorded, never slept).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        Self {
+            stall_timeout_ms: 0,
+            max_restarts: 2,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1000,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// Backoff recorded before restart `restart` (0-based):
+    /// `min(base · 2^restart, cap)` — the same shape as
+    /// [`RecoveryPolicy::backoff_ms`](verro_video::recover::RecoveryPolicy::backoff_ms).
+    pub fn backoff_ms(&self, restart: u32) -> u64 {
+        self.backoff_base_ms
+            .saturating_mul(1u64 << restart.min(20))
+            .min(self.backoff_cap_ms)
+    }
+}
+
+/// What the supervisor observed while running one stream — surfaced in the
+/// run report and the stream's `privacy.json` health block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SupervisorReport {
+    /// Attempts beyond the first.
+    pub restarts: u32,
+    /// Stalls the watchdog detected (each one cancels an attempt).
+    pub stalls: u32,
+    /// Panics caught at the supervision boundary.
+    pub panics: u32,
+    /// Total recorded backoff across restarts, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+/// Runs `attempt` under supervision: panic boundary, optional stall
+/// watchdog, bounded stall restarts with recorded backoff.
+///
+/// `attempt` is invoked with `(attempt_index, heartbeat, cancel)` — a fresh
+/// heartbeat and token per attempt. It must tick the heartbeat as it makes
+/// progress (wrap the frame source in a [`SupervisedSource`]) and treat a
+/// cancelled token as a request to return promptly. For checkpointed runs
+/// the closure should resume from the journal on `attempt_index > 0`, which
+/// makes restarts byte-identical continuations rather than recomputations.
+pub fn supervise<T, F>(
+    stream: &str,
+    policy: &SupervisorPolicy,
+    mut attempt: F,
+) -> (SupervisorReport, Result<T, VerroError>)
+where
+    T: Send,
+    F: FnMut(u32, &Heartbeat, &CancelToken) -> Result<T, VerroError> + Send,
+{
+    let mut report = SupervisorReport::default();
+    let mut attempt_index = 0u32;
+    loop {
+        let heartbeat = Heartbeat::new();
+        let cancel = CancelToken::new();
+        let done = AtomicBool::new(false);
+        let result = std::thread::scope(|scope| {
+            let worker = {
+                let heartbeat = heartbeat.clone();
+                let cancel = cancel.clone();
+                let done = &done;
+                let attempt = &mut attempt;
+                scope.spawn(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        attempt(attempt_index, &heartbeat, &cancel)
+                    }));
+                    done.store(true, Ordering::Release);
+                    out
+                })
+            };
+            if policy.stall_timeout_ms > 0 {
+                let deadline = Duration::from_millis(policy.stall_timeout_ms);
+                // Poll a few times per deadline; floor keeps the loop from
+                // spinning when the deadline is tiny.
+                let poll = (deadline / 4).max(Duration::from_millis(1));
+                let mut last_count = heartbeat.count();
+                let mut last_progress = Instant::now();
+                while !done.load(Ordering::Acquire) {
+                    std::thread::sleep(poll);
+                    let now_count = heartbeat.count();
+                    if now_count != last_count {
+                        last_count = now_count;
+                        last_progress = Instant::now();
+                    } else if last_progress.elapsed() >= deadline {
+                        cancel.cancel();
+                        break;
+                    }
+                }
+            }
+            // Either the worker finished or it was cancelled and will
+            // surface the cancellation fault within one frame fetch.
+            worker.join().unwrap_or_else(Err)
+        });
+        match result {
+            Err(payload) => {
+                report.panics += 1;
+                let reason = panic_reason(payload.as_ref());
+                return (
+                    report,
+                    Err(VerroError::StreamFailed {
+                        stream: stream.to_string(),
+                        reason,
+                    }),
+                );
+            }
+            Ok(outcome) => {
+                let stalled = cancel.is_cancelled() && outcome.is_err();
+                if !stalled {
+                    return (report, outcome);
+                }
+                report.stalls += 1;
+                if report.restarts >= policy.max_restarts {
+                    return (
+                        report,
+                        Err(VerroError::Stalled {
+                            stream: stream.to_string(),
+                            timeout_ms: policy.stall_timeout_ms,
+                            restarts: report.restarts,
+                        }),
+                    );
+                }
+                report.backoff_ms += policy.backoff_ms(report.restarts);
+                report.restarts += 1;
+                attempt_index += 1;
+            }
+        }
+    }
+}
+
+/// Best-effort rendering of a panic payload (panics carry `&str` or
+/// `String` in practice; anything else is opaque).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verro_video::color::Rgb;
+    use verro_video::source::{FrameSource, InMemoryVideo};
+
+    fn video(n: usize) -> InMemoryVideo {
+        let frames = (0..n)
+            .map(|k| ImageBuffer::new(Size::new(8, 8), Rgb::new(k as u8, 0, 0)))
+            .collect();
+        InMemoryVideo::new(frames, 30.0)
+    }
+
+    #[test]
+    fn heartbeat_and_cancel_are_shared_across_clones() {
+        let hb = Heartbeat::new();
+        let hb2 = hb.clone();
+        hb.tick();
+        hb2.tick();
+        assert_eq!(hb.count(), 2);
+        let tok = CancelToken::new();
+        let tok2 = tok.clone();
+        assert!(!tok2.is_cancelled());
+        tok.cancel();
+        assert!(tok2.is_cancelled());
+    }
+
+    #[test]
+    fn supervised_source_ticks_and_cancels_typed() {
+        let v = video(3);
+        let hb = Heartbeat::new();
+        let tok = CancelToken::new();
+        let src = SupervisedSource::new(&v, hb.clone(), tok.clone());
+        assert_eq!(src.num_frames(), 3);
+        assert_eq!(src.try_frame(1, 0).unwrap(), v.frame(1));
+        assert_eq!(hb.count(), 1);
+        tok.cancel();
+        match src.try_frame(2, 0) {
+            Err(SourceError::Permanent { frame: 2, reason }) => {
+                assert_eq!(reason, CANCELLED_REASON)
+            }
+            other => panic!("expected cancellation fault, got {other:?}"),
+        }
+        // Cancelled attempts do not tick (no progress was made).
+        assert_eq!(hb.count(), 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = SupervisorPolicy {
+            backoff_base_ms: 10,
+            backoff_cap_ms: 65,
+            ..SupervisorPolicy::default()
+        };
+        assert_eq!(p.backoff_ms(0), 10);
+        assert_eq!(p.backoff_ms(1), 20);
+        assert_eq!(p.backoff_ms(2), 40);
+        assert_eq!(p.backoff_ms(3), 65);
+        assert_eq!(p.backoff_ms(40), 65);
+    }
+
+    #[test]
+    fn clean_work_passes_through() {
+        let (report, out) = supervise("s", &SupervisorPolicy::default(), |_, hb, _| {
+            hb.tick();
+            Ok(42)
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(report, SupervisorReport::default());
+    }
+
+    #[test]
+    fn typed_failures_are_not_retried() {
+        let mut calls = 0;
+        let (report, out) = supervise("s", &SupervisorPolicy::default(), |_, _, _| {
+            calls += 1;
+            Err::<(), _>(VerroError::EmptyVideo)
+        });
+        assert_eq!(out.unwrap_err(), VerroError::EmptyVideo);
+        assert_eq!(calls, 1);
+        assert_eq!(report.restarts, 0);
+    }
+
+    #[test]
+    fn panic_is_caught_and_terminal() {
+        let (report, out) = supervise::<(), _>("cam3", &SupervisorPolicy::default(), |_, _, _| {
+            panic!("worker bug {}", 7)
+        });
+        match out.unwrap_err() {
+            VerroError::StreamFailed { stream, reason } => {
+                assert_eq!(stream, "cam3");
+                assert!(reason.contains("worker bug 7"));
+            }
+            other => panic!("expected StreamFailed, got {other:?}"),
+        }
+        assert_eq!(report.panics, 1);
+        assert_eq!(report.restarts, 0);
+    }
+
+    #[test]
+    fn stall_restarts_with_recorded_backoff_then_succeeds() {
+        let policy = SupervisorPolicy {
+            stall_timeout_ms: 40,
+            max_restarts: 2,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1000,
+        };
+        let (report, out) = supervise("s", &policy, |attempt, hb, cancel| {
+            if attempt == 0 {
+                // Make no progress until the watchdog cancels us, then
+                // surface the cancellation as an error, like the engine
+                // does when its source reports the cancellation fault.
+                while !cancel.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                return Err(VerroError::SourceExhausted {
+                    error: SourceError::Permanent {
+                        frame: 0,
+                        reason: CANCELLED_REASON.into(),
+                    },
+                    health: verro_video::recover::FrameHealthReport::all_ok(0),
+                });
+            }
+            hb.tick();
+            Ok(attempt)
+        });
+        assert_eq!(out.unwrap(), 1);
+        assert_eq!(report.stalls, 1);
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.backoff_ms, policy.backoff_ms(0));
+    }
+
+    #[test]
+    fn exhausted_restarts_fail_typed() {
+        let policy = SupervisorPolicy {
+            stall_timeout_ms: 30,
+            max_restarts: 1,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1000,
+        };
+        let mut calls = 0;
+        let (report, out) = supervise::<(), _>("cam0", &policy, |_, _, cancel| {
+            calls += 1;
+            while !cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(VerroError::EmptyVideo)
+        });
+        match out.unwrap_err() {
+            VerroError::Stalled {
+                stream,
+                timeout_ms,
+                restarts,
+            } => {
+                assert_eq!(stream, "cam0");
+                assert_eq!(timeout_ms, 30);
+                assert_eq!(restarts, 1);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+        assert_eq!(calls, 2);
+        assert_eq!(report.stalls, 2);
+        assert_eq!(report.backoff_ms, policy.backoff_ms(0));
+    }
+
+    #[test]
+    fn progress_defeats_the_watchdog() {
+        let policy = SupervisorPolicy {
+            stall_timeout_ms: 60,
+            max_restarts: 0,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1000,
+        };
+        let (report, out) = supervise("s", &policy, |_, hb, _| {
+            // Slow but steadily progressing work: ~200ms total, well past
+            // the 60ms deadline, but never 60ms between ticks.
+            for _ in 0..10 {
+                std::thread::sleep(Duration::from_millis(20));
+                hb.tick();
+            }
+            Ok("done")
+        });
+        assert_eq!(out.unwrap(), "done");
+        assert_eq!(report.stalls, 0);
+    }
+}

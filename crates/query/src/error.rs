@@ -28,6 +28,9 @@ pub enum QueryError {
     /// external corruption. The store refuses to guess (and in particular
     /// refuses to silently start from zero spend).
     LedgerCorrupt { path: String, reason: String },
+    /// Another process holds the ledger's advisory lock and it was not
+    /// released within the caller's wait budget. Nothing was charged.
+    LedgerLocked { path: String, waited_ms: u64 },
     /// Filesystem failure reading or writing the ledger or artifact.
     Io { path: String, reason: String },
     /// The query artifact is malformed (missing field, bad bit string, …).
@@ -63,6 +66,11 @@ impl fmt::Display for QueryError {
             QueryError::LedgerCorrupt { path, reason } => {
                 write!(f, "ledger {path} is corrupt: {reason}")
             }
+            QueryError::LedgerLocked { path, waited_ms } => write!(
+                f,
+                "ledger {path} is locked by another process (waited {waited_ms} ms); \
+                 retry, raise --lock-wait-ms, or remove a stale .lock file"
+            ),
             QueryError::Io { path, reason } => write!(f, "io error on {path}: {reason}"),
             QueryError::BadArtifact(msg) => write!(f, "bad query artifact: {msg}"),
             QueryError::UnknownObject { id } => {
@@ -122,6 +130,16 @@ mod tests {
             assert!(e.to_string().contains(needle), "missing {needle}: {e}");
         }
         assert!(QueryError::EmptyScope.to_string().contains("no frames"));
+        let locked = QueryError::LedgerLocked {
+            path: "l.json".into(),
+            waited_ms: 5000,
+        };
+        for needle in ["l.json", "locked", "5000"] {
+            assert!(
+                locked.to_string().contains(needle),
+                "missing {needle}: {locked}"
+            );
+        }
         assert!(QueryError::UnknownObject { id: 7 }
             .to_string()
             .contains('7'));

@@ -20,6 +20,82 @@ use verro_ldp::BudgetLedger;
 /// Magic format tag; bumped on breaking layout changes.
 const FORMAT: &str = "verro-ledger-v1";
 
+/// How often a blocked [`LedgerLock::acquire`] re-probes the lockfile.
+const LOCK_POLL_MS: u64 = 10;
+
+/// Advisory cross-process lock for a ledger file, held for the whole
+/// read → charge → save window so two concurrent `verro query` processes
+/// cannot interleave and lose a charge.
+///
+/// The lock is a sibling `<ledger>.lock` file created with `create_new`
+/// (`O_EXCL`), which is atomic on every platform cargo targets; whoever
+/// wins the create owns the ledger until the guard drops and removes the
+/// file. A holder that dies without cleanup leaves the lockfile behind —
+/// that is surfaced as a typed [`QueryError::LedgerLocked`] after the wait
+/// budget (never a silent lost update), and the error message tells the
+/// operator how to clear a stale lock.
+#[derive(Debug)]
+pub struct LedgerLock {
+    lock_path: PathBuf,
+}
+
+impl LedgerLock {
+    /// The lockfile guarding `ledger_path`.
+    pub fn lock_path_for(ledger_path: &Path) -> PathBuf {
+        let mut name = ledger_path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(".lock");
+        ledger_path.with_file_name(name)
+    }
+
+    /// Acquires the advisory lock on `ledger_path`, retrying every
+    /// [`LOCK_POLL_MS`] for up to `wait_ms` (0 ⇒ a single attempt). Fails
+    /// typed with [`QueryError::LedgerLocked`] when the budget runs out.
+    pub fn acquire(ledger_path: &Path, wait_ms: u64) -> Result<Self, QueryError> {
+        let lock_path = Self::lock_path_for(ledger_path);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(wait_ms);
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock_path)
+            {
+                Ok(mut file) => {
+                    // Best-effort breadcrumb for operators inspecting a
+                    // stale lock; the file's existence is the lock itself.
+                    let _ = writeln!(file, "pid {}", std::process::id());
+                    return Ok(Self { lock_path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(QueryError::LedgerLocked {
+                            path: ledger_path.display().to_string(),
+                            waited_ms: wait_ms,
+                        });
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(LOCK_POLL_MS));
+                }
+                Err(e) => {
+                    return Err(QueryError::Io {
+                        path: lock_path.display().to_string(),
+                        reason: e.to_string(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+impl Drop for LedgerLock {
+    fn drop(&mut self) {
+        // Nothing useful to do on failure: the stale-lock path in
+        // `acquire`'s error message covers it.
+        let _ = std::fs::remove_file(&self.lock_path);
+    }
+}
+
 fn check_cap(cap: f64) -> Result<(), QueryError> {
     if cap > 0.0 && cap.is_finite() {
         Ok(())
@@ -355,6 +431,74 @@ mod tests {
         store.save().unwrap(); // no-op
         assert!((store.total("a") - 0.4).abs() < 1e-12);
         assert!(LedgerStore::ephemeral("s", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn lock_is_exclusive_and_released_on_drop() {
+        let ledger = tmp_path("locked.json");
+        let guard = LedgerLock::acquire(&ledger, 0).unwrap();
+        let err = LedgerLock::acquire(&ledger, 0).unwrap_err();
+        assert!(
+            matches!(err, QueryError::LedgerLocked { ref path, waited_ms: 0 }
+                     if path.contains("locked.json")),
+            "expected LedgerLocked, got {err:?}"
+        );
+        drop(guard);
+        // Released: a second acquire succeeds and the lockfile is gone after.
+        let lock_path = LedgerLock::lock_path_for(&ledger);
+        let guard = LedgerLock::acquire(&ledger, 0).unwrap();
+        assert!(lock_path.exists());
+        drop(guard);
+        assert!(!lock_path.exists());
+    }
+
+    #[test]
+    fn lock_waits_out_a_short_holder() {
+        let ledger = tmp_path("waited.json");
+        let guard = LedgerLock::acquire(&ledger, 0).unwrap();
+        let handle = std::thread::spawn({
+            let ledger = ledger.clone();
+            move || LedgerLock::acquire(&ledger, 2000)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(guard);
+        assert!(handle.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn concurrent_charges_serialize_under_the_lock() {
+        let ledger = tmp_path("concurrent.json");
+        let _ = std::fs::remove_file(&ledger);
+        let _ = std::fs::remove_file(LedgerLock::lock_path_for(&ledger));
+        let workers = 4;
+        let charges_each = 5;
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let ledger = &ledger;
+                scope.spawn(move || {
+                    for c in 0..charges_each {
+                        let guard = LedgerLock::acquire(ledger, 10_000).unwrap();
+                        let mut store =
+                            LedgerStore::open_or_create(ledger.clone(), "s", 1000.0).unwrap();
+                        store
+                            .charge_all("a", &[(format!("w{w}c{c}"), 1.0)])
+                            .unwrap();
+                        store.save().unwrap();
+                        drop(guard);
+                    }
+                });
+            }
+        });
+        // Every charge survived: with no lock, concurrent read-modify-write
+        // cycles would have lost updates.
+        let store = LedgerStore::load(&ledger).unwrap();
+        let expected = (workers * charges_each) as f64;
+        assert!(
+            (store.total("a") - expected).abs() < 1e-9,
+            "lost updates: {} of {expected} charges recorded",
+            store.total("a")
+        );
+        let _ = std::fs::remove_file(&ledger);
     }
 
     #[test]

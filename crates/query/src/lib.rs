@@ -53,4 +53,4 @@ pub mod stats;
 pub use artifact::QueryArtifact;
 pub use engine::{Estimate, QueryAnswer, QueryEngine, QueryScope};
 pub use error::QueryError;
-pub use ledger::LedgerStore;
+pub use ledger::{LedgerLock, LedgerStore};

@@ -126,7 +126,14 @@ impl<'a, S: FrameSource> CachedSource<'a, S> {
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        let state = self.state.lock().expect("cache lock poisoned");
+        // Cache state stays internally consistent under panic (bytes and
+        // entries are updated together before any call that could unwind),
+        // so a poisoned lock from a dead worker is recovered, not spread
+        // to surviving streams (DESIGN.md §14).
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -144,7 +151,10 @@ impl<'a, S: FrameSource> CachedSource<'a, S> {
             return Arc::new(self.src.frame(k));
         }
         {
-            let mut state = self.state.lock().expect("cache lock poisoned");
+            let mut state = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             state.tick += 1;
             let tick = state.tick;
             if let Some(entry) = state.entries.get_mut(&k) {
@@ -158,7 +168,10 @@ impl<'a, S: FrameSource> CachedSource<'a, S> {
         let image = Arc::new(self.src.frame(k));
         let cost = image.byte_len();
         if cost <= self.budget {
-            let mut state = self.state.lock().expect("cache lock poisoned");
+            let mut state = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             state.tick += 1;
             let tick = state.tick;
             let replaced = state.entries.insert(

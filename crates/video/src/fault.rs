@@ -181,14 +181,14 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn mix(seed: u64, frame: usize, salt: u64) -> u64 {
+pub(crate) fn mix(seed: u64, frame: usize, salt: u64) -> u64 {
     splitmix64(
         seed ^ splitmix64((frame as u64).wrapping_add(salt.wrapping_mul(0xa076_1d64_78bd_642f))),
     )
 }
 
 /// Maps a hash to a uniform value in `[0, 1)`.
-fn unit(h: u64) -> f64 {
+pub(crate) fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 

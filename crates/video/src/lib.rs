@@ -33,6 +33,7 @@ pub mod pool;
 pub mod recover;
 pub mod scene;
 pub mod simd;
+pub mod sink;
 pub mod source;
 pub mod stats;
 pub mod trajectory;
@@ -55,5 +56,9 @@ pub use recover::{
     IngestError, RecoveredVideo, RecoveringSource, RecoveryPolicy, RepairMethod,
 };
 pub use scene::{Scene, SceneKind};
+pub use sink::{
+    FaultySink, FrameSink, MemorySink, PlannedSinkFault, PpmDirSink, RecoveringSink, SinkError,
+    SinkFaultSchedule, SinkHealth,
+};
 pub use source::{FrameSource, InMemoryVideo, VideoBuildError};
 pub use trajectory::{DepthModel, Lifetime, PathModel};

@@ -92,10 +92,14 @@ impl BufferPool {
     /// least `capacity` bytes reserved. The requested capacity is charged
     /// against the pool's [`MemoryGauge`] until the buffer is dropped.
     pub fn acquire(&self, capacity: usize) -> PooledBuf<'_> {
+        // A worker that panicked while holding the lock leaves a perfectly
+        // usable free list behind (every mutation is a single push/pop);
+        // surviving streams must keep going, so poison is ignored rather
+        // than propagated (DESIGN.md §14).
         let mut buf = self
             .free
             .lock()
-            .expect("pool lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
             .unwrap_or_default();
         buf.clear();
@@ -112,7 +116,10 @@ impl BufferPool {
 
     /// Number of buffers currently parked in the free list.
     pub fn idle(&self) -> usize {
-        self.free.lock().expect("pool lock poisoned").len()
+        self.free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Requested bytes currently checked out (not yet dropped). Tracks the
@@ -129,7 +136,10 @@ impl BufferPool {
 
     fn release(&self, buf: Vec<u8>, charged: usize) {
         self.gauge.release(charged);
-        let mut free = self.free.lock().expect("pool lock poisoned");
+        let mut free = self
+            .free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if free.len() < MAX_POOLED {
             free.push(buf);
         }

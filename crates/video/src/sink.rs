@@ -1,0 +1,636 @@
+//! Fallible frame delivery and deterministic sink-fault injection — the
+//! output-side counterpart of [`crate::fault`].
+//!
+//! [`FrameSink`] models frame persistence the way [`TryFrameSource`] models
+//! frame production: `try_put(k, frame, attempt)` classifies disk failures
+//! into a small taxonomy ([`SinkError`]) and must be deterministic in
+//! `(k, attempt)` so every failure scenario replays bit-for-bit.
+//!
+//! [`FaultySink`] wraps any sink and injects faults from a
+//! [`SinkFaultSchedule`] that is a pure function of `(seed, frame, attempt)`
+//! — the same splitmix64 discipline as [`FaultSchedule`]: the injector
+//! draws no randomness from the pipeline RNG, so disk faults can degrade
+//! throughput but never perturb the privacy accounting (DESIGN.md §14).
+//!
+//! [`RecoveringSink`] is the bounded-retry layer: retryable faults (a full
+//! disk that an operator clears, a transient rename failure) are retried up
+//! to the [`RecoveryPolicy`] budget with *recorded* exponential backoff —
+//! the same record-don't-sleep discipline the ingest recovery layer uses —
+//! and exhaustion or a permanent device failure surfaces as a typed error.
+//!
+//! [`FaultSchedule`]: crate::fault::FaultSchedule
+//! [`TryFrameSource`]: crate::fault::TryFrameSource
+
+use crate::image::ImageBuffer;
+use crate::recover::RecoveryPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Classified frame-persistence failures.
+///
+/// The taxonomy mirrors [`crate::fault::SourceError`] and drives the same
+/// recovery split: `NoSpace`, `ShortWrite`, and `RenameFailed` are worth
+/// retrying (the condition may clear), `Permanent` means the device as a
+/// whole is gone and retries cannot help.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SinkError {
+    /// The write failed for lack of space (ENOSPC); a retry may succeed
+    /// once space is reclaimed.
+    NoSpace { frame: usize, attempt: u32 },
+    /// The write delivered fewer bytes than the frame holds (torn write);
+    /// the partial artifact was discarded and a retry may succeed.
+    ShortWrite {
+        frame: usize,
+        written: usize,
+        expected: usize,
+    },
+    /// The temp-file-to-final rename failed; the previous contents of the
+    /// destination (if any) are intact and a retry may succeed.
+    RenameFailed { frame: usize, reason: String },
+    /// The sink as a whole failed (device detached, filesystem remounted
+    /// read-only). Retries cannot help.
+    Permanent { frame: usize, reason: String },
+}
+
+impl SinkError {
+    /// Frame index the failure occurred at.
+    pub fn frame(&self) -> usize {
+        match *self {
+            SinkError::NoSpace { frame, .. }
+            | SinkError::ShortWrite { frame, .. }
+            | SinkError::RenameFailed { frame, .. }
+            | SinkError::Permanent { frame, .. } => frame,
+        }
+    }
+
+    /// Whether a retry of the same frame may succeed.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, SinkError::Permanent { .. })
+    }
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SinkError::NoSpace { frame, attempt } => {
+                write!(f, "no space writing frame {frame} (attempt {attempt})")
+            }
+            SinkError::ShortWrite {
+                frame,
+                written,
+                expected,
+            } => write!(
+                f,
+                "short write on frame {frame}: {written} of {expected} bytes"
+            ),
+            SinkError::RenameFailed { frame, reason } => {
+                write!(f, "rename failed committing frame {frame}: {reason}")
+            }
+            SinkError::Permanent { frame, reason } => {
+                write!(f, "sink failed permanently at frame {frame}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SinkError {}
+
+/// A frame sink whose persistence can fail.
+///
+/// The determinism contract matches [`TryFrameSource`]: `try_put(k, frame,
+/// attempt)` must resolve identically (success or the same error) every
+/// time it is called with the same arguments, so retry transcripts replay.
+/// A successful `try_put` means the frame is written; durability against a
+/// crash is the job of [`Self::flush`], which implementations map to
+/// whatever fsync discipline their medium needs.
+///
+/// [`TryFrameSource`]: crate::fault::TryFrameSource
+pub trait FrameSink {
+    /// Attempts to persist frame `k`. `attempt` counts prior failed
+    /// attempts for this frame (0 on the first try).
+    fn try_put(&mut self, k: usize, frame: &ImageBuffer, attempt: u32) -> Result<(), SinkError>;
+
+    /// Makes everything accepted so far durable. Default: no-op (memory
+    /// sinks are always "durable").
+    fn flush(&mut self) -> Result<(), SinkError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic sink-fault injection
+// ---------------------------------------------------------------------------
+
+const SALT_SINK_KIND: u64 = 11;
+const SALT_SINK_RUN: u64 = 12;
+
+/// What a [`SinkFaultSchedule`] has planned for one frame's writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedSinkFault {
+    /// Persisted cleanly on the first attempt.
+    None,
+    /// Attempts `0..run` fail with [`SinkError::NoSpace`]; attempt `run`
+    /// succeeds (space was reclaimed).
+    NoSpace { run: u32 },
+    /// Attempts `0..run` fail with [`SinkError::ShortWrite`]; attempt
+    /// `run` succeeds.
+    ShortWrite { run: u32 },
+    /// Attempts `0..run` fail with [`SinkError::RenameFailed`]; attempt
+    /// `run` succeeds.
+    RenameFailed { run: u32 },
+    /// Every attempt fails with [`SinkError::Permanent`].
+    Permanent,
+}
+
+/// A deterministic, seeded per-frame disk-fault plan — the sink-side twin
+/// of [`crate::fault::FaultSchedule`]. Classification and run lengths are
+/// pure functions of `(seed, frame)`, so a schedule replays bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SinkFaultSchedule {
+    /// Master seed of the schedule.
+    pub seed: u64,
+    /// Probability a frame's write starts with an ENOSPC run.
+    pub nospace_rate: f64,
+    /// Probability a frame's write starts with a short-write run.
+    pub short_write_rate: f64,
+    /// Probability a frame's commit starts with a rename-failure run.
+    pub rename_rate: f64,
+    /// Probability the sink hard-fails at a frame.
+    pub permanent_rate: f64,
+    /// Maximum failing attempts before a retryable fault heals.
+    pub max_run: u32,
+}
+
+impl SinkFaultSchedule {
+    /// A schedule that never faults.
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            seed,
+            nospace_rate: 0.0,
+            short_write_rate: 0.0,
+            rename_rate: 0.0,
+            permanent_rate: 0.0,
+            max_run: 0,
+        }
+    }
+
+    /// A representative mixed disk-fault schedule scaled by `r ∈ [0, 1]`:
+    /// ENOSPC runs at rate `r/2`, short writes at `r/4`, rename failures
+    /// at `r/4`. Used by `--inject-sink-faults`.
+    pub fn mixed(seed: u64, r: f64) -> Self {
+        let r = if r.is_finite() { r.clamp(0.0, 1.0) } else { 0.0 };
+        Self {
+            seed,
+            nospace_rate: r / 2.0,
+            short_write_rate: r / 4.0,
+            rename_rate: r / 4.0,
+            permanent_rate: 0.0,
+            max_run: 3,
+        }
+    }
+
+    /// What this schedule does to frame `k`'s writes.
+    pub fn planned(&self, k: usize) -> PlannedSinkFault {
+        let clamp = |r: f64| if r.is_finite() { r.clamp(0.0, 1.0) } else { 0.0 };
+        let u = crate::fault::unit(crate::fault::mix(self.seed, k, SALT_SINK_KIND));
+        let permanent = clamp(self.permanent_rate);
+        let nospace = clamp(self.nospace_rate);
+        let short = clamp(self.short_write_rate);
+        let rename = clamp(self.rename_rate);
+        let span = self.max_run.max(1) as u64;
+        let run = 1 + (crate::fault::mix(self.seed, k, SALT_SINK_RUN) % span) as u32;
+        if u < permanent {
+            PlannedSinkFault::Permanent
+        } else if u < permanent + nospace {
+            PlannedSinkFault::NoSpace { run }
+        } else if u < permanent + nospace + short {
+            PlannedSinkFault::ShortWrite { run }
+        } else if u < permanent + nospace + short + rename {
+            PlannedSinkFault::RenameFailed { run }
+        } else {
+            PlannedSinkFault::None
+        }
+    }
+
+    /// Whether the schedule plans any fault over the first `n` frames.
+    pub fn any_fault_in(&self, n: usize) -> bool {
+        (0..n).any(|k| self.planned(k) != PlannedSinkFault::None)
+    }
+}
+
+/// A sink wrapped with deterministic disk-fault injection.
+///
+/// Faults simulate *persistence* failures, not data failures: a faulted
+/// attempt returns the planned error without touching the inner sink, and
+/// a retryable run heals into a clean write of the bit-exact frame once
+/// retried past the run length. A `Permanent` plan never reaches the inner
+/// sink at all.
+#[derive(Debug)]
+pub struct FaultySink<S> {
+    inner: S,
+    schedule: SinkFaultSchedule,
+}
+
+impl<S: FrameSink> FaultySink<S> {
+    pub fn new(inner: S, schedule: SinkFaultSchedule) -> Self {
+        Self { inner, schedule }
+    }
+
+    pub fn schedule(&self) -> &SinkFaultSchedule {
+        &self.schedule
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: FrameSink> FrameSink for FaultySink<S> {
+    fn try_put(&mut self, k: usize, frame: &ImageBuffer, attempt: u32) -> Result<(), SinkError> {
+        match self.schedule.planned(k) {
+            PlannedSinkFault::None => self.inner.try_put(k, frame, attempt),
+            PlannedSinkFault::NoSpace { run } => {
+                if attempt < run {
+                    Err(SinkError::NoSpace { frame: k, attempt })
+                } else {
+                    self.inner.try_put(k, frame, attempt)
+                }
+            }
+            PlannedSinkFault::ShortWrite { run } => {
+                if attempt < run {
+                    Err(SinkError::ShortWrite {
+                        frame: k,
+                        written: frame.byte_len() / 2,
+                        expected: frame.byte_len(),
+                    })
+                } else {
+                    self.inner.try_put(k, frame, attempt)
+                }
+            }
+            PlannedSinkFault::RenameFailed { run } => {
+                if attempt < run {
+                    Err(SinkError::RenameFailed {
+                        frame: k,
+                        reason: "injected rename failure".into(),
+                    })
+                } else {
+                    self.inner.try_put(k, frame, attempt)
+                }
+            }
+            PlannedSinkFault::Permanent => Err(SinkError::Permanent {
+                frame: k,
+                reason: "injected permanent sink failure".into(),
+            }),
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), SinkError> {
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded retry with recorded backoff
+// ---------------------------------------------------------------------------
+
+/// Observability counters of a [`RecoveringSink`]: how much disk-fault
+/// recovery one stream's output path performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SinkHealth {
+    /// Frames persisted.
+    pub frames: usize,
+    /// Frames that needed at least one retry.
+    pub retried: usize,
+    /// Total failed attempts across all frames.
+    pub total_retries: u64,
+    /// Total *recorded* exponential backoff (never slept, same discipline
+    /// as ingest recovery: determinism over wall-clock fidelity).
+    pub total_backoff_ms: u64,
+}
+
+/// The bounded-retry layer over any [`FrameSink`]: retryable faults are
+/// retried up to `policy.max_retries` with recorded `min(base << attempt,
+/// cap)` backoff; exhaustion or a permanent fault surfaces the final typed
+/// [`SinkError`] to the caller.
+#[derive(Debug)]
+pub struct RecoveringSink<S> {
+    inner: S,
+    policy: RecoveryPolicy,
+    health: SinkHealth,
+}
+
+impl<S: FrameSink> RecoveringSink<S> {
+    pub fn new(inner: S, policy: RecoveryPolicy) -> Self {
+        Self {
+            inner,
+            policy,
+            health: SinkHealth::default(),
+        }
+    }
+
+    /// Persists frame `k`, retrying retryable faults within the policy
+    /// budget. On success the frame is written exactly once (faulted
+    /// attempts never reach the medium).
+    pub fn put(&mut self, k: usize, frame: &ImageBuffer) -> Result<(), SinkError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.try_put(k, frame, attempt) {
+                Ok(()) => {
+                    self.health.frames += 1;
+                    if attempt > 0 {
+                        self.health.retried += 1;
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_retryable() && attempt < self.policy.max_retries => {
+                    self.health.total_retries += 1;
+                    self.health.total_backoff_ms += self.policy.backoff_ms(attempt);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Makes everything accepted so far durable.
+    pub fn flush(&mut self) -> Result<(), SinkError> {
+        self.inner.flush()
+    }
+
+    /// Recovery counters accumulated so far.
+    pub fn health(&self) -> SinkHealth {
+        self.health
+    }
+
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The production sink: a directory of numbered PPM files
+// ---------------------------------------------------------------------------
+
+/// Writes frames as `{k:06}.ppm` under a directory, each through the
+/// write-temp-then-rename discipline so a crash mid-write leaves either the
+/// previous complete frame or the new complete frame — never a torn file.
+/// `flush` is implicit per frame (`sync_all` before the rename), matching
+/// the atomicity story of the ε-ledger store.
+#[derive(Debug)]
+pub struct PpmDirSink {
+    dir: std::path::PathBuf,
+    scratch: Vec<u8>,
+}
+
+impl PpmDirSink {
+    /// Creates the directory (if missing) and the sink.
+    pub fn create(dir: impl Into<std::path::PathBuf>) -> Result<Self, SinkError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| SinkError::Permanent {
+            frame: 0,
+            reason: format!("cannot create {}: {e}", dir.display()),
+        })?;
+        Ok(Self {
+            dir,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Path of frame `k`'s final artifact.
+    pub fn frame_path(&self, k: usize) -> std::path::PathBuf {
+        self.dir.join(format!("{k:06}.ppm"))
+    }
+
+    /// Reads back and decodes a persisted frame (resume verification).
+    pub fn read_frame(&self, k: usize) -> Result<ImageBuffer, SinkError> {
+        let path = self.frame_path(k);
+        let bytes = std::fs::read(&path).map_err(|e| SinkError::Permanent {
+            frame: k,
+            reason: format!("{}: {e}", path.display()),
+        })?;
+        ImageBuffer::from_ppm(&bytes).map_err(|e| SinkError::Permanent {
+            frame: k,
+            reason: format!("{}: {e}", path.display()),
+        })
+    }
+}
+
+impl FrameSink for PpmDirSink {
+    fn try_put(&mut self, k: usize, frame: &ImageBuffer, _attempt: u32) -> Result<(), SinkError> {
+        use std::io::Write;
+        self.scratch.clear();
+        frame.write_ppm_into(&mut self.scratch);
+        let path = self.frame_path(k);
+        let tmp = self.dir.join(format!("{k:06}.ppm.tmp"));
+        let classify = |e: std::io::Error, what: &str| {
+            // ENOSPC is the retryable disk-full condition the taxonomy
+            // names; everything else on this frame is retryable too (the
+            // recovery policy bounds it), except a vanished directory.
+            if e.raw_os_error() == Some(28) {
+                SinkError::NoSpace { frame: k, attempt: 0 }
+            } else if e.kind() == std::io::ErrorKind::NotFound {
+                SinkError::Permanent {
+                    frame: k,
+                    reason: format!("{what}: {e}"),
+                }
+            } else {
+                SinkError::RenameFailed {
+                    frame: k,
+                    reason: format!("{what}: {e}"),
+                }
+            }
+        };
+        {
+            let mut file =
+                std::fs::File::create(&tmp).map_err(|e| classify(e, "create temp file"))?;
+            file.write_all(&self.scratch)
+                .map_err(|e| classify(e, "write"))?;
+            file.sync_all().map_err(|e| classify(e, "sync"))?;
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| classify(e, "rename"))
+    }
+}
+
+/// An in-memory sink for tests and harnesses: frames land in a map.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    frames: std::collections::BTreeMap<usize, ImageBuffer>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn frames(&self) -> &std::collections::BTreeMap<usize, ImageBuffer> {
+        &self.frames
+    }
+
+    pub fn frames_mut(&mut self) -> &mut std::collections::BTreeMap<usize, ImageBuffer> {
+        &mut self.frames
+    }
+}
+
+impl FrameSink for MemorySink {
+    fn try_put(&mut self, k: usize, frame: &ImageBuffer, _attempt: u32) -> Result<(), SinkError> {
+        self.frames.insert(k, frame.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+    use crate::geometry::Size;
+
+    fn frame(k: usize) -> ImageBuffer {
+        ImageBuffer::new(Size::new(8, 6), Rgb::new(k as u8, 7, 0))
+    }
+
+    #[test]
+    fn schedule_is_pure_and_clean_is_transparent() {
+        let s = SinkFaultSchedule::mixed(42, 0.6);
+        for k in 0..50 {
+            assert_eq!(s.planned(k), s.planned(k), "k={k}");
+        }
+        assert!(!SinkFaultSchedule::clean(9).any_fault_in(200));
+        assert!(SinkFaultSchedule::mixed(42, 0.9).any_fault_in(50));
+    }
+
+    #[test]
+    fn retryable_runs_heal_into_the_inner_sink() {
+        let schedule = SinkFaultSchedule {
+            seed: 7,
+            nospace_rate: 1.0,
+            short_write_rate: 0.0,
+            rename_rate: 0.0,
+            permanent_rate: 0.0,
+            max_run: 3,
+        };
+        let mut sink = FaultySink::new(MemorySink::new(), schedule);
+        for k in 0..20 {
+            let PlannedSinkFault::NoSpace { run } = schedule.planned(k) else {
+                panic!("all frames must plan ENOSPC at rate 1.0");
+            };
+            assert!((1..=3).contains(&run));
+            for attempt in 0..run {
+                let e = sink.try_put(k, &frame(k), attempt).unwrap_err();
+                assert!(e.is_retryable(), "{e}");
+                assert_eq!(e.frame(), k);
+            }
+            sink.try_put(k, &frame(k), run).unwrap();
+        }
+        assert_eq!(sink.inner().frames().len(), 20);
+    }
+
+    #[test]
+    fn recovering_sink_retries_within_budget_and_records_backoff() {
+        let schedule = SinkFaultSchedule {
+            seed: 3,
+            nospace_rate: 0.5,
+            short_write_rate: 0.3,
+            rename_rate: 0.2,
+            permanent_rate: 0.0,
+            max_run: 2,
+        };
+        let policy = RecoveryPolicy {
+            max_retries: 3,
+            ..RecoveryPolicy::default()
+        };
+        let mut sink = RecoveringSink::new(FaultySink::new(MemorySink::new(), schedule), policy);
+        for k in 0..30 {
+            sink.put(k, &frame(k)).unwrap();
+        }
+        let health = sink.health();
+        assert_eq!(health.frames, 30);
+        assert!(health.retried > 0, "rate 1.0 must retry something");
+        assert!(health.total_backoff_ms > 0);
+        // Every frame landed bit-exact despite the faults.
+        let mem = sink.into_inner().into_inner();
+        for k in 0..30 {
+            assert_eq!(mem.frames()[&k], frame(k));
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_and_permanent_faults_surface_typed() {
+        let schedule = SinkFaultSchedule {
+            seed: 1,
+            nospace_rate: 1.0,
+            short_write_rate: 0.0,
+            rename_rate: 0.0,
+            permanent_rate: 0.0,
+            max_run: 5,
+        };
+        let policy = RecoveryPolicy {
+            max_retries: 0,
+            ..RecoveryPolicy::default()
+        };
+        let mut sink = RecoveringSink::new(FaultySink::new(MemorySink::new(), schedule), policy);
+        assert!(matches!(
+            sink.put(0, &frame(0)),
+            Err(SinkError::NoSpace { frame: 0, .. })
+        ));
+        let mut dead = RecoveringSink::new(
+            FaultySink::new(
+                MemorySink::new(),
+                SinkFaultSchedule {
+                    seed: 1,
+                    nospace_rate: 0.0,
+                    short_write_rate: 0.0,
+                    rename_rate: 0.0,
+                    permanent_rate: 1.0,
+                    max_run: 0,
+                },
+            ),
+            RecoveryPolicy::default(),
+        );
+        let e = dead.put(0, &frame(0)).unwrap_err();
+        assert!(!e.is_retryable());
+        assert!(matches!(e, SinkError::Permanent { frame: 0, .. }));
+    }
+
+    #[test]
+    fn ppm_dir_sink_round_trips_and_commits_atomically() {
+        let dir = std::env::temp_dir().join(format!("verro-sink-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = PpmDirSink::create(&dir).unwrap();
+        for k in 0..3 {
+            sink.try_put(k, &frame(k), 0).unwrap();
+        }
+        for k in 0..3 {
+            assert_eq!(sink.read_frame(k).unwrap(), frame(k));
+            // No temp residue after a committed write.
+            assert!(!dir.join(format!("{k:06}.ppm.tmp")).exists());
+        }
+        // Overwrite is atomic and lands the new bytes.
+        sink.try_put(1, &frame(9), 0).unwrap();
+        assert_eq!(sink.read_frame(1).unwrap(), frame(9));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_rates_never_panic() {
+        for r in [f64::NAN, f64::INFINITY, -3.0, 7.5] {
+            let s = SinkFaultSchedule {
+                seed: 1,
+                nospace_rate: r,
+                short_write_rate: r,
+                rename_rate: r,
+                permanent_rate: r,
+                max_run: 0,
+            };
+            for k in 0..20 {
+                let _ = s.planned(k);
+            }
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Crash-matrix certification of the checkpointed streaming engine
+//! (DESIGN.md §14): a run killed at any seeded injection point and resumed
+//! from its journal must publish **exactly** the bytes of an uninterrupted
+//! run — resume never re-randomizes — and every tampered precondition
+//! (journal bytes, run identity, persisted frames) must be a typed refusal,
+//! never a silent fresh start.
+//!
+//! The "crash" here is a sink that fails typed at the N-th delivery. Because
+//! every durable effect of the engine is transactional (frames become
+//! durable in `commit_segment` *before* the journal records the segment,
+//! and the journal itself is written tmp → fsync → rename), an in-process
+//! abort at delivery N is observationally identical to `kill -9` at that
+//! instant: the matrix walks N across the clip and asserts byte identity of
+//! the resumed output each time. The process-level variant (real SIGKILL,
+//! real filesystem) runs in CI's chaos job against the `verro` binary.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use verro_core::config::BackgroundMode;
+use verro_core::journal::{self, RunJournal};
+use verro_core::stream::SegmentSink;
+use verro_core::supervise::{supervise, SupervisorPolicy, CANCELLED_REASON};
+use verro_core::{CheckpointOptions, StreamOptions, Verro, VerroConfig, VerroError};
+use verro_video::generator::{GeneratedVideo, VideoSpec};
+use verro_video::image::ImageBuffer;
+use verro_video::recover::RecoveryPolicy;
+use verro_video::{Camera, ObjectClass, SceneKind, Size};
+
+fn tiny_video(seed: u64) -> GeneratedVideo {
+    GeneratedVideo::generate(VideoSpec {
+        name: format!("crash-matrix-{seed}"),
+        nominal_size: Size::new(96, 72),
+        raster_scale: 1.0,
+        num_frames: 36,
+        num_objects: 5,
+        scene: SceneKind::DaySquare,
+        camera: Camera::Static,
+        class: ObjectClass::Pedestrian,
+        fps: 30.0,
+        seed,
+        min_lifetime: 10,
+        max_lifetime: 30,
+        lifetime_mix: None,
+        lighting_drift: 0.1,
+        lighting_period: 10.0,
+    })
+}
+
+/// Several segments per clip, cheap backgrounds, deterministic seed.
+fn harness_config(seed: u64) -> VerroConfig {
+    let mut cfg = VerroConfig::default().with_flip(0.2).with_seed(seed);
+    cfg.background = BackgroundMode::TemporalMedian;
+    cfg.keyframe.tau = 0.94;
+    cfg.keyframe.stride = 2;
+    cfg.optimizer_noise_epsilon = None;
+    cfg
+}
+
+fn journal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("verro-crash-matrix");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.journal", std::process::id()))
+}
+
+/// A sink with the durability semantics of the CLI's PPM sink, plus a
+/// seeded crash: `put` stages a frame, `commit_segment` makes the
+/// segment's frames durable, and the `fail_at_put`-th delivery returns a
+/// typed sink fault — aborting the run exactly the way a kill would, with
+/// only committed segments surviving in `durable`.
+#[derive(Default)]
+struct CrashySink {
+    durable: BTreeMap<usize, ImageBuffer>,
+    staged: BTreeMap<usize, ImageBuffer>,
+    fail_at_put: Option<usize>,
+    fail_commit_of_segment: Option<usize>,
+    puts: usize,
+}
+
+impl SegmentSink for CrashySink {
+    fn put(&mut self, k: usize, frame: &ImageBuffer) -> Result<(), VerroError> {
+        if self.fail_at_put == Some(self.puts) {
+            return Err(VerroError::SinkFailed {
+                frame: k,
+                reason: "injected crash".into(),
+            });
+        }
+        self.puts += 1;
+        self.staged.insert(k, frame.clone());
+        Ok(())
+    }
+
+    fn commit_segment(&mut self, seg: usize, d0: usize, d1: usize) -> Result<(), VerroError> {
+        if self.fail_commit_of_segment == Some(seg) {
+            // Crash mid-commit: the staged frames are lost, nothing was
+            // journaled, and resume must re-render the whole segment.
+            self.staged.clear();
+            return Err(VerroError::SinkFailed {
+                frame: d0,
+                reason: "injected commit crash".into(),
+            });
+        }
+        for k in d0..=d1 {
+            if let Some(f) = self.staged.remove(&k) {
+                self.durable.insert(k, f);
+            }
+        }
+        Ok(())
+    }
+
+    fn persisted_fingerprint(&mut self, d0: usize, d1: usize) -> Result<u64, VerroError> {
+        let mut fp = journal::fnv1a_seed();
+        for k in d0..=d1 {
+            match self.durable.get(&k) {
+                Some(f) => fp = journal::frame_fold(fp, k, f),
+                None => {
+                    return Err(VerroError::SinkFailed {
+                        frame: k,
+                        reason: "persisted frame missing".into(),
+                    })
+                }
+            }
+        }
+        Ok(fp)
+    }
+}
+
+fn run_checkpointed(
+    verro: &Verro,
+    video: &GeneratedVideo,
+    path: &PathBuf,
+    resume: bool,
+    sink: &mut CrashySink,
+) -> Result<verro_core::CheckpointedOutput, VerroError> {
+    let ckpt = CheckpointOptions {
+        resume,
+        ..CheckpointOptions::new(path)
+    };
+    verro.sanitize_streaming_checkpointed(
+        video,
+        video.annotations(),
+        RecoveryPolicy::default(),
+        &StreamOptions::default(),
+        &ckpt,
+        sink,
+    )
+}
+
+/// The uninterrupted reference: durable frames and the privacy statement.
+fn reference(
+    verro: &Verro,
+    video: &GeneratedVideo,
+    name: &str,
+) -> (BTreeMap<usize, ImageBuffer>, String, usize) {
+    let path = journal_path(name);
+    let _ = std::fs::remove_file(&path);
+    let mut sink = CrashySink::default();
+    let out = run_checkpointed(verro, video, &path, false, &mut sink).unwrap();
+    assert!(out.output.privacy.is_consistent());
+    let _ = std::fs::remove_file(&path);
+    (sink.durable, format!("{:?}", out.output.privacy), sink.puts)
+}
+
+#[test]
+fn resumed_runs_are_byte_identical_across_the_crash_matrix() {
+    let video = tiny_video(7);
+    let verro = Verro::new(harness_config(7)).unwrap();
+    let (ref_frames, ref_privacy, total_puts) = reference(&verro, &video, "ref");
+    assert!(total_puts > 4, "matrix needs a few frames to crash between");
+
+    // Crash at the first delivery, a quarter in, mid-run, three quarters
+    // in, and on the final delivery.
+    let mut points = vec![0, total_puts / 4, total_puts / 2, (3 * total_puts) / 4];
+    points.push(total_puts - 1);
+    points.dedup();
+
+    for fail_at in points {
+        let path = journal_path(&format!("matrix-{fail_at}"));
+        let _ = std::fs::remove_file(&path);
+        let mut sink = CrashySink {
+            fail_at_put: Some(fail_at),
+            ..CrashySink::default()
+        };
+        let err = run_checkpointed(&verro, &video, &path, false, &mut sink).unwrap_err();
+        assert!(
+            matches!(err, VerroError::SinkFailed { .. }),
+            "crash at put {fail_at}: expected SinkFailed, got {err:?}"
+        );
+
+        // The journal records exactly the durably committed prefix.
+        let committed_before = RunJournal::load(&path).unwrap().segments().len();
+
+        // Resume with the fault disarmed: only the unfinished suffix
+        // renders, and the published bytes match the uninterrupted run.
+        sink.fail_at_put = None;
+        sink.staged.clear();
+        let puts_before_resume = sink.puts;
+        let out = run_checkpointed(&verro, &video, &path, true, &mut sink)
+            .unwrap_or_else(|e| panic!("resume after crash at put {fail_at} failed: {e}"));
+        assert_eq!(out.resumed_segments, committed_before);
+        assert_eq!(out.committed_segments, out.total_segments);
+        assert!(!out.interrupted);
+        if committed_before > 0 {
+            assert!(
+                sink.puts - puts_before_resume < total_puts,
+                "resume re-rendered already-committed segments"
+            );
+        }
+        assert_eq!(
+            sink.durable.len(),
+            ref_frames.len(),
+            "crash at put {fail_at}: frame count diverged"
+        );
+        for (k, img) in &ref_frames {
+            assert_eq!(
+                sink.durable.get(k),
+                Some(img),
+                "crash at put {fail_at}: frame {k} diverged after resume"
+            );
+        }
+        assert_eq!(
+            format!("{:?}", out.output.privacy),
+            ref_privacy,
+            "crash at put {fail_at}: privacy statement diverged — resume re-randomized"
+        );
+        assert!(RunJournal::load(&path).unwrap().is_done());
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn crash_between_render_and_commit_re_renders_byte_identically() {
+    let video = tiny_video(11);
+    let verro = Verro::new(harness_config(11)).unwrap();
+    let (ref_frames, ref_privacy, _) = reference(&verro, &video, "commit-ref");
+
+    let path = journal_path("commit-crash");
+    let _ = std::fs::remove_file(&path);
+    let mut sink = CrashySink {
+        fail_commit_of_segment: Some(1),
+        ..CrashySink::default()
+    };
+    let err = run_checkpointed(&verro, &video, &path, false, &mut sink).unwrap_err();
+    assert!(matches!(err, VerroError::SinkFailed { .. }));
+    // Segment 1 was rendered but never became durable or journaled.
+    assert_eq!(RunJournal::load(&path).unwrap().segments().len(), 1);
+
+    sink.fail_commit_of_segment = None;
+    sink.staged.clear();
+    let out = run_checkpointed(&verro, &video, &path, true, &mut sink).unwrap();
+    assert_eq!(out.resumed_segments, 1);
+    assert_eq!(out.committed_segments, out.total_segments);
+    for (k, img) in &ref_frames {
+        assert_eq!(sink.durable.get(k), Some(img), "frame {k} diverged");
+    }
+    assert_eq!(format!("{:?}", out.output.privacy), ref_privacy);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Crash the run mid-clip and return `(journal path, sink)` primed for a
+/// resume attempt.
+fn crashed_run(verro: &Verro, video: &GeneratedVideo, name: &str) -> (PathBuf, CrashySink) {
+    let (_, _, total_puts) = reference(verro, video, &format!("{name}-probe"));
+    let path = journal_path(name);
+    let _ = std::fs::remove_file(&path);
+    let mut sink = CrashySink {
+        fail_at_put: Some(total_puts / 2),
+        ..CrashySink::default()
+    };
+    run_checkpointed(verro, video, &path, false, &mut sink).unwrap_err();
+    assert!(
+        !RunJournal::load(&path).unwrap().segments().is_empty(),
+        "fixture needs at least one committed segment"
+    );
+    sink.fail_at_put = None;
+    sink.staged.clear();
+    (path, sink)
+}
+
+#[test]
+fn tampered_journal_is_refused_typed() {
+    let video = tiny_video(13);
+    let verro = Verro::new(harness_config(13)).unwrap();
+    let (path, mut sink) = crashed_run(&verro, &video, "tamper");
+
+    let pristine = std::fs::read_to_string(&path).unwrap();
+
+    // A corrupted header is unparseable: typed JournalCorrupt.
+    std::fs::write(
+        &path,
+        pristine.replacen("verro-journal-v1", "verro-journal-vX", 1),
+    )
+    .unwrap();
+    let err = run_checkpointed(&verro, &video, &path, true, &mut sink).unwrap_err();
+    assert!(
+        matches!(err, VerroError::JournalCorrupt { .. }),
+        "expected JournalCorrupt, got {err:?}"
+    );
+
+    // A parseable journal whose segment fingerprint was edited no longer
+    // matches what the sink persisted: typed ResumeMismatch, not a silent
+    // re-render under the forged record.
+    let forged: String = pristine
+        .lines()
+        .map(|line| {
+            if let Some(rest) = line.strip_prefix("segment 0 ") {
+                let mut parts: Vec<String> = rest.split(' ').map(str::to_string).collect();
+                let fp = parts.last_mut().unwrap();
+                *fp = format!("{:016x}", u64::from_str_radix(fp, 16).unwrap() ^ 1);
+                format!("segment 0 {}\n", parts.join(" "))
+            } else {
+                format!("{line}\n")
+            }
+        })
+        .collect();
+    std::fs::write(&path, forged).unwrap();
+    let err = run_checkpointed(&verro, &video, &path, true, &mut sink).unwrap_err();
+    assert!(
+        matches!(err, VerroError::ResumeMismatch { .. }),
+        "expected ResumeMismatch, got {err:?}"
+    );
+
+    // Truncating a field is unparseable again.
+    std::fs::write(&path, pristine.replacen("seed ", "sed ", 1)).unwrap();
+    let err = run_checkpointed(&verro, &video, &path, true, &mut sink).unwrap_err();
+    assert!(matches!(err, VerroError::JournalCorrupt { .. }));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_under_a_different_identity_is_refused() {
+    let video = tiny_video(17);
+    let verro = Verro::new(harness_config(17)).unwrap();
+    let (path, mut sink) = crashed_run(&verro, &video, "identity");
+
+    // Different seed: refused before any rendering (re-randomization).
+    let reseeded = Verro::new(harness_config(18)).unwrap();
+    let err = run_checkpointed(&reseeded, &video, &path, true, &mut sink).unwrap_err();
+    assert!(
+        matches!(err, VerroError::ResumeMismatch { ref what, .. } if what == "seed"),
+        "expected seed ResumeMismatch, got {err:?}"
+    );
+
+    // Same seed, different config knob: config fingerprint mismatch.
+    let mut cfg = harness_config(17);
+    cfg.keyframe.tau = 0.9;
+    let reconfigured = Verro::new(cfg).unwrap();
+    let err = run_checkpointed(&reconfigured, &video, &path, true, &mut sink).unwrap_err();
+    assert!(
+        matches!(err, VerroError::ResumeMismatch { ref what, .. } if what == "config fingerprint"),
+        "expected config ResumeMismatch, got {err:?}"
+    );
+
+    // Same run, different input video: input fingerprint mismatch.
+    let other = tiny_video(99);
+    let err = run_checkpointed(&verro, &other, &path, true, &mut sink).unwrap_err();
+    assert!(
+        matches!(err, VerroError::ResumeMismatch { .. }),
+        "expected input ResumeMismatch, got {err:?}"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn tampered_persisted_frames_are_refused() {
+    let video = tiny_video(19);
+    let verro = Verro::new(harness_config(19)).unwrap();
+    let (path, mut sink) = crashed_run(&verro, &video, "bitrot");
+
+    // Corrupt one durably-committed frame behind the journal's back: the
+    // resume verification re-reads persisted bytes and refuses.
+    let (&k, frame) = sink.durable.iter().next().unwrap();
+    let mut rotted = frame.clone();
+    rotted.bytes_mut()[0] = rotted.bytes_mut()[0].wrapping_add(1);
+    sink.durable.insert(k, rotted);
+    let err = run_checkpointed(&verro, &video, &path, true, &mut sink).unwrap_err();
+    assert!(
+        matches!(err, VerroError::ResumeMismatch { .. }),
+        "expected ResumeMismatch on tampered persisted frame, got {err:?}"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn stalled_stream_exhausts_restarts_with_a_typed_failure() {
+    let policy = SupervisorPolicy {
+        stall_timeout_ms: 20,
+        max_restarts: 2,
+        backoff_base_ms: 10,
+        backoff_cap_ms: 40,
+    };
+    let mut attempts = 0u32;
+    let (report, outcome) = supervise("cam-0", &policy, |_, _heartbeat, cancel| {
+        attempts += 1;
+        // Never ticks the heartbeat: every attempt stalls until the
+        // watchdog cancels it.
+        while !cancel.is_cancelled() {
+            std::thread::yield_now();
+        }
+        Err::<(), _>(VerroError::SinkFailed {
+            frame: 0,
+            reason: CANCELLED_REASON.into(),
+        })
+    });
+    let err = outcome.unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerroError::Stalled {
+                ref stream,
+                timeout_ms: 20,
+                restarts: 2,
+            } if stream == "cam-0"
+        ),
+        "expected Stalled, got {err:?}"
+    );
+    assert_eq!(attempts, 3, "initial attempt + 2 restarts");
+    assert_eq!(report.restarts, 2);
+    assert_eq!(report.stalls, 3);
+    // Recorded, never slept: 10 then 20 ms of exponential backoff.
+    assert_eq!(report.backoff_ms, 30);
+}
+
+#[test]
+fn panicking_stream_is_isolated_as_a_typed_failure() {
+    let policy = SupervisorPolicy::default();
+    let (report, outcome) = supervise::<(), _>("cam-1", &policy, |_, _, _| {
+        panic!("poisoned frame decode");
+    });
+    let err = outcome.unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerroError::StreamFailed { ref stream, ref reason }
+                if stream == "cam-1" && reason.contains("poisoned frame decode")
+        ),
+        "expected StreamFailed, got {err:?}"
+    );
+    assert_eq!(report.panics, 1);
+    assert_eq!(report.restarts, 0, "panics are terminal, not restarted");
+}
