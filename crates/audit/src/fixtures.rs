@@ -101,13 +101,7 @@ pub fn deterministic_config(f: f64, seed: u64) -> VerroConfig {
 /// bypasses Algorithm 2 where a test wants to fix the key frames exactly.
 pub fn key_frames_at(frames: &[usize]) -> KeyFrameResult {
     KeyFrameResult {
-        segments: frames
-            .iter()
-            .map(|&k| Segment {
-                frames: vec![k],
-                key_frame: k,
-            })
-            .collect(),
+        segments: frames.iter().map(|&k| Segment::new(vec![k], k)).collect(),
     }
 }
 
@@ -159,10 +153,7 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic_in_the_seed() {
-        assert_eq!(
-            street_video(3).annotations(),
-            street_video(3).annotations()
-        );
+        assert_eq!(street_video(3).annotations(), street_video(3).annotations());
         assert_eq!(
             privacy_video(5, 4).annotations(),
             privacy_video(5, 4).annotations()
@@ -171,10 +162,7 @@ mod tests {
             substrate_video(5, 4, 30).annotations(),
             substrate_video(5, 4, 30).annotations()
         );
-        assert_ne!(
-            street_video(3).annotations(),
-            street_video(4).annotations()
-        );
+        assert_ne!(street_video(3).annotations(), street_video(4).annotations());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! cargo run -p verro-bench --bin report --release -- --bench-stream
 //! # DP query-layer utility-vs-ε curves (opt-in, not part of --all):
 //! cargo run -p verro-bench --bin report --release -- --bench-query
+//! # fingerprint pre-filter + stream dedup harness (opt-in, not part of --all):
+//! cargo run -p verro-bench --bin report --release -- --bench-segment
+//! # CI-sized variant:
+//! cargo run -p verro-bench --bin report --release -- --bench-segment --segment-small
 //! ```
 //!
 //! `--kernels {auto,scalar,simd}` pins the SIMD dispatch for the whole
@@ -69,6 +73,7 @@ fn main() {
         max_threads: None,
         small: false,
     };
+    let mut segment_small = false;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -86,6 +91,7 @@ fn main() {
                 scaling.max_threads = iter.next().and_then(|v| v.parse().ok());
             }
             "--scaling-small" => scaling.small = true,
+            "--segment-small" => segment_small = true,
             _ => args.push(arg),
         }
     }
@@ -96,10 +102,16 @@ fn main() {
     // part of `--all` (full-HD rasters / double end-to-end runs dwarf every
     // other section), and running them alone skips the report's
     // video/key-frame generation entirely.
-    let standalone = ["--bench-scaling", "--bench-stream", "--bench-query"];
+    let standalone = [
+        "--bench-scaling",
+        "--bench-stream",
+        "--bench-query",
+        "--bench-segment",
+    ];
     let run_scaling = args.iter().any(|a| a == "--bench-scaling");
     let run_stream = args.iter().any(|a| a == "--bench-stream");
     let run_query = args.iter().any(|a| a == "--bench-query");
+    let run_segment = args.iter().any(|a| a == "--bench-segment");
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
     let run_sections = all || args.iter().any(|a| !standalone.contains(&a.as_str()));
     if run_sections {
@@ -110,6 +122,9 @@ fn main() {
     }
     if run_query {
         bench_query();
+    }
+    if run_segment {
+        bench_segment(segment_small);
     }
     if run_scaling {
         bench_scaling(&scaling);
@@ -1439,6 +1454,339 @@ fn bench_scaling(opts: &ScalingOpts) {
     )
     .expect("write BENCH_scaling.json");
     println!("  -> results/BENCH_scaling.json\n");
+}
+
+// ------------------------------------------------------ segmentation bench
+
+/// `--bench-segment`: the gradient-fingerprint fast path (DESIGN.md §15),
+/// measured three ways:
+///
+/// 1. raw per-frame cost of a [`FrameFingerprint`] vs an HSV histogram at
+///    the nominal raster, timed interleaved and reported min-of-reps;
+/// 2. the segmentation stage end to end, pre-filter on vs off, on an
+///    idle-heavy surveillance-shaped clip (a static camera holds each
+///    scene for a stretch, so most consecutive sampled frames are
+///    byte-identical — the ≥2× target case) and, honestly, on the three
+///    MOT presets where every frame differs and the pre-filter can only
+///    break even. Both arms are asserted to produce identical
+///    [`KeyFrameResult`]s;
+/// 3. cross-stream dedup on an N-copies demo: duplicate streams are
+///    flagged by the [`DedupRegistry`] probe, skip sanitization entirely,
+///    and charge no ε — the table records the hit rate and the saved work.
+///
+/// `--segment-small` is the CI-sized variant (EVAL_SCALE rasters, fewer
+/// frames and reps). Writes `results/BENCH_segment.json` with full machine
+/// provenance.
+///
+/// [`FrameFingerprint`]: verro_vision::fingerprint::FrameFingerprint
+/// [`DedupRegistry`]: verro_core::supervise::DedupRegistry
+fn bench_segment(small: bool) {
+    use verro_core::supervise::{DedupConfig, DedupRegistry, DedupVerdict, StreamSignature};
+    use verro_video::geometry::Size;
+    use verro_video::image::ImageBuffer;
+    use verro_vision::fingerprint::{FingerprintMode, FrameFingerprint};
+    use verro_vision::histogram::{HsvBins, HsvHistogram};
+    use verro_vision::keyframe::extract_key_frames_with_stats;
+
+    /// A surveillance-shaped source: a small pool of distinct rasters
+    /// replayed through a piecewise-constant schedule. Fetch cost (one
+    /// frame clone) is identical in both A/B arms.
+    struct ReplayVideo {
+        pool: Vec<ImageBuffer>,
+        schedule: Vec<usize>,
+    }
+
+    impl FrameSource for ReplayVideo {
+        fn num_frames(&self) -> usize {
+            self.schedule.len()
+        }
+
+        fn frame_size(&self) -> Size {
+            self.pool[0].size()
+        }
+
+        fn frame(&self, k: usize) -> ImageBuffer {
+            self.pool[self.schedule[k]].clone()
+        }
+    }
+
+    println!("-- Segmentation bench: fingerprint pre-filter + stream dedup --");
+    let raster = if small { EVAL_SCALE } else { 1.0 };
+    let keyframe = eval_config(0.1, 0).keyframe; // stride 4, tau 0.94
+    let mut cfg_on = keyframe;
+    cfg_on.fingerprint = FingerprintMode::Auto;
+    let mut cfg_off = keyframe;
+    cfg_off.fingerprint = FingerprintMode::Off;
+
+    // --- 1: raw per-frame cost, fingerprint vs HSV histogram. Interleaved
+    // so scheduler noise cannot favor either arm; min-of-reps so the
+    // steady-state cost is what gets recorded.
+    let probe_video = GeneratedVideo::generate(MotPreset::ALL[0].spec(raster, EVAL_SEED));
+    let frame0 = probe_video.frame(0);
+    let size = frame0.size();
+    let bins = HsvBins::default();
+    let reps = if small { 5 } else { 20 };
+    let mut fp_ms = f64::INFINITY;
+    let mut hist_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(FrameFingerprint::of(&frame0));
+        fp_ms = fp_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        std::hint::black_box(HsvHistogram::of(&frame0, bins));
+        hist_ms = hist_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    println!(
+        "  per-frame at {size}: fingerprint {fp_ms:.3} ms, hsv histogram {hist_ms:.3} ms \
+         ({:.1}x cheaper)",
+        hist_ms / fp_ms
+    );
+
+    // --- 2a: segmentation stage A/B on the idle-heavy workload. Each
+    // scene holds for 8 sampled frames, so 7 of every 8 histograms are
+    // reusable; the arms must still agree bit for bit.
+    let n_frames = if small { 192 } else { 384 };
+    let pool_len = 8usize;
+    let hold = keyframe.stride * 8;
+    let pool: Vec<ImageBuffer> = (0..pool_len).map(|i| probe_video.frame(i * 7)).collect();
+    let schedule: Vec<usize> = (0..n_frames).map(|k| (k / hold) % pool_len).collect();
+    let replay = ReplayVideo { pool, schedule };
+
+    let ab_reps = if small { 2 } else { 3 };
+    let mut idle_on_ms = f64::INFINITY;
+    let mut idle_off_ms = f64::INFINITY;
+    let mut idle_stats = verro_vision::fingerprint::PrefilterStats::default();
+    let mut idle_identical = true;
+    for _ in 0..ab_reps {
+        let t = Instant::now();
+        let (r_off, _) = extract_key_frames_with_stats(&replay, &cfg_off).expect("non-empty clip");
+        idle_off_ms = idle_off_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let (r_on, s) = extract_key_frames_with_stats(&replay, &cfg_on).expect("non-empty clip");
+        idle_on_ms = idle_on_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        idle_identical &= r_on == r_off;
+        idle_stats = s;
+    }
+    let idle_speedup = idle_off_ms / idle_on_ms;
+    println!(
+        "  idle-heavy {n_frames} frames at {size}: off {idle_off_ms:.1} ms, on {idle_on_ms:.1} \
+         ms ({idle_speedup:.2}x), reused {}/{} sampled, identical: {idle_identical}",
+        idle_stats.reused, idle_stats.sampled
+    );
+
+    // --- 2b: the honest numbers — MOT presets where every frame differs,
+    // so the pre-filter pays its screen and reuses nothing.
+    let mot_cap = if small { 48 } else { 96 };
+    let mut mot_json = Vec::new();
+    for &preset in MotPreset::ALL.iter() {
+        let video = GeneratedVideo::generate(preset.spec(raster, EVAL_SEED));
+        let n = mot_cap.min(video.num_frames());
+        let frames: Vec<ImageBuffer> = (0..n).map(|k| video.frame(k)).collect();
+        let imv = InMemoryVideo::try_new(frames, video.fps()).expect("window is non-empty");
+        let mut on_ms = f64::INFINITY;
+        let mut off_ms = f64::INFINITY;
+        let mut stats = verro_vision::fingerprint::PrefilterStats::default();
+        let mut identical = true;
+        for _ in 0..ab_reps {
+            let t = Instant::now();
+            let (r_off, _) = extract_key_frames_with_stats(&imv, &cfg_off).expect("non-empty clip");
+            off_ms = off_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            let t = Instant::now();
+            let (r_on, s) = extract_key_frames_with_stats(&imv, &cfg_on).expect("non-empty clip");
+            on_ms = on_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            identical &= r_on == r_off;
+            stats = s;
+        }
+        println!(
+            "  {}: off {off_ms:.1} ms, on {on_ms:.1} ms ({:.2}x), reused {}/{} sampled, \
+             identical: {identical}",
+            video.spec().name,
+            off_ms / on_ms,
+            stats.reused,
+            stats.sampled
+        );
+        mot_json.push(obj(vec![
+            ("preset", Value::from(video.spec().name.as_str())),
+            ("frames", Value::from(n)),
+            ("off_ms", Value::from(off_ms)),
+            ("on_ms", Value::from(on_ms)),
+            ("speedup", Value::from(off_ms / on_ms)),
+            ("sampled", Value::from(stats.sampled)),
+            ("computed", Value::from(stats.computed)),
+            ("reused", Value::from(stats.reused)),
+            ("bit_identical", Value::from(identical)),
+        ]));
+    }
+
+    // --- 3: cross-stream dedup on an N-copies demo. Three cameras point
+    // at the same scene (identical clips), one at a different one; the
+    // registry sanitizes each canonical stream once and charges ε once.
+    fn demo_clip(seed: u64) -> GeneratedVideo {
+        use verro_video::generator::VideoSpec;
+        use verro_video::{Camera, ObjectClass, SceneKind};
+        GeneratedVideo::generate(VideoSpec {
+            name: format!("dedup-demo-{seed}"),
+            nominal_size: Size::new(240, 180),
+            raster_scale: 1.0,
+            num_frames: 60,
+            num_objects: 6,
+            scene: SceneKind::DaySquare,
+            camera: Camera::Static,
+            class: ObjectClass::Pedestrian,
+            fps: 30.0,
+            seed,
+            min_lifetime: 20,
+            max_lifetime: 50,
+            lifetime_mix: None,
+            lighting_drift: 0.1,
+            lighting_period: 15.0,
+        })
+    }
+
+    let copies = 3usize;
+    let streams: Vec<(String, GeneratedVideo)> = (0..copies)
+        .map(|i| (format!("cam{i}"), demo_clip(11)))
+        .chain(std::iter::once(("cam-distinct".to_string(), demo_clip(99))))
+        .collect();
+    let verro = Verro::new(eval_config(0.1, 0)).expect("config");
+    let dedup_cfg = DedupConfig::default();
+    let mut registry = DedupRegistry::new(dedup_cfg);
+    let mut stream_json = Vec::new();
+    let mut duplicates = 0usize;
+    let mut sanitize_secs_total = 0.0;
+    let mut saved_secs = 0.0;
+    let mut epsilon_charged = 0.0;
+    let mut canonical_secs: BTreeMap<String, f64> = BTreeMap::new();
+    for (label, video) in &streams {
+        let t = Instant::now();
+        let signature = StreamSignature::probe(video, dedup_cfg.window, keyframe.stride);
+        let probe_secs = t.elapsed().as_secs_f64();
+        match registry.claim(label, signature) {
+            DedupVerdict::Canonical => {
+                let t = Instant::now();
+                let result = verro
+                    .sanitize(video, video.annotations())
+                    .expect("sanitize");
+                let secs = t.elapsed().as_secs_f64();
+                canonical_secs.insert(label.clone(), secs);
+                sanitize_secs_total += secs;
+                epsilon_charged += result.privacy.epsilon_rr;
+                println!(
+                    "  {label}: canonical, sanitized in {secs:.2} s, epsilon_RR {:.2}",
+                    result.privacy.epsilon_rr
+                );
+                stream_json.push(obj(vec![
+                    ("stream", Value::from(label.as_str())),
+                    ("verdict", Value::from("canonical")),
+                    ("probe_secs", Value::from(probe_secs)),
+                    ("sanitize_secs", Value::from(secs)),
+                    ("epsilon_rr", Value::from(result.privacy.epsilon_rr)),
+                ]));
+            }
+            DedupVerdict::DuplicateOf {
+                canonical,
+                shift,
+                mean_distance,
+            } => {
+                duplicates += 1;
+                saved_secs += canonical_secs.get(&canonical).copied().unwrap_or(0.0);
+                println!(
+                    "  {label}: duplicate of {canonical} (shift {shift}, mean distance \
+                     {mean_distance:.1}) — skipped, no epsilon charged"
+                );
+                stream_json.push(obj(vec![
+                    ("stream", Value::from(label.as_str())),
+                    ("verdict", Value::from("duplicate")),
+                    ("duplicate_of", Value::from(canonical.as_str())),
+                    ("shift", Value::from(shift as i64)),
+                    ("mean_distance", Value::from(mean_distance)),
+                    ("probe_secs", Value::from(probe_secs)),
+                    ("epsilon_rr", Value::from(0.0)),
+                ]));
+            }
+        }
+    }
+    assert_eq!(
+        duplicates,
+        copies - 1,
+        "every extra copy must be flagged as a duplicate"
+    );
+    assert_eq!(
+        registry.canonical_labels().len(),
+        2,
+        "exactly one canonical stream per distinct scene"
+    );
+    let hit_rate = duplicates as f64 / streams.len() as f64;
+    println!(
+        "  dedup: {duplicates}/{} streams aliased (hit rate {hit_rate:.2}), saved \
+         {saved_secs:.2} s of sanitization, epsilon charged once per canonical stream \
+         ({epsilon_charged:.2} total)",
+        streams.len()
+    );
+
+    let value = obj(vec![
+        (
+            "provenance",
+            provenance::capture(
+                "cargo run --release -p verro-bench --bin report -- --bench-segment",
+            ),
+        ),
+        ("small", Value::from(small)),
+        (
+            "per_frame",
+            obj(vec![
+                ("width", Value::from(size.width)),
+                ("height", Value::from(size.height)),
+                ("reps", Value::from(reps)),
+                ("fingerprint_ms", Value::from(fp_ms)),
+                ("hsv_histogram_ms", Value::from(hist_ms)),
+                ("cost_ratio", Value::from(hist_ms / fp_ms)),
+            ]),
+        ),
+        (
+            "segmentation",
+            obj(vec![
+                (
+                    "idle_heavy",
+                    obj(vec![
+                        ("frames", Value::from(n_frames)),
+                        ("scene_pool", Value::from(pool_len)),
+                        ("hold_frames", Value::from(hold)),
+                        ("off_ms", Value::from(idle_off_ms)),
+                        ("on_ms", Value::from(idle_on_ms)),
+                        ("speedup", Value::from(idle_speedup)),
+                        ("target_met", Value::from(idle_speedup >= 2.0)),
+                        ("sampled", Value::from(idle_stats.sampled)),
+                        ("computed", Value::from(idle_stats.computed)),
+                        ("reused", Value::from(idle_stats.reused)),
+                        ("bit_identical", Value::from(idle_identical)),
+                    ]),
+                ),
+                ("mot_presets", Value::Array(mot_json)),
+            ]),
+        ),
+        (
+            "dedup",
+            obj(vec![
+                ("streams", Value::Array(stream_json)),
+                (
+                    "canonical_streams",
+                    Value::from(registry.canonical_labels().len()),
+                ),
+                ("duplicates", Value::from(duplicates)),
+                ("hit_rate", Value::from(hit_rate)),
+                ("sanitize_secs_total", Value::from(sanitize_secs_total)),
+                ("saved_sanitize_secs", Value::from(saved_secs)),
+                ("epsilon_charged_total", Value::from(epsilon_charged)),
+            ]),
+        ),
+    ]);
+    fs::write(
+        Path::new(RESULTS_DIR).join("BENCH_segment.json"),
+        pretty(&value),
+    )
+    .expect("write BENCH_segment.json");
+    println!("  -> results/BENCH_segment.json\n");
 }
 
 // --------------------------------------------------------- Streaming bench

@@ -31,7 +31,10 @@ use std::time::Duration;
 use verro_core::config::BackgroundMode;
 use verro_core::journal::{fnv1a_seed, frame_fold};
 use verro_core::stream::{CheckpointOptions, SegmentSink};
-use verro_core::supervise::{supervise, CancelToken, SupervisorPolicy, SupervisorReport};
+use verro_core::supervise::{
+    supervise, CancelToken, DedupConfig, DedupRegistry, DedupVerdict, StreamSignature,
+    SupervisorPolicy, SupervisorReport,
+};
 use verro_core::{KernelMode, Verro, VerroConfig, VerroError};
 use verro_query::{LedgerLock, LedgerStore, QueryArtifact, QueryEngine, QueryError, QueryScope};
 use verro_video::annotations::VideoAnnotations;
@@ -43,6 +46,7 @@ use verro_video::recover::{CorruptAction, RecoveryPolicy};
 use verro_video::sink::{FaultySink, PpmDirSink, RecoveringSink, SinkFaultSchedule, SinkHealth};
 use verro_video::source::{FrameSource, InMemoryVideo};
 use verro_vision::detect::DetectorConfig;
+use verro_vision::fingerprint::FingerprintMode;
 use verro_vision::track::TrackerConfig;
 
 /// SIGINT → graceful drain. The handler only flips a static atomic; the
@@ -115,6 +119,11 @@ SANITIZE OPTIONS:
     --kernels <MODE>   kernel dispatch: auto | scalar | simd (vector arms
                        are bit-identical to scalar; auto detects the CPU
                        and honors VERRO_KERNELS)            [default: auto]
+    --fingerprint <M>  segmentation pre-filter: auto | off. `auto` screens
+                       each sampled frame with a gradient fingerprint and
+                       reuses the previous HSV histogram only for exact
+                       byte-duplicates, so the result is bit-identical to
+                       `off` (DESIGN.md sec. 15)            [default: auto]
 
 STREAM OPTIONS:
     verro stream runs the stage-per-segment streaming engine: frames are
@@ -153,9 +162,17 @@ STREAM OPTIONS:
     --sink-fault-rate <R> injected sink-fault intensity in [0, 1]
                                                             [default: 0.15]
     --sink-fault-seed <N> sink-fault schedule seed          [default: 1]
-    sanitize options --flip/--epsilon/--seed/--fast/--fps/--kernels and the
-    recovery options below also apply; --inject-faults needs --demo (file
-    streams carry real I/O faults already)
+    --dedup-streams    probe every input with a cheap fingerprint signature
+                       before sanitizing; streams that are near-duplicates
+                       of an earlier (canonical) input are not sanitized
+                       again — their output directory gets an alias
+                       privacy.json naming the canonical stream, epsilon is
+                       charged once per canonical stream, and non-duplicate
+                       streams produce byte-identical output either way
+    sanitize options --flip/--epsilon/--seed/--fast/--fps/--kernels/
+    --fingerprint and the recovery options below also apply;
+    --inject-faults needs --demo (file streams carry real I/O faults
+    already)
 
     Each stream runs under a supervisor: a panic in one stream is caught at
     the stream boundary (exit 4, siblings finish), every committed segment
@@ -405,6 +422,12 @@ fn build_config(flags: &Flags) -> Result<VerroConfig, CliError> {
             ))
         })?;
         cfg = cfg.with_kernels(mode);
+    }
+    if let Some(mode) = flags.value("--fingerprint") {
+        let mode = FingerprintMode::parse(mode).ok_or_else(|| {
+            CliError::Usage(format!("--fingerprint must be auto or off (got `{mode}`)"))
+        })?;
+        cfg.keyframe.fingerprint = mode;
     }
     cfg.validate()
         .map_err(|msg| CliError::Pipeline(VerroError::BadConfig(msg)))?;
@@ -758,6 +781,9 @@ struct StreamSummary {
     total_segments: usize,
     interrupted: bool,
     sink_health: SinkHealth,
+    /// `Some(canonical)` when `--dedup-streams` aliased this stream to an
+    /// earlier identical input instead of sanitizing it again.
+    duplicate_of: Option<String>,
 }
 
 /// The CLI's [`SegmentSink`]: every frame is committed atomically
@@ -912,6 +938,11 @@ fn run_stream<S: TryFrameSource + Sync>(
             "peak_raster_bytes": result.stats.peak_raster_bytes,
             "cache_peak_bytes": result.stats.cache.peak_bytes,
             "segment_render_ms": result.stats.segment_render_ms,
+            "prefilter": {
+                "sampled": result.stats.prefilter.sampled,
+                "computed": result.stats.prefilter.computed,
+                "reused": result.stats.prefilter.reused,
+            },
         },
         "timings_secs": {
             "preprocess": result.timings.preprocess.as_secs_f64(),
@@ -941,6 +972,56 @@ fn run_stream<S: TryFrameSource + Sync>(
         total_segments: ckpt.total_segments,
         interrupted: ckpt.interrupted,
         sink_health,
+        duplicate_of: None,
+    })
+}
+
+/// The `--dedup-streams` alias path: the stream was a near-duplicate of an
+/// earlier canonical input, so nothing is sanitized and no ε is charged.
+/// Its output directory gets a small `privacy.json` naming the canonical
+/// stream (whose artifacts hold the actual release and its ε accounting).
+fn write_dedup_alias(
+    label: &str,
+    canonical: &str,
+    shift: isize,
+    mean_distance: f64,
+    out: &Path,
+) -> Result<StreamSummary, CliError> {
+    std::fs::create_dir_all(out)
+        .map_err(|e| CliError::Data(format!("cannot create {}: {e}", out.display())))?;
+    let statement = serde_json::json!({
+        "stream": label,
+        "duplicate_of": canonical,
+        "dedup": {
+            "shift": shift,
+            "mean_distance": mean_distance,
+        },
+        "epsilon_charged": 0.0,
+        "note": "near-duplicate of the canonical stream; see its output \
+                 directory for the sanitized frames, privacy statement, and \
+                 epsilon accounting (charged exactly once per canonical \
+                 stream)",
+    });
+    let statement_json = serde_json::to_string_pretty(&statement)
+        .map_err(|e| CliError::Data(format!("cannot serialize alias statement: {e}")))?;
+    std::fs::write(out.join("privacy.json"), statement_json)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    Ok(StreamSummary {
+        label: label.to_string(),
+        frames: 0,
+        segments: 0,
+        epsilon_rr: 0.0,
+        picked_frames: 0,
+        peak_raster_bytes: 0,
+        health_degraded: false,
+        health_summary: String::new(),
+        supervisor: SupervisorReport::default(),
+        resumed_segments: 0,
+        committed_segments: 0,
+        total_segments: 0,
+        interrupted: false,
+        sink_health: SinkHealth::default(),
+        duplicate_of: Some(canonical.to_string()),
     })
 }
 
@@ -1103,6 +1184,40 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
         }
     };
 
+    // --dedup-streams: probe every input up front, in input order, so the
+    // first stream of each duplicate group becomes canonical. The registry
+    // only routes work — canonical and non-duplicate streams then run the
+    // exact pipeline a dedup-off invocation would, so their published bytes
+    // and privacy statements cannot differ; only aliased duplicates are
+    // skipped (and their ε is never charged).
+    let verdicts: Vec<Option<DedupVerdict>> = if flags.switch("--dedup-streams") {
+        let dedup_cfg = DedupConfig::default();
+        let mut registry = DedupRegistry::new(dedup_cfg);
+        let stride = config.keyframe.stride;
+        inputs
+            .iter()
+            .map(|(label, input)| {
+                let signature = match input {
+                    StreamInput::Dir { dir, .. } => match PpmDirSource::open(dir, fps) {
+                        Ok(src) => StreamSignature::probe(&src, dedup_cfg.window, stride),
+                        // An unreadable input yields an empty probe, which
+                        // the overlap gate keeps canonical; its stream
+                        // thread then reports the real error.
+                        Err(_) => StreamSignature {
+                            fingerprints: Vec::new(),
+                        },
+                    },
+                    StreamInput::Demo { seed } => {
+                        StreamSignature::probe(&demo_stream_video(*seed), dedup_cfg.window, stride)
+                    }
+                };
+                Some(registry.claim(label, signature))
+            })
+            .collect()
+    } else {
+        inputs.iter().map(|_| None).collect()
+    };
+
     let verro = Verro::new(config)?;
     let single = inputs.len() == 1;
     eprintln!(
@@ -1150,7 +1265,16 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
                 } else {
                     SinkFaultSchedule::clean(0)
                 };
+                let verdict = &verdicts[i];
                 scope.spawn(move || -> Result<StreamSummary, CliError> {
+                    if let Some(DedupVerdict::DuplicateOf {
+                        canonical,
+                        shift,
+                        mean_distance,
+                    }) = verdict
+                    {
+                        return write_dedup_alias(label, canonical, *shift, *mean_distance, &out);
+                    }
                     match input {
                         StreamInput::Dir { dir, gt } => {
                             let src = PpmDirSource::open(dir, fps)?;
@@ -1241,6 +1365,14 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
     for (i, result) in results.into_iter().enumerate() {
         match result {
             Ok(s) => {
+                if let Some(canonical) = &s.duplicate_of {
+                    eprintln!(
+                        "stream {i} ({}): near-duplicate of `{canonical}` — not sanitized, \
+                         no epsilon charged; alias recorded in its privacy.json",
+                        s.label
+                    );
+                    continue;
+                }
                 any_interrupted |= s.interrupted;
                 let mut extras = String::new();
                 if s.health_degraded {

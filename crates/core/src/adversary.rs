@@ -134,7 +134,10 @@ mod tests {
                     ObjectClass::Pedestrian,
                     k,
                     BBox::from_center(
-                        verro_video::geometry::Point::new(x0 + k as f64 * dx, 40.0 + id as f64 * 30.0),
+                        verro_video::geometry::Point::new(
+                            x0 + k as f64 * dx,
+                            40.0 + id as f64 * 30.0,
+                        ),
                         5.0,
                         10.0,
                     ),

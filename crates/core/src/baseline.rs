@@ -11,13 +11,13 @@
 //! same trajectories.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use verro_video::annotations::VideoAnnotations;
 use verro_video::color::{distinct_color, Rgb};
 use verro_video::geometry::Size;
 use verro_video::image::ImageBuffer;
 use verro_video::object::ObjectId;
 use verro_video::source::FrameSource;
-use std::collections::BTreeMap;
 
 /// How the baseline obscures each detected object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

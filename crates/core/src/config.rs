@@ -319,7 +319,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_epsilon() {
-        assert!(VerroConfig::default().with_epsilon(-1.0).validate().is_err());
+        assert!(VerroConfig::default()
+            .with_epsilon(-1.0)
+            .validate()
+            .is_err());
         assert!(VerroConfig::default().with_epsilon(3.0).validate().is_ok());
     }
 
@@ -385,8 +388,14 @@ mod tests {
     #[test]
     fn stream_budget_defaults_validates_and_survives_serde() {
         let cfg = VerroConfig::default();
-        assert_eq!(cfg.stream_memory_budget, crate::stream::DEFAULT_STREAM_BUDGET);
-        assert_eq!(cfg.clone().with_stream_budget(123).stream_memory_budget, 123);
+        assert_eq!(
+            cfg.stream_memory_budget,
+            crate::stream::DEFAULT_STREAM_BUDGET
+        );
+        assert_eq!(
+            cfg.clone().with_stream_budget(123).stream_memory_budget,
+            123
+        );
         let mut zero = cfg.clone();
         zero.stream_memory_budget = 0;
         assert!(zero.validate().is_err());
@@ -403,7 +412,10 @@ mod tests {
             + 1;
         let legacy = format!("{}{}", &json[..start], &json[end..]);
         let back: VerroConfig = serde_json::from_str(&legacy).expect("deserialize");
-        assert_eq!(back.stream_memory_budget, crate::stream::DEFAULT_STREAM_BUDGET);
+        assert_eq!(
+            back.stream_memory_budget,
+            crate::stream::DEFAULT_STREAM_BUDGET
+        );
     }
 
     #[test]

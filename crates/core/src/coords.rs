@@ -158,19 +158,36 @@ mod tests {
 
     fn annotations() -> VideoAnnotations {
         let mut ann = VideoAnnotations::new(10);
-        ann.record(ObjectId(0), ObjectClass::Pedestrian, 4, BBox::new(10.0, 20.0, 4.0, 8.0));
-        ann.record(ObjectId(1), ObjectClass::Pedestrian, 4, BBox::new(40.0, 22.0, 5.0, 9.0));
-        ann.record(ObjectId(2), ObjectClass::Pedestrian, 3, BBox::new(70.0, 30.0, 6.0, 10.0));
-        ann.record(ObjectId(2), ObjectClass::Pedestrian, 5, BBox::new(75.0, 30.0, 6.0, 10.0));
+        ann.record(
+            ObjectId(0),
+            ObjectClass::Pedestrian,
+            4,
+            BBox::new(10.0, 20.0, 4.0, 8.0),
+        );
+        ann.record(
+            ObjectId(1),
+            ObjectClass::Pedestrian,
+            4,
+            BBox::new(40.0, 22.0, 5.0, 9.0),
+        );
+        ann.record(
+            ObjectId(2),
+            ObjectClass::Pedestrian,
+            3,
+            BBox::new(70.0, 30.0, 6.0, 10.0),
+        );
+        ann.record(
+            ObjectId(2),
+            ObjectClass::Pedestrian,
+            5,
+            BBox::new(75.0, 30.0, 6.0, 10.0),
+        );
         ann
     }
 
     fn keyframes() -> KeyFrameResult {
         KeyFrameResult {
-            segments: vec![Segment {
-                frames: (0..10).collect(),
-                key_frame: 4,
-            }],
+            segments: vec![Segment::new((0..10).collect(), 4)],
         }
     }
 

@@ -78,6 +78,7 @@ pub use stream::{
     StreamStats, DEFAULT_STREAM_BUDGET,
 };
 pub use supervise::{
-    supervise, CancelToken, Heartbeat, SupervisedSource, SupervisorPolicy, SupervisorReport,
+    supervise, CancelToken, DedupConfig, DedupRegistry, DedupVerdict, Heartbeat, StreamSignature,
+    SupervisedSource, SupervisorPolicy, SupervisorReport,
 };
 pub use synthesis::SyntheticVideo;

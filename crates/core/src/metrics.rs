@@ -175,7 +175,12 @@ mod tests {
     use verro_video::geometry::BBox;
     use verro_video::object::ObjectClass;
 
-    fn line_annotations(id: u32, frames: std::ops::Range<usize>, offset: f64, m: usize) -> VideoAnnotations {
+    fn line_annotations(
+        id: u32,
+        frames: std::ops::Range<usize>,
+        offset: f64,
+        m: usize,
+    ) -> VideoAnnotations {
         let mut ann = VideoAnnotations::new(m);
         for k in frames {
             ann.record(
@@ -204,7 +209,10 @@ mod tests {
         }
         let mapping = BTreeMap::from([(ObjectId(0), ObjectId(5))]);
         assert_eq!(trajectory_deviation(&orig, &renamed, &mapping), 0.0);
-        assert_eq!(trajectory_deviation_absolute(&orig, &renamed, &mapping), 0.0);
+        assert_eq!(
+            trajectory_deviation_absolute(&orig, &renamed, &mapping),
+            0.0
+        );
     }
 
     #[test]
@@ -224,7 +232,10 @@ mod tests {
         let dev = trajectory_deviation(&orig, &shifted, &mapping);
         assert!((0.0..0.2).contains(&dev), "signed deviation = {dev}");
         let dev_abs = trajectory_deviation_absolute(&orig, &shifted, &mapping);
-        assert!(dev_abs > 0.0 && dev_abs < 0.2, "absolute deviation = {dev_abs}");
+        assert!(
+            dev_abs > 0.0 && dev_abs < 0.2,
+            "absolute deviation = {dev_abs}"
+        );
         // The signed metric never exceeds the absolute one.
         assert!(dev <= dev_abs + 1e-12);
     }
@@ -255,8 +266,7 @@ mod tests {
         for o in minus.track(ObjectId(1)).unwrap().observations() {
             synth.record(ObjectId(1), ObjectClass::Pedestrian, o.frame, o.bbox);
         }
-        let mapping =
-            BTreeMap::from([(ObjectId(0), ObjectId(0)), (ObjectId(1), ObjectId(1))]);
+        let mapping = BTreeMap::from([(ObjectId(0), ObjectId(0)), (ObjectId(1), ObjectId(1))]);
         let signed = trajectory_deviation(&orig, &synth, &mapping);
         let absolute = trajectory_deviation_absolute(&orig, &synth, &mapping);
         assert!(signed < absolute, "signed {signed} vs absolute {absolute}");

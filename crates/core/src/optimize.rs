@@ -233,7 +233,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         // Counts: 0, 5, 10, 5, 1 with n = 10, f = 0.5: frames 1 and 3 cost 0.
         let m = matrix_with_counts(&[0, 5, 10, 5, 1], 10);
-        let pick = pick_key_frames(&m, 0.5, OptimizerStrategy::Exact, ObjectiveForm::PaperEq9, None, 2, &mut rng).unwrap();
+        let pick = pick_key_frames(
+            &m,
+            0.5,
+            OptimizerStrategy::Exact,
+            ObjectiveForm::PaperEq9,
+            None,
+            2,
+            &mut rng,
+        )
+        .unwrap();
         assert!(pick.picked[1] && pick.picked[3], "{:?}", pick.picked);
         assert!(pick.objective.abs() < 1e-9);
         assert!(pick.count() >= 2);
@@ -256,7 +265,11 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert!(pick.picked[1] && pick.picked[3] && pick.picked[4], "{:?}", pick.picked);
+        assert!(
+            pick.picked[1] && pick.picked[3] && pick.picked[4],
+            "{:?}",
+            pick.picked
+        );
         assert!(!pick.picked[0], "empty frame should not receive budget");
     }
 
@@ -284,9 +297,26 @@ mod tests {
     fn lp_matches_exact_without_noise() {
         let mut rng = StdRng::seed_from_u64(2);
         let m = matrix_with_counts(&[1, 4, 7, 2, 6, 3], 8);
-        let lp = pick_key_frames(&m, 0.3, OptimizerStrategy::LpRounding, ObjectiveForm::PaperEq9, None, 2, &mut rng)
-            .unwrap();
-        let ex = pick_key_frames(&m, 0.3, OptimizerStrategy::Exact, ObjectiveForm::PaperEq9, None, 2, &mut rng).unwrap();
+        let lp = pick_key_frames(
+            &m,
+            0.3,
+            OptimizerStrategy::LpRounding,
+            ObjectiveForm::PaperEq9,
+            None,
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        let ex = pick_key_frames(
+            &m,
+            0.3,
+            OptimizerStrategy::Exact,
+            ObjectiveForm::PaperEq9,
+            None,
+            2,
+            &mut rng,
+        )
+        .unwrap();
         assert!((lp.objective - ex.objective).abs() < 1e-6);
     }
 
@@ -294,8 +324,16 @@ mod tests {
     fn all_key_frames_picks_everything() {
         let mut rng = StdRng::seed_from_u64(3);
         let m = matrix_with_counts(&[1, 2, 3], 4);
-        let pick =
-            pick_key_frames(&m, 0.5, OptimizerStrategy::AllKeyFrames, ObjectiveForm::PaperEq9, None, 2, &mut rng).unwrap();
+        let pick = pick_key_frames(
+            &m,
+            0.5,
+            OptimizerStrategy::AllKeyFrames,
+            ObjectiveForm::PaperEq9,
+            None,
+            2,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(pick.count(), 3);
         assert_eq!(pick.indices(), vec![0, 1, 2]);
     }
@@ -304,8 +342,16 @@ mod tests {
     fn too_few_key_frames_is_error() {
         let mut rng = StdRng::seed_from_u64(4);
         let m = matrix_with_counts(&[1], 2);
-        let err =
-            pick_key_frames(&m, 0.5, OptimizerStrategy::LpRounding, ObjectiveForm::PaperEq9, None, 2, &mut rng).unwrap_err();
+        let err = pick_key_frames(
+            &m,
+            0.5,
+            OptimizerStrategy::LpRounding,
+            ObjectiveForm::PaperEq9,
+            None,
+            2,
+            &mut rng,
+        )
+        .unwrap_err();
         assert_eq!(
             err,
             VerroError::TooFewKeyFrames {
@@ -332,8 +378,12 @@ mod tests {
         assert!(noisy.count() >= 2);
         assert_eq!(noisy.costs.len(), 7);
         // Noise makes the zero-cost frames generally non-zero.
-        let clean_costs =
-            cost_vector(&[0.0, 5.0, 10.0, 5.0, 1.0, 9.0, 2.0], 10, 0.5, ObjectiveForm::PaperEq9);
+        let clean_costs = cost_vector(
+            &[0.0, 5.0, 10.0, 5.0, 1.0, 9.0, 2.0],
+            10,
+            0.5,
+            ObjectiveForm::PaperEq9,
+        );
         assert_ne!(noisy.costs, clean_costs);
     }
 

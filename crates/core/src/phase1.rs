@@ -197,13 +197,7 @@ mod tests {
 
     fn key_frames(frames: &[usize]) -> KeyFrameResult {
         KeyFrameResult {
-            segments: frames
-                .iter()
-                .map(|&k| Segment {
-                    frames: vec![k],
-                    key_frame: k,
-                })
-                .collect(),
+            segments: frames.iter().map(|&k| Segment::new(vec![k], k)).collect(),
         }
     }
 
@@ -253,7 +247,11 @@ mod tests {
         cfg.optimizer_noise_epsilon = None;
         let out = run_phase1(&ann, &kf, &cfg, &mut rng).unwrap();
         // Realized RR epsilon equals the requested budget.
-        assert!((out.epsilon - 6.0).abs() < 1e-9, "epsilon = {}", out.epsilon);
+        assert!(
+            (out.epsilon - 6.0).abs() < 1e-9,
+            "epsilon = {}",
+            out.epsilon
+        );
         assert!(out.flip > 0.0 && out.flip < 1.0);
     }
 
@@ -302,12 +300,7 @@ mod tests {
         let required_total: usize = (0..out.num_picked())
             .map(|j| out.required_in_picked(j))
             .sum();
-        let ones_total: usize = out
-            .randomized
-            .rows()
-            .iter()
-            .map(|r| r.count_ones())
-            .sum();
+        let ones_total: usize = out.randomized.rows().iter().map(|r| r.count_ones()).sum();
         assert_eq!(required_total, ones_total);
     }
 

@@ -186,8 +186,7 @@ pub fn run_phase2<R: Rng + ?Sized>(
         }
 
         // Interpolate centers, then extend to the frame border.
-        let center_knots: Vec<(usize, Point)> =
-            knots.iter().map(|&(f, c)| (f, c.center)).collect();
+        let center_knots: Vec<(usize, Point)> = knots.iter().map(|&(f, c)| (f, c.center)).collect();
         let interpolated = interpolate(&center_knots, config.interp)?;
         // Head/end extension budget: half the typical spacing between
         // picked key frames per side. An object's first/last knots sit on
@@ -280,10 +279,7 @@ mod tests {
     fn key_frames() -> KeyFrameResult {
         KeyFrameResult {
             segments: (0..5)
-                .map(|s| Segment {
-                    frames: (s * 8..(s + 1) * 8).collect(),
-                    key_frame: s * 8 + 4,
-                })
+                .map(|s| Segment::new((s * 8..(s + 1) * 8).collect(), s * 8 + 4))
                 .collect(),
         }
     }

@@ -75,10 +75,7 @@ mod tests {
         let kf = KeyFrameResult {
             segments: [3usize, 9, 15]
                 .iter()
-                .map(|&k| Segment {
-                    frames: vec![k],
-                    key_frame: k,
-                })
+                .map(|&k| Segment::new(vec![k], k))
                 .collect(),
         };
         (ann, kf)

@@ -97,6 +97,7 @@ use verro_video::image::ImageBuffer;
 use verro_video::pool::MemoryGauge;
 use verro_video::recover::{stream_with_recovery, FrameHealthReport, IngestError, RecoveryPolicy};
 use verro_video::source::FrameSource;
+use verro_vision::fingerprint::{FingerprintGate, PrefilterStats};
 use verro_vision::histogram::HsvHistogram;
 use verro_vision::keyframe::{KeyFrameResult, OnlineSegmenter, Segment};
 
@@ -200,6 +201,10 @@ pub struct StreamStats {
     /// Wall-clock milliseconds per segment on the render stage (background
     /// build + compose + send), in segment order — the bench's p99 source.
     pub segment_render_ms: Vec<f64>,
+    /// Fingerprint pre-filter counters of the ingest histogram stage
+    /// (all-zero with `FingerprintMode::Off`). Observability only — the
+    /// pre-filter cannot change a byte of output.
+    pub prefilter: PrefilterStats,
 }
 
 /// Everything a streaming run produces. The rendered `V*` frames went to
@@ -368,30 +373,36 @@ where
     // zero-frame source surfaces here as the same typed IngestError the
     // batch fallible path reports.
     let t0 = Instant::now();
-    let (segments, health) = std::thread::scope(
-        |scope| -> Result<(Vec<Segment>, FrameHealthReport), VerroError> {
+    let (segments, health, prefilter) = std::thread::scope(
+        |scope| -> Result<(Vec<Segment>, FrameHealthReport, PrefilterStats), VerroError> {
             let (tx, rx) = mpsc::sync_channel::<Vec<(usize, HsvHistogram)>>(slots);
-            let ingest = scope.spawn(move || -> Result<FrameHealthReport, IngestError> {
-                // Capacity capped by the frame count: `chunk` is a caller
-                // knob and may be absurdly large.
-                let mut buf: Vec<(usize, HsvHistogram)> = Vec::with_capacity(chunk.min(n));
-                // A closed receiver means the consumer is gone; stop
-                // shipping but let the sweep finish its health accounting.
-                let mut closed = false;
-                let health = stream_with_recovery(src, policy, |k, img| {
-                    if closed || k % stride != 0 {
-                        return;
+            let ingest = scope.spawn(
+                move || -> Result<(FrameHealthReport, PrefilterStats), IngestError> {
+                    // Capacity capped by the frame count: `chunk` is a caller
+                    // knob and may be absurdly large.
+                    let mut buf: Vec<(usize, HsvHistogram)> = Vec::with_capacity(chunk.min(n));
+                    // A closed receiver means the consumer is gone; stop
+                    // shipping but let the sweep finish its health accounting.
+                    let mut closed = false;
+                    // The gate sees the exact post-recovery image the
+                    // histogram call saw, so its memoized histograms are
+                    // value-identical and the segmentation cannot diverge.
+                    let mut gate = FingerprintGate::new(config.keyframe.fingerprint, bins);
+                    let health = stream_with_recovery(src, policy, |k, img| {
+                        if closed || k % stride != 0 {
+                            return;
+                        }
+                        buf.push((k, gate.histogram(img)));
+                        if buf.len() >= chunk && tx.send(std::mem::take(&mut buf)).is_err() {
+                            closed = true;
+                        }
+                    })?;
+                    if !buf.is_empty() {
+                        let _ = tx.send(buf);
                     }
-                    buf.push((k, HsvHistogram::of(img, bins)));
-                    if buf.len() >= chunk && tx.send(std::mem::take(&mut buf)).is_err() {
-                        closed = true;
-                    }
-                })?;
-                if !buf.is_empty() {
-                    let _ = tx.send(buf);
-                }
-                Ok(health)
-            });
+                    Ok((health, gate.stats()))
+                },
+            );
             let mut segmenter = OnlineSegmenter::new(config.keyframe);
             let mut segments = Vec::new();
             for batch in rx.iter() {
@@ -399,12 +410,12 @@ where
                     segments.extend(segmenter.push(*k, hist));
                 }
             }
-            let health = ingest
+            let (health, prefilter) = ingest
                 .join()
                 .expect("ingest stage panicked")
                 .map_err(VerroError::from)?;
             segments.extend(segmenter.finish());
-            Ok((segments, health))
+            Ok((segments, health, prefilter))
         },
     )?;
     let preprocess = t0.elapsed();
@@ -554,6 +565,7 @@ where
         peak_raster_bytes: gauge.peak(),
         cache: CacheStats::default(),
         segment_render_ms,
+        prefilter,
     };
     Ok(StreamOutput {
         phase1,
@@ -731,31 +743,34 @@ where
 
     // ── Pass A: ingest + input fingerprint ──────────────────────────────
     let t0 = Instant::now();
-    let (segments, health, input_fp) = std::thread::scope(
-        |scope| -> Result<(Vec<Segment>, FrameHealthReport, u64), VerroError> {
+    let (segments, health, input_fp, prefilter) = std::thread::scope(
+        |scope| -> Result<(Vec<Segment>, FrameHealthReport, u64, PrefilterStats), VerroError> {
             let (tx, rx) = mpsc::sync_channel::<Vec<(usize, HsvHistogram)>>(slots);
-            let ingest = scope.spawn(move || -> Result<(FrameHealthReport, u64), IngestError> {
-                let mut buf: Vec<(usize, HsvHistogram)> = Vec::with_capacity(chunk.min(n));
-                let mut closed = false;
-                // Folded over EVERY delivered frame in order — the
-                // journal's witness that a resumed run reads the same
-                // video the interrupted run read.
-                let mut input_fp = journal::fnv1a_seed();
-                let health = stream_with_recovery(src, policy, |k, img| {
-                    input_fp = journal::frame_fold(input_fp, k, img);
-                    if closed || k % stride != 0 {
-                        return;
+            let ingest = scope.spawn(
+                move || -> Result<(FrameHealthReport, u64, PrefilterStats), IngestError> {
+                    let mut buf: Vec<(usize, HsvHistogram)> = Vec::with_capacity(chunk.min(n));
+                    let mut closed = false;
+                    // Folded over EVERY delivered frame in order — the
+                    // journal's witness that a resumed run reads the same
+                    // video the interrupted run read.
+                    let mut input_fp = journal::fnv1a_seed();
+                    let mut gate = FingerprintGate::new(config.keyframe.fingerprint, bins);
+                    let health = stream_with_recovery(src, policy, |k, img| {
+                        input_fp = journal::frame_fold(input_fp, k, img);
+                        if closed || k % stride != 0 {
+                            return;
+                        }
+                        buf.push((k, gate.histogram(img)));
+                        if buf.len() >= chunk && tx.send(std::mem::take(&mut buf)).is_err() {
+                            closed = true;
+                        }
+                    })?;
+                    if !buf.is_empty() {
+                        let _ = tx.send(buf);
                     }
-                    buf.push((k, HsvHistogram::of(img, bins)));
-                    if buf.len() >= chunk && tx.send(std::mem::take(&mut buf)).is_err() {
-                        closed = true;
-                    }
-                })?;
-                if !buf.is_empty() {
-                    let _ = tx.send(buf);
-                }
-                Ok((health, input_fp))
-            });
+                    Ok((health, input_fp, gate.stats()))
+                },
+            );
             let mut segmenter = OnlineSegmenter::new(config.keyframe);
             let mut segments = Vec::new();
             for batch in rx.iter() {
@@ -763,12 +778,12 @@ where
                     segments.extend(segmenter.push(*k, hist));
                 }
             }
-            let (health, input_fp) = ingest
+            let (health, input_fp, prefilter) = ingest
                 .join()
                 .expect("ingest stage panicked")
                 .map_err(VerroError::from)?;
             segments.extend(segmenter.finish());
-            Ok((segments, health, input_fp))
+            Ok((segments, health, input_fp, prefilter))
         },
     )?;
     let preprocess = t0.elapsed();
@@ -1007,6 +1022,7 @@ where
         peak_raster_bytes: gauge.peak(),
         cache: CacheStats::default(),
         segment_render_ms,
+        prefilter,
     };
     Ok(CheckpointedOutput {
         output: StreamOutput {

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 use verro_video::fault::{SourceError, TryFrameSource};
 use verro_video::geometry::Size;
 use verro_video::image::ImageBuffer;
+use verro_vision::fingerprint::FrameFingerprint;
 
 /// A shared progress counter. The worker ticks it on every unit of forward
 /// progress (frame fetched, segment closed, frame sunk); the watchdog
@@ -290,6 +291,174 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-stream near-duplicate detection (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// Sliding-window fingerprint probe of one stream: the
+/// [`FrameFingerprint`]s of its first few sampled frames, in order. Cheap
+/// to compute (no histogram, no sanitization) and cheap to compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSignature {
+    pub fingerprints: Vec<FrameFingerprint>,
+}
+
+impl StreamSignature {
+    /// Probes `src`: fingerprints of the first `window` frames sampled at
+    /// `stride` (fewer when the stream is shorter). Unreadable frames are
+    /// skipped — a probe too short to clear the overlap gate keeps the
+    /// stream canonical, which is the conservative direction.
+    pub fn probe<S: TryFrameSource>(src: &S, window: usize, stride: usize) -> Self {
+        let stride = stride.max(1);
+        let fingerprints = (0..src.num_frames())
+            .step_by(stride)
+            .take(window)
+            .filter_map(|k| {
+                src.try_frame(k, 0)
+                    .ok()
+                    .map(|img| FrameFingerprint::of(&img))
+            })
+            .collect();
+        StreamSignature { fingerprints }
+    }
+}
+
+/// Tuning of the near-duplicate matcher. The defaults suit the CLI's
+/// probe window; the thresholds are deliberately tight — dedup is an
+/// opt-in heuristic, and a false "duplicate" suppresses a stream's own
+/// sanitized release, so precision beats recall here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DedupConfig {
+    /// Sampled frames per probe.
+    pub window: usize,
+    /// Temporal shifts tried when aligning two probes (± frames of the
+    /// sampled sequence), absorbing small start offsets between cameras.
+    pub max_shift: usize,
+    /// Maximum mean per-frame fingerprint L1 distance (0..=255·64) for a
+    /// pair of aligned probes to count as near-duplicates. 0 accepts only
+    /// identical signatures.
+    pub max_mean_distance: f64,
+    /// Minimum aligned overlap (frames) required before a match verdict
+    /// is even considered.
+    pub min_overlap: usize,
+}
+
+impl Default for DedupConfig {
+    fn default() -> Self {
+        Self {
+            window: 8,
+            max_shift: 2,
+            max_mean_distance: 48.0,
+            min_overlap: 4,
+        }
+    }
+}
+
+/// What [`DedupRegistry::claim`] decided about a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DedupVerdict {
+    /// First of its kind: sanitize it and charge its ε normally.
+    Canonical,
+    /// Near-duplicate of an earlier canonical stream: skip sanitization,
+    /// release only an alias record, charge no ε.
+    DuplicateOf {
+        /// Label of the canonical stream this one aliases.
+        canonical: String,
+        /// The probe alignment that matched (duplicate lags canonical by
+        /// `shift` sampled frames when positive).
+        shift: isize,
+        /// Mean per-frame fingerprint distance at that alignment.
+        mean_distance: f64,
+    },
+}
+
+/// Orchestrator-side registry of probed streams. Streams are claimed in a
+/// fixed order (the CLI claims in input order, before any worker starts),
+/// so canonical selection is deterministic: the first stream of a
+/// duplicate group is canonical, later members alias it.
+///
+/// The registry only *routes* work — a stream judged canonical is
+/// sanitized by the exact pipeline a dedup-off run uses, so its published
+/// bytes and `PrivacyStatement` cannot differ from that run's.
+#[derive(Debug, Default)]
+pub struct DedupRegistry {
+    config: DedupConfig,
+    canonical: Vec<(String, StreamSignature)>,
+}
+
+impl DedupRegistry {
+    pub fn new(config: DedupConfig) -> Self {
+        Self {
+            config,
+            canonical: Vec::new(),
+        }
+    }
+
+    /// Registered canonical stream labels, in claim order.
+    pub fn canonical_labels(&self) -> Vec<&str> {
+        self.canonical.iter().map(|(l, _)| l.as_str()).collect()
+    }
+
+    /// Claims a stream: matches its probe against every canonical stream
+    /// registered so far (insertion order, first match wins) and either
+    /// registers it as canonical or returns the alias verdict.
+    pub fn claim(&mut self, label: &str, signature: StreamSignature) -> DedupVerdict {
+        for (canon_label, canon_sig) in &self.canonical {
+            if let Some((shift, mean_distance)) =
+                best_alignment(&self.config, canon_sig, &signature)
+            {
+                return DedupVerdict::DuplicateOf {
+                    canonical: canon_label.clone(),
+                    shift,
+                    mean_distance,
+                };
+            }
+        }
+        self.canonical.push((label.to_string(), signature));
+        DedupVerdict::Canonical
+    }
+}
+
+/// The best probe alignment within `±max_shift`, if any passes the
+/// distance and overlap gates. Ties prefer the smallest |shift| (scanned
+/// 0, -1, +1, -2, +2, …) and strictly smaller distance to switch.
+fn best_alignment(
+    config: &DedupConfig,
+    canon: &StreamSignature,
+    probe: &StreamSignature,
+) -> Option<(isize, f64)> {
+    let mut best: Option<(isize, f64)> = None;
+    let max_shift = config.max_shift as isize;
+    let mut shifts = vec![0isize];
+    for s in 1..=max_shift {
+        shifts.push(-s);
+        shifts.push(s);
+    }
+    for shift in shifts {
+        let mut total = 0u64;
+        let mut overlap = 0usize;
+        for (i, fp) in probe.fingerprints.iter().enumerate() {
+            let j = i as isize + shift;
+            if j < 0 {
+                continue;
+            }
+            let Some(canon_fp) = canon.fingerprints.get(j as usize) else {
+                continue;
+            };
+            total += u64::from(fp.distance(canon_fp));
+            overlap += 1;
+        }
+        if overlap < config.min_overlap.max(1) {
+            continue;
+        }
+        let mean = total as f64 / overlap as f64;
+        if mean <= config.max_mean_distance && best.map_or(true, |(_, b)| mean < b) {
+            best = Some((shift, mean));
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,5 +643,83 @@ mod tests {
         });
         assert_eq!(out.unwrap(), "done");
         assert_eq!(report.stalls, 0);
+    }
+
+    /// A textured clip with per-frame motion, plus variants: `offset`
+    /// rotates the schedule (simulating a camera started late), `texture`
+    /// warps the spatial pattern (fingerprints are gradient-based, so a
+    /// distinct stream must differ structurally, not just in tint).
+    fn probe_video(n: usize, offset: usize, texture: u32) -> InMemoryVideo {
+        let frames = (0..n)
+            .map(|k| {
+                let t = (k + offset) as u32;
+                ImageBuffer::from_fn(Size::new(48, 32), |x, y| {
+                    let v = x * 7 + y * 13 + t * 5 + texture * ((x * y) % 17);
+                    Rgb::new((v % 251) as u8, (v % 83) as u8, (x * 4) as u8)
+                })
+            })
+            .collect();
+        InMemoryVideo::new(frames, 30.0)
+    }
+
+    #[test]
+    fn dedup_flags_exact_copies_and_keeps_distinct_streams() {
+        let a = probe_video(20, 0, 0);
+        let copy = probe_video(20, 0, 0);
+        let distinct = probe_video(20, 0, 140);
+        let cfg = DedupConfig::default();
+        let mut reg = DedupRegistry::new(cfg);
+        assert_eq!(
+            reg.claim("cam0", StreamSignature::probe(&a, cfg.window, 1)),
+            DedupVerdict::Canonical
+        );
+        match reg.claim("cam1", StreamSignature::probe(&copy, cfg.window, 1)) {
+            DedupVerdict::DuplicateOf {
+                canonical,
+                shift,
+                mean_distance,
+            } => {
+                assert_eq!(canonical, "cam0");
+                assert_eq!(shift, 0);
+                assert_eq!(mean_distance, 0.0);
+            }
+            other => panic!("expected duplicate verdict, got {other:?}"),
+        }
+        assert_eq!(
+            reg.claim("cam2", StreamSignature::probe(&distinct, cfg.window, 1)),
+            DedupVerdict::Canonical
+        );
+        assert_eq!(reg.canonical_labels(), vec!["cam0", "cam2"]);
+    }
+
+    #[test]
+    fn dedup_aligns_small_start_offsets() {
+        let a = probe_video(20, 0, 0);
+        let late = probe_video(20, 2, 0); // same content, started 2 frames later
+        let cfg = DedupConfig::default();
+        let mut reg = DedupRegistry::new(cfg);
+        reg.claim("cam0", StreamSignature::probe(&a, cfg.window, 1));
+        match reg.claim("late", StreamSignature::probe(&late, cfg.window, 1)) {
+            DedupVerdict::DuplicateOf { shift, .. } => assert_eq!(shift, 2),
+            other => panic!("expected shifted duplicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dedup_respects_overlap_gate() {
+        let a = probe_video(20, 0, 0);
+        let cfg = DedupConfig {
+            window: 2,
+            min_overlap: 4,
+            ..DedupConfig::default()
+        };
+        let mut reg = DedupRegistry::new(cfg);
+        reg.claim("cam0", StreamSignature::probe(&a, cfg.window, 1));
+        // Identical probe, but only 2 frames of overlap < min_overlap 4 —
+        // too little evidence, so it stays canonical.
+        assert_eq!(
+            reg.claim("cam1", StreamSignature::probe(&a, cfg.window, 1)),
+            DedupVerdict::Canonical
+        );
     }
 }

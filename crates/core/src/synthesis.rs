@@ -117,11 +117,9 @@ pub fn segment_background_inputs(
 ) -> Vec<usize> {
     match config.background {
         BackgroundMode::KeyFrameInpaint => vec![seg.key_frame],
-        BackgroundMode::TemporalMedian => verro_vision::bgmodel::sample_indices(
-            seg.start(),
-            seg.end(),
-            config.background_samples,
-        ),
+        BackgroundMode::TemporalMedian => {
+            verro_vision::bgmodel::sample_indices(seg.start(), seg.end(), config.background_samples)
+        }
     }
 }
 
@@ -337,7 +335,12 @@ mod tests {
                 BBox::new(5.0 + k as f64 * 3.0, 20.0, 6.0, 14.0),
             );
         }
-        ann.record(ObjectId(1), ObjectClass::Pedestrian, 4, BBox::new(40.0, 25.0, 6.0, 14.0));
+        ann.record(
+            ObjectId(1),
+            ObjectClass::Pedestrian,
+            4,
+            BBox::new(40.0, 25.0, 6.0, 14.0),
+        );
         let backgrounds = vec![
             BackgroundScene {
                 start: 0,
@@ -364,7 +367,12 @@ mod tests {
     fn out_of_range_frame_uses_nearest_background() {
         let size = Size::new(16, 16);
         let mut ann = VideoAnnotations::new(20);
-        ann.record(ObjectId(0), ObjectClass::Pedestrian, 0, BBox::new(0.0, 0.0, 2.0, 4.0));
+        ann.record(
+            ObjectId(0),
+            ObjectClass::Pedestrian,
+            0,
+            BBox::new(0.0, 0.0, 2.0, 4.0),
+        );
         let v = SyntheticVideo::new(
             size,
             30.0,
@@ -465,7 +473,7 @@ mod tests {
         assert_eq!(background_index_for(&ranges, 0), 0);
         assert_eq!(background_index_for(&ranges, 3), 0);
         assert_eq!(background_index_for(&ranges, 6), 0); // distance 1 vs 3
-        // Equidistant (distance 2 from both ranges): first minimum wins.
+                                                         // Equidistant (distance 2 from both ranges): first minimum wins.
         assert_eq!(background_index_for(&ranges, 7), 0);
         assert_eq!(background_index_for(&ranges, 8), 1); // distance 3 vs 1
         assert_eq!(background_index_for(&ranges, 11), 1);
@@ -495,10 +503,7 @@ mod tests {
 
     #[test]
     fn segment_background_inputs_match_mode() {
-        let seg = verro_vision::keyframe::Segment {
-            frames: (0..30).collect(),
-            key_frame: 7,
-        };
+        let seg = verro_vision::keyframe::Segment::new((0..30).collect(), 7);
         let mut cfg = VerroConfig::default();
         cfg.background = BackgroundMode::KeyFrameInpaint;
         assert_eq!(segment_background_inputs(&seg, &cfg), vec![7]);

@@ -18,32 +18,32 @@ use verro_vision::keyframe::{KeyFrameResult, Segment};
 /// Random annotations: up to 8 objects with contiguous runs in a 60-frame
 /// video.
 fn arb_annotations() -> impl Strategy<Value = VideoAnnotations> {
-    prop::collection::vec((0usize..50, 5usize..30, 5.0..150.0f64, 20.0..100.0f64), 1..8)
-        .prop_map(|objs| {
-            let mut ann = VideoAnnotations::new(60);
-            for (i, (start, len, x0, y0)) in objs.into_iter().enumerate() {
-                let end = (start + len).min(59);
-                for k in start..=end {
-                    ann.record(
-                        ObjectId(i as u32),
-                        ObjectClass::Pedestrian,
-                        k,
-                        BBox::new(x0 + (k - start) as f64 * 2.0, y0, 6.0, 12.0),
-                    );
-                }
+    prop::collection::vec(
+        (0usize..50, 5usize..30, 5.0..150.0f64, 20.0..100.0f64),
+        1..8,
+    )
+    .prop_map(|objs| {
+        let mut ann = VideoAnnotations::new(60);
+        for (i, (start, len, x0, y0)) in objs.into_iter().enumerate() {
+            let end = (start + len).min(59);
+            for k in start..=end {
+                ann.record(
+                    ObjectId(i as u32),
+                    ObjectClass::Pedestrian,
+                    k,
+                    BBox::new(x0 + (k - start) as f64 * 2.0, y0, 6.0, 12.0),
+                );
             }
-            ann
-        })
+        }
+        ann
+    })
 }
 
 /// Evenly spaced single-frame segments as a synthetic Algorithm 2 result.
 fn key_frames(step: usize) -> KeyFrameResult {
     KeyFrameResult {
         segments: (0..60 / step)
-            .map(|s| Segment {
-                frames: (s * step..(s + 1) * step).collect(),
-                key_frame: s * step + step / 2,
-            })
+            .map(|s| Segment::new((s * step..(s + 1) * step).collect(), s * step + step / 2))
             .collect(),
     }
 }

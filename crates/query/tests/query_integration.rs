@@ -43,10 +43,7 @@ fn key_frames() -> KeyFrameResult {
     KeyFrameResult {
         segments: [2usize, 8, 14, 20, 26]
             .iter()
-            .map(|&k| Segment {
-                frames: vec![k],
-                key_frame: k,
-            })
+            .map(|&k| Segment::new(vec![k], k))
             .collect(),
     }
 }

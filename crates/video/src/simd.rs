@@ -194,6 +194,118 @@ pub fn brightness_affine_q(lut: &[u8; 256], factor: f64) -> Option<u16> {
     None
 }
 
+/// Per-byte weights of the integer luma transform `77·R + 150·G + 29·B`
+/// (the Rec. 601 coefficients in 8-bit fixed point, summing to 256),
+/// cycling with period 3 over packed row-major RGB bytes.
+pub const LUMA_WEIGHTS: [u64; 3] = [77, 150, 29];
+
+/// madd coefficient lanes for a 16-byte load starting at byte phase `p`
+/// (`p` = load offset mod 3): lane `j` carries `LUMA_WEIGHTS[(p + j) % 3]`.
+#[cfg(target_arch = "x86_64")]
+const fn luma_pattern(p: usize) -> [i16; 16] {
+    let mut out = [0i16; 16];
+    let mut j = 0;
+    while j < 16 {
+        out[j] = LUMA_WEIGHTS[(p + j) % 3] as i16;
+        j += 1;
+    }
+    out
+}
+
+#[cfg(target_arch = "x86_64")]
+const LUMA_PATTERNS: [[i16; 16]; 3] = [luma_pattern(0), luma_pattern(1), luma_pattern(2)];
+
+/// Weighted luma sum `Σ LUMA_WEIGHTS[i % 3] · bytes[i]` over packed RGB
+/// bytes — the O(pixels) inner pass of the frame fingerprint. Exact
+/// integer arithmetic, so both arms return the identical `u64`.
+pub fn luma_weighted_sum(bytes: &[u8]) -> u64 {
+    if simd_active() {
+        if let Some(sum) = luma_weighted_sum_simd(bytes) {
+            return sum;
+        }
+    }
+    luma_weighted_sum_scalar(bytes)
+}
+
+/// Scalar reference arm of [`luma_weighted_sum`].
+pub fn luma_weighted_sum_scalar(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| LUMA_WEIGHTS[i % 3] * b as u64)
+        .sum()
+}
+
+/// Vector arm. `None` when the build has no vector support.
+pub fn luma_weighted_sum_simd(bytes: &[u8]) -> Option<u64> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: SSE2 is baseline on x86_64; the kernel reads `bytes` only
+        // through checked 16-byte chunking plus a bounds-checked tail.
+        Some(unsafe { luma_weighted_sum_sse2(bytes) })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = bytes;
+        None
+    }
+}
+
+/// Resolves the [`luma_weighted_sum`] dispatch once, for hot loops that
+/// call the kernel per grid-cell row and should not re-check the cell.
+pub fn luma_weighted_sum_fn() -> fn(&[u8]) -> u64 {
+    if simd_active() && simd_supported() {
+        luma_weighted_sum_dispatch_simd
+    } else {
+        luma_weighted_sum_scalar
+    }
+}
+
+fn luma_weighted_sum_dispatch_simd(bytes: &[u8]) -> u64 {
+    luma_weighted_sum_simd(bytes).unwrap_or_else(|| luma_weighted_sum_scalar(bytes))
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn luma_weighted_sum_sse2(bytes: &[u8]) -> u64 {
+    use std::arch::x86_64::*;
+    // Each madd lane adds at most 2·150·255 = 76 500, so an i32 lane holds
+    // 8192 chunks (two madds each, ≤ 1.25e9 < i32::MAX) before folding.
+    const FOLD_EVERY: usize = 8192;
+    let zero = _mm_setzero_si128();
+    let fold = |acc: __m128i| -> u64 {
+        let mut lanes = [0i32; 4];
+        _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, acc);
+        lanes.iter().map(|&x| x as u64).sum()
+    };
+    let mut total = 0u64;
+    let mut acc = zero;
+    let mut pending = 0usize;
+    for (c, chunk) in bytes.chunks_exact(16).enumerate() {
+        // A load at offset 16·c sees the weight pattern at phase 16·c mod 3
+        // = c mod 3 (16 ≡ 1 mod 3).
+        let pat = LUMA_PATTERNS[c % 3].as_ptr();
+        let v = _mm_loadu_si128(chunk.as_ptr() as *const __m128i);
+        let lo = _mm_unpacklo_epi8(v, zero);
+        let hi = _mm_unpackhi_epi8(v, zero);
+        let cl = _mm_loadu_si128(pat as *const __m128i);
+        let ch = _mm_loadu_si128(pat.add(8) as *const __m128i);
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(lo, cl));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(hi, ch));
+        pending += 1;
+        if pending == FOLD_EVERY {
+            total += fold(acc);
+            acc = zero;
+            pending = 0;
+        }
+    }
+    total += fold(acc);
+    let done = bytes.len() - bytes.len() % 16;
+    for (j, &b) in bytes[done..].iter().enumerate() {
+        total += LUMA_WEIGHTS[(done + j) % 3] * b as u64;
+    }
+    total
+}
+
 #[cfg(target_arch = "x86_64")]
 unsafe fn brightness_affine_sse2(bytes: &mut [u8], q: u16) {
     use std::arch::x86_64::*;
@@ -275,6 +387,37 @@ mod tests {
             "identity factor must certify"
         );
         assert!(brightness_affine_q(&lut_for(f64::NAN), f64::NAN).is_none());
+    }
+
+    #[test]
+    fn luma_weighted_sum_arms_agree_over_misaligned_lengths() {
+        // Lengths straddle the 16-byte chunking and every phase of the
+        // 3-byte weight cycle; contents from a deterministic mixer.
+        for len in [0, 1, 2, 3, 15, 16, 17, 47, 48, 49, 95, 96, 97, 3 * 641] {
+            let src: Vec<u8> = (0..len as u32)
+                .map(|i| (i.wrapping_mul(193).wrapping_add(71) % 256) as u8)
+                .collect();
+            let scalar = luma_weighted_sum_scalar(&src);
+            if let Some(simd) = luma_weighted_sum_simd(&src) {
+                assert_eq!(scalar, simd, "len {len}");
+            }
+            assert_eq!(luma_weighted_sum(&src), scalar, "dispatch, len {len}");
+            assert_eq!(luma_weighted_sum_fn()(&src), scalar, "fn, len {len}");
+        }
+    }
+
+    #[test]
+    fn luma_weighted_sum_folds_long_inputs_without_overflow() {
+        // 1.5 MB of 255s crosses the 8192-chunk fold boundary; the exact
+        // sum is Σ weights per full triple plus the tail.
+        let n = 1_572_864usize; // 16 × 8192 × 12 bytes
+        let src = vec![255u8; n];
+        let per_triple: u64 = LUMA_WEIGHTS.iter().sum::<u64>() * 255;
+        let expect = per_triple * (n as u64 / 3);
+        assert_eq!(luma_weighted_sum_scalar(&src), expect);
+        if let Some(simd) = luma_weighted_sum_simd(&src) {
+            assert_eq!(simd, expect);
+        }
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Gradient-orientation frame fingerprints — the cheap screen of the
+//! segmentation fast path (DESIGN.md §15).
+//!
+//! A fingerprint condenses a frame into 64 bytes: the image is
+//! box-downsampled to a fixed 64×32 integer-luma grid, Sobel gradients are
+//! taken on the tiny grid, and each of 8 spatial blocks (2 rows × 4
+//! columns) accumulates a magnitude-weighted 8-bin orientation histogram,
+//! normalized per block. The O(pixels) part — the weighted luma sum — runs
+//! behind the shared kernel dispatch ([`verro_video::simd`]), with the SSE2
+//! arm certified bit-identical to the scalar reference; everything after
+//! the downsample touches only the 2 048-cell grid and is negligible.
+//!
+//! Fingerprints are **screens, never verdicts**. The sanitizer's privacy
+//! argument audits released bytes, so the pre-filter in
+//! [`crate::keyframe`] and [`FingerprintGate`] only ever skips an HSV
+//! histogram after fingerprint equality has been confirmed by a byte
+//! comparison of the two frames — the zero-tolerance margin that keeps
+//! `KeyFrameResult` bit-identical to the unfiltered path. Cross-stream
+//! near-duplicate detection (`verro_core::supervise`) uses fingerprint
+//! *distance* instead, but only to pick which streams to sanitize at all,
+//! never to alter the bytes of a stream that is published.
+
+use crate::histogram::{HsvBins, HsvHistogram};
+use serde::{Deserialize, Serialize};
+use verro_video::image::ImageBuffer;
+use verro_video::simd::luma_weighted_sum_fn;
+
+/// Width of the downsampled luma grid.
+pub const GRID_W: usize = 64;
+/// Height of the downsampled luma grid.
+pub const GRID_H: usize = 32;
+/// Grid cells per block side (64×32 grid → 4×2 blocks).
+const BLOCK_DIM: usize = 16;
+/// Number of spatial blocks.
+pub const BLOCKS: usize = (GRID_W / BLOCK_DIM) * (GRID_H / BLOCK_DIM);
+/// Orientation bins per block (the eight gradient octants).
+pub const ORIENT_BINS: usize = 8;
+/// Packed fingerprint length in bytes.
+pub const FINGERPRINT_LEN: usize = BLOCKS * ORIENT_BINS;
+
+/// The packed 64-byte gradient-orientation signature of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameFingerprint(pub [u8; FINGERPRINT_LEN]);
+
+impl FrameFingerprint {
+    /// Fingerprints a frame. Deterministic integer arithmetic end to end,
+    /// identical under both kernel arms (the dispatched luma kernel is
+    /// bit-exact), so the same bytes always produce the same signature.
+    pub fn of(img: &ImageBuffer) -> Self {
+        let (w, h) = (img.width() as usize, img.height() as usize);
+        if w == 0 || h == 0 {
+            return FrameFingerprint([0; FINGERPRINT_LEN]);
+        }
+        let grid = luma_grid(img, w, h);
+
+        // Sobel on the tiny grid with replicated borders; magnitude-weighted
+        // octant histogram per block.
+        let at = |x: isize, y: isize| -> i64 {
+            let x = x.clamp(0, GRID_W as isize - 1) as usize;
+            let y = y.clamp(0, GRID_H as isize - 1) as usize;
+            grid[y * GRID_W + x]
+        };
+        let mut hist = [[0u64; ORIENT_BINS]; BLOCKS];
+        for cy in 0..GRID_H {
+            for cx in 0..GRID_W {
+                let (x, y) = (cx as isize, cy as isize);
+                #[rustfmt::skip]
+                let gx = at(x + 1, y - 1) + 2 * at(x + 1, y) + at(x + 1, y + 1)
+                       - at(x - 1, y - 1) - 2 * at(x - 1, y) - at(x - 1, y + 1);
+                #[rustfmt::skip]
+                let gy = at(x - 1, y + 1) + 2 * at(x, y + 1) + at(x + 1, y + 1)
+                       - at(x - 1, y - 1) - 2 * at(x, y - 1) - at(x + 1, y - 1);
+                if gx == 0 && gy == 0 {
+                    continue;
+                }
+                let mag = (gx.abs() + gy.abs()) as u64;
+                let block = (cy / BLOCK_DIM) * (GRID_W / BLOCK_DIM) + cx / BLOCK_DIM;
+                hist[block][orientation_octant(gx, gy)] += mag;
+            }
+        }
+
+        let mut out = [0u8; FINGERPRINT_LEN];
+        for (b, bins) in hist.iter().enumerate() {
+            let total: u64 = bins.iter().sum();
+            if total == 0 {
+                continue; // flat block stays all-zero
+            }
+            for (i, &v) in bins.iter().enumerate() {
+                out[b * ORIENT_BINS + i] = (v * 255 / total) as u8;
+            }
+        }
+        FrameFingerprint(out)
+    }
+
+    /// L1 distance between two fingerprints (0 = identical signatures,
+    /// maximum 255·64). Used only for *near*-duplicate ranking; exactness
+    /// decisions always go through byte comparison.
+    pub fn distance(&self, other: &FrameFingerprint) -> u32 {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(&a, &b)| u32::from(a.abs_diff(b)))
+            .sum()
+    }
+}
+
+/// Box-downsamples the frame to the fixed luma grid. Cell boundaries are
+/// integer (`floor(g·dim/GRID)`), clamped so every cell covers at least one
+/// pixel even for frames smaller than the grid.
+fn luma_grid(img: &ImageBuffer, w: usize, h: usize) -> [i64; GRID_W * GRID_H] {
+    let luma = luma_weighted_sum_fn();
+    let bytes = img.bytes();
+    let mut grid = [0i64; GRID_W * GRID_H];
+    for gy in 0..GRID_H {
+        let y0 = gy * h / GRID_H;
+        let y1 = ((gy + 1) * h / GRID_H).max(y0 + 1);
+        for gx in 0..GRID_W {
+            let x0 = gx * w / GRID_W;
+            let x1 = ((gx + 1) * w / GRID_W).max(x0 + 1);
+            let mut sum = 0u64;
+            for y in y0..y1 {
+                let off = 3 * (y * w + x0);
+                sum += luma(&bytes[off..off + 3 * (x1 - x0)]);
+            }
+            let npix = ((y1 - y0) * (x1 - x0)) as u64;
+            // Mean weighted luma, scaled back to 0..=255.
+            grid[gy * GRID_W + gx] = ((sum / npix) >> 8) as i64;
+        }
+    }
+    grid
+}
+
+/// Maps a gradient vector to one of eight 45° octants using only sign and
+/// magnitude comparisons — no floating point, so bins are exact.
+fn orientation_octant(gx: i64, gy: i64) -> usize {
+    let steep = gy.abs() >= gx.abs();
+    match (gx >= 0, gy >= 0, steep) {
+        (true, true, false) => 0,
+        (true, true, true) => 1,
+        (false, true, true) => 2,
+        (false, true, false) => 3,
+        (false, false, false) => 4,
+        (false, false, true) => 5,
+        (true, false, true) => 6,
+        (true, false, false) => 7,
+    }
+}
+
+/// Whether the segmentation pre-filter screens frames before the HSV
+/// histogram stage. Both modes produce bit-identical results; `Off` exists
+/// for benchmarking the baseline and as a conservative escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum FingerprintMode {
+    /// Screen with fingerprints, verify with byte equality, reuse the
+    /// previous histogram on exact duplicates (the default).
+    #[default]
+    Auto,
+    /// Always compute the full HSV histogram.
+    Off,
+}
+
+impl FingerprintMode {
+    /// Parses the `--fingerprint {auto,off}` CLI value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(FingerprintMode::Auto),
+            "off" => Some(FingerprintMode::Off),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FingerprintMode::Auto => "auto",
+            FingerprintMode::Off => "off",
+        }
+    }
+}
+
+/// Counters of the pre-filter: how many sampled frames were screened and
+/// how many histogram computations the memoization avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefilterStats {
+    /// Sampled frames that went through the histogram stage.
+    pub sampled: usize,
+    /// Histograms actually computed.
+    pub computed: usize,
+    /// Histograms reused from the previous sampled frame (fingerprint
+    /// match confirmed by byte equality).
+    pub reused: usize,
+}
+
+impl PrefilterStats {
+    /// Folds another run's counters into this one (multi-chunk ingest).
+    pub fn absorb(&mut self, other: PrefilterStats) {
+        self.sampled += other.sampled;
+        self.computed += other.computed;
+        self.reused += other.reused;
+    }
+}
+
+/// Streaming-side pre-filter: a one-frame memo that hands out HSV
+/// histograms, reusing the previous one whenever the incoming frame is an
+/// exact duplicate of it.
+///
+/// The gate sees the *exact* image the histogram stage would (after any
+/// fault repair upstream), fingerprints it, and only on a fingerprint match
+/// confirms with a full byte comparison before reusing — so the histogram
+/// sequence it produces is value-identical to calling
+/// [`HsvHistogram::of`] on every frame, and everything downstream
+/// (`OnlineSegmenter`, Phase I/II) is bit-identical. The memo retains one
+/// frame's bytes; callers accounting raster memory should budget one extra
+/// frame while the gate is active.
+#[derive(Debug)]
+pub struct FingerprintGate {
+    mode: FingerprintMode,
+    bins: HsvBins,
+    prev: Option<(FrameFingerprint, Vec<u8>, HsvHistogram)>,
+    stats: PrefilterStats,
+}
+
+impl FingerprintGate {
+    pub fn new(mode: FingerprintMode, bins: HsvBins) -> Self {
+        Self {
+            mode,
+            bins,
+            prev: None,
+            stats: PrefilterStats::default(),
+        }
+    }
+
+    /// The histogram of `img` — computed, or reused from the previous call
+    /// when the frame is byte-identical to it.
+    pub fn histogram(&mut self, img: &ImageBuffer) -> HsvHistogram {
+        if self.mode == FingerprintMode::Off {
+            return HsvHistogram::of(img, self.bins);
+        }
+        self.stats.sampled += 1;
+        let fp = FrameFingerprint::of(img);
+        if let Some((prev_fp, prev_bytes, prev_hist)) = &self.prev {
+            if *prev_fp == fp && prev_bytes.as_slice() == img.bytes() {
+                self.stats.reused += 1;
+                return prev_hist.clone();
+            }
+        }
+        let hist = HsvHistogram::of(img, self.bins);
+        self.stats.computed += 1;
+        self.prev = Some((fp, img.bytes().to_vec(), hist.clone()));
+        hist
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> PrefilterStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verro_video::color::Rgb;
+    use verro_video::geometry::Size;
+
+    fn textured(size: Size, seed: u32) -> ImageBuffer {
+        ImageBuffer::from_fn(size, |x, y| {
+            let v = x
+                .wrapping_mul(31)
+                .wrapping_add(y.wrapping_mul(17))
+                .wrapping_add(seed);
+            Rgb::new((v % 256) as u8, (v / 3 % 256) as u8, (v / 7 % 256) as u8)
+        })
+    }
+
+    #[test]
+    fn identical_frames_have_identical_fingerprints() {
+        let a = textured(Size::new(120, 90), 5);
+        let b = a.clone();
+        assert_eq!(FrameFingerprint::of(&a), FrameFingerprint::of(&b));
+        assert_eq!(
+            FrameFingerprint::of(&a).distance(&FrameFingerprint::of(&b)),
+            0
+        );
+    }
+
+    #[test]
+    fn different_content_separates() {
+        let a = textured(Size::new(120, 90), 5);
+        let mut b = textured(Size::new(120, 90), 5);
+        // Paint a strong vertical edge into one half.
+        for y in 0..90 {
+            for x in 0..40 {
+                b.set(x, y, Rgb::new(255, 255, 255));
+            }
+        }
+        assert!(FrameFingerprint::of(&a).distance(&FrameFingerprint::of(&b)) > 0);
+    }
+
+    #[test]
+    fn tiny_frames_are_handled() {
+        // Smaller than the grid in both dimensions: cells overlap but the
+        // computation stays total and deterministic.
+        let a = textured(Size::new(8, 8), 1);
+        assert_eq!(FrameFingerprint::of(&a), FrameFingerprint::of(&a.clone()));
+        let flat = ImageBuffer::new(Size::new(8, 8), Rgb::new(40, 40, 40));
+        assert_eq!(
+            FrameFingerprint::of(&flat),
+            FrameFingerprint([0; FINGERPRINT_LEN])
+        );
+    }
+
+    #[test]
+    fn flat_frame_fingerprint_is_zero() {
+        let flat = ImageBuffer::new(Size::new(128, 64), Rgb::new(90, 120, 30));
+        assert_eq!(
+            FrameFingerprint::of(&flat),
+            FrameFingerprint([0; FINGERPRINT_LEN])
+        );
+    }
+
+    #[test]
+    fn gate_reuses_only_on_exact_duplicates() {
+        let bins = HsvBins::default();
+        let a = textured(Size::new(64, 48), 9);
+        let mut b = a.clone();
+        b.set(3, 3, Rgb::new(1, 2, 3)); // near-duplicate, not exact
+        let mut gate = FingerprintGate::new(FingerprintMode::Auto, bins);
+        let ha1 = gate.histogram(&a);
+        let ha2 = gate.histogram(&a); // exact duplicate → reuse
+        let hb = gate.histogram(&b); // differs by one pixel → recompute
+        assert_eq!(ha1, ha2);
+        assert_eq!(ha1, HsvHistogram::of(&a, bins));
+        assert_eq!(hb, HsvHistogram::of(&b, bins));
+        let s = gate.stats();
+        assert_eq!((s.sampled, s.computed, s.reused), (3, 2, 1));
+    }
+
+    #[test]
+    fn gate_off_counts_nothing() {
+        let bins = HsvBins::default();
+        let a = textured(Size::new(64, 48), 2);
+        let mut gate = FingerprintGate::new(FingerprintMode::Off, bins);
+        assert_eq!(gate.histogram(&a), HsvHistogram::of(&a, bins));
+        assert_eq!(gate.stats(), PrefilterStats::default());
+    }
+
+    #[test]
+    fn mode_parses_and_round_trips() {
+        assert_eq!(FingerprintMode::parse("auto"), Some(FingerprintMode::Auto));
+        assert_eq!(FingerprintMode::parse("off"), Some(FingerprintMode::Off));
+        assert_eq!(FingerprintMode::parse("fast"), None);
+        for m in [FingerprintMode::Auto, FingerprintMode::Off] {
+            assert_eq!(FingerprintMode::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(FingerprintMode::default(), FingerprintMode::Auto);
+    }
+}

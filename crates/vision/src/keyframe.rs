@@ -7,9 +7,11 @@
 //! The `ℓ` key frames are the reduced dimension for Phase I.
 
 use crate::error::VisionError;
+use crate::fingerprint::{FingerprintMode, FrameFingerprint, PrefilterStats};
 use crate::histogram::{HsvBins, HsvHistogram, HsvWeights};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use verro_video::image::ImageBuffer;
 use verro_video::source::FrameSource;
 
 /// Parameters of Algorithm 2.
@@ -25,6 +27,13 @@ pub struct KeyFrameConfig {
     /// above 1 subsample uniformly before segmentation, a standard
     /// performance concession that preserves segment structure.
     pub stride: usize,
+    /// Gradient-fingerprint pre-filter for the histogram stage (DESIGN.md
+    /// §15): `Auto` memoizes the HSV histogram across byte-identical
+    /// consecutive sampled frames (fingerprint screen + byte-equality
+    /// verification), `Off` always recomputes. The segmentation result is
+    /// bit-identical either way.
+    #[serde(default)]
+    pub fingerprint: FingerprintMode,
 }
 
 impl Default for KeyFrameConfig {
@@ -34,29 +43,52 @@ impl Default for KeyFrameConfig {
             weights: HsvWeights::default(),
             tau: 0.94,
             stride: 1,
+            fingerprint: FingerprintMode::Auto,
         }
     }
 }
 
 /// A contiguous run of similar frames.
+///
+/// The member list is private and non-empty by construction — every
+/// constructor (including [`Segment::new`], which normalizes an empty list
+/// to `[key_frame]`) upholds the invariant, so [`Segment::start`] and
+/// [`Segment::end`] are total without a panic path.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Segment {
     /// Frame indices belonging to the segment (ascending, contiguous up to
-    /// the configured stride).
-    pub frames: Vec<usize>,
+    /// the configured stride). Never empty.
+    frames: Vec<usize>,
     /// The selected key frame (maximum-entropy member).
     pub key_frame: usize,
 }
 
 impl Segment {
+    /// Builds a segment from its member frames and key frame. An empty
+    /// member list is normalized to `[key_frame]`, preserving the non-empty
+    /// invariant that makes `start`/`end` total.
+    pub fn new(mut frames: Vec<usize>, key_frame: usize) -> Self {
+        if frames.is_empty() {
+            frames.push(key_frame);
+        }
+        Segment { frames, key_frame }
+    }
+
+    /// The member frame indices (ascending, never empty).
+    pub fn frames(&self) -> &[usize] {
+        &self.frames
+    }
+
     /// First frame covered by the segment.
     pub fn start(&self) -> usize {
-        *self.frames.first().expect("segments are non-empty")
+        // The constructor invariant makes the fallback unreachable; it
+        // exists so deserialized data cannot reintroduce a panic path.
+        self.frames.first().copied().unwrap_or(self.key_frame)
     }
 
     /// Last frame covered by the segment.
     pub fn end(&self) -> usize {
-        *self.frames.last().expect("segments are non-empty")
+        self.frames.last().copied().unwrap_or(self.key_frame)
     }
 }
 
@@ -78,11 +110,16 @@ impl KeyFrameResult {
     }
 
     /// Index of the segment containing frame `k`, if any (frames skipped by
-    /// a stride > 1 map to the segment whose range covers them).
+    /// a stride > 1 map to the segment whose range covers them). Segments
+    /// are disjoint with ascending starts, so the only candidate is the
+    /// last segment starting at or before `k` — found by binary search;
+    /// this is called per frame on the render and coordinate hot paths.
     pub fn segment_of(&self, k: usize) -> Option<usize> {
-        self.segments
-            .iter()
-            .position(|s| k >= s.start() && k <= s.end())
+        let idx = self
+            .segments
+            .partition_point(|s| s.start() <= k)
+            .checked_sub(1)?;
+        (k <= self.segments[idx].end()).then_some(idx)
     }
 }
 
@@ -100,18 +137,115 @@ pub fn extract_key_frames<S: FrameSource + Sync>(
     src: &S,
     config: &KeyFrameConfig,
 ) -> Result<KeyFrameResult, VisionError> {
+    extract_key_frames_with_stats(src, config).map(|(result, _)| result)
+}
+
+/// [`extract_key_frames`] plus the pre-filter counters: how many of the
+/// sampled histograms the fingerprint fast path avoided recomputing.
+pub fn extract_key_frames_with_stats<S: FrameSource + Sync>(
+    src: &S,
+    config: &KeyFrameConfig,
+) -> Result<(KeyFrameResult, PrefilterStats), VisionError> {
     let stride = config.stride.max(1);
     let sampled: Vec<usize> = (0..src.num_frames()).step_by(stride).collect();
     if sampled.is_empty() {
         return Err(VisionError::EmptyVideo);
     }
 
-    let histograms: Vec<HsvHistogram> = sampled
-        .par_iter()
-        .map(|&k| HsvHistogram::of(&src.frame(k), config.bins))
+    let (histograms, stats) = match config.fingerprint {
+        FingerprintMode::Off => {
+            let histograms = sampled
+                .par_iter()
+                .map(|&k| HsvHistogram::of(&src.frame(k), config.bins))
+                .collect();
+            let stats = PrefilterStats {
+                sampled: sampled.len(),
+                computed: sampled.len(),
+                reused: 0,
+            };
+            (histograms, stats)
+        }
+        FingerprintMode::Auto => prefiltered_histograms(src, &sampled, config),
+    };
+
+    Ok((segment_histograms(&sampled, &histograms, config)?, stats))
+}
+
+/// Sampled frames the batch pre-filter hands to one parallel worker.
+const PREFILTER_CHUNK: usize = 16;
+
+/// The fingerprint fast path of the batch histogram stage: frames are
+/// fingerprinted first, and a frame whose fingerprint matches its
+/// predecessor's **and** whose bytes compare equal reuses the predecessor's
+/// histogram instead of recomputing it. `HsvHistogram::of` is a pure
+/// function of the frame bytes, so the produced histogram vector is
+/// value-identical to the unfiltered path — the conservative zero-tolerance
+/// margin that keeps [`segment_histograms`]' output bit-identical.
+///
+/// Chunks run in parallel; each worker re-derives the fingerprint of the
+/// frame preceding its chunk (the overlap frame) so the duplicate test
+/// never crosses a data dependency between workers.
+fn prefiltered_histograms<S: FrameSource + Sync>(
+    src: &S,
+    sampled: &[usize],
+    config: &KeyFrameConfig,
+) -> (Vec<HsvHistogram>, PrefilterStats) {
+    let partial: Vec<Vec<Option<HsvHistogram>>> = sampled
+        .par_chunks(PREFILTER_CHUNK)
+        .enumerate()
+        .map(|(ci, chunk)| {
+            let mut out = Vec::with_capacity(chunk.len());
+            let mut prev: Option<(FrameFingerprint, ImageBuffer)> = if ci == 0 {
+                None // the first sampled frame always computes
+            } else {
+                let k = sampled[ci * PREFILTER_CHUNK - 1];
+                let img = src.frame(k);
+                Some((FrameFingerprint::of(&img), img))
+            };
+            for &k in chunk {
+                let img = src.frame(k);
+                let fp = FrameFingerprint::of(&img);
+                let duplicate = prev
+                    .as_ref()
+                    .is_some_and(|(pfp, pimg)| *pfp == fp && pimg.bytes() == img.bytes());
+                if duplicate {
+                    out.push(None);
+                } else {
+                    out.push(Some(HsvHistogram::of(&img, config.bins)));
+                }
+                prev = Some((fp, img));
+            }
+            out
+        })
         .collect();
 
-    segment_histograms(&sampled, &histograms, config)
+    let mut stats = PrefilterStats {
+        sampled: sampled.len(),
+        computed: 0,
+        reused: 0,
+    };
+    let mut histograms: Vec<HsvHistogram> = Vec::with_capacity(sampled.len());
+    for slot in partial.into_iter().flatten() {
+        match slot {
+            Some(hist) => {
+                stats.computed += 1;
+                histograms.push(hist);
+            }
+            None => match histograms.last().cloned() {
+                Some(prev) => {
+                    stats.reused += 1;
+                    histograms.push(prev);
+                }
+                // Unreachable (the first slot is always `Some`), but the
+                // clean fallback recomputes rather than panicking.
+                None => {
+                    stats.computed += 1;
+                    histograms.push(HsvHistogram::of(&src.frame(sampled[0]), config.bins));
+                }
+            },
+        }
+    }
+    (histograms, stats)
 }
 
 /// The clustering + key-frame selection stage, exposed separately so callers
@@ -161,10 +295,7 @@ pub fn segment_histograms(
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(k, _)| k)
                 .expect("segments are non-empty");
-            Segment {
-                frames: members,
-                key_frame,
-            }
+            Segment::new(members, key_frame)
         })
         .collect();
 
@@ -192,10 +323,7 @@ impl OpenSegment {
     }
 
     fn close(self) -> Segment {
-        Segment {
-            frames: self.members,
-            key_frame: self.key_frame,
-        }
+        Segment::new(self.members, self.key_frame)
     }
 }
 
@@ -289,7 +417,7 @@ mod tests {
         let v = flat_video(&[Rgb::new(100, 150, 200); 12]);
         let r = extract_key_frames(&v, &KeyFrameConfig::default()).unwrap();
         assert_eq!(r.num_key_frames(), 1);
-        assert_eq!(r.segments[0].frames.len(), 12);
+        assert_eq!(r.segments[0].frames().len(), 12);
     }
 
     #[test]
@@ -348,7 +476,7 @@ mod tests {
         let mut cfg = KeyFrameConfig::default();
         cfg.stride = 5;
         let r = extract_key_frames(&v, &cfg).unwrap();
-        assert_eq!(r.segments[0].frames, vec![0, 5, 10, 15]);
+        assert_eq!(r.segments[0].frames(), vec![0, 5, 10, 15]);
     }
 
     #[test]
@@ -369,7 +497,9 @@ mod tests {
     fn online_segmenter_matches_batch_exactly() {
         // Drifting colors with a hard cut and a few plateaus (plateaus
         // exercise the equal-entropy tie rule).
-        let mut colors: Vec<Rgb> = (0..24).map(|k| Rgb::new(100 + 4 * k as u8, 90, 160)).collect();
+        let mut colors: Vec<Rgb> = (0..24)
+            .map(|k| Rgb::new(100 + 4 * k as u8, 90, 160))
+            .collect();
         colors.extend(std::iter::repeat(Rgb::new(30, 200, 40)).take(8));
         colors.extend((0..10).map(|k| Rgb::new(30, 200 - 10 * k as u8, 40)));
         let v = flat_video(&colors);
@@ -402,9 +532,12 @@ mod tests {
         assert_eq!(OnlineSegmenter::new(cfg).finish(), None);
         let v = flat_video(&[Rgb::new(9, 9, 9)]);
         let mut online = OnlineSegmenter::new(cfg);
-        assert_eq!(online.push(0, &HsvHistogram::of(&v.frame(0), cfg.bins)), None);
+        assert_eq!(
+            online.push(0, &HsvHistogram::of(&v.frame(0), cfg.bins)),
+            None
+        );
         let seg = online.finish().unwrap();
-        assert_eq!(seg.frames, vec![0]);
+        assert_eq!(seg.frames(), vec![0]);
         assert_eq!(seg.key_frame, 0);
     }
 
@@ -418,7 +551,63 @@ mod tests {
             assert!(w[0] < w[1]);
         }
         for s in &r.segments {
-            assert!(s.frames.contains(&s.key_frame));
+            assert!(s.frames().contains(&s.key_frame));
+        }
+    }
+
+    #[test]
+    fn segment_new_normalizes_empty_members() {
+        let s = Segment::new(vec![], 9);
+        assert_eq!(s.frames(), vec![9]);
+        assert_eq!((s.start(), s.end()), (9, 9));
+        let s = Segment::new(vec![3, 4, 5], 4);
+        assert_eq!((s.start(), s.end(), s.key_frame), (3, 5, 4));
+    }
+
+    /// The binary-search `segment_of` must agree with the linear scan it
+    /// replaced on every frame index, including stride gaps and overshoot.
+    #[test]
+    fn segment_of_matches_linear_scan() {
+        let colors: Vec<Rgb> = (0..60).map(|k| Rgb::new((k * 9) as u8, 80, 200)).collect();
+        let v = flat_video(&colors);
+        for stride in [1, 3, 7] {
+            let mut cfg = KeyFrameConfig::default();
+            cfg.stride = stride;
+            cfg.tau = 0.97;
+            let r = extract_key_frames(&v, &cfg).unwrap();
+            for k in 0..colors.len() + 5 {
+                let linear = r
+                    .segments
+                    .iter()
+                    .position(|s| k >= s.start() && k <= s.end());
+                assert_eq!(r.segment_of(k), linear, "k={k} stride={stride}");
+            }
+        }
+    }
+
+    /// Pre-filter on vs off must segment identically — here on a video with
+    /// long runs of byte-identical frames, where the fast path actually
+    /// reuses histograms (the interesting case for bit-identity).
+    #[test]
+    fn prefilter_matches_unfiltered_with_duplicate_runs() {
+        let mut colors = vec![Rgb::new(120, 40, 40); 9];
+        colors.extend(vec![Rgb::new(40, 120, 40); 1]);
+        colors.extend(vec![Rgb::new(120, 40, 40); 23]); // spans chunk border
+        colors.extend((0..8).map(|k| Rgb::new(40, 40, 120 + 10 * k as u8)));
+        let v = flat_video(&colors);
+        for stride in [1, 2] {
+            let mut on = KeyFrameConfig::default();
+            on.stride = stride;
+            on.fingerprint = FingerprintMode::Auto;
+            let mut off = on;
+            off.fingerprint = FingerprintMode::Off;
+            let (r_on, stats) = extract_key_frames_with_stats(&v, &on).unwrap();
+            let (r_off, base) = extract_key_frames_with_stats(&v, &off).unwrap();
+            assert_eq!(r_on, r_off, "stride={stride}");
+            assert!(stats.reused > 0, "duplicate runs must hit the fast path");
+            assert_eq!(stats.computed + stats.reused, stats.sampled);
+            assert_eq!(base.reused, 0);
+            assert_eq!(base.computed, base.sampled);
         }
     }
 }

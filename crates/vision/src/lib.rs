@@ -5,6 +5,8 @@
 //! * [`histogram`] — HSV histograms, similarity, entropy (Algorithm 2's
 //!   building blocks);
 //! * [`keyframe`] — segmentation and key-frame extraction (Algorithm 2);
+//! * [`fingerprint`] — 64-byte gradient-orientation frame signatures, the
+//!   cheap screen of the segmentation fast path and stream dedup (§15);
 //! * [`bgmodel`] — temporal median background scenes;
 //! * [`mod@detect`] — background-subtraction object detection;
 //! * [`track`] — Kalman + Hungarian SORT tracking (Deep SORT stand-in);
@@ -17,6 +19,7 @@
 pub mod bgmodel;
 pub mod detect;
 pub mod error;
+pub mod fingerprint;
 pub mod histogram;
 pub mod inpaint;
 pub mod interp;
@@ -27,13 +30,14 @@ pub mod track;
 pub use bgmodel::{median_background, sample_indices, segment_backgrounds, BackgroundConfig};
 pub use detect::{detect, detect_all, mean_luma, DetectScratch, Detection, DetectorConfig};
 pub use error::VisionError;
+pub use fingerprint::{FingerprintGate, FingerprintMode, FrameFingerprint, PrefilterStats};
 pub use histogram::{
     compute_frame_stats, frame_stats, FrameStats, HsvBins, HsvHistogram, HsvWeights,
 };
 pub use inpaint::{inpaint, InpaintConfig, InpaintMethod, Mask};
 pub use interp::{extrapolate_to_border, interpolate, InterpMethod};
 pub use keyframe::{
-    extract_key_frames, segment_histograms, KeyFrameConfig, KeyFrameResult, OnlineSegmenter,
-    Segment,
+    extract_key_frames, extract_key_frames_with_stats, segment_histograms, KeyFrameConfig,
+    KeyFrameResult, OnlineSegmenter, Segment,
 };
 pub use track::{SortTracker, TrackerConfig};

@@ -452,3 +452,44 @@ proptest! {
         prop_assert!((scalar.mean_luma - mean_luma(&img)).abs() == 0.0);
     }
 }
+
+// The gradient-fingerprint pre-filter (DESIGN.md §15) rides on the
+// `luma_weighted_sum` kernel of `verro_video::simd`; these certify that
+// kernel's arms and the whole fingerprint as kernel-invariant, over widths
+// off every 16-lane boundary (the grid slices frames into cell rows of
+// arbitrary byte length, so the tail path runs constantly).
+proptest! {
+    #[test]
+    fn luma_weighted_sum_arms_agree_on_lane_misaligned_lengths(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let scalar = verro_video::simd::luma_weighted_sum_scalar(&bytes);
+        if let Some(simd) = verro_video::simd::luma_weighted_sum_simd(&bytes) {
+            prop_assert_eq!(scalar, simd);
+        }
+        prop_assert_eq!(verro_video::simd::luma_weighted_sum(&bytes), scalar);
+    }
+
+    #[test]
+    fn fingerprint_is_kernel_invariant_over_misaligned_sizes(
+        seed in any::<u64>(),
+        w in 1u32..50,
+        h in 1u32..40,
+    ) {
+        use verro_vision::fingerprint::FrameFingerprint;
+
+        let img = ImageBuffer::from_fn(Size::new(w, h), |x, y| {
+            let v = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((y as u64) << 32 | x as u64)
+                .wrapping_mul(0xD1B54A32D192ED03);
+            Rgb::new((v >> 56) as u8, (v >> 48) as u8, (v >> 40) as u8)
+        });
+        verro_video::simd::set_kernel_override(Some(false));
+        let scalar = FrameFingerprint::of(&img);
+        verro_video::simd::set_kernel_override(Some(true));
+        let simd = FrameFingerprint::of(&img);
+        verro_video::simd::set_kernel_override(None);
+        prop_assert_eq!(scalar, simd);
+    }
+}

@@ -1,0 +1,371 @@
+//! Pre-filter and dedup identity certification: the gradient-fingerprint
+//! fast path of DESIGN.md §15 is pure scheduling. With the pre-filter on,
+//! the segmentation result — and therefore every published byte — must be
+//! bit-identical to the unfiltered run: same [`KeyFrameResult`], same
+//! rendered `V*` PPM bytes, same serialized `PrivacyStatement`, across the
+//! three MOT presets, two seeds, several strides, both kernel modes, batch
+//! AND streaming, and under deterministic fault schedules. Likewise
+//! `--dedup-streams` only routes work: canonical streams publish the exact
+//! dedup-off bytes and ε is charged once per canonical stream.
+
+use verro_core::config::BackgroundMode;
+use verro_core::supervise::{DedupConfig, DedupRegistry, DedupVerdict, StreamSignature};
+use verro_core::{StreamOptions, Verro, VerroConfig};
+use verro_video::fault::{FaultSchedule, FaultySource};
+use verro_video::generator::{GeneratedVideo, MotPreset};
+use verro_video::recover::{CorruptAction, RecoveryPolicy};
+use verro_video::source::{FrameSource, InMemoryVideo};
+use verro_vision::fingerprint::FingerprintMode;
+use verro_vision::keyframe::extract_key_frames_with_stats;
+
+const SEEDS: [u64; 2] = [7, 41];
+
+/// A Table 1 preset trimmed for tier-1 (same shape as `stream_identity`):
+/// the preset's scene, camera, and lighting at a small raster, short clip.
+fn preset_video(preset: MotPreset, seed: u64) -> GeneratedVideo {
+    let mut spec = preset.spec(0.05, seed);
+    spec.num_frames = 48;
+    spec.num_objects = spec.num_objects.min(9);
+    spec.min_lifetime = spec.min_lifetime.min(12);
+    spec.max_lifetime = spec.max_lifetime.min(44);
+    GeneratedVideo::generate(spec)
+}
+
+fn harness_config(seed: u64, fingerprint: FingerprintMode) -> VerroConfig {
+    let mut cfg = VerroConfig::default().with_flip(0.2).with_seed(seed);
+    cfg.background = BackgroundMode::TemporalMedian;
+    cfg.keyframe.tau = 0.94;
+    cfg.keyframe.stride = 2;
+    cfg.keyframe.fingerprint = fingerprint;
+    cfg.optimizer_noise_epsilon = None;
+    cfg
+}
+
+/// A duplicate-heavy variant of a preset clip: frames are held in runs of
+/// `hold`, the surveillance shape in which consecutive sampled frames are
+/// byte-identical and the pre-filter actually reuses histograms.
+fn duplicate_heavy(preset: MotPreset, seed: u64, hold: usize) -> (InMemoryVideo, GeneratedVideo) {
+    let gen = preset_video(preset, seed);
+    let frames = (0..FrameSource::num_frames(&gen))
+        .map(|k| gen.frame(k - k % hold))
+        .collect();
+    let held = InMemoryVideo::try_new(frames, gen.fps()).expect("clip is non-empty");
+    (held, gen)
+}
+
+/// The byte-level fingerprint of a release: every rendered `V*` frame as
+/// encoded PPM bytes plus the serialized privacy statement.
+type Fingerprint = (Vec<Vec<u8>>, String);
+
+fn batch_fingerprint<S: FrameSource + Sync>(
+    video: &S,
+    ann: &verro_video::annotations::VideoAnnotations,
+    cfg: &VerroConfig,
+) -> Fingerprint {
+    let verro = Verro::new(cfg.clone()).expect("valid config");
+    let result = verro.sanitize(video, ann).expect("batch sanitize succeeds");
+    let frames = result
+        .video
+        .render_all()
+        .iter()
+        .map(|f| f.to_ppm())
+        .collect();
+    let privacy = serde_json::to_string(&result.privacy).expect("privacy serializes");
+    (frames, privacy)
+}
+
+/// Streaming release bytes plus the engine's pre-filter counters.
+fn stream_fingerprint<S: FrameSource + Sync>(
+    video: &S,
+    ann: &verro_video::annotations::VideoAnnotations,
+    cfg: &VerroConfig,
+) -> (Fingerprint, verro_vision::fingerprint::PrefilterStats) {
+    let verro = Verro::new(cfg.clone()).expect("valid config");
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    let out = verro
+        .sanitize_streaming(video, ann, &StreamOptions::default(), |k, img| {
+            assert_eq!(k, frames.len(), "sink frames out of order");
+            frames.push(img.to_ppm());
+        })
+        .expect("streaming sanitize succeeds");
+    let privacy = serde_json::to_string(&out.privacy).expect("privacy serializes");
+    ((frames, privacy), out.stats.prefilter)
+}
+
+/// The segmentation layer itself: with the pre-filter on, the
+/// [`verro_vision::keyframe::KeyFrameResult`] equals the unfiltered one on
+/// every preset × seed × stride × kernel mode, and the counters balance.
+#[test]
+fn keyframe_result_is_identical_across_presets_strides_and_kernels() {
+    use verro_core::KernelMode;
+
+    for &preset in MotPreset::ALL.iter() {
+        for seed in SEEDS {
+            let video = preset_video(preset, 11 + seed);
+            for stride in [1usize, 2, 3] {
+                for kernels in [KernelMode::Scalar, KernelMode::Simd] {
+                    kernels.apply();
+                    let mut on = harness_config(seed, FingerprintMode::Auto).keyframe;
+                    on.stride = stride;
+                    let mut off = on;
+                    off.fingerprint = FingerprintMode::Off;
+                    let (r_on, s_on) =
+                        extract_key_frames_with_stats(&video, &on).expect("clip is non-empty");
+                    let (r_off, _) =
+                        extract_key_frames_with_stats(&video, &off).expect("clip is non-empty");
+                    verro_vision::simd::set_kernel_override(None);
+                    verro_ldp::simd::set_kernel_override(None);
+                    assert_eq!(
+                        r_on, r_off,
+                        "{preset:?} seed {seed} stride {stride} {kernels:?}: \
+                         pre-filter changed the segmentation"
+                    );
+                    assert_eq!(
+                        s_on.computed + s_on.reused,
+                        s_on.sampled,
+                        "pre-filter counters must balance"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Full batch release: pre-filter on and off publish byte-identical frames
+/// and privacy statements on every preset × seed.
+#[test]
+fn batch_release_is_byte_identical_with_prefilter() {
+    for &preset in MotPreset::ALL.iter() {
+        for seed in SEEDS {
+            let video = preset_video(preset, 11 + seed);
+            let on = batch_fingerprint(
+                &video,
+                video.annotations(),
+                &harness_config(seed, FingerprintMode::Auto),
+            );
+            let off = batch_fingerprint(
+                &video,
+                video.annotations(),
+                &harness_config(seed, FingerprintMode::Off),
+            );
+            assert_eq!(on, off, "{preset:?} seed {seed}: batch release diverged");
+        }
+    }
+}
+
+/// Full streaming release: same certification through the stage graph,
+/// where the gate runs incrementally on the ingest thread.
+#[test]
+fn streaming_release_is_byte_identical_with_prefilter() {
+    for &preset in MotPreset::ALL.iter() {
+        for seed in SEEDS {
+            let video = preset_video(preset, 11 + seed);
+            let (on, _) = stream_fingerprint(
+                &video,
+                video.annotations(),
+                &harness_config(seed, FingerprintMode::Auto),
+            );
+            let (off, off_stats) = stream_fingerprint(
+                &video,
+                video.annotations(),
+                &harness_config(seed, FingerprintMode::Off),
+            );
+            assert_eq!(on, off, "{preset:?} seed {seed}: streamed release diverged");
+            assert_eq!(off_stats.reused, 0, "Off mode must never reuse");
+        }
+    }
+}
+
+/// On a duplicate-heavy clip the pre-filter actually fires (reuses > 0) in
+/// both batch and streaming — and the releases still match Off exactly.
+#[test]
+fn duplicate_heavy_clip_reuses_histograms_and_stays_identical() {
+    let (held, gen) = duplicate_heavy(MotPreset::Mot01, 17, 4);
+    let ann = gen.annotations();
+    let cfg_on = harness_config(5, FingerprintMode::Auto);
+    let cfg_off = harness_config(5, FingerprintMode::Off);
+
+    let (r_on, stats) =
+        extract_key_frames_with_stats(&held, &cfg_on.keyframe).expect("clip is non-empty");
+    let (r_off, _) =
+        extract_key_frames_with_stats(&held, &cfg_off.keyframe).expect("clip is non-empty");
+    assert_eq!(r_on, r_off, "segmentation diverged on the held clip");
+    assert!(
+        stats.reused > 0,
+        "held clip must exercise the reuse path (stats: {stats:?})"
+    );
+
+    assert_eq!(
+        batch_fingerprint(&held, ann, &cfg_on),
+        batch_fingerprint(&held, ann, &cfg_off),
+        "batch release diverged on the held clip"
+    );
+    let (stream_on, stream_stats) = stream_fingerprint(&held, ann, &cfg_on);
+    let (stream_off, _) = stream_fingerprint(&held, ann, &cfg_off);
+    assert_eq!(
+        stream_on, stream_off,
+        "streamed release diverged on the held clip"
+    );
+    assert!(
+        stream_stats.reused > 0,
+        "streaming gate must reuse on the held clip (stats: {stream_stats:?})"
+    );
+}
+
+/// Deterministic fault schedule `i`, mirroring `stream_identity`.
+fn schedule_for(i: u64) -> FaultSchedule {
+    let mut schedule = FaultSchedule::mixed(0x57e4_0000 + i, (i % 8) as f64 * 0.06);
+    if i == 7 {
+        schedule.permanent_rate = 0.05;
+    }
+    schedule
+}
+
+fn policy_for(i: u64) -> RecoveryPolicy {
+    RecoveryPolicy {
+        backoff_base_ms: 0,
+        backoff_cap_ms: 0,
+        on_corrupt: if i % 2 == 1 {
+            CorruptAction::Skip
+        } else {
+            CorruptAction::Repair
+        },
+        ..RecoveryPolicy::default()
+    }
+}
+
+/// Under 10 deterministic fault schedules the fallible pipeline agrees
+/// between pre-filter on and off: same outcome class, and byte-identical
+/// frames, privacy statement, and health report on success. Repairs and
+/// skips flow through the recovery layer *before* the gate sees bytes, so
+/// the memoization can only see what Off would have seen.
+#[test]
+fn fault_schedules_are_byte_identical_with_prefilter() {
+    let gen = preset_video(MotPreset::Mot01, 9);
+    let video = InMemoryVideo::collect_from(&gen);
+    let ann = gen.annotations();
+    let on = Verro::new(harness_config(13, FingerprintMode::Auto)).expect("valid config");
+    let off = Verro::new(harness_config(13, FingerprintMode::Off)).expect("valid config");
+    let mut succeeded = 0usize;
+    for i in 0..10u64 {
+        let faulty = FaultySource::new(video.clone(), schedule_for(i));
+        let policy = policy_for(i);
+        let r_on = on.sanitize_fallible(&faulty, ann, policy);
+        let r_off = off.sanitize_fallible(&faulty, ann, policy);
+        match (r_on, r_off) {
+            (Ok(a), Ok(b)) => {
+                succeeded += 1;
+                let a_frames: Vec<Vec<u8>> =
+                    a.video.render_all().iter().map(|f| f.to_ppm()).collect();
+                let b_frames: Vec<Vec<u8>> =
+                    b.video.render_all().iter().map(|f| f.to_ppm()).collect();
+                assert_eq!(a_frames, b_frames, "schedule {i}: frames diverged");
+                assert_eq!(
+                    serde_json::to_string(&a.privacy).expect("privacy serializes"),
+                    serde_json::to_string(&b.privacy).expect("privacy serializes"),
+                    "schedule {i}: privacy statement diverged"
+                );
+                assert_eq!(a.health, b.health, "schedule {i}: health diverged");
+            }
+            (Err(ae), Err(be)) => {
+                assert_eq!(
+                    std::mem::discriminant(&ae),
+                    std::mem::discriminant(&be),
+                    "schedule {i}: on failed with {ae:?} but off with {be:?}"
+                );
+            }
+            (r_on, r_off) => panic!(
+                "schedule {i}: pre-filter on ok={} but off ok={}",
+                r_on.is_ok(),
+                r_off.is_ok()
+            ),
+        }
+    }
+    assert!(
+        succeeded >= 6,
+        "fault sweep too hostile to certify the success path ({succeeded}/10 succeeded)"
+    );
+}
+
+/// The `--dedup-streams` orchestration, emulated at the library level:
+/// three inputs in CLI order where the second is a byte-identical copy of
+/// the first. The registry must alias the copy, canonical streams must
+/// publish the exact dedup-off bytes, and ε must be charged exactly once
+/// per canonical stream — never for an aliased duplicate.
+#[test]
+fn dedup_charges_epsilon_once_per_canonical_stream() {
+    let cam0 = preset_video(MotPreset::Mot01, 21);
+    let cam1 = preset_video(MotPreset::Mot01, 21); // identical clip: same spec, same seed
+    let cam2 = preset_video(MotPreset::Mot03, 22);
+    let cfg = harness_config(3, FingerprintMode::Auto);
+    let stride = cfg.keyframe.stride;
+    let dedup = DedupConfig::default();
+
+    // Dedup-off reference releases (what every stream publishes without
+    // the flag), and the ε each charges.
+    let off: Vec<(Fingerprint, f64)> = [&cam0, &cam1, &cam2]
+        .iter()
+        .map(|v| {
+            let fp = batch_fingerprint(*v, v.annotations(), &cfg);
+            let verro = Verro::new(cfg.clone()).expect("valid config");
+            let eps = verro
+                .sanitize(*v, v.annotations())
+                .expect("sanitize succeeds")
+                .privacy
+                .epsilon_total;
+            (fp, eps)
+        })
+        .collect();
+
+    // Dedup-on: claim in input order, sanitize canonical streams only.
+    let mut registry = DedupRegistry::new(dedup);
+    let verdicts: Vec<DedupVerdict> = [("cam0", &cam0), ("cam1", &cam1), ("cam2", &cam2)]
+        .iter()
+        .map(|(label, v)| registry.claim(label, StreamSignature::probe(*v, dedup.window, stride)))
+        .collect();
+    assert_eq!(
+        verdicts[0],
+        DedupVerdict::Canonical,
+        "first input is canonical"
+    );
+    match &verdicts[1] {
+        DedupVerdict::DuplicateOf {
+            canonical,
+            mean_distance,
+            ..
+        } => {
+            assert_eq!(canonical, "cam0");
+            assert_eq!(*mean_distance, 0.0, "byte-identical copy matches exactly");
+        }
+        other => panic!("copy must be aliased, got {other:?}"),
+    }
+    assert_eq!(
+        verdicts[2],
+        DedupVerdict::Canonical,
+        "a structurally distinct stream stays canonical"
+    );
+
+    let mut epsilon_on = 0.0;
+    for (i, verdict) in verdicts.iter().enumerate() {
+        if *verdict != DedupVerdict::Canonical {
+            continue; // aliased: nothing sanitized, nothing charged
+        }
+        let video = [&cam0, &cam1, &cam2][i];
+        let fp = batch_fingerprint(video, video.annotations(), &cfg);
+        assert_eq!(
+            fp, off[i].0,
+            "stream {i}: dedup-on canonical release diverged from dedup-off"
+        );
+        epsilon_on += off[i].1;
+    }
+    let epsilon_off_canonical = off[0].1 + off[2].1;
+    assert_eq!(
+        epsilon_on.to_bits(),
+        epsilon_off_canonical.to_bits(),
+        "ε must be the bit-exact sum over canonical streams only"
+    );
+    assert!(
+        epsilon_on < off.iter().map(|(_, e)| e).sum::<f64>(),
+        "aliasing must save the duplicate's ε charge"
+    );
+}
